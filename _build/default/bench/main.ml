@@ -1,0 +1,146 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sections 2 and 5), then micro-benchmarks this
+   library's own primitives with Bechamel.
+
+     dune exec bench/main.exe
+
+   Simulated durations scale with TQ_BENCH_SCALE (default 1.0).
+   EXPERIMENTS.md records paper-vs-measured for each experiment. *)
+
+let hr () = print_endline (String.make 78 '=')
+
+let run_experiments () =
+  hr ();
+  Printf.printf
+    "Tiny Quanta reproduction — every paper table/figure (TQ_BENCH_SCALE=%.2f)\n"
+    Tq_experiments.Harness.scale;
+  hr ();
+  print_newline ();
+  List.iter
+    (fun (e : Tq_experiments.Registry.experiment) ->
+      let started = Unix.gettimeofday () in
+      Tq_experiments.Registry.run_and_print e;
+      Printf.printf "[%s done in %.1fs]\n\n%!" e.id (Unix.gettimeofday () -. started))
+    Tq_experiments.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the library's own primitives           *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let test_heap =
+  let heap = Tq_util.Binary_heap.create ~capacity:1024 ~dummy:0 () in
+  let key = ref 0 in
+  Test.make ~name:"binary_heap push+pop"
+    (Staged.stage (fun () ->
+         incr key;
+         Tq_util.Binary_heap.push heap ~key:(!key land 1023) 1;
+         ignore (Tq_util.Binary_heap.pop heap)))
+
+let test_prng =
+  let rng = Tq_util.Prng.create ~seed:1L in
+  Test.make ~name:"prng bits64" (Staged.stage (fun () -> ignore (Tq_util.Prng.bits64 rng)))
+
+let test_sim_event =
+  Test.make ~name:"sim schedule+run event"
+    (Staged.stage
+       (let sim = Tq_engine.Sim.create () in
+        fun () ->
+          ignore (Tq_engine.Sim.schedule_after sim ~delay:1 ignore);
+          ignore (Tq_engine.Sim.step sim)))
+
+let test_fiber =
+  Test.make ~name:"fiber create+yield+finish"
+    (Staged.stage (fun () ->
+         let f = Tq_runtime.Fiber.create (fun () -> Tq_runtime.Fiber.yield ()) in
+         ignore (Tq_runtime.Fiber.resume f);
+         ignore (Tq_runtime.Fiber.resume f)))
+
+let test_probe =
+  (* Probe check without yielding: the steady-state cost of a compiled
+     probe site (paper: RDTSC + compare). *)
+  let ctx =
+    Tq_runtime.Probe_api.create ~clock:(Tq_runtime.Clock.virtual_ ()) ~quantum_ns:max_int
+  in
+  Tq_runtime.Probe_api.install ctx;
+  Test.make ~name:"probe check (not expired)"
+    (Staged.stage (fun () -> Tq_runtime.Probe_api.probe ()))
+
+let test_spsc =
+  let ring = Tq_runtime.Spsc_ring.create ~capacity:64 in
+  Test.make ~name:"spsc_ring push+pop"
+    (Staged.stage (fun () ->
+         ignore (Tq_runtime.Spsc_ring.try_push ring 1);
+         ignore (Tq_runtime.Spsc_ring.try_pop ring)))
+
+let test_skiplist =
+  let sl = Tq_kv.Skiplist.create () in
+  let () =
+    for i = 0 to 9_999 do
+      Tq_kv.Skiplist.insert sl (Printf.sprintf "key%08d" i) i
+    done
+  in
+  let i = ref 0 in
+  Test.make ~name:"skiplist find (10k keys)"
+    (Staged.stage (fun () ->
+         i := (!i + 7_919) mod 10_000;
+         ignore (Tq_kv.Skiplist.find sl (Printf.sprintf "key%08d" !i))))
+
+let test_cache =
+  let cache = Tq_cache.Cache.create ~size_bytes:32_768 ~ways:8 () in
+  let addr = ref 0 in
+  Test.make ~name:"cache access (L1 geometry)"
+    (Staged.stage (fun () ->
+         addr := (!addr + 4_096) land 0xFFFFF;
+         ignore (Tq_cache.Cache.access cache !addr)))
+
+let test_deque =
+  let dq = Tq_util.Ring_deque.create () in
+  Test.make ~name:"ring_deque push_back+pop_front"
+    (Staged.stage (fun () ->
+         Tq_util.Ring_deque.push_back dq 1;
+         ignore (Tq_util.Ring_deque.pop_front dq)))
+
+let run_microbenchmarks () =
+  hr ();
+  print_endline "Micro-benchmarks of library primitives (ns per run, OLS fit)";
+  hr ();
+  let tests =
+    [
+      test_heap;
+      test_prng;
+      test_sim_event;
+      test_fiber;
+      test_probe;
+      test_spsc;
+      test_skiplist;
+      test_cache;
+      test_deque;
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns_per_run ] -> Printf.printf "%-34s %10.1f ns/run\n" name ns_per_run
+          | _ -> Printf.printf "%-34s (no estimate)\n" name)
+        analyzed)
+    tests;
+  print_newline ()
+
+let () =
+  run_experiments ();
+  run_microbenchmarks ();
+  hr ();
+  print_endline "Done. See EXPERIMENTS.md for paper-vs-measured commentary.";
+  hr ()

@@ -1,0 +1,181 @@
+(* tq_sim: command-line driver for the Tiny Quanta reproduction.
+
+   Subcommands:
+     list                      enumerate reproducible experiments
+     run <id>...               regenerate specific figures/tables
+     all                       regenerate everything
+     sweep                     custom latency-vs-load sweep
+     probe-place <program>     show TQ probe placement on a benchmark program *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every reproducible experiment (figures and tables)." in
+  let run () =
+    List.iter
+      (fun (e : Tq_experiments.Registry.experiment) ->
+        Printf.printf "%-12s %s\n" e.id e.summary)
+      Tq_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_ids ids =
+  let missing = List.filter (fun id -> Tq_experiments.Registry.find id = None) ids in
+  if missing <> [] then begin
+    Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " missing);
+    exit 1
+  end;
+  List.iter
+    (fun id ->
+      match Tq_experiments.Registry.find id with
+      | Some e -> Tq_experiments.Registry.run_and_print e
+      | None -> assert false)
+    ids
+
+let run_cmd =
+  let doc = "Regenerate the named figures/tables (see $(b,list))." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+
+let all_cmd =
+  let doc = "Regenerate every figure and table (set TQ_BENCH_SCALE to trade time for precision)." in
+  let run () =
+    run_ids (List.map (fun (e : Tq_experiments.Registry.experiment) -> e.id)
+               Tq_experiments.Registry.all)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+(* --- sweep --- *)
+
+let workload_names =
+  List.map (fun (w : Tq_workload.Service_dist.t) -> w.name) Tq_workload.Table1.all
+
+let sweep system_name workload_name quantum_us loads duration_ms =
+  let workload =
+    match Tq_workload.Table1.find workload_name with
+    | Some w -> w
+    | None ->
+        Printf.eprintf "unknown workload %s (try: %s)\n" workload_name
+          (String.concat ", " workload_names);
+        exit 1
+  in
+  let quantum_ns = Tq_util.Time_unit.us quantum_us in
+  let system =
+    match system_name with
+    | "tq" -> Tq_sched.Presets.tq ~quantum_ns ()
+    | "tq-las" -> Tq_sched.Presets.tq_las ()
+    | "tq-fcfs" -> Tq_sched.Presets.tq_fcfs ()
+    | "tq-rand" -> Tq_sched.Presets.tq_rand ~quantum_ns ()
+    | "tq-power-two" -> Tq_sched.Presets.tq_power_two ~quantum_ns ()
+    | "shinjuku" -> Tq_sched.Presets.shinjuku ~quantum_ns ()
+    | "concord" -> Tq_sched.Presets.concord ~quantum_ns ()
+    | "caladan" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Directpath ()
+    | "caladan-iokernel" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Iokernel ()
+    | other ->
+        Printf.eprintf "unknown system %s\n" other;
+        exit 1
+  in
+  let capacity = Tq_workload.Arrivals.capacity_rps ~cores:16 workload in
+  let duration_ns = Tq_util.Time_unit.ms duration_ms in
+  let t =
+    Tq_util.Text_table.create
+      ~title:
+        (Printf.sprintf "%s on %s (q=%gus, capacity %.2f Mrps)" system_name workload_name
+           quantum_us (capacity /. 1e6))
+      ~columns:
+        ([ "load"; "rate(Mrps)" ]
+        @ List.concat_map
+            (fun i ->
+              let name = Tq_workload.Service_dist.class_name workload i in
+              [ name ^ " p50(us)"; name ^ " p99.9(us)" ])
+            (List.init (Tq_workload.Service_dist.class_count workload) Fun.id))
+  in
+  List.iter
+    (fun load ->
+      let rate = load *. capacity in
+      let r =
+        Tq_sched.Experiment.run ~system ~workload ~rate_rps:rate ~duration_ns ()
+      in
+      let cells =
+        List.concat_map
+          (fun i ->
+            [
+              Tq_util.Text_table.cell_f
+                (Tq_workload.Metrics.sojourn_percentile r.metrics ~class_idx:i 50.0 /. 1e3);
+              Tq_util.Text_table.cell_f
+                (Tq_workload.Metrics.sojourn_percentile r.metrics ~class_idx:i 99.9 /. 1e3);
+            ])
+          (List.init (Tq_workload.Service_dist.class_count workload) Fun.id)
+      in
+      Tq_util.Text_table.add_row t
+        (Printf.sprintf "%.0f%%" (100.0 *. load)
+        :: Printf.sprintf "%.2f" (rate /. 1e6)
+        :: cells))
+    loads;
+  Tq_util.Text_table.print t
+
+let sweep_cmd =
+  let doc = "Run a custom latency-vs-load sweep for one system and workload." in
+  let system =
+    Arg.(value & opt string "tq"
+         & info [ "system" ] ~docv:"SYSTEM"
+             ~doc:"tq | tq-las | tq-fcfs | tq-rand | tq-power-two | shinjuku | concord | caladan | caladan-iokernel")
+  in
+  let workload =
+    Arg.(value & opt string "extreme-bimodal"
+         & info [ "workload" ] ~docv:"WORKLOAD" ~doc:"Table 1 workload name")
+  in
+  let quantum = Arg.(value & opt float 2.0 & info [ "quantum-us" ] ~doc:"quantum size in us") in
+  let loads =
+    Arg.(value & opt (list float) [ 0.3; 0.5; 0.7; 0.9 ]
+         & info [ "loads" ] ~doc:"load fractions of capacity")
+  in
+  let duration =
+    Arg.(value & opt float 50.0 & info [ "duration-ms" ] ~doc:"simulated duration per point")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ system $ workload $ quantum $ loads $ duration)
+
+(* --- probe-place --- *)
+
+let probe_place name bound =
+  let named =
+    match Tq_instrument.Bench_programs.find name with
+    | Some p -> Some p
+    | None ->
+        if name = "rocksdb-get" then Some Tq_instrument.Bench_programs.rocksdb_get
+        else if name = "rocksdb-scan" then Some Tq_instrument.Bench_programs.rocksdb_scan
+        else None
+  in
+  match named with
+  | None ->
+      Printf.eprintf "unknown program %s (see DESIGN.md for the suite)\n" name;
+      exit 1
+  | Some named ->
+      let prog = Tq_instrument.Bench_programs.lowered named in
+      let tq = Tq_instrument.Tq_pass.instrument ~config:{ Tq_instrument.Tq_pass.bound; non_reentrant = [] } prog in
+      let ci = Tq_instrument.Ci_pass.instrument prog in
+      Printf.printf "program %s: %d instructions static\n" name
+        (List.fold_left
+           (fun acc (_, f) -> acc + Tq_ir.Cfg.func_instruction_count f)
+           0 prog.Tq_ir.Cfg.funcs);
+      Printf.printf "CI probes: %d, TQ probes: %d (bound %d instructions)\n\n"
+        (Tq_ir.Cfg.program_probe_count ci)
+        (Tq_ir.Cfg.program_probe_count tq)
+        bound;
+      List.iter
+        (fun (_, f) -> Format.printf "%a@." Tq_ir.Cfg.pp_func f)
+        tq.Tq_ir.Cfg.funcs
+
+let probe_place_cmd =
+  let doc = "Instrument a benchmark program with the TQ pass and dump its CFG." in
+  let prog_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let bound =
+    Arg.(value & opt int 400 & info [ "bound" ] ~doc:"max instructions between probes")
+  in
+  Cmd.v (Cmd.info "probe-place" ~doc) Term.(const probe_place $ prog_arg $ bound)
+
+let () =
+  let doc = "Tiny Quanta reproduction: experiments and tools" in
+  let info = Cmd.info "tq_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; probe_place_cmd ]))

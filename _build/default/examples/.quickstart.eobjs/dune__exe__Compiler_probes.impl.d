@@ -1,0 +1,1 @@
+examples/compiler_probes.ml: Bench_programs Ci_pass Evaluate Printf Tq Tq_pass Vm

@@ -1,0 +1,1 @@
+examples/compiler_probes.mli:

@@ -1,0 +1,1 @@
+examples/des_model.mli:

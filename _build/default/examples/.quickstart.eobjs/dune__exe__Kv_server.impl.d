@@ -1,0 +1,1 @@
+examples/kv_server.ml: List Printf String Tq

@@ -1,0 +1,1 @@
+examples/parallel_demo.ml: Array Domain Printf Sys Tq Unix

@@ -1,0 +1,1 @@
+examples/tpcc_app.ml: Hashtbl List Option Printf String Tq

@@ -1,0 +1,1 @@
+examples/tpcc_app.mli:

@@ -1,0 +1,56 @@
+(* A key-value server on the real forced-multitasking runtime.
+
+   GET and SCAN requests run as fibers on TQ's executor: probes inserted
+   at loop granularity (the library-level stand-in for the compiler
+   pass) preempt long SCANs so GETs never wait behind them — the
+   RocksDB experiment of the paper, live on OCaml effects.
+
+     dune exec examples/kv_server.exe *)
+
+module Store = Tq.Kv.Store
+module Executor = Tq.Runtime.Executor
+module Instrumented = Tq.Runtime.Instrumented
+
+let populate store n =
+  for i = 0 to n - 1 do
+    Store.put store (Printf.sprintf "user%08d" i) (Printf.sprintf "profile-%d" i)
+  done
+
+(* Wrap store operations with work-proportional virtual time, so the
+   executor's virtual clocks reflect Table 1 service times. *)
+let get_request store key () =
+  ignore (Store.get store key);
+  Instrumented.work_ns 1_200 (* Table 1: GET ~1.2us *)
+
+let scan_request store start () =
+  let results = Store.scan store ~start ~limit:2_000 in
+  (* Iterate results with probes, like instrumented user code. *)
+  Instrumented.iter_list ~probe_every:16 (fun _ -> ()) results;
+  Instrumented.work_ns 675_000 (* Table 1: SCAN ~675us *)
+
+let () =
+  let store = Store.create () in
+  populate store 50_000;
+  Printf.printf "loaded %d keys (%d runs, %d flushes)\n\n" (Store.length store)
+    (Store.run_count store) (Store.flushes store);
+
+  let ex = Executor.create ~workers:4 ~quantum_ns:2_000 () in
+  let completion_order = ref [] in
+  let submit_named name work =
+    Executor.submit ex (fun () ->
+        work ();
+        completion_order := name :: !completion_order)
+  in
+  (* One monster SCAN first, then a burst of GETs behind it. *)
+  submit_named "SCAN" (scan_request store "user00010000");
+  for i = 1 to 12 do
+    submit_named
+      (Printf.sprintf "GET-%02d" i)
+      (get_request store (Printf.sprintf "user%08d" (i * 999)))
+  done;
+  Executor.run ex;
+
+  Printf.printf "completion order (SCAN submitted FIRST):\n  %s\n\n"
+    (String.concat ", " (List.rev !completion_order));
+  Printf.printf "yields taken: %d — the 675us SCAN was preempted every 2us,\n" (Executor.total_yields ex);
+  Printf.printf "so all 12 GETs (1.2us each) finished before it.\n"

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Array

@@ -1,0 +1,1 @@
+lib/cache/cache.mli:

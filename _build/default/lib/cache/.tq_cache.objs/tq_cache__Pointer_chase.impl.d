@@ -1,0 +1,1 @@
+lib/cache/pointer_chase.ml: Array Hierarchy Int Tq_util

@@ -1,0 +1,1 @@
+lib/cache/pointer_chase.mli: Hierarchy

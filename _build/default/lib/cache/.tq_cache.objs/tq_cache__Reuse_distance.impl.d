@@ -1,0 +1,1 @@
+lib/cache/reuse_distance.ml: Array Hashtbl Tq_stats Tq_util

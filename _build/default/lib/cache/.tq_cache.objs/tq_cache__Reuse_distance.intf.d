@@ -1,0 +1,1 @@
+lib/cache/reuse_distance.mli: Tq_stats

@@ -1,0 +1,1 @@
+lib/cache/reuse_model.ml: Float Pointer_chase

@@ -1,0 +1,1 @@
+lib/cache/reuse_model.mli: Pointer_chase

@@ -1,0 +1,100 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  line_shift : int;
+  set_mask : int;
+  tags : int array;  (** sets * ways, -1 = invalid *)
+  stamps : int array;  (** LRU timestamps *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_int n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~size_bytes ~ways ?(line_bytes = 64) () =
+  if size_bytes <= 0 || ways <= 0 then invalid_arg "Cache.create: bad geometry";
+  if not (is_power_of_two line_bytes) then invalid_arg "Cache.create: line size";
+  let lines = size_bytes / line_bytes in
+  if lines mod ways <> 0 then invalid_arg "Cache.create: ways do not divide lines";
+  let sets = lines / ways in
+  if not (is_power_of_two sets) then
+    invalid_arg "Cache.create: number of sets must be a power of two";
+  {
+    sets;
+    ways;
+    line_bytes;
+    line_shift = log2_int line_bytes;
+    set_mask = sets - 1;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let locate t addr =
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  (line, set * t.ways)
+
+let probe t addr =
+  let line, base = locate t addr in
+  let rec scan i = if i = t.ways then false else t.tags.(base + i) = line || scan (i + 1) in
+  scan 0
+
+let access t addr =
+  let line, base = locate t addr in
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let hit_way = ref (-1) in
+  let victim = ref 0 and victim_stamp = ref max_int in
+  for i = 0 to t.ways - 1 do
+    let idx = base + i in
+    if t.tags.(idx) = line then hit_way := i
+    else if t.tags.(idx) = -1 then begin
+      (* Prefer invalid ways as victims. *)
+      if !victim_stamp > -1 then begin
+        victim := i;
+        victim_stamp := -1
+      end
+    end
+    else if t.stamps.(idx) < !victim_stamp then begin
+      victim := i;
+      victim_stamp := t.stamps.(idx)
+    end
+  done;
+  if !hit_way >= 0 then begin
+    t.stamps.(base + !hit_way) <- t.tick;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let idx = base + !victim in
+    t.tags.(idx) <- line;
+    t.stamps.(idx) <- t.tick;
+    false
+  end
+
+let size_bytes t = t.sets * t.ways * t.line_bytes
+let line_bytes t = t.line_bytes
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then nan else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.tick <- 0;
+  reset_stats t

@@ -1,0 +1,26 @@
+(** One level of a set-associative LRU cache.
+
+    Addresses are byte addresses; lookups operate on line granularity.
+    True-LRU replacement, which makes the reuse-distance analysis of
+    Table 2 exact for capacity behaviour. *)
+
+type t
+
+(** [create ~size_bytes ~ways ~line_bytes ()] — sizes must give a
+    power-of-two number of sets. *)
+val create : size_bytes:int -> ways:int -> ?line_bytes:int -> unit -> t
+
+(** [access t addr] — true on hit; on miss the line is installed,
+    evicting the LRU way. *)
+val access : t -> int -> bool
+
+(** [probe t addr] — hit test without any state change. *)
+val probe : t -> int -> bool
+
+val size_bytes : t -> int
+val line_bytes : t -> int
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+val clear : t -> unit

@@ -1,0 +1,68 @@
+type geometry = {
+  l1_bytes : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l2_latency : int;
+  l3_bytes : int;
+  l3_ways : int;
+  l3_latency : int;
+  mem_latency : int;
+  line_bytes : int;
+}
+
+let default_geometry =
+  {
+    l1_bytes = 32 * 1024;
+    l1_ways = 8;
+    l1_latency = 4;
+    l2_bytes = 1024 * 1024;
+    l2_ways = 16;
+    l2_latency = 14;
+    l3_bytes = 64 * 1024 * 1024;
+    l3_ways = 16;
+    l3_latency = 50;
+    mem_latency = 120;
+    line_bytes = 64;
+  }
+
+type shared = { geo : geometry; l3 : Cache.t }
+
+let create_shared ?(geometry = default_geometry) () =
+  {
+    geo = geometry;
+    l3 =
+      Cache.create ~size_bytes:geometry.l3_bytes ~ways:geometry.l3_ways
+        ~line_bytes:geometry.line_bytes ();
+  }
+
+type t = { shared : shared; l1 : Cache.t; l2 : Cache.t; prefetch : bool }
+
+let create_core ?(prefetch = false) shared =
+  let geo = shared.geo in
+  {
+    shared;
+    l1 = Cache.create ~size_bytes:geo.l1_bytes ~ways:geo.l1_ways ~line_bytes:geo.line_bytes ();
+    l2 = Cache.create ~size_bytes:geo.l2_bytes ~ways:geo.l2_ways ~line_bytes:geo.line_bytes ();
+    prefetch;
+  }
+
+let install_everywhere t addr =
+  ignore (Cache.access t.l1 addr : bool);
+  ignore (Cache.access t.l2 addr : bool);
+  ignore (Cache.access t.shared.l3 addr : bool)
+
+let access t addr =
+  let geo = t.shared.geo in
+  (* Idealized stream prefetcher: keep one line of run-ahead on every
+     access, so a sequential stream only ever misses its first line. *)
+  if t.prefetch then install_everywhere t (addr + geo.line_bytes);
+  if Cache.access t.l1 addr then geo.l1_latency
+  else if Cache.access t.l2 addr then geo.l2_latency
+  else if Cache.access t.shared.l3 addr then geo.l3_latency
+  else geo.mem_latency
+
+let l1_miss_rate t = Cache.miss_rate t.l1
+let l2_miss_rate t = Cache.miss_rate t.l2
+let geometry t = t.shared.geo

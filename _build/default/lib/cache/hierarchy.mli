@@ -1,0 +1,47 @@
+(** A per-core cache hierarchy with a shared last-level cache.
+
+    Geometry and latencies default to the paper's testbed (Xeon 8176):
+    32 KB 8-way L1D (4 cycles), 1 MB 16-way private L2 (14 cycles),
+    shared L3 (50 cycles; 64 MB standing in for the
+    testbed's 38.5 MB, which has no power-of-two set count), DRAM 120
+    cycles. *)
+
+type geometry = {
+  l1_bytes : int;
+  l1_ways : int;
+  l1_latency : int;
+  l2_bytes : int;
+  l2_ways : int;
+  l2_latency : int;
+  l3_bytes : int;
+  l3_ways : int;
+  l3_latency : int;
+  mem_latency : int;
+  line_bytes : int;
+}
+
+val default_geometry : geometry
+
+(** A shared L3, created once per experiment. *)
+type shared
+
+val create_shared : ?geometry:geometry -> unit -> shared
+
+(** A core's private L1/L2 on top of a shared L3.  [prefetch] enables an
+    idealized next-line prefetcher: on an L1 miss, the following line is
+    installed throughout the hierarchy at no charge — enough to show how
+    sequential access patterns conceal preemption-induced misses (the
+    methodology point of Section 5.5). *)
+type t
+
+val create_core : ?prefetch:bool -> shared -> t
+
+(** [access t addr] returns the access latency in cycles, updating all
+    levels (fill on miss). *)
+val access : t -> int -> int
+
+(** Per-core private-level statistics. *)
+val l1_miss_rate : t -> float
+
+val l2_miss_rate : t -> float
+val geometry : t -> geometry

@@ -1,0 +1,124 @@
+module Prng = Tq_util.Prng
+
+type framework = Tls | Ct
+type access_order = Random_order | Sequential
+
+type config = {
+  framework : framework;
+  access_order : access_order;
+  prefetch : bool;
+  cores : int;
+  arrays_per_core : int;
+  array_bytes : int;
+  quantum_accesses : int;
+  target_accesses_per_core : int;
+  seed : int64;
+}
+
+type result = {
+  mean_latency_cycles : float;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  total_accesses : int;
+}
+
+(* One array: a base address, a fixed random visiting order over its
+   lines, and a cursor (progress persists across quanta, like a
+   preempted job resuming). *)
+type chase_array = { base : int; order : int array; mutable cursor : int }
+
+let make_array rng ~order:access_order ~base ~array_bytes ~line_bytes =
+  let lines = max 1 (array_bytes / line_bytes) in
+  let order = Array.init lines (fun i -> i) in
+  (match access_order with
+  | Random_order -> Prng.shuffle rng order
+  | Sequential -> ());
+  { base; order; cursor = 0 }
+
+let quantum_accesses_of_ns ns =
+  let cycles = Tq_util.Time_unit.ns_to_cycles ns in
+  max 1 (cycles / 8)
+
+let run ?(geometry = Hierarchy.default_geometry) config =
+  if config.cores < 1 || config.arrays_per_core < 1 then
+    invalid_arg "Pointer_chase.run: bad config";
+  let rng = Prng.create ~seed:config.seed in
+  let line = geometry.line_bytes in
+  let n_arrays = config.cores * config.arrays_per_core in
+  (* Each array lives in its own disjoint region, with a random
+     line-aligned offset so arrays do not collide on the same cache sets
+     (real allocations are not region-aligned). *)
+  let region = Int.shift_left 1 30 in
+  let arrays =
+    Array.init n_arrays (fun i ->
+        let offset = Prng.int rng (Int.shift_left 1 22) * line in
+        make_array rng ~order:config.access_order ~base:((i * region) + offset)
+          ~array_bytes:config.array_bytes ~line_bytes:line)
+  in
+  let shared = Hierarchy.create_shared ~geometry () in
+  let cores =
+    Array.init config.cores (fun _ ->
+        Hierarchy.create_core ~prefetch:config.prefetch shared)
+  in
+  (* Which array each core runs next: TLS rotates within the core's own
+     slice; CT rotates through the global list. *)
+  let tls_next = Array.make config.cores 0 in
+  let ct_next = ref 0 in
+  let rounds = max 1 (config.target_accesses_per_core / config.quantum_accesses) in
+  let total_latency = ref 0 and total_accesses = ref 0 in
+  let measuring = ref false in
+  let run_quantum core_idx =
+    let arr =
+      match config.framework with
+      | Tls ->
+          let slot = tls_next.(core_idx) in
+          tls_next.(core_idx) <- (slot + 1) mod config.arrays_per_core;
+          arrays.((core_idx * config.arrays_per_core) + slot)
+      | Ct ->
+          let slot = !ct_next in
+          ct_next := (slot + 1) mod n_arrays;
+          arrays.(slot)
+    in
+    let hierarchy = cores.(core_idx) in
+    let lines = Array.length arr.order in
+    for _ = 1 to config.quantum_accesses do
+      let addr = arr.base + (arr.order.(arr.cursor) * line) in
+      arr.cursor <- (arr.cursor + 1) mod lines;
+      let latency = Hierarchy.access hierarchy addr in
+      if !measuring then begin
+        total_latency := !total_latency + latency;
+        incr total_accesses
+      end
+    done
+  in
+  (* Warm-up: one full pass of quanta unmeasured, then measured rounds.
+     Cores interleave quantum by quantum, as 16 cores running in
+     parallel would. *)
+  let warmup = max 1 (rounds / 4) in
+  for round = 1 to warmup + rounds do
+    if round = warmup + 1 then begin
+      measuring := true;
+      Array.iter
+        (fun c ->
+          (* Reset private-level stats at the measurement boundary. *)
+          ignore (Hierarchy.l1_miss_rate c);
+          ())
+        cores
+    end;
+    for core = 0 to config.cores - 1 do
+      run_quantum core
+    done;
+    (* Shift the CT rotation so cores do not lock onto a fixed subset
+       when the array count is a multiple of the core count. *)
+    if config.framework = Ct then ct_next := (!ct_next + 1) mod n_arrays
+  done;
+  {
+    mean_latency_cycles = float_of_int !total_latency /. float_of_int (max 1 !total_accesses);
+    l1_miss_rate =
+      Array.fold_left (fun acc c -> acc +. Hierarchy.l1_miss_rate c) 0.0 cores
+      /. float_of_int config.cores;
+    l2_miss_rate =
+      Array.fold_left (fun acc c -> acc +. Hierarchy.l2_miss_rate c) 0.0 cores
+      /. float_of_int config.cores;
+    total_accesses = !total_accesses;
+  }

@@ -1,0 +1,46 @@
+(** The Section 5.5 microbenchmark: random pointer chasing through
+    arrays, under emulated two-level (TLS) or centralized (CT)
+    scheduling.
+
+    Each core interleaves quanta of "jobs" where a job iterates over its
+    array in a fixed random order.  A quantum is [quantum_accesses]
+    element accesses.  Under TLS every core owns its own set of arrays
+    (jobs stay on one core); under CT arrays are shared by all cores and
+    cores pick them up in global rotation (quanta of a job land on
+    different cores).  Random ordering defeats the (unmodeled) hardware
+    prefetcher and exposes capacity behaviour, as in the paper. *)
+
+type framework = Tls | Ct
+
+(** Element visiting order: [Random_order] (the paper's choice — defeats
+    prefetching and exposes capacity misses) or [Sequential]. *)
+type access_order = Random_order | Sequential
+
+type config = {
+  framework : framework;
+  access_order : access_order;
+  prefetch : bool;  (** next-line hardware prefetcher model *)
+  cores : int;  (** default experiments use 16 *)
+  arrays_per_core : int;  (** the paper uses 4 jobs per core *)
+  array_bytes : int;
+  quantum_accesses : int;  (** accesses per quantum, X in the paper *)
+  target_accesses_per_core : int;
+      (** measured accesses per core, independent of the quantum size so
+          configurations are comparable *)
+  seed : int64;
+}
+
+type result = {
+  mean_latency_cycles : float;
+  l1_miss_rate : float;  (** averaged over cores *)
+  l2_miss_rate : float;
+  total_accesses : int;
+}
+
+(** [run ?geometry config] simulates and reports mean access latency. *)
+val run : ?geometry:Hierarchy.geometry -> config -> result
+
+(** [quantum_accesses_of_ns ns] converts a quantum length to an access
+    budget (the paper sets X to match the target quantum; we assume ~8
+    cycles per access at 2.1 GHz). *)
+val quantum_accesses_of_ns : int -> int

@@ -1,0 +1,51 @@
+module Fenwick = Tq_util.Fenwick
+module Histogram = Tq_stats.Histogram
+
+type profile = { hist : Histogram.t; cold : int; total : int }
+
+let analyze ?(line_bytes = 64) trace =
+  let n = Array.length trace in
+  let hist = Histogram.create ~sub_buckets:32 ~max_value:(1 lsl 34) () in
+  if n = 0 then { hist; cold = 0; total = 0 }
+  else begin
+    (* Fenwick over trace positions: a 1 at position i means "the line
+       accessed at i has not been re-accessed since" — so the number of
+       1s strictly after the previous occurrence of the current line is
+       exactly the number of distinct lines touched in between. *)
+    let fen = Fenwick.create n in
+    let last : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let cold = ref 0 in
+    Array.iteri
+      (fun i addr ->
+        let line = addr / line_bytes in
+        (match Hashtbl.find_opt last line with
+        | None -> incr cold
+        | Some prev ->
+            let distinct = Fenwick.range_sum fen ~lo:(prev + 1) ~hi:(i - 1) in
+            Histogram.record hist (distinct * line_bytes);
+            Fenwick.add fen prev (-1));
+        Hashtbl.replace last line i;
+        Fenwick.add fen i 1)
+      trace;
+    { hist; cold = !cold; total = n }
+  end
+
+let histogram p = p.hist
+let fraction_above p ~bytes = Histogram.fraction_above p.hist bytes
+let cold_accesses p = p.cold
+let total_accesses p = p.total
+
+let hit_fraction p ~capacity_bytes =
+  if p.total = 0 then nan
+  else begin
+    let hits = ref 0 in
+    Histogram.iter_buckets p.hist (fun ~lo ~hi ~count ->
+        if hi - 1 < capacity_bytes then hits := !hits + count
+        else if lo < capacity_bytes then begin
+          (* Straddling bucket: apportion linearly. *)
+          let width = hi - lo in
+          let under = capacity_bytes - lo in
+          hits := !hits + (count * under / width)
+        end);
+    float_of_int !hits /. float_of_int p.total
+  end

@@ -1,0 +1,16 @@
+type params = { cores : int; jobs_per_core : int; array_bytes : int }
+
+let amplification ~framework p =
+  match (framework : Pointer_chase.framework) with
+  | Pointer_chase.Ct -> p.cores * p.jobs_per_core
+  | Pointer_chase.Tls -> p.jobs_per_core
+
+let first_access_distance ~framework p = amplification ~framework p * p.array_bytes
+let repeat_access_distance p = p.array_bytes
+
+let fraction_first_in_quantum ~quantum_accesses ?(line_bytes = 64) p =
+  let lines = max 1 (p.array_bytes / line_bytes) in
+  Float.min 1.0 (float_of_int lines /. float_of_int (max 1 quantum_accesses))
+
+let predict_miss ~framework ~capacity_bytes p =
+  first_access_distance ~framework p >= capacity_bytes

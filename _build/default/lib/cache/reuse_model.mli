@@ -1,0 +1,36 @@
+(** Table 2: the analytical reuse-distance model for the pointer-chase
+    workload under centralized (CT) vs two-level (TLS) scheduling.
+
+    Under preemption, the reuse distance of an access depends on whether
+    it is the first access to its element within the current quantum:
+    if so, the previous access happened in an earlier quantum and the
+    distance is amplified by every job that shared the cache in between
+    — all C*J jobs under CT (quanta migrate across cores), only the J
+    co-resident jobs under TLS (jobs are pinned). *)
+
+type params = {
+  cores : int;  (** C *)
+  jobs_per_core : int;  (** J *)
+  array_bytes : int;  (** A *)
+}
+
+(** Reuse distance (bytes) of a *first-in-quantum* access. *)
+val first_access_distance : framework:Pointer_chase.framework -> params -> int
+
+(** Reuse distance (bytes) of a repeat access within the quantum. *)
+val repeat_access_distance : params -> int
+
+(** [amplification ~framework p] — the factor multiplying the array
+    size: C*J for CT, J for TLS. *)
+val amplification : framework:Pointer_chase.framework -> params -> int
+
+(** [fraction_first_in_quantum ~quantum_accesses p ~line_bytes] — the
+    expected fraction of accesses that are first-in-quantum: with an
+    array of N lines visited cyclically and quanta of X accesses, a
+    quantum revisits a line only if X > N, so the fraction is
+    min(1, N/X). *)
+val fraction_first_in_quantum : quantum_accesses:int -> ?line_bytes:int -> params -> float
+
+(** [predict_miss ~framework ~capacity_bytes p] — does the amplified
+    first-access distance exceed the given cache capacity? *)
+val predict_miss : framework:Pointer_chase.framework -> capacity_bytes:int -> params -> bool

@@ -1,0 +1,1 @@
+lib/engine/busy_server.ml: Sim Tq_util

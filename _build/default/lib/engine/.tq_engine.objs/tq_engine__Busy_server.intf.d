@@ -1,0 +1,1 @@
+lib/engine/busy_server.mli: Sim

@@ -1,0 +1,1 @@
+lib/engine/link.ml: Sim

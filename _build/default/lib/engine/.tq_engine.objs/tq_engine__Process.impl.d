@@ -1,0 +1,1 @@
+lib/engine/process.ml: Effect Sim Tq_util

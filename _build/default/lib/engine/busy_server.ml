@@ -1,0 +1,37 @@
+module Deque = Tq_util.Ring_deque
+
+type 'a pending = { item : 'a; cost : int; done_ : 'a -> unit }
+
+type 'a t = {
+  sim : Sim.t;
+  queue : 'a pending Deque.t;
+  mutable busy : bool;
+  mutable busy_time : int;
+  mutable served : int;
+}
+
+let create sim () =
+  { sim; queue = Deque.create (); busy = false; busy_time = 0; served = 0 }
+
+let rec start_next t =
+  match Deque.pop_front t.queue with
+  | None -> t.busy <- false
+  | Some p ->
+      t.busy <- true;
+      ignore
+        (Sim.schedule_after t.sim ~delay:p.cost (fun () ->
+             t.busy_time <- t.busy_time + p.cost;
+             t.served <- t.served + 1;
+             p.done_ p.item;
+             start_next t)
+          : Sim.event)
+
+let submit t ~cost item ~done_ =
+  if cost < 0 then invalid_arg "Busy_server.submit: negative cost";
+  Deque.push_back t.queue { item; cost; done_ };
+  if not t.busy then start_next t
+
+let queue_length t = Deque.length t.queue
+let busy t = t.busy
+let busy_time t = t.busy_time
+let served t = t.served

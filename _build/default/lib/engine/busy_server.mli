@@ -1,0 +1,28 @@
+(** A single-server FIFO resource inside a simulation.
+
+    Models one CPU (or device) that serves submitted items one at a time,
+    each with its own service cost.  This is how dispatcher capacity is
+    modeled: a dispatcher that takes 200 ns per scheduling operation is a
+    [Busy_server] — when offered load exceeds 1/cost the queue grows and
+    downstream latency explodes, which is exactly the Shinjuku bottleneck
+    the paper measures (Figure 16). *)
+
+type 'a t
+
+val create : Sim.t -> unit -> 'a t
+
+(** [submit t ~cost item ~done_] enqueues [item]; when the server has
+    served it (after waiting for predecessors plus [cost] ns),
+    [done_ item] runs. *)
+val submit : 'a t -> cost:int -> 'a -> done_:('a -> unit) -> unit
+
+(** [queue_length t] counts items waiting (not the one in service). *)
+val queue_length : 'a t -> int
+
+val busy : 'a t -> bool
+
+(** [busy_time t] is the cumulative time spent serving, for utilization
+    accounting. *)
+val busy_time : 'a t -> int
+
+val served : 'a t -> int

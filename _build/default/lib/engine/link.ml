@@ -1,0 +1,11 @@
+type 'a t = { sim : Sim.t; latency : int; handler : 'a -> unit; mutable sent : int }
+
+let create sim ~latency ~handler =
+  if latency < 0 then invalid_arg "Link.create: negative latency";
+  { sim; latency; handler; sent = 0 }
+
+let send t x =
+  t.sent <- t.sent + 1;
+  ignore (Sim.schedule_after t.sim ~delay:t.latency (fun () -> t.handler x) : Sim.event)
+
+let sent t = t.sent

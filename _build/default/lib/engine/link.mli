@@ -1,0 +1,11 @@
+(** Fixed-latency unidirectional channel.
+
+    Models a lockless ring-buffer hop or a NIC queue: every message is
+    delivered to the receiver's handler exactly [latency] ns after it is
+    sent, preserving send order. *)
+
+type 'a t
+
+val create : Sim.t -> latency:int -> handler:('a -> unit) -> 'a t
+val send : 'a t -> 'a -> unit
+val sent : 'a t -> int

@@ -1,0 +1,73 @@
+open Effect
+open Effect.Deep
+
+type ctx = { sim : Sim.t }
+
+type _ Effect.t += Sleep : (Sim.t * int) -> unit Effect.t
+type _ Effect.t += Block : (Sim.t * ((unit -> unit) -> unit)) -> unit Effect.t
+
+(* [Block (sim, register)] suspends the process and hands [register] a
+   resume thunk; whoever calls the thunk schedules the continuation. *)
+
+let spawn sim f =
+  let run () =
+    match_with
+      (fun () -> f { sim })
+      ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Sleep (owner, ns) ->
+                Some
+                  (fun (k : (b, _) continuation) ->
+                    ignore
+                      (Sim.schedule_after owner ~delay:ns (fun () -> continue k ())
+                        : Sim.event))
+            | Block (owner, register) ->
+                Some
+                  (fun (k : (b, _) continuation) ->
+                    register (fun () ->
+                        ignore
+                          (Sim.schedule_after owner ~delay:0 (fun () -> continue k ())
+                            : Sim.event)))
+            | _ -> None);
+      }
+  in
+  ignore (Sim.schedule_after sim ~delay:0 run : Sim.event)
+
+let now ctx = Sim.now ctx.sim
+let sim ctx = ctx.sim
+
+let sleep ctx ns =
+  if ns < 0 then invalid_arg "Process.sleep: negative duration";
+  perform (Sleep (ctx.sim, ns))
+
+module Mailbox = struct
+  module Deque = Tq_util.Ring_deque
+
+  type 'a t = { messages : 'a Deque.t; waiters : (unit -> unit) Deque.t }
+
+  let create () = { messages = Deque.create (); waiters = Deque.create () }
+
+  let send sim mb v =
+    Deque.push_back mb.messages v;
+    (* Wake one waiter; it re-checks the queue on resume. *)
+    match Deque.pop_front mb.waiters with
+    | Some resume ->
+        ignore (Sim.schedule_after sim ~delay:0 (fun () -> resume ()) : Sim.event)
+    | None -> ()
+
+  let try_recv mb = Deque.pop_front mb.messages
+
+  let rec recv ctx mb =
+    match Deque.pop_front mb.messages with
+    | Some v -> v
+    | None ->
+        perform (Block (ctx.sim, fun resume -> Deque.push_back mb.waiters resume));
+        recv ctx mb
+
+  let length mb = Deque.length mb.messages
+end

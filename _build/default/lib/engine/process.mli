@@ -1,0 +1,45 @@
+(** Direct-style simulation processes on OCaml effects.
+
+    The event-driven models in this repository schedule closures by
+    hand; this module offers the coroutine alternative: a process is a
+    plain function that calls [sleep] and blocks on mailboxes, and the
+    engine turns each suspension into events.  (SimPy's programming
+    model, on one-shot continuations.)
+
+    All operations must be called from inside a process of the same
+    simulation.  Processes are cooperative: between suspensions they run
+    atomically at one virtual instant. *)
+
+type ctx
+
+(** [spawn sim f] schedules [f ctx] to start at the current time. *)
+val spawn : Sim.t -> (ctx -> unit) -> unit
+
+(** [now ctx] — current virtual time (ns). *)
+val now : ctx -> int
+
+(** [sim ctx] — the owning simulation (e.g. for {!Mailbox.send}). *)
+val sim : ctx -> Sim.t
+
+(** [sleep ctx ns] suspends the process for [ns]. *)
+val sleep : ctx -> int -> unit
+
+(** Unbounded typed mailboxes; [send] may be called from process or
+    event context, [recv] only from a process. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  (** [send sim mb v] — wakes one blocked receiver (FIFO). *)
+  val send : Sim.t -> 'a t -> 'a -> unit
+
+  (** [recv ctx mb] — returns immediately when a message is queued,
+      otherwise suspends until one arrives. *)
+  val recv : ctx -> 'a t -> 'a
+
+  (** [try_recv mb] — non-blocking. *)
+  val try_recv : 'a t -> 'a option
+
+  val length : 'a t -> int
+end

@@ -1,0 +1,50 @@
+module Heap = Tq_util.Binary_heap
+
+type event = { action : unit -> unit; mutable state : [ `Pending | `Cancelled | `Fired ] }
+
+type t = { heap : event Heap.t; mutable now : int; mutable processed : int }
+
+let dummy_event = { action = ignore; state = `Fired }
+let create () = { heap = Heap.create ~capacity:1024 ~dummy:dummy_event (); now = 0; processed = 0 }
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Sim.schedule_at: time is in the past";
+  let ev = { action = f; state = `Pending } in
+  Heap.push t.heap ~key:time ev;
+  ev
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t ~time:(t.now + delay) f
+
+let cancel ev = if ev.state = `Pending then ev.state <- `Cancelled
+let cancelled ev = ev.state = `Cancelled
+
+let rec step t =
+  if Heap.is_empty t.heap then false
+  else begin
+    let time, ev = Heap.pop t.heap in
+    match ev.state with
+    | `Cancelled -> step t
+    | `Fired -> assert false
+    | `Pending ->
+        t.now <- time;
+        ev.state <- `Fired;
+        t.processed <- t.processed + 1;
+        ev.action ();
+        true
+  end
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Heap.min_key t.heap, until) with
+    | None, _ -> continue := false
+    | Some key, Some limit when key > limit -> continue := false
+    | Some _, _ -> ignore (step t : bool)
+  done;
+  match until with Some limit when limit > t.now -> t.now <- limit | _ -> ()
+
+let pending t = Heap.length t.heap
+let events_processed t = t.processed

@@ -1,0 +1,48 @@
+(** Discrete-event simulation core.
+
+    Virtual time is integer nanoseconds.  Events are closures ordered by
+    (timestamp, insertion sequence), so equal-time events execute in the
+    order they were scheduled — this makes every experiment bit-for-bit
+    reproducible for a fixed PRNG seed.
+
+    An event closure may schedule further events and may cancel pending
+    ones.  Cancellation is lazy: a cancelled event stays in the heap but
+    is skipped when popped. *)
+
+type t
+
+(** Handle for cancelling a scheduled event. *)
+type event
+
+val create : unit -> t
+
+(** [now t] is the current virtual time in nanoseconds. *)
+val now : t -> int
+
+(** [schedule_at t ~time f] runs [f ()] at absolute [time]; scheduling in
+    the past raises [Invalid_argument]. *)
+val schedule_at : t -> time:int -> (unit -> unit) -> event
+
+(** [schedule_after t ~delay f] runs [f ()] at [now t + delay]. *)
+val schedule_after : t -> delay:int -> (unit -> unit) -> event
+
+(** [cancel ev] prevents a pending event from firing; cancelling a fired
+    or already-cancelled event is a no-op. *)
+val cancel : event -> unit
+
+(** [cancelled ev] reports whether [cancel] was called. *)
+val cancelled : event -> bool
+
+(** [run ?until t] processes events in timestamp order until the queue is
+    empty or the next event is strictly after [until].  Time stops at the
+    last executed event (or at [until] if given and later). *)
+val run : ?until:int -> t -> unit
+
+(** [step t] executes the next non-cancelled event; false when drained. *)
+val step : t -> bool
+
+(** [pending t] counts events in the heap, including cancelled ones. *)
+val pending : t -> int
+
+(** [events_processed t] counts executed (non-cancelled) events. *)
+val events_processed : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/breakdown.ml: Harness List Tq_sched Tq_util Tq_workload

@@ -1,0 +1,1 @@
+lib/experiments/breakdown.mli: Tq_util

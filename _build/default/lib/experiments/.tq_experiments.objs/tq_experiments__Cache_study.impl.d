@@ -1,0 +1,1 @@
+lib/experiments/cache_study.ml: Float Harness List Printf Tq_cache Tq_kv Tq_stats Tq_util

@@ -1,0 +1,1 @@
+lib/experiments/cache_study.mli: Tq_util

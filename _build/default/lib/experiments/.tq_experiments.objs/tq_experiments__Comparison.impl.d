@@ -1,0 +1,1 @@
+lib/experiments/comparison.ml: Harness List Printf Tq_sched Tq_util Tq_workload

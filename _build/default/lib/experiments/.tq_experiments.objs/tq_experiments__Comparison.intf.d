@@ -1,0 +1,1 @@
+lib/experiments/comparison.mli: Tq_util

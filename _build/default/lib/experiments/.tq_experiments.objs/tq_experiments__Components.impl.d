@@ -1,0 +1,1 @@
+lib/experiments/components.ml: List Printf Tq_engine Tq_instrument Tq_sched Tq_util Tq_workload

@@ -1,0 +1,1 @@
+lib/experiments/components.mli: Tq_util

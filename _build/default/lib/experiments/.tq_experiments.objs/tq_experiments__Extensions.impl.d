@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Harness List Printf Tq_cache Tq_engine Tq_net Tq_sched Tq_util Tq_workload

@@ -1,0 +1,1 @@
+lib/experiments/extensions.mli: Tq_util

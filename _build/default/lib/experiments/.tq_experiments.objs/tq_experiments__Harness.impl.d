@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Float List Printf Sys Tq_sched Tq_util Tq_workload

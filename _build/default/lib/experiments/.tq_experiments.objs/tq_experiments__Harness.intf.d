@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Tq_sched Tq_workload

@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Harness List Printf Tq_sched Tq_util Tq_workload

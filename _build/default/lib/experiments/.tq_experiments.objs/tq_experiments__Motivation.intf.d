@@ -1,0 +1,1 @@
+lib/experiments/motivation.mli: Tq_util

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Breakdown Cache_study Comparison Components Extensions List Motivation Printf Tq_util

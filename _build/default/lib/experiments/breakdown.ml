@@ -1,0 +1,54 @@
+module Text_table = Tq_util.Text_table
+module Table1 = Tq_workload.Table1
+module Arrivals = Tq_workload.Arrivals
+module Presets = Tq_sched.Presets
+
+let workload = Table1.rocksdb_scan_0_5
+let capacity = Arrivals.capacity_rps ~cores:16 workload
+let fracs = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+let variant_table ~title ~variants =
+  let duration = Harness.duration_ms 40.0 in
+  let columns =
+    "rate(Mrps)"
+    :: List.concat_map (fun (name, _) -> [ name ^ " GET"; name ^ " SCAN" ]) variants
+  in
+  let t = Text_table.create ~title ~columns in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.concat_map
+          (fun (_, system) ->
+            let r = Harness.run ~system ~workload ~rate_rps:rate ~duration_ns:duration in
+            [
+              Text_table.cell_f (Harness.sojourn_p999_us r ~class_idx:0);
+              Text_table.cell_f (Harness.sojourn_p999_us r ~class_idx:1);
+            ])
+          variants
+      in
+      Text_table.add_row t (Harness.mrps rate :: cells))
+    fracs;
+  t
+
+let fig11 () =
+  variant_table
+    ~title:"Figure 11: forced-multitasking breakdown, RocksDB 0.5% SCAN (p99.9 sojourn us)"
+    ~variants:
+      [
+        ("TQ", Presets.tq ());
+        ("TQ-IC", Presets.tq_ic ());
+        ("TQ-SLOW-YIELD", Presets.tq_slow_yield ());
+        ("TQ-TIMING", Presets.tq_timing ());
+      ]
+
+let fig12 () =
+  variant_table
+    ~title:"Figure 12: scheduling breakdown, RocksDB 0.5% SCAN (p99.9 sojourn us)"
+    ~variants:
+      [
+        ("TQ", Presets.tq ());
+        ("TQ-RAND", Presets.tq_rand ());
+        ("TQ-POWER-TWO", Presets.tq_power_two ());
+        ("TQ-FCFS", Presets.tq_fcfs ());
+      ]

@@ -1,0 +1,9 @@
+(** Section 5.4 ablations (Figures 11-12) on RocksDB with 0.5% SCAN.
+
+    Figure 11 swaps forced-multitasking ingredients: TQ-IC (instruction-
+    counter instrumentation, +60% probing overhead), TQ-SLOW-YIELD
+    (+1 us per yield), TQ-TIMING (mis-sized per-class quanta).
+    Figure 12 swaps scheduling policies: TQ-RAND, TQ-POWER-TWO, TQ-FCFS. *)
+
+val fig11 : unit -> Tq_util.Text_table.t
+val fig12 : unit -> Tq_util.Text_table.t

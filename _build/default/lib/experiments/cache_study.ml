@@ -1,0 +1,155 @@
+module Text_table = Tq_util.Text_table
+module Pointer_chase = Tq_cache.Pointer_chase
+module Reuse_model = Tq_cache.Reuse_model
+module Reuse_distance = Tq_cache.Reuse_distance
+module Histogram = Tq_stats.Histogram
+module Store = Tq_kv.Store
+
+let cores = 16
+let arrays_per_core = 4
+let sizes_kb = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let chase ~framework ~array_kb ~quantum_ns =
+  let lines = array_kb * 1024 / 64 in
+  let target =
+    let ideal = 6 * arrays_per_core * lines in
+    min 400_000 (max 100_000 ideal)
+  in
+  let target = int_of_float (float_of_int target *. Float.min 1.0 Harness.scale) in
+  (* Never measure fewer than ~3 passes over the per-core working set:
+     cold misses would otherwise dominate large-array configurations. *)
+  let target = max target (3 * arrays_per_core * lines) in
+  Pointer_chase.run
+    {
+      Pointer_chase.framework;
+      access_order = Pointer_chase.Random_order;
+      prefetch = false;
+      cores;
+      arrays_per_core;
+      array_bytes = array_kb * 1024;
+      quantum_accesses = Pointer_chase.quantum_accesses_of_ns quantum_ns;
+      target_accesses_per_core = max 20_000 target;
+      seed = 5L;
+    }
+
+let table2 () =
+  let t =
+    Text_table.create
+      ~title:"Table 2: reuse distances (C=16 cores, J=4 jobs/core, array A)"
+      ~columns:[ "array"; "CT first-in-quantum"; "TLS first-in-quantum"; "repeat" ]
+  in
+  List.iter
+    (fun kb ->
+      let p = { Reuse_model.cores; jobs_per_core = arrays_per_core; array_bytes = kb * 1024 } in
+      let fmt bytes =
+        if bytes >= 1024 * 1024 then Printf.sprintf "%.1fMB" (float_of_int bytes /. 1048576.0)
+        else Printf.sprintf "%dKB" (bytes / 1024)
+      in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%dKB" kb;
+          fmt (Reuse_model.first_access_distance ~framework:Pointer_chase.Ct p)
+          ^ " (= C*J*A)";
+          fmt (Reuse_model.first_access_distance ~framework:Pointer_chase.Tls p)
+          ^ " (= J*A)";
+          fmt (Reuse_model.repeat_access_distance p) ^ " (= A)";
+        ])
+    [ 8; 16; 32; 256 ];
+  t
+
+let fig13 () =
+  let quanta_ns = [ 500; 2_000; 16_000 ] in
+  let t =
+    Text_table.create
+      ~title:"Figure 13: TLS pointer-chase mean access latency (cycles) vs array size"
+      ~columns:
+        ("array"
+        :: List.map (fun q -> Printf.sprintf "TLS-%gus" (float_of_int q /. 1e3)) quanta_ns)
+  in
+  List.iter
+    (fun kb ->
+      let cells =
+        List.map
+          (fun q ->
+            let r = chase ~framework:Pointer_chase.Tls ~array_kb:kb ~quantum_ns:q in
+            Text_table.cell_f r.Pointer_chase.mean_latency_cycles)
+          quanta_ns
+      in
+      Text_table.add_row t (Printf.sprintf "%dKB" kb :: cells))
+    sizes_kb;
+  t
+
+let fig14 () =
+  let t =
+    Text_table.create
+      ~title:"Figure 14: TLS vs CT at 2us quanta, mean access latency (cycles)"
+      ~columns:[ "array"; "TLS-2us"; "CT-2us" ]
+  in
+  List.iter
+    (fun kb ->
+      let tls = chase ~framework:Pointer_chase.Tls ~array_kb:kb ~quantum_ns:2_000 in
+      let ct = chase ~framework:Pointer_chase.Ct ~array_kb:kb ~quantum_ns:2_000 in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%dKB" kb;
+          Text_table.cell_f tls.Pointer_chase.mean_latency_cycles;
+          Text_table.cell_f ct.Pointer_chase.mean_latency_cycles;
+        ])
+    sizes_kb;
+  t
+
+(* Populate a store and capture one job's trace. *)
+let kv_traces () =
+  let store = Store.create () in
+  for i = 0 to 49_999 do
+    Store.put store (Printf.sprintf "user%08d" i) (Printf.sprintf "profile-%d" i)
+  done;
+  let get_trace =
+    Store.trace_of store (fun () ->
+        (* A GET job: a handful of point lookups, like one RPC handler. *)
+        for k = 0 to 7 do
+          ignore (Store.get store (Printf.sprintf "user%08d" (1234 + (6007 * k))))
+        done)
+  in
+  let scan_trace =
+    Store.trace_of store (fun () ->
+        ignore (Store.scan store ~start:"user00010000" ~limit:4_000))
+  in
+  (get_trace, scan_trace)
+
+let profile_table name trace =
+  let profile = Reuse_distance.analyze trace in
+  let h = Reuse_distance.histogram profile in
+  let t =
+    Text_table.create
+      ~title:
+        (Printf.sprintf
+           "Figure 15 (%s): reuse distances — %d accesses, %.1f%% above 8KB"
+           name
+           (Reuse_distance.total_accesses profile)
+           (100.0 *. Reuse_distance.fraction_above profile ~bytes:8_192))
+      ~columns:[ "distance bucket"; "count" ]
+  in
+  let boundaries = [ 64; 512; 4_096; 8_192; 32_768; 262_144; max_int ] in
+  let prev = ref 0 in
+  List.iter
+    (fun upper ->
+      let count = ref 0 in
+      Histogram.iter_buckets h (fun ~lo ~hi:_ ~count:c ->
+          if lo >= !prev && lo < upper then count := !count + c);
+      let fmt b =
+        if b < 1024 then Printf.sprintf "%dB" b
+        else Printf.sprintf "%gKB" (float_of_int b /. 1024.0)
+      in
+      let label =
+        if upper = max_int then ">=" ^ fmt !prev
+        else Printf.sprintf "%s-%s" (fmt !prev) (fmt upper)
+      in
+      Text_table.add_row t [ label; Text_table.cell_i !count ];
+      prev := upper)
+    boundaries;
+  t
+
+let fig15 () =
+  let get_trace, scan_trace = kv_traces () in
+  [ profile_table "KV GET" get_trace; profile_table "KV SCAN" scan_trace ]

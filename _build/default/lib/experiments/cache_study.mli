@@ -1,0 +1,16 @@
+(** Section 5.5 cache study (Table 2, Figures 13-15). *)
+
+(** Table 2: analytical reuse distances under CT vs TLS, with the
+    empirical L1/L2 miss predictions. *)
+val table2 : unit -> Tq_util.Text_table.t
+
+(** Figure 13: TLS pointer-chase mean access latency vs array size for
+    quanta {0.5, 2, 16} us. *)
+val fig13 : unit -> Tq_util.Text_table.t
+
+(** Figure 14: TLS vs CT at 2 us quanta. *)
+val fig14 : unit -> Tq_util.Text_table.t
+
+(** Figure 15: reuse-distance profiles of KV GET and SCAN, including the
+    fraction of accesses above 8 KB (the paper reports 3.7% / 4.5%). *)
+val fig15 : unit -> Tq_util.Text_table.t list

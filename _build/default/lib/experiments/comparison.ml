@@ -1,0 +1,147 @@
+module Text_table = Tq_util.Text_table
+module Time_unit = Tq_util.Time_unit
+module Table1 = Tq_workload.Table1
+module Arrivals = Tq_workload.Arrivals
+module Metrics = Tq_workload.Metrics
+module Service_dist = Tq_workload.Service_dist
+module Experiment = Tq_sched.Experiment
+module Presets = Tq_sched.Presets
+
+let cores = 16
+let capacity workload = Arrivals.capacity_rps ~cores workload
+let default_fracs = [ 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+(* One table: rows = load points, columns = (system x class) p99.9
+   end-to-end latency in us. *)
+let latency_table ~title ~workload ~systems ~class_idxs ~fracs =
+  let class_name i = Service_dist.class_name workload i in
+  let columns =
+    "rate(Mrps)"
+    :: List.concat_map
+         (fun (sys_name, _) ->
+           List.map (fun c -> Printf.sprintf "%s %s" sys_name (class_name c)) class_idxs)
+         systems
+  in
+  let t = Text_table.create ~title ~columns in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity workload in
+      let cells =
+        List.concat_map
+          (fun (_, runner) ->
+            let r = runner ~rate in
+            List.map
+              (fun c -> Text_table.cell_f (Harness.e2e_p999_us r ~class_idx:c))
+              class_idxs)
+          systems
+      in
+      Text_table.add_row t (Harness.mrps rate :: cells))
+    fracs;
+  t
+
+let run_system system ~workload ~duration ~rate =
+  Harness.run ~system ~workload ~rate_rps:rate ~duration_ns:duration
+
+let three_systems ~workload ~duration ~tail_class =
+  [
+    ("TQ", fun ~rate -> run_system (Presets.tq ()) ~workload ~duration ~rate);
+    ( "Shinjuku",
+      fun ~rate ->
+        let quantum_ns = Presets.shinjuku_quantum_for workload.Service_dist.name in
+        run_system (Presets.shinjuku ~quantum_ns ()) ~workload ~duration ~rate );
+    ( "Caladan",
+      fun ~rate ->
+        Harness.caladan_best ~workload ~rate_rps:rate ~duration_ns:duration
+          ~class_idx:tail_class );
+  ]
+
+let fig5_6 () =
+  let workload = Table1.extreme_bimodal in
+  let duration = Harness.duration_ms 40.0 in
+  let quanta_us = [ 0.5; 1.0; 2.0; 5.0; 10.0 ] in
+  let systems =
+    List.map
+      (fun q ->
+        ( Printf.sprintf "TQ-%gus" q,
+          fun ~rate ->
+            run_system (Presets.tq ~quantum_ns:(Time_unit.us q) ()) ~workload ~duration ~rate ))
+      quanta_us
+  in
+  let make ~title ~class_idx =
+    latency_table ~title ~workload ~systems ~class_idxs:[ class_idx ]
+      ~fracs:default_fracs
+  in
+  [
+    make ~title:"Figure 5: TQ quantum sweep, Extreme Bimodal, short jobs (p99.9 e2e us)"
+      ~class_idx:0;
+    make ~title:"Figure 6: TQ quantum sweep, Extreme Bimodal, long jobs (p99.9 e2e us)"
+      ~class_idx:1;
+  ]
+
+let fig7 () =
+  let duration = Harness.duration_ms 40.0 in
+  let make workload label =
+    latency_table
+      ~title:(Printf.sprintf "Figure 7 (%s): TQ vs Shinjuku vs Caladan (p99.9 e2e us)" label)
+      ~workload
+      ~systems:(three_systems ~workload ~duration ~tail_class:0)
+      ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
+  in
+  [
+    make Table1.extreme_bimodal "Extreme Bimodal";
+    make Table1.high_bimodal "High Bimodal";
+  ]
+
+let fig8 () =
+  let workload = Table1.tpcc in
+  let duration = Harness.duration_ms 40.0 in
+  let systems = three_systems ~workload ~duration ~tail_class:0 in
+  let latency =
+    latency_table
+      ~title:"Figure 8a: TPC-C, shortest (Payment) and longest (StockLevel) classes (p99.9 e2e us)"
+      ~workload ~systems ~class_idxs:[ 0; 4 ] ~fracs:default_fracs
+  in
+  (* Overall slowdown panel, as in the paper. *)
+  let slow =
+    Text_table.create ~title:"Figure 8b: TPC-C overall p99.9 slowdown"
+      ~columns:("rate(Mrps)" :: List.map fst systems)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity workload in
+      let cells =
+        List.map
+          (fun (_, runner) ->
+            let r = runner ~rate in
+            Text_table.cell_f (Metrics.overall_slowdown_percentile r.Experiment.metrics 99.9))
+          systems
+      in
+      Text_table.add_row slow (Harness.mrps rate :: cells))
+    default_fracs;
+  [ latency; slow ]
+
+let fig9 () =
+  let workload = Table1.exp1 in
+  let duration = Harness.duration_ms 25.0 in
+  (* Include low loads: the centralized dispatcher saturates at a small
+     fraction of 16-core capacity on this all-short workload. *)
+  let fracs = [ 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  [
+    latency_table ~title:"Figure 9: Exp(1) (p99.9 e2e us)" ~workload
+      ~systems:(three_systems ~workload ~duration ~tail_class:0)
+      ~class_idxs:[ 0 ] ~fracs;
+  ]
+
+let fig10 () =
+  let duration = Harness.duration_ms 40.0 in
+  let make workload label =
+    latency_table
+      ~title:(Printf.sprintf "Figure 10 (%s): GET/SCAN (p99.9 e2e us)" label)
+      ~workload
+      ~systems:(three_systems ~workload ~duration ~tail_class:0)
+      ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
+  in
+  [
+    make Table1.rocksdb_scan_0_5 "RocksDB 0.5% SCAN";
+    make Table1.rocksdb_scan_50 "RocksDB 50% SCAN";
+  ]

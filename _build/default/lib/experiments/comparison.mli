@@ -1,0 +1,22 @@
+(** The Section 5.2-5.3 system evaluation (Figures 5-10).
+
+    End-to-end p99.9 latency (sojourn + client RTT) versus offered load,
+    for TQ, the Shinjuku model (per-workload optimal quantum) and the
+    better Caladan mode — on every Table 1 workload. *)
+
+(** Figures 5 and 6: TQ quantum-size sweep on Extreme Bimodal, short and
+    long job classes. *)
+val fig5_6 : unit -> Tq_util.Text_table.t list
+
+(** Figure 7: Extreme and High Bimodal, three systems, both classes. *)
+val fig7 : unit -> Tq_util.Text_table.t list
+
+(** Figure 8: TPC-C — overall p99.9 slowdown and per-extreme-class
+    latency. *)
+val fig8 : unit -> Tq_util.Text_table.t list
+
+(** Figure 9: Exp(1). *)
+val fig9 : unit -> Tq_util.Text_table.t list
+
+(** Figure 10: RocksDB with 0.5% and 50% SCAN. *)
+val fig10 : unit -> Tq_util.Text_table.t list

@@ -1,0 +1,123 @@
+module Text_table = Tq_util.Text_table
+module Time_unit = Tq_util.Time_unit
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Metrics = Tq_workload.Metrics
+module Table1 = Tq_workload.Table1
+module Arrivals = Tq_workload.Arrivals
+module Centralized = Tq_sched.Centralized
+module Overheads = Tq_sched.Overheads
+module Evaluate = Tq_instrument.Evaluate
+
+let table3 () =
+  let rows = Evaluate.table3 () in
+  let t =
+    Text_table.create
+      ~title:"Table 3: probing overhead (%) and yield-timing MAE (ns), 2us quantum"
+      ~columns:
+        [ "workload"; "CI %"; "CI-CY %"; "TQ %"; "CI MAE"; "CI-CY MAE"; "TQ MAE"; "CI probes"; "TQ probes" ]
+  in
+  List.iter
+    (fun (r : Evaluate.row) ->
+      Text_table.add_row t
+        [
+          r.name;
+          Text_table.cell_f r.ci_overhead_pct;
+          Text_table.cell_f r.ci_cycles_overhead_pct;
+          Text_table.cell_f r.tq_overhead_pct;
+          Text_table.cell_f r.ci_mae_ns;
+          Text_table.cell_f r.ci_cycles_mae_ns;
+          Text_table.cell_f r.tq_mae_ns;
+          Text_table.cell_i r.ci_static_probes;
+          Text_table.cell_i r.tq_static_probes;
+        ])
+    rows;
+  let m = Evaluate.means rows in
+  Text_table.add_row t
+    [
+      "MEAN";
+      Text_table.cell_f m.mean_ci_overhead;
+      Text_table.cell_f m.mean_ci_cycles_overhead;
+      Text_table.cell_f m.mean_tq_overhead;
+      Text_table.cell_f m.mean_ci_mae;
+      Text_table.cell_f m.mean_ci_cycles_mae;
+      Text_table.cell_f m.mean_tq_mae;
+      "-";
+      "-";
+    ];
+  t
+
+(* Figure 16 procedure (paper Section 5.6): saturate all cores with 1ms
+   jobs and find the largest core count whose achieved quantum stays
+   within 10% of the target. *)
+let shinjuku_max_cores ~quantum_ns ~max_cores =
+  let sustains cores =
+    let sim = Sim.create () in
+    let config = Centralized.shinjuku_config ~quantum_ns ~cores in
+    let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+    for i = 1 to 3 * cores do
+      Centralized.submit t
+        {
+          Arrivals.req_id = i;
+          class_idx = 0;
+          service_ns = Time_unit.ms 1.0;
+          arrival_ns = 0;
+        }
+    done;
+    Sim.run sim;
+    let achieved = Centralized.mean_effective_quantum_ns t in
+    achieved <= 1.1 *. float_of_int quantum_ns
+  in
+  let rec search best cores =
+    if cores > max_cores then best
+    else if sustains cores then search cores (cores + 1)
+    else best
+  in
+  search 0 1
+
+(* TQ workers self-schedule: the achieved quantum is quantum + yield
+   cost, independent of core count; the dispatcher does per-job work
+   only, so it never limits quantum scheduling. *)
+let tq_max_cores ~quantum_ns ~max_cores =
+  let yield_ns = Overheads.tq_default.yield_ns in
+  if float_of_int (quantum_ns + yield_ns) <= 1.1 *. float_of_int quantum_ns then max_cores
+  else 0
+
+let fig16 () =
+  let quanta_us = [ 0.5; 1.0; 2.0; 3.0; 5.0 ] in
+  let t =
+    Text_table.create ~title:"Figure 16: max cores sustained per target quantum"
+      ~columns:[ "quantum"; "Shinjuku"; "TQ" ]
+  in
+  List.iter
+    (fun q ->
+      let quantum_ns = Time_unit.us q in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%gus" q;
+          Text_table.cell_i (shinjuku_max_cores ~quantum_ns ~max_cores:16);
+          Text_table.cell_i (tq_max_cores ~quantum_ns ~max_cores:16);
+        ])
+    quanta_us;
+  t
+
+(* Section 6: drive each dispatcher model alone (zero-service jobs
+   consumed by infinitely fast workers is emulated by measuring the
+   dispatcher Busy_server's saturation: sustainable rate = 1/cost). *)
+let dispatcher_throughput () =
+  let t =
+    Text_table.create ~title:"Section 6: dispatcher throughput (Mrps, analytic from cost model)"
+      ~columns:[ "dispatcher"; "per-request cost (ns)"; "max rate (Mrps)" ]
+  in
+  let row name cost_ns =
+    Text_table.add_row t
+      [ name; Text_table.cell_i cost_ns; Text_table.cell_f (1e3 /. float_of_int cost_ns) ]
+  in
+  row "TQ (load balancing only)" Overheads.tq_default.dispatch_ns;
+  (* Centralized: admit + schedule + preempt ops per request-to-completion. *)
+  let shinjuku = Centralized.shinjuku_config ~quantum_ns:5_000 ~cores:16 in
+  let sched_cost = shinjuku.sched_op_ns + (shinjuku.sched_scan_per_core_ns * shinjuku.cores) in
+  row "Shinjuku (admit + schedule)" (shinjuku.net_op_ns + sched_cost);
+  row "Concord-like (cache-line preemption)" (100 + 180 + (5 * 16));
+  t

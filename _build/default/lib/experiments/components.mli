@@ -1,0 +1,14 @@
+(** Section 5.6 component microbenchmarks (Table 3, Figure 16) and the
+    Section 6 dispatcher-throughput comparison. *)
+
+(** Table 3: probing overhead %% and yield-timing MAE for CI, CI-Cycles
+    and TQ over the 27-program suite (2 us target quantum). *)
+val table3 : unit -> Tq_util.Text_table.t
+
+(** Figure 16: maximum worker cores each dispatcher sustains per target
+    quantum (achieved quantum within 10%% of target), Shinjuku vs TQ. *)
+val fig16 : unit -> Tq_util.Text_table.t
+
+(** Section 6: sustainable dispatcher throughput — TQ's load-balancing
+    only dispatcher vs centralized (Shinjuku-like, Concord-like). *)
+val dispatcher_throughput : unit -> Tq_util.Text_table.t

@@ -1,0 +1,216 @@
+module Text_table = Tq_util.Text_table
+module Table1 = Tq_workload.Table1
+module Arrivals = Tq_workload.Arrivals
+module Metrics = Tq_workload.Metrics
+module Presets = Tq_sched.Presets
+module Pointer_chase = Tq_cache.Pointer_chase
+module Experiment = Tq_sched.Experiment
+module Caladan = Tq_sched.Caladan
+module Two_level = Tq_sched.Two_level
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Time_unit = Tq_util.Time_unit
+
+let ext_las () =
+  let workload = Table1.extreme_bimodal in
+  let capacity = Arrivals.capacity_rps ~cores:16 workload in
+  let duration = Harness.duration_ms 40.0 in
+  let systems = [ ("TQ-PS", Presets.tq ()); ("TQ-LAS", Presets.tq_las ()) ] in
+  let t =
+    Text_table.create
+      ~title:"Extension: PS vs LAS quantum scheduling, Extreme Bimodal (p99.9 sojourn us)"
+      ~columns:
+        ("rate(Mrps)"
+        :: List.concat_map (fun (n, _) -> [ n ^ " Short"; n ^ " Long" ]) systems)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.concat_map
+          (fun (_, system) ->
+            let r = Harness.run ~system ~workload ~rate_rps:rate ~duration_ns:duration in
+            [
+              Text_table.cell_f (Harness.sojourn_p999_us r ~class_idx:0);
+              Text_table.cell_f (Harness.sojourn_p999_us r ~class_idx:1);
+            ])
+          systems
+      in
+      Text_table.add_row t (Harness.mrps rate :: cells))
+    [ 0.3; 0.5; 0.7; 0.8; 0.9 ];
+  t
+
+let ext_dispatchers () =
+  let workload = Table1.exp1 in
+  let cores = 64 in
+  let duration = Harness.duration_ms 10.0 in
+  let dispatcher_counts = [ 1; 2; 4 ] in
+  let t =
+    Text_table.create
+      ~title:
+        "Extension: dispatcher scaling, Exp(1) on 64 workers (p99.9 sojourn us; - = saturated)"
+      ~columns:
+        ("rate(Mrps)"
+        :: List.map (fun d -> Printf.sprintf "%d dispatcher%s" d (if d > 1 then "s" else ""))
+             dispatcher_counts)
+  in
+  List.iter
+    (fun rate_mrps ->
+      let rate = rate_mrps *. 1e6 in
+      let cells =
+        List.map
+          (fun dispatchers ->
+            let r =
+              Harness.run
+                ~system:(Presets.tq ~cores ~dispatchers ())
+                ~workload ~rate_rps:rate ~duration_ns:duration
+            in
+            let p = Harness.sojourn_p999_us r ~class_idx:0 in
+            if p > 1_000.0 then "-" else Text_table.cell_f p)
+          dispatcher_counts
+      in
+      Text_table.add_row t (Printf.sprintf "%.0f" rate_mrps :: cells))
+    [ 4.0; 8.0; 12.0; 16.0; 20.0; 26.0; 32.0; 40.0; 48.0 ];
+  t
+
+let ext_concord () =
+  let workload = Table1.exp1 in
+  let duration = Harness.duration_ms 15.0 in
+  let systems =
+    [
+      ("TQ", Presets.tq ());
+      ("Concord", Presets.concord ~quantum_ns:2_000 ());
+      ("Shinjuku", Presets.shinjuku ~quantum_ns:10_000 ());
+    ]
+  in
+  let t =
+    Text_table.create
+      ~title:"Extension: Concord comparison, Exp(1) (p99.9 sojourn us; - = saturated)"
+      ~columns:("rate(Mrps)" :: List.map fst systems)
+  in
+  List.iter
+    (fun rate_mrps ->
+      let rate = rate_mrps *. 1e6 in
+      let cells =
+        List.map
+          (fun (_, system) ->
+            let r = Harness.run ~system ~workload ~rate_rps:rate ~duration_ns:duration in
+            let p = Harness.sojourn_p999_us r ~class_idx:0 in
+            if p > 1_000.0 then "-" else Text_table.cell_f p)
+          systems
+      in
+      Text_table.add_row t (Printf.sprintf "%.1f" rate_mrps :: cells))
+    [ 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 10.0; 12.0; 14.0 ];
+  t
+
+let ext_prefetch () =
+  let run ~order ~prefetch ~quantum_ns ~array_kb =
+    let lines = array_kb * 1024 / 64 in
+    Pointer_chase.run
+      {
+        Pointer_chase.framework = Pointer_chase.Tls;
+        access_order = order;
+        prefetch;
+        cores = 8;
+        arrays_per_core = 4;
+        array_bytes = array_kb * 1024;
+        quantum_accesses = Pointer_chase.quantum_accesses_of_ns quantum_ns;
+        target_accesses_per_core = max 150_000 (6 * 4 * lines);
+        seed = 5L;
+      }
+  in
+  let t =
+    Text_table.create
+      ~title:
+        "Extension: random chasing vs sequential+prefetch (mean access latency, cycles)"
+      ~columns:
+        [ "array"; "rand 2us"; "rand 16us"; "seq+pf 2us"; "seq+pf 16us" ]
+  in
+  List.iter
+    (fun array_kb ->
+      let cell ~order ~prefetch ~quantum_ns =
+        Text_table.cell_f
+          (run ~order ~prefetch ~quantum_ns ~array_kb).Pointer_chase.mean_latency_cycles
+      in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%dKB" array_kb;
+          cell ~order:Pointer_chase.Random_order ~prefetch:false ~quantum_ns:2_000;
+          cell ~order:Pointer_chase.Random_order ~prefetch:false ~quantum_ns:16_000;
+          cell ~order:Pointer_chase.Sequential ~prefetch:true ~quantum_ns:2_000;
+          cell ~order:Pointer_chase.Sequential ~prefetch:true ~quantum_ns:16_000;
+        ])
+    [ 8; 16; 32; 64 ];
+  t
+
+
+let ext_rss () =
+  let workload = Table1.exp1 in
+  let capacity = Arrivals.capacity_rps ~cores:16 workload in
+  let duration = Harness.duration_ms 15.0 in
+  let variants =
+    [ ("8 flows", Some 8); ("32 flows", Some 32); ("256 flows", Some 256); ("uniform", None) ]
+  in
+  let t =
+    Text_table.create
+      ~title:"Extension: Caladan RSS by connection count, Exp(1) (p99.9 sojourn us)"
+      ~columns:("rate(Mrps)" :: List.map fst variants)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.map
+          (fun (_, rss_flows) ->
+            let config =
+              { (Caladan.default_config ~mode:Caladan.Directpath ~cores:16) with rss_flows }
+            in
+            let r =
+              Harness.run ~system:(Experiment.Caladan config) ~workload ~rate_rps:rate
+                ~duration_ns:duration
+            in
+            Text_table.cell_f (Harness.sojourn_p999_us r ~class_idx:0))
+          variants
+      in
+      Text_table.add_row t (Harness.mrps rate :: cells))
+    [ 0.2; 0.4; 0.6; 0.7; 0.8 ];
+  t
+
+let ext_overload () =
+  let workload = Table1.exp1 in
+  let duration = Harness.duration_ms 10.0 in
+  let t =
+    Text_table.create
+      ~title:
+        "Extension: overload with a finite RX ring (TQ, Exp(1); drops instead of queueing)"
+      ~columns:[ "offered(Mrps)"; "goodput(Mrps)"; "drop %"; "admitted p99(us)" ]
+  in
+  List.iter
+    (fun offered_mrps ->
+      let sim = Sim.create () in
+      let rng = Prng.create ~seed:42L in
+      let metrics = Tq_workload.Metrics.create ~workload ~warmup_ns:(duration / 10) in
+      let config = { Two_level.default_config with cores = 16 } in
+      let system = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics in
+      let nic =
+        Tq_net.Nic.create sim ~rx_depth:512
+          ~occupancy:(fun () -> Two_level.dispatcher_queue_length system)
+          ~deliver:(fun req -> Two_level.submit system req)
+          ()
+      in
+      ignore
+        (Arrivals.install sim ~rng:(Prng.split rng) ~workload
+           ~rate_rps:(offered_mrps *. 1e6) ~duration_ns:duration
+           ~sink:(fun req -> ignore (Tq_net.Nic.receive nic req : bool)));
+      Sim.run sim;
+      let measured_s = Tq_util.Time_unit.to_s (duration - (duration / 10)) in
+      let goodput = float_of_int (Metrics.total_completed metrics) /. measured_s /. 1e6 in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%.0f" offered_mrps;
+          Printf.sprintf "%.2f" goodput;
+          Printf.sprintf "%.1f" (100.0 *. Tq_net.Nic.drop_rate nic);
+          Text_table.cell_f (Metrics.sojourn_percentile metrics ~class_idx:0 99.0 /. 1e3);
+        ])
+    [ 8.0; 10.0; 12.0; 14.0; 16.0; 20.0; 24.0 ];
+  t

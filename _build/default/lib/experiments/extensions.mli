@@ -1,0 +1,31 @@
+(** Beyond the paper's evaluation: the extensions its discussion
+    sections point to. *)
+
+(** LAS quantum scheduling (Section 3.1 motivates dynamic quanta for
+    least-attained-service): TQ-PS vs TQ-LAS on Extreme Bimodal. *)
+val ext_las : unit -> Tq_util.Text_table.t
+
+(** Multiple dispatcher cores (Section 6): Exp(1) on 64 workers with 1,
+    2 and 4 dispatchers — throughput scales past one dispatcher's
+    ~14 Mrps. *)
+val ext_dispatchers : unit -> Tq_util.Text_table.t
+
+(** Related work (Section 7): Concord replaces interrupts with a shared
+    cache line but keeps centralized scheduling — its dispatcher remains
+    the bottleneck while TQ's per-job dispatcher rides much higher. *)
+val ext_concord : unit -> Tq_util.Text_table.t
+
+(** Methodology check for the cache study (Section 5.5): with sequential
+    access and a next-line prefetcher, preemption-induced misses are
+    concealed — random pointer chasing is what exposes them. *)
+val ext_prefetch : unit -> Tq_util.Text_table.t
+
+(** RSS with few client connections: hash collisions leave Caladan
+    cores idle and work stealing must compensate — the idealized
+    uniform steering used elsewhere is the many-connections limit. *)
+val ext_rss : unit -> Tq_util.Text_table.t
+
+(** Overload admission: a finite NIC RX ring in front of TQ turns
+    overload into drops — goodput plateaus at capacity and the latency
+    of *admitted* requests stays bounded, instead of unbounded queueing. *)
+val ext_overload : unit -> Tq_util.Text_table.t

@@ -1,0 +1,38 @@
+module Experiment = Tq_sched.Experiment
+module Metrics = Tq_workload.Metrics
+
+let scale =
+  match Sys.getenv_opt "TQ_BENCH_SCALE" with
+  | None -> 1.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ -> 1.0)
+
+let duration_ms ms = max (Tq_util.Time_unit.ms 4.0) (Tq_util.Time_unit.ms (ms *. scale))
+let rtt_ns = 8_000
+
+let run ~system ~workload ~rate_rps ~duration_ns =
+  Experiment.run ~seed:42L ~system ~workload ~rate_rps ~duration_ns ()
+
+let sojourn_p999_us (r : Experiment.result) ~class_idx =
+  Metrics.sojourn_percentile r.metrics ~class_idx 99.9 /. 1e3
+
+let e2e_p999_us (r : Experiment.result) ~class_idx =
+  (Metrics.sojourn_percentile r.metrics ~class_idx 99.9 +. float_of_int rtt_ns) /. 1e3
+
+let rates ~capacity fracs = List.map (fun f -> f *. capacity) fracs
+let mrps rate = Printf.sprintf "%.2f" (rate /. 1e6)
+
+let caladan_best ~workload ~rate_rps ~duration_ns ~class_idx =
+  let run_mode mode =
+    run ~system:(Tq_sched.Presets.caladan ~mode ()) ~workload ~rate_rps ~duration_ns
+  in
+  let io = run_mode Tq_sched.Caladan.Iokernel in
+  let dp = run_mode Tq_sched.Caladan.Directpath in
+  let tail r = Metrics.sojourn_percentile r.Experiment.metrics ~class_idx 99.9 in
+  let t_io = tail io and t_dp = tail dp in
+  if Float.is_nan t_io then dp
+  else if Float.is_nan t_dp then io
+  else if t_io <= t_dp then io
+  else dp

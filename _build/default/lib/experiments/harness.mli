@@ -1,0 +1,44 @@
+(** Shared plumbing for the figure/table reproductions. *)
+
+(** Global scale factor from [TQ_BENCH_SCALE] (default 1.0): multiplies
+    every experiment's simulated duration.  0.2 gives a quick smoke run;
+    4.0 tightens tail percentiles. *)
+val scale : float
+
+(** [duration_ms ms] — scaled duration in ns (floors at 4 ms). *)
+val duration_ms : float -> int
+
+(** Client-side network round trip added to sojourn for "end-to-end"
+    latencies (the paper's cross-system metric). *)
+val rtt_ns : int
+
+(** [run ~system ~workload ~rate_rps ~duration_ns] with a fixed seed. *)
+val run :
+  system:Tq_sched.Experiment.system_spec ->
+  workload:Tq_workload.Service_dist.t ->
+  rate_rps:float ->
+  duration_ns:int ->
+  Tq_sched.Experiment.result
+
+(** [e2e_p999_us result ~class_idx] — 99.9th percentile end-to-end
+    latency in microseconds (sojourn + RTT). *)
+val e2e_p999_us : Tq_sched.Experiment.result -> class_idx:int -> float
+
+(** [sojourn_p999_us result ~class_idx]. *)
+val sojourn_p999_us : Tq_sched.Experiment.result -> class_idx:int -> float
+
+(** [rates ~capacity fracs] — absolute request rates for load fractions. *)
+val rates : capacity:float -> float list -> float list
+
+(** [mrps rate] formats a rate as Mrps with 2 decimals. *)
+val mrps : float -> string
+
+(** [caladan_best ~workload ~rate_rps ~duration_ns ~class_idx] — run
+    both Caladan modes and return the result with the better tail for
+    [class_idx], as the paper reports. *)
+val caladan_best :
+  workload:Tq_workload.Service_dist.t ->
+  rate_rps:float ->
+  duration_ns:int ->
+  class_idx:int ->
+  Tq_sched.Experiment.result

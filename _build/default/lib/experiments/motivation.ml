@@ -1,0 +1,121 @@
+module Text_table = Tq_util.Text_table
+module Time_unit = Tq_util.Time_unit
+module Table1 = Tq_workload.Table1
+module Arrivals = Tq_workload.Arrivals
+module Metrics = Tq_workload.Metrics
+module Experiment = Tq_sched.Experiment
+module Centralized = Tq_sched.Centralized
+module Two_level = Tq_sched.Two_level
+module Worker = Tq_sched.Worker
+module Dispatch_policy = Tq_sched.Dispatch_policy
+module Overheads = Tq_sched.Overheads
+
+let workload = Table1.extreme_bimodal_sim
+let cores = 16
+let capacity = Arrivals.capacity_rps ~cores workload
+let quanta_us = [ 0.5; 1.0; 2.0; 5.0; 10.0 ]
+let load_fracs = [ 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+let slowdown_p999 (r : Experiment.result) =
+  Metrics.overall_slowdown_percentile r.metrics 99.9
+
+let ideal_at ~quantum_ns ~preempt_ns ~rate =
+  let config = { (Centralized.ideal_config ~quantum_ns ~cores) with preempt_ns } in
+  Harness.run
+    ~system:(Experiment.Centralized config)
+    ~workload ~rate_rps:rate ~duration_ns:(Harness.duration_ms 30.0)
+
+let fig1 () =
+  let t =
+    Text_table.create ~title:"Figure 1: p99.9 slowdown vs load, ideal centralized PS"
+      ~columns:
+        ("load" :: List.map (fun q -> Printf.sprintf "q=%gus" q) quanta_us)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.map
+          (fun q ->
+            let r = ideal_at ~quantum_ns:(Time_unit.us q) ~preempt_ns:0 ~rate in
+            Text_table.cell_f (slowdown_p999 r))
+          quanta_us
+      in
+      Text_table.add_row t (Printf.sprintf "%.0f%%" (100.0 *. frac) :: cells))
+    load_fracs;
+  t
+
+let fig2 () =
+  let overheads_ns = [ 0; 100; 1_000 ] in
+  let quanta_us = [ 0.5; 1.0; 2.0; 3.0; 5.0; 10.0 ] in
+  let search_fracs = [ 0.3; 0.4; 0.5; 0.55; 0.6; 0.65; 0.7; 0.75; 0.8; 0.85; 0.9; 0.95 ] in
+  let t =
+    Text_table.create
+      ~title:"Figure 2: max rate (Mrps) with p99.9 slowdown <= 10, per preemption overhead"
+      ~columns:
+        ("quantum"
+        :: List.map (fun o -> Printf.sprintf "oh=%gus" (float_of_int o /. 1e3)) overheads_ns)
+  in
+  List.iter
+    (fun q ->
+      let cells =
+        List.map
+          (fun preempt_ns ->
+            let best =
+              Experiment.max_rate_under_slo
+                ~run_at:(fun rate -> ideal_at ~quantum_ns:(Time_unit.us q) ~preempt_ns ~rate)
+                ~rates:(Harness.rates ~capacity search_fracs)
+                ~ok:(fun r -> slowdown_p999 r <= 10.0)
+            in
+            Harness.mrps best)
+          overheads_ns
+      in
+      Text_table.add_row t (Printf.sprintf "%gus" q :: cells))
+    quanta_us;
+  t
+
+let fig4 () =
+  let quantum_ns = Time_unit.us 1.0 in
+  let tls tie =
+    Experiment.Two_level
+      {
+        Two_level.cores;
+        dispatchers = 1;
+        quantum_policy = Worker.Ps { quantum_ns; per_class_quantum = None };
+        dispatch_policy = tie;
+        overheads = Overheads.zero;
+      }
+  in
+  let systems =
+    [
+      ("CT", Experiment.Centralized (Centralized.ideal_config ~quantum_ns ~cores));
+      ("TLS-MSQ", tls Dispatch_policy.Jsq_msq);
+      ("TLS-RAND-TIE", tls Dispatch_policy.Jsq_random);
+    ]
+  in
+  let t =
+    Text_table.create
+      ~title:"Figure 4: long-job p99.9 slowdown, centralized vs two-level (no overhead)"
+      ~columns:("load" :: List.map fst systems)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.map
+          (fun (_, system) ->
+            (* Long jobs are 0.5% of arrivals: average the tail over
+               several seeds to tame sampling noise. *)
+            let results =
+              Experiment.run_seeds
+                ~seeds:[ 42L; 43L; 44L ]
+                ~system ~workload ~rate_rps:rate
+                ~duration_ns:(Harness.duration_ms 30.0) ()
+            in
+            Text_table.cell_f
+              (Experiment.mean_slowdown_percentile results ~class_idx:1 99.9))
+          systems
+      in
+      Text_table.add_row t (Printf.sprintf "%.0f%%" (100.0 *. frac) :: cells))
+    load_fracs;
+  t

@@ -1,0 +1,17 @@
+(** Section 2 motivating simulations (Figures 1, 2, 4).
+
+    Idealized centralized processor sharing on 16 cores with the
+    extreme-bimodal workload (99.5% x 0.5us, 0.5% x 500us), preemption
+    overheads swept explicitly. *)
+
+(** Figure 1: p99.9 slowdown vs offered load for quanta 0.5-10 us,
+    zero overhead. *)
+val fig1 : unit -> Tq_util.Text_table.t
+
+(** Figure 2: max rate sustaining p99.9 slowdown <= 10, per quantum, for
+    preemption overheads {0, 0.1, 1} us. *)
+val fig2 : unit -> Tq_util.Text_table.t
+
+(** Figure 4: long-job p99.9 slowdown — centralized PS vs two-level
+    JSQ-PS with MSQ vs random tie-breaking, zero overheads. *)
+val fig4 : unit -> Tq_util.Text_table.t

@@ -1,0 +1,156 @@
+type experiment = {
+  id : string;
+  summary : string;
+  plot : bool;
+  tables : unit -> Tq_util.Text_table.t list;
+}
+
+let one f () = [ f () ]
+
+let all =
+  [
+    {
+      id = "fig1";
+      plot = true;
+      summary = "Slowdown vs load for quantum sizes (ideal centralized PS)";
+      tables = one Motivation.fig1;
+    };
+    {
+      id = "fig2";
+      plot = true;
+      summary = "Max rate under slowdown-10 SLO vs quantum, per preemption overhead";
+      tables = one Motivation.fig2;
+    };
+    {
+      id = "fig4";
+      plot = true;
+      summary = "Centralized vs two-level scheduling, long-job tail slowdown";
+      tables = one Motivation.fig4;
+    };
+    {
+      id = "fig5_6";
+      plot = true;
+      summary = "TQ quantum-size sweep on Extreme Bimodal";
+      tables = Comparison.fig5_6;
+    };
+    {
+      id = "fig7";
+      plot = true;
+      summary = "TQ vs Shinjuku vs Caladan: Extreme and High Bimodal";
+      tables = Comparison.fig7;
+    };
+    { id = "fig8";
+      plot = true; summary = "TQ vs Shinjuku vs Caladan: TPC-C"; tables = Comparison.fig8 };
+    { id = "fig9";
+      plot = true; summary = "TQ vs Shinjuku vs Caladan: Exp(1)"; tables = Comparison.fig9 };
+    {
+      id = "fig10";
+      plot = true;
+      summary = "TQ vs Shinjuku vs Caladan: RocksDB 0.5% and 50% SCAN";
+      tables = Comparison.fig10;
+    };
+    {
+      id = "fig11";
+      plot = true;
+      summary = "Forced-multitasking ablation (TQ-IC / SLOW-YIELD / TIMING)";
+      tables = one Breakdown.fig11;
+    };
+    {
+      id = "fig12";
+      plot = true;
+      summary = "Scheduling ablation (TQ-RAND / POWER-TWO / FCFS)";
+      tables = one Breakdown.fig12;
+    };
+    {
+      id = "table2";
+      plot = false;
+      summary = "Analytical reuse distances under CT vs TLS";
+      tables = one Cache_study.table2;
+    };
+    {
+      id = "fig13";
+      plot = true;
+      summary = "Cache: TLS access latency vs array size per quantum";
+      tables = one Cache_study.fig13;
+    };
+    {
+      id = "fig14";
+      plot = true;
+      summary = "Cache: TLS vs CT access latency";
+      tables = one Cache_study.fig14;
+    };
+    {
+      id = "fig15";
+      plot = false;
+      summary = "Reuse-distance profiles of KV GET/SCAN";
+      tables = Cache_study.fig15;
+    };
+    {
+      id = "table3";
+      plot = false;
+      summary = "Compiler pass: probing overhead and MAE, CI vs CI-Cycles vs TQ";
+      tables = one Components.table3;
+    };
+    {
+      id = "fig16";
+      plot = true;
+      summary = "Dispatcher scalability: max cores per target quantum";
+      tables = one Components.fig16;
+    };
+    {
+      id = "dispatcher";
+      plot = false;
+      summary = "Dispatcher throughput (Section 6)";
+      tables = one Components.dispatcher_throughput;
+    };
+    {
+      id = "ext_las";
+      plot = true;
+      summary = "Extension: least-attained-service quantum scheduling vs PS";
+      tables = one Extensions.ext_las;
+    };
+    {
+      id = "ext_dispatchers";
+      plot = true;
+      summary = "Extension: scaling to multiple dispatcher cores (Section 6)";
+      tables = one Extensions.ext_dispatchers;
+    };
+    {
+      id = "ext_concord";
+      plot = true;
+      summary = "Extension: Concord (cache-line preemption, centralized) comparison";
+      tables = one Extensions.ext_concord;
+    };
+    {
+      id = "ext_prefetch";
+      plot = true;
+      summary = "Extension: sequential+prefetch conceals preemption cache effects";
+      tables = one Extensions.ext_prefetch;
+    };
+    {
+      id = "ext_rss";
+      plot = true;
+      summary = "Extension: RSS flow-count sensitivity of the Caladan model";
+      tables = one Extensions.ext_rss;
+    };
+    {
+      id = "ext_overload";
+      plot = false;
+      summary = "Extension: finite RX ring turns overload into drops (goodput plateau)";
+      tables = one Extensions.ext_overload;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_and_print e =
+  Printf.printf "### %s — %s\n\n%!" e.id e.summary;
+  List.iter
+    (fun table ->
+      Tq_util.Text_table.print table;
+      if e.plot then begin
+        match Tq_util.Ascii_chart.plot_table table with
+        | "" -> ()
+        | chart -> print_endline chart
+      end)
+    (e.tables ())

@@ -1,0 +1,17 @@
+(** Every reproduced experiment, addressable by id for the CLI and the
+    benchmark harness. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig7", "table3" *)
+  summary : string;
+  plot : bool;  (** render each table also as an ASCII chart *)
+  tables : unit -> Tq_util.Text_table.t list;
+}
+
+(** In paper order. *)
+val all : experiment list
+
+val find : string -> experiment option
+
+(** [run_and_print e] renders every table of [e] to stdout. *)
+val run_and_print : experiment -> unit

@@ -1,0 +1,1 @@
+lib/instrument/bench_programs.ml: Ast List Lower Tq_ir

@@ -1,0 +1,1 @@
+lib/instrument/bench_programs.mli: Ast Cfg Tq_ir

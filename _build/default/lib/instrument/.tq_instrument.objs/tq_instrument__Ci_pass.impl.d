@@ -1,0 +1,1 @@
+lib/instrument/ci_pass.ml: Cfg Instr List Tq_ir

@@ -1,0 +1,1 @@
+lib/instrument/ci_pass.mli: Cfg Tq_ir

@@ -1,0 +1,1 @@
+lib/instrument/evaluate.ml: Bench_programs Cfg Ci_pass List Tq_ir Tq_pass Tq_util Vm

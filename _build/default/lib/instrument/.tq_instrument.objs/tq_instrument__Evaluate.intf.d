@@ -1,0 +1,1 @@
+lib/instrument/evaluate.mli: Bench_programs

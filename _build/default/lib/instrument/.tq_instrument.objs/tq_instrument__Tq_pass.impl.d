@@ -1,0 +1,1 @@
+lib/instrument/tq_pass.ml: Analysis Array Cfg Float Hashtbl Instr List Tq_ir

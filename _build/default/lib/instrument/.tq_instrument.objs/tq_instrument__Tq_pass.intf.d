@@ -1,0 +1,1 @@
+lib/instrument/tq_pass.mli: Cfg Tq_ir

@@ -1,0 +1,1 @@
+lib/instrument/vm.ml: Array Cfg Float Hashtbl Instr List Option Tq_ir Tq_util

@@ -1,0 +1,1 @@
+lib/instrument/vm.mli: Cfg Tq_ir

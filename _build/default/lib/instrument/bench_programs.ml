@@ -1,0 +1,347 @@
+open Tq_ir
+open Ast
+
+type named = { prog_name : string; source : Ast.program_src }
+
+let prog ?(funcs = []) name body =
+  { prog_name = name; source = { src_funcs = ("main", body) :: funcs; src_main = "main" } }
+
+(* ---- SPLASH-2 style: scientific loop nests ---- *)
+
+let water_nsquared =
+  (* O(n^2) pairwise interactions: double nest, fp-heavy body. *)
+  prog "water-nsquared"
+    (loop_n ~induction:true 180
+       (loop_n ~induction:true 180
+          (mixed ~alu:4 ~muls:3 ~divs:0 ~loads:2 ~miss_prob:0.03 ~stores:1 ())))
+
+let water_spatial =
+  (* Cell lists: triple nest with a guard branch. *)
+  prog "water-spatial"
+    (loop_n ~induction:true 40
+       (loop_n ~induction:true 40
+          (seq
+             [
+               mixed ~alu:3 ~loads:2 ~miss_prob:0.05 ();
+               if_ ~prob:0.4
+                 (loop_dyn ~lo:2 ~hi:10 (mixed ~alu:5 ~muls:2 ~loads:1 ~stores:1 ()))
+                 (work 3);
+             ])))
+
+let ocean_cp =
+  (* Regular grid sweeps: contiguous accesses, low miss rate. *)
+  prog "ocean-cp"
+    (loop_n ~induction:true 400
+       (loop_n ~induction:true 60 (mixed ~alu:5 ~muls:1 ~loads:3 ~miss_prob:0.02 ~stores:1 ())))
+
+let ocean_ncp =
+  (* Non-contiguous partitions: same sweeps, worse locality. *)
+  prog "ocean-ncp"
+    (loop_n ~induction:true 400
+       (loop_n ~induction:true 60 (mixed ~alu:5 ~muls:1 ~loads:3 ~miss_prob:0.20 ~stores:1 ())))
+
+let barnes =
+  (* Tree traversal: call-heavy with branchy descent. *)
+  let descend =
+    seq
+      [
+        mixed ~alu:4 ~loads:3 ~miss_prob:0.12 ();
+        if_ ~prob:0.5
+          (seq [ CallFn "force"; mixed ~alu:2 ~loads:1 () ])
+          (mixed ~alu:6 ~muls:2 ());
+      ]
+  in
+  prog
+    ~funcs:[ ("force", seq [ mixed ~alu:8 ~muls:4 ~divs:1 ~loads:2 ~miss_prob:0.05 () ]) ]
+    "barnes"
+    (loop_dyn ~lo:2500 ~hi:4500 descend)
+
+let volrend =
+  (* Ray casting: deep branch ladders, early exits. *)
+  prog "volrend"
+    (loop_dyn ~lo:2000 ~hi:3000
+       (seq
+          [
+            mixed ~alu:2 ~loads:2 ~miss_prob:0.08 ();
+            if_ ~prob:0.3
+              (if_ ~prob:0.5
+                 (mixed ~alu:10 ~muls:3 ~loads:2 ())
+                 (mixed ~alu:4 ~loads:1 ~stores:1 ()))
+              (if_ ~prob:0.2 (mixed ~alu:14 ~muls:5 ~divs:1 ()) (work 2));
+          ]))
+
+let fmm =
+  (* Multipole: nested dynamic loops with helper calls. *)
+  prog
+    ~funcs:
+      [
+        ("interact", mixed ~alu:6 ~muls:4 ~divs:1 ~loads:2 ~miss_prob:0.04 ());
+        ("shift", mixed ~alu:4 ~muls:2 ~loads:1 ());
+      ]
+    "fmm"
+    (loop_dyn ~lo:120 ~hi:220
+       (seq
+          [
+            CallFn "shift";
+            loop_dyn ~lo:10 ~hi:40 (seq [ CallFn "interact"; work 2 ]);
+          ]))
+
+let raytrace =
+  (* Per-ray loop calling intersection tests. *)
+  prog
+    ~funcs:
+      [
+        ( "intersect",
+          seq
+            [
+              mixed ~alu:5 ~muls:3 ~loads:3 ~miss_prob:0.10 ();
+              if_ ~prob:0.25 (mixed ~alu:6 ~divs:1 ()) (work 1);
+            ] );
+      ]
+    "raytrace"
+    (loop_dyn ~lo:1500 ~hi:2500
+       (seq [ work 3; loop_dyn ~lo:2 ~hi:8 (CallFn "intersect"); mixed ~stores:1 ~alu:1 () ]))
+
+let radiosity =
+  (* Irregular worklist: branches choosing very different path lengths. *)
+  prog "radiosity"
+    (loop_dyn ~lo:2200 ~hi:3800
+       (if_ ~prob:0.15
+          (loop_dyn ~lo:5 ~hi:25 (mixed ~alu:6 ~muls:2 ~loads:2 ~miss_prob:0.15 ~stores:1 ()))
+          (if_ ~prob:0.5
+             (mixed ~alu:8 ~loads:2 ~miss_prob:0.05 ())
+             (mixed ~alu:3 ~loads:1 ~stores:1 ()))))
+
+let radix =
+  (* Counting sort passes: two sequential flat loops, repeated. *)
+  prog "radix"
+    (loop_n 4
+       (seq
+          [
+            loop_n ~induction:true 9000 (mixed ~alu:2 ~loads:1 ~miss_prob:0.06 ~stores:1 ());
+            loop_n ~induction:true 9000 (mixed ~alu:3 ~loads:2 ~miss_prob:0.06 ~stores:1 ());
+          ]))
+
+let fft =
+  (* Butterfly stages: log-depth outer loop, strided inner accesses. *)
+  prog "fft"
+    (loop_n 14
+       (loop_n ~induction:true 2800
+          (mixed ~alu:4 ~muls:4 ~loads:2 ~miss_prob:0.12 ~stores:2 ())))
+
+let lu_contiguous =
+  prog "lu-c"
+    (loop_n ~induction:true 55
+       (loop_n ~induction:true 55
+          (seq
+             [
+               mixed ~alu:2 ~loads:1 ~miss_prob:0.02 ();
+               loop_dyn ~induction:true ~lo:5 ~hi:55 (mixed ~alu:2 ~muls:1 ~loads:1 ~miss_prob:0.02 ~stores:1 ());
+             ])))
+
+let lu_noncontiguous =
+  prog "lu-nc"
+    (loop_n ~induction:true 55
+       (loop_n ~induction:true 55
+          (seq
+             [
+               mixed ~alu:2 ~loads:1 ~miss_prob:0.18 ();
+               loop_dyn ~induction:true ~lo:5 ~hi:55 (mixed ~alu:2 ~muls:1 ~loads:1 ~miss_prob:0.18 ~stores:1 ());
+             ])))
+
+let cholesky =
+  (* Sparse factorization: irregular nests, data-dependent trip counts. *)
+  prog
+    ~funcs:[ ("update", mixed ~alu:3 ~muls:2 ~loads:2 ~miss_prob:0.10 ~stores:1 ()) ]
+    "cholesky"
+    (loop_dyn ~lo:150 ~hi:300
+       (seq
+          [
+            mixed ~alu:4 ~divs:1 ~loads:1 ();
+            loop_dyn ~lo:1 ~hi:40
+              (if_ ~prob:0.6 (CallFn "update") (mixed ~alu:2 ~loads:1 ()));
+          ]))
+
+(* ---- Phoenix style: map-reduce kernels ---- *)
+
+let reverse_index =
+  prog "reverse-index"
+    (loop_dyn ~lo:1800 ~hi:2600
+       (seq
+          [
+            mixed ~alu:3 ~loads:2 ~miss_prob:0.15 ();
+            if_ ~prob:0.35
+              (loop_dyn ~lo:2 ~hi:12 (mixed ~alu:4 ~loads:1 ~stores:2 ~miss_prob:0.10 ()))
+              (work 2);
+          ]))
+
+let histogram =
+  (* The classic single flat loop with a tiny body. *)
+  prog "histogram"
+    (loop_n ~induction:true 36_000 (mixed ~alu:2 ~loads:1 ~miss_prob:0.04 ~stores:1 ()))
+
+let kmeans =
+  prog "kmeans"
+    (loop_n 12
+       (loop_n ~induction:true 900
+          (seq
+             [
+               loop_n ~induction:true 8 (mixed ~alu:3 ~muls:2 ~loads:1 ~miss_prob:0.03 ());
+               if_ ~prob:0.3 (mixed ~stores:1 ~alu:2 ()) (work 1);
+             ])))
+
+let pca =
+  prog "pca"
+    (seq
+       [
+         loop_n ~induction:true 220
+           (loop_n ~induction:true 220 (mixed ~alu:2 ~muls:1 ~loads:2 ~miss_prob:0.05 ()));
+         loop_n ~induction:true 220 (mixed ~alu:4 ~divs:1 ~loads:1 ~stores:1 ());
+       ])
+
+let matrix_multiply =
+  prog "matrix-multiply"
+    (loop_n ~induction:true 44
+       (loop_n ~induction:true 44
+          (loop_n ~induction:true 44
+             (mixed ~alu:2 ~muls:1 ~loads:2 ~miss_prob:0.04 ~stores:1 ()))))
+
+let string_match =
+  (* Byte-scanning loop with rare match work: branch-dominated. *)
+  prog "string-match"
+    (loop_dyn ~lo:7000 ~hi:11_000
+       (if_ ~prob:0.08
+          (loop_dyn ~lo:4 ~hi:16 (mixed ~alu:4 ~loads:1 ~miss_prob:0.02 ()))
+          (mixed ~alu:2 ~loads:1 ~miss_prob:0.02 ())))
+
+let linear_regression =
+  prog "linear-regression"
+    (loop_n ~induction:true 22_000 (mixed ~alu:4 ~muls:2 ~loads:1 ~miss_prob:0.03 ()))
+
+let word_count =
+  prog
+    ~funcs:[ ("hash-insert", mixed ~alu:5 ~loads:2 ~miss_prob:0.12 ~stores:1 ()) ]
+    "word-count"
+    (loop_dyn ~lo:5000 ~hi:8000
+       (seq
+          [
+            mixed ~alu:2 ~loads:1 ~miss_prob:0.03 ();
+            if_ ~prob:0.18 (CallFn "hash-insert") (work 1);
+          ]))
+
+(* ---- PARSEC style ---- *)
+
+let blackscholes =
+  (* Per-option pricing: flat loop, div/mul heavy (high CPI). *)
+  prog
+    ~funcs:[ ("cndf", mixed ~alu:6 ~muls:4 ~divs:2 ()) ]
+    "blackscholes"
+    (loop_n ~induction:true 1400
+       (seq [ mixed ~alu:4 ~muls:3 ~divs:1 ~loads:2 ~miss_prob:0.02 (); CallFn "cndf"; CallFn "cndf"; mixed ~stores:1 ~alu:1 () ]))
+
+let fluidanimate =
+  prog "fluidanimate"
+    (loop_n ~induction:true 28
+       (loop_n ~induction:true 28
+          (loop_dyn ~lo:2 ~hi:14
+             (seq
+                [
+                  mixed ~alu:4 ~muls:2 ~loads:3 ~miss_prob:0.08 ();
+                  if_ ~prob:0.5 (mixed ~alu:4 ~divs:1 ~stores:1 ()) (work 2);
+                ]))))
+
+let swaptions =
+  prog "swaptions"
+    (loop_dyn ~lo:90 ~hi:140
+       (loop_n ~induction:true 110
+          (mixed ~alu:5 ~muls:3 ~divs:1 ~loads:2 ~miss_prob:0.04 ~stores:1 ())))
+
+let canneal =
+  (* Pointer chasing over a huge net list: miss-dominated self-loop. *)
+  prog "canneal"
+    (loop_dyn ~lo:9000 ~hi:13_000 (mixed ~alu:2 ~loads:2 ~miss_prob:0.45 ~stores:1 ()))
+
+let streamcluster =
+  prog "streamcluster"
+    (loop_dyn ~lo:500 ~hi:900
+       (loop_n ~induction:true 24 (mixed ~alu:3 ~muls:2 ~loads:2 ~miss_prob:0.06 ())))
+
+let all =
+  [
+    water_nsquared;
+    water_spatial;
+    ocean_cp;
+    ocean_ncp;
+    barnes;
+    volrend;
+    fmm;
+    raytrace;
+    radiosity;
+    radix;
+    fft;
+    lu_contiguous;
+    lu_noncontiguous;
+    cholesky;
+    reverse_index;
+    histogram;
+    kmeans;
+    pca;
+    matrix_multiply;
+    string_match;
+    linear_regression;
+    word_count;
+    blackscholes;
+    fluidanimate;
+    swaptions;
+    canneal;
+    streamcluster;
+  ]
+
+let find name = List.find_opt (fun p -> p.prog_name = name) all
+
+let rocksdb_get =
+  (* ~2us at 2.1 GHz: key hash, memtable skip-list walk, filter check,
+     data-block scan, checksum. *)
+  prog
+    ~funcs:
+      [
+        ("hash-key", mixed ~alu:60 ~muls:6 ~loads:4 ~miss_prob:0.02 ());
+        ( "memtable-walk",
+          loop_dyn ~lo:20 ~hi:40
+            (seq
+               [
+                 mixed ~alu:3 ~loads:2 ~miss_prob:0.25 ();
+                 if_ ~prob:0.3 (work 4) (work 1);
+               ]) );
+        ( "filter-check",
+          loop_dyn ~induction:true ~lo:30 ~hi:60 (mixed ~alu:3 ~loads:1 ~miss_prob:0.05 ()) );
+        ( "block-scan",
+          loop_dyn ~induction:true ~lo:160 ~hi:260 (mixed ~alu:3 ~loads:2 ~miss_prob:0.12 ()) );
+      ]
+    "rocksdb-get"
+    (seq
+       [
+         CallFn "hash-key";
+         CallFn "memtable-walk";
+         CallFn "filter-check";
+         if_ ~prob:0.7 (CallFn "block-scan") (work 10);
+         External { name = "checksum"; cycles = 120 };
+         mixed ~alu:8 ~stores:2 ();
+       ])
+
+let rocksdb_scan =
+  (* ~675us: long merge loop over sorted runs. *)
+  prog
+    ~funcs:
+      [
+        ( "merge-step",
+          seq
+            [
+              mixed ~alu:4 ~loads:3 ~miss_prob:0.10 ();
+              if_ ~prob:0.4 (mixed ~alu:5 ~loads:1 ~stores:1 ()) (work 2);
+            ] );
+      ]
+    "rocksdb-scan"
+    (loop_dyn ~lo:38_500 ~hi:40_500 (CallFn "merge-step"))
+
+let lowered p = Lower.lower_program p.source

@@ -1,0 +1,29 @@
+open Tq_ir
+(** The instrumentation benchmark suite.
+
+    Twenty-seven synthetic programs named after — and structurally
+    mimicking — the SPLASH-2, PARSEC and Phoenix kernels the paper uses
+    for Table 3 (see DESIGN.md substitutions).  Structure, not exact
+    code, is what differentiates probe-placement strategies: tight inner
+    loop nests (matrix-multiply, lu), branchy scanning loops
+    (string-match, volrend), pointer-chasing with frequent misses
+    (canneal), call-heavy traversal (barnes, raytrace), and so on.
+
+    Also provides [rocksdb_get] / [rocksdb_scan], the ~2 us and ~675 us
+    jobs discussed in Sections 3.1 and 5. *)
+
+type named = { prog_name : string; source : Ast.program_src }
+
+(** All Table 3 programs, in paper order. *)
+val all : named list
+
+val find : string -> named option
+
+(** A ~2 us point-lookup job (hashing, memtable walk, block scan). *)
+val rocksdb_get : named
+
+(** A ~675 us range-scan job (large merge loop). *)
+val rocksdb_scan : named
+
+(** [lowered p] — the program lowered to CFG and validated. *)
+val lowered : named -> Cfg.program

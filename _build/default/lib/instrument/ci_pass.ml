@@ -1,0 +1,13 @@
+open Tq_ir
+let instrument_block (b : Cfg.block) =
+  let add = Cfg.block_instruction_count b in
+  if add = 0 then b
+  else { b with instrs = b.instrs @ [ Instr.Probe (Instr.Counter_probe { add }) ] }
+
+let instrument (p : Cfg.program) =
+  let funcs =
+    List.map (fun (name, f) -> (name, Cfg.map_blocks instrument_block f)) p.funcs
+  in
+  let p' = { p with funcs } in
+  Cfg.validate p';
+  p'

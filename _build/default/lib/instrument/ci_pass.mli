@@ -1,0 +1,14 @@
+open Tq_ir
+(** Instruction-counter instrumentation (the "Compiler Interrupt"
+    baseline, cf. Basu et al.).
+
+    Inserts a counter probe at the end of *every basic block*, adding the
+    block's instruction count — the density required to keep the counter
+    correct along all execution paths, and the reason this approach pays
+    a large probing overhead on block-rich code.  Whether the threshold
+    crossing yields directly (CI) or first checks the physical clock
+    (CI-Cycles) is a VM-side configuration ({!Vm.config.ci_check_clock});
+    the placement is identical, as in the paper. *)
+
+(** [instrument p] returns a new program with counter probes added. *)
+val instrument : Cfg.program -> Cfg.program

@@ -1,0 +1,84 @@
+open Tq_ir
+type row = {
+  name : string;
+  base_cycles : int;
+  ci_overhead_pct : float;
+  ci_cycles_overhead_pct : float;
+  tq_overhead_pct : float;
+  ci_mae_ns : float;
+  ci_cycles_mae_ns : float;
+  tq_mae_ns : float;
+  ci_static_probes : int;
+  tq_static_probes : int;
+  ci_dynamic_probes : int;
+  tq_dynamic_probes : int;
+}
+
+let quantum_cycles_of_us us =
+  Tq_util.Time_unit.ns_to_cycles (Tq_util.Time_unit.us us)
+
+let evaluate ?(quantum_us = 2.0) ?(bound = Tq_pass.default_config.bound) ?(seed = 7L)
+    (named : Bench_programs.named) =
+  let base_prog = Bench_programs.lowered named in
+  let ci_prog = Ci_pass.instrument base_prog in
+  let tq_prog = Tq_pass.instrument ~config:{ Tq_pass.bound; non_reentrant = [] } base_prog in
+  let quantum = quantum_cycles_of_us quantum_us in
+  let off =
+    { Vm.default_config with quantum_cycles = max_int; seed; ci_check_clock = false }
+  in
+  let on ci_check_clock =
+    { Vm.default_config with quantum_cycles = quantum; seed; ci_check_clock }
+  in
+  let baseline = Vm.run off base_prog in
+  let ci_on = Vm.run (on false) ci_prog in
+  let ci_cycles_on = Vm.run (on true) ci_prog in
+  let tq_on = Vm.run (on false) tq_prog in
+  let mae r = Vm.mean_abs_error_ns ~quantum_cycles:quantum r in
+  (* Probing overhead: instrumented runtime at the target quantum, with
+     the yield costs themselves factored out — probes and gated clock
+     reads remain, matching the paper's "instrumented GET takes 60%
+     longer" measurement. *)
+  let overhead (r : Vm.result) =
+    let adjusted = r.total_cycles - (r.yields * Tq_ir.Instr.Cost.yield) in
+    100.0
+    *. (float_of_int adjusted -. float_of_int baseline.total_cycles)
+    /. float_of_int baseline.total_cycles
+  in
+  {
+    name = named.prog_name;
+    base_cycles = baseline.total_cycles;
+    ci_overhead_pct = overhead ci_on;
+    ci_cycles_overhead_pct = overhead ci_cycles_on;
+    tq_overhead_pct = overhead tq_on;
+    ci_mae_ns = mae ci_on;
+    ci_cycles_mae_ns = mae ci_cycles_on;
+    tq_mae_ns = mae tq_on;
+    ci_static_probes = Cfg.program_probe_count ci_prog;
+    tq_static_probes = Cfg.program_probe_count tq_prog;
+    ci_dynamic_probes = ci_on.probe_executions;
+    tq_dynamic_probes = tq_on.probe_executions;
+  }
+
+let table3 ?quantum_us ?bound ?seed () =
+  List.map (fun p -> evaluate ?quantum_us ?bound ?seed p) Bench_programs.all
+
+type means = {
+  mean_ci_overhead : float;
+  mean_ci_cycles_overhead : float;
+  mean_tq_overhead : float;
+  mean_ci_mae : float;
+  mean_ci_cycles_mae : float;
+  mean_tq_mae : float;
+}
+
+let means rows =
+  let n = float_of_int (List.length rows) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  {
+    mean_ci_overhead = sum (fun r -> r.ci_overhead_pct) /. n;
+    mean_ci_cycles_overhead = sum (fun r -> r.ci_cycles_overhead_pct) /. n;
+    mean_tq_overhead = sum (fun r -> r.tq_overhead_pct) /. n;
+    mean_ci_mae = sum (fun r -> r.ci_mae_ns) /. n;
+    mean_ci_cycles_mae = sum (fun r -> r.ci_cycles_mae_ns) /. n;
+    mean_tq_mae = sum (fun r -> r.tq_mae_ns) /. n;
+  }

@@ -1,0 +1,38 @@
+(** Table 3 evaluation: probing overhead and yield-timing accuracy of
+    CI, CI-Cycles and TQ instrumentation over the benchmark suite. *)
+
+type row = {
+  name : string;
+  base_cycles : int;
+  ci_overhead_pct : float;
+  ci_cycles_overhead_pct : float;
+  tq_overhead_pct : float;
+  ci_mae_ns : float;
+  ci_cycles_mae_ns : float;
+  tq_mae_ns : float;
+  ci_static_probes : int;  (** probe instructions inserted *)
+  tq_static_probes : int;
+  ci_dynamic_probes : int;  (** probe executions at run time *)
+  tq_dynamic_probes : int;
+}
+
+(** [evaluate ?quantum_us ?bound ?seed named] measures one program:
+    overhead with yielding disabled (paired control flow), MAE at the
+    target quantum (default 2 us, as in Table 3). *)
+val evaluate :
+  ?quantum_us:float -> ?bound:int -> ?seed:int64 -> Bench_programs.named -> row
+
+(** [table3 ?quantum_us ?bound ?seed ()] evaluates the whole suite. *)
+val table3 : ?quantum_us:float -> ?bound:int -> ?seed:int64 -> unit -> row list
+
+(** Column means, as the paper's last row. *)
+type means = {
+  mean_ci_overhead : float;
+  mean_ci_cycles_overhead : float;
+  mean_tq_overhead : float;
+  mean_ci_mae : float;
+  mean_ci_cycles_mae : float;
+  mean_tq_mae : float;
+}
+
+val means : row list -> means

@@ -1,0 +1,421 @@
+open Tq_ir
+
+type config = { bound : int; non_reentrant : string list }
+
+let default_config = { bound = 400; non_reentrant = [] }
+
+type summary = { max_prefix : int; max_suffix : int; always_probed : bool }
+
+let trips_lo = function Cfg.Static k -> k | Cfg.Dynamic { lo; _ } -> lo
+let trips_hi = function Cfg.Static k -> k | Cfg.Dynamic { hi; _ } -> hi
+
+(* ------------------------------------------------------------------ *)
+(* Instruction contribution model                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* How one instruction affects the distance-since-last-probe scan.
+   [Opportunity] is a *reliable* probe opportunity (executes a clock
+   check whenever control passes it); [Gate prefix suffix] is a call to
+   an always-probed callee: its first probe is at most [prefix]
+   instructions in, and at most [suffix] run after its last. *)
+type effect_ = Step of int | Opportunity | Gate of { prefix : int; suffix : int }
+
+(* A loop probe is only a reliable opportunity for the *enclosing*
+   context when it is certain to fire on every entry of its loop, i.e.
+   when the minimum trip count reaches the period.  [loop_trips] maps a
+   latch to its trip-count distribution. *)
+let instr_effect ?(loop_trips = fun _ -> None) summaries (i : Instr.t) =
+  match i with
+  | Instr.Probe Instr.Clock_probe -> Opportunity
+  | Instr.Probe (Instr.Counter_probe _) -> Opportunity
+  | Instr.Probe (Instr.Loop_probe { latch; period; _ }) -> begin
+      match loop_trips latch with
+      | Some trips when trips_lo trips >= period -> Opportunity
+      | _ -> Step 0
+    end
+  | Instr.Call callee -> begin
+      match List.assoc_opt callee summaries with
+      | Some s when s.always_probed -> Gate { prefix = s.max_prefix; suffix = s.max_suffix }
+      | Some s -> Step (1 + s.max_prefix)
+      | None -> Step 1
+    end
+  | _ -> Step (Instr.instruction_weight i)
+
+(* ------------------------------------------------------------------ *)
+(* Loop structure helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Trip-count lookup for a function's latches. *)
+let loop_trips_of (f : Cfg.func) latch =
+  match f.blocks.(latch).term with Cfg.Latch { trips; _ } -> Some trips | _ -> None
+
+(* The deepest loop owning each block (or None). *)
+let block_owner (f : Cfg.func) (ls : Analysis.loop list) =
+  let n = Array.length f.blocks in
+  let owner = Array.make n None in
+  List.iter
+    (fun (l : Analysis.loop) ->
+      List.iter
+        (fun b ->
+          match owner.(b) with
+          | Some (prev : Analysis.loop) when prev.depth >= l.depth -> ()
+          | _ -> owner.(b) <- Some l)
+        l.body)
+    ls;
+  owner
+
+let block_work summaries (b : Cfg.block) =
+  List.fold_left
+    (fun acc i ->
+      acc
+      +
+      match instr_effect summaries i with
+      | Step w -> w
+      | Opportunity -> 0
+      | Gate { prefix; suffix } -> prefix + suffix)
+    0 b.instrs
+
+(* Expansion-weighted work of one iteration of each loop: own blocks plus
+   mean-trips-weighted work of directly nested loops. *)
+let loop_iteration_work summaries (f : Cfg.func) (ls : Analysis.loop list) =
+  let owner = block_owner f ls in
+  let work : (Cfg.block_id, float) Hashtbl.t = Hashtbl.create 8 in
+  (* Deepest first so children are computed before parents. *)
+  let deepest_first =
+    List.sort (fun (a : Analysis.loop) b -> compare b.depth a.depth) ls
+  in
+  List.iter
+    (fun (l : Analysis.loop) ->
+      let own =
+        List.fold_left
+          (fun acc b ->
+            match owner.(b) with
+            | Some o when o.latch = l.latch ->
+                acc +. float_of_int (block_work summaries f.blocks.(b))
+            | _ -> acc)
+          0.0 l.body
+      in
+      let children =
+        List.filter
+          (fun (c : Analysis.loop) ->
+            c.depth = l.depth + 1 && c.latch <> l.latch && List.mem c.header l.body)
+          ls
+      in
+      let nested =
+        List.fold_left
+          (fun acc (c : Analysis.loop) ->
+            acc +. (Cfg.mean_trips c.trips *. Hashtbl.find work c.latch))
+          0.0 children
+      in
+      Hashtbl.replace work l.latch (Float.max 1.0 (own +. nested)))
+    deepest_first;
+  fun latch -> Hashtbl.find work latch
+
+(* Does every path through one iteration of [l] (header -> latch) hit a
+   reliable probe opportunity? *)
+let iteration_guaranteed summaries (f : Cfg.func) (l : Analysis.loop) =
+  let in_body = Array.make (Array.length f.blocks) false in
+  List.iter (fun id -> in_body.(id) <- true) l.body;
+  let order = List.filter (fun id -> in_body.(id)) (Analysis.topo_order f) in
+  let preds = Cfg.predecessors f in
+  let n = Array.length f.blocks in
+  (* clean.(b) >= 0 iff some path from the header reaches b's exit
+     without crossing a reliable opportunity. *)
+  let clean = Array.make n (-1) in
+  let loop_trips = loop_trips_of f in
+  let is_back_edge p id =
+    match f.blocks.(p).term with
+    | Cfg.Latch { header; _ } -> header = id
+    | _ -> false
+  in
+  List.iter
+    (fun id ->
+      let body_preds =
+        List.filter (fun p -> in_body.(p) && not (is_back_edge p id)) preds.(id)
+      in
+      let clean_in =
+        if id = l.header then 0
+        else
+          List.fold_left
+            (fun acc p -> if clean.(p) >= 0 then max acc clean.(p) else acc)
+            (-1) body_preds
+      in
+      let c = ref clean_in in
+      List.iter
+        (fun instr ->
+          match instr_effect ~loop_trips summaries instr with
+          | Step w -> if !c >= 0 then c := !c + w
+          | Opportunity | Gate _ -> c := -1)
+        f.blocks.(id).instrs;
+      clean.(id) <- !c)
+    order;
+  clean.(l.latch) < 0
+
+(* ------------------------------------------------------------------ *)
+(* Loop instrumentation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let instrument_loops config summaries (f : Cfg.func) =
+  (* Deepest loops first so outer loops see inner instrumentation. *)
+  let process () =
+    let ls = Analysis.loops f in
+    let work = loop_iteration_work summaries f ls in
+    let deepest_first =
+      List.sort (fun (a : Analysis.loop) b -> compare b.depth a.depth) ls
+    in
+    List.iter
+      (fun (l : Analysis.loop) ->
+        let w = work l.latch in
+        let statically_small =
+          float_of_int (trips_hi l.trips) *. w <= float_of_int config.bound
+        in
+        let guaranteed = iteration_guaranteed summaries f l in
+        let period = max 1 (int_of_float (float_of_int config.bound /. w)) in
+        let can_fire = trips_hi l.trips >= period in
+        if (not guaranteed) && (not statically_small) && can_fire then begin
+          let probe =
+            Instr.Probe
+              (Instr.Loop_probe
+                 {
+                   latch = l.latch;
+                   period;
+                   counter_free = l.induction;
+                   cloned = Analysis.is_self_loop l;
+                 })
+          in
+          let latch_block = f.blocks.(l.latch) in
+          latch_block.instrs <- latch_block.instrs @ [ probe ]
+        end)
+      deepest_first
+  in
+  process ()
+
+(* ------------------------------------------------------------------ *)
+(* Acyclic scan                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Residual distance carried past a loop: the worst probe-free stretch
+   its execution can leave behind. *)
+let loop_residual config summaries (f : Cfg.func) work (l : Analysis.loop) =
+  let w = work l.latch in
+  match
+    List.find_opt
+      (function
+        | Instr.Probe (Instr.Loop_probe { latch; _ }) -> latch = l.latch
+        | _ -> false)
+      f.blocks.(l.latch).instrs
+  with
+  | Some (Instr.Probe (Instr.Loop_probe { period; _ })) ->
+      int_of_float (float_of_int period *. w)
+  | _ ->
+      if iteration_guaranteed summaries f l then int_of_float w
+      else
+        (* Uninstrumented: total work is statically bounded (or the loop
+           cannot reach its period); cap at the total. *)
+        min
+          (int_of_float (float_of_int (trips_hi l.trips) *. w))
+          (2 * config.bound)
+
+let scan_function config summaries (f : Cfg.func) =
+  let n = Array.length f.blocks in
+  let preds = Cfg.predecessors f in
+  let out_dist = Array.make n 0 in
+  let ls = Analysis.loops f in
+  let work = loop_iteration_work summaries f ls in
+  (* Per-header loop facts: residual gap left at the exit, whether a
+     probe is certain to fire on every entry, and total worst-case work
+     of uninstrumented entries. *)
+  let residual_at = Array.make n 0 in
+  let fires_surely = Array.make n false in
+  let total_work_at = Array.make n 0 in
+  let is_header = Array.make n false in
+  List.iter
+    (fun (l : Analysis.loop) ->
+      is_header.(l.header) <- true;
+      residual_at.(l.header) <-
+        max residual_at.(l.header) (loop_residual config summaries f work l);
+      let instrumented_period =
+        List.find_map
+          (function
+            | Instr.Probe (Instr.Loop_probe { latch; period; _ }) when latch = l.latch ->
+                Some period
+            | _ -> None)
+          f.blocks.(l.latch).instrs
+      in
+      let surely =
+        iteration_guaranteed summaries f l
+        || match instrumented_period with
+           | Some period -> trips_lo l.trips >= period
+           | None -> false
+      in
+      fires_surely.(l.header) <- surely;
+      total_work_at.(l.header) <-
+        max total_work_at.(l.header)
+          (int_of_float (float_of_int (trips_hi l.trips) *. work l.latch)))
+    ls;
+  (* A predecessor edge is a back edge only when it is the latch of the
+     loop whose header is this block; latch->exit edges are forward. *)
+  let is_back_edge p id =
+    match f.blocks.(p).term with
+    | Cfg.Latch { header; _ } -> header = id
+    | _ -> false
+  in
+  let loop_trips = loop_trips_of f in
+  let header_in = Array.make n 0 in
+  let scan_block id =
+    let block = f.blocks.(id) in
+    let fwd_preds = List.filter (fun p -> not (is_back_edge p id)) preds.(id) in
+    let pred_in = List.fold_left (fun acc p -> max acc out_dist.(p)) 0 fwd_preds in
+    (* Loop bodies scan from a fresh distance: intra-iteration gaps are
+       the loop probe's responsibility; the pre-loop distance is carried
+       to the exit edge instead (see the latch case below). *)
+    let in_dist =
+      if is_header.(id) then begin
+        header_in.(id) <- pred_in;
+        0
+      end
+      else pred_in
+    in
+    let dist = ref in_dist in
+    let rev_out = ref [] in
+    List.iter
+      (fun instr ->
+        (match instr_effect ~loop_trips summaries instr with
+        | Opportunity -> dist := 0
+        | Gate { prefix; suffix } ->
+            if !dist + prefix > config.bound && !dist > 0 then begin
+              rev_out := Instr.Probe Instr.Clock_probe :: !rev_out;
+              dist := 0
+            end;
+            dist := suffix
+        | Step w ->
+            if !dist + w > config.bound && !dist > 0 then begin
+              rev_out := Instr.Probe Instr.Clock_probe :: !rev_out;
+              dist := 0
+            end;
+            dist := !dist + w);
+        rev_out := instr :: !rev_out)
+      block.instrs;
+    block.instrs <- List.rev !rev_out;
+    (* The exit edge of a loop carries the loop residual, plus the
+       pre-loop distance when no probe is certain to have fired. *)
+    (match block.term with
+    | Cfg.Latch { header; _ } ->
+        let carry =
+          if fires_surely.(header) then residual_at.(header)
+          else header_in.(header) + min residual_at.(header) total_work_at.(header)
+        in
+        dist := max !dist carry
+    | _ -> ());
+    out_dist.(id) <- !dist
+  in
+  List.iter scan_block (Analysis.topo_order f)
+
+(* ------------------------------------------------------------------ *)
+(* Function summaries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let summarize summaries (f : Cfg.func) =
+  let n = Array.length f.blocks in
+  let preds = Cfg.predecessors f in
+  let is_back_edge p id =
+    match f.blocks.(p).term with
+    | Cfg.Latch { header; _ } -> header = id
+    | _ -> false
+  in
+  let loop_trips = loop_trips_of f in
+  let tail = Array.make n 0 and clean = Array.make n (-1) in
+  let max_prefix = ref 0 and max_suffix = ref 0 and clean_ret = ref false in
+  let scan_block id =
+    let block = f.blocks.(id) in
+    let fwd_preds = List.filter (fun p -> not (is_back_edge p id)) preds.(id) in
+    let tail_in = List.fold_left (fun acc p -> max acc tail.(p)) 0 fwd_preds in
+    let clean_in =
+      if id = f.entry then 0
+      else
+        List.fold_left
+          (fun acc p -> if clean.(p) >= 0 then max acc clean.(p) else acc)
+          (-1) fwd_preds
+    in
+    let t = ref tail_in and c = ref clean_in in
+    List.iter
+      (fun instr ->
+        match instr_effect ~loop_trips summaries instr with
+        | Step w ->
+            t := !t + w;
+            if !c >= 0 then c := !c + w
+        | Opportunity ->
+            if !c >= 0 then max_prefix := max !max_prefix !c;
+            t := 0;
+            c := -1
+        | Gate { prefix; suffix } ->
+            if !c >= 0 then max_prefix := max !max_prefix (!c + prefix);
+            t := suffix;
+            c := -1)
+      block.instrs;
+    tail.(id) <- !t;
+    clean.(id) <- !c;
+    match block.term with
+    | Cfg.Ret ->
+        max_suffix := max !max_suffix !t;
+        if !c >= 0 then begin
+          clean_ret := true;
+          max_prefix := max !max_prefix !c
+        end
+    | _ -> ()
+  in
+  List.iter scan_block (Analysis.topo_order f);
+  { max_prefix = !max_prefix; max_suffix = !max_suffix; always_probed = not !clean_ret }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let callees (f : Cfg.func) =
+  Array.to_list f.blocks
+  |> List.concat_map (fun (b : Cfg.block) ->
+         List.filter_map (function Instr.Call callee -> Some callee | _ -> None) b.instrs)
+
+(* Bottom-up call-graph order (callees before callers). *)
+let callee_first_order (p : Cfg.program) =
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name `Visiting;
+      let f = Cfg.func_of_program p name in
+      List.iter
+        (fun callee ->
+          match Hashtbl.find_opt visited callee with
+          | Some `Visiting -> invalid_arg "Tq_pass: recursive call graph"
+          | Some `Done -> ()
+          | None -> visit callee)
+        (callees f);
+      Hashtbl.replace visited name `Done;
+      order := name :: !order
+    end
+  in
+  List.iter (fun (name, _) -> visit name) p.funcs;
+  List.rev !order
+
+let copy_func (f : Cfg.func) =
+  {
+    f with
+    blocks = Array.map (fun (b : Cfg.block) -> { b with instrs = b.instrs }) f.blocks;
+  }
+
+let instrument ?(config = default_config) (p : Cfg.program) =
+  if config.bound < 1 then invalid_arg "Tq_pass.instrument: bound must be positive";
+  let copied = { p with funcs = List.map (fun (n, f) -> (n, copy_func f)) p.funcs } in
+  let summaries = ref [] in
+  List.iter
+    (fun name ->
+      let f = Cfg.func_of_program copied name in
+      if not (List.mem name config.non_reentrant) then begin
+        instrument_loops config !summaries f;
+        scan_function config !summaries f
+      end;
+      summaries := (name, summarize !summaries f) :: !summaries)
+    (callee_first_order copied);
+  Cfg.validate copied;
+  copied

@@ -1,0 +1,50 @@
+open Tq_ir
+(** TQ's probe-placement pass (Section 3.1 of the paper).
+
+    Inserts sparse physical-clock probes such that the longest
+    *uninstrumented* execution path between two probe opportunities is
+    bounded by [bound] instructions:
+
+    - Acyclic code: a longest-distance-since-last-probe dataflow over the
+      forward CFG inserts a clock probe wherever the bound would be
+      exceeded.
+    - Loops: when the trip count cannot be deduced statically (or the
+      total statically-known work exceeds the bound), the latch gets a
+      loop probe that invokes the clock check every
+      [bound / longest-iteration-path] iterations.  If the loop has an
+      induction variable the iteration counter is free; single-block
+      self-loops are cloned so that entries with a runtime trip count
+      under the period bypass instrumentation entirely.
+    - Calls: instrumented callees are summarized by their worst-case
+      probe-free entry prefix / exit suffix; calls to small or
+      uninstrumented functions contribute their whole length; externals
+      contribute an estimated instruction cost.
+
+    Unlike the instruction-counter approach, probes may sit anywhere
+    (physical clocks need no bookkeeping correctness), so the pass places
+    them far apart — the source of its low overhead. *)
+
+type config = {
+  bound : int;  (** max instructions between probe opportunities *)
+  non_reentrant : string list;
+      (** functions that must not yield (Section 6's reentrancy hazard):
+          no probes are placed inside them; callers treat them as opaque
+          uninstrumented cost *)
+}
+
+val default_config : config
+
+(** [instrument ?config p] — functions are processed callee-first (the
+    call graph must be acyclic, which [lower_program] guarantees for our
+    sources). *)
+val instrument : ?config:config -> Cfg.program -> Cfg.program
+
+(** Per-function summary used for interprocedural placement; exposed for
+    tests. *)
+type summary = {
+  max_prefix : int;  (** worst probe-free distance from entry to a probe or return *)
+  max_suffix : int;  (** worst probe-free distance from the last probe to return *)
+  always_probed : bool;  (** every path through the function hits a probe *)
+}
+
+val summarize : (string * summary) list -> Cfg.func -> summary

@@ -1,0 +1,253 @@
+open Tq_ir
+module Prng = Tq_util.Prng
+module Cost = Instr.Cost
+
+type config = {
+  quantum_cycles : int;
+  quantum_schedule : int array option;
+  assumed_cpi : float;
+  ci_check_clock : bool;
+  seed : int64;
+}
+
+let default_config =
+  {
+    quantum_cycles = max_int;
+    quantum_schedule = None;
+    assumed_cpi = 2.8;
+    ci_check_clock = false;
+    seed = 1L;
+  }
+
+type result = {
+  total_cycles : int;
+  work_cycles : int;
+  probe_cycles : int;
+  probe_executions : int;
+  yields : int;
+  yield_intervals : int list;
+  instructions : int;
+}
+
+type state = {
+  config : config;
+  rng : Prng.t;
+  program : Cfg.program;
+  mutable cycles : int;
+  mutable work_cycles : int;
+  mutable probe_cycles : int;
+  mutable probe_executions : int;
+  mutable last_yield : int;
+  mutable yields : int;
+  mutable intervals : int list;
+  mutable instructions : int;
+  mutable ci_counter : int;
+}
+
+(* Per-function-activation bookkeeping: loop trip counters (program
+   semantics) and loop-probe iteration counters (instrumentation). *)
+type frame = {
+  func : Cfg.func;
+  header_latches : (Cfg.block_id, Cfg.block_id list) Hashtbl.t;
+  trip_remaining : (Cfg.block_id, int) Hashtbl.t;  (** keyed by latch *)
+  entry_trips : (Cfg.block_id, int) Hashtbl.t;  (** trips sampled at entry *)
+  probe_iter : (Cfg.block_id, int) Hashtbl.t;  (** loop-probe counters *)
+}
+
+(* The quantum for the next yield: positional in [quantum_schedule]
+   (dynamic quanta, e.g. LAS), else the fixed [quantum_cycles]. *)
+let current_quantum st =
+  match st.config.quantum_schedule with
+  | Some arr when st.yields < Array.length arr -> arr.(st.yields)
+  | Some arr when Array.length arr > 0 -> arr.(Array.length arr - 1)
+  | _ -> st.config.quantum_cycles
+
+let ci_threshold st =
+  let q = current_quantum st in
+  if q = max_int then max_int
+  else max 1 (int_of_float (float_of_int q /. st.config.assumed_cpi))
+
+let sample_trips st = function
+  | Cfg.Static k -> max 1 k
+  | Cfg.Dynamic { lo; hi } -> max 1 (Prng.int_in_range st.rng ~lo ~hi)
+
+let make_frame (func : Cfg.func) =
+  let header_latches = Hashtbl.create 4 in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      match b.term with
+      | Cfg.Latch { header; _ } ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt header_latches header) in
+          Hashtbl.replace header_latches header (b.id :: existing)
+      | _ -> ())
+    func.blocks;
+  {
+    func;
+    header_latches;
+    trip_remaining = Hashtbl.create 4;
+    entry_trips = Hashtbl.create 4;
+    probe_iter = Hashtbl.create 4;
+  }
+
+let do_yield st =
+  let interval = st.cycles - st.last_yield in
+  st.intervals <- interval :: st.intervals;
+  st.yields <- st.yields + 1;
+  st.cycles <- st.cycles + Cost.yield;
+  st.last_yield <- st.cycles
+
+let clock_probe_check st =
+  st.probe_executions <- st.probe_executions + 1;
+  st.probe_cycles <- st.probe_cycles + Cost.clock_probe;
+  st.cycles <- st.cycles + Cost.clock_probe;
+  if st.cycles - st.last_yield >= current_quantum st then do_yield st
+
+let counter_probe st add =
+  st.probe_executions <- st.probe_executions + 1;
+  st.probe_cycles <- st.probe_cycles + Cost.counter_probe;
+  st.cycles <- st.cycles + Cost.counter_probe;
+  st.ci_counter <- st.ci_counter + add;
+  let threshold = ci_threshold st in
+  if st.ci_counter >= threshold then
+    if st.config.ci_check_clock then begin
+      (* CI-Cycles: a clock read gated behind the counter. *)
+      st.probe_cycles <- st.probe_cycles + Cost.clock_probe;
+      st.cycles <- st.cycles + Cost.clock_probe;
+      if st.cycles - st.last_yield >= current_quantum st then begin
+        do_yield st;
+        st.ci_counter <- 0
+      end
+      else begin
+        (* Re-arm proportionally: check again when the *remaining* part
+           of the quantum translates back to zero instructions left. *)
+        let remaining = current_quantum st - (st.cycles - st.last_yield) in
+        let remaining_instrs =
+          int_of_float (float_of_int remaining /. st.config.assumed_cpi)
+        in
+        st.ci_counter <- max 0 (threshold - remaining_instrs)
+      end
+    end
+    else begin
+      do_yield st;
+      st.ci_counter <- 0
+    end
+
+let loop_probe st frame ~latch ~period ~counter_free ~cloned =
+  (* Cloned self-loops skip instrumentation when this entry's trip count
+     is under the period (the runtime selected the uninstrumented
+     version). *)
+  let trips = Option.value ~default:max_int (Hashtbl.find_opt frame.entry_trips latch) in
+  if not (cloned && trips < period) then begin
+    if not counter_free then begin
+      st.probe_cycles <- st.probe_cycles + Cost.loop_probe_iter;
+      st.cycles <- st.cycles + Cost.loop_probe_iter;
+      st.probe_executions <- st.probe_executions + 1
+    end;
+    let count = 1 + Option.value ~default:0 (Hashtbl.find_opt frame.probe_iter latch) in
+    if count >= period then begin
+      Hashtbl.replace frame.probe_iter latch 0;
+      clock_probe_check st
+    end
+    else Hashtbl.replace frame.probe_iter latch count
+  end
+
+let work st cycles weight =
+  st.cycles <- st.cycles + cycles;
+  st.work_cycles <- st.work_cycles + cycles;
+  st.instructions <- st.instructions + weight
+
+let rec exec_instr st frame (i : Instr.t) =
+  match i with
+  | Alu -> work st Cost.alu 1
+  | Mul -> work st Cost.mul 1
+  | Div -> work st Cost.div 1
+  | Store -> work st Cost.store 1
+  | Load { miss_prob } ->
+      let cost = if Prng.bernoulli st.rng ~p:miss_prob then Cost.load_miss else Cost.load_hit in
+      work st cost 1
+  | External { cycles; _ } -> work st cycles (Instr.instruction_weight i)
+  | Call callee ->
+      work st Cost.call_overhead 1;
+      exec_func st (Cfg.func_of_program st.program callee)
+  | Probe Clock_probe -> clock_probe_check st
+  | Probe (Counter_probe { add }) -> counter_probe st add
+  | Probe (Loop_probe { latch; period; counter_free; cloned }) ->
+      loop_probe st frame ~latch ~period ~counter_free ~cloned
+
+and exec_func st (func : Cfg.func) =
+  let frame = make_frame func in
+  let rec run_block id ~from_latch =
+    let block = func.blocks.(id) in
+    (* Entering a loop header from outside samples the trip count. *)
+    (match Hashtbl.find_opt frame.header_latches id with
+    | Some latches when not from_latch ->
+        List.iter
+          (fun latch ->
+            let trips =
+              match func.blocks.(latch).term with
+              | Cfg.Latch { trips; _ } -> sample_trips st trips
+              | _ -> assert false
+            in
+            Hashtbl.replace frame.trip_remaining latch trips;
+            Hashtbl.replace frame.entry_trips latch trips;
+            Hashtbl.replace frame.probe_iter latch 0)
+          latches
+    | _ -> ());
+    List.iter (exec_instr st frame) block.instrs;
+    match block.term with
+    | Cfg.Ret -> ()
+    | Cfg.Jump next -> run_block next ~from_latch:false
+    | Cfg.Branch { taken_prob; if_true; if_false } ->
+        let target = if Prng.bernoulli st.rng ~p:taken_prob then if_true else if_false in
+        run_block target ~from_latch:false
+    | Cfg.Latch { header; exit; _ } ->
+        let remaining = Hashtbl.find frame.trip_remaining block.id - 1 in
+        Hashtbl.replace frame.trip_remaining block.id remaining;
+        if remaining > 0 then run_block header ~from_latch:true
+        else run_block exit ~from_latch:false
+  in
+  run_block func.entry ~from_latch:false
+
+let run config program =
+  let st =
+    {
+      config;
+      rng = Prng.create ~seed:config.seed;
+      program;
+      cycles = 0;
+      work_cycles = 0;
+      probe_cycles = 0;
+      probe_executions = 0;
+      last_yield = 0;
+      yields = 0;
+      intervals = [];
+      instructions = 0;
+      ci_counter = 0;
+    }
+  in
+  exec_func st (Cfg.func_of_program program program.main);
+  {
+    total_cycles = st.cycles;
+    work_cycles = st.work_cycles;
+    probe_cycles = st.probe_cycles;
+    probe_executions = st.probe_executions;
+    yields = st.yields;
+    yield_intervals = List.rev st.intervals;
+    instructions = st.instructions;
+  }
+
+let mean_abs_error_ns ~quantum_cycles ?(ghz = Tq_util.Time_unit.default_ghz) r =
+  match r.yield_intervals with
+  | [] -> nan
+  | intervals ->
+      let sum =
+        List.fold_left
+          (fun acc i -> acc +. Float.abs (float_of_int (i - quantum_cycles)))
+          0.0 intervals
+      in
+      sum /. float_of_int (List.length intervals) /. ghz
+
+let overhead_percent ~baseline ~instrumented =
+  100.0
+  *. (float_of_int instrumented.total_cycles -. float_of_int baseline.total_cycles)
+  /. float_of_int baseline.total_cycles

@@ -1,0 +1,55 @@
+open Tq_ir
+(** Cycle-accurate interpreter for the miniature IR.
+
+    Executes a (possibly instrumented) program on a virtual cycle clock,
+    implementing the runtime semantics of every probe kind:
+
+    - TQ clock probes read the virtual TSC and yield when a quantum has
+      elapsed since the previous yield;
+    - CI counter probes accumulate instruction counts and compare against
+      a threshold derived from the target quantum through an assumed
+      cycles-per-instruction ratio — the translation the paper shows to
+      be fundamentally inaccurate;
+    - CI-Cycles gates a clock read behind the counter threshold;
+    - TQ loop probes fire a clock probe every N-th iteration, for free
+      when an induction variable is reused, and are skipped entirely for
+      cloned self-loops whose runtime trip count is under the period.
+
+    Branch outcomes, load misses and dynamic trip counts are drawn from a
+    seeded PRNG in program order, so an instrumented run and its
+    uninstrumented baseline see identical control flow — overhead
+    measurements are exactly paired. *)
+
+type config = {
+  quantum_cycles : int;  (** target quantum; [max_int] disables yielding *)
+  quantum_schedule : int array option;
+      (** dynamic quanta: element k is the quantum preceding the k-th
+          yield (last element repeats) — the paper notes physical-clock
+          probes support exactly this, as needed by LAS *)
+  assumed_cpi : float;  (** CI's instruction->cycle translation ratio *)
+  ci_check_clock : bool;  (** CI-Cycles hybrid behaviour *)
+  seed : int64;
+}
+
+val default_config : config
+
+type result = {
+  total_cycles : int;  (** cycles to complete, yield costs included *)
+  work_cycles : int;  (** cycles spent on non-probe, non-yield work *)
+  probe_cycles : int;  (** cycles spent in probe instructions *)
+  probe_executions : int;  (** dynamic probe-site executions *)
+  yields : int;
+  yield_intervals : int list;  (** cycles between consecutive yields *)
+  instructions : int;  (** dynamic instruction count (weights) *)
+}
+
+(** [run config program] executes [program.main] to completion. *)
+val run : config -> Cfg.program -> result
+
+(** [mean_abs_error_ns ~quantum_cycles ~ghz r] — the paper's MAE of
+    yield timings, in nanoseconds; nan when no yields happened. *)
+val mean_abs_error_ns : quantum_cycles:int -> ?ghz:float -> result -> float
+
+(** [overhead_percent ~baseline ~instrumented] — extra runtime of the
+    instrumented binary with yielding disabled, in percent. *)
+val overhead_percent : baseline:result -> instrumented:result -> float

@@ -1,0 +1,1 @@
+lib/ir/analysis.ml: Array Cfg Hashtbl Instr List

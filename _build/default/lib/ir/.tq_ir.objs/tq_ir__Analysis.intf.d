@@ -1,0 +1,1 @@
+lib/ir/analysis.mli: Cfg

@@ -1,0 +1,1 @@
+lib/ir/ast.ml: Cfg Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Format Instr

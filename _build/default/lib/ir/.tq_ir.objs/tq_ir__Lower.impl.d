@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Cfg Instr List

@@ -1,0 +1,90 @@
+(* Forward successors: latch->header back edges removed. *)
+let forward_successors (b : Cfg.block) =
+  match b.term with
+  | Cfg.Latch { exit; _ } -> [ exit ]
+  | term -> Cfg.successors term
+
+let topo_order (f : Cfg.func) =
+  let n = Array.length f.blocks in
+  let state = Array.make n `White in
+  let order = ref [] in
+  let rec visit id =
+    match state.(id) with
+    | `Black -> ()
+    | `Gray -> invalid_arg "Analysis.topo_order: forward CFG has a cycle"
+    | `White ->
+        state.(id) <- `Gray;
+        List.iter visit (forward_successors f.blocks.(id));
+        state.(id) <- `Black;
+        order := id :: !order
+  in
+  visit f.entry;
+  (* Include unreachable blocks at the end for totality. *)
+  Array.iteri (fun id _ -> if state.(id) = `White then visit id) f.blocks;
+  !order
+
+type loop = {
+  header : Cfg.block_id;
+  latch : Cfg.block_id;
+  exit : Cfg.block_id;
+  body : Cfg.block_id list;
+  trips : Cfg.trip_count;
+  induction : bool;
+  depth : int;
+}
+
+(* Natural loop of a back edge latch->header: header plus all blocks that
+   reach the latch without passing through the header. *)
+let natural_loop_body (f : Cfg.func) ~header ~latch =
+  let preds = Cfg.predecessors f in
+  let in_loop = Hashtbl.create 8 in
+  Hashtbl.replace in_loop header ();
+  let rec walk id =
+    if not (Hashtbl.mem in_loop id) then begin
+      Hashtbl.replace in_loop id ();
+      List.iter walk preds.(id)
+    end
+  in
+  walk latch;
+  Array.to_list (Array.init (Array.length f.blocks) (fun i -> i))
+  |> List.filter (Hashtbl.mem in_loop)
+
+let loops (f : Cfg.func) =
+  let raw =
+    Array.to_list f.blocks
+    |> List.filter_map (fun (b : Cfg.block) ->
+           match b.term with
+           | Cfg.Latch { header; exit; trips; induction } ->
+               let body = natural_loop_body f ~header ~latch:b.id in
+               Some { header; latch = b.id; exit; body; trips; induction; depth = 1 }
+           | _ -> None)
+  in
+  (* Depth: number of loops whose body contains this loop's header. *)
+  let with_depth =
+    List.map
+      (fun l ->
+        let depth =
+          List.length (List.filter (fun outer -> List.mem l.header outer.body) raw)
+        in
+        { l with depth })
+      raw
+  in
+  List.sort (fun a b -> compare a.depth b.depth) with_depth
+
+let loop_of_latch f latch = List.find_opt (fun l -> l.latch = latch) (loops f)
+let is_self_loop l = l.header = l.latch
+
+let expected_block_cycles (b : Cfg.block) =
+  List.fold_left (fun acc i -> acc +. Instr.expected_cycles i) 0.0 b.instrs
+
+let reachable (f : Cfg.func) =
+  let n = Array.length f.blocks in
+  let seen = Array.make n false in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter visit (Cfg.successors f.blocks.(id).term)
+    end
+  in
+  visit f.entry;
+  seen

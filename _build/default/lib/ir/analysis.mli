@@ -1,0 +1,33 @@
+(** CFG analyses used by the instrumentation passes. *)
+
+(** [topo_order f] — block ids in topological order of the forward CFG
+    (back edges, i.e. latch->header edges, ignored).  Structured CFGs
+    are acyclic once back edges are removed. *)
+val topo_order : Cfg.func -> Cfg.block_id list
+
+(** A natural loop. *)
+type loop = {
+  header : Cfg.block_id;
+  latch : Cfg.block_id;
+  exit : Cfg.block_id;
+  body : Cfg.block_id list;  (** all blocks in the loop, header included *)
+  trips : Cfg.trip_count;
+  induction : bool;
+  depth : int;  (** nesting depth, outermost = 1 *)
+}
+
+(** [loops f] — every loop in the function, outermost first. *)
+val loops : Cfg.func -> loop list
+
+(** [loop_of_latch f latch] — the loop whose latch is [latch]. *)
+val loop_of_latch : Cfg.func -> Cfg.block_id -> loop option
+
+(** [is_self_loop l] — single-block loop (header = latch). *)
+val is_self_loop : loop -> bool
+
+(** [expected_block_cycles b] — mean cycles of a block's instructions
+    (externals at face value, calls at call overhead only). *)
+val expected_block_cycles : Cfg.block -> float
+
+(** [reachable f] — blocks reachable from entry. *)
+val reachable : Cfg.func -> bool array

@@ -1,0 +1,58 @@
+type work = {
+  alu : int;
+  muls : int;
+  divs : int;
+  loads : int;
+  miss_prob : float;
+  stores : int;
+}
+
+type t =
+  | Work of work
+  | Seq of t list
+  | If of { prob : float; then_ : t; else_ : t }
+  | Loop of { trips : Cfg.trip_count; induction : bool; body : t }
+  | CallFn of string
+  | External of { name : string; cycles : int }
+
+type program_src = { src_funcs : (string * t) list; src_main : string }
+
+let work n = Work { alu = n; muls = 0; divs = 0; loads = 0; miss_prob = 0.0; stores = 0 }
+
+let mixed ?(alu = 0) ?(muls = 0) ?(divs = 0) ?(loads = 0) ?(miss_prob = 0.05) ?(stores = 0)
+    () =
+  Work { alu; muls; divs; loads; miss_prob; stores }
+
+let seq ts = Seq ts
+let if_ ~prob then_ else_ = If { prob; then_; else_ }
+let loop ?(induction = false) ~trips body = Loop { trips; induction; body }
+let loop_n ?induction n body = loop ?induction ~trips:(Cfg.Static n) body
+let loop_dyn ?induction ~lo ~hi body = loop ?induction ~trips:(Cfg.Dynamic { lo; hi }) body
+
+let work_count w = w.alu + w.muls + w.divs + w.loads + w.stores
+
+let expected_instruction_count src name =
+  let memo = Hashtbl.create 8 in
+  let rec count_fn name =
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+        (* Guard against recursion: charge 0 while computing. *)
+        Hashtbl.replace memo name 0.0;
+        let body =
+          match List.assoc_opt name src.src_funcs with
+          | Some b -> b
+          | None -> invalid_arg ("Ast.expected_instruction_count: unknown " ^ name)
+        in
+        let v = count body in
+        Hashtbl.replace memo name v;
+        v
+  and count = function
+    | Work w -> float_of_int (work_count w)
+    | Seq ts -> List.fold_left (fun acc t -> acc +. count t) 0.0 ts
+    | If { prob; then_; else_ } -> (prob *. count then_) +. ((1.0 -. prob) *. count else_)
+    | Loop { trips; body; _ } -> Cfg.mean_trips trips *. count body
+    | CallFn f -> 1.0 +. count_fn f
+    | External _ -> 1.0
+  in
+  count_fn name

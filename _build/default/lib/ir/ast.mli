@@ -1,0 +1,46 @@
+(** Structured program ASTs.
+
+    Benchmark programs are written in this small structured language and
+    lowered to CFGs ({!Lower}).  The shape vocabulary — straight-line
+    work, branches with probabilities, loops with static or dynamic trip
+    counts, calls — spans the program structures that differentiate
+    probe-placement strategies (tight inner loops, branchy code,
+    irregular nests, call-heavy code). *)
+
+type work = {
+  alu : int;
+  muls : int;
+  divs : int;
+  loads : int;
+  miss_prob : float;  (** cache-miss probability of each load site *)
+  stores : int;
+}
+
+type t =
+  | Work of work  (** a straight-line run of instructions *)
+  | Seq of t list
+  | If of { prob : float; then_ : t; else_ : t }
+  | Loop of { trips : Cfg.trip_count; induction : bool; body : t }
+  | CallFn of string
+  | External of { name : string; cycles : int }
+
+type program_src = { src_funcs : (string * t) list; src_main : string }
+
+(** Convenience constructors. *)
+
+(** [work n] — [n] ALU instructions. *)
+val work : int -> t
+
+(** [mixed ~alu ~muls ~divs ~loads ~miss_prob ~stores ()]. *)
+val mixed :
+  ?alu:int -> ?muls:int -> ?divs:int -> ?loads:int -> ?miss_prob:float -> ?stores:int -> unit -> t
+
+val seq : t list -> t
+val if_ : prob:float -> t -> t -> t
+val loop : ?induction:bool -> trips:Cfg.trip_count -> t -> t
+val loop_n : ?induction:bool -> int -> t -> t
+val loop_dyn : ?induction:bool -> lo:int -> hi:int -> t -> t
+
+(** [instruction_count t program_src] — static instruction count with
+    loops weighted by expected trips (callees included). *)
+val expected_instruction_count : program_src -> string -> float

@@ -1,0 +1,161 @@
+type block_id = int
+type trip_count = Static of int | Dynamic of { lo : int; hi : int }
+
+type terminator =
+  | Jump of block_id
+  | Branch of { taken_prob : float; if_true : block_id; if_false : block_id }
+  | Latch of { header : block_id; exit : block_id; trips : trip_count; induction : bool }
+  | Ret
+
+type block = { id : block_id; mutable instrs : Instr.t list; mutable term : terminator }
+type func = { fname : string; entry : block_id; blocks : block array }
+type program = { funcs : (string * func) list; main : string }
+
+let func_of_program p name = List.assoc name p.funcs
+
+let successors = function
+  | Jump b -> [ b ]
+  | Branch { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Latch { header; exit; _ } -> [ header; exit ]
+  | Ret -> []
+
+let invalid fmt = Format.kasprintf (fun s -> invalid_arg ("Cfg.validate: " ^ s)) fmt
+
+let validate_func p f =
+  let n = Array.length f.blocks in
+  if n = 0 then invalid "%s: no blocks" f.fname;
+  if f.entry < 0 || f.entry >= n then invalid "%s: entry out of range" f.fname;
+  Array.iteri
+    (fun i b ->
+      if b.id <> i then invalid "%s: block id mismatch at %d" f.fname i;
+      List.iter
+        (fun target ->
+          if target < 0 || target >= n then
+            invalid "%s: block %d targets missing block %d" f.fname i target)
+        (successors b.term);
+      (match b.term with
+      | Branch { taken_prob; _ } ->
+          if taken_prob < 0.0 || taken_prob > 1.0 then
+            invalid "%s: block %d branch probability out of range" f.fname i
+      | Latch { trips = Static k; _ } ->
+          if k < 0 then invalid "%s: block %d negative trip count" f.fname i
+      | Latch { trips = Dynamic { lo; hi }; _ } ->
+          if lo < 0 || hi < lo then invalid "%s: block %d bad trip range" f.fname i
+      | Jump _ | Ret -> ());
+      List.iter
+        (function
+          | Instr.Call callee ->
+              if not (List.mem_assoc callee p.funcs) then
+                invalid "%s: call to undefined function %s" f.fname callee
+          | _ -> ())
+        b.instrs)
+    f.blocks
+
+let validate p =
+  if not (List.mem_assoc p.main p.funcs) then invalid "main %s undefined" p.main;
+  List.iter (fun (_, f) -> validate_func p f) p.funcs
+
+let predecessors f =
+  let preds = Array.make (Array.length f.blocks) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) (successors b.term))
+    f.blocks;
+  Array.map List.rev preds
+
+let block_instruction_count b =
+  List.fold_left (fun acc i -> acc + Instr.instruction_weight i) 0 b.instrs
+
+let func_instruction_count f =
+  Array.fold_left (fun acc b -> acc + block_instruction_count b) 0 f.blocks
+
+let probe_count f =
+  Array.fold_left
+    (fun acc b ->
+      acc + List.length (List.filter Instr.is_probe b.instrs))
+    0 f.blocks
+
+let program_probe_count p =
+  List.fold_left (fun acc (_, f) -> acc + probe_count f) 0 p.funcs
+
+let map_blocks fn f =
+  let blocks = Array.map fn f.blocks in
+  Array.iteri
+    (fun i b -> if b.id <> i then invalid_arg "Cfg.map_blocks: id changed")
+    blocks;
+  { f with blocks }
+
+let mean_trips = function
+  | Static k -> float_of_int k
+  | Dynamic { lo; hi } -> (float_of_int lo +. float_of_int hi) /. 2.0
+
+let pp_term fmt = function
+  | Jump b -> Format.fprintf fmt "jump %d" b
+  | Branch { taken_prob; if_true; if_false } ->
+      Format.fprintf fmt "br %.2f -> %d | %d" taken_prob if_true if_false
+  | Latch { header; exit; trips; induction } ->
+      let trips_s =
+        match trips with
+        | Static k -> string_of_int k
+        | Dynamic { lo; hi } -> Printf.sprintf "%d..%d" lo hi
+      in
+      Format.fprintf fmt "latch header=%d exit=%d trips=%s%s" header exit trips_s
+        (if induction then " iv" else "")
+  | Ret -> Format.pp_print_string fmt "ret"
+
+let pp_func fmt f =
+  Format.fprintf fmt "func %s entry=%d@." f.fname f.entry;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "  b%d:@." b.id;
+      List.iter (fun i -> Format.fprintf fmt "    %a@." Instr.pp i) b.instrs;
+      Format.fprintf fmt "    %a@." pp_term b.term)
+    f.blocks
+
+module Builder = struct
+  type builder_block = { mutable rev_instrs : Instr.t list; mutable bterm : terminator }
+
+  type t = {
+    fname : string;
+    mutable blocks : builder_block array;
+    mutable count : int;
+    mutable cur : block_id;
+  }
+
+  let fresh_block () = { rev_instrs = []; bterm = Ret }
+
+  let create ~fname =
+    let blocks = Array.init 8 (fun _ -> fresh_block ()) in
+    { fname; blocks; count = 1; cur = 0 }
+
+  let emit t i =
+    let b = t.blocks.(t.cur) in
+    b.rev_instrs <- i :: b.rev_instrs
+
+  let new_block t =
+    if t.count = Array.length t.blocks then begin
+      let blocks = Array.init (2 * t.count) (fun _ -> fresh_block ()) in
+      Array.blit t.blocks 0 blocks 0 t.count;
+      t.blocks <- blocks
+    end;
+    t.blocks.(t.count) <- fresh_block ();
+    t.count <- t.count + 1;
+    t.count - 1
+
+  let switch_to t id =
+    if id < 0 || id >= t.count then invalid_arg "Builder.switch_to: bad id";
+    t.cur <- id
+
+  let current t = t.cur
+  let terminate t term = t.blocks.(t.cur).bterm <- term
+
+  let set_term t id term =
+    if id < 0 || id >= t.count then invalid_arg "Builder.set_term: bad id";
+    t.blocks.(id).bterm <- term
+
+  let finish t =
+    let blocks =
+      Array.init t.count (fun i ->
+          { id = i; instrs = List.rev t.blocks.(i).rev_instrs; term = t.blocks.(i).bterm })
+    in
+    { fname = t.fname; entry = 0; blocks }
+end

@@ -1,0 +1,93 @@
+(** Control-flow graphs.
+
+    Functions are arrays of basic blocks; block ids are array indices.
+    Loops are *structured*: every loop has a unique latch block whose
+    terminator carries the loop's header, exit, and a trip-count
+    distribution sampled at loop entry.  This mirrors what LLVM's
+    LoopSimplify guarantees (the paper's pass runs after it) and keeps
+    both the interpreter and the placement analysis exact. *)
+
+type block_id = int
+
+type trip_count =
+  | Static of int  (** statically known iteration count *)
+  | Dynamic of { lo : int; hi : int }
+      (** unknown at compile time; uniform in [lo, hi] at run time *)
+
+type terminator =
+  | Jump of block_id
+  | Branch of { taken_prob : float; if_true : block_id; if_false : block_id }
+      (** data-dependent two-way branch; [taken_prob] drives the VM *)
+  | Latch of { header : block_id; exit : block_id; trips : trip_count; induction : bool }
+      (** loop back edge; [induction] marks loops whose induction
+          variable a pass may reuse for free iteration counting *)
+  | Ret
+
+type block = { id : block_id; mutable instrs : Instr.t list; mutable term : terminator }
+type func = { fname : string; entry : block_id; blocks : block array }
+type program = { funcs : (string * func) list; main : string }
+
+(** [func_of_program p name] raises [Not_found] on unknown names. *)
+val func_of_program : program -> string -> func
+
+(** [validate p] checks structural invariants (targets in range, entry
+    exists, latch headers/exits sane, main defined, called functions
+    exist, probabilities in [0,1]); raises [Invalid_argument]. *)
+val validate : program -> unit
+
+(** [successors term] lists possible successor blocks. *)
+val successors : terminator -> block_id list
+
+(** [predecessors f] computes the predecessor lists of every block. *)
+val predecessors : func -> block_id list array
+
+(** [block_instruction_count b] sums {!Instr.instruction_weight}. *)
+val block_instruction_count : block -> int
+
+(** [func_instruction_count f] over all blocks. *)
+val func_instruction_count : func -> int
+
+(** [probe_count f] counts probe instructions. *)
+val probe_count : func -> int
+
+(** [program_probe_count p]. *)
+val program_probe_count : program -> int
+
+(** [map_blocks f fn] rebuilds a function with transformed blocks (the
+    transformation must preserve ids). *)
+val map_blocks : (block -> block) -> func -> func
+
+(** [mean_trips tc] is the expected iteration count. *)
+val mean_trips : trip_count -> float
+
+val pp_func : Format.formatter -> func -> unit
+
+(** Imperative CFG builder used by the AST lowerer and by tests. *)
+module Builder : sig
+  type t
+
+  (** [create ~fname] starts a function; the entry block is block 0 and
+      is current. *)
+  val create : fname:string -> t
+
+  (** [emit t i] appends an instruction to the current block. *)
+  val emit : t -> Instr.t -> unit
+
+  (** [new_block t] allocates a fresh block (terminator [Ret] until
+      set) and returns its id without switching to it. *)
+  val new_block : t -> block_id
+
+  (** [switch_to t id] makes [id] the current block. *)
+  val switch_to : t -> block_id -> unit
+
+  val current : t -> block_id
+
+  (** [terminate t term] sets the current block's terminator. *)
+  val terminate : t -> terminator -> unit
+
+  (** [set_term t id term] sets any block's terminator. *)
+  val set_term : t -> block_id -> terminator -> unit
+
+  (** [finish t] seals and returns the function. *)
+  val finish : t -> func
+end

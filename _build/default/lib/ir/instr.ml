@@ -1,0 +1,67 @@
+type probe =
+  | Clock_probe
+  | Counter_probe of { add : int }
+  | Loop_probe of { latch : int; period : int; counter_free : bool; cloned : bool }
+
+type t =
+  | Alu
+  | Mul
+  | Div
+  | Load of { miss_prob : float }
+  | Store
+  | Call of string
+  | External of { name : string; cycles : int }
+  | Probe of probe
+
+module Cost = struct
+  let alu = 1
+  let mul = 3
+  let div = 18
+  let load_hit = 4
+  let load_miss = 40
+  let store = 2
+  let call_overhead = 2
+  let clock_probe = 12
+  let counter_probe = 2
+  let loop_probe_iter = 1
+  let yield = 80
+end
+
+let is_probe = function Probe _ -> true | _ -> false
+
+let instruction_weight = function
+  | Alu | Mul | Div | Load _ | Store -> 1
+  | Call _ -> 1
+  | External { cycles; _ } -> max 1 (cycles / 2)
+  | Probe _ -> 0
+
+let expected_cycles = function
+  | Alu -> float_of_int Cost.alu
+  | Mul -> float_of_int Cost.mul
+  | Div -> float_of_int Cost.div
+  | Load { miss_prob } ->
+      ((1.0 -. miss_prob) *. float_of_int Cost.load_hit)
+      +. (miss_prob *. float_of_int Cost.load_miss)
+  | Store -> float_of_int Cost.store
+  | Call _ -> float_of_int Cost.call_overhead
+  | External { cycles; _ } -> float_of_int cycles
+  | Probe Clock_probe -> float_of_int Cost.clock_probe
+  | Probe (Counter_probe _) -> float_of_int Cost.counter_probe
+  | Probe (Loop_probe { period; counter_free; _ }) ->
+      let upkeep = if counter_free then 0.0 else float_of_int Cost.loop_probe_iter in
+      upkeep +. (float_of_int Cost.clock_probe /. float_of_int (max 1 period))
+
+let pp fmt = function
+  | Alu -> Format.pp_print_string fmt "alu"
+  | Mul -> Format.pp_print_string fmt "mul"
+  | Div -> Format.pp_print_string fmt "div"
+  | Load { miss_prob } -> Format.fprintf fmt "load[miss=%.2f]" miss_prob
+  | Store -> Format.pp_print_string fmt "store"
+  | Call f -> Format.fprintf fmt "call %s" f
+  | External { name; cycles } -> Format.fprintf fmt "ext %s[%dcy]" name cycles
+  | Probe Clock_probe -> Format.pp_print_string fmt "probe.clock"
+  | Probe (Counter_probe { add }) -> Format.fprintf fmt "probe.counter[+%d]" add
+  | Probe (Loop_probe { latch; period; counter_free; cloned }) ->
+      Format.fprintf fmt "probe.loop[latch=%d,period=%d%s%s]" latch period
+        (if counter_free then ",iv" else "")
+        (if cloned then ",cloned" else "")

@@ -1,0 +1,72 @@
+(** Instructions of the miniature IR.
+
+    The IR stands in for LLVM IR in the probe-placement study.  It keeps
+    exactly the properties the instrumentation problem depends on:
+
+    - instructions have *varied, data-dependent cycle costs* (loads may
+      miss), which is what makes instruction-counter-to-cycle translation
+      inaccurate;
+    - programs have basic blocks, branches, loops and calls, which is
+      what makes probe placement non-trivial.
+
+    Probes are also instructions: instrumentation passes rewrite programs
+    by inserting them. *)
+
+type probe =
+  | Clock_probe
+      (** TQ: read the hardware cycle counter; yield if a quantum has
+          elapsed since the last yield *)
+  | Counter_probe of { add : int }
+      (** CI: instruction counter += [add]; on crossing the threshold,
+          yield (plain CI) or check the clock first (CI-Cycles) *)
+  | Loop_probe of { latch : int; period : int; counter_free : bool; cloned : bool }
+      (** TQ loop instrumentation at the latch of loop [latch]: every
+          [period] iterations invoke a clock probe.  [counter_free] means
+          an induction variable was reused, so maintaining the iteration
+          count is free. *)
+
+type t =
+  | Alu
+  | Mul
+  | Div
+  | Load of { miss_prob : float }  (** per-site probability of a cache miss *)
+  | Store
+  | Call of string  (** call to another function in the program *)
+  | External of { name : string; cycles : int }
+      (** call into uninstrumented code with a known cost *)
+  | Probe of probe
+
+(** Cycle cost model (2.1 GHz core; DESIGN.md). *)
+module Cost : sig
+  val alu : int
+  val mul : int
+  val div : int
+  val load_hit : int
+  val load_miss : int
+  val store : int
+  val call_overhead : int
+
+  (** RDTSC, partially hidden by out-of-order execution. *)
+  val clock_probe : int
+
+  val counter_probe : int
+
+  (** Per-iteration counter upkeep (when no induction variable). *)
+  val loop_probe_iter : int
+
+  (** Coroutine yield + scheduler decision. *)
+  val yield : int
+end
+
+(** [is_probe i] — true for instrumentation instructions. *)
+val is_probe : t -> bool
+
+(** [instruction_weight i] — how many "instructions" [i] contributes to
+    an instruction counter (externals count their cycle estimate / 2,
+    mirroring how CI charges unknown calls). *)
+val instruction_weight : t -> int
+
+(** [expected_cycles i] — mean cycle cost, used by static analyses. *)
+val expected_cycles : t -> float
+
+val pp : Format.formatter -> t -> unit

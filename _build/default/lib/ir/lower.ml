@@ -1,0 +1,75 @@
+module B = Cfg.Builder
+
+(* Emit a [work] run, interleaving operation kinds deterministically so
+   costs spread along the block rather than clustering. *)
+let emit_work b (w : Ast.work) =
+  let remaining =
+    [|
+      (w.alu, Instr.Alu);
+      (w.muls, Instr.Mul);
+      (w.divs, Instr.Div);
+      (w.loads, Instr.Load { miss_prob = w.miss_prob });
+      (w.stores, Instr.Store);
+    |]
+  in
+  let counts = Array.map fst remaining in
+  let total = Array.fold_left ( + ) 0 counts in
+  let emitted = Array.make (Array.length counts) 0 in
+  for step = 1 to total do
+    (* Pick the kind most behind its proportional schedule. *)
+    let best = ref (-1) and best_deficit = ref neg_infinity in
+    Array.iteri
+      (fun k (count, _) ->
+        if emitted.(k) < count then begin
+          let expected = float_of_int count *. float_of_int step /. float_of_int total in
+          let deficit = expected -. float_of_int emitted.(k) in
+          if deficit > !best_deficit then begin
+            best := k;
+            best_deficit := deficit
+          end
+        end)
+      remaining;
+    let k = !best in
+    emitted.(k) <- emitted.(k) + 1;
+    B.emit b (snd remaining.(k))
+  done
+
+let rec lower_stmt b (ast : Ast.t) =
+  match ast with
+  | Work w -> emit_work b w
+  | Seq ts -> List.iter (lower_stmt b) ts
+  | CallFn f -> B.emit b (Instr.Call f)
+  | External { name; cycles } -> B.emit b (Instr.External { name; cycles })
+  | If { prob; then_; else_ } ->
+      let then_entry = B.new_block b in
+      let else_entry = B.new_block b in
+      let join = B.new_block b in
+      B.terminate b (Cfg.Branch { taken_prob = prob; if_true = then_entry; if_false = else_entry });
+      B.switch_to b then_entry;
+      lower_stmt b then_;
+      B.terminate b (Cfg.Jump join);
+      B.switch_to b else_entry;
+      lower_stmt b else_;
+      B.terminate b (Cfg.Jump join);
+      B.switch_to b join
+  | Loop { trips; induction; body } ->
+      let header = B.new_block b in
+      let exit = B.new_block b in
+      B.terminate b (Cfg.Jump header);
+      B.switch_to b header;
+      lower_stmt b body;
+      (* The block where the body ends is the latch. *)
+      B.terminate b (Cfg.Latch { header; exit; trips; induction });
+      B.switch_to b exit
+
+let lower_func ~fname ast =
+  let b = B.create ~fname in
+  lower_stmt b ast;
+  B.terminate b Cfg.Ret;
+  B.finish b
+
+let lower_program (src : Ast.program_src) =
+  let funcs = List.map (fun (name, ast) -> (name, lower_func ~fname:name ast)) src.src_funcs in
+  let p = { Cfg.funcs; main = src.src_main } in
+  Cfg.validate p;
+  p

@@ -1,0 +1,12 @@
+(** AST to CFG lowering.
+
+    Produces the structured CFGs the instrumentation passes consume:
+    every [If] becomes a diamond, every [Loop] becomes
+    preheader -> header ... latch -> exit with the back edge carried by a
+    {!Cfg.Latch} terminator. *)
+
+(** [lower_program src] lowers every function and validates the result. *)
+val lower_program : Ast.program_src -> Cfg.program
+
+(** [lower_func ~fname ast] lowers a single function body. *)
+val lower_func : fname:string -> Ast.t -> Cfg.func

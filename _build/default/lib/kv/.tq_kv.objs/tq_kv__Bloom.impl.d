@@ -1,0 +1,1 @@
+lib/kv/bloom.ml: Bytes Char Hashtbl List

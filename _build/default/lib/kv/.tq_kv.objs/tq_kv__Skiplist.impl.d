@@ -1,0 +1,1 @@
+lib/kv/skiplist.ml: Array List Obj Option Tq_util

@@ -1,0 +1,1 @@
+lib/kv/skiplist.mli:

@@ -1,0 +1,1 @@
+lib/kv/sstable.ml: Array List

@@ -1,0 +1,1 @@
+lib/kv/store.ml: Array Bloom Fun List Option Skiplist Sstable Tq_util

@@ -1,0 +1,46 @@
+type t = { bits : Bytes.t; bit_count : int; hashes : int }
+
+let create ~expected_entries ?(bits_per_key = 10) () =
+  if expected_entries < 0 || bits_per_key <= 0 then invalid_arg "Bloom.create";
+  let bit_count = max 64 (expected_entries * bits_per_key) in
+  (* k = ln 2 * bits/key, clamped to [1, 30]. *)
+  let hashes = max 1 (min 30 (int_of_float (0.69 *. float_of_int bits_per_key))) in
+  { bits = Bytes.make ((bit_count + 7) / 8) '\000'; bit_count; hashes }
+
+let set_bit t i =
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  Bytes.unsafe_set t.bits byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor mask))
+
+let get_bit t i =
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  Char.code (Bytes.unsafe_get t.bits byte) land mask <> 0
+
+(* Double hashing: h1 + i*h2, the standard Kirsch-Mitzenmacher scheme. *)
+let hash_pair key =
+  let h1 = Hashtbl.hash key in
+  let h2 = Hashtbl.hash (key ^ "\x00bloom") in
+  (abs h1, abs h2 lor 1)
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for i = 0 to t.hashes - 1 do
+    set_bit t ((h1 + (i * h2)) mod t.bit_count)
+  done
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec probe i = i >= t.hashes || (get_bit t ((h1 + (i * h2)) mod t.bit_count) && probe (i + 1)) in
+  probe 0
+
+let of_keys keys =
+  let t = create ~expected_entries:(List.length keys) () in
+  List.iter (add t) keys;
+  t
+
+let bit_count t = t.bit_count
+
+let estimated_fpr t ~entries =
+  let m = float_of_int t.bit_count and n = float_of_int entries in
+  let k = float_of_int t.hashes in
+  (1.0 -. exp (-.k *. n /. m)) ** k

@@ -1,0 +1,26 @@
+(** Bloom filters for sorted runs.
+
+    RocksDB consults a per-table filter before searching a table; the
+    store does the same so GETs skip runs that cannot hold the key.
+    Never a false negative; false positives bounded by the configured
+    bits-per-key (10 bits + 7 hashes gives ~1%% like RocksDB's
+    default). *)
+
+type t
+
+(** [create ~expected_entries ?bits_per_key ()]. *)
+val create : expected_entries:int -> ?bits_per_key:int -> unit -> t
+
+val add : t -> string -> unit
+
+(** [mem t key] — false means definitely absent. *)
+val mem : t -> string -> bool
+
+(** [of_keys keys] — build and populate. *)
+val of_keys : string list -> t
+
+val bit_count : t -> int
+
+(** [estimated_fpr t ~entries] — theoretical false-positive rate after
+    inserting [entries] keys. *)
+val estimated_fpr : t -> entries:int -> float

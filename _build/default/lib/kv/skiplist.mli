@@ -1,0 +1,44 @@
+(** Probabilistic skip list: the store's memtable.
+
+    String keys in lexicographic order; expected O(log n) search and
+    insert.  Node "addresses" are synthetic (allocation-ordered, 64-byte
+    spaced) so lookups can emit memory traces for the cache study. *)
+
+type 'a t
+
+(** [create ~seed ()] — tower heights are drawn from a seeded PRNG so
+    structures are reproducible. *)
+val create : ?seed:int64 -> unit -> 'a t
+
+val length : 'a t -> int
+
+(** [insert t key v] adds or overwrites. *)
+val insert : 'a t -> string -> 'a -> unit
+
+val find : 'a t -> string -> 'a option
+val mem : 'a t -> string -> bool
+
+(** [iter_from t key f] applies [f] to every binding with key >= [key],
+    ascending, until [f] returns false. *)
+val iter_from : 'a t -> string -> (string -> 'a -> bool) -> unit
+
+(** Streaming cursors (used by the store's merge iterator). *)
+
+type 'a cursor
+
+(** [seek t key] positions before the first binding with key >= [key]. *)
+val seek : 'a t -> string -> 'a cursor
+
+(** [cursor_next c] returns the binding under the cursor and advances;
+    [None] at the end.  Touches the tracer like [find]. *)
+val cursor_next : 'a cursor -> (string * 'a) option
+
+(** [to_sorted_list t] — all bindings ascending. *)
+val to_sorted_list : 'a t -> (string * 'a) list
+
+(** [set_tracer t f] — [f] receives the synthetic address of every node
+    touched by subsequent operations; [None] disables. *)
+val set_tracer : 'a t -> (int -> unit) option -> unit
+
+val min_binding : 'a t -> (string * 'a) option
+val max_binding : 'a t -> (string * 'a) option

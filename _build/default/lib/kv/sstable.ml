@@ -1,0 +1,102 @@
+type 'a t = { keys : string array; values : 'a array; base_address : int }
+
+(* Two 32-byte entries per 64-byte line. *)
+let entry_bytes = 32
+
+let of_sorted ~base_address bindings =
+  let keys = Array.of_list (List.map fst bindings) in
+  let values = Array.of_list (List.map snd bindings) in
+  Array.iteri
+    (fun i k ->
+      if i > 0 && keys.(i - 1) >= k then
+        invalid_arg "Sstable.of_sorted: keys not strictly ascending")
+    keys;
+  { keys; values; base_address }
+
+let length t = Array.length t.keys
+
+let address t i = t.base_address + (i * entry_bytes)
+
+let touch trace t i = match trace with Some f -> f (address t i) | None -> ()
+
+(* Smallest index with key >= target, or length if none. *)
+let lower_bound ?trace t target =
+  let lo = ref 0 and hi = ref (Array.length t.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    touch trace t mid;
+    if t.keys.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find ?trace t key =
+  let i = lower_bound ?trace t key in
+  if i < Array.length t.keys && t.keys.(i) = key then begin
+    touch trace t i;
+    Some t.values.(i)
+  end
+  else None
+
+let iter_from ?trace t key f =
+  let i = ref (lower_bound ?trace t key) in
+  let continue = ref true in
+  while !continue && !i < Array.length t.keys do
+    touch trace t !i;
+    if f t.keys.(!i) t.values.(!i) then incr i else continue := false
+  done
+
+type 'a cursor = { owner : 'a t; trace : (int -> unit) option; mutable idx : int }
+
+let seek ?trace t key = { owner = t; trace; idx = lower_bound ?trace t key }
+
+let cursor_next c =
+  if c.idx >= Array.length c.owner.keys then None
+  else begin
+    touch c.trace c.owner c.idx;
+    let binding = (c.owner.keys.(c.idx), c.owner.values.(c.idx)) in
+    c.idx <- c.idx + 1;
+    Some binding
+  end
+
+let min_key t = if Array.length t.keys = 0 then None else Some t.keys.(0)
+
+let max_key t =
+  let n = Array.length t.keys in
+  if n = 0 then None else Some t.keys.(n - 1)
+
+let merge runs =
+  (* k-way merge by repeated minimum over run heads; runs are small in
+     number (compaction keeps few), so linear head scans suffice. *)
+  let heads = Array.of_list (List.map (fun r -> ref r) runs) in
+  let out = ref [] in
+  let rec step () =
+    let best = ref None in
+    Array.iteri
+      (fun idx head ->
+        match !head with
+        | [] -> ()
+        | (k, _) :: _ -> (
+            match !best with
+            | Some (bk, bidx) when bk < k || (bk = k && bidx < idx) -> ()
+            | _ -> best := Some (k, idx)))
+      heads;
+    match !best with
+    | None -> ()
+    | Some (k, idx) ->
+        (match !(heads.(idx)) with
+        | (_, v) :: rest ->
+            heads.(idx) := rest;
+            out := (k, v) :: !out
+        | [] -> assert false);
+        (* Drop the same key from older runs (larger indices lose). *)
+        Array.iteri
+          (fun j head ->
+            if j <> idx then
+              match !head with
+              | (k', _) :: rest when k' = k -> head := rest
+              | _ -> ())
+          heads;
+        step ()
+  in
+  step ();
+  List.rev !out

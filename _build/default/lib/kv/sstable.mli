@@ -1,0 +1,36 @@
+(** Immutable sorted runs (in-memory SSTables).
+
+    A run is a sorted array of bindings produced by flushing the
+    memtable or by compaction.  Point lookups binary-search; scans walk
+    a contiguous range.  Entries carry synthetic addresses for trace
+    recording. *)
+
+type 'a t
+
+(** [of_sorted ~base_address bindings] — keys must be strictly
+    ascending; raises [Invalid_argument] otherwise. *)
+val of_sorted : base_address:int -> (string * 'a) list -> 'a t
+
+val length : 'a t -> int
+val find : ?trace:(int -> unit) -> 'a t -> string -> 'a option
+
+(** [iter_from ?trace t key f] — bindings with key >= [key] ascending
+    while [f] returns true. *)
+val iter_from : ?trace:(int -> unit) -> 'a t -> string -> (string -> 'a -> bool) -> unit
+
+(** Streaming cursors. *)
+
+type 'a cursor
+
+(** [seek ?trace t key] — positioned at the first binding >= [key]. *)
+val seek : ?trace:(int -> unit) -> 'a t -> string -> 'a cursor
+
+(** [cursor_next c] — binding under the cursor, then advance. *)
+val cursor_next : 'a cursor -> (string * 'a) option
+
+val min_key : 'a t -> string option
+val max_key : 'a t -> string option
+
+(** [merge runs] — combine runs into one sorted list; on duplicate keys
+    the earliest run in the list wins (newest-first ordering). *)
+val merge : (string * 'a) list list -> (string * 'a) list

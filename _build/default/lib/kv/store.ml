@@ -1,0 +1,182 @@
+type config = { memtable_limit : int; max_runs : int; seed : int64 }
+
+let default_config = { memtable_limit = 4096; max_runs = 4; seed = 0xCAFEL }
+
+(* Deletion is a write: a tombstone shadows older values until a full
+   compaction drops it. *)
+type cell = Value of string | Tombstone
+
+type run = { table : cell Sstable.t; filter : Bloom.t }
+
+type t = {
+  config : config;
+  mutable memtable : cell Skiplist.t;
+  mutable runs : run list;  (** newest first *)
+  mutable next_base : int;  (** address region for the next run *)
+  mutable flushes : int;
+  mutable compactions : int;
+  mutable tracer : (int -> unit) option;
+}
+
+(* Each run gets a fresh 16 MB address region. *)
+let region = 16 * 1024 * 1024
+
+let create ?(config = default_config) () =
+  {
+    config;
+    memtable = Skiplist.create ~seed:config.seed ();
+    runs = [];
+    next_base = region;
+    flushes = 0;
+    compactions = 0;
+    tracer = None;
+  }
+
+let fresh_base t =
+  let base = t.next_base in
+  t.next_base <- t.next_base + region;
+  base
+
+let make_run t bindings =
+  {
+    table = Sstable.of_sorted ~base_address:(fresh_base t) bindings;
+    filter = Bloom.of_keys (List.map fst bindings);
+  }
+
+let run_bindings run =
+  let acc = ref [] in
+  Sstable.iter_from run.table "" (fun k v ->
+      acc := (k, v) :: !acc;
+      true);
+  List.rev !acc
+
+let compact t =
+  let merged = Sstable.merge (List.map run_bindings t.runs) in
+  (* Full compaction: nothing older remains, so tombstones can go. *)
+  let live = List.filter (fun (_, cell) -> cell <> Tombstone) merged in
+  t.runs <- [ make_run t live ];
+  t.compactions <- t.compactions + 1
+
+let flush t =
+  let bindings = Skiplist.to_sorted_list t.memtable in
+  if bindings <> [] then begin
+    t.runs <- make_run t bindings :: t.runs;
+    t.flushes <- t.flushes + 1;
+    t.memtable <- Skiplist.create ~seed:t.config.seed ();
+    Skiplist.set_tracer t.memtable t.tracer;
+    if List.length t.runs > t.config.max_runs then compact t
+  end
+
+let write t key cell =
+  Skiplist.insert t.memtable key cell;
+  if Skiplist.length t.memtable >= t.config.memtable_limit then flush t
+
+let put t key value = write t key (Value value)
+let delete t key = write t key Tombstone
+
+let find_cell t key =
+  match Skiplist.find t.memtable key with
+  | Some cell -> Some cell
+  | None ->
+      let rec search = function
+        | [] -> None
+        | run :: rest ->
+            (* The Bloom filter lets GETs skip runs that cannot hold the
+               key — the RocksDB filter-block fast path. *)
+            if Bloom.mem run.filter key then
+              match Sstable.find ?trace:t.tracer run.table key with
+              | Some cell -> Some cell
+              | None -> search rest
+            else search rest
+      in
+      search t.runs
+
+let get t key =
+  match find_cell t key with
+  | Some (Value v) -> Some v
+  | Some Tombstone | None -> None
+
+let mem t key = Option.is_some (get t key)
+
+(* A merge-iterator source: a peeked head plus a way to advance.
+   Sources are ordered newest first (memtable, then runs new->old), so
+   on duplicate keys the lowest source index wins. *)
+type source = { mutable head : (string * cell) option; advance : unit -> (string * cell) option }
+
+type iterator = { sources : source array }
+
+let iterate t ~start =
+  let of_memtable =
+    let cursor = Skiplist.seek t.memtable start in
+    fun () -> Skiplist.cursor_next cursor
+  in
+  let of_run run =
+    let cursor = Sstable.seek ?trace:t.tracer run.table start in
+    fun () -> Sstable.cursor_next cursor
+  in
+  let advances = of_memtable :: List.map of_run t.runs in
+  let sources =
+    Array.of_list (List.map (fun advance -> { head = advance (); advance }) advances)
+  in
+  { sources }
+
+let rec next it =
+  (* Smallest key among source heads; the newest source holding it wins;
+     every source carrying that key advances past it. *)
+  let best = ref None in
+  Array.iter
+    (fun src ->
+      match (src.head, !best) with
+      | Some (k, _), Some bk when k >= bk -> ()
+      | Some (k, _), _ -> best := Some k
+      | None, _ -> ())
+    it.sources;
+  match !best with
+  | None -> None
+  | Some key ->
+      let winner = ref None in
+      Array.iter
+        (fun src ->
+          match src.head with
+          | Some (k, cell) when k = key ->
+              if !winner = None then winner := Some cell;
+              src.head <- src.advance ()
+          | _ -> ())
+        it.sources;
+      (match !winner with
+      | Some (Value v) -> Some (key, v)
+      | Some Tombstone | None -> next it)
+
+let scan t ~start ~limit =
+  if limit <= 0 then []
+  else begin
+    let it = iterate t ~start in
+    let rec take acc n =
+      if n = 0 then List.rev acc
+      else
+        match next it with
+        | Some binding -> take (binding :: acc) (n - 1)
+        | None -> List.rev acc
+    in
+    take [] limit
+  end
+
+let length t =
+  Skiplist.length t.memtable
+  + List.fold_left (fun acc run -> acc + Sstable.length run.table) 0 t.runs
+
+let run_count t = List.length t.runs
+let flushes t = t.flushes
+let compactions t = t.compactions
+
+let trace_of t f =
+  let acc = Tq_util.Ivec.create ~capacity:1024 () in
+  let tracer = Some (fun addr -> Tq_util.Ivec.push acc addr) in
+  t.tracer <- tracer;
+  Skiplist.set_tracer t.memtable tracer;
+  Fun.protect
+    ~finally:(fun () ->
+      t.tracer <- None;
+      Skiplist.set_tracer t.memtable None)
+    f;
+  Tq_util.Ivec.to_array acc

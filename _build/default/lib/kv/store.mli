@@ -1,0 +1,60 @@
+(** The in-memory LSM key-value store (the RocksDB stand-in).
+
+    Writes go to a skip-list memtable; when it reaches
+    [memtable_limit] entries it is flushed to an immutable sorted run.
+    When more than [max_runs] runs accumulate they are compacted into
+    one.  GET consults the memtable then runs newest-first; SCAN merges
+    the memtable and all runs from a start key.
+
+    GETs consult per-run Bloom filters first (RocksDB's filter blocks),
+    so runs that cannot hold the key cost nothing.  Deletes write
+    tombstones that shadow older values and are dropped at full
+    compaction.
+
+    Every data-structure access can be traced as a synthetic memory
+    address, which feeds the reuse-distance study of Figure 15. *)
+
+type t
+
+type config = { memtable_limit : int; max_runs : int; seed : int64 }
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val mem : t -> string -> bool
+
+(** [delete t key] — writes a tombstone; older versions stay shadowed
+    until compaction. *)
+val delete : t -> string -> unit
+
+(** [scan t ~start ~limit] — up to [limit] bindings with key >= [start],
+    ascending, newest value per key. *)
+val scan : t -> start:string -> limit:int -> (string * string) list
+
+(** Streaming scans: a merge iterator over the memtable and every run,
+    resolving shadowing and dropping tombstones on the fly (RocksDB's
+    iterator machinery).  The iterator reflects the store at creation
+    time; do not interleave writes. *)
+type iterator
+
+val iterate : t -> start:string -> iterator
+
+(** [next it] — the next live binding in key order. *)
+val next : iterator -> (string * string) option
+
+(** Total stored entries, counting tombstones and shadowed versions
+    still held by older runs. *)
+val length : t -> int
+
+(** Number of immutable runs currently live. *)
+val run_count : t -> int
+
+val flushes : t -> int
+val compactions : t -> int
+
+(** [trace_of t f] runs [f ()] while recording every touched synthetic
+    address, returning them in access order. *)
+val trace_of : t -> (unit -> unit) -> int array

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Tq_engine Tq_workload

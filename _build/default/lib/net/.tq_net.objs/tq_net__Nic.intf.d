@@ -1,0 +1,1 @@
+lib/net/nic.mli: Tq_engine Tq_workload

@@ -1,0 +1,1 @@
+lib/net/rss.ml: Array Int64

@@ -1,0 +1,35 @@
+module Sim = Tq_engine.Sim
+
+type t = {
+  sim : Sim.t;
+  per_packet_ns : int;
+  rx_depth : int;
+  occupancy : unit -> int;
+  deliver : Tq_workload.Arrivals.request -> unit;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create sim ?(per_packet_ns = 30) ~rx_depth ~occupancy ~deliver () =
+  if rx_depth <= 0 then invalid_arg "Nic.create: rx_depth must be positive";
+  { sim; per_packet_ns; rx_depth; occupancy; deliver; delivered = 0; dropped = 0 }
+
+let receive t req =
+  if t.occupancy () >= t.rx_depth then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    t.delivered <- t.delivered + 1;
+    ignore
+      (Sim.schedule_after t.sim ~delay:t.per_packet_ns (fun () -> t.deliver req)
+        : Sim.event);
+    true
+  end
+
+let delivered t = t.delivered
+let dropped t = t.dropped
+
+let drop_rate t =
+  let total = t.delivered + t.dropped in
+  if total = 0 then nan else float_of_int t.dropped /. float_of_int total

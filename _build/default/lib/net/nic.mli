@@ -1,0 +1,31 @@
+(** A NIC receive path with a finite descriptor ring.
+
+    The simulations elsewhere assume infinite queues (tails explode at
+    overload); a real NIC drops packets once the RX ring fills because
+    the polling core fell behind.  This module adds that admission
+    behaviour in front of any system: each packet pays a small DMA cost,
+    then is delivered iff current occupancy (read from the server, e.g.
+    the dispatcher's queue length) is under the ring depth. *)
+
+type t
+
+(** [create sim ~rx_depth ~occupancy ~deliver ()] — [occupancy] is
+    polled at arrival time; [per_packet_ns] models DMA/descriptor
+    handling latency before delivery (default 30). *)
+val create :
+  Tq_engine.Sim.t ->
+  ?per_packet_ns:int ->
+  rx_depth:int ->
+  occupancy:(unit -> int) ->
+  deliver:(Tq_workload.Arrivals.request -> unit) ->
+  unit ->
+  t
+
+(** [receive t req] — true if admitted, false if dropped. *)
+val receive : t -> Tq_workload.Arrivals.request -> bool
+
+val delivered : t -> int
+val dropped : t -> int
+
+(** Fraction of offered packets dropped; nan before any arrival. *)
+val drop_rate : t -> float

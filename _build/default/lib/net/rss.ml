@@ -1,0 +1,24 @@
+(* splitmix64-style integer mix: deterministic, well spread. *)
+let mix x =
+  let open Int64 in
+  let z = add (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (* Keep 62 bits: OCaml's int is 63-bit, so a 63-bit value would wrap
+     negative through Int64.to_int. *)
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+
+let queue_of_flow ~flow ~queues =
+  if queues <= 0 then invalid_arg "Rss.queue_of_flow: queues must be positive";
+  mix flow mod queues
+
+let flow_of_request ~flows req_id =
+  if flows <= 0 then invalid_arg "Rss.flow_of_request: flows must be positive";
+  req_id mod flows
+
+let spread ~flows ~queues =
+  let hit = Array.make queues false in
+  for flow = 0 to flows - 1 do
+    hit.(queue_of_flow ~flow ~queues) <- true
+  done;
+  Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 hit

@@ -1,0 +1,20 @@
+(** Receive-side scaling.
+
+    NICs steer packets to queues by hashing the flow 5-tuple; all
+    packets of one connection land on the same queue.  With many
+    concurrent client connections the spread is near-uniform; with few,
+    hash collisions leave queues idle while others overflow — the
+    balance behaviour the Caladan model inherits. *)
+
+(** [queue_of_flow ~flow ~queues] — deterministic hash of a flow id onto
+    a queue index. *)
+val queue_of_flow : flow:int -> queues:int -> int
+
+(** [flow_of_request ~flows req_id] — assign a request to one of [flows]
+    client connections (requests round-robin over connections, like an
+    open-loop generator multiplexing over a pool). *)
+val flow_of_request : flows:int -> int -> int
+
+(** [spread ~flows ~queues] — how many of [queues] receive at least one
+    of [flows] (diagnostic for collision-induced imbalance). *)
+val spread : flows:int -> queues:int -> int

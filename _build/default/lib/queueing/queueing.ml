@@ -1,0 +1,64 @@
+let check_stable rho =
+  if rho < 0.0 || rho >= 1.0 then
+    invalid_arg (Printf.sprintf "Queueing: utilization %.3f not in [0, 1)" rho)
+
+let utilization ~lambda ~mu ~servers =
+  if lambda < 0.0 || mu <= 0.0 || servers < 1 then invalid_arg "Queueing.utilization";
+  lambda /. (float_of_int servers *. mu)
+
+let mm1_mean_jobs ~lambda ~mu =
+  let rho = utilization ~lambda ~mu ~servers:1 in
+  check_stable rho;
+  rho /. (1.0 -. rho)
+
+let mm1_mean_sojourn ~lambda ~mu =
+  let rho = utilization ~lambda ~mu ~servers:1 in
+  check_stable rho;
+  1.0 /. (mu -. lambda)
+
+let mm1_sojourn_quantile ~lambda ~mu ~p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Queueing.mm1_sojourn_quantile: p in (0,1)";
+  let mean = mm1_mean_sojourn ~lambda ~mu in
+  -.mean *. log (1.0 -. p)
+
+let erlang_c ~lambda ~mu ~servers =
+  let k = servers in
+  let rho = utilization ~lambda ~mu ~servers in
+  check_stable rho;
+  let a = lambda /. mu in
+  (* a^k / k! computed incrementally to avoid overflow. *)
+  let term = ref 1.0 in
+  let sum = ref 1.0 in
+  for n = 1 to k - 1 do
+    term := !term *. a /. float_of_int n;
+    sum := !sum +. !term
+  done;
+  let a_k_over_kfact = !term *. a /. float_of_int k in
+  let numerator = a_k_over_kfact /. (1.0 -. rho) in
+  numerator /. (!sum +. numerator)
+
+let mmk_mean_wait ~lambda ~mu ~servers =
+  let rho = utilization ~lambda ~mu ~servers in
+  check_stable rho;
+  let c = erlang_c ~lambda ~mu ~servers in
+  c /. ((float_of_int servers *. mu) -. lambda)
+
+let mmk_mean_sojourn ~lambda ~mu ~servers =
+  mmk_mean_wait ~lambda ~mu ~servers +. (1.0 /. mu)
+
+let mg1_mean_wait ~lambda ~mean_service ~second_moment =
+  let rho = lambda *. mean_service in
+  check_stable rho;
+  lambda *. second_moment /. (2.0 *. (1.0 -. rho))
+
+let mg1_mean_sojourn ~lambda ~mean_service ~second_moment =
+  mg1_mean_wait ~lambda ~mean_service ~second_moment +. mean_service
+
+let ps_expected_slowdown ~rho =
+  check_stable rho;
+  1.0 /. (1.0 -. rho)
+
+let mm1_ps_mean_sojourn_for ~lambda ~mu ~x =
+  let rho = utilization ~lambda ~mu ~servers:1 in
+  check_stable rho;
+  x /. (1.0 -. rho)

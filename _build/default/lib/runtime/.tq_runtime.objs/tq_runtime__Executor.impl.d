@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Clock Task_worker

@@ -1,0 +1,1 @@
+lib/runtime/instrumented.ml: Array List Probe_api Unix

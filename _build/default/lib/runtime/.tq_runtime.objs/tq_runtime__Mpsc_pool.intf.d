@@ -1,0 +1,1 @@
+lib/runtime/mpsc_pool.mli:

@@ -1,0 +1,1 @@
+lib/runtime/parallel.ml: Array Atomic Clock Domain Spsc_ring Task_worker

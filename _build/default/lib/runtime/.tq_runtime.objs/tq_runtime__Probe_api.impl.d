@@ -1,0 +1,1 @@
+lib/runtime/probe_api.ml: Clock Domain Fiber

@@ -1,0 +1,1 @@
+lib/runtime/probe_api.mli: Clock

@@ -1,0 +1,1 @@
+lib/runtime/task_worker.ml: Clock Fiber Fun Probe_api Tq_util

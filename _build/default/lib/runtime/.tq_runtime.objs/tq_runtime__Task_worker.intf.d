@@ -1,0 +1,1 @@
+lib/runtime/task_worker.mli: Clock

@@ -1,0 +1,17 @@
+type t = Wall | Virtual of int ref
+
+let wall () = Wall
+let virtual_ () = Virtual (ref 0)
+
+let now_ns = function
+  | Wall -> int_of_float (Unix.gettimeofday () *. 1e9)
+  | Virtual r -> !r
+
+let advance t ns =
+  match t with
+  | Wall -> invalid_arg "Clock.advance: wall clocks advance themselves"
+  | Virtual r ->
+      if ns < 0 then invalid_arg "Clock.advance: negative step";
+      r := !r + ns
+
+let is_virtual = function Wall -> false | Virtual _ -> true

@@ -1,0 +1,27 @@
+(** Single-domain TQ executor: a JSQ dispatcher over N logical workers.
+
+    Deterministic (virtual clocks, fixed interleaving), so tests and
+    examples can assert exact scheduling behaviour.  The dispatcher
+    performs only load balancing — JSQ over the workers'
+    unfinished-job counters with MSQ tie-breaking — and workers
+    interleave task quanta by forced multitasking, exactly the two-level
+    structure of the paper (minus real parallelism; see {!Parallel}). *)
+
+type t
+
+val create : ?workers:int -> ?quantum_ns:int -> ?wall_clock:bool -> unit -> t
+
+(** [submit t work] dispatches a task to a worker (JSQ+MSQ). *)
+val submit : t -> (unit -> unit) -> unit
+
+(** [run t] interleaves worker slices round-robin until every task has
+    completed. *)
+val run : t -> unit
+
+val completed : t -> int
+val total_yields : t -> int
+val worker_count : t -> int
+
+(** [worker_finished t] — per-worker completion counts (load-balance
+    diagnostics). *)
+val worker_finished : t -> int array

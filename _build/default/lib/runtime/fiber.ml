@@ -1,0 +1,50 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* What one step of execution produces: either the fiber suspended at a
+   yield (with the continuation to resume it), or it completed. *)
+type 'a step = Suspended_at of (unit, 'a step) continuation | Completed of 'a
+
+type 'a state = Ready of (unit -> 'a) | Suspended of (unit, 'a step) continuation | Finished
+type 'a t = { mutable state : 'a state; mutable resumes : int }
+type 'a status = Yielded | Done of 'a
+
+let create f = { state = Ready f; resumes = 0 }
+
+(* Deep handler: the whole computation runs under it, so resuming the
+   continuation later still returns a ['a step]. *)
+let handler : ('a, 'a step) Effect.Deep.handler =
+  {
+    retc = (fun v -> Completed v);
+    exnc = raise;
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Yield -> Some (fun (k : (b, _) continuation) -> Suspended_at k)
+        | _ -> None);
+  }
+
+let resume t =
+  t.resumes <- t.resumes + 1;
+  let step =
+    match t.state with
+    | Finished -> invalid_arg "Fiber.resume: fiber already finished"
+    | Ready f -> match_with f () handler
+    | Suspended k -> continue k ()
+  in
+  match step with
+  | Suspended_at k ->
+      t.state <- Suspended k;
+      Yielded
+  | Completed v ->
+      t.state <- Finished;
+      Done v
+
+let yield () =
+  try perform Yield
+  with Effect.Unhandled Yield -> invalid_arg "Fiber.yield: called outside a fiber"
+
+let finished t = match t.state with Finished -> true | Ready _ | Suspended _ -> false
+let resumes t = t.resumes

@@ -1,0 +1,27 @@
+(** Cooperative fibers on OCaml effects — the coroutine execution
+    contexts of forced multitasking.
+
+    A fiber wraps a thunk; [resume] runs it until it performs {!yield}
+    or returns.  One-shot continuations mirror Boost coroutines'
+    semantics: a fiber is resumed only from its scheduler, and yields
+    only back to it. *)
+
+type 'a t
+
+type 'a status = Yielded | Done of 'a
+
+val create : (unit -> 'a) -> 'a t
+
+(** [resume t] runs until the next yield or completion; raises
+    [Invalid_argument] if the fiber already finished.  Exceptions from
+    the thunk propagate. *)
+val resume : 'a t -> 'a status
+
+(** [yield ()] suspends the calling fiber back to its resumer; raises
+    [Invalid_argument] when called outside a fiber. *)
+val yield : unit -> unit
+
+val finished : 'a t -> bool
+
+(** Number of times this fiber has been resumed. *)
+val resumes : 'a t -> int

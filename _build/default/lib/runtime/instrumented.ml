@@ -1,0 +1,56 @@
+let default_probe_every = 64
+
+let for_range ?(probe_every = default_probe_every) ~lo ~hi f =
+  if probe_every <= 0 then invalid_arg "Instrumented.for_range: probe_every";
+  let countdown = ref probe_every in
+  for i = lo to hi - 1 do
+    f i;
+    decr countdown;
+    if !countdown = 0 then begin
+      countdown := probe_every;
+      Probe_api.probe ()
+    end
+  done
+
+let iter_array ?probe_every f arr =
+  for_range ?probe_every ~lo:0 ~hi:(Array.length arr) (fun i -> f arr.(i))
+
+let iter_list ?(probe_every = default_probe_every) f l =
+  let countdown = ref probe_every in
+  List.iter
+    (fun x ->
+      f x;
+      decr countdown;
+      if !countdown = 0 then begin
+        countdown := probe_every;
+        Probe_api.probe ()
+      end)
+    l
+
+let fold_array ?probe_every f init arr =
+  let acc = ref init in
+  for_range ?probe_every ~lo:0 ~hi:(Array.length arr) (fun i -> acc := f !acc arr.(i));
+  !acc
+
+let repeat ?probe_every n f = for_range ?probe_every ~lo:0 ~hi:n (fun _ -> f ())
+
+(* Busy-spin for [ns] of wall time (coarse; used only in wall mode). *)
+let spin_wall ns =
+  let start = Unix.gettimeofday () in
+  let target = start +. (float_of_int ns /. 1e9) in
+  while Unix.gettimeofday () < target do
+    ()
+  done
+
+let work_ns ns =
+  if ns < 0 then invalid_arg "Instrumented.work_ns: negative";
+  (* Slice the work so probes happen at ~250ns granularity. *)
+  let slice = 250 in
+  let virtual_mode = Probe_api.installed_clock_is_virtual () in
+  let remaining = ref ns in
+  while !remaining > 0 do
+    let step = min slice !remaining in
+    remaining := !remaining - step;
+    if virtual_mode then Probe_api.advance_virtual step else spin_wall step;
+    Probe_api.probe ()
+  done

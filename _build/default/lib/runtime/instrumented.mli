@@ -1,0 +1,27 @@
+(** Library-level instrumentation combinators.
+
+    The OCaml analogue of the compiler pass's loop instrumentation:
+    iteration constructs that call the probe every [probe_every]
+    iterations (the pass's period), so loop bodies need no manual probe
+    calls.  [probe_every] defaults to a period sized for ~2 us quanta
+    and microsecond-scale bodies. *)
+
+val default_probe_every : int
+
+(** [for_range ?probe_every ~lo ~hi f] — [f i] for i in [lo, hi), with a
+    probe every [probe_every] iterations. *)
+val for_range : ?probe_every:int -> lo:int -> hi:int -> (int -> unit) -> unit
+
+val iter_array : ?probe_every:int -> ('a -> unit) -> 'a array -> unit
+val iter_list : ?probe_every:int -> ('a -> unit) -> 'a list -> unit
+
+(** [fold_array ?probe_every f init arr]. *)
+val fold_array : ?probe_every:int -> ('acc -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+
+(** [repeat ?probe_every n f] — run [f ()] [n] times. *)
+val repeat : ?probe_every:int -> int -> (unit -> unit) -> unit
+
+(** [work_ns ns] — simulate [ns] of CPU work: advances a virtual clock
+    if installed, otherwise spins the wall clock; probes on the way at
+    sub-quantum granularity. *)
+val work_ns : int -> unit

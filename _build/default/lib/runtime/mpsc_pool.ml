@@ -1,0 +1,22 @@
+type t = { free : int list Atomic.t; capacity : int }
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mpsc_pool.create: capacity must be positive";
+  { free = Atomic.make (List.init capacity (fun i -> i)); capacity }
+
+let rec alloc t =
+  match Atomic.get t.free with
+  | [] -> None
+  | buf :: rest as old ->
+      if Atomic.compare_and_set t.free old rest then Some buf else alloc t
+
+let release t buf =
+  if buf < 0 || buf >= t.capacity then invalid_arg "Mpsc_pool.release: bad buffer id";
+  let rec push () =
+    let old = Atomic.get t.free in
+    if not (Atomic.compare_and_set t.free old (buf :: old)) then push ()
+  in
+  push ()
+
+let free_count t = List.length (Atomic.get t.free)
+let capacity t = t.capacity

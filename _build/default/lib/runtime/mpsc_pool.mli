@@ -1,0 +1,28 @@
+(** Multi-producer single-consumer buffer pool.
+
+    The paper's RX-buffer pool (Section 4): the dispatcher (single
+    consumer) allocates packet buffers; worker cores (multiple
+    producers) release parsed buffers back independently, without
+    locking the dispatcher.  Buffers are identified by index into a
+    caller-owned arena.
+
+    Lock-free Treiber stack over immutable list nodes — safe under
+    OCaml's GC (no ABA hazard). *)
+
+type t
+
+(** [create ~capacity] — all [capacity] buffers start free. *)
+val create : capacity:int -> t
+
+(** [alloc t] — take a free buffer; [None] when exhausted.  Called by
+    the single consumer (also safe, if slower, from multiple threads). *)
+val alloc : t -> int option
+
+(** [release t buf] — return a buffer; callable concurrently from any
+    worker domain.  Raises [Invalid_argument] for out-of-range ids. *)
+val release : t -> int -> unit
+
+(** Free buffers right now (racy under concurrency; exact when quiesced). *)
+val free_count : t -> int
+
+val capacity : t -> int

@@ -1,0 +1,77 @@
+type stats = { completed : int; yields : int; per_worker_finished : int array }
+
+type worker_handle = {
+  ring : (unit -> unit) Spsc_ring.t;
+  assigned : int Atomic.t;  (** written by dispatcher *)
+  finished : int Atomic.t;  (** written by worker *)
+  yields : int Atomic.t;
+}
+
+let worker_loop handle ~quantum_ns ~stop =
+  let clock = Clock.wall () in
+  let worker =
+    Task_worker.create ~clock ~quantum_ns
+      ~on_finish:(fun _ -> Atomic.incr handle.finished)
+      ()
+  in
+  let next_id = ref 0 in
+  let drain_ring () =
+    let rec go () =
+      match Spsc_ring.try_pop handle.ring with
+      | Some work ->
+          incr next_id;
+          Task_worker.submit worker { Task_worker.task_id = !next_id; work };
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let rec loop () =
+    drain_ring ();
+    let ran = Task_worker.run_slice worker in
+    if ran then loop ()
+    else if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
+    else begin
+      Domain.cpu_relax ();
+      loop ()
+    end
+  in
+  loop ();
+  Atomic.set handle.yields (Task_worker.total_yields worker)
+
+let run ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) jobs =
+  if workers < 1 then invalid_arg "Parallel.run: need at least one worker";
+  let stop = Atomic.make false in
+  let handles =
+    Array.init workers (fun _ ->
+        {
+          ring = Spsc_ring.create ~capacity:ring_capacity;
+          assigned = Atomic.make 0;
+          finished = Atomic.make 0;
+          yields = Atomic.make 0;
+        })
+  in
+  let domains =
+    Array.map
+      (fun handle -> Domain.spawn (fun () -> worker_loop handle ~quantum_ns ~stop))
+      handles
+  in
+  (* Dispatcher: JSQ over atomic unfinished counts. *)
+  let unfinished h = Atomic.get h.assigned - Atomic.get h.finished in
+  Array.iter
+    (fun job ->
+      let best = ref 0 in
+      Array.iteri (fun i h -> if unfinished h < unfinished handles.(!best) then best := i) handles;
+      let handle = handles.(!best) in
+      while not (Spsc_ring.try_push handle.ring job) do
+        Domain.cpu_relax ()
+      done;
+      Atomic.incr handle.assigned)
+    jobs;
+  Atomic.set stop true;
+  Array.iter Domain.join domains;
+  {
+    completed = Array.fold_left (fun acc h -> acc + Atomic.get h.finished) 0 handles;
+    yields = Array.fold_left (fun acc h -> acc + Atomic.get h.yields) 0 handles;
+    per_worker_finished = Array.map (fun h -> Atomic.get h.finished) handles;
+  }

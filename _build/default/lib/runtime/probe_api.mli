@@ -1,0 +1,57 @@
+(** The yield-probe runtime API.
+
+    In the paper, an LLVM pass inserts probe calls; in OCaml we have no
+    such pass, so instrumented code calls {!probe} explicitly (or uses
+    the {!Instrumented} combinators, which insert the calls at loop
+    granularity — the library-level equivalent of the compiler's loop
+    instrumentation; see DESIGN.md substitutions).
+
+    A probe reads the worker's clock and performs a fiber yield when the
+    current quantum has been exceeded, exactly like the generated
+    [call_the_yield] thunk.  Critical sections suppress yielding, as in
+    Section 4 of the paper; the deferred yield fires when the outermost
+    section exits. *)
+
+type t
+
+val create : clock:Clock.t -> quantum_ns:int -> t
+
+(** Worker-side hooks. *)
+
+(** [start_quantum t] marks the beginning of a fresh quantum (called by
+    the scheduler just before resuming a task fiber). *)
+val start_quantum : t -> unit
+
+(** [install t] binds [t] as the calling domain's active context —
+    the analogue of binding [call_the_yield] before a resume. *)
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+(** Task-side API. *)
+
+(** [probe ()] — yield iff the quantum expired and no critical section
+    is open.  A no-op when no context is installed (uninstrumented
+    execution), like a probe compiled into code running outside TQ. *)
+val probe : unit -> unit
+
+(** [critical_begin ()] / [critical_end ()] — nestable; on final exit a
+    pending expired quantum yields immediately. *)
+val critical_begin : unit -> unit
+
+val critical_end : unit -> unit
+
+(** [advance_virtual ns] — credit [ns] of simulated work to the
+    installed context's clock if it is virtual; no-op otherwise. *)
+val advance_virtual : int -> unit
+
+(** [installed_clock_is_virtual ()] — true when the calling domain has a
+    context with a virtual clock. *)
+val installed_clock_is_virtual : unit -> bool
+
+(** Statistics. *)
+
+val probes_executed : t -> int
+val yields_taken : t -> int
+val quantum_ns : t -> int
+val set_quantum_ns : t -> int -> unit

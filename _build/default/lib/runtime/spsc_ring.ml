@@ -1,0 +1,42 @@
+(* Each cell is its own Atomic so value publication is ordered with the
+   index updates under the OCaml memory model. *)
+type 'a t = {
+  cells : 'a option Atomic.t array;
+  capacity : int;
+  head : int Atomic.t;  (** consumer cursor *)
+  tail : int Atomic.t;  (** producer cursor *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spsc_ring.create: capacity must be positive";
+  {
+    cells = Array.init capacity (fun _ -> Atomic.make None);
+    capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.capacity then false
+  else begin
+    Atomic.set t.cells.(tail mod t.capacity) (Some v);
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let cell = t.cells.(head mod t.capacity) in
+    let v = Atomic.get cell in
+    Atomic.set cell None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let capacity t = t.capacity

@@ -1,0 +1,22 @@
+(** Bounded lock-free single-producer single-consumer ring.
+
+    The dispatcher-to-worker channel from the paper's implementation
+    (Section 4): the dispatcher pushes requests, the worker's scheduler
+    coroutine polls.  Exactly one producer thread and one consumer
+    thread may use a given ring. *)
+
+type 'a t
+
+(** [create ~capacity] — capacity must be positive. *)
+val create : capacity:int -> 'a t
+
+(** [try_push t v] — false when full. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [try_pop t] — [None] when empty. *)
+val try_pop : 'a t -> 'a option
+
+(** Approximate occupancy (exact when called by producer or consumer). *)
+val length : 'a t -> int
+
+val capacity : 'a t -> int

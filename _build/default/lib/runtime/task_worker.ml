@@ -1,0 +1,60 @@
+module Deque = Tq_util.Ring_deque
+
+type task = { task_id : int; work : unit -> unit }
+
+type running = { task : task; fiber : unit Fiber.t; mutable quanta : int }
+
+type t = {
+  ctx : Probe_api.t;
+  clock : Clock.t;
+  queue : running Deque.t;
+  on_finish : task -> unit;
+  mutable assigned : int;
+  mutable finished : int;
+  mutable current_quanta : int;
+}
+
+let create ~clock ~quantum_ns ~on_finish () =
+  {
+    ctx = Probe_api.create ~clock ~quantum_ns;
+    clock;
+    queue = Deque.create ();
+    on_finish;
+    assigned = 0;
+    finished = 0;
+    current_quanta = 0;
+  }
+
+let submit t task =
+  t.assigned <- t.assigned + 1;
+  Deque.push_back t.queue { task; fiber = Fiber.create task.work; quanta = 0 }
+
+let run_slice t =
+  match Deque.pop_front t.queue with
+  | None -> false
+  | Some running -> begin
+      Probe_api.install t.ctx;
+      Probe_api.start_quantum t.ctx;
+      let status = Fun.protect ~finally:Probe_api.uninstall (fun () -> Fiber.resume running.fiber) in
+      running.quanta <- running.quanta + 1;
+      t.current_quanta <- t.current_quanta + 1;
+      (match status with
+      | Fiber.Yielded -> Deque.push_back t.queue running
+      | Fiber.Done () ->
+          t.current_quanta <- t.current_quanta - running.quanta;
+          t.finished <- t.finished + 1;
+          t.on_finish running.task);
+      true
+    end
+
+let run_until_idle t =
+  while run_slice t do
+    ()
+  done
+
+let queue_length t = Deque.length t.queue
+let unfinished t = t.assigned - t.finished
+let finished_count t = t.finished
+let current_quanta t = t.current_quanta
+let total_yields t = Probe_api.yields_taken t.ctx
+let clock t = t.clock

@@ -1,0 +1,34 @@
+(** A worker core's scheduler loop over task fibers.
+
+    Mirrors the paper's scheduler coroutine: keeps a run queue of busy
+    task fibers, resumes the head for one quantum (binding the probe
+    context first, like binding [call_the_yield]), and moves yielded
+    tasks to the tail — processor sharing.  Maintains the finished-jobs
+    and serviced-quanta counters the dispatcher reads. *)
+
+type task = { task_id : int; work : unit -> unit }
+
+type t
+
+val create :
+  clock:Clock.t -> quantum_ns:int -> on_finish:(task -> unit) -> unit -> t
+
+(** [submit t task] enqueues a new task (wraps it in a fresh fiber). *)
+val submit : t -> task -> unit
+
+(** [run_slice t] executes one quantum of the head task; false when the
+    queue is empty. *)
+val run_slice : t -> bool
+
+(** [run_until_idle t] drains the queue completely. *)
+val run_until_idle : t -> unit
+
+val queue_length : t -> int
+val unfinished : t -> int
+val finished_count : t -> int
+
+(** Serviced quanta of tasks currently on the worker (MSQ). *)
+val current_quanta : t -> int
+
+val total_yields : t -> int
+val clock : t -> Clock.t

@@ -1,0 +1,1 @@
+lib/sched/caladan.ml: Array Job Lazy Overheads Tq_engine Tq_net Tq_util Tq_workload Worker

@@ -1,0 +1,1 @@
+lib/sched/caladan.mli: Tq_engine Tq_util Tq_workload

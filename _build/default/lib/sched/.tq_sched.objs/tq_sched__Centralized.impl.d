@@ -1,0 +1,1 @@
+lib/sched/centralized.ml: Array Job Tq_engine Tq_util Tq_workload

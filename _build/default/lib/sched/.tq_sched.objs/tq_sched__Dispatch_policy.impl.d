@@ -1,0 +1,1 @@
+lib/sched/dispatch_policy.ml: Array List Tq_util Worker

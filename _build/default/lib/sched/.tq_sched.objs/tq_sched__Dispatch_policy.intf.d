@@ -1,0 +1,1 @@
+lib/sched/dispatch_policy.mli: Tq_util Worker

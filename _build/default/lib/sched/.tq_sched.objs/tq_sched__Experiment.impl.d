@@ -1,0 +1,1 @@
+lib/sched/experiment.ml: Caladan Centralized Float List Tq_engine Tq_util Tq_workload Two_level

@@ -1,0 +1,1 @@
+lib/sched/experiment.mli: Caladan Centralized Tq_workload Two_level

@@ -1,0 +1,1 @@
+lib/sched/job.ml: Float Tq_workload

@@ -1,0 +1,1 @@
+lib/sched/job.mli: Tq_workload

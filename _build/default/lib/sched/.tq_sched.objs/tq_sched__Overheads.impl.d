@@ -1,0 +1,1 @@
+lib/sched/overheads.ml: Format

@@ -1,0 +1,1 @@
+lib/sched/presets.ml: Caladan Centralized Dispatch_policy Experiment Overheads Tq_util Two_level Worker

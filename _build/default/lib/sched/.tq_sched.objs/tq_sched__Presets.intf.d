@@ -1,0 +1,1 @@
+lib/sched/presets.mli: Caladan Experiment

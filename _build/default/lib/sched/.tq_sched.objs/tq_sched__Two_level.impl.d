@@ -1,0 +1,1 @@
+lib/sched/two_level.ml: Array Dispatch_policy Job Overheads Tq_engine Tq_util Tq_workload Worker

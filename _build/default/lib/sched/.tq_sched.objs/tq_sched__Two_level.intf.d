@@ -1,0 +1,1 @@
+lib/sched/two_level.mli: Dispatch_policy Overheads Tq_engine Tq_util Tq_workload Worker

@@ -1,0 +1,1 @@
+lib/sched/worker.ml: Array Job List Overheads Tq_engine Tq_util

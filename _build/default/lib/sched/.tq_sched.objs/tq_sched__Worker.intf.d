@@ -1,0 +1,1 @@
+lib/sched/worker.mli: Job Overheads Tq_engine Tq_util

@@ -1,0 +1,129 @@
+module Sim = Tq_engine.Sim
+module Busy_server = Tq_engine.Busy_server
+module Prng = Tq_util.Prng
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+
+type mode = Iokernel | Directpath
+
+type config = {
+  cores : int;
+  mode : mode;
+  iokernel_op_ns : int;
+  directpath_extra_ns : int;
+  steal_ns : int;
+  finish_ns : int;
+  rss_flows : int option;
+}
+
+let default_config ~mode ~cores =
+  {
+    cores;
+    mode;
+    iokernel_op_ns = 120;
+    directpath_extra_ns = 250;
+    steal_ns = 200;
+    finish_ns = 60;
+    rss_flows = None;
+  }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  rng : Prng.t;
+  mutable workers : Worker.t array;
+  iokernel : Arrivals.request Busy_server.t;
+  metrics : Metrics.t;
+  mutable steals : int;
+}
+
+(* An idle worker scans for the most loaded victim and steals one job. *)
+let try_steal t (thief : Worker.t) =
+  let best = ref None and best_len = ref 0 in
+  Array.iter
+    (fun w ->
+      let len = Worker.queue_length w in
+      if len > !best_len then begin
+        best := Some w;
+        best_len := len
+      end)
+    t.workers;
+  match !best with
+  | None -> ()
+  | Some victim -> begin
+      match Worker.steal victim with
+      | None -> ()
+      | Some job ->
+          t.steals <- t.steals + 1;
+          Worker.note_assigned thief;
+          ignore
+            (Sim.schedule_after t.sim ~delay:t.config.steal_ns (fun () ->
+                 Worker.enqueue thief job)
+              : Sim.event)
+    end
+
+let create sim ~rng ~config ~metrics =
+  if config.cores < 1 then invalid_arg "Caladan.create: need at least one core";
+  let on_finish (job : Job.t) =
+    Metrics.record metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
+      ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns
+  in
+  let t =
+    {
+      sim;
+      config;
+      rng;
+      workers = [||];
+      iokernel = Busy_server.create sim ();
+      metrics;
+      steals = 0;
+    }
+  in
+  let overheads = { Overheads.zero with finish_ns = config.finish_ns } in
+  t.workers <-
+    Array.init config.cores (fun wid ->
+        (* Tie the knot: each worker's idle hook steals through [t]. *)
+        let rec worker =
+          lazy
+            (Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:Worker.Fcfs ~overheads
+               ~on_idle:(fun () -> try_steal t (Lazy.force worker))
+               ~on_finish ())
+        in
+        Lazy.force worker);
+  t
+
+let deliver t (req : Arrivals.request) =
+  (* RSS: hash the flow when connection count is modeled, otherwise a
+     uniform random core (the many-connections limit). *)
+  let widx =
+    match t.config.rss_flows with
+    | Some flows ->
+        Tq_net.Rss.queue_of_flow
+          ~flow:(Tq_net.Rss.flow_of_request ~flows req.req_id)
+          ~queues:t.config.cores
+    | None -> Prng.int t.rng t.config.cores
+  in
+  let worker = t.workers.(widx) in
+  Worker.note_assigned worker;
+  let job = Job.of_request ~probe_overhead_frac:0.0 req in
+  (match t.config.mode with
+  | Iokernel -> ()
+  | Directpath -> job.remaining_ns <- job.remaining_ns + t.config.directpath_extra_ns);
+  (* If the RSS-chosen core is busy and someone is idle, stealing will
+     rebalance on the idle core's next transition; also rebalance now so
+     an already-idle core picks the job up. *)
+  Worker.enqueue worker job;
+  if Worker.queue_length worker > 0 then begin
+    let idle = ref None in
+    Array.iter (fun w -> if (not (Worker.is_busy w)) && !idle = None then idle := Some w) t.workers;
+    match !idle with Some thief when thief != worker -> try_steal t thief | _ -> ()
+  end
+
+let submit t req =
+  match t.config.mode with
+  | Directpath -> deliver t req
+  | Iokernel ->
+      Busy_server.submit t.iokernel ~cost:t.config.iokernel_op_ns req
+        ~done_:(fun req -> deliver t req)
+
+let steals t = t.steals

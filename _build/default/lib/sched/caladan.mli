@@ -1,0 +1,46 @@
+(** The Caladan baseline: FCFS run-to-completion with work stealing.
+
+    Requests are steered to worker cores by RSS hashing (uniform over
+    cores for an open-loop client), each core runs its queue FCFS to
+    completion, and idle cores steal queued jobs from loaded ones.  Two
+    I/O modes, as evaluated in the paper:
+
+    - [Iokernel]: a dedicated core forwards every packet (per-packet
+      cost; becomes a throughput bottleneck), workers are lean.
+    - [Directpath]: workers talk to the NIC directly — no central
+      bottleneck, but each request carries extra packet-processing work
+      on the worker.
+
+    FCFS gives long jobs the best latency (never preempted) and short
+    jobs severe head-of-line blocking under broad distributions. *)
+
+type mode = Iokernel | Directpath
+
+type config = {
+  cores : int;
+  mode : mode;
+  iokernel_op_ns : int;  (** IOKernel per-packet forwarding cost *)
+  directpath_extra_ns : int;  (** per-request worker-side NIC work *)
+  steal_ns : int;  (** cost of one successful steal *)
+  finish_ns : int;  (** per-job completion (TX) work *)
+  rss_flows : int option;
+      (** [Some f]: steer by hashing one of [f] client connections
+          (packets of a flow stick to one core; few flows leave cores
+          idle); [None]: idealized uniform spread (many connections) *)
+}
+
+val default_config : mode:mode -> cores:int -> config
+
+type t
+
+val create :
+  Tq_engine.Sim.t ->
+  rng:Tq_util.Prng.t ->
+  config:config ->
+  metrics:Tq_workload.Metrics.t ->
+  t
+
+val submit : t -> Tq_workload.Arrivals.request -> unit
+
+(** Number of successful steals, for diagnostics. *)
+val steals : t -> int

@@ -1,0 +1,201 @@
+module Sim = Tq_engine.Sim
+module Busy_server = Tq_engine.Busy_server
+module Deque = Tq_util.Ring_deque
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+
+type config = {
+  cores : int;
+  quantum_ns : int option;
+  net_op_ns : int;
+  sched_op_ns : int;
+  sched_scan_per_core_ns : int;
+  preempt_ns : int;
+  probe_overhead_frac : float;
+}
+
+let ideal_config ~quantum_ns ~cores =
+  {
+    cores;
+    quantum_ns = Some quantum_ns;
+    net_op_ns = 0;
+    sched_op_ns = 0;
+    sched_scan_per_core_ns = 0;
+    preempt_ns = 0;
+    probe_overhead_frac = 0.0;
+  }
+
+let shinjuku_config ~quantum_ns ~cores =
+  {
+    cores;
+    quantum_ns = Some quantum_ns;
+    net_op_ns = 100;
+    sched_op_ns = 130;
+    sched_scan_per_core_ns = 10;
+    preempt_ns = 1_000;
+    probe_overhead_frac = 0.0;
+  }
+
+(* A dispatcher-core operation: admitting an arrival or assigning a
+   quantum of [job] to worker [wid]; both occupy the single dispatcher. *)
+type op = Admit of Arrivals.request | Assign of { job : Job.t; wid : int }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  queue : Job.t Deque.t;  (** central pending/preempted jobs, PS order *)
+  busy : bool array;  (** worker executing a slice *)
+  inflight : bool array;  (** an Assign op for this worker is at the dispatcher *)
+  pending : Job.t option array;  (** assignment delivered while still busy *)
+  dispatcher : op Busy_server.t;
+  metrics : Metrics.t;
+  last_end : int array;  (** per-worker last slice end time *)
+  mutable gap_sum : int;
+  mutable gap_count : int;
+  mutable slice_sum : int;
+  mutable slice_count : int;
+}
+
+let create sim ~rng:_ ~config ~metrics =
+  if config.cores < 1 then invalid_arg "Centralized.create: need at least one core";
+  {
+    sim;
+    config;
+    queue = Deque.create ();
+    busy = Array.make config.cores false;
+    inflight = Array.make config.cores false;
+    pending = Array.make config.cores None;
+    dispatcher = Busy_server.create sim ();
+    metrics;
+    last_end = Array.make config.cores (-1);
+    gap_sum = 0;
+    gap_count = 0;
+    slice_sum = 0;
+    slice_count = 0;
+  }
+
+(* The dispatcher pipelines: it may prepare the *next* assignment for a
+   worker while that worker still runs its current slice (one
+   outstanding assignment per worker, like a mailbox).  The worker then
+   switches with no dispatcher-induced gap — unless the dispatcher
+   cannot keep up, which is exactly the Figure 16 bottleneck. *)
+let rec kick t =
+  if not (Deque.is_empty t.queue) then begin
+    (* Prefer idle workers, then busy ones lacking a prefetched job. *)
+    let pick want_idle =
+      let found = ref None in
+      Array.iteri
+        (fun w busy ->
+          if
+            !found = None && busy <> want_idle && (not t.inflight.(w))
+            && t.pending.(w) = None
+          then found := Some w)
+        t.busy;
+      !found
+    in
+    let target = match pick true with Some w -> Some w | None -> pick false in
+    match target with
+    | None -> ()
+    | Some wid -> (
+        match Deque.pop_front t.queue with
+        | None -> ()
+        | Some job ->
+            t.inflight.(wid) <- true;
+            let cost =
+              t.config.sched_op_ns + (t.config.sched_scan_per_core_ns * t.config.cores)
+            in
+            Busy_server.submit t.dispatcher ~cost (Assign { job; wid }) ~done_:(fun op ->
+                match op with
+                | Assign { job; wid } ->
+                    t.inflight.(wid) <- false;
+                    if t.busy.(wid) then t.pending.(wid) <- Some job
+                    else start_slice t ~job ~wid;
+                    (* Keep the pipeline primed: prepare the next
+                       assignment while slices run. *)
+                    kick t
+                | Admit _ -> assert false);
+            kick t)
+  end
+
+and start_slice t ~job ~wid =
+  let now = Sim.now t.sim in
+  if t.last_end.(wid) >= 0 then begin
+    (* Idle time between the previous slice ending and this one starting
+       is dispatcher-induced delay. *)
+    t.gap_sum <- t.gap_sum + (now - t.last_end.(wid));
+    t.gap_count <- t.gap_count + 1
+  end;
+  t.busy.(wid) <- true;
+  let slice, finishes =
+    match t.config.quantum_ns with
+    | None -> (job.remaining_ns, true)
+    | Some q -> if job.remaining_ns <= q then (job.remaining_ns, true) else (q, false)
+  in
+  let overhead = if finishes then 0 else t.config.preempt_ns in
+  t.slice_sum <- t.slice_sum + slice;
+  t.slice_count <- t.slice_count + 1;
+  ignore
+    (Sim.schedule_after t.sim ~delay:(slice + overhead) (fun () ->
+         job.remaining_ns <- job.remaining_ns - slice;
+         job.serviced_quanta <- job.serviced_quanta + 1;
+         if finishes then
+           Metrics.record t.metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
+             ~finish_ns:(Sim.now t.sim) ~service_ns:job.service_ns
+         else Deque.push_back t.queue job;
+         t.last_end.(wid) <- Sim.now t.sim;
+         t.busy.(wid) <- false;
+         (match t.pending.(wid) with
+         | Some next ->
+             t.pending.(wid) <- None;
+             start_slice t ~job:next ~wid
+         | None -> ());
+         kick t;
+         (* Work conservation: an idle worker with nothing to do poaches
+            an assignment parked at a busy worker (the dispatcher pays
+            another op to re-steer it). *)
+         if (not t.busy.(wid)) && not t.inflight.(wid) then begin
+           let victim = ref None in
+           Array.iteri
+             (fun w pending -> if !victim = None && pending <> None && w <> wid then victim := Some w)
+             t.pending;
+           match !victim with
+           | Some w -> (
+               match t.pending.(w) with
+               | Some job ->
+                   t.pending.(w) <- None;
+                   t.inflight.(wid) <- true;
+                   let cost =
+                     t.config.sched_op_ns
+                     + (t.config.sched_scan_per_core_ns * t.config.cores)
+                   in
+                   Busy_server.submit t.dispatcher ~cost (Assign { job; wid })
+                     ~done_:(fun op ->
+                       match op with
+                       | Assign { job; wid } ->
+                           t.inflight.(wid) <- false;
+                           if t.busy.(wid) then t.pending.(wid) <- Some job
+                           else start_slice t ~job ~wid;
+                           kick t
+                       | Admit _ -> assert false)
+               | None -> ())
+           | None -> ()
+         end)
+      : Sim.event)
+
+let submit t req =
+  Busy_server.submit t.dispatcher ~cost:t.config.net_op_ns (Admit req) ~done_:(fun op ->
+      match op with
+      | Admit req ->
+          let job = Job.of_request ~probe_overhead_frac:t.config.probe_overhead_frac req in
+          Deque.push_back t.queue job;
+          kick t
+      | Assign _ -> assert false)
+
+let mean_sched_gap_ns t =
+  if t.gap_count = 0 then nan else float_of_int t.gap_sum /. float_of_int t.gap_count
+
+let mean_effective_quantum_ns t =
+  if t.gap_count = 0 || t.slice_count = 0 then nan
+  else (float_of_int t.slice_sum /. float_of_int t.slice_count) +. mean_sched_gap_ns t
+
+let dispatcher_busy_ns t = Busy_server.busy_time t.dispatcher

@@ -1,0 +1,55 @@
+(** Centralized preemptive scheduling (the Shinjuku model).
+
+    One dispatcher core owns a single queue of pending/preempted jobs and
+    performs *every* scheduling operation: admitting arrivals, assigning
+    a quantum of the head job to an idle worker, and triggering the
+    preemption that returns an expired job to the queue.  Each operation
+    occupies the dispatcher for a fixed cost, so dispatcher load grows as
+    1/quantum — the scalability wall of Figures 4 and 16.  Workers pay a
+    per-preemption interrupt overhead (Shinjuku: ~1 us via Dune posted
+    interrupts).
+
+    With all costs zero this is the idealized centralized
+    processor-sharing simulator of Section 2 (Figures 1 and 2). *)
+
+type config = {
+  cores : int;  (** worker cores (dispatcher is extra) *)
+  quantum_ns : int option;  (** [None] = run to completion (FCFS) *)
+  net_op_ns : int;  (** dispatcher cost to admit one arrival *)
+  sched_op_ns : int;  (** dispatcher base cost per quantum assignment *)
+  sched_scan_per_core_ns : int;
+      (** additional per-worker-core cost of each scheduling operation:
+          the centralized dispatcher scans every core's state to decide
+          preemptions, so its per-op cost grows with the core count —
+          this is what caps Shinjuku at few cores for tiny quanta
+          (Figure 16) while it still sustains 16 cores at 5 us *)
+  preempt_ns : int;  (** worker-side overhead per preemption *)
+  probe_overhead_frac : float;  (** 0 for interrupt-based systems *)
+}
+
+(** Idealized PS: every cost zero (Section 2 simulations). *)
+val ideal_config : quantum_ns:int -> cores:int -> config
+
+(** Calibrated Shinjuku (DESIGN.md): 200 ns sched ops, 1 us preemption. *)
+val shinjuku_config : quantum_ns:int -> cores:int -> config
+
+type t
+
+val create :
+  Tq_engine.Sim.t ->
+  rng:Tq_util.Prng.t ->
+  config:config ->
+  metrics:Tq_workload.Metrics.t ->
+  t
+
+val submit : t -> Tq_workload.Arrivals.request -> unit
+
+(** Mean time between consecutive quantum starts on a worker minus the
+    slice itself — i.e. added scheduling delay; used by the Figure 16
+    dispatcher-scalability experiment.  nan before any measurement. *)
+val mean_sched_gap_ns : t -> float
+
+(** Mean achieved quantum interval (target slice + scheduling gap). *)
+val mean_effective_quantum_ns : t -> float
+
+val dispatcher_busy_ns : t -> int

@@ -1,0 +1,69 @@
+module Prng = Tq_util.Prng
+
+type t = Jsq_msq | Jsq_random | Random | Power_of_two | Round_robin
+
+let to_string = function
+  | Jsq_msq -> "jsq-msq"
+  | Jsq_random -> "jsq-random"
+  | Random -> "random"
+  | Power_of_two -> "power-of-two"
+  | Round_robin -> "round-robin"
+
+type chooser = { policy : t; rng : Prng.t; mutable cursor : int }
+
+let make_chooser policy ~rng = { policy; rng; cursor = 0 }
+
+(* Indices of workers achieving the minimum unfinished-job count. *)
+let min_load_set workers =
+  let best = ref max_int in
+  Array.iter (fun w -> best := min !best (Worker.unfinished w)) workers;
+  let ties = ref [] in
+  Array.iteri
+    (fun i w -> if Worker.unfinished w = !best then ties := i :: !ties)
+    workers;
+  !ties
+
+let choose c workers =
+  let n = Array.length workers in
+  if n = 0 then invalid_arg "Dispatch_policy.choose: no workers";
+  match c.policy with
+  | Random -> Prng.int c.rng n
+  | Round_robin ->
+      let i = c.cursor in
+      c.cursor <- (c.cursor + 1) mod n;
+      i
+  | Power_of_two ->
+      let a = Prng.int c.rng n in
+      let b = if n = 1 then a else (a + 1 + Prng.int c.rng (n - 1)) mod n in
+      let load_a = Worker.unfinished workers.(a)
+      and load_b = Worker.unfinished workers.(b) in
+      if load_a < load_b then a
+      else if load_b < load_a then b
+      else if Prng.bool c.rng then a
+      else b
+  | Jsq_random -> begin
+      match min_load_set workers with
+      | [] -> assert false
+      | [ i ] -> i
+      | ties ->
+          let arr = Array.of_list ties in
+          arr.(Prng.int c.rng (Array.length arr))
+    end
+  | Jsq_msq -> begin
+      match min_load_set workers with
+      | [] -> assert false
+      | [ i ] -> i
+      | ties ->
+          (* MSQ: the core that has serviced the most quanta for its
+             current jobs likely has the least remaining work. *)
+          let best = ref (List.hd ties) and best_q = ref min_int in
+          List.iter
+            (fun i ->
+              let q = Worker.current_quanta workers.(i) in
+              if q > !best_q then begin
+                best := i;
+                best_q := q
+              end)
+            (List.rev ties);
+          !best
+    end

@@ -1,0 +1,72 @@
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+
+type system_spec =
+  | Two_level of Two_level.config
+  | Centralized of Centralized.config
+  | Caladan of Caladan.config
+
+type result = {
+  metrics : Metrics.t;
+  offered : int;
+  duration_ns : int;
+  events : int;
+  dispatcher_busy_ns : int;
+}
+
+let run ?(seed = 42L) ~system ~workload ~rate_rps ~duration_ns () =
+  let sim = Sim.create () in
+  let rng = Prng.create ~seed in
+  let warmup_ns = duration_ns / 10 in
+  let metrics = Metrics.create ~workload ~warmup_ns in
+  let submit, dispatcher_busy =
+    match system with
+    | Two_level config ->
+        let t = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics in
+        (Two_level.submit t, fun () -> Two_level.dispatcher_busy_ns t)
+    | Centralized config ->
+        let t = Centralized.create sim ~rng:(Prng.split rng) ~config ~metrics in
+        (Centralized.submit t, fun () -> Centralized.dispatcher_busy_ns t)
+    | Caladan config ->
+        let t = Caladan.create sim ~rng:(Prng.split rng) ~config ~metrics in
+        (Caladan.submit t, fun () -> 0)
+  in
+  let issued =
+    Arrivals.install sim ~rng:(Prng.split rng) ~workload ~rate_rps ~duration_ns
+      ~sink:submit
+  in
+  Sim.run sim;
+  {
+    metrics;
+    offered = !issued;
+    duration_ns;
+    events = Sim.events_processed sim;
+    dispatcher_busy_ns = dispatcher_busy ();
+  }
+
+let throughput_rps r =
+  (* Completions counted after warm-up, over the post-warm-up window. *)
+  let measured_ns = r.duration_ns - (r.duration_ns / 10) in
+  float_of_int (Metrics.total_completed r.metrics) /. (float_of_int measured_ns /. 1e9)
+
+let run_seeds ~seeds ~system ~workload ~rate_rps ~duration_ns () =
+  List.map (fun seed -> run ~seed ~system ~workload ~rate_rps ~duration_ns ()) seeds
+
+let mean_over results f =
+  let values = List.filter (fun v -> not (Float.is_nan v)) (List.map f results) in
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let mean_sojourn_percentile results ~class_idx p =
+  mean_over results (fun r -> Metrics.sojourn_percentile r.metrics ~class_idx p)
+
+let mean_slowdown_percentile results ~class_idx p =
+  mean_over results (fun r -> Metrics.slowdown_percentile r.metrics ~class_idx p)
+
+let max_rate_under_slo ~run_at ~rates ~ok =
+  List.fold_left
+    (fun best rate -> if ok (run_at rate) then Float.max best rate else best)
+    0.0 rates

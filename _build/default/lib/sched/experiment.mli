@@ -1,0 +1,57 @@
+(** One-shot experiment driver.
+
+    Builds a system, feeds it an open-loop Poisson request stream for a
+    virtual duration, drains, and returns the metrics — the inner loop of
+    every figure in the evaluation. *)
+
+type system_spec =
+  | Two_level of Two_level.config
+  | Centralized of Centralized.config
+  | Caladan of Caladan.config
+
+type result = {
+  metrics : Tq_workload.Metrics.t;
+  offered : int;  (** requests issued by the generator *)
+  duration_ns : int;
+  events : int;  (** simulator events processed *)
+  dispatcher_busy_ns : int;  (** central-core busy time, 0 for Caladan directpath *)
+}
+
+(** [run ~seed ~system ~workload ~rate_rps ~duration_ns ()] runs one
+    experiment; warm-up is the first 10% of [duration_ns]. *)
+val run :
+  ?seed:int64 ->
+  system:system_spec ->
+  workload:Tq_workload.Service_dist.t ->
+  rate_rps:float ->
+  duration_ns:int ->
+  unit ->
+  result
+
+(** [throughput_rps r] is completions per second of measured time. *)
+val throughput_rps : result -> float
+
+(** [run_seeds ~seeds ...] repeats the experiment with different seeds —
+    tail percentiles of rare classes are noisy in a single run. *)
+val run_seeds :
+  seeds:int64 list ->
+  system:system_spec ->
+  workload:Tq_workload.Service_dist.t ->
+  rate_rps:float ->
+  duration_ns:int ->
+  unit ->
+  result list
+
+(** [mean_sojourn_percentile results ~class_idx p] — average of the
+    per-run percentiles. *)
+val mean_sojourn_percentile : result list -> class_idx:int -> float -> float
+
+(** [mean_slowdown_percentile results ~class_idx p]. *)
+val mean_slowdown_percentile : result list -> class_idx:int -> float -> float
+
+(** [max_rate_under_slo ~run_at ~rates ~ok] walks [rates] ascending and
+    returns the largest rate whose result satisfies [ok] (0.0 if none).
+    Linear — results at increasing load are not monotone enough near
+    saturation to trust bisection. *)
+val max_rate_under_slo :
+  run_at:(float -> result) -> rates:float list -> ok:(result -> bool) -> float

@@ -1,0 +1,35 @@
+type t = {
+  dispatch_ns : int;
+  ring_hop_ns : int;
+  yield_ns : int;
+  finish_ns : int;
+  probe_overhead_frac : float;
+  quantum_jitter_ns : int;
+}
+
+let tq_default =
+  {
+    dispatch_ns = 70;
+    ring_hop_ns = 50;
+    yield_ns = 40;
+    finish_ns = 60;
+    probe_overhead_frac = 0.03;
+    quantum_jitter_ns = 100;
+  }
+
+let zero =
+  {
+    dispatch_ns = 0;
+    ring_hop_ns = 0;
+    yield_ns = 0;
+    finish_ns = 0;
+    probe_overhead_frac = 0.0;
+    quantum_jitter_ns = 0;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{dispatch=%dns ring=%dns yield=%dns finish=%dns probe=%.1f%% jitter=%dns}"
+    t.dispatch_ns t.ring_hop_ns t.yield_ns t.finish_ns
+    (100.0 *. t.probe_overhead_frac)
+    t.quantum_jitter_ns

@@ -1,0 +1,30 @@
+(** Cost model for the two-level (TQ) system.
+
+    Every mechanism the paper discusses has an explicit price here, so
+    the breakdown experiments (Figures 11-12) are produced by swapping
+    one field at a time.  Calibration sources are given in DESIGN.md. *)
+
+type t = {
+  dispatch_ns : int;
+      (** dispatcher work per request (poll NIC, pick worker, ring push).
+          TQ sustains ~14 Mrps => ~70 ns. *)
+  ring_hop_ns : int;  (** latency of the dispatcher->worker ring hop *)
+  yield_ns : int;
+      (** coroutine yield + scheduler-coroutine decision per preemption
+          (Boost yields in 20-40 ns) *)
+  finish_ns : int;  (** per-job completion work: TX response, counters *)
+  probe_overhead_frac : float;
+      (** service-time inflation from compiler probes (TQ pass: a few
+          percent; CI pass: tens of percent — Table 3) *)
+  quantum_jitter_ns : int;
+      (** worst-case overshoot past the target quantum before a probe
+          fires (uniform in [0, jitter]) *)
+}
+
+(** TQ defaults per DESIGN.md calibration. *)
+val tq_default : t
+
+(** All-zero costs: the idealized simulator of Section 2. *)
+val zero : t
+
+val pp : Format.formatter -> t -> unit

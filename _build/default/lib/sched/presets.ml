@@ -1,0 +1,96 @@
+let two_level_config ?(cores = 16) ?(dispatchers = 1) ?(quantum_ns = 2_000) ~dispatch_policy
+    ~overheads () =
+  {
+    Two_level.cores;
+    dispatchers;
+    quantum_policy = Worker.Ps { quantum_ns; per_class_quantum = None };
+    dispatch_policy;
+    overheads;
+  }
+
+let tq ?cores ?dispatchers ?quantum_ns () =
+  Experiment.Two_level
+    (two_level_config ?cores ?dispatchers ?quantum_ns
+       ~dispatch_policy:Dispatch_policy.Jsq_msq ~overheads:Overheads.tq_default ())
+
+let tq_ic ?cores ?quantum_ns () =
+  (* CI probes inflate the job by ~60% (Section 3.1 RocksDB measurement). *)
+  let overheads = { Overheads.tq_default with probe_overhead_frac = 0.60 } in
+  Experiment.Two_level
+    (two_level_config ?cores ?quantum_ns ~dispatch_policy:Dispatch_policy.Jsq_msq
+       ~overheads ())
+
+let tq_slow_yield ?cores ?quantum_ns () =
+  let overheads =
+    { Overheads.tq_default with yield_ns = Overheads.tq_default.yield_ns + 1_000 }
+  in
+  Experiment.Two_level
+    (two_level_config ?cores ?quantum_ns ~dispatch_policy:Dispatch_policy.Jsq_msq
+       ~overheads ())
+
+let tq_timing ?(cores = 16) () =
+  Experiment.Two_level
+    {
+      Two_level.cores;
+      dispatchers = 1;
+      quantum_policy =
+        Worker.Ps { quantum_ns = 2_000; per_class_quantum = Some [| 1_000; 3_000 |] };
+      dispatch_policy = Dispatch_policy.Jsq_msq;
+      overheads = Overheads.tq_default;
+    }
+
+let tq_rand ?cores ?quantum_ns () =
+  Experiment.Two_level
+    (two_level_config ?cores ?quantum_ns ~dispatch_policy:Dispatch_policy.Random
+       ~overheads:Overheads.tq_default ())
+
+let tq_power_two ?cores ?quantum_ns () =
+  Experiment.Two_level
+    (two_level_config ?cores ?quantum_ns ~dispatch_policy:Dispatch_policy.Power_of_two
+       ~overheads:Overheads.tq_default ())
+
+let tq_fcfs ?(cores = 16) () =
+  Experiment.Two_level
+    {
+      Two_level.cores;
+      dispatchers = 1;
+      quantum_policy = Worker.Fcfs;
+      dispatch_policy = Dispatch_policy.Jsq_msq;
+      overheads = Overheads.tq_default;
+    }
+
+let tq_las ?(cores = 16) ?(base_quantum_ns = 1_000) ?(max_quantum_ns = 8_000) () =
+  Experiment.Two_level
+    {
+      Two_level.cores;
+      dispatchers = 1;
+      quantum_policy = Worker.Las { base_quantum_ns; max_quantum_ns };
+      dispatch_policy = Dispatch_policy.Jsq_msq;
+      overheads = Overheads.tq_default;
+    }
+
+let shinjuku ?(cores = 16) ~quantum_ns () =
+  Experiment.Centralized (Centralized.shinjuku_config ~quantum_ns ~cores)
+
+let shinjuku_quantum_for name =
+  let us = Tq_util.Time_unit.us in
+  match name with
+  | "extreme-bimodal" | "extreme-bimodal-sim" | "high-bimodal" -> us 5.0
+  | "tpcc" | "exp1" -> us 10.0
+  | "rocksdb-0.5pct-scan" | "rocksdb-50pct-scan" -> us 15.0
+  | _ -> us 5.0
+
+let caladan ?(cores = 16) ~mode () =
+  Experiment.Caladan (Caladan.default_config ~mode ~cores)
+
+let concord ?(cores = 16) ~quantum_ns () =
+  Experiment.Centralized
+    {
+      Centralized.cores;
+      quantum_ns = Some quantum_ns;
+      net_op_ns = 100;
+      sched_op_ns = 180;
+      sched_scan_per_core_ns = 5;
+      preempt_ns = 50;
+      probe_overhead_frac = 0.0;
+    }

@@ -1,0 +1,48 @@
+(** Named system configurations used throughout the evaluation.
+
+    One entry per system/variant the paper measures, so every bench and
+    example refers to systems by the paper's names. *)
+
+(** TQ with defaults (16 cores, 1 dispatcher, 2 us quanta, JSQ+MSQ). *)
+val tq :
+  ?cores:int -> ?dispatchers:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+
+(** Figure 11 ablations. *)
+
+(** TQ-IC: state-of-the-art instruction-counter instrumentation — the
+    paper measures +60% probing overhead on the RocksDB GET. *)
+val tq_ic : ?cores:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+
+(** TQ-SLOW-YIELD: +1 us added to every coroutine yield. *)
+val tq_slow_yield : ?cores:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+
+(** TQ-TIMING: emulated inaccurate preemption timing — 1 us quanta for
+    class 0 (GET) and 3 us for class 1 (SCAN). *)
+val tq_timing : ?cores:int -> unit -> Experiment.system_spec
+
+(** Figure 12 ablations. *)
+
+val tq_rand : ?cores:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+val tq_power_two : ?cores:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+val tq_fcfs : ?cores:int -> unit -> Experiment.system_spec
+
+(** Extension: TQ with least-attained-service quantum scheduling —
+    dynamic quanta growing from [base] (default 1 us) to [max]
+    (default 8 us) with attained service. *)
+val tq_las :
+  ?cores:int -> ?base_quantum_ns:int -> ?max_quantum_ns:int -> unit -> Experiment.system_spec
+
+(** Shinjuku with its per-workload optimal quantum (paper Section 5.1:
+    5 us bimodal, 10 us TPC-C/Exp, 15 us RocksDB). *)
+val shinjuku : ?cores:int -> quantum_ns:int -> unit -> Experiment.system_spec
+
+(** [shinjuku_quantum_for workload_name] is the paper's per-workload
+    quantum choice in nanoseconds. *)
+val shinjuku_quantum_for : string -> int
+
+val caladan : ?cores:int -> mode:Caladan.mode -> unit -> Experiment.system_spec
+
+(** Concord (related work): centralized like Shinjuku, but preemption by
+    shared cache line (cheap, ~50 ns) with a dispatcher that saturates
+    around 4 Mrps. *)
+val concord : ?cores:int -> quantum_ns:int -> unit -> Experiment.system_spec

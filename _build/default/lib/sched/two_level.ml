@@ -1,0 +1,85 @@
+module Sim = Tq_engine.Sim
+module Busy_server = Tq_engine.Busy_server
+module Prng = Tq_util.Prng
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+
+type config = {
+  cores : int;
+  dispatchers : int;
+  quantum_policy : Worker.quantum_policy;
+  dispatch_policy : Dispatch_policy.t;
+  overheads : Overheads.t;
+}
+
+let default_config =
+  {
+    cores = 16;
+    dispatchers = 1;
+    quantum_policy = Worker.Ps { quantum_ns = 2_000; per_class_quantum = None };
+    dispatch_policy = Dispatch_policy.Jsq_msq;
+    overheads = Overheads.tq_default;
+  }
+
+type dispatcher = {
+  server : Arrivals.request Busy_server.t;
+  chooser : Dispatch_policy.chooser;
+}
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  workers : Worker.t array;
+  dispatchers : dispatcher array;
+  metrics : Metrics.t;
+}
+
+let create sim ~rng ~config ~metrics =
+  if config.cores < 1 then invalid_arg "Two_level.create: need at least one core";
+  if config.dispatchers < 1 then
+    invalid_arg "Two_level.create: need at least one dispatcher";
+  let ov = config.overheads in
+  let on_finish (job : Job.t) =
+    Metrics.record metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
+      ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns
+  in
+  let workers =
+    Array.init config.cores (fun wid ->
+        Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:config.quantum_policy
+          ~overheads:ov ~on_finish ())
+  in
+  let dispatchers =
+    Array.init config.dispatchers (fun _ ->
+        {
+          server = Busy_server.create sim ();
+          chooser = Dispatch_policy.make_chooser config.dispatch_policy ~rng:(Prng.split rng);
+        })
+  in
+  { sim; config; workers; dispatchers; metrics }
+
+let submit t req =
+  let ov = t.config.overheads in
+  (* RSS across dispatcher cores; each balances over all workers using
+     the shared (worker-maintained) counters. *)
+  let d = t.dispatchers.(req.Arrivals.req_id mod Array.length t.dispatchers) in
+  Busy_server.submit d.server ~cost:ov.dispatch_ns req
+    ~done_:(fun (req : Arrivals.request) ->
+      let widx = Dispatch_policy.choose d.chooser t.workers in
+      let worker = t.workers.(widx) in
+      Worker.note_assigned worker;
+      let job = Job.of_request ~probe_overhead_frac:ov.probe_overhead_frac req in
+      ignore
+        (Sim.schedule_after t.sim ~delay:ov.ring_hop_ns (fun () ->
+             Worker.enqueue worker job)
+          : Sim.event))
+
+let dispatcher_busy_ns t =
+  Array.fold_left (fun acc d -> acc + Busy_server.busy_time d.server) 0 t.dispatchers
+
+let dispatcher_queue_length t =
+  Array.fold_left (fun acc d -> acc + Busy_server.queue_length d.server) 0 t.dispatchers
+
+let max_dispatcher_busy_ns t =
+  Array.fold_left (fun acc d -> max acc (Busy_server.busy_time d.server)) 0 t.dispatchers
+
+let workers t = t.workers

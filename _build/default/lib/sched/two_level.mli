@@ -1,0 +1,50 @@
+(** The Tiny Quanta system: two-level scheduling.
+
+    Level 1 — a dispatcher that does *only* load balancing: it polls
+    requests, spends [dispatch_ns] per request (it never parses job
+    contents — blind scheduling), picks a worker by the configured
+    policy, and pushes the job over a ring.  Its load is per-*job*, so
+    shrinking the quantum does not increase dispatcher work.
+
+    Level 2 — per-core workers that interleave quanta of their admitted
+    jobs by forced multitasking ({!Worker}).  Completions bypass the
+    dispatcher entirely: the worker records metrics and sends the reply
+    itself, updating the counters the dispatcher reads. *)
+
+type config = {
+  cores : int;
+  dispatchers : int;
+      (** number of dispatcher cores; requests are RSS-spread across
+          them and each balances over all workers (Section 6: scaling
+          past one dispatcher's ~14 Mrps) *)
+  quantum_policy : Worker.quantum_policy;
+  dispatch_policy : Dispatch_policy.t;
+  overheads : Overheads.t;
+}
+
+(** TQ defaults: 16 cores, 2 us PS quanta, JSQ+MSQ, calibrated costs. *)
+val default_config : config
+
+type t
+
+val create :
+  Tq_engine.Sim.t ->
+  rng:Tq_util.Prng.t ->
+  config:config ->
+  metrics:Tq_workload.Metrics.t ->
+  t
+
+(** [submit t req] is the NIC-arrival entry point. *)
+val submit : t -> Tq_workload.Arrivals.request -> unit
+
+(** Dispatcher utilization diagnostics (summed over dispatchers). *)
+val dispatcher_busy_ns : t -> int
+
+(** Total requests queued at dispatchers. *)
+val dispatcher_queue_length : t -> int
+
+(** Longest busy time of any single dispatcher core — the bottleneck
+    measure when [dispatchers] > 1. *)
+val max_dispatcher_busy_ns : t -> int
+
+val workers : t -> Worker.t array

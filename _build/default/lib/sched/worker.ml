@@ -1,0 +1,154 @@
+module Sim = Tq_engine.Sim
+module Deque = Tq_util.Ring_deque
+module Prng = Tq_util.Prng
+
+type quantum_policy =
+  | Ps of { quantum_ns : int; per_class_quantum : int array option }
+  | Fcfs
+  | Las of { base_quantum_ns : int; max_quantum_ns : int }
+
+type t = {
+  sim : Sim.t;
+  wid : int;
+  rng : Prng.t;
+  policy : quantum_policy;
+  ov : Overheads.t;
+  queue : Job.t Deque.t;
+  on_finish : Job.t -> unit;
+  on_idle : unit -> unit;
+  mutable busy : bool;
+  mutable assigned : int;
+  mutable finished : int;
+  mutable current_quanta : int;
+  mutable busy_ns : int;
+}
+
+let create sim ~wid ~rng ~policy ~overheads ?(on_idle = ignore) ~on_finish () =
+  {
+    sim;
+    wid;
+    rng;
+    policy;
+    ov = overheads;
+    queue = Deque.create ();
+    on_finish;
+    on_idle;
+    busy = false;
+    assigned = 0;
+    finished = 0;
+    current_quanta = 0;
+    busy_ns = 0;
+  }
+
+let wid t = t.wid
+
+let jitter t =
+  if t.ov.quantum_jitter_ns > 0 then Prng.int t.rng (t.ov.quantum_jitter_ns + 1) else 0
+
+let quantum_for t (job : Job.t) =
+  match t.policy with
+  | Fcfs -> None
+  | Ps { quantum_ns; per_class_quantum } ->
+      let base =
+        match per_class_quantum with
+        | Some arr when job.class_idx < Array.length arr -> arr.(job.class_idx)
+        | _ -> quantum_ns
+      in
+      Some (base + jitter t)
+  | Las { base_quantum_ns; max_quantum_ns } ->
+      (* Doubling quanta with attained service: a fresh job preempts
+         quickly; a long-running one earns longer slices. *)
+      let attained = Job.attained_ns job in
+      let quantum = max base_quantum_ns (min max_quantum_ns attained) in
+      Some (quantum + jitter t)
+
+(* LAS serves the job with the least attained service; PS/FCFS serve the
+   queue head. *)
+let pop_next t =
+  match t.policy with
+  | Ps _ | Fcfs -> Deque.pop_front t.queue
+  | Las _ ->
+      if Deque.is_empty t.queue then None
+      else begin
+        let best = ref 0 and best_attained = ref max_int in
+        Deque.iter
+          (fun (j : Job.t) ->
+            let a = Job.attained_ns j in
+            if a < !best_attained then best_attained := a)
+          t.queue;
+        (* Find the first job achieving the minimum, preserving FIFO
+           order among equals. *)
+        let n = Deque.length t.queue in
+        let rec find i =
+          if i >= n then 0
+          else if Job.attained_ns (Deque.get t.queue i) = !best_attained then i
+          else find (i + 1)
+        in
+        best := find 0;
+        (* Rotate the winner to the front, then pop. *)
+        let rec extract i acc =
+          if i = 0 then Deque.pop_front t.queue
+          else begin
+            (match Deque.pop_front t.queue with
+            | Some j -> acc := j :: !acc
+            | None -> assert false);
+            extract (i - 1) acc
+          end
+        in
+        let skipped = ref [] in
+        let winner = extract !best skipped in
+        List.iter (Deque.push_front t.queue) !skipped;
+        winner
+      end
+
+let rec run_next t =
+  match pop_next t with
+  | None ->
+      t.busy <- false;
+      t.on_idle ()
+  | Some job ->
+      t.busy <- true;
+      let slice, finishes =
+        match quantum_for t job with
+        | None -> (job.remaining_ns, true)
+        | Some q ->
+            if job.remaining_ns <= q then (job.remaining_ns, true)
+            else (q, false)
+      in
+      let extra = if finishes then t.ov.finish_ns else t.ov.yield_ns in
+      let busy_for = slice + extra in
+      ignore
+        (Sim.schedule_after t.sim ~delay:busy_for (fun () ->
+             t.busy_ns <- t.busy_ns + busy_for;
+             job.remaining_ns <- job.remaining_ns - slice;
+             job.serviced_quanta <- job.serviced_quanta + 1;
+             t.current_quanta <- t.current_quanta + 1;
+             if finishes then begin
+               t.current_quanta <- t.current_quanta - job.serviced_quanta;
+               t.finished <- t.finished + 1;
+               t.on_finish job
+             end
+             else Deque.push_back t.queue job;
+             run_next t)
+          : Sim.event)
+
+let enqueue t job =
+  Deque.push_back t.queue job;
+  if not t.busy then run_next t
+
+let unfinished t = t.assigned - t.finished
+let current_quanta t = t.current_quanta
+let finished_jobs t = t.finished
+let busy_ns t = t.busy_ns
+let queue_length t = Deque.length t.queue
+let note_assigned t = t.assigned <- t.assigned + 1
+let is_busy t = t.busy
+
+let steal t =
+  match Deque.pop_back t.queue with
+  | Some job ->
+      (* The job leaves this core: its load transfers to the thief, which
+         calls [note_assigned] on itself. *)
+      t.assigned <- t.assigned - 1;
+      Some job
+  | None -> None

@@ -1,0 +1,67 @@
+(** A TQ worker core.
+
+    Runs quanta of its admitted jobs without any external signal (forced
+    multitasking): each job executes for at most a quantum — plus a
+    jitter term modeling probe-timing inaccuracy — then pays the yield
+    cost and goes to the back of the local run queue (processor
+    sharing).  FCFS mode runs jobs to completion instead (the TQ-FCFS
+    ablation).
+
+    The worker maintains the two counters the paper's dispatcher reads
+    for load balancing: finished jobs (for JSQ's queue-length deltas) and
+    serviced quanta of *current* jobs (for MSQ tie-breaking). *)
+
+type quantum_policy =
+  | Ps of { quantum_ns : int; per_class_quantum : int array option }
+      (** processor sharing with the given quantum; [per_class_quantum]
+          is the TQ-TIMING ablation: mis-sized quanta per job class *)
+  | Fcfs  (** run to completion *)
+  | Las of { base_quantum_ns : int; max_quantum_ns : int }
+      (** least-attained-service: always run the job that has received
+          the least service; its quantum grows with attained service
+          (clamped to [base, max]) — the dynamic-quantum policy the
+          paper cites forced multitasking as enabling (Section 3.1) *)
+
+type t
+
+(** [on_idle] fires when the core transitions from busy to idle with an
+    empty queue — the work-stealing hook used by the Caladan model. *)
+val create :
+  Tq_engine.Sim.t ->
+  wid:int ->
+  rng:Tq_util.Prng.t ->
+  policy:quantum_policy ->
+  overheads:Overheads.t ->
+  ?on_idle:(unit -> unit) ->
+  on_finish:(Job.t -> unit) ->
+  unit ->
+  t
+
+val is_busy : t -> bool
+
+val wid : t -> int
+
+(** [enqueue t job] admits a job to this core (called by the dispatcher
+    after the ring hop). *)
+val enqueue : t -> Job.t -> unit
+
+(** Dispatcher-visible load: jobs admitted but not yet finished. *)
+val unfinished : t -> int
+
+(** Sum of serviced quanta over the jobs currently on the core (MSQ). *)
+val current_quanta : t -> int
+
+val finished_jobs : t -> int
+val busy_ns : t -> int
+
+(** Jobs waiting in the local run queue (excludes the one executing). *)
+val queue_length : t -> int
+
+(** [note_assigned t] bumps the dispatcher-side assignment counter; the
+    dispatcher calls this at decision time so in-flight jobs (on the
+    ring) count as load. *)
+val note_assigned : t -> unit
+
+(** [steal t] removes the most recently queued job, if any (used only by
+    the Caladan work-stealing model which shares this worker type). *)
+val steal : t -> Job.t option

@@ -1,0 +1,1 @@
+lib/stats/p2_quantile.ml: Array

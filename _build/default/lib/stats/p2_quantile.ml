@@ -1,0 +1,97 @@
+type t = {
+  q : float;
+  heights : float array; (* marker heights, 5 markers *)
+  positions : float array; (* actual marker positions (1-based) *)
+  desired : float array; (* desired marker positions *)
+  increments : float array;
+  mutable n : int;
+  initial : float array; (* first five samples *)
+}
+
+let create ~q =
+  if q <= 0.0 || q >= 1.0 then invalid_arg "P2_quantile.create: q must be in (0, 1)";
+  {
+    q;
+    heights = Array.make 5 0.0;
+    positions = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+    desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+    increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+    n = 0;
+    initial = Array.make 5 0.0;
+  }
+
+let count t = t.n
+
+let parabolic t i d =
+  let q = t.heights and pos = t.positions in
+  q.(i)
+  +. d
+     /. (pos.(i + 1) -. pos.(i - 1))
+     *. (((pos.(i) -. pos.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (pos.(i + 1) -. pos.(i)))
+        +. ((pos.(i + 1) -. pos.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (pos.(i) -. pos.(i - 1))))
+
+let sign_of d = if d > 0.0 then 1 else -1
+
+let linear t i d =
+  let q = t.heights and pos = t.positions in
+  let s = sign_of d in
+  q.(i) +. (d *. (q.(i + s) -. q.(i)) /. (pos.(i + s) -. pos.(i)))
+
+let add t x =
+  if t.n < 5 then begin
+    t.initial.(t.n) <- x;
+    t.n <- t.n + 1;
+    if t.n = 5 then begin
+      Array.sort compare t.initial;
+      Array.blit t.initial 0 t.heights 0 5
+    end
+  end
+  else begin
+    let k =
+      if x < t.heights.(0) then begin
+        t.heights.(0) <- x;
+        0
+      end
+      else if x >= t.heights.(4) then begin
+        t.heights.(4) <- x;
+        3
+      end
+      else begin
+        let rec find i = if x < t.heights.(i + 1) then i else find (i + 1) in
+        find 0
+      end
+    in
+    for i = k + 1 to 4 do
+      t.positions.(i) <- t.positions.(i) +. 1.0
+    done;
+    for i = 0 to 4 do
+      t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+    done;
+    for i = 1 to 3 do
+      let d = t.desired.(i) -. t.positions.(i) in
+      if
+        (d >= 1.0 && t.positions.(i + 1) -. t.positions.(i) > 1.0)
+        || (d <= -1.0 && t.positions.(i - 1) -. t.positions.(i) < -1.0)
+      then begin
+        let d = if d >= 0.0 then 1.0 else -1.0 in
+        let candidate = parabolic t i d in
+        let candidate =
+          if t.heights.(i - 1) < candidate && candidate < t.heights.(i + 1) then candidate
+          else linear t i d
+        in
+        t.heights.(i) <- candidate;
+        t.positions.(i) <- t.positions.(i) +. d
+      end
+    done;
+    t.n <- t.n + 1
+  end
+
+let estimate t =
+  if t.n = 0 then nan
+  else if t.n < 5 then begin
+    let sorted = Array.sub t.initial 0 t.n in
+    Array.sort compare sorted;
+    let idx = int_of_float (ceil (t.q *. float_of_int t.n)) - 1 in
+    sorted.(max 0 (min (t.n - 1) idx))
+  end
+  else t.heights.(2)

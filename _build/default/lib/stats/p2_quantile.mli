@@ -1,0 +1,17 @@
+(** P-square (P2) streaming quantile estimator (Jain & Chlamtac 1985).
+
+    Estimates a single quantile in O(1) memory without storing samples.
+    Used by long-running monitors (e.g. the dispatcher-capacity probe)
+    where exact recording would be wasteful. *)
+
+type t
+
+(** [create ~q] estimates quantile [q] in (0, 1). *)
+val create : q:float -> t
+
+val add : t -> float -> unit
+val count : t -> int
+
+(** [estimate t] is the current quantile estimate; exact while fewer than
+    five samples have been seen; nan when empty. *)
+val estimate : t -> float

@@ -1,0 +1,23 @@
+(** Welford's online mean/variance.
+
+    Numerically stable single-pass moments for long-running monitors
+    (utilization, inter-arrival gaps) where storing samples is wasteful
+    and naive sum-of-squares loses precision. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Sample variance (n-1 denominator); nan below two samples. *)
+val variance : t -> float
+
+val std_dev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** [merge a b] — combined statistics of two disjoint streams
+    (Chan's parallel update). *)
+val merge : t -> t -> t

@@ -1,0 +1,1 @@
+lib/tpcc/consistency.ml: Format List Schema String

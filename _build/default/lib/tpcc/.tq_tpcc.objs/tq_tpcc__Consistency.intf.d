@@ -1,0 +1,1 @@
+lib/tpcc/consistency.mli: Schema

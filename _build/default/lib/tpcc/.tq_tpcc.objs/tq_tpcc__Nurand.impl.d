@@ -1,0 +1,1 @@
+lib/tpcc/nurand.ml: Array Tq_util

@@ -1,0 +1,1 @@
+lib/tpcc/nurand.mli: Tq_util

@@ -1,0 +1,1 @@
+lib/tpcc/schema.ml: Array Hashtbl Nurand Tq_util

@@ -1,0 +1,1 @@
+lib/tpcc/schema.mli:

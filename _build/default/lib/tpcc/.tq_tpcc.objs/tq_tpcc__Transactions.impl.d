@@ -1,0 +1,1 @@
+lib/tpcc/transactions.ml: Hashtbl List Nurand Option Schema Tq_util

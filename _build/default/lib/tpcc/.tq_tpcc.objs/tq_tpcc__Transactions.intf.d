@@ -1,0 +1,1 @@
+lib/tpcc/transactions.mli: Schema Tq_util

@@ -1,0 +1,75 @@
+let check db =
+  let sc = Schema.scale db in
+  let violations = ref [] in
+  let fail fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  (* C1: warehouse YTD equals the sum of its districts' YTD. *)
+  for w = 0 to sc.warehouses - 1 do
+    let warehouse = Schema.warehouse db ~w in
+    let district_sum = ref 0 in
+    for d = 0 to sc.districts_per_warehouse - 1 do
+      district_sum := !district_sum + (Schema.district db ~w ~d).d_ytd
+    done;
+    if warehouse.w_ytd <> !district_sum then
+      fail "warehouse %d: w_ytd %d <> sum of district ytd %d" w warehouse.w_ytd !district_sum
+  done;
+  (* C2/C3: order ids are dense below d_next_o_id, and every order's
+     line count matches o_ol_cnt. *)
+  for w = 0 to sc.warehouses - 1 do
+    for d = 0 to sc.districts_per_warehouse - 1 do
+      let next = (Schema.district db ~w ~d).d_next_o_id in
+      for o = 1 to next - 1 do
+        match Schema.order db ~w ~d ~o with
+        | None -> fail "district (%d,%d): missing order %d < next_o_id %d" w d o next
+        | Some order ->
+            let lines = ref 0 in
+            let delivered_lines = ref 0 in
+            for ol = 0 to order.o_ol_cnt - 1 do
+              match Schema.order_line db ~w ~d ~o ~ol with
+              | Some line ->
+                  incr lines;
+                  if line.ol_delivered then incr delivered_lines
+              | None -> ()
+            done;
+            if !lines <> order.o_ol_cnt then
+              fail "order (%d,%d,%d): %d lines, expected %d" w d o !lines order.o_ol_cnt;
+            (* C4: delivery is atomic per order. *)
+            (match order.o_carrier_id with
+            | Some _ when !delivered_lines <> order.o_ol_cnt ->
+                fail "order (%d,%d,%d): delivered order with undelivered lines" w d o
+            | None when !delivered_lines <> 0 ->
+                fail "order (%d,%d,%d): undelivered order with delivered lines" w d o
+            | _ -> ())
+      done
+    done
+  done;
+  (* C5: every queued new-order entry is an existing undelivered order. *)
+  (* Pop/push to inspect without destroying state. *)
+  for w = 0 to sc.warehouses - 1 do
+    for d = 0 to sc.districts_per_warehouse - 1 do
+      let depth = Schema.new_order_depth db ~w ~d in
+      for _ = 1 to depth do
+        match Schema.pop_new_order db ~w ~d with
+        | None -> fail "district (%d,%d): queue depth lied" w d
+        | Some o ->
+            (match Schema.order db ~w ~d ~o with
+            | None -> fail "district (%d,%d): queued order %d does not exist" w d o
+            | Some order ->
+                if order.o_carrier_id <> None then
+                  fail "district (%d,%d): queued order %d already delivered" w d o);
+            Schema.push_new_order db ~w ~d ~o
+      done
+    done
+  done;
+  (* C6: stock quantities are non-negative (replenishment rule). *)
+  for w = 0 to sc.warehouses - 1 do
+    for i = 0 to sc.items - 1 do
+      if (Schema.stock db ~w ~i).s_quantity < 0 then
+        fail "stock (%d,%d): negative quantity" w i
+    done
+  done;
+  List.rev !violations
+
+let check_exn db =
+  match check db with
+  | [] -> ()
+  | violations -> failwith ("TPC-C consistency violated:\n" ^ String.concat "\n" violations)

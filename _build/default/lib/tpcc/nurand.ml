@@ -1,0 +1,21 @@
+module Prng = Tq_util.Prng
+
+let nurand rng ~a ~x ~y ~c =
+  if x > y || a < 0 then invalid_arg "Nurand.nurand";
+  let r1 = Prng.int_in_range rng ~lo:0 ~hi:a in
+  let r2 = Prng.int_in_range rng ~lo:x ~hi:y in
+  (((r1 lor r2) + c) mod (y - x + 1)) + x
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  if n < 0 || n > 999 then invalid_arg "Nurand.last_name: n in [0, 999]";
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let customer_last_name rng ~customers ~c =
+  if customers <= 0 then invalid_arg "Nurand.customer_last_name";
+  (* Loaded customers carry name (id mod 1000); with fewer than 1000
+     rows, restrict the draw so the name always exists. *)
+  let bound = min 999 (customers - 1) in
+  last_name (nurand rng ~a:255 ~x:0 ~y:bound ~c)

@@ -1,0 +1,18 @@
+(** TPC-C's non-uniform random distribution and last-name generation.
+
+    NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) mod (y-x+1)) + x —
+    the spec's skewed selector for customers and items, which makes some
+    rows far hotter than others.  Last names are built from the spec's
+    ten syllables indexed by the digits of a three-digit number. *)
+
+(** [nurand rng ~a ~x ~y ~c] — the spec's formula; result in [x, y]. *)
+val nurand : Tq_util.Prng.t -> a:int -> x:int -> y:int -> c:int -> int
+
+(** [last_name n] — syllable name for [n] in [0, 999], e.g.
+    [last_name 371] = "PRICALLYOUGHT". *)
+val last_name : int -> string
+
+(** [customer_last_name rng ~customers ~c] — a last name drawn with the
+    spec's NURand(255) skew, restricted to names that exist when only
+    [customers] rows were loaded (ids map to names via [id mod 1000]). *)
+val customer_last_name : Tq_util.Prng.t -> customers:int -> c:int -> string

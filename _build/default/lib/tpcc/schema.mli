@@ -1,0 +1,82 @@
+(** Scaled-down in-memory TPC-C schema and database.
+
+    The five-transaction OLTP workload supplies the paper's multi-modal
+    service-time distribution (Table 1) and a realistic example
+    application.  Money is in integer cents; rows live in hash tables
+    keyed by the standard composite keys. *)
+
+type warehouse = { mutable w_ytd : int }
+type district = { mutable d_next_o_id : int; mutable d_ytd : int }
+
+type customer = {
+  c_last : string;  (** spec last name: syllables of (id mod 1000) *)
+  mutable c_balance : int;
+  mutable c_ytd_payment : int;
+  mutable c_payment_cnt : int;
+  mutable c_delivery_cnt : int;
+}
+
+type item = { i_price : int }
+type stock = { mutable s_quantity : int; mutable s_ytd : int; mutable s_order_cnt : int }
+
+type order = {
+  o_c_id : int;
+  o_entry_ns : int;
+  mutable o_carrier_id : int option;
+  o_ol_cnt : int;
+}
+
+type order_line = {
+  ol_i_id : int;
+  ol_quantity : int;
+  ol_amount : int;
+  mutable ol_delivered : bool;
+}
+
+type t
+
+type scale = {
+  warehouses : int;
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+}
+
+(** A small but structurally faithful default: 2 warehouses, 10
+    districts each, 100 customers per district, 1000 items. *)
+val default_scale : scale
+
+(** [create ?seed ?scale ()] loads initial data (stock ~ uniform 10-100,
+    prices uniform 1-100 dollars). *)
+val create : ?seed:int64 -> ?scale:scale -> unit -> t
+
+val scale : t -> scale
+
+(** Row accessors; raise [Not_found] for out-of-range ids. *)
+
+val warehouse : t -> w:int -> warehouse
+val district : t -> w:int -> d:int -> district
+val customer : t -> w:int -> d:int -> c:int -> customer
+
+(** [customers_by_last_name t ~w ~d name] — ascending customer ids with
+    that last name (the spec's secondary index). *)
+val customers_by_last_name : t -> w:int -> d:int -> string -> int list
+val item : t -> i:int -> item
+val stock : t -> w:int -> i:int -> stock
+
+(** Orders. *)
+
+val insert_order : t -> w:int -> d:int -> o:int -> order -> unit
+val order : t -> w:int -> d:int -> o:int -> order option
+val insert_order_line : t -> w:int -> d:int -> o:int -> ol:int -> order_line -> unit
+val order_line : t -> w:int -> d:int -> o:int -> ol:int -> order_line option
+
+(** New-order queue (per district, FIFO). *)
+
+val push_new_order : t -> w:int -> d:int -> o:int -> unit
+val pop_new_order : t -> w:int -> d:int -> int option
+val new_order_depth : t -> w:int -> d:int -> int
+
+(** [last_order_id t ~w ~d ~c] — newest order id of the customer, if
+    any. *)
+val last_order_id : t -> w:int -> d:int -> c:int -> int option

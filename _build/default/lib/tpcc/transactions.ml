@@ -1,0 +1,174 @@
+module Prng = Tq_util.Prng
+
+type kind = Payment | Order_status | New_order | Delivery | Stock_level
+
+let kind_name = function
+  | Payment -> "Payment"
+  | Order_status -> "OrderStatus"
+  | New_order -> "NewOrder"
+  | Delivery -> "Delivery"
+  | Stock_level -> "StockLevel"
+
+let sample_kind rng =
+  match Prng.choose_weighted rng [| 0.44; 0.04; 0.44; 0.04; 0.04 |] with
+  | 0 -> Payment
+  | 1 -> Order_status
+  | 2 -> New_order
+  | 3 -> Delivery
+  | _ -> Stock_level
+
+let service_time_ns kind =
+  let us = Tq_util.Time_unit.us in
+  match kind with
+  | Payment -> us 5.7
+  | Order_status -> us 6.0
+  | New_order -> us 20.0
+  | Delivery -> us 88.0
+  | Stock_level -> us 100.0
+
+type outcome =
+  | Ordered of { o_id : int; total : int }
+  | Paid of { amount : int }
+  | Status of { last_order : int option; undelivered_lines : int }
+  | Delivered of { orders : int }
+  | Stock_low of { count : int }
+
+let pick_warehouse db rng = Prng.int rng (Schema.scale db).warehouses
+let pick_district db rng = Prng.int rng (Schema.scale db).districts_per_warehouse
+
+(* Spec: customers by NURand(1023)-style skew (scaled to our row count),
+   items by NURand(8191)-style skew. *)
+let pick_customer db rng =
+  let n = (Schema.scale db).customers_per_district in
+  Nurand.nurand rng ~a:1023 ~x:0 ~y:(n - 1) ~c:259 mod n
+
+let pick_item db rng =
+  let n = (Schema.scale db).items in
+  Nurand.nurand rng ~a:8191 ~x:0 ~y:(n - 1) ~c:7911 mod n
+
+(* Spec: 60% of Payment/Order-Status select the customer by last name,
+   taking the ceiling-median of the matching rows. *)
+let pick_customer_for_lookup db rng ~w ~d =
+  if Prng.bernoulli rng ~p:0.6 then begin
+    let n = (Schema.scale db).customers_per_district in
+    let name = Nurand.customer_last_name rng ~customers:n ~c:223 in
+    match Schema.customers_by_last_name db ~w ~d name with
+    | [] -> pick_customer db rng
+    | matches -> List.nth matches (List.length matches / 2)
+  end
+  else pick_customer db rng
+
+let new_order db rng ~now_ns =
+  let w = pick_warehouse db rng and d = pick_district db rng in
+  let c = pick_customer db rng in
+  let district = Schema.district db ~w ~d in
+  let o_id = district.d_next_o_id in
+  district.d_next_o_id <- o_id + 1;
+  let ol_cnt = 5 + Prng.int rng 11 in
+  Schema.insert_order db ~w ~d ~o:o_id
+    { o_c_id = c; o_entry_ns = now_ns; o_carrier_id = None; o_ol_cnt = ol_cnt };
+  let total = ref 0 in
+  for ol = 0 to ol_cnt - 1 do
+    let i = pick_item db rng in
+    let quantity = 1 + Prng.int rng 10 in
+    let item = Schema.item db ~i in
+    let stock = Schema.stock db ~w ~i in
+    (* TPC-C replenishment rule: restock by 91 when running low. *)
+    if stock.s_quantity - quantity < 10 then stock.s_quantity <- stock.s_quantity + 91;
+    stock.s_quantity <- stock.s_quantity - quantity;
+    stock.s_ytd <- stock.s_ytd + quantity;
+    stock.s_order_cnt <- stock.s_order_cnt + 1;
+    let amount = quantity * item.i_price in
+    total := !total + amount;
+    Schema.insert_order_line db ~w ~d ~o:o_id ~ol
+      { ol_i_id = i; ol_quantity = quantity; ol_amount = amount; ol_delivered = false }
+  done;
+  Schema.push_new_order db ~w ~d ~o:o_id;
+  Ordered { o_id; total = !total }
+
+let payment db rng =
+  let w = pick_warehouse db rng and d = pick_district db rng in
+  let c = pick_customer_for_lookup db rng ~w ~d in
+  let amount = 100 + Prng.int rng 500_000 in
+  let warehouse = Schema.warehouse db ~w in
+  let district = Schema.district db ~w ~d in
+  let customer = Schema.customer db ~w ~d ~c in
+  warehouse.w_ytd <- warehouse.w_ytd + amount;
+  district.d_ytd <- district.d_ytd + amount;
+  customer.c_balance <- customer.c_balance - amount;
+  customer.c_ytd_payment <- customer.c_ytd_payment + amount;
+  customer.c_payment_cnt <- customer.c_payment_cnt + 1;
+  Paid { amount }
+
+let order_status db rng =
+  let w = pick_warehouse db rng and d = pick_district db rng in
+  let c = pick_customer_for_lookup db rng ~w ~d in
+  match Schema.last_order_id db ~w ~d ~c with
+  | None -> Status { last_order = None; undelivered_lines = 0 }
+  | Some o_id ->
+      let order = Option.get (Schema.order db ~w ~d ~o:o_id) in
+      let undelivered = ref 0 in
+      for ol = 0 to order.o_ol_cnt - 1 do
+        match Schema.order_line db ~w ~d ~o:o_id ~ol with
+        | Some line when not line.ol_delivered -> incr undelivered
+        | _ -> ()
+      done;
+      Status { last_order = Some o_id; undelivered_lines = !undelivered }
+
+let delivery db rng =
+  (* Deliver the oldest undelivered order of every district of one
+     warehouse, as the TPC-C deferred-delivery batch does. *)
+  let w = pick_warehouse db rng in
+  let carrier = 1 + Prng.int rng 10 in
+  let delivered = ref 0 in
+  for d = 0 to (Schema.scale db).districts_per_warehouse - 1 do
+    match Schema.pop_new_order db ~w ~d with
+    | None -> ()
+    | Some o_id ->
+        let order = Option.get (Schema.order db ~w ~d ~o:o_id) in
+        order.o_carrier_id <- Some carrier;
+        let total = ref 0 in
+        for ol = 0 to order.o_ol_cnt - 1 do
+          match Schema.order_line db ~w ~d ~o:o_id ~ol with
+          | Some line ->
+              line.ol_delivered <- true;
+              total := !total + line.ol_amount
+          | None -> ()
+        done;
+        let customer = Schema.customer db ~w ~d ~c:order.o_c_id in
+        customer.c_balance <- customer.c_balance + !total;
+        customer.c_delivery_cnt <- customer.c_delivery_cnt + 1;
+        incr delivered
+  done;
+  Delivered { orders = !delivered }
+
+let stock_level db rng =
+  (* Count items with stock below a threshold among the last 20 orders
+     of a district. *)
+  let w = pick_warehouse db rng and d = pick_district db rng in
+  let threshold = 10 + Prng.int rng 11 in
+  let district = Schema.district db ~w ~d in
+  let next = district.d_next_o_id in
+  let seen = Hashtbl.create 64 in
+  let low = ref 0 in
+  for o = max 1 (next - 20) to next - 1 do
+    match Schema.order db ~w ~d ~o with
+    | None -> ()
+    | Some order ->
+        for ol = 0 to order.o_ol_cnt - 1 do
+          match Schema.order_line db ~w ~d ~o ~ol with
+          | Some line when not (Hashtbl.mem seen line.ol_i_id) ->
+              Hashtbl.replace seen line.ol_i_id ();
+              if (Schema.stock db ~w ~i:line.ol_i_id).s_quantity < threshold then incr low
+          | _ -> ()
+        done
+  done;
+  Stock_low { count = !low }
+
+let run db rng kind ~now_ns =
+  match kind with
+  | New_order -> new_order db rng ~now_ns
+  | Payment -> payment db rng
+  | Order_status -> order_status db rng
+  | Delivery -> delivery db rng
+  | Stock_level -> stock_level db rng

@@ -1,0 +1,1 @@
+lib/util/binary_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/util/ring_deque.mli:

@@ -1,0 +1,1 @@
+lib/util/text_table.mli:

@@ -1,0 +1,1 @@
+lib/util/time_unit.ml: Float Format

@@ -1,0 +1,120 @@
+type series = { label : string; points : (float * float) list }
+
+let symbols = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '$'; '~' |]
+
+let finite_points log_y points =
+  List.filter_map
+    (fun (x, y) ->
+      if Float.is_nan x || Float.is_nan y then None
+      else if log_y then if y > 0.0 then Some (x, log10 y) else None
+      else Some (x, y))
+    points
+
+let render ?(width = 64) ?(height = 16) ?(log_y = false) ?(x_label = "") ?(y_label = "")
+    ~title series =
+  let prepared =
+    List.filteri (fun i _ -> i < Array.length symbols) series
+    |> List.map (fun s -> { s with points = finite_points log_y s.points })
+    |> List.filter (fun s -> s.points <> [])
+  in
+  let all_points = List.concat_map (fun s -> s.points) prepared in
+  if List.length all_points < 2 then ""
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_min = List.fold_left Float.min (List.hd xs) xs in
+    let x_max = List.fold_left Float.max (List.hd xs) xs in
+    let y_min = List.fold_left Float.min (List.hd ys) ys in
+    let y_max = List.fold_left Float.max (List.hd ys) ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let canvas = Array.make_matrix height width ' ' in
+    let place x y c =
+      let col =
+        int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+      in
+      let row =
+        height - 1
+        - int_of_float (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+      in
+      if row >= 0 && row < height && col >= 0 && col < width then
+        canvas.(row).(col) <- (if canvas.(row).(col) = ' ' then c else '?')
+      (* '?' marks collisions of different series *)
+    in
+    List.iteri
+      (fun i s -> List.iter (fun (x, y) -> place x y symbols.(i)) s.points)
+      prepared;
+    let buf = Buffer.create (width * height * 2) in
+    Buffer.add_string buf (".. " ^ title ^ (if log_y then " [log y]" else "") ^ "\n");
+    let unlog v = if log_y then 10.0 ** v else v in
+    let y_tick v = Printf.sprintf "%10.4g" (unlog v) in
+    for row = 0 to height - 1 do
+      let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      let label =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          y_tick (y_min +. (frac *. y_span))
+        else String.make 10 ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.init width (fun c -> canvas.(row).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%11s %-10.4g%*s%10.4g %s\n" "" x_min (width - 18) "" x_max x_label);
+    (match y_label with "" -> () | l -> Buffer.add_string buf ("  y: " ^ l ^ "\n"));
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf (Printf.sprintf "  %c %s\n" symbols.(i) s.label))
+      prepared;
+    Buffer.contents buf
+  end
+
+(* Lenient numeric parsing of table cells: strip %, unit suffixes and
+   thousands separators. *)
+let parse_cell cell =
+  let cleaned =
+    String.to_seq cell
+    |> Seq.filter (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = 'e')
+    |> String.of_seq
+  in
+  if cleaned = "" || cleaned = "-" then None else float_of_string_opt cleaned
+
+let plot_table ?(log_y = true) table =
+  match Text_table.header table with
+  | [] | [ _ ] -> ""
+  | x_name :: series_names ->
+      let rows = Text_table.data_rows table in
+      let parsed =
+        List.filter_map
+          (fun row ->
+            match row with
+            | x_cell :: cells -> (
+                match parse_cell x_cell with
+                | Some x -> Some (x, List.map parse_cell cells)
+                | None -> None)
+            | [] -> None)
+          rows
+      in
+      if List.length parsed < 2 then ""
+      else begin
+        let series =
+          List.mapi
+            (fun i label ->
+              {
+                label;
+                points =
+                  List.filter_map
+                    (fun (x, cells) ->
+                      match List.nth_opt cells i with
+                      | Some (Some y) -> Some (x, y)
+                      | _ -> None)
+                    parsed;
+              })
+            series_names
+        in
+        render ~log_y ~x_label:x_name ~title:(Text_table.title table) series
+      end

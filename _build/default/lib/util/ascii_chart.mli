@@ -1,0 +1,29 @@
+(** Terminal line charts.
+
+    Renders the reproduced figures as curves so the benchmark output
+    shows the *shape* the paper plots — crossovers and knees are visible
+    at a glance instead of buried in table cells. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** [render ~title series] draws all series on one canvas.
+
+    - [log_y] plots log10(y) (latencies spanning decades); non-positive
+      values are dropped.
+    - NaN points are dropped; series left empty are skipped.
+    - Returns "" when nothing is plottable. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_y:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+
+(** [plot_table ?log_y table] — interpret column 0 of a {!Text_table} as
+    the x axis and every other column as a series, parsing numbers
+    leniently ("0.50", "75%", "16KB", "2us", "-" = skip).  Returns ""
+    when fewer than two rows parse. *)
+val plot_table : ?log_y:bool -> Text_table.t -> string

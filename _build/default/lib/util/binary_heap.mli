@@ -1,0 +1,24 @@
+(** Array-backed binary min-heap, parameterized by an integer priority.
+
+    The simulator's event queue is the hottest structure in every
+    experiment; keys are kept unboxed in a flat int array alongside the
+    payload array, and ties are broken by insertion sequence so that
+    same-timestamp events run in FIFO order (a determinism requirement). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~key v] inserts [v] with priority [key]. *)
+val push : 'a t -> key:int -> 'a -> unit
+
+(** [min_key t] is the smallest key, or [None] when empty. *)
+val min_key : 'a t -> int option
+
+(** [pop t] removes and returns the minimum-key element (FIFO among
+    equal keys).  Raises [Invalid_argument] when empty. *)
+val pop : 'a t -> int * 'a
+
+val clear : 'a t -> unit

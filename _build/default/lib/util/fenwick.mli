@@ -1,0 +1,24 @@
+(** Fenwick (binary indexed) tree over integer counts.
+
+    Used by the exact reuse-distance analyzer: maintaining one bit per
+    "last occurrence" position makes the number of distinct addresses
+    between two accesses a prefix-sum query, giving an O(n log n)
+    algorithm overall. *)
+
+type t
+
+(** [create n] builds a tree over positions [0, n). *)
+val create : int -> t
+
+val size : t -> int
+
+(** [add t i delta] adds [delta] at position [i]. *)
+val add : t -> int -> int -> unit
+
+(** [prefix_sum t i] sums positions [0, i] inclusive; [-1] yields 0. *)
+val prefix_sum : t -> int -> int
+
+(** [range_sum t ~lo ~hi] sums the inclusive range; empty ranges yield 0. *)
+val range_sum : t -> lo:int -> hi:int -> int
+
+val total : t -> int

@@ -1,0 +1,105 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: expands a 64-bit seed into the 256-bit xoshiro state. *)
+let splitmix64_next state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let create ~seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = rotl (t.s1 *% 5L) 7 *% 9L in
+  let u = Int64.shift_left t.s1 17 in
+  t.s2 <- t.s2 ^% t.s0;
+  t.s3 <- t.s3 ^% t.s1;
+  t.s1 <- t.s1 ^% t.s2;
+  t.s0 <- t.s0 ^% t.s3;
+  t.s2 <- t.s2 ^% u;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create ~seed:(bits64 t)
+
+(* Non-negative 62-bit value: safe to convert to OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask_bound = bound - 1 in
+  if bound land mask_bound = 0 then bits62 t land mask_bound
+  else
+    let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+    let rec draw () =
+      let v = bits62 t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits -> [0, 1), scaled. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t ~p = float t 1.0 < p
+
+let exponential t ~mean =
+  let rec positive_uniform () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else positive_uniform ()
+  in
+  -.mean *. log (positive_uniform ())
+
+let gaussian t =
+  let rec positive_uniform () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else positive_uniform ()
+  in
+  let u1 = positive_uniform () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose_weighted t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Prng.choose_weighted: weights must sum to > 0";
+  let target = float t total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,75 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of front element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  { data = Array.make (max capacity 1) None; head = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let index t i = (t.head + i) mod Array.length t.data
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    data.(i) <- t.data.(index t i)
+  done;
+  t.data <- data;
+  t.head <- 0
+
+let push_back t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(index t t.len) <- Some x;
+  t.len <- t.len + 1
+
+let push_front t x =
+  if t.len = Array.length t.data then grow t;
+  let cap = Array.length t.data in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.data.(t.head) <- Some x;
+  t.len <- t.len + 1
+
+let pop_front t =
+  if t.len = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- index t 1;
+    t.len <- t.len - 1;
+    x
+  end
+
+let pop_back t =
+  if t.len = 0 then None
+  else begin
+    let i = index t (t.len - 1) in
+    let x = t.data.(i) in
+    t.data.(i) <- None;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek_front t = if t.len = 0 then None else t.data.(t.head)
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_deque.get: index out of bounds";
+  match t.data.(index t i) with
+  | Some x -> x
+  | None -> assert false
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.len <- 0
+
+let to_list t =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (get t i :: acc) in
+  build (t.len - 1) []

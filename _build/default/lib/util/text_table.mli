@@ -1,0 +1,32 @@
+(** Aligned plain-text tables for the benchmark harness output.
+
+    Every reproduced paper table/figure prints through this module so the
+    harness output has one consistent format. *)
+
+type t
+
+(** [create ~title ~columns] starts a table with the given header row. *)
+val create : title:string -> columns:string list -> t
+
+(** [add_row t cells] appends a data row; arity must match the header. *)
+val add_row : t -> string list -> unit
+
+(** [cell_f v] formats a float with sensible precision. *)
+val cell_f : float -> string
+
+(** [cell_i v] formats an int with thousands separators. *)
+val cell_i : int -> string
+
+(** [render t] returns the table as a string with aligned columns. *)
+val render : t -> string
+
+(** Accessors used by {!Ascii_chart.plot_table}. *)
+
+val title : t -> string
+val header : t -> string list
+
+(** Data rows in insertion order. *)
+val data_rows : t -> string list list
+
+(** [print t] renders to stdout followed by a blank line. *)
+val print : t -> unit

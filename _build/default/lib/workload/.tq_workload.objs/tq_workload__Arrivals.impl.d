@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Float Service_dist Tq_engine Tq_util

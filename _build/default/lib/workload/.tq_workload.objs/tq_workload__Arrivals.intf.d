@@ -1,0 +1,1 @@
+lib/workload/arrivals.mli: Service_dist Tq_engine Tq_util

@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Array Service_dist Tq_stats

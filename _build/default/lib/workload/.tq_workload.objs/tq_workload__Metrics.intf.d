@@ -1,0 +1,1 @@
+lib/workload/metrics.mli: Service_dist

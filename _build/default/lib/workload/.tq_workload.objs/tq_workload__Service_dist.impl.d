@@ -1,0 +1,1 @@
+lib/workload/service_dist.ml: Array Float List Printf Tq_util

@@ -1,0 +1,1 @@
+lib/workload/service_dist.mli: Tq_util

@@ -1,0 +1,1 @@
+lib/workload/table1.ml: List Service_dist Tq_util

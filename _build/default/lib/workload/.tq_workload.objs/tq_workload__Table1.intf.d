@@ -1,0 +1,1 @@
+lib/workload/table1.mli: Service_dist

@@ -1,0 +1,29 @@
+(** Open-loop Poisson request generator.
+
+    Mirrors the paper's client: requests arrive as a Poisson process at a
+    configured rate regardless of server progress (open loop), each
+    carrying a class and service time drawn from the workload.  The
+    generator stops issuing after [duration] of virtual time. *)
+
+type request = {
+  req_id : int;
+  class_idx : int;
+  service_ns : int;
+  arrival_ns : int;  (** when the request reached the server NIC *)
+}
+
+(** [install sim ~rng ~workload ~rate_rps ~duration_ns ~sink] schedules
+    the whole arrival process; [sink] is invoked at each arrival time.
+    Returns a counter cell holding the number of requests issued. *)
+val install :
+  Tq_engine.Sim.t ->
+  rng:Tq_util.Prng.t ->
+  workload:Service_dist.t ->
+  rate_rps:float ->
+  duration_ns:int ->
+  sink:(request -> unit) ->
+  int ref
+
+(** [capacity_rps ~cores workload] is the theoretical saturation rate:
+    cores / mean service time. *)
+val capacity_rps : cores:int -> Service_dist.t -> float

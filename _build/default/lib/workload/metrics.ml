@@ -1,0 +1,46 @@
+module Sample_set = Tq_stats.Sample_set
+
+type t = {
+  workload : Service_dist.t;
+  warmup_ns : int;
+  sojourn : Sample_set.t array;
+  slowdown : Sample_set.t array;
+}
+
+let create ~workload ~warmup_ns =
+  let n = Service_dist.class_count workload in
+  {
+    workload;
+    warmup_ns;
+    sojourn = Array.init n (fun _ -> Sample_set.create ());
+    slowdown = Array.init n (fun _ -> Sample_set.create ());
+  }
+
+let record t ~class_idx ~arrival_ns ~finish_ns ~service_ns =
+  if finish_ns < arrival_ns then invalid_arg "Metrics.record: finish before arrival";
+  if arrival_ns >= t.warmup_ns then begin
+    let sojourn = float_of_int (finish_ns - arrival_ns) in
+    Sample_set.add t.sojourn.(class_idx) sojourn;
+    Sample_set.add t.slowdown.(class_idx) (sojourn /. float_of_int (max 1 service_ns))
+  end
+
+let completed t ~class_idx = Sample_set.count t.sojourn.(class_idx)
+
+let total_completed t =
+  Array.fold_left (fun acc s -> acc + Sample_set.count s) 0 t.sojourn
+
+let sojourn_percentile t ~class_idx p = Sample_set.percentile t.sojourn.(class_idx) p
+let slowdown_percentile t ~class_idx p = Sample_set.percentile t.slowdown.(class_idx) p
+
+let merged sets =
+  let merged = Sample_set.create () in
+  Array.iter
+    (fun s -> Array.iter (Sample_set.add merged) (Sample_set.to_sorted_array s))
+    sets;
+  merged
+
+let overall_sojourn_percentile t p = Sample_set.percentile (merged t.sojourn) p
+let overall_slowdown_percentile t p = Sample_set.percentile (merged t.slowdown) p
+let mean_sojourn t ~class_idx = Sample_set.mean t.sojourn.(class_idx)
+let class_count t = Service_dist.class_count t.workload
+let class_name t i = Service_dist.class_name t.workload i

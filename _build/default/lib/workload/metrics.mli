@@ -1,0 +1,33 @@
+(** Per-class latency accounting for one experiment run.
+
+    Records sojourn time (arrival at the server to completion, the
+    paper's server-side metric) and slowdown (sojourn / service time) per
+    job class.  Samples whose arrival falls inside the warm-up window are
+    discarded, mirroring the paper's "first 10% of samples dropped". *)
+
+type t
+
+val create : workload:Service_dist.t -> warmup_ns:int -> t
+
+(** [record t ~class_idx ~arrival_ns ~finish_ns ~service_ns] accounts one
+    completed job. *)
+val record : t -> class_idx:int -> arrival_ns:int -> finish_ns:int -> service_ns:int -> unit
+
+(** Number of recorded (post-warm-up) completions for a class. *)
+val completed : t -> class_idx:int -> int
+
+val total_completed : t -> int
+
+(** [sojourn_percentile t ~class_idx p] in nanoseconds. *)
+val sojourn_percentile : t -> class_idx:int -> float -> float
+
+(** [slowdown_percentile t ~class_idx p]. *)
+val slowdown_percentile : t -> class_idx:int -> float -> float
+
+(** Percentile over all classes merged. *)
+val overall_sojourn_percentile : t -> float -> float
+
+val overall_slowdown_percentile : t -> float -> float
+val mean_sojourn : t -> class_idx:int -> float
+val class_count : t -> int
+val class_name : t -> int -> string

@@ -1,0 +1,58 @@
+open Service_dist
+
+let us f = Tq_util.Time_unit.us f
+
+let extreme_bimodal_sim =
+  make ~name:"extreme-bimodal-sim"
+    [
+      { class_name = "Short"; ratio = 0.995; sampler = Fixed (us 0.5) };
+      { class_name = "Long"; ratio = 0.005; sampler = Fixed (us 500.0) };
+    ]
+
+let extreme_bimodal =
+  make ~name:"extreme-bimodal"
+    [
+      { class_name = "Short"; ratio = 0.995; sampler = Fixed (us 0.3) };
+      { class_name = "Long"; ratio = 0.005; sampler = Fixed (us 509.0) };
+    ]
+
+let high_bimodal =
+  make ~name:"high-bimodal"
+    [
+      { class_name = "Short"; ratio = 0.5; sampler = Fixed (us 1.0) };
+      { class_name = "Long"; ratio = 0.5; sampler = Fixed (us 100.0) };
+    ]
+
+let tpcc =
+  make ~name:"tpcc"
+    [
+      { class_name = "Payment"; ratio = 0.44; sampler = Fixed (us 5.7) };
+      { class_name = "OrderStatus"; ratio = 0.04; sampler = Fixed (us 6.0) };
+      { class_name = "NewOrder"; ratio = 0.44; sampler = Fixed (us 20.0) };
+      { class_name = "Delivery"; ratio = 0.04; sampler = Fixed (us 88.0) };
+      { class_name = "StockLevel"; ratio = 0.04; sampler = Fixed (us 100.0) };
+    ]
+
+let exp1 =
+  make ~name:"exp1"
+    [ { class_name = "Exp"; ratio = 1.0; sampler = Exponential (float_of_int (us 1.0)) } ]
+
+let rocksdb_scan_0_5 =
+  make ~name:"rocksdb-0.5pct-scan"
+    [
+      { class_name = "GET"; ratio = 0.995; sampler = Fixed (us 1.2) };
+      { class_name = "SCAN"; ratio = 0.005; sampler = Fixed (us 675.0) };
+    ]
+
+let rocksdb_scan_50 =
+  make ~name:"rocksdb-50pct-scan"
+    [
+      { class_name = "GET"; ratio = 0.5; sampler = Fixed (us 1.2) };
+      { class_name = "SCAN"; ratio = 0.5; sampler = Fixed (us 675.0) };
+    ]
+
+let all =
+  [ extreme_bimodal; high_bimodal; tpcc; exp1; rocksdb_scan_0_5; rocksdb_scan_50 ]
+
+let find name =
+  List.find_opt (fun (w : Service_dist.t) -> w.name = name) (extreme_bimodal_sim :: all)

@@ -1,0 +1,31 @@
+(** The evaluated workloads, exactly as listed in Table 1 of the paper,
+    plus the "extreme bimodal" variant used by the Section 2 motivating
+    simulation (0.5 us / 500 us). *)
+
+(** Section 2 simulation workload: 99.5% x 0.5us, 0.5% x 500us. *)
+val extreme_bimodal_sim : Service_dist.t
+
+(** Table 1: 99.5% x 0.3us (Short), 0.5% x 509us (Long). *)
+val extreme_bimodal : Service_dist.t
+
+(** Table 1: 50% x 1us, 50% x 100us. *)
+val high_bimodal : Service_dist.t
+
+(** Table 1 TPC-C mix: Payment 5.7us/44%, OrderStatus 6us/4%,
+    NewOrder 20us/44%, Delivery 88us/4%, StockLevel 100us/4%. *)
+val tpcc : Service_dist.t
+
+(** Table 1: exponential service times with mean 1us. *)
+val exp1 : Service_dist.t
+
+(** Table 1: GET 1.2us 99.5% / SCAN 675us 0.5%. *)
+val rocksdb_scan_0_5 : Service_dist.t
+
+(** Table 1: GET 1.2us 50% / SCAN 675us 50%. *)
+val rocksdb_scan_50 : Service_dist.t
+
+(** All Table 1 workloads, in paper order. *)
+val all : Service_dist.t list
+
+(** [find name] looks a workload up by its [Service_dist.name]. *)
+val find : string -> Service_dist.t option

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Float Gen Hierarchy List Pointer_chase Printf QCheck QCheck_alcotest Reuse_distance Reuse_model Tq_cache Tq_stats

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Tq_engine Tq_util

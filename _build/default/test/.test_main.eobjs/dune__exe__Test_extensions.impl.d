@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Ast Cfg List Lower Printf String Tq_cache Tq_engine Tq_experiments Tq_instrument Tq_ir Tq_sched Tq_util Tq_workload

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Ast Bench_programs Cfg Ci_pass Evaluate Float Instr List Lower Option Printf QCheck QCheck_alcotest Tq_instrument Tq_ir Tq_pass Vm

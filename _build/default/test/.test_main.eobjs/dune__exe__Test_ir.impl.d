@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Ast Cfg Fun Instr List Lower Option Tq_ir

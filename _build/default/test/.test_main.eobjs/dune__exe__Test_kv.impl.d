@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Array Bloom Fun Gen List Printf QCheck QCheck_alcotest Skiplist Sstable Stdlib Store String Tq_kv

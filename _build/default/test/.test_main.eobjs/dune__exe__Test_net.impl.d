@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Printf Tq_engine Tq_net Tq_workload

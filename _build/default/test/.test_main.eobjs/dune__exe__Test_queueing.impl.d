@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Float Printf Tq_engine Tq_queueing Tq_sched Tq_util Tq_workload

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Clock Domain Executor Fiber Fun Instrumented List Mpsc_pool Option Parallel Printf Probe_api Spsc_ring Sys Task_worker Tq_runtime

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Fun List Option Printf Tq_engine Tq_sched Tq_util Tq_workload

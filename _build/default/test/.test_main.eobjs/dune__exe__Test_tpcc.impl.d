@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Array Consistency Float Hashtbl Nurand Option Printf Schema Tq_tpcc Tq_util Transactions

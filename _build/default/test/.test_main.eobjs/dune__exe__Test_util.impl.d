@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List QCheck QCheck_alcotest String Tq_util

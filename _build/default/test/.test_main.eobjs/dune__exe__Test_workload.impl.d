@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Tq_engine Tq_util Tq_workload

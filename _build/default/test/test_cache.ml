@@ -1,0 +1,274 @@
+(* Tests for tq_cache: LRU cache, hierarchy, pointer-chase emulation,
+   reuse-distance analysis, Table 2 model. *)
+
+open Tq_cache
+
+let check = Alcotest.check
+
+(* --- Cache --- *)
+
+let test_cache_hit_after_fill () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 () in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0x1000);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0x1000);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 0x1020);
+  Alcotest.(check bool) "different line misses" false (Cache.access c 0x1040)
+
+let test_cache_lru_eviction () =
+  (* Direct construction: 4-way cache, hammer one set with 5 lines. *)
+  let c = Cache.create ~size_bytes:(4 * 64) ~ways:4 () in
+  (* single set: all lines map to set 0 *)
+  for i = 0 to 3 do
+    ignore (Cache.access c (i * 64))
+  done;
+  ignore (Cache.access c (4 * 64));
+  (* line 0 was LRU -> evicted *)
+  Alcotest.(check bool) "line 0 evicted" false (Cache.probe c 0);
+  Alcotest.(check bool) "line 1 retained" true (Cache.probe c 64);
+  Alcotest.(check bool) "new line present" true (Cache.probe c (4 * 64))
+
+let test_cache_lru_touch_protects () =
+  let c = Cache.create ~size_bytes:(4 * 64) ~ways:4 () in
+  for i = 0 to 3 do
+    ignore (Cache.access c (i * 64))
+  done;
+  (* Touch line 0 so line 1 becomes LRU. *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c (4 * 64));
+  Alcotest.(check bool) "line 0 protected" true (Cache.probe c 0);
+  Alcotest.(check bool) "line 1 evicted" false (Cache.probe c 64)
+
+let test_cache_probe_pure () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 () in
+  Alcotest.(check bool) "probe misses" false (Cache.probe c 0x2000);
+  Alcotest.(check bool) "probe did not install" false (Cache.probe c 0x2000);
+  check Alcotest.int "no accesses counted" 0 (Cache.accesses c)
+
+let test_cache_stats () =
+  let c = Cache.create ~size_bytes:4096 ~ways:4 () in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  check Alcotest.int "accesses" 2 (Cache.accesses c);
+  check Alcotest.int "misses" 1 (Cache.misses c);
+  check (Alcotest.float 1e-9) "miss rate" 0.5 (Cache.miss_rate c);
+  Cache.reset_stats c;
+  check Alcotest.int "reset" 0 (Cache.accesses c);
+  Alcotest.(check bool) "contents kept" true (Cache.probe c 0);
+  Cache.clear c;
+  Alcotest.(check bool) "cleared" false (Cache.probe c 0)
+
+let test_cache_geometry_validation () =
+  Alcotest.(check bool) "bad sets rejected" true
+    (try
+       ignore (Cache.create ~size_bytes:3000 ~ways:4 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_working_set_capacity () =
+  (* A working set within capacity has no misses after warmup. *)
+  let c = Cache.create ~size_bytes:8192 ~ways:8 () in
+  let lines = 8192 / 64 in
+  for i = 0 to lines - 1 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Cache.reset_stats c;
+  for _ = 1 to 5 do
+    for i = 0 to lines - 1 do
+      ignore (Cache.access c (i * 64))
+    done
+  done;
+  check Alcotest.int "no misses" 0 (Cache.misses c)
+
+(* --- Hierarchy --- *)
+
+let test_hierarchy_latency_ladder () =
+  let shared = Hierarchy.create_shared () in
+  let core = Hierarchy.create_core shared in
+  let geo = Hierarchy.geometry core in
+  check Alcotest.int "cold access = memory" geo.mem_latency (Hierarchy.access core 0x5000);
+  check Alcotest.int "warm access = l1" geo.l1_latency (Hierarchy.access core 0x5000)
+
+let test_hierarchy_l2_serves_l1_victims () =
+  let shared = Hierarchy.create_shared () in
+  let core = Hierarchy.create_core shared in
+  let geo = Hierarchy.geometry core in
+  (* Touch 64KB (twice L1): early lines fall out of L1 but stay in L2. *)
+  let lines = 64 * 1024 / 64 in
+  for i = 0 to lines - 1 do
+    ignore (Hierarchy.access core (i * 64))
+  done;
+  check Alcotest.int "l1 victim served by l2" geo.l2_latency (Hierarchy.access core 0)
+
+let test_hierarchy_shared_l3 () =
+  let shared = Hierarchy.create_shared () in
+  let a = Hierarchy.create_core shared and b = Hierarchy.create_core shared in
+  let geo = Hierarchy.geometry a in
+  ignore (Hierarchy.access a 0x9000);
+  (* Core b misses privately but hits the shared L3. *)
+  check Alcotest.int "cross-core l3 hit" geo.l3_latency (Hierarchy.access b 0x9000)
+
+(* --- Pointer chase --- *)
+
+let chase_config ?(framework = Pointer_chase.Tls) ?(quantum_ns = 2000) ~array_kb () =
+  {
+    Pointer_chase.framework;
+    access_order = Pointer_chase.Random_order;
+    prefetch = false;
+    cores = 4;
+    arrays_per_core = 4;
+    array_bytes = array_kb * 1024;
+    quantum_accesses = Pointer_chase.quantum_accesses_of_ns quantum_ns;
+    target_accesses_per_core = 40_000;
+    seed = 3L;
+  }
+
+let test_chase_small_arrays_insensitive () =
+  let small = Pointer_chase.run (chase_config ~array_kb:4 ~quantum_ns:500 ()) in
+  let large = Pointer_chase.run (chase_config ~array_kb:4 ~quantum_ns:16_000 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "4KB: %.1f vs %.1f" small.mean_latency_cycles large.mean_latency_cycles)
+    true
+    (Float.abs (small.mean_latency_cycles -. large.mean_latency_cycles) < 1.0)
+
+let test_chase_midsize_quantum_sensitive () =
+  (* 16KB arrays: small quanta amplify reuse distances past L1. *)
+  let small = Pointer_chase.run (chase_config ~array_kb:16 ~quantum_ns:2000 ()) in
+  let large = Pointer_chase.run (chase_config ~array_kb:16 ~quantum_ns:16_000 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "16KB: 2us %.1f > 16us %.1f" small.mean_latency_cycles
+       large.mean_latency_cycles)
+    true
+    (small.mean_latency_cycles > large.mean_latency_cycles +. 2.0)
+
+let test_chase_ct_worse_than_tls () =
+  (* 4 cores x 4 jobs x 64KB: CT's amplified footprint (1MB) busts the
+     private L2, TLS's (256KB) does not. *)
+  let tls = Pointer_chase.run (chase_config ~framework:Pointer_chase.Tls ~array_kb:64 ()) in
+  let ct = Pointer_chase.run (chase_config ~framework:Pointer_chase.Ct ~array_kb:64 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ct %.1f > tls %.1f" ct.mean_latency_cycles tls.mean_latency_cycles)
+    true
+    (ct.mean_latency_cycles > tls.mean_latency_cycles +. 2.0)
+
+let test_chase_deterministic () =
+  let a = Pointer_chase.run (chase_config ~array_kb:8 ()) in
+  let b = Pointer_chase.run (chase_config ~array_kb:8 ()) in
+  check (Alcotest.float 1e-9) "same latency" a.mean_latency_cycles b.mean_latency_cycles
+
+(* --- Reuse distance --- *)
+
+let test_reuse_simple_trace () =
+  (* a b a : the second access to a has distance 1 line = 64 bytes. *)
+  let p = Reuse_distance.analyze [| 0; 64; 0 |] in
+  check Alcotest.int "cold accesses" 2 (Reuse_distance.cold_accesses p);
+  check Alcotest.int "total" 3 (Reuse_distance.total_accesses p);
+  let h = Reuse_distance.histogram p in
+  check Alcotest.int "one measured distance" 1 (Tq_stats.Histogram.count h);
+  check Alcotest.int "distance 64B" 64 (Tq_stats.Histogram.percentile h 100.0)
+
+let test_reuse_zero_distance () =
+  let p = Reuse_distance.analyze [| 0; 0 |] in
+  let h = Reuse_distance.histogram p in
+  check Alcotest.int "distance 0" 0 (Tq_stats.Histogram.percentile h 100.0)
+
+let test_reuse_cyclic_array () =
+  (* Iterating N lines cyclically: every non-cold access has distance
+     (N-1) lines. *)
+  let n = 16 in
+  let trace = Array.init (n * 4) (fun i -> i mod n * 64) in
+  let p = Reuse_distance.analyze trace in
+  check Alcotest.int "cold" n (Reuse_distance.cold_accesses p);
+  let h = Reuse_distance.histogram p in
+  check Alcotest.int "min distance" ((n - 1) * 64) (Tq_stats.Histogram.percentile h 1.0);
+  check Alcotest.int "max distance" ((n - 1) * 64) (Tq_stats.Histogram.percentile h 100.0)
+
+let test_reuse_fraction_above () =
+  let n = 16 in
+  let trace = Array.init (n * 4) (fun i -> i mod n * 64) in
+  let p = Reuse_distance.analyze trace in
+  check (Alcotest.float 1e-9) "all above 512B" 1.0 (Reuse_distance.fraction_above p ~bytes:512);
+  check (Alcotest.float 1e-9) "none above 4KB" 0.0
+    (Reuse_distance.fraction_above p ~bytes:4096)
+
+let test_reuse_predicts_fully_assoc_lru =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"reuse distance predicts fully-associative LRU hits"
+       QCheck.(list_of_size (Gen.int_range 50 400) (int_bound 63))
+       (fun lines ->
+         let trace = Array.of_list (List.map (fun l -> l * 64) lines) in
+         let profile = Reuse_distance.analyze trace in
+         (* Fully associative LRU with 16 lines = 1KB. *)
+         let cache = Cache.create ~size_bytes:(16 * 64) ~ways:16 () in
+         let hits = ref 0 in
+         Array.iter (fun a -> if Cache.access cache a then incr hits) trace;
+         let simulated = float_of_int !hits /. float_of_int (Array.length trace) in
+         let predicted = Reuse_distance.hit_fraction profile ~capacity_bytes:(16 * 64) in
+         Float.abs (simulated -. predicted) < 0.08))
+
+(* --- Reuse model (Table 2) --- *)
+
+let params = { Reuse_model.cores = 16; jobs_per_core = 4; array_bytes = 16 * 1024 }
+
+let test_model_amplification () =
+  check Alcotest.int "CT = C*J" 64 (Reuse_model.amplification ~framework:Pointer_chase.Ct params);
+  check Alcotest.int "TLS = J" 4 (Reuse_model.amplification ~framework:Pointer_chase.Tls params)
+
+let test_model_distances () =
+  check Alcotest.int "CT first access" (64 * 16 * 1024)
+    (Reuse_model.first_access_distance ~framework:Pointer_chase.Ct params);
+  check Alcotest.int "TLS first access" (4 * 16 * 1024)
+    (Reuse_model.first_access_distance ~framework:Pointer_chase.Tls params);
+  check Alcotest.int "repeat access" (16 * 1024) (Reuse_model.repeat_access_distance params)
+
+let test_model_predictions_match_paper () =
+  (* Paper: CT sees L2 (1MB) misses from 16KB arrays (16KB*64 = 1MB);
+     TLS not until 256KB (256KB*4 = 1MB). *)
+  let l2 = 1024 * 1024 in
+  let p_of kb = { params with array_bytes = kb * 1024 } in
+  Alcotest.(check bool) "CT misses L2 at 16KB" true
+    (Reuse_model.predict_miss ~framework:Pointer_chase.Ct ~capacity_bytes:l2 (p_of 16));
+  Alcotest.(check bool) "TLS holds L2 at 16KB" false
+    (Reuse_model.predict_miss ~framework:Pointer_chase.Tls ~capacity_bytes:l2 (p_of 16));
+  Alcotest.(check bool) "TLS misses L2 at 256KB" true
+    (Reuse_model.predict_miss ~framework:Pointer_chase.Tls ~capacity_bytes:l2 (p_of 256))
+
+let test_model_fraction_first () =
+  (* 16KB = 256 lines; quantum of 512 accesses covers the array twice:
+     half the accesses are first-in-quantum. *)
+  let f =
+    Reuse_model.fraction_first_in_quantum ~quantum_accesses:512
+      { params with array_bytes = 16 * 1024 }
+  in
+  check (Alcotest.float 1e-9) "fraction" 0.5 f;
+  let f =
+    Reuse_model.fraction_first_in_quantum ~quantum_accesses:100
+      { params with array_bytes = 16 * 1024 }
+  in
+  check (Alcotest.float 1e-9) "capped at 1" 1.0 f
+
+let suite =
+  [
+    Alcotest.test_case "cache hit after fill" `Quick test_cache_hit_after_fill;
+    Alcotest.test_case "cache lru eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache lru touch" `Quick test_cache_lru_touch_protects;
+    Alcotest.test_case "cache probe pure" `Quick test_cache_probe_pure;
+    Alcotest.test_case "cache stats" `Quick test_cache_stats;
+    Alcotest.test_case "cache geometry" `Quick test_cache_geometry_validation;
+    Alcotest.test_case "cache capacity" `Quick test_cache_working_set_capacity;
+    Alcotest.test_case "hierarchy ladder" `Quick test_hierarchy_latency_ladder;
+    Alcotest.test_case "hierarchy l2 victims" `Quick test_hierarchy_l2_serves_l1_victims;
+    Alcotest.test_case "hierarchy shared l3" `Quick test_hierarchy_shared_l3;
+    Alcotest.test_case "chase small insensitive" `Quick test_chase_small_arrays_insensitive;
+    Alcotest.test_case "chase midsize sensitive" `Quick test_chase_midsize_quantum_sensitive;
+    Alcotest.test_case "chase ct worse" `Quick test_chase_ct_worse_than_tls;
+    Alcotest.test_case "chase deterministic" `Quick test_chase_deterministic;
+    Alcotest.test_case "reuse simple trace" `Quick test_reuse_simple_trace;
+    Alcotest.test_case "reuse zero distance" `Quick test_reuse_zero_distance;
+    Alcotest.test_case "reuse cyclic array" `Quick test_reuse_cyclic_array;
+    Alcotest.test_case "reuse fraction above" `Quick test_reuse_fraction_above;
+    test_reuse_predicts_fully_assoc_lru;
+    Alcotest.test_case "model amplification" `Quick test_model_amplification;
+    Alcotest.test_case "model distances" `Quick test_model_distances;
+    Alcotest.test_case "model paper predictions" `Quick test_model_predictions_match_paper;
+    Alcotest.test_case "model fraction first" `Quick test_model_fraction_first;
+  ]

@@ -1,0 +1,267 @@
+(* Tests for tq_engine: event ordering, cancellation, busy server, links. *)
+
+module Sim = Tq_engine.Sim
+module Busy_server = Tq_engine.Busy_server
+module Link = Tq_engine.Link
+
+let check = Alcotest.check
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:30 (fun () -> log := 30 :: !log));
+  ignore (Sim.schedule_at sim ~time:10 (fun () -> log := 10 :: !log));
+  ignore (Sim.schedule_at sim ~time:20 (fun () -> log := 20 :: !log));
+  Sim.run sim;
+  check Alcotest.(list int) "timestamp order" [ 10; 20; 30 ] (List.rev !log);
+  check Alcotest.int "clock at last event" 30 (Sim.now sim)
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule_at sim ~time:7 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim;
+  check Alcotest.(list int) "fifo among equal timestamps" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_schedule_from_handler () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore
+    (Sim.schedule_at sim ~time:5 (fun () ->
+         fired := ("a", Sim.now sim) :: !fired;
+         ignore (Sim.schedule_after sim ~delay:10 (fun () -> fired := ("b", Sim.now sim) :: !fired))));
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "chained events" [ ("a", 5); ("b", 15) ] (List.rev !fired)
+
+let test_schedule_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:10 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time is in the past")
+        (fun () -> ignore (Sim.schedule_at sim ~time:5 ignore))));
+  Sim.run sim
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let ev = Sim.schedule_at sim ~time:10 (fun () -> fired := true) in
+  Sim.cancel ev;
+  Alcotest.(check bool) "marked cancelled" true (Sim.cancelled ev);
+  Sim.run sim;
+  Alcotest.(check bool) "did not fire" false !fired;
+  check Alcotest.int "no events processed" 0 (Sim.events_processed sim)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:10 (fun () -> log := 10 :: !log));
+  ignore (Sim.schedule_at sim ~time:100 (fun () -> log := 100 :: !log));
+  Sim.run ~until:50 sim;
+  check Alcotest.(list int) "only early event" [ 10 ] !log;
+  check Alcotest.int "clock advanced to limit" 50 (Sim.now sim);
+  Sim.run sim;
+  check Alcotest.(list int) "rest runs" [ 100; 10 ] !log
+
+let test_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1 ignore);
+  Alcotest.(check bool) "step true" true (Sim.step sim);
+  Alcotest.(check bool) "step false when drained" false (Sim.step sim)
+
+let test_busy_server_serializes () =
+  let sim = Sim.create () in
+  let server = Busy_server.create sim () in
+  let done_at = ref [] in
+  for i = 1 to 3 do
+    Busy_server.submit server ~cost:10 i ~done_:(fun i -> done_at := (i, Sim.now sim) :: !done_at)
+  done;
+  check Alcotest.int "two queued behind one in service" 2 (Busy_server.queue_length server);
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int int))
+    "serialized completions" [ (1, 10); (2, 20); (3, 30) ] (List.rev !done_at);
+  check Alcotest.int "busy time" 30 (Busy_server.busy_time server);
+  check Alcotest.int "served" 3 (Busy_server.served server);
+  Alcotest.(check bool) "idle after drain" false (Busy_server.busy server)
+
+let test_busy_server_idle_restart () =
+  let sim = Sim.create () in
+  let server = Busy_server.create sim () in
+  let log = ref [] in
+  Busy_server.submit server ~cost:5 "a" ~done_:(fun x -> log := (x, Sim.now sim) :: !log);
+  Sim.run sim;
+  (* Submit again after the server went idle. *)
+  ignore (Sim.schedule_at sim ~time:100 (fun () ->
+      Busy_server.submit server ~cost:5 "b" ~done_:(fun x -> log := (x, Sim.now sim) :: !log)));
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "restarts cleanly" [ ("a", 5); ("b", 105) ] (List.rev !log)
+
+let test_busy_server_varied_costs () =
+  let sim = Sim.create () in
+  let server = Busy_server.create sim () in
+  let finish = ref [] in
+  List.iter
+    (fun (name, cost) ->
+      Busy_server.submit server ~cost name ~done_:(fun x -> finish := (x, Sim.now sim) :: !finish))
+    [ ("slow", 100); ("fast", 1) ];
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "fifo even when second is cheap" [ ("slow", 100); ("fast", 101) ] (List.rev !finish)
+
+let test_link_delivery () =
+  let sim = Sim.create () in
+  let received = ref [] in
+  let link = Link.create sim ~latency:7 ~handler:(fun x -> received := (x, Sim.now sim) :: !received) in
+  Link.send link "x";
+  ignore (Sim.schedule_at sim ~time:3 (fun () -> Link.send link "y"));
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "fixed latency, order preserved" [ ("x", 7); ("y", 10) ] (List.rev !received);
+  check Alcotest.int "sent count" 2 (Link.sent link)
+
+let test_event_storm_deterministic () =
+  (* Two identical simulations must execute identically. *)
+  let run () =
+    let sim = Sim.create () in
+    let rng = Tq_util.Prng.create ~seed:99L in
+    let sum = ref 0 in
+    let rec spawn depth =
+      if depth < 12 then
+        ignore
+          (Sim.schedule_after sim ~delay:(Tq_util.Prng.int rng 100 + 1) (fun () ->
+               sum := !sum + Sim.now sim;
+               spawn (depth + 1);
+               spawn (depth + 1)))
+    in
+    spawn 0;
+    Sim.run sim;
+    (!sum, Sim.events_processed sim)
+  in
+  let a = run () and b = run () in
+  check Alcotest.(pair int int) "deterministic" a b
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+    Alcotest.test_case "schedule from handler" `Quick test_schedule_from_handler;
+    Alcotest.test_case "schedule past rejected" `Quick test_schedule_past_rejected;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "busy server serializes" `Quick test_busy_server_serializes;
+    Alcotest.test_case "busy server restart" `Quick test_busy_server_idle_restart;
+    Alcotest.test_case "busy server varied costs" `Quick test_busy_server_varied_costs;
+    Alcotest.test_case "link delivery" `Quick test_link_delivery;
+    Alcotest.test_case "deterministic storm" `Quick test_event_storm_deterministic;
+  ]
+
+(* --- Process (direct-style simulation coroutines) --- *)
+
+module Process = Tq_engine.Process
+
+let test_process_sleep_sequence () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Process.spawn sim (fun ctx ->
+      log := ("start", Process.now ctx) :: !log;
+      Process.sleep ctx 100;
+      log := ("mid", Process.now ctx) :: !log;
+      Process.sleep ctx 250;
+      log := ("end", Process.now ctx) :: !log);
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "timeline" [ ("start", 0); ("mid", 100); ("end", 350) ] (List.rev !log)
+
+let test_process_interleaving () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let worker name period =
+    Process.spawn sim (fun ctx ->
+        for i = 1 to 3 do
+          Process.sleep ctx period;
+          log := (name, i, Process.now ctx) :: !log
+        done)
+  in
+  worker "fast" 10;
+  worker "slow" 25;
+  Sim.run sim;
+  check
+    Alcotest.(list (triple string int int))
+    "merged timeline"
+    [
+      ("fast", 1, 10); ("fast", 2, 20); ("slow", 1, 25); ("fast", 3, 30);
+      ("slow", 2, 50); ("slow", 3, 75);
+    ]
+    (List.rev !log)
+
+let test_process_mailbox_blocks () =
+  let sim = Sim.create () in
+  let mb = Process.Mailbox.create () in
+  let got = ref [] in
+  Process.spawn sim (fun ctx ->
+      let v = Process.Mailbox.recv ctx mb in
+      got := (v, Process.now ctx) :: !got);
+  ignore
+    (Sim.schedule_at sim ~time:500 (fun () -> Process.Mailbox.send sim mb "hello"));
+  Sim.run sim;
+  check Alcotest.(list (pair string int)) "received at send time" [ ("hello", 500) ] !got
+
+let test_process_mailbox_queued_message_immediate () =
+  let sim = Sim.create () in
+  let mb = Process.Mailbox.create () in
+  Process.Mailbox.send sim mb 42;
+  let got = ref None in
+  Process.spawn sim (fun ctx -> got := Some (Process.Mailbox.recv ctx mb, Process.now ctx));
+  Sim.run sim;
+  check Alcotest.(option (pair int int)) "no wait" (Some (42, 0)) !got;
+  check Alcotest.int "drained" 0 (Process.Mailbox.length mb)
+
+let test_process_producer_consumer_pipeline () =
+  let sim = Sim.create () in
+  let mb = Process.Mailbox.create () in
+  let results = ref [] in
+  (* Producer emits every 10ns; consumer takes 15ns per item: queueing
+     delay accumulates exactly as in a D/D/1 queue. *)
+  Process.spawn sim (fun ctx ->
+      for i = 1 to 4 do
+        Process.sleep ctx 10;
+        Process.Mailbox.send (Process.sim ctx) mb i
+      done);
+  Process.spawn sim (fun ctx ->
+      for _ = 1 to 4 do
+        let item = Process.Mailbox.recv ctx mb in
+        Process.sleep ctx 15;
+        results := (item, Process.now ctx) :: !results
+      done);
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int int))
+    "D/D/1 departures" [ (1, 25); (2, 40); (3, 55); (4, 70) ] (List.rev !results)
+
+let test_process_try_recv () =
+  let sim = Sim.create () in
+  let mb = Process.Mailbox.create () in
+  check Alcotest.(option int) "empty" None (Process.Mailbox.try_recv mb);
+  Process.Mailbox.send sim mb 7;
+  check Alcotest.(option int) "queued" (Some 7) (Process.Mailbox.try_recv mb)
+
+let process_suite =
+  [
+    Alcotest.test_case "process sleep" `Quick test_process_sleep_sequence;
+    Alcotest.test_case "process interleaving" `Quick test_process_interleaving;
+    Alcotest.test_case "mailbox blocks" `Quick test_process_mailbox_blocks;
+    Alcotest.test_case "mailbox immediate" `Quick test_process_mailbox_queued_message_immediate;
+    Alcotest.test_case "producer consumer" `Quick test_process_producer_consumer_pipeline;
+    Alcotest.test_case "mailbox try_recv" `Quick test_process_try_recv;
+  ]
+
+let suite = suite @ process_suite

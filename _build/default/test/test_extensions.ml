@@ -1,0 +1,364 @@
+(* Tests for the extension features: LAS scheduling, multi-dispatcher
+   two-level systems, the prefetcher model, reentrancy-aware
+   instrumentation, dynamic quanta, and the experiment registry. *)
+
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Time_unit = Tq_util.Time_unit
+module Table1 = Tq_workload.Table1
+module Metrics = Tq_workload.Metrics
+module Job = Tq_sched.Job
+module Worker = Tq_sched.Worker
+module Overheads = Tq_sched.Overheads
+module Two_level = Tq_sched.Two_level
+module Dispatch_policy = Tq_sched.Dispatch_policy
+module Experiment = Tq_sched.Experiment
+module Presets = Tq_sched.Presets
+module Pointer_chase = Tq_cache.Pointer_chase
+module Hierarchy = Tq_cache.Hierarchy
+
+let check = Alcotest.check
+
+let request ?(req_id = 1) ?(class_idx = 0) ~service_ns ~arrival_ns () =
+  { Tq_workload.Arrivals.req_id; class_idx; service_ns; arrival_ns }
+
+let job ?req_id ?class_idx ~service_ns ?(arrival_ns = 0) () =
+  Job.of_request ~probe_overhead_frac:0.0
+    (request ?req_id ?class_idx ~service_ns ~arrival_ns ())
+
+(* --- LAS --- *)
+
+let las_worker sim finished =
+  Worker.create sim ~wid:0 ~rng:(Prng.create ~seed:1L)
+    ~policy:(Worker.Las { base_quantum_ns = 1_000; max_quantum_ns = 4_000 })
+    ~overheads:Overheads.zero
+    ~on_finish:(fun j -> finished := (j.Job.id, Sim.now sim) :: !finished)
+    ()
+
+let test_las_prioritizes_least_attained () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = las_worker sim finished in
+  (* Long job runs alone for a while, then a short newcomer arrives: LAS
+     must serve the newcomer (attained 0) to completion first. *)
+  Worker.enqueue w (job ~req_id:1 ~service_ns:20_000 ());
+  ignore
+    (Sim.schedule_at sim ~time:5_000 (fun () ->
+         Worker.enqueue w (job ~req_id:2 ~service_ns:1_000 ())));
+  Sim.run sim;
+  (match List.rev !finished with
+  | [ (2, t2); (1, t1) ] ->
+      (* Worst case: arrival (5000) + the incumbent's current slice (up
+         to the 4000 cap) + own service (1000). *)
+      Alcotest.(check bool) (Printf.sprintf "newcomer done at %d" t2) true (t2 <= 10_000);
+      Alcotest.(check bool) "long finishes later" true (t1 > t2)
+  | other ->
+      Alcotest.failf "unexpected completion order: %s"
+        (String.concat ";" (List.map (fun (i, t) -> Printf.sprintf "(%d,%d)" i t) other)))
+
+let test_las_quantum_grows_with_attained () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = las_worker sim finished in
+  let j = job ~req_id:1 ~service_ns:20_000 () in
+  Worker.enqueue w j;
+  Sim.run sim;
+  (* First slice 1000 (attained 0 -> base), later slices grow to the
+     4000 cap: 1000 + 1000 + 2000 + 4000 + ... -> far fewer than the 20
+     quanta a fixed 1us quantum would need. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d quanta" j.Job.serviced_quanta)
+    true
+    (j.Job.serviced_quanta >= 5 && j.Job.serviced_quanta <= 10)
+
+let test_las_fifo_among_equal_attained () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = las_worker sim finished in
+  Worker.enqueue w (job ~req_id:1 ~service_ns:500 ());
+  Worker.enqueue w (job ~req_id:2 ~service_ns:500 ());
+  Worker.enqueue w (job ~req_id:3 ~service_ns:500 ());
+  Sim.run sim;
+  check
+    Alcotest.(list int)
+    "fifo order for fresh jobs" [ 1; 2; 3 ]
+    (List.rev_map fst !finished)
+
+let test_las_system_short_jobs () =
+  let r =
+    Experiment.run ~seed:11L ~system:(Presets.tq_las ())
+      ~workload:Table1.extreme_bimodal_sim ~rate_rps:3_000_000.0
+      ~duration_ns:(Time_unit.ms 30.0) ()
+  in
+  let p999 = Metrics.sojourn_percentile r.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "LAS keeps short tail tiny (%.0fns)" p999)
+    true (p999 < 20_000.0)
+
+(* --- multi-dispatcher --- *)
+
+let tq_config ~dispatchers =
+  {
+    Two_level.cores = 16;
+    dispatchers;
+    quantum_policy = Worker.Ps { quantum_ns = 2_000; per_class_quantum = None };
+    dispatch_policy = Dispatch_policy.Jsq_msq;
+    overheads = Overheads.tq_default;
+  }
+
+let test_multi_dispatcher_conservation () =
+  let r =
+    Experiment.run ~seed:11L
+      ~system:(Experiment.Two_level (tq_config ~dispatchers:3))
+      ~workload:Table1.exp1 ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 20.0) ()
+  in
+  Alcotest.(check bool) "completions bounded" true
+    (Metrics.total_completed r.metrics <= r.offered);
+  Alcotest.(check bool) "most completed" true
+    (float_of_int (Metrics.total_completed r.metrics) > 0.85 *. float_of_int r.offered)
+
+let test_multi_dispatcher_splits_load () =
+  let run dispatchers =
+    let sim = Sim.create () in
+    let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+    let t =
+      Two_level.create sim ~rng:(Prng.create ~seed:3L) ~config:(tq_config ~dispatchers)
+        ~metrics
+    in
+    ignore
+      (Tq_workload.Arrivals.install sim ~rng:(Prng.create ~seed:5L) ~workload:Table1.exp1
+         ~rate_rps:4_000_000.0 ~duration_ns:(Time_unit.ms 10.0)
+         ~sink:(fun req -> Two_level.submit t req));
+    Sim.run sim;
+    (Two_level.dispatcher_busy_ns t, Two_level.max_dispatcher_busy_ns t)
+  in
+  let total1, max1 = run 1 in
+  let total2, max2 = run 2 in
+  check Alcotest.int "one dispatcher: max = total" total1 max1;
+  Alcotest.(check bool) "two dispatchers: halved bottleneck" true
+    (float_of_int max2 < 0.65 *. float_of_int total2);
+  Alcotest.(check bool) "same total work" true
+    (abs (total1 - total2) < total1 / 20)
+
+let test_multi_dispatcher_raises_capacity () =
+  (* At 20 Mrps of 1us jobs on 64 cores, one 70ns dispatcher (14 Mrps)
+     drowns; two keep up. *)
+  let run dispatchers =
+    let r =
+      Experiment.run ~seed:11L
+        ~system:(Presets.tq ~cores:64 ~dispatchers ())
+        ~workload:Table1.exp1 ~rate_rps:20_000_000.0 ~duration_ns:(Time_unit.ms 6.0) ()
+    in
+    Metrics.sojourn_percentile r.metrics ~class_idx:0 99.0
+  in
+  let one = run 1 and two = run 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 dispatcher saturated (%.0f) vs 2 ok (%.0f)" one two)
+    true
+    (one > 10.0 *. two)
+
+let test_zero_dispatchers_rejected () =
+  let sim = Sim.create () in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  Alcotest.check_raises "rejected"
+    (Invalid_argument "Two_level.create: need at least one dispatcher") (fun () ->
+      ignore
+        (Two_level.create sim ~rng:(Prng.create ~seed:1L) ~config:(tq_config ~dispatchers:0)
+           ~metrics))
+
+(* --- prefetcher / sequential chase --- *)
+
+let test_prefetch_streams_hit_l1 () =
+  let shared = Hierarchy.create_shared () in
+  let core = Hierarchy.create_core ~prefetch:true shared in
+  let geo = Hierarchy.geometry core in
+  (* Sequential walk over 256KB: after the first line, everything should
+     be prefetched into L1. *)
+  let lines = 256 * 1024 / 64 in
+  let misses = ref 0 in
+  for i = 0 to lines - 1 do
+    if Hierarchy.access core (i * 64) > geo.l1_latency then incr misses
+  done;
+  Alcotest.(check bool) (Printf.sprintf "%d slow accesses" !misses) true (!misses <= 2)
+
+let test_prefetch_useless_for_random () =
+  let chase ~order ~prefetch =
+    Pointer_chase.run
+      {
+        Pointer_chase.framework = Pointer_chase.Tls;
+        access_order = order;
+        prefetch;
+        cores = 2;
+        arrays_per_core = 4;
+        array_bytes = 64 * 1024;
+        quantum_accesses = 500;
+        target_accesses_per_core = 60_000;
+        seed = 7L;
+      }
+  in
+  let random = chase ~order:Pointer_chase.Random_order ~prefetch:false in
+  let seq_pf = chase ~order:Pointer_chase.Sequential ~prefetch:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "random %.1f >> sequential+prefetch %.1f"
+       random.Pointer_chase.mean_latency_cycles seq_pf.Pointer_chase.mean_latency_cycles)
+    true
+    (random.Pointer_chase.mean_latency_cycles
+    > 2.0 *. seq_pf.Pointer_chase.mean_latency_cycles)
+
+(* --- reentrancy-aware instrumentation --- *)
+
+let test_non_reentrant_functions_unprobed () =
+  let open Tq_ir in
+  let src =
+    {
+      Ast.src_funcs =
+        [
+          ("main", Ast.loop_n 5_000 (Ast.seq [ Ast.CallFn "lock-held"; Ast.work 3 ]));
+          ("lock-held", Ast.loop_n 100 (Ast.work 6));
+        ];
+      src_main = "main";
+    }
+  in
+  let prog = Lower.lower_program src in
+  let instrumented =
+    Tq_instrument.Tq_pass.instrument
+      ~config:{ Tq_instrument.Tq_pass.bound = 100; non_reentrant = [ "lock-held" ] }
+      prog
+  in
+  check Alcotest.int "no probes inside the critical function" 0
+    (Cfg.probe_count (Cfg.func_of_program instrumented "lock-held"));
+  Alcotest.(check bool) "caller still instrumented" true
+    (Cfg.probe_count (Cfg.func_of_program instrumented "main") > 0)
+
+(* --- dynamic quanta in the VM --- *)
+
+let test_vm_quantum_schedule () =
+  let open Tq_ir in
+  let prog = Lower.lower_program { Ast.src_funcs = [ ("main", Ast.work 60_000) ]; src_main = "main" } in
+  let tq =
+    Tq_instrument.Tq_pass.instrument
+      ~config:{ Tq_instrument.Tq_pass.bound = 100; non_reentrant = [] }
+      prog
+  in
+  let r =
+    Tq_instrument.Vm.run
+      {
+        Tq_instrument.Vm.default_config with
+        quantum_cycles = 2_000;
+        quantum_schedule = Some [| 1_000; 4_000 |];
+        seed = 3L;
+      }
+      tq
+  in
+  (match r.Tq_instrument.Vm.yield_intervals with
+  | first :: second :: rest ->
+      Alcotest.(check bool) (Printf.sprintf "first ~1000 (%d)" first) true
+        (first >= 1_000 && first < 1_400);
+      Alcotest.(check bool) (Printf.sprintf "second ~4000 (%d)" second) true
+        (second >= 4_000 && second < 4_400);
+      (* The last schedule entry repeats. *)
+      List.iter
+        (fun i -> Alcotest.(check bool) "subsequent ~4000" true (i >= 4_000 && i < 4_400))
+        rest
+  | _ -> Alcotest.fail "expected at least two yields")
+
+(* --- experiment registry --- *)
+
+let test_registry_integrity () =
+  let ids =
+    List.map (fun (e : Tq_experiments.Registry.experiment) -> e.id) Tq_experiments.Registry.all
+  in
+  check Alcotest.int "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "every paper figure present" true
+    (List.for_all
+       (fun id -> List.mem id ids)
+       [ "fig1"; "fig2"; "fig4"; "fig5_6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+         "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "table2"; "table3" ]);
+  Alcotest.(check bool) "find works" true (Tq_experiments.Registry.find "fig7" <> None);
+  Alcotest.(check bool) "find rejects unknown" true
+    (Tq_experiments.Registry.find "fig99" = None)
+
+let test_registry_cheap_experiments_render () =
+  (* The cheap, simulation-free experiments run instantly and must
+     produce non-empty tables. *)
+  List.iter
+    (fun id ->
+      match Tq_experiments.Registry.find id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some e ->
+          List.iter
+            (fun table ->
+              let s = Tq_util.Text_table.render table in
+              Alcotest.(check bool) (id ^ " non-empty") true (String.length s > 50))
+            (e.tables ()))
+    [ "table2"; "dispatcher"; "fig16" ]
+
+let suite =
+  [
+    Alcotest.test_case "las prioritizes least attained" `Quick test_las_prioritizes_least_attained;
+    Alcotest.test_case "las quantum grows" `Quick test_las_quantum_grows_with_attained;
+    Alcotest.test_case "las fifo among equals" `Quick test_las_fifo_among_equal_attained;
+    Alcotest.test_case "las system short jobs" `Quick test_las_system_short_jobs;
+    Alcotest.test_case "multi-dispatcher conservation" `Quick test_multi_dispatcher_conservation;
+    Alcotest.test_case "multi-dispatcher splits load" `Quick test_multi_dispatcher_splits_load;
+    Alcotest.test_case "multi-dispatcher capacity" `Quick test_multi_dispatcher_raises_capacity;
+    Alcotest.test_case "zero dispatchers rejected" `Quick test_zero_dispatchers_rejected;
+    Alcotest.test_case "prefetch streams" `Quick test_prefetch_streams_hit_l1;
+    Alcotest.test_case "prefetch vs random" `Quick test_prefetch_useless_for_random;
+    Alcotest.test_case "non-reentrant unprobed" `Quick test_non_reentrant_functions_unprobed;
+    Alcotest.test_case "vm quantum schedule" `Quick test_vm_quantum_schedule;
+    Alcotest.test_case "registry integrity" `Quick test_registry_integrity;
+    Alcotest.test_case "registry cheap render" `Quick test_registry_cheap_experiments_render;
+  ]
+
+(* --- harness helpers and Caladan flow steering --- *)
+
+let test_harness_helpers () =
+  check Alcotest.(list (float 1e-9)) "rates" [ 1.0; 2.0 ]
+    (Tq_experiments.Harness.rates ~capacity:10.0 [ 0.1; 0.2 ]);
+  check Alcotest.string "mrps formatting" "3.50" (Tq_experiments.Harness.mrps 3_500_000.0)
+
+let test_harness_caladan_best_picks_finite () =
+  let r =
+    Tq_experiments.Harness.caladan_best ~workload:Table1.exp1 ~rate_rps:1_000_000.0
+      ~duration_ns:(Time_unit.ms 5.0) ~class_idx:0
+  in
+  Alcotest.(check bool) "ran" true (Metrics.total_completed r.metrics > 0)
+
+let test_caladan_flow_steering_conserves () =
+  let config =
+    { (Tq_sched.Caladan.default_config ~mode:Tq_sched.Caladan.Directpath ~cores:16) with
+      rss_flows = Some 4 }
+  in
+  let r =
+    Experiment.run ~seed:3L ~system:(Experiment.Caladan config) ~workload:Table1.exp1
+      ~rate_rps:1_000_000.0 ~duration_ns:(Time_unit.ms 10.0) ()
+  in
+  Alcotest.(check bool) "conserves with flow steering" true
+    (float_of_int (Metrics.total_completed r.metrics) > 0.85 *. float_of_int r.offered)
+
+let test_tq_pass_bound_monotone () =
+  (* A looser bound must not need more probes. *)
+  let open Tq_ir in
+  let p =
+    Lower.lower_program
+      { Ast.src_funcs = [ ("main", Ast.work 5_000) ]; src_main = "main" }
+  in
+  let probes bound =
+    Cfg.program_probe_count
+      (Tq_instrument.Tq_pass.instrument
+         ~config:{ Tq_instrument.Tq_pass.bound; non_reentrant = [] }
+         p)
+  in
+  Alcotest.(check bool) "monotone" true (probes 200 >= probes 800)
+
+let harness_suite =
+  [
+    Alcotest.test_case "harness helpers" `Quick test_harness_helpers;
+    Alcotest.test_case "caladan_best" `Quick test_harness_caladan_best_picks_finite;
+    Alcotest.test_case "caladan flow steering" `Quick test_caladan_flow_steering_conserves;
+    Alcotest.test_case "tq pass bound monotone" `Quick test_tq_pass_bound_monotone;
+  ]
+
+let suite = suite @ harness_suite

@@ -1,0 +1,53 @@
+(* Smoke tests of the public Tq facade: the paths the README and
+   examples advertise must work through the umbrella module. *)
+
+let check = Alcotest.check
+
+let test_readme_quickstart_path () =
+  let result =
+    Tq.Sched.Experiment.run
+      ~system:(Tq.Sched.Presets.tq ())
+      ~workload:Tq.Workload.Table1.extreme_bimodal ~rate_rps:2_000_000.0
+      ~duration_ns:(Tq.Util.Time_unit.ms 10.0) ()
+  in
+  let p999 =
+    Tq.Workload.Metrics.sojourn_percentile result.metrics ~class_idx:0 99.9 /. 1e3
+  in
+  Alcotest.(check bool) "sane tail" true (p999 > 0.1 && p999 < 1_000.0)
+
+let test_facade_modules_reachable () =
+  (* Each substrate is reachable and does something trivial. *)
+  let rng = Tq.Util.Prng.create ~seed:1L in
+  Alcotest.(check bool) "prng" true (Tq.Util.Prng.int rng 10 < 10);
+  let store = Tq.Kv.Store.create () in
+  Tq.Kv.Store.put store "k" "v";
+  check Alcotest.(option string) "kv" (Some "v") (Tq.Kv.Store.get store "k");
+  let db = Tq.Tpcc.Schema.create () in
+  check Alcotest.(list string) "tpcc consistent" [] (Tq.Tpcc.Consistency.check db);
+  let prog = Tq.Instrument.Bench_programs.lowered Tq.Instrument.Bench_programs.rocksdb_get in
+  Alcotest.(check bool) "instrument" true
+    (Tq.Ir.Cfg.program_probe_count (Tq.Instrument.Tq_pass.instrument prog) > 0);
+  check Alcotest.int "rss" (Tq.Net.Rss.queue_of_flow ~flow:7 ~queues:4)
+    (Tq.Net.Rss.queue_of_flow ~flow:7 ~queues:4);
+  Alcotest.(check bool) "queueing" true
+    (Tq.Queueing.Queueing.erlang_c ~lambda:1.0 ~mu:2.0 ~servers:1 > 0.0);
+  let ex = Tq.Runtime.Executor.create ~workers:2 ~quantum_ns:1_000 () in
+  Tq.Runtime.Executor.submit ex (fun () -> Tq.Runtime.Instrumented.work_ns 2_500);
+  Tq.Runtime.Executor.run ex;
+  check Alcotest.int "runtime" 1 (Tq.Runtime.Executor.completed ex);
+  check Alcotest.string "version" "1.0.0" Tq.version
+
+let test_facade_cache_and_stats () =
+  let shared = Tq.Cache.Hierarchy.create_shared () in
+  let core = Tq.Cache.Hierarchy.create_core shared in
+  ignore (Tq.Cache.Hierarchy.access core 0x1000);
+  let s = Tq.Stats.Sample_set.create () in
+  Tq.Stats.Sample_set.add s 1.0;
+  check (Alcotest.float 1e-9) "stats" 1.0 (Tq.Stats.Sample_set.percentile s 50.0)
+
+let suite =
+  [
+    Alcotest.test_case "readme quickstart" `Quick test_readme_quickstart_path;
+    Alcotest.test_case "modules reachable" `Quick test_facade_modules_reachable;
+    Alcotest.test_case "cache and stats" `Quick test_facade_cache_and_stats;
+  ]

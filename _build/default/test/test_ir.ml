@@ -1,0 +1,202 @@
+(* Tests for tq_ir: instructions, CFG construction/validation, lowering,
+   analyses. *)
+
+open Tq_ir
+
+let check = Alcotest.check
+
+(* --- Instr --- *)
+
+let test_instruction_weights () =
+  check Alcotest.int "alu" 1 (Instr.instruction_weight Instr.Alu);
+  check Alcotest.int "probe weighs nothing" 0
+    (Instr.instruction_weight (Instr.Probe Instr.Clock_probe));
+  check Alcotest.int "external scaled" 60
+    (Instr.instruction_weight (Instr.External { name = "x"; cycles = 120 }))
+
+let test_expected_cycles () =
+  check (Alcotest.float 1e-9) "alu" 1.0 (Instr.expected_cycles Instr.Alu);
+  check (Alcotest.float 1e-9) "load mix"
+    ((0.9 *. 4.0) +. (0.1 *. 40.0))
+    (Instr.expected_cycles (Instr.Load { miss_prob = 0.1 }))
+
+let test_is_probe () =
+  Alcotest.(check bool) "probe" true (Instr.is_probe (Instr.Probe Instr.Clock_probe));
+  Alcotest.(check bool) "alu" false (Instr.is_probe Instr.Alu)
+
+(* --- Builder / validation --- *)
+
+let diamond () =
+  let b = Cfg.Builder.create ~fname:"f" in
+  Cfg.Builder.emit b Instr.Alu;
+  let t = Cfg.Builder.new_block b in
+  let e = Cfg.Builder.new_block b in
+  let join = Cfg.Builder.new_block b in
+  Cfg.Builder.terminate b (Cfg.Branch { taken_prob = 0.5; if_true = t; if_false = e });
+  Cfg.Builder.switch_to b t;
+  Cfg.Builder.emit b Instr.Mul;
+  Cfg.Builder.terminate b (Cfg.Jump join);
+  Cfg.Builder.switch_to b e;
+  Cfg.Builder.emit b Instr.Div;
+  Cfg.Builder.terminate b (Cfg.Jump join);
+  Cfg.Builder.switch_to b join;
+  Cfg.Builder.terminate b Cfg.Ret;
+  Cfg.Builder.finish b
+
+let test_builder_diamond () =
+  let f = diamond () in
+  check Alcotest.int "four blocks" 4 (Array.length f.blocks);
+  check Alcotest.int "entry" 0 f.entry;
+  Cfg.validate { funcs = [ ("f", f) ]; main = "f" };
+  let preds = Cfg.predecessors f in
+  check Alcotest.(list int) "join preds" [ 1; 2 ] (List.sort compare preds.(3))
+
+let test_validate_rejects_bad_target () =
+  let b = Cfg.Builder.create ~fname:"f" in
+  Cfg.Builder.terminate b (Cfg.Jump 99);
+  let f = Cfg.Builder.finish b in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Cfg.validate { funcs = [ ("f", f) ]; main = "f" };
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_rejects_unknown_call () =
+  let b = Cfg.Builder.create ~fname:"f" in
+  Cfg.Builder.emit b (Instr.Call "ghost");
+  Cfg.Builder.terminate b Cfg.Ret;
+  let f = Cfg.Builder.finish b in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Cfg.validate { funcs = [ ("f", f) ]; main = "f" };
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_rejects_missing_main () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       Cfg.validate { funcs = []; main = "nope" };
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Lowering --- *)
+
+let test_lower_work_counts () =
+  let f = Lower.lower_func ~fname:"f" (Ast.mixed ~alu:3 ~muls:2 ~loads:1 ~stores:1 ()) in
+  check Alcotest.int "instruction count" 7 (Cfg.func_instruction_count f)
+
+let test_lower_if_shape () =
+  let f =
+    Lower.lower_func ~fname:"f" (Ast.if_ ~prob:0.3 (Ast.work 5) (Ast.work 2))
+  in
+  Cfg.validate { funcs = [ ("f", f) ]; main = "f" };
+  (* entry + then + else + join *)
+  check Alcotest.int "blocks" 4 (Array.length f.blocks);
+  match f.blocks.(0).term with
+  | Cfg.Branch { taken_prob; _ } -> check (Alcotest.float 1e-9) "prob" 0.3 taken_prob
+  | _ -> Alcotest.fail "expected branch"
+
+let test_lower_loop_shape () =
+  let f = Lower.lower_func ~fname:"f" (Ast.loop_n 10 (Ast.work 3)) in
+  Cfg.validate { funcs = [ ("f", f) ]; main = "f" };
+  let latches =
+    Array.to_list f.blocks
+    |> List.filter (fun (b : Cfg.block) ->
+           match b.term with Cfg.Latch _ -> true | _ -> false)
+  in
+  check Alcotest.int "one latch" 1 (List.length latches);
+  match (List.hd latches).term with
+  | Cfg.Latch { trips = Cfg.Static 10; _ } -> ()
+  | _ -> Alcotest.fail "expected static trips 10"
+
+let test_lower_program_validates () =
+  let src =
+    {
+      Ast.src_funcs =
+        [ ("main", Ast.seq [ Ast.CallFn "helper"; Ast.work 1 ]); ("helper", Ast.work 5) ];
+      src_main = "main";
+    }
+  in
+  let p = Lower.lower_program src in
+  check Alcotest.int "two funcs" 2 (List.length p.funcs)
+
+let test_expected_instruction_count () =
+  let src =
+    {
+      Ast.src_funcs =
+        [
+          ("main", Ast.seq [ Ast.loop_n 10 (Ast.work 5); Ast.CallFn "h" ]);
+          ("h", Ast.work 9);
+        ];
+      src_main = "main";
+    }
+  in
+  check (Alcotest.float 1e-9) "10*5 + 1 + 9" 60.0
+    (Ast.expected_instruction_count src "main")
+
+(* --- Analysis --- *)
+
+let test_topo_order_diamond () =
+  let f = diamond () in
+  let order = Analysis.topo_order f in
+  let pos id = Option.get (List.find_index (fun x -> x = id) order) in
+  Alcotest.(check bool) "entry before branches" true (pos 0 < pos 1 && pos 0 < pos 2);
+  Alcotest.(check bool) "branches before join" true (pos 1 < pos 3 && pos 2 < pos 3)
+
+let test_loops_nesting () =
+  let f =
+    Lower.lower_func ~fname:"f" (Ast.loop_n 5 (Ast.seq [ Ast.work 1; Ast.loop_n 3 (Ast.work 2) ]))
+  in
+  let ls = Analysis.loops f in
+  check Alcotest.int "two loops" 2 (List.length ls);
+  let outer = List.nth ls 0 and inner = List.nth ls 1 in
+  check Alcotest.int "outer depth" 1 outer.Analysis.depth;
+  check Alcotest.int "inner depth" 2 inner.Analysis.depth;
+  Alcotest.(check bool) "inner body inside outer" true
+    (List.for_all (fun b -> List.mem b outer.Analysis.body) inner.Analysis.body)
+
+let test_self_loop_detection () =
+  let f = Lower.lower_func ~fname:"f" (Ast.loop_n 5 (Ast.work 2)) in
+  match Analysis.loops f with
+  | [ l ] -> Alcotest.(check bool) "self loop" true (Analysis.is_self_loop l)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_non_self_loop () =
+  let f =
+    Lower.lower_func ~fname:"f"
+      (Ast.loop_n 5 (Ast.if_ ~prob:0.5 (Ast.work 1) (Ast.work 2)))
+  in
+  match Analysis.loops f with
+  | [ l ] -> Alcotest.(check bool) "not self loop" false (Analysis.is_self_loop l)
+  | _ -> Alcotest.fail "expected one loop"
+
+let test_reachable () =
+  let f = diamond () in
+  let r = Analysis.reachable f in
+  Alcotest.(check bool) "all reachable" true (Array.for_all Fun.id r)
+
+let test_mean_trips () =
+  check (Alcotest.float 1e-9) "static" 7.0 (Cfg.mean_trips (Cfg.Static 7));
+  check (Alcotest.float 1e-9) "dynamic" 15.0 (Cfg.mean_trips (Cfg.Dynamic { lo = 10; hi = 20 }))
+
+let suite =
+  [
+    Alcotest.test_case "instruction weights" `Quick test_instruction_weights;
+    Alcotest.test_case "expected cycles" `Quick test_expected_cycles;
+    Alcotest.test_case "is_probe" `Quick test_is_probe;
+    Alcotest.test_case "builder diamond" `Quick test_builder_diamond;
+    Alcotest.test_case "validate bad target" `Quick test_validate_rejects_bad_target;
+    Alcotest.test_case "validate unknown call" `Quick test_validate_rejects_unknown_call;
+    Alcotest.test_case "validate missing main" `Quick test_validate_rejects_missing_main;
+    Alcotest.test_case "lower work counts" `Quick test_lower_work_counts;
+    Alcotest.test_case "lower if shape" `Quick test_lower_if_shape;
+    Alcotest.test_case "lower loop shape" `Quick test_lower_loop_shape;
+    Alcotest.test_case "lower program" `Quick test_lower_program_validates;
+    Alcotest.test_case "expected instr count" `Quick test_expected_instruction_count;
+    Alcotest.test_case "topo order" `Quick test_topo_order_diamond;
+    Alcotest.test_case "loop nesting" `Quick test_loops_nesting;
+    Alcotest.test_case "self loop" `Quick test_self_loop_detection;
+    Alcotest.test_case "non-self loop" `Quick test_non_self_loop;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "mean trips" `Quick test_mean_trips;
+  ]

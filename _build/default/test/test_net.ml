@@ -1,0 +1,99 @@
+(* Tests for tq_net: RSS hashing and the finite-ring NIC model. *)
+
+module Rss = Tq_net.Rss
+module Nic = Tq_net.Nic
+module Sim = Tq_engine.Sim
+
+let check = Alcotest.check
+
+let request req_id =
+  { Tq_workload.Arrivals.req_id; class_idx = 0; service_ns = 1_000; arrival_ns = 0 }
+
+(* --- Rss --- *)
+
+let test_rss_in_range () =
+  for flow = 0 to 9_999 do
+    let q = Rss.queue_of_flow ~flow ~queues:16 in
+    Alcotest.(check bool) "in range" true (q >= 0 && q < 16)
+  done
+
+let test_rss_deterministic () =
+  for flow = 0 to 100 do
+    check Alcotest.int "stable" (Rss.queue_of_flow ~flow ~queues:16)
+      (Rss.queue_of_flow ~flow ~queues:16)
+  done
+
+let test_rss_uniform_with_many_flows () =
+  let queues = 16 in
+  let counts = Array.make queues 0 in
+  let flows = 160_000 in
+  for flow = 0 to flows - 1 do
+    let q = Rss.queue_of_flow ~flow ~queues in
+    counts.(q) <- counts.(q) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int flows in
+      Alcotest.(check bool) "near uniform" true (f > 0.055 && f < 0.07))
+    counts
+
+let test_rss_few_flows_leave_gaps () =
+  (* With 8 flows on 16 queues, at most 8 queues receive traffic (and
+     typically fewer due to collisions). *)
+  let covered = Rss.spread ~flows:8 ~queues:16 in
+  Alcotest.(check bool) (Printf.sprintf "%d covered" covered) true (covered <= 8);
+  let covered_many = Rss.spread ~flows:4096 ~queues:16 in
+  check Alcotest.int "many flows cover all" 16 covered_many
+
+let test_rss_flow_of_request () =
+  check Alcotest.int "round robin" 3 (Rss.flow_of_request ~flows:8 11);
+  Alcotest.check_raises "flows>0" (Invalid_argument "Rss.flow_of_request: flows must be positive")
+    (fun () -> ignore (Rss.flow_of_request ~flows:0 1))
+
+(* --- Nic --- *)
+
+let test_nic_delivers_with_delay () =
+  let sim = Sim.create () in
+  let got = ref [] in
+  let nic =
+    Nic.create sim ~per_packet_ns:30 ~rx_depth:4
+      ~occupancy:(fun () -> 0)
+      ~deliver:(fun req -> got := (req.Tq_workload.Arrivals.req_id, Sim.now sim) :: !got)
+      ()
+  in
+  Alcotest.(check bool) "admitted" true (Nic.receive nic (request 1));
+  Sim.run sim;
+  check Alcotest.(list (pair int int)) "delivered after dma" [ (1, 30) ] !got;
+  check Alcotest.int "delivered count" 1 (Nic.delivered nic)
+
+let test_nic_drops_when_full () =
+  let sim = Sim.create () in
+  let occupancy = ref 0 in
+  let nic =
+    Nic.create sim ~rx_depth:2 ~occupancy:(fun () -> !occupancy) ~deliver:ignore ()
+  in
+  Alcotest.(check bool) "admitted at 0" true (Nic.receive nic (request 1));
+  occupancy := 2;
+  Alcotest.(check bool) "dropped at depth" false (Nic.receive nic (request 2));
+  occupancy := 1;
+  Alcotest.(check bool) "admitted below depth" true (Nic.receive nic (request 3));
+  check Alcotest.int "drops" 1 (Nic.dropped nic);
+  check (Alcotest.float 1e-9) "drop rate" (1.0 /. 3.0) (Nic.drop_rate nic)
+
+let test_nic_rejects_bad_depth () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "depth>0" (Invalid_argument "Nic.create: rx_depth must be positive")
+    (fun () ->
+      ignore (Nic.create sim ~rx_depth:0 ~occupancy:(fun () -> 0) ~deliver:ignore ()))
+
+let suite =
+  [
+    Alcotest.test_case "rss in range" `Quick test_rss_in_range;
+    Alcotest.test_case "rss deterministic" `Quick test_rss_deterministic;
+    Alcotest.test_case "rss uniform" `Quick test_rss_uniform_with_many_flows;
+    Alcotest.test_case "rss few flows" `Quick test_rss_few_flows_leave_gaps;
+    Alcotest.test_case "rss flow of request" `Quick test_rss_flow_of_request;
+    Alcotest.test_case "nic delivers" `Quick test_nic_delivers_with_delay;
+    Alcotest.test_case "nic drops" `Quick test_nic_drops_when_full;
+    Alcotest.test_case "nic bad depth" `Quick test_nic_rejects_bad_depth;
+  ]

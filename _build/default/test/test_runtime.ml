@@ -1,0 +1,430 @@
+(* Tests for tq_runtime: fibers, probe API, workers, executors, rings. *)
+
+open Tq_runtime
+
+let check = Alcotest.check
+
+(* --- Fiber --- *)
+
+let test_fiber_runs_to_completion () =
+  let f = Fiber.create (fun () -> 42) in
+  (match Fiber.resume f with
+  | Fiber.Done v -> check Alcotest.int "result" 42 v
+  | Fiber.Yielded -> Alcotest.fail "unexpected yield");
+  Alcotest.(check bool) "finished" true (Fiber.finished f)
+
+let test_fiber_yields () =
+  let log = ref [] in
+  let f =
+    Fiber.create (fun () ->
+        log := "a" :: !log;
+        Fiber.yield ();
+        log := "b" :: !log;
+        Fiber.yield ();
+        log := "c" :: !log;
+        7)
+  in
+  Alcotest.(check bool) "yield 1" true (Fiber.resume f = Fiber.Yielded);
+  Alcotest.(check bool) "yield 2" true (Fiber.resume f = Fiber.Yielded);
+  (match Fiber.resume f with
+  | Fiber.Done v -> check Alcotest.int "value" 7 v
+  | Fiber.Yielded -> Alcotest.fail "should finish");
+  check Alcotest.(list string) "segments in order" [ "a"; "b"; "c" ] (List.rev !log);
+  check Alcotest.int "three resumes" 3 (Fiber.resumes f)
+
+let test_fiber_interleaving () =
+  let log = ref [] in
+  let mk name =
+    Fiber.create (fun () ->
+        for i = 1 to 3 do
+          log := Printf.sprintf "%s%d" name i :: !log;
+          if i < 3 then Fiber.yield ()
+        done)
+  in
+  let a = mk "a" and b = mk "b" in
+  let rec round () =
+    let progressed = ref false in
+    List.iter
+      (fun f ->
+        if not (Fiber.finished f) then begin
+          ignore (Fiber.resume f);
+          progressed := true
+        end)
+      [ a; b ];
+    if !progressed then round ()
+  in
+  round ();
+  check Alcotest.(list string) "round robin interleave"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_fiber_resume_after_done_rejected () =
+  let f = Fiber.create (fun () -> ()) in
+  ignore (Fiber.resume f);
+  Alcotest.check_raises "double resume" (Invalid_argument "Fiber.resume: fiber already finished")
+    (fun () -> ignore (Fiber.resume f))
+
+let test_fiber_exception_propagates () =
+  let f = Fiber.create (fun () -> failwith "boom") in
+  Alcotest.check_raises "exception" (Failure "boom") (fun () -> ignore (Fiber.resume f))
+
+let test_yield_outside_fiber_rejected () =
+  Alcotest.check_raises "outside" (Invalid_argument "Fiber.yield: called outside a fiber")
+    (fun () -> Fiber.yield ())
+
+(* --- Clock --- *)
+
+let test_virtual_clock () =
+  let c = Clock.virtual_ () in
+  check Alcotest.int "starts at 0" 0 (Clock.now_ns c);
+  Clock.advance c 500;
+  check Alcotest.int "advanced" 500 (Clock.now_ns c);
+  Alcotest.(check bool) "is virtual" true (Clock.is_virtual c)
+
+let test_wall_clock_advances () =
+  let c = Clock.wall () in
+  Alcotest.check_raises "no manual advance"
+    (Invalid_argument "Clock.advance: wall clocks advance themselves") (fun () ->
+      Clock.advance c 1);
+  let a = Clock.now_ns c in
+  let b = Clock.now_ns c in
+  Alcotest.(check bool) "monotone-ish" true (b >= a)
+
+(* --- Probe API --- *)
+
+let with_ctx ~quantum_ns f =
+  let clock = Clock.virtual_ () in
+  let ctx = Probe_api.create ~clock ~quantum_ns in
+  Probe_api.install ctx;
+  Fun.protect ~finally:Probe_api.uninstall (fun () -> f clock ctx)
+
+let test_probe_yields_on_expiry () =
+  with_ctx ~quantum_ns:1000 (fun clock ctx ->
+      let yields = ref 0 in
+      let f =
+        Fiber.create (fun () ->
+            for _ = 1 to 10 do
+              Clock.advance clock 300;
+              Probe_api.probe ()
+            done)
+      in
+      Probe_api.start_quantum ctx;
+      let rec drive () =
+        match Fiber.resume f with
+        | Fiber.Yielded ->
+            incr yields;
+            Probe_api.start_quantum ctx;
+            drive ()
+        | Fiber.Done () -> ()
+      in
+      drive ();
+      (* 3000ns of work, quantum 1000, probes every 300: yields at 1200,
+         2400 -> 2 yields (the tail never refills a full quantum). *)
+      check Alcotest.int "two yields" 2 !yields;
+      check Alcotest.int "ctx counted them" 2 (Probe_api.yields_taken ctx);
+      check Alcotest.int "ten probes" 10 (Probe_api.probes_executed ctx))
+
+let test_probe_noop_without_context () =
+  (* Instrumented code running outside TQ must not fail. *)
+  Probe_api.probe ();
+  Probe_api.critical_begin ();
+  Probe_api.critical_end ()
+
+let test_critical_section_defers_yield () =
+  with_ctx ~quantum_ns:100 (fun clock ctx ->
+      let phase = ref [] in
+      let f =
+        Fiber.create (fun () ->
+            Probe_api.critical_begin ();
+            Clock.advance clock 1000;
+            Probe_api.probe ();
+            (* expired, but suppressed *)
+            phase := "in-critical" :: !phase;
+            Probe_api.critical_end ();
+            (* deferred yield fires here *)
+            phase := "after-critical" :: !phase)
+      in
+      Probe_api.start_quantum ctx;
+      Alcotest.(check bool) "yielded at critical exit" true (Fiber.resume f = Fiber.Yielded);
+      check Alcotest.(list string) "suppressed inside" [ "in-critical" ] !phase;
+      Probe_api.start_quantum ctx;
+      Alcotest.(check bool) "completes" true (Fiber.resume f = Fiber.Done ()))
+
+let test_nested_critical_sections () =
+  with_ctx ~quantum_ns:100 (fun clock ctx ->
+      let f =
+        Fiber.create (fun () ->
+            Probe_api.critical_begin ();
+            Probe_api.critical_begin ();
+            Clock.advance clock 500;
+            Probe_api.critical_end ();
+            (* still nested: no yield *)
+            Probe_api.probe ();
+            Probe_api.critical_end ())
+      in
+      Probe_api.start_quantum ctx;
+      Alcotest.(check bool) "yields only at outermost exit" true
+        (Fiber.resume f = Fiber.Yielded))
+
+let test_instrumented_combinators_probe () =
+  with_ctx ~quantum_ns:1_000_000 (fun _clock ctx ->
+      let f =
+        Fiber.create (fun () ->
+            Instrumented.for_range ~probe_every:10 ~lo:0 ~hi:100 (fun _ -> ()))
+      in
+      Probe_api.start_quantum ctx;
+      (match Fiber.resume f with Fiber.Done () -> () | _ -> Alcotest.fail "no yield expected");
+      check Alcotest.int "ten probes" 10 (Probe_api.probes_executed ctx))
+
+let test_work_ns_virtual () =
+  with_ctx ~quantum_ns:1_000 (fun clock ctx ->
+      let f = Fiber.create (fun () -> Instrumented.work_ns 3_000) in
+      Probe_api.start_quantum ctx;
+      let yields = ref 0 in
+      let rec drive () =
+        match Fiber.resume f with
+        | Fiber.Yielded ->
+            incr yields;
+            Probe_api.start_quantum ctx;
+            drive ()
+        | Fiber.Done () -> ()
+      in
+      drive ();
+      check Alcotest.int "virtual time consumed" 3_000 (Clock.now_ns clock);
+      (* Quantum boundaries at 1000, 2000 and exactly at the final 3000
+         (>= comparison) before the fiber returns. *)
+      check Alcotest.int "yields at quantum boundaries" 3 !yields)
+
+(* --- Task worker --- *)
+
+let test_worker_ps_rotation () =
+  let clock = Clock.virtual_ () in
+  let finished = ref [] in
+  let w =
+    Task_worker.create ~clock ~quantum_ns:1_000
+      ~on_finish:(fun task -> finished := task.Task_worker.task_id :: !finished)
+      ()
+  in
+  Task_worker.submit w { Task_worker.task_id = 1; work = (fun () -> Instrumented.work_ns 5_000) };
+  Task_worker.submit w { Task_worker.task_id = 2; work = (fun () -> Instrumented.work_ns 1_000) };
+  Task_worker.run_until_idle w;
+  check Alcotest.(list int) "short task finishes first" [ 2; 1 ] (List.rev !finished);
+  check Alcotest.int "all finished" 0 (Task_worker.unfinished w);
+  check Alcotest.int "finished count" 2 (Task_worker.finished_count w);
+  Alcotest.(check bool) "yields happened" true (Task_worker.total_yields w > 0)
+
+let test_worker_counters () =
+  let clock = Clock.virtual_ () in
+  let w = Task_worker.create ~clock ~quantum_ns:1_000 ~on_finish:(fun _ -> ()) () in
+  Task_worker.submit w { Task_worker.task_id = 1; work = (fun () -> Instrumented.work_ns 2_500) };
+  check Alcotest.int "unfinished" 1 (Task_worker.unfinished w);
+  ignore (Task_worker.run_slice w);
+  Alcotest.(check bool) "accumulates quanta" true (Task_worker.current_quanta w > 0);
+  Task_worker.run_until_idle w;
+  check Alcotest.int "quanta released on finish" 0 (Task_worker.current_quanta w)
+
+(* --- Executor --- *)
+
+let test_executor_completes_all () =
+  let ex = Executor.create ~workers:4 ~quantum_ns:1_000 () in
+  let sum = ref 0 in
+  for i = 1 to 50 do
+    Executor.submit ex (fun () ->
+        Instrumented.work_ns (200 * i);
+        sum := !sum + i)
+  done;
+  Executor.run ex;
+  check Alcotest.int "all tasks ran" (50 * 51 / 2) !sum;
+  check Alcotest.int "completed" 50 (Executor.completed ex)
+
+let test_executor_jsq_balances () =
+  let ex = Executor.create ~workers:4 ~quantum_ns:1_000 () in
+  for _ = 1 to 64 do
+    Executor.submit ex (fun () -> Instrumented.work_ns 1_000)
+  done;
+  Executor.run ex;
+  let finished = Executor.worker_finished ex in
+  Array.iter
+    (fun count -> Alcotest.(check bool) "balanced 16 each" true (count = 16))
+    finished
+
+let test_executor_preempts_long_tasks () =
+  let ex = Executor.create ~workers:1 ~quantum_ns:500 () in
+  let order = ref [] in
+  Executor.submit ex (fun () ->
+      Instrumented.work_ns 5_000;
+      order := "long" :: !order);
+  Executor.submit ex (fun () ->
+      Instrumented.work_ns 500;
+      order := "short" :: !order);
+  Executor.run ex;
+  check Alcotest.(list string) "short escapes HoL blocking" [ "short"; "long" ]
+    (List.rev !order);
+  Alcotest.(check bool) "yields recorded" true (Executor.total_yields ex > 0)
+
+(* --- SPSC ring --- *)
+
+let test_ring_fifo () =
+  let r = Spsc_ring.create ~capacity:4 in
+  Alcotest.(check bool) "push 1" true (Spsc_ring.try_push r 1);
+  Alcotest.(check bool) "push 2" true (Spsc_ring.try_push r 2);
+  check Alcotest.(option int) "pop 1" (Some 1) (Spsc_ring.try_pop r);
+  check Alcotest.(option int) "pop 2" (Some 2) (Spsc_ring.try_pop r);
+  check Alcotest.(option int) "empty" None (Spsc_ring.try_pop r)
+
+let test_ring_capacity () =
+  let r = Spsc_ring.create ~capacity:2 in
+  Alcotest.(check bool) "1" true (Spsc_ring.try_push r 1);
+  Alcotest.(check bool) "2" true (Spsc_ring.try_push r 2);
+  Alcotest.(check bool) "full" false (Spsc_ring.try_push r 3);
+  ignore (Spsc_ring.try_pop r);
+  Alcotest.(check bool) "space again" true (Spsc_ring.try_push r 3);
+  check Alcotest.int "length" 2 (Spsc_ring.length r)
+
+let test_ring_wraparound () =
+  let r = Spsc_ring.create ~capacity:3 in
+  for round = 1 to 10 do
+    Alcotest.(check bool) "push" true (Spsc_ring.try_push r round);
+    check Alcotest.(option int) "pop" (Some round) (Spsc_ring.try_pop r)
+  done
+
+let test_ring_cross_domain () =
+  let r = Spsc_ring.create ~capacity:16 in
+  let n = 10_000 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and received = ref 0 in
+        while !received < n do
+          match Spsc_ring.try_pop r with
+          | Some v ->
+              sum := !sum + v;
+              incr received
+          | None -> Domain.cpu_relax ()
+        done;
+        !sum)
+  in
+  for i = 1 to n do
+    while not (Spsc_ring.try_push r i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  check Alcotest.int "all values transferred" (n * (n + 1) / 2) (Domain.join consumer)
+
+(* --- Parallel executor --- *)
+
+let test_parallel_completes () =
+  let counter = Atomic.make 0 in
+  let jobs = Array.init 40 (fun _ -> fun () -> Atomic.incr counter) in
+  let stats = Parallel.run ~workers:2 ~quantum_ns:1_000_000 jobs in
+  check Alcotest.int "completed" 40 stats.Parallel.completed;
+  check Alcotest.int "all side effects" 40 (Atomic.get counter);
+  check Alcotest.int "per-worker adds up" 40
+    (Array.fold_left ( + ) 0 stats.Parallel.per_worker_finished)
+
+let test_parallel_balances () =
+  let jobs = Array.init 64 (fun _ -> fun () -> ignore (Sys.opaque_identity (ref 0))) in
+  let stats = Parallel.run ~workers:4 ~quantum_ns:1_000_000 jobs in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every worker got work" true (c > 0))
+    stats.Parallel.per_worker_finished
+
+let suite =
+  [
+    Alcotest.test_case "fiber completion" `Quick test_fiber_runs_to_completion;
+    Alcotest.test_case "fiber yields" `Quick test_fiber_yields;
+    Alcotest.test_case "fiber interleaving" `Quick test_fiber_interleaving;
+    Alcotest.test_case "fiber double resume" `Quick test_fiber_resume_after_done_rejected;
+    Alcotest.test_case "fiber exception" `Quick test_fiber_exception_propagates;
+    Alcotest.test_case "yield outside fiber" `Quick test_yield_outside_fiber_rejected;
+    Alcotest.test_case "virtual clock" `Quick test_virtual_clock;
+    Alcotest.test_case "wall clock" `Quick test_wall_clock_advances;
+    Alcotest.test_case "probe yields on expiry" `Quick test_probe_yields_on_expiry;
+    Alcotest.test_case "probe noop without ctx" `Quick test_probe_noop_without_context;
+    Alcotest.test_case "critical section" `Quick test_critical_section_defers_yield;
+    Alcotest.test_case "nested critical" `Quick test_nested_critical_sections;
+    Alcotest.test_case "instrumented combinators" `Quick test_instrumented_combinators_probe;
+    Alcotest.test_case "work_ns virtual" `Quick test_work_ns_virtual;
+    Alcotest.test_case "worker ps rotation" `Quick test_worker_ps_rotation;
+    Alcotest.test_case "worker counters" `Quick test_worker_counters;
+    Alcotest.test_case "executor completes" `Quick test_executor_completes_all;
+    Alcotest.test_case "executor jsq balance" `Quick test_executor_jsq_balances;
+    Alcotest.test_case "executor preempts" `Quick test_executor_preempts_long_tasks;
+    Alcotest.test_case "ring fifo" `Quick test_ring_fifo;
+    Alcotest.test_case "ring capacity" `Quick test_ring_capacity;
+    Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring cross domain" `Quick test_ring_cross_domain;
+    Alcotest.test_case "parallel completes" `Quick test_parallel_completes;
+    Alcotest.test_case "parallel balances" `Quick test_parallel_balances;
+  ]
+
+(* --- MPSC buffer pool --- *)
+
+let test_pool_alloc_all_distinct () =
+  let pool = Mpsc_pool.create ~capacity:8 in
+  let allocated = List.init 8 (fun _ -> Option.get (Mpsc_pool.alloc pool)) in
+  check Alcotest.int "all allocated" 8 (List.length (List.sort_uniq compare allocated));
+  check Alcotest.(option int) "exhausted" None (Mpsc_pool.alloc pool);
+  check Alcotest.int "free count" 0 (Mpsc_pool.free_count pool)
+
+let test_pool_release_recycles () =
+  let pool = Mpsc_pool.create ~capacity:2 in
+  let a = Option.get (Mpsc_pool.alloc pool) in
+  let b = Option.get (Mpsc_pool.alloc pool) in
+  Mpsc_pool.release pool a;
+  check Alcotest.(option int) "recycled" (Some a) (Mpsc_pool.alloc pool);
+  Mpsc_pool.release pool b;
+  Mpsc_pool.release pool a;
+  check Alcotest.int "both free" 2 (Mpsc_pool.free_count pool)
+
+let test_pool_rejects_bad_release () =
+  let pool = Mpsc_pool.create ~capacity:2 in
+  Alcotest.check_raises "oob" (Invalid_argument "Mpsc_pool.release: bad buffer id")
+    (fun () -> Mpsc_pool.release pool 2)
+
+let test_pool_multi_producer_release () =
+  (* Dispatcher allocates, two worker domains release concurrently; the
+     pool must conserve buffers. *)
+  let capacity = 64 in
+  let pool = Mpsc_pool.create ~capacity in
+  let rounds = 5_000 in
+  let to_release = Spsc_ring.create ~capacity and to_release2 = Spsc_ring.create ~capacity in
+  let stop = Atomic.make false in
+  let releaser ring =
+    Domain.spawn (fun () ->
+        let released = ref 0 in
+        while (not (Atomic.get stop)) || Spsc_ring.length ring > 0 do
+          match Spsc_ring.try_pop ring with
+          | Some buf ->
+              Mpsc_pool.release pool buf;
+              incr released
+          | None -> Domain.cpu_relax ()
+        done;
+        !released)
+  in
+  let d1 = releaser to_release and d2 = releaser to_release2 in
+  let sent = ref 0 in
+  while !sent < rounds do
+    match Mpsc_pool.alloc pool with
+    | Some buf ->
+        let ring = if !sent land 1 = 0 then to_release else to_release2 in
+        while not (Spsc_ring.try_push ring buf) do
+          Domain.cpu_relax ()
+        done;
+        incr sent
+    | None -> Domain.cpu_relax ()
+  done;
+  Atomic.set stop true;
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  check Alcotest.int "every buffer released" rounds (r1 + r2);
+  check Alcotest.int "pool conserved" capacity (Mpsc_pool.free_count pool)
+
+(* appended to the runtime suite *)
+let pool_suite =
+  [
+    Alcotest.test_case "pool alloc distinct" `Quick test_pool_alloc_all_distinct;
+    Alcotest.test_case "pool recycles" `Quick test_pool_release_recycles;
+    Alcotest.test_case "pool bad release" `Quick test_pool_rejects_bad_release;
+    Alcotest.test_case "pool multi-producer" `Quick test_pool_multi_producer_release;
+  ]
+
+let suite = suite @ pool_suite

@@ -1,0 +1,567 @@
+(* Tests for tq_sched: workers, dispatch policies, the TQ two-level
+   system and both baseline models. *)
+
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Time_unit = Tq_util.Time_unit
+module Table1 = Tq_workload.Table1
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+module Job = Tq_sched.Job
+module Worker = Tq_sched.Worker
+module Overheads = Tq_sched.Overheads
+module Dispatch_policy = Tq_sched.Dispatch_policy
+module Two_level = Tq_sched.Two_level
+module Centralized = Tq_sched.Centralized
+module Caladan = Tq_sched.Caladan
+module Experiment = Tq_sched.Experiment
+module Presets = Tq_sched.Presets
+
+let check = Alcotest.check
+
+let request ?(req_id = 1) ?(class_idx = 0) ~service_ns ~arrival_ns () =
+  { Arrivals.req_id; class_idx; service_ns; arrival_ns }
+
+let job ?req_id ?class_idx ~service_ns ?(arrival_ns = 0) () =
+  Job.of_request ~probe_overhead_frac:0.0
+    (request ?req_id ?class_idx ~service_ns ~arrival_ns ())
+
+(* --- Job --- *)
+
+let test_job_inflation () =
+  let j =
+    Job.of_request ~probe_overhead_frac:0.5 (request ~service_ns:1000 ~arrival_ns:0 ())
+  in
+  check Alcotest.int "remaining inflated" 1500 j.remaining_ns;
+  check Alcotest.int "true service kept" 1000 j.service_ns;
+  Alcotest.(check bool) "not finished" false (Job.finished j)
+
+(* --- Worker: processor sharing --- *)
+
+let make_worker ?(policy = Worker.Ps { quantum_ns = 1000; per_class_quantum = None })
+    ?(overheads = Overheads.zero) sim finished =
+  Worker.create sim ~wid:0 ~rng:(Prng.create ~seed:1L) ~policy ~overheads
+    ~on_finish:(fun j -> finished := (j.Job.id, Sim.now sim) :: !finished)
+    ()
+
+let test_worker_ps_interleaves () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = make_worker sim finished in
+  Worker.note_assigned w;
+  Worker.note_assigned w;
+  Worker.enqueue w (job ~req_id:1 ~service_ns:10_000 ());
+  Worker.enqueue w (job ~req_id:2 ~service_ns:1_000 ());
+  Sim.run sim;
+  (* PS with 1us quanta: job2 runs its single quantum at [1000,2000);
+     job1 finishes after 10 quanta interleaved: at 11000. *)
+  check
+    Alcotest.(list (pair int int))
+    "short job first" [ (2, 2_000); (1, 11_000) ] (List.rev !finished);
+  check Alcotest.int "all finished" 0 (Worker.unfinished w);
+  check Alcotest.int "finished count" 2 (Worker.finished_jobs w)
+
+let test_worker_fcfs_runs_to_completion () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = make_worker ~policy:Worker.Fcfs sim finished in
+  Worker.enqueue w (job ~req_id:1 ~service_ns:10_000 ());
+  Worker.enqueue w (job ~req_id:2 ~service_ns:1_000 ());
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int int))
+    "fcfs order" [ (1, 10_000); (2, 11_000) ] (List.rev !finished)
+
+let test_worker_yield_cost () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let overheads = { Overheads.zero with yield_ns = 100 } in
+  let w = make_worker ~overheads sim finished in
+  Worker.enqueue w (job ~req_id:1 ~service_ns:3_000 ());
+  Sim.run sim;
+  (* Three quanta: two preemptions pay 100ns each, final slice finishes. *)
+  check Alcotest.(list (pair int int)) "yield cost added" [ (1, 3_200) ] !finished
+
+let test_worker_finish_cost () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let overheads = { Overheads.zero with finish_ns = 60 } in
+  let w = make_worker ~overheads sim finished in
+  Worker.enqueue w (job ~req_id:1 ~service_ns:500 ());
+  Sim.run sim;
+  check Alcotest.(list (pair int int)) "finish cost" [ (1, 560) ] !finished
+
+let test_worker_quantum_jitter_bounds () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let overheads = { Overheads.zero with quantum_jitter_ns = 200 } in
+  let w = make_worker ~overheads sim finished in
+  Worker.enqueue w (job ~req_id:1 ~service_ns:10_000 ());
+  Sim.run sim;
+  (* Jitter only lengthens quanta, so completion happens no later than
+     uninstrumented service + 0 (jitter consumes service faster). *)
+  let _, t = List.hd !finished in
+  Alcotest.(check bool) "finishes at exactly total service" true (t = 10_000)
+
+let test_worker_per_class_quantum () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let policy = Worker.Ps { quantum_ns = 1_000; per_class_quantum = Some [| 500; 4_000 |] } in
+  let w = make_worker ~policy sim finished in
+  Worker.enqueue w (job ~req_id:1 ~class_idx:0 ~service_ns:1_000 ());
+  Worker.enqueue w (job ~req_id:2 ~class_idx:1 ~service_ns:4_000 ());
+  Sim.run sim;
+  (* class0 quantum 500: job1 preempted once. Timeline:
+     j1 [0,500) j2 [500,4500) j1 [4500,5000). *)
+  check
+    Alcotest.(list (pair int int))
+    "per-class quanta" [ (2, 4_500); (1, 5_000) ] (List.rev !finished)
+
+let test_worker_serviced_quanta_counter () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = make_worker sim finished in
+  let j = job ~req_id:1 ~service_ns:5_000 () in
+  Worker.note_assigned w;
+  Worker.enqueue w j;
+  Sim.run sim;
+  check Alcotest.int "job serviced 5 quanta" 5 j.Job.serviced_quanta;
+  check Alcotest.int "current quanta drops on finish" 0 (Worker.current_quanta w)
+
+let test_worker_steal () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  let w = make_worker ~policy:Worker.Fcfs sim finished in
+  Worker.note_assigned w;
+  Worker.note_assigned w;
+  Worker.enqueue w (job ~req_id:1 ~service_ns:10_000 ());
+  Worker.enqueue w (job ~req_id:2 ~service_ns:10_000 ());
+  (* Job 1 is in service, job 2 queued: steal takes job 2. *)
+  (match Worker.steal w with
+  | Some j -> check Alcotest.int "stole queued job" 2 j.Job.id
+  | None -> Alcotest.fail "expected a stolen job");
+  check Alcotest.int "victim load updated" 1 (Worker.unfinished w);
+  check Alcotest.(option (of_pp (fun _ _ -> ()))) "no more to steal" None
+    (Worker.steal w |> Option.map ignore)
+
+(* --- Dispatch policies --- *)
+
+let workers_with_loads sim loads =
+  (* Fabricate dispatcher-visible loads via assignment counters. *)
+  Array.mapi
+    (fun wid load ->
+      let w =
+        Worker.create sim ~wid ~rng:(Prng.create ~seed:2L)
+          ~policy:Worker.Fcfs ~overheads:Overheads.zero ~on_finish:ignore ()
+      in
+      for _ = 1 to load do
+        Worker.note_assigned w
+      done;
+      w)
+    loads
+
+let test_jsq_picks_min () =
+  let sim = Sim.create () in
+  let workers = workers_with_loads sim [| 3; 1; 2 |] in
+  let c = Dispatch_policy.make_chooser Dispatch_policy.Jsq_random ~rng:(Prng.create ~seed:3L) in
+  check Alcotest.int "least loaded" 1 (Dispatch_policy.choose c workers)
+
+let test_msq_tiebreak () =
+  let sim = Sim.create () in
+  let finished = ref [] in
+  (* Two equally loaded workers; the one whose current jobs have serviced
+     more quanta must win the tie. *)
+  let mk wid service =
+    let w =
+      Worker.create sim ~wid ~rng:(Prng.create ~seed:4L)
+        ~policy:(Worker.Ps { quantum_ns = 1_000; per_class_quantum = None })
+        ~overheads:Overheads.zero
+        ~on_finish:(fun j -> finished := j.Job.id :: !finished)
+        ()
+    in
+    Worker.note_assigned w;
+    Worker.enqueue w (job ~req_id:wid ~service_ns:service ());
+    w
+  in
+  let w0 = mk 0 100_000 and w1 = mk 1 100_000 in
+  (* Let w1 accumulate more serviced quanta by feeding it nothing extra
+     but running longer: both run the same; instead preload w1's job with
+     progress. *)
+  Sim.run ~until:5_500 sim;
+  (* Both have ~5 quanta; force asymmetry via a second partially-run job. *)
+  ignore w0;
+  Alcotest.(check bool) "both still busy" true
+    (Worker.unfinished w0 = 1 && Worker.unfinished w1 = 1);
+  (* Manually bump w1's progress to break the tie deterministically. *)
+  let extra = job ~req_id:99 ~service_ns:50_000 () in
+  Worker.note_assigned w1;
+  Worker.enqueue w1 extra;
+  Worker.note_assigned w0;
+  Worker.enqueue w0 (job ~req_id:98 ~service_ns:50_000 ());
+  Sim.run ~until:50_000 sim;
+  let c = Dispatch_policy.make_chooser Dispatch_policy.Jsq_msq ~rng:(Prng.create ~seed:5L) in
+  let q0 = Worker.current_quanta w0 and q1 = Worker.current_quanta w1 in
+  let expected = if q1 > q0 then 1 else 0 in
+  check Alcotest.int "picks max serviced quanta" expected
+    (Dispatch_policy.choose c [| w0; w1 |])
+
+let test_round_robin_cycles () =
+  let sim = Sim.create () in
+  let workers = workers_with_loads sim [| 0; 0; 0 |] in
+  let c = Dispatch_policy.make_chooser Dispatch_policy.Round_robin ~rng:(Prng.create ~seed:6L) in
+  let picks = List.init 6 (fun _ -> Dispatch_policy.choose c workers) in
+  check Alcotest.(list int) "cycles" [ 0; 1; 2; 0; 1; 2 ] picks
+
+let test_random_in_range () =
+  let sim = Sim.create () in
+  let workers = workers_with_loads sim [| 0; 0; 0; 0 |] in
+  let c = Dispatch_policy.make_chooser Dispatch_policy.Random ~rng:(Prng.create ~seed:7L) in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    let i = Dispatch_policy.choose c workers in
+    Alcotest.(check bool) "in range" true (i >= 0 && i < 4);
+    seen.(i) <- true
+  done;
+  Alcotest.(check bool) "all workers eventually chosen" true (Array.for_all Fun.id seen)
+
+let test_power_of_two_prefers_lighter () =
+  let sim = Sim.create () in
+  let workers = workers_with_loads sim [| 10; 0 |] in
+  let c = Dispatch_policy.make_chooser Dispatch_policy.Power_of_two ~rng:(Prng.create ~seed:8L) in
+  for _ = 1 to 50 do
+    check Alcotest.int "always the idle one of the pair" 1 (Dispatch_policy.choose c workers)
+  done
+
+(* --- Two-level system --- *)
+
+let run_system ~system ~workload ~rate_rps ~duration_ns =
+  Experiment.run ~seed:11L ~system ~workload ~rate_rps ~duration_ns ()
+
+let test_two_level_conservation () =
+  let r =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.exp1 ~rate_rps:2_000_000.0
+      ~duration_ns:(Time_unit.ms 20.0)
+  in
+  Alcotest.(check bool) "completions bounded by offered" true
+    (Metrics.total_completed r.metrics <= r.offered);
+  Alcotest.(check bool) "most post-warmup jobs completed" true
+    (float_of_int (Metrics.total_completed r.metrics) > 0.85 *. float_of_int r.offered)
+
+let test_two_level_low_load_latency () =
+  (* At 5% load the sojourn of an exp(1us) job should be close to its
+     service time: little queueing. *)
+  let r =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.exp1 ~rate_rps:800_000.0
+      ~duration_ns:(Time_unit.ms 20.0)
+  in
+  let p50 = Metrics.sojourn_percentile r.metrics ~class_idx:0 50.0 in
+  Alcotest.(check bool) "p50 sojourn ~ service" true (p50 < 2_500.0)
+
+let test_two_level_short_jobs_protected () =
+  (* Extreme bimodal at medium load: short jobs must not be stuck behind
+     500us long jobs (that's the whole point of tiny quanta). *)
+  let r =
+    run_system ~system:(Presets.tq ())
+      ~workload:Table1.extreme_bimodal_sim ~rate_rps:2_000_000.0
+      ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p999 = Metrics.sojourn_percentile r.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "short p99.9 sojourn %.0fns well under long service" p999)
+    true (p999 < 100_000.0)
+
+let test_two_level_fcfs_hol_blocking () =
+  (* Same workload under TQ-FCFS: short jobs suffer head-of-line blocking,
+     tail far above the preemptive case. *)
+  let ps =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let fcfs =
+    run_system ~system:(Presets.tq_fcfs ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p_ps = Metrics.sojourn_percentile ps.metrics ~class_idx:0 99.9 in
+  let p_fcfs = Metrics.sojourn_percentile fcfs.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fcfs tail (%.0f) >> ps tail (%.0f)" p_fcfs p_ps)
+    true
+    (p_fcfs > 3.0 *. p_ps)
+
+let test_two_level_jsq_beats_random () =
+  let jsq =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.rocksdb_scan_0_5
+      ~rate_rps:2_500_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let rand =
+    run_system ~system:(Presets.tq_rand ()) ~workload:Table1.rocksdb_scan_0_5
+      ~rate_rps:2_500_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p_jsq = Metrics.sojourn_percentile jsq.metrics ~class_idx:0 99.9 in
+  let p_rand = Metrics.sojourn_percentile rand.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "random (%.0f) worse than jsq (%.0f)" p_rand p_jsq)
+    true (p_rand > p_jsq)
+
+let test_dispatcher_busy_scales_with_jobs_not_quanta () =
+  let run quantum_ns =
+    run_system
+      ~system:(Presets.tq ~quantum_ns ())
+      ~workload:Table1.high_bimodal ~rate_rps:200_000.0
+      ~duration_ns:(Time_unit.ms 20.0)
+  in
+  let busy_small = (run 500).dispatcher_busy_ns in
+  let busy_large = (run 8_000).dispatcher_busy_ns in
+  (* TQ's dispatcher works per job: quantum size must not change load by
+     more than sampling noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dispatcher busy %d vs %d" busy_small busy_large)
+    true
+    (float_of_int (abs (busy_small - busy_large)) < 0.02 *. float_of_int (max busy_small busy_large + 1))
+
+(* --- Centralized (Shinjuku model) --- *)
+
+let test_centralized_ideal_ps_short_jobs () =
+  let r =
+    run_system
+      ~system:(Experiment.Centralized (Centralized.ideal_config ~quantum_ns:1_000 ~cores:16))
+      ~workload:Table1.extreme_bimodal_sim ~rate_rps:2_000_000.0
+      ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p999 = Metrics.sojourn_percentile r.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool) "ideal centralized PS protects short jobs" true (p999 < 50_000.0)
+
+let test_centralized_preemption_overhead_costs_throughput () =
+  let run preempt_ns =
+    let config =
+      { (Centralized.ideal_config ~quantum_ns:1_000 ~cores:16) with preempt_ns }
+    in
+    run_system ~system:(Experiment.Centralized config) ~workload:Table1.high_bimodal
+      ~rate_rps:280_000.0 ~duration_ns:(Time_unit.ms 30.0)
+  in
+  let ideal = run 0 and costly = run 1_000 in
+  let p_ideal = Metrics.sojourn_percentile ideal.metrics ~class_idx:0 99.9 in
+  let p_costly = Metrics.sojourn_percentile costly.metrics ~class_idx:0 99.9 in
+  (* 1us overhead per 1us quantum doubles effective work: at ~90% offered
+     load the costly system is saturated and its tail explodes. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overheads blow up tail: %.0f vs %.0f" p_costly p_ideal)
+    true
+    (p_costly > 10.0 *. p_ideal)
+
+let test_centralized_dispatcher_gap_grows_with_cores () =
+  (* 1ms jobs saturating all cores; sched op 200ns. At 3us quanta and 16
+     cores the dispatcher cannot keep up: effective quantum > 1.1x. *)
+  let gap cores quantum_ns =
+    let sim = Sim.create () in
+    let config = Centralized.shinjuku_config ~quantum_ns ~cores in
+    let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+    (* Keep every core busy: 2 jobs per core of 1ms each. *)
+    for i = 1 to 2 * cores do
+      Centralized.submit t
+        (request ~req_id:i ~service_ns:(Time_unit.ms 1.0) ~arrival_ns:0 ())
+    done;
+    Sim.run sim;
+    Centralized.mean_effective_quantum_ns t
+  in
+  let eff_16 = gap 16 3_000 and eff_8 = gap 8 3_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "16 cores overrun (%.0f), 8 cores ok (%.0f)" eff_16 eff_8)
+    true
+    (eff_16 > 1.1 *. 3_000.0 && eff_8 < 1.1 *. 3_000.0)
+
+let test_centralized_fcfs_mode () =
+  let sim = Sim.create () in
+  let config =
+    { (Centralized.ideal_config ~quantum_ns:0 ~cores:1) with quantum_ns = None }
+  in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+  Centralized.submit t (request ~req_id:1 ~service_ns:1_000 ~arrival_ns:0 ());
+  Centralized.submit t (request ~req_id:2 ~service_ns:1_000 ~arrival_ns:0 ());
+  Sim.run sim;
+  check Alcotest.int "both done" 2 (Metrics.total_completed metrics);
+  check (Alcotest.float 1.0) "second waited (fcfs)" 2_000.0
+    (Metrics.sojourn_percentile metrics ~class_idx:0 100.0)
+
+(* --- Caladan model --- *)
+
+let test_caladan_work_stealing_balances () =
+  (* Two long jobs typically landing anywhere via RSS: stealing must keep
+     makespan near one service time, not two. *)
+  let sim = Sim.create () in
+  let config = Caladan.default_config ~mode:Caladan.Directpath ~cores:2 in
+  let metrics = Metrics.create ~workload:Table1.high_bimodal ~warmup_ns:0 in
+  let t = Caladan.create sim ~rng:(Prng.create ~seed:3L) ~config ~metrics in
+  Caladan.submit t (request ~req_id:1 ~class_idx:1 ~service_ns:100_000 ~arrival_ns:0 ());
+  Caladan.submit t (request ~req_id:2 ~class_idx:1 ~service_ns:100_000 ~arrival_ns:0 ());
+  Sim.run sim;
+  let makespan = Metrics.sojourn_percentile metrics ~class_idx:1 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "makespan %.0f ~ one service time" makespan)
+    true (makespan < 150_000.0)
+
+let test_caladan_hol_blocking () =
+  (* Caladan (FCFS) must show far worse short-job tails than TQ on the
+     extreme bimodal workload — the paper's headline comparison. *)
+  let cal =
+    run_system
+      ~system:(Presets.caladan ~mode:Caladan.Directpath ())
+      ~workload:Table1.extreme_bimodal_sim ~rate_rps:2_000_000.0
+      ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let tq =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p_cal = Metrics.sojourn_percentile cal.metrics ~class_idx:0 99.9 in
+  let p_tq = Metrics.sojourn_percentile tq.metrics ~class_idx:0 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "caladan short tail %.0f >> tq %.0f" p_cal p_tq)
+    true
+    (p_cal > 5.0 *. p_tq)
+
+let test_caladan_long_jobs_favored () =
+  (* FCFS runs long jobs unpreempted: their latency at medium load should
+     beat TQ's PS (which shares the core). *)
+  let cal =
+    run_system
+      ~system:(Presets.caladan ~mode:Caladan.Directpath ())
+      ~workload:Table1.extreme_bimodal_sim ~rate_rps:2_000_000.0
+      ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let tq =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 40.0)
+  in
+  let p_cal = Metrics.sojourn_percentile cal.metrics ~class_idx:1 99.9 in
+  let p_tq = Metrics.sojourn_percentile tq.metrics ~class_idx:1 99.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "caladan long tail %.0f < tq %.0f" p_cal p_tq)
+    true (p_cal < p_tq)
+
+let test_caladan_iokernel_bottleneck () =
+  (* The IOKernel core saturates at ~1/iokernel_op_ns packets/sec. *)
+  let r =
+    run_system
+      ~system:(Presets.caladan ~mode:Caladan.Iokernel ())
+      ~workload:Table1.exp1 ~rate_rps:12_000_000.0 ~duration_ns:(Time_unit.ms 10.0)
+  in
+  (* 12 Mrps offered against ~8.3 Mrps IOKernel capacity: it cannot keep
+     up; sojourn tail explodes. *)
+  let p99 = Metrics.sojourn_percentile r.metrics ~class_idx:0 99.0 in
+  Alcotest.(check bool) "iokernel saturated" true (p99 > 100_000.0)
+
+(* --- Experiment helpers --- *)
+
+let test_throughput_at_low_load () =
+  let r =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.exp1 ~rate_rps:1_000_000.0
+      ~duration_ns:(Time_unit.ms 20.0)
+  in
+  let tput = Experiment.throughput_rps r in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.0f ~ offered rate" tput)
+    true
+    (Float.abs (tput -. 1_000_000.0) /. 1_000_000.0 < 0.1)
+
+let test_max_rate_under_slo () =
+  (* Fake runner: SLO satisfied only below 5.0. *)
+  let run_at rate =
+    let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+    if rate < 5.0 then
+      Metrics.record metrics ~class_idx:0 ~arrival_ns:0 ~finish_ns:10 ~service_ns:10
+    else Metrics.record metrics ~class_idx:0 ~arrival_ns:0 ~finish_ns:1000 ~service_ns:10;
+    { Experiment.metrics; offered = 1; duration_ns = 10; events = 0; dispatcher_busy_ns = 0 }
+  in
+  let ok (r : Experiment.result) =
+    Metrics.sojourn_percentile r.metrics ~class_idx:0 100.0 < 100.0
+  in
+  let best =
+    Experiment.max_rate_under_slo ~run_at ~rates:[ 1.0; 2.0; 4.0; 6.0; 8.0 ] ~ok
+  in
+  check (Alcotest.float 1e-9) "largest passing rate" 4.0 best
+
+let test_presets_shinjuku_quanta () =
+  check Alcotest.int "bimodal 5us" 5_000 (Presets.shinjuku_quantum_for "extreme-bimodal");
+  check Alcotest.int "tpcc 10us" 10_000 (Presets.shinjuku_quantum_for "tpcc");
+  check Alcotest.int "rocksdb 15us" 15_000
+    (Presets.shinjuku_quantum_for "rocksdb-0.5pct-scan")
+
+let suite =
+  [
+    Alcotest.test_case "job inflation" `Quick test_job_inflation;
+    Alcotest.test_case "worker ps interleaves" `Quick test_worker_ps_interleaves;
+    Alcotest.test_case "worker fcfs" `Quick test_worker_fcfs_runs_to_completion;
+    Alcotest.test_case "worker yield cost" `Quick test_worker_yield_cost;
+    Alcotest.test_case "worker finish cost" `Quick test_worker_finish_cost;
+    Alcotest.test_case "worker jitter bounds" `Quick test_worker_quantum_jitter_bounds;
+    Alcotest.test_case "worker per-class quantum" `Quick test_worker_per_class_quantum;
+    Alcotest.test_case "worker quanta counter" `Quick test_worker_serviced_quanta_counter;
+    Alcotest.test_case "worker steal" `Quick test_worker_steal;
+    Alcotest.test_case "jsq picks min" `Quick test_jsq_picks_min;
+    Alcotest.test_case "msq tiebreak" `Quick test_msq_tiebreak;
+    Alcotest.test_case "round robin" `Quick test_round_robin_cycles;
+    Alcotest.test_case "random in range" `Quick test_random_in_range;
+    Alcotest.test_case "power of two" `Quick test_power_of_two_prefers_lighter;
+    Alcotest.test_case "two-level conservation" `Quick test_two_level_conservation;
+    Alcotest.test_case "two-level low load" `Quick test_two_level_low_load_latency;
+    Alcotest.test_case "two-level protects short jobs" `Quick test_two_level_short_jobs_protected;
+    Alcotest.test_case "fcfs hol blocking" `Quick test_two_level_fcfs_hol_blocking;
+    Alcotest.test_case "jsq beats random" `Quick test_two_level_jsq_beats_random;
+    Alcotest.test_case "dispatcher load quantum-independent" `Quick
+      test_dispatcher_busy_scales_with_jobs_not_quanta;
+    Alcotest.test_case "centralized ideal ps" `Quick test_centralized_ideal_ps_short_jobs;
+    Alcotest.test_case "centralized preempt overhead" `Quick
+      test_centralized_preemption_overhead_costs_throughput;
+    Alcotest.test_case "centralized dispatcher gap" `Quick
+      test_centralized_dispatcher_gap_grows_with_cores;
+    Alcotest.test_case "centralized fcfs mode" `Quick test_centralized_fcfs_mode;
+    Alcotest.test_case "caladan stealing" `Quick test_caladan_work_stealing_balances;
+    Alcotest.test_case "caladan hol blocking" `Quick test_caladan_hol_blocking;
+    Alcotest.test_case "caladan favors long jobs" `Quick test_caladan_long_jobs_favored;
+    Alcotest.test_case "caladan iokernel bottleneck" `Quick test_caladan_iokernel_bottleneck;
+    Alcotest.test_case "throughput low load" `Quick test_throughput_at_low_load;
+    Alcotest.test_case "max rate under slo" `Quick test_max_rate_under_slo;
+    Alcotest.test_case "shinjuku quanta presets" `Quick test_presets_shinjuku_quanta;
+  ]
+
+(* --- determinism and multi-seed --- *)
+
+let test_experiment_deterministic () =
+  let run () =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_500_000.0 ~duration_ns:(Time_unit.ms 10.0)
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same completions" (Metrics.total_completed a.metrics)
+    (Metrics.total_completed b.metrics);
+  check (Alcotest.float 1e-9) "same tail"
+    (Metrics.sojourn_percentile a.metrics ~class_idx:0 99.9)
+    (Metrics.sojourn_percentile b.metrics ~class_idx:0 99.9);
+  check Alcotest.int "same event count" a.events b.events
+
+let test_run_seeds_aggregation () =
+  let results =
+    Experiment.run_seeds ~seeds:[ 1L; 2L; 3L ] ~system:(Presets.tq ())
+      ~workload:Table1.exp1 ~rate_rps:1_000_000.0 ~duration_ns:(Time_unit.ms 10.0) ()
+  in
+  check Alcotest.int "three runs" 3 (List.length results);
+  let mean = Experiment.mean_sojourn_percentile results ~class_idx:0 99.9 in
+  Alcotest.(check bool) "mean finite and sane" true (mean > 1_000.0 && mean < 100_000.0);
+  (* Different seeds: at least two runs differ. *)
+  let tails =
+    List.map
+      (fun (r : Experiment.result) -> Metrics.sojourn_percentile r.metrics ~class_idx:0 99.9)
+      results
+  in
+  Alcotest.(check bool) "seeds differ" true (List.length (List.sort_uniq compare tails) > 1)
+
+let determinism_suite =
+  [
+    Alcotest.test_case "experiment deterministic" `Quick test_experiment_deterministic;
+    Alcotest.test_case "run_seeds aggregation" `Quick test_run_seeds_aggregation;
+  ]
+
+let suite = suite @ determinism_suite

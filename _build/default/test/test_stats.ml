@@ -1,0 +1,238 @@
+(* Tests for tq_stats: exact percentiles, histograms, P2 estimator. *)
+
+module Sample_set = Tq_stats.Sample_set
+module Histogram = Tq_stats.Histogram
+module P2 = Tq_stats.P2_quantile
+module Prng = Tq_util.Prng
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Sample_set --- *)
+
+let test_percentile_known () =
+  let s = Sample_set.create () in
+  for i = 1 to 100 do
+    Sample_set.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p50" 50.0 (Sample_set.percentile s 50.0);
+  check (Alcotest.float 1e-9) "p99" 99.0 (Sample_set.percentile s 99.0);
+  check (Alcotest.float 1e-9) "p100 = max" 100.0 (Sample_set.percentile s 100.0);
+  check (Alcotest.float 1e-9) "p1" 1.0 (Sample_set.percentile s 1.0)
+
+let test_percentile_unsorted_input () =
+  let s = Sample_set.create () in
+  List.iter (Sample_set.add s) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  check (Alcotest.float 1e-9) "median of 5" 3.0 (Sample_set.percentile s 50.0)
+
+let test_empty_stats () =
+  let s = Sample_set.create () in
+  Alcotest.(check bool) "nan percentile" true (Float.is_nan (Sample_set.percentile s 50.0));
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Sample_set.mean s));
+  check Alcotest.int "count" 0 (Sample_set.count s)
+
+let test_percentile_bounds () =
+  let s = Sample_set.create () in
+  Sample_set.add s 1.0;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Sample_set.percentile: p out of range") (fun () ->
+      ignore (Sample_set.percentile s 101.0))
+
+let test_mean_std () =
+  let s = Sample_set.create () in
+  List.iter (Sample_set.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check (Alcotest.float 1e-9) "mean" 5.0 (Sample_set.mean s);
+  check (Alcotest.float 1e-6) "sample std" (sqrt (32.0 /. 7.0)) (Sample_set.std_dev s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Sample_set.max_value s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Sample_set.min_value s)
+
+let test_percentile_monotone =
+  qtest "percentiles are monotone in p"
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Sample_set.create () in
+      List.iter (Sample_set.add s) xs;
+      let ps = [ 1.0; 25.0; 50.0; 90.0; 99.0; 100.0 ] in
+      let vs = Sample_set.percentiles s ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+(* --- Histogram --- *)
+
+let test_histogram_exact_small () =
+  (* Values below sub_buckets are recorded exactly. *)
+  let h = Histogram.create ~sub_buckets:32 ~max_value:1000 () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "p50 exact" 3 (Histogram.percentile h 50.0);
+  check Alcotest.int "p100 exact" 5 (Histogram.percentile h 100.0);
+  check Alcotest.int "count" 5 (Histogram.count h)
+
+let test_histogram_relative_error =
+  qtest "histogram percentile relative error bounded"
+    QCheck.(list_of_size (Gen.int_range 10 200) (int_range 1 1_000_000))
+    (fun xs ->
+      let h = Histogram.create ~sub_buckets:32 ~max_value:1_000_000 () in
+      let s = Sample_set.create () in
+      List.iter
+        (fun x ->
+          Histogram.record h x;
+          Sample_set.add s (float_of_int x))
+        xs;
+      List.for_all
+        (fun p ->
+          let exact = Sample_set.percentile s p in
+          let approx = float_of_int (Histogram.percentile h p) in
+          Float.abs (approx -. exact) <= (exact /. 16.0) +. 1.0)
+        [ 50.0; 90.0; 99.0 ])
+
+let test_histogram_clamps () =
+  let h = Histogram.create ~max_value:100 () in
+  Histogram.record h 1_000_000;
+  check Alcotest.int "clamped to max" 100 (Histogram.max_recorded h)
+
+let test_histogram_fraction_above () =
+  let h = Histogram.create ~sub_buckets:32 ~max_value:1000 () in
+  for v = 1 to 10 do
+    Histogram.record h v
+  done;
+  check (Alcotest.float 1e-9) "above 5" 0.5 (Histogram.fraction_above h 5);
+  check (Alcotest.float 1e-9) "above 1000" 0.0 (Histogram.fraction_above h 1000)
+
+let test_histogram_iter_buckets () =
+  let h = Histogram.create ~sub_buckets:32 ~max_value:1000 () in
+  Histogram.record_n h 7 ~count:5;
+  let total = ref 0 in
+  Histogram.iter_buckets h (fun ~lo ~hi ~count ->
+      Alcotest.(check bool) "range covers value" true (lo <= 7 && 7 < hi);
+      total := !total + count);
+  check Alcotest.int "counts" 5 !total
+
+let test_histogram_mean () =
+  let h = Histogram.create ~sub_buckets:32 ~max_value:1000 () in
+  List.iter (Histogram.record h) [ 10; 20; 30 ];
+  check (Alcotest.float 0.5) "mean" 20.0 (Histogram.mean h)
+
+(* --- P2_quantile --- *)
+
+let test_p2_small_stream_exact () =
+  let p2 = P2.create ~q:0.5 in
+  List.iter (P2.add p2) [ 3.0; 1.0; 2.0 ];
+  check (Alcotest.float 1e-9) "exact median under 5 samples" 2.0 (P2.estimate p2)
+
+let test_p2_vs_exact_uniform () =
+  let rng = Prng.create ~seed:123L in
+  let p2 = P2.create ~q:0.9 in
+  let s = Sample_set.create () in
+  for _ = 1 to 50_000 do
+    let x = Prng.float rng 100.0 in
+    P2.add p2 x;
+    Sample_set.add s x
+  done;
+  let exact = Sample_set.percentile s 90.0 in
+  Alcotest.(check bool) "p90 within 2%" true (Float.abs (P2.estimate p2 -. exact) < 2.0)
+
+let test_p2_vs_exact_exponential () =
+  let rng = Prng.create ~seed:77L in
+  let p2 = P2.create ~q:0.99 in
+  let s = Sample_set.create () in
+  for _ = 1 to 100_000 do
+    let x = Prng.exponential rng ~mean:10.0 in
+    P2.add p2 x;
+    Sample_set.add s x
+  done;
+  let exact = Sample_set.percentile s 99.0 in
+  let got = P2.estimate p2 in
+  Alcotest.(check bool) "p99 within 10% relative" true
+    (Float.abs (got -. exact) /. exact < 0.1)
+
+let test_p2_invalid_q () =
+  Alcotest.check_raises "q=0" (Invalid_argument "P2_quantile.create: q must be in (0, 1)")
+    (fun () -> ignore (P2.create ~q:0.0))
+
+let suite =
+  [
+    Alcotest.test_case "percentile known" `Quick test_percentile_known;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "empty stats" `Quick test_empty_stats;
+    Alcotest.test_case "percentile bounds" `Quick test_percentile_bounds;
+    Alcotest.test_case "mean/std" `Quick test_mean_std;
+    test_percentile_monotone;
+    Alcotest.test_case "histogram exact small" `Quick test_histogram_exact_small;
+    test_histogram_relative_error;
+    Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+    Alcotest.test_case "histogram fraction_above" `Quick test_histogram_fraction_above;
+    Alcotest.test_case "histogram iter buckets" `Quick test_histogram_iter_buckets;
+    Alcotest.test_case "histogram mean" `Quick test_histogram_mean;
+    Alcotest.test_case "p2 small exact" `Quick test_p2_small_stream_exact;
+    Alcotest.test_case "p2 uniform p90" `Quick test_p2_vs_exact_uniform;
+    Alcotest.test_case "p2 exponential p99" `Quick test_p2_vs_exact_exponential;
+    Alcotest.test_case "p2 invalid q" `Quick test_p2_invalid_q;
+  ]
+
+(* --- Welford --- *)
+
+module Welford = Tq_stats.Welford
+
+let test_welford_basic () =
+  let w = Welford.create () in
+  List.iter (Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check Alcotest.int "count" 8 (Welford.count w);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Welford.mean w);
+  check (Alcotest.float 1e-9) "variance" (32.0 /. 7.0) (Welford.variance w);
+  check (Alcotest.float 1e-9) "min" 2.0 (Welford.min_value w);
+  check (Alcotest.float 1e-9) "max" 9.0 (Welford.max_value w)
+
+let test_welford_empty () =
+  let w = Welford.create () in
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Welford.mean w));
+  Welford.add w 1.0;
+  Alcotest.(check bool) "nan variance below 2" true (Float.is_nan (Welford.variance w))
+
+let test_welford_matches_sample_set =
+  qtest ~count:100 "welford matches exact moments"
+    QCheck.(list_of_size (Gen.int_range 2 100) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let w = Welford.create () in
+      let s = Sample_set.create () in
+      List.iter
+        (fun x ->
+          Welford.add w x;
+          Sample_set.add s x)
+        xs;
+      Float.abs (Welford.mean w -. Sample_set.mean s) < 1e-6
+      && Float.abs (Welford.std_dev w -. Sample_set.std_dev s) < 1e-6)
+
+let test_welford_merge =
+  qtest ~count:100 "welford merge equals single stream"
+    QCheck.(pair (list (float_bound_exclusive 100.0)) (list (float_bound_exclusive 100.0)))
+    (fun (xs, ys) ->
+      let a = Welford.create () and b = Welford.create () and whole = Welford.create () in
+      List.iter
+        (fun x ->
+          Welford.add a x;
+          Welford.add whole x)
+        xs;
+      List.iter
+        (fun y ->
+          Welford.add b y;
+          Welford.add whole y)
+        ys;
+      let merged = Welford.merge a b in
+      Welford.count merged = Welford.count whole
+      && (Welford.count merged = 0
+         || Float.abs (Welford.mean merged -. Welford.mean whole) < 1e-6)
+      && (Welford.count merged < 2
+         || Float.abs (Welford.variance merged -. Welford.variance whole) < 1e-6))
+
+let welford_suite =
+  [
+    Alcotest.test_case "welford basic" `Quick test_welford_basic;
+    Alcotest.test_case "welford empty" `Quick test_welford_empty;
+    test_welford_matches_sample_set;
+    test_welford_merge;
+  ]
+
+let suite = suite @ welford_suite

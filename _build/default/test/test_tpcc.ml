@@ -1,0 +1,373 @@
+(* Tests for tq_tpcc: schema integrity and transaction invariants. *)
+
+open Tq_tpcc
+module Prng = Tq_util.Prng
+
+let check = Alcotest.check
+let fresh_db () = Schema.create ~seed:9L ()
+
+let test_initial_load () =
+  let db = fresh_db () in
+  let sc = Schema.scale db in
+  check Alcotest.int "warehouses" 2 sc.warehouses;
+  let w = Schema.warehouse db ~w:0 in
+  check Alcotest.int "ytd starts 0" 0 w.w_ytd;
+  let d = Schema.district db ~w:1 ~d:9 in
+  check Alcotest.int "next order id" 1 d.d_next_o_id;
+  let s = Schema.stock db ~w:0 ~i:0 in
+  Alcotest.(check bool) "stock in range" true (s.s_quantity >= 10 && s.s_quantity <= 100);
+  let i = Schema.item db ~i:500 in
+  Alcotest.(check bool) "price in range" true (i.i_price >= 100 && i.i_price <= 10_000)
+
+let test_bad_ids_rejected () =
+  let db = fresh_db () in
+  Alcotest.check_raises "bad warehouse" Not_found (fun () ->
+      ignore (Schema.warehouse db ~w:99));
+  Alcotest.check_raises "bad customer" Not_found (fun () ->
+      ignore (Schema.customer db ~w:0 ~d:0 ~c:1000))
+
+let test_new_order_effects () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:1L in
+  match Transactions.new_order db rng ~now_ns:42 with
+  | Transactions.Ordered { o_id; total } ->
+      check Alcotest.int "first order id" 1 o_id;
+      Alcotest.(check bool) "positive total" true (total > 0);
+      (* Exactly one district advanced its counter and queued the order. *)
+      let advanced = ref 0 and queued = ref 0 in
+      for w = 0 to 1 do
+        for d = 0 to 9 do
+          if (Schema.district db ~w ~d).d_next_o_id = 2 then incr advanced;
+          queued := !queued + Schema.new_order_depth db ~w ~d
+        done
+      done;
+      check Alcotest.int "one district advanced" 1 !advanced;
+      check Alcotest.int "one new-order entry" 1 !queued
+  | _ -> Alcotest.fail "expected Ordered"
+
+let test_new_order_lines_match_total () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:2L in
+  match Transactions.new_order db rng ~now_ns:0 with
+  | Transactions.Ordered { o_id; total } ->
+      (* Find the order and re-sum its lines. *)
+      let found = ref false in
+      for w = 0 to 1 do
+        for d = 0 to 9 do
+          match Schema.order db ~w ~d ~o:o_id with
+          | Some order when not !found ->
+              found := true;
+              let sum = ref 0 in
+              for ol = 0 to order.o_ol_cnt - 1 do
+                match Schema.order_line db ~w ~d ~o:o_id ~ol with
+                | Some line ->
+                    Alcotest.(check bool) "undelivered" false line.ol_delivered;
+                    sum := !sum + line.ol_amount
+                | None -> Alcotest.fail "missing order line"
+              done;
+              check Alcotest.int "lines sum to total" total !sum
+          | _ -> ()
+        done
+      done;
+      Alcotest.(check bool) "order found" true !found
+  | _ -> Alcotest.fail "expected Ordered"
+
+let test_payment_conservation () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:3L in
+  let paid = ref 0 in
+  for _ = 1 to 200 do
+    match Transactions.payment db rng with
+    | Transactions.Paid { amount } -> paid := !paid + amount
+    | _ -> Alcotest.fail "expected Paid"
+  done;
+  let warehouse_ytd = (Schema.warehouse db ~w:0).w_ytd + (Schema.warehouse db ~w:1).w_ytd in
+  check Alcotest.int "warehouse ytd = sum payments" !paid warehouse_ytd;
+  let district_ytd = ref 0 in
+  for w = 0 to 1 do
+    for d = 0 to 9 do
+      district_ytd := !district_ytd + (Schema.district db ~w ~d).d_ytd
+    done
+  done;
+  check Alcotest.int "district ytd = sum payments" !paid !district_ytd
+
+let test_delivery_drains_queue () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:4L in
+  for _ = 1 to 50 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  let pending w =
+    let total = ref 0 in
+    for d = 0 to 9 do
+      total := !total + Schema.new_order_depth db ~w ~d
+    done;
+    !total
+  in
+  let before = pending 0 + pending 1 in
+  check Alcotest.int "fifty pending" 50 before;
+  match Transactions.delivery db rng with
+  | Transactions.Delivered { orders } ->
+      Alcotest.(check bool) "delivered some" true (orders > 0);
+      check Alcotest.int "queue drained by that many" (before - orders) (pending 0 + pending 1)
+  | _ -> Alcotest.fail "expected Delivered"
+
+let test_delivery_credits_customer () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:5L in
+  (* Total customer balance starts at 0; new orders do not change it,
+     deliveries credit line totals. *)
+  for _ = 1 to 30 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  let total_balance () =
+    let acc = ref 0 in
+    for w = 0 to 1 do
+      for d = 0 to 9 do
+        for c = 0 to 99 do
+          acc := !acc + (Schema.customer db ~w ~d ~c).c_balance
+        done
+      done
+    done;
+    !acc
+  in
+  check Alcotest.int "balance zero before delivery" 0 (total_balance ());
+  (match Transactions.delivery db rng with
+  | Transactions.Delivered { orders } -> Alcotest.(check bool) "delivered" true (orders > 0)
+  | _ -> Alcotest.fail "expected Delivered");
+  Alcotest.(check bool) "balances credited" true (total_balance () > 0)
+
+let test_order_status_after_delivery () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:6L in
+  for _ = 1 to 100 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  (* Every order is undelivered at this point. *)
+  (match Transactions.order_status db rng with
+  | Transactions.Status { last_order = Some _; undelivered_lines } ->
+      Alcotest.(check bool) "some undelivered lines" true (undelivered_lines > 0)
+  | Transactions.Status { last_order = None; _ } -> () (* customer without orders *)
+  | _ -> Alcotest.fail "expected Status");
+  (* Deliver everything, then every status query reports zero. *)
+  for _ = 1 to 200 do
+    ignore (Transactions.delivery db rng)
+  done;
+  for _ = 1 to 20 do
+    match Transactions.order_status db rng with
+    | Transactions.Status { undelivered_lines; _ } ->
+        check Alcotest.int "no undelivered lines" 0 undelivered_lines
+    | _ -> Alcotest.fail "expected Status"
+  done
+
+let test_stock_level_counts () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:7L in
+  for _ = 1 to 50 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  match Transactions.stock_level db rng with
+  | Transactions.Stock_low { count } -> Alcotest.(check bool) "count sane" true (count >= 0)
+  | _ -> Alcotest.fail "expected Stock_low"
+
+let test_stock_never_negative () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:8L in
+  for _ = 1 to 500 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  let sc = Schema.scale db in
+  for w = 0 to sc.warehouses - 1 do
+    for i = 0 to sc.items - 1 do
+      Alcotest.(check bool) "stock >= 0" true ((Schema.stock db ~w ~i).s_quantity >= 0)
+    done
+  done
+
+let test_mix_ratios () =
+  let rng = Prng.create ~seed:10L in
+  let counts = Hashtbl.create 5 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Transactions.sample_kind rng in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let frac k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float_of_int n in
+  Alcotest.(check bool) "payment ~44%" true (Float.abs (frac Transactions.Payment -. 0.44) < 0.01);
+  Alcotest.(check bool) "new order ~44%" true
+    (Float.abs (frac Transactions.New_order -. 0.44) < 0.01);
+  Alcotest.(check bool) "delivery ~4%" true
+    (Float.abs (frac Transactions.Delivery -. 0.04) < 0.005)
+
+let test_service_times_match_table1 () =
+  check Alcotest.int "payment" 5_700 (Transactions.service_time_ns Transactions.Payment);
+  check Alcotest.int "order status" 6_000
+    (Transactions.service_time_ns Transactions.Order_status);
+  check Alcotest.int "new order" 20_000 (Transactions.service_time_ns Transactions.New_order);
+  check Alcotest.int "delivery" 88_000 (Transactions.service_time_ns Transactions.Delivery);
+  check Alcotest.int "stock level" 100_000
+    (Transactions.service_time_ns Transactions.Stock_level)
+
+let test_run_dispatch () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:11L in
+  (match Transactions.run db rng Transactions.Payment ~now_ns:0 with
+  | Transactions.Paid _ -> ()
+  | _ -> Alcotest.fail "dispatch payment");
+  match Transactions.run db rng Transactions.New_order ~now_ns:0 with
+  | Transactions.Ordered _ -> ()
+  | _ -> Alcotest.fail "dispatch new order"
+
+let suite =
+  [
+    Alcotest.test_case "initial load" `Quick test_initial_load;
+    Alcotest.test_case "bad ids" `Quick test_bad_ids_rejected;
+    Alcotest.test_case "new order effects" `Quick test_new_order_effects;
+    Alcotest.test_case "order lines total" `Quick test_new_order_lines_match_total;
+    Alcotest.test_case "payment conservation" `Quick test_payment_conservation;
+    Alcotest.test_case "delivery drains queue" `Quick test_delivery_drains_queue;
+    Alcotest.test_case "delivery credits customer" `Quick test_delivery_credits_customer;
+    Alcotest.test_case "order status" `Quick test_order_status_after_delivery;
+    Alcotest.test_case "stock level" `Quick test_stock_level_counts;
+    Alcotest.test_case "stock never negative" `Quick test_stock_never_negative;
+    Alcotest.test_case "mix ratios" `Quick test_mix_ratios;
+    Alcotest.test_case "service times" `Quick test_service_times_match_table1;
+    Alcotest.test_case "run dispatch" `Quick test_run_dispatch;
+  ]
+
+(* --- Consistency checker --- *)
+
+let test_consistency_clean_db () =
+  let db = fresh_db () in
+  check Alcotest.(list string) "fresh db consistent" [] (Consistency.check db)
+
+let test_consistency_after_mixed_load () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:31L in
+  for _ = 1 to 2_000 do
+    let kind = Transactions.sample_kind rng in
+    ignore (Transactions.run db rng kind ~now_ns:0)
+  done;
+  check Alcotest.(list string) "consistent after 2000 transactions" []
+    (Consistency.check db);
+  Consistency.check_exn db
+
+let test_consistency_detects_corruption () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:32L in
+  for _ = 1 to 50 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  (* Corrupt: bump a warehouse YTD without touching districts. *)
+  let w0 = Schema.warehouse db ~w:0 in
+  w0.w_ytd <- w0.w_ytd + 1;
+  Alcotest.(check bool) "violation reported" true (Consistency.check db <> []);
+  Alcotest.(check bool) "check_exn raises" true
+    (try
+       Consistency.check_exn db;
+       false
+     with Failure _ -> true)
+
+let consistency_suite =
+  [
+    Alcotest.test_case "consistency clean" `Quick test_consistency_clean_db;
+    Alcotest.test_case "consistency after load" `Quick test_consistency_after_mixed_load;
+    Alcotest.test_case "consistency detects corruption" `Quick
+      test_consistency_detects_corruption;
+  ]
+
+let suite = suite @ consistency_suite
+
+(* --- NURand and last-name selection --- *)
+
+let test_nurand_bounds () =
+  let rng = Prng.create ~seed:41L in
+  for _ = 1 to 10_000 do
+    let v = Nurand.nurand rng ~a:255 ~x:10 ~y:20 ~c:7 in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_nurand_skewed () =
+  (* NURand concentrates mass: the most popular value should be drawn
+     noticeably more often than uniform. *)
+  let rng = Prng.create ~seed:43L in
+  let n = 100 in
+  let counts = Array.make n 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let v = Nurand.nurand rng ~a:1023 ~x:0 ~y:(n - 1) ~c:259 mod n in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let max_count = Array.fold_left max 0 counts in
+  let uniform = draws / n in
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest %d vs uniform %d" max_count uniform)
+    true
+    (max_count > 2 * uniform)
+
+let test_last_name_syllables () =
+  check Alcotest.string "0" "BARBARBAR" (Nurand.last_name 0);
+  check Alcotest.string "371" "PRICALLYOUGHT" (Nurand.last_name 371);
+  check Alcotest.string "999" "EINGEINGEING" (Nurand.last_name 999);
+  Alcotest.check_raises "range" (Invalid_argument "Nurand.last_name: n in [0, 999]")
+    (fun () -> ignore (Nurand.last_name 1000))
+
+let test_customers_by_last_name () =
+  let db = fresh_db () in
+  (* Customer c carries last_name (c mod 1000); with 100 customers every
+     name below 100 maps to exactly one id. *)
+  let name = Nurand.last_name 42 in
+  check Alcotest.(list int) "index finds the row" [ 42 ]
+    (Schema.customers_by_last_name db ~w:0 ~d:0 name);
+  check Alcotest.(list int) "missing name" []
+    (Schema.customers_by_last_name db ~w:1 ~d:3 (Nurand.last_name 500))
+
+let test_payment_by_name_touches_named_customer () =
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:47L in
+  (* Run many payments; customers selected by name must exist, so total
+     payment counts equal the number of transactions. *)
+  let n = 500 in
+  for _ = 1 to n do
+    match Transactions.payment db rng with
+    | Transactions.Paid _ -> ()
+    | _ -> Alcotest.fail "expected Paid"
+  done;
+  let total_payments = ref 0 in
+  for w = 0 to 1 do
+    for d = 0 to 9 do
+      for c = 0 to 99 do
+        total_payments := !total_payments + (Schema.customer db ~w ~d ~c).c_payment_cnt
+      done
+    done
+  done;
+  check Alcotest.int "every payment landed on a real customer" n !total_payments
+
+let test_item_popularity_skewed () =
+  (* NURand item selection concentrates orders on hot items. *)
+  let db = fresh_db () in
+  let rng = Prng.create ~seed:49L in
+  for _ = 1 to 400 do
+    ignore (Transactions.new_order db rng ~now_ns:0)
+  done;
+  let sc = Schema.scale db in
+  let counts = Array.init sc.items (fun i -> (Schema.stock db ~w:0 ~i).s_order_cnt) in
+  Array.sort compare counts;
+  let hottest = counts.(sc.items - 1) in
+  let total = Array.fold_left ( + ) 0 counts in
+  let uniform = float_of_int total /. float_of_int sc.items in
+  Alcotest.(check bool)
+    (Printf.sprintf "hottest item %d vs uniform %.1f" hottest uniform)
+    true
+    (float_of_int hottest > 3.0 *. uniform)
+
+let nurand_suite =
+  [
+    Alcotest.test_case "nurand bounds" `Quick test_nurand_bounds;
+    Alcotest.test_case "nurand skewed" `Quick test_nurand_skewed;
+    Alcotest.test_case "last name syllables" `Quick test_last_name_syllables;
+    Alcotest.test_case "customers by last name" `Quick test_customers_by_last_name;
+    Alcotest.test_case "payment by name" `Quick test_payment_by_name_touches_named_customer;
+    Alcotest.test_case "item popularity skewed" `Quick test_item_popularity_skewed;
+  ]
+
+let suite = suite @ nurand_suite

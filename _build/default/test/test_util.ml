@@ -1,0 +1,436 @@
+(* Tests for tq_util: PRNG, heap, vectors, Fenwick tree, deque, tables. *)
+
+module Prng = Tq_util.Prng
+module Heap = Tq_util.Binary_heap
+module Fvec = Tq_util.Fvec
+module Ivec = Tq_util.Ivec
+module Fenwick = Tq_util.Fenwick
+module Deque = Tq_util.Ring_deque
+module Text_table = Tq_util.Text_table
+module Time_unit = Tq_util.Time_unit
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7L and b = Prng.create ~seed:7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7L in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_differs () =
+  let a = Prng.create ~seed:7L in
+  let b = Prng.split a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  Alcotest.(check bool) "split stream differs" true (xa <> xb)
+
+let test_prng_int_bounds () =
+  let r = Prng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int r 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let r = Prng.create ~seed:1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_prng_uniformity () =
+  let r = Prng.create ~seed:3L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Prng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "bucket within 10% of uniform" true
+        (f > 0.09 && f < 0.11))
+    buckets
+
+let test_prng_exponential_mean () =
+  let r = Prng.create ~seed:5L in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential r ~mean:42.0
+  done;
+  let m = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 42" true (Float.abs (m -. 42.0) < 1.0)
+
+let test_prng_float_range () =
+  let r = Prng.create ~seed:9L in
+  for _ = 1 to 10_000 do
+    let v = Prng.float r 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_bernoulli () =
+  let r = Prng.create ~seed:11L in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli r ~p:0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p close to 0.3" true (Float.abs (f -. 0.3) < 0.01)
+
+let test_prng_choose_weighted () =
+  let r = Prng.create ~seed:13L in
+  let counts = Array.make 3 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Prng.choose_weighted r [| 0.7; 0.0; 0.3 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check Alcotest.int "zero-weight class never chosen" 0 counts.(1);
+  let f0 = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check bool) "ratio respected" true (Float.abs (f0 -. 0.7) < 0.01)
+
+let test_prng_shuffle_permutation () =
+  let r = Prng.create ~seed:17L in
+  let arr = Array.init 100 (fun i -> i) in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_prng_gaussian_moments () =
+  let r = Prng.create ~seed:19L in
+  let n = 200_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian r in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.01);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.02)
+
+(* --- Binary_heap --- *)
+
+let test_heap_sorts =
+  qtest "heap pops in sorted order"
+    QCheck.(list int)
+    (fun keys ->
+      let h = Heap.create ~dummy:0 () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let out = ref [] in
+      while not (Heap.is_empty h) do
+        let k, _ = Heap.pop h in
+        out := k :: !out
+      done;
+      List.rev !out = List.sort compare keys)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create ~dummy:"" () in
+  Heap.push h ~key:5 "first";
+  Heap.push h ~key:5 "second";
+  Heap.push h ~key:5 "third";
+  check Alcotest.string "fifo 1" "first" (snd (Heap.pop h));
+  check Alcotest.string "fifo 2" "second" (snd (Heap.pop h));
+  check Alcotest.string "fifo 3" "third" (snd (Heap.pop h))
+
+let test_heap_min_key () =
+  let h = Heap.create ~dummy:0 () in
+  check Alcotest.(option int) "empty" None (Heap.min_key h);
+  Heap.push h ~key:9 0;
+  Heap.push h ~key:2 0;
+  check Alcotest.(option int) "min" (Some 2) (Heap.min_key h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~dummy:0 () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Binary_heap.pop: empty heap")
+    (fun () -> ignore (Heap.pop h))
+
+let test_heap_interleaved =
+  qtest "heap interleaved push/pop matches reference"
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Heap.create ~dummy:0 () in
+      let reference = ref [] in
+      List.for_all
+        (fun (is_push, k) ->
+          if is_push then begin
+            Heap.push h ~key:k k;
+            reference := List.sort compare (k :: !reference);
+            true
+          end
+          else
+            match !reference with
+            | [] -> Heap.is_empty h
+            | smallest :: rest ->
+                let k', _ = Heap.pop h in
+                reference := rest;
+                k' = smallest)
+        ops)
+
+(* --- Fvec / Ivec --- *)
+
+let test_fvec_basic () =
+  let v = Fvec.create () in
+  for i = 1 to 100 do
+    Fvec.push v (float_of_int i)
+  done;
+  check Alcotest.int "length" 100 (Fvec.length v);
+  check (Alcotest.float 1e-9) "get" 7.0 (Fvec.get v 6);
+  check (Alcotest.float 1e-9) "mean" 50.5 (Fvec.mean v);
+  Fvec.set v 0 1000.0;
+  check (Alcotest.float 1e-9) "set" 1000.0 (Fvec.get v 0);
+  Fvec.clear v;
+  check Alcotest.int "cleared" 0 (Fvec.length v)
+
+let test_fvec_bounds () =
+  let v = Fvec.create () in
+  Fvec.push v 1.0;
+  Alcotest.check_raises "oob" (Invalid_argument "Fvec: index out of bounds") (fun () ->
+      ignore (Fvec.get v 1))
+
+let test_fvec_sorted () =
+  let v = Fvec.create () in
+  List.iter (Fvec.push v) [ 3.0; 1.0; 2.0 ];
+  check Alcotest.(array (float 1e-9)) "sorted" [| 1.0; 2.0; 3.0 |] (Fvec.sorted_copy v);
+  check Alcotest.(array (float 1e-9)) "original order kept" [| 3.0; 1.0; 2.0 |]
+    (Fvec.to_array v)
+
+let test_ivec_basic () =
+  let v = Ivec.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Ivec.push v (999 - i)
+  done;
+  check Alcotest.int "length" 1000 (Ivec.length v);
+  check Alcotest.int "get" 999 (Ivec.get v 0);
+  let sorted = Ivec.sorted_copy v in
+  check Alcotest.int "sorted min" 0 sorted.(0);
+  check Alcotest.int "fold sum" (999 * 1000 / 2) (Ivec.fold ( + ) 0 v)
+
+(* --- Fenwick --- *)
+
+let test_fenwick_vs_naive =
+  qtest "fenwick prefix sums match naive"
+    QCheck.(pair (int_bound 50) (list (pair (int_bound 49) (int_bound 10))))
+    (fun (n, updates) ->
+      let n = max n 1 in
+      let f = Fenwick.create n in
+      let naive = Array.make n 0 in
+      List.iter
+        (fun (i, d) ->
+          let i = i mod n in
+          Fenwick.add f i d;
+          naive.(i) <- naive.(i) + d)
+        updates;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expected = Array.fold_left ( + ) 0 (Array.sub naive 0 (i + 1)) in
+        if Fenwick.prefix_sum f i <> expected then ok := false
+      done;
+      !ok)
+
+let test_fenwick_range () =
+  let f = Fenwick.create 10 in
+  for i = 0 to 9 do
+    Fenwick.add f i (i + 1)
+  done;
+  check Alcotest.int "range [2,4]" (3 + 4 + 5) (Fenwick.range_sum f ~lo:2 ~hi:4);
+  check Alcotest.int "empty range" 0 (Fenwick.range_sum f ~lo:4 ~hi:2);
+  check Alcotest.int "total" 55 (Fenwick.total f)
+
+(* --- Ring_deque --- *)
+
+let test_deque_model =
+  qtest "deque behaves like a list model"
+    QCheck.(list (int_bound 3))
+    (fun ops ->
+      let d = Deque.create ~capacity:1 () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              Deque.push_back d 1;
+              model := !model @ [ 1 ];
+              true
+          | 1 ->
+              Deque.push_front d 2;
+              model := 2 :: !model;
+              true
+          | 2 -> (
+              match (Deque.pop_front d, !model) with
+              | None, [] -> true
+              | Some x, y :: rest ->
+                  model := rest;
+                  x = y
+              | _ -> false)
+          | _ -> (
+              match (Deque.pop_back d, List.rev !model) with
+              | None, [] -> true
+              | Some x, y :: rest ->
+                  model := List.rev rest;
+                  x = y
+              | _ -> false))
+        ops
+      && Deque.to_list d = !model)
+
+let test_deque_wraparound () =
+  let d = Deque.create ~capacity:4 () in
+  for i = 1 to 3 do
+    Deque.push_back d i
+  done;
+  check Alcotest.(option int) "pop 1" (Some 1) (Deque.pop_front d);
+  check Alcotest.(option int) "pop 2" (Some 2) (Deque.pop_front d);
+  for i = 4 to 8 do
+    Deque.push_back d i
+  done;
+  check Alcotest.int "length" 6 (Deque.length d);
+  check Alcotest.(list int) "order preserved" [ 3; 4; 5; 6; 7; 8 ] (Deque.to_list d)
+
+let test_deque_get () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 10; 20; 30 ];
+  check Alcotest.int "get 1" 20 (Deque.get d 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Ring_deque.get: index out of bounds")
+    (fun () -> ignore (Deque.get d 3))
+
+(* --- Text_table --- *)
+
+let test_table_render () =
+  let t = Text_table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Text_table.add_row t [ "1"; "2" ];
+  Text_table.add_row t [ "333"; "4" ];
+  let s = Text_table.render t in
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0 && String.sub s 0 6 = "== T =");
+  let index_of sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "rows in insertion order" true
+    (index_of "333" > index_of "1 " && index_of "333" >= 0)
+
+let test_table_arity () =
+  let t = Text_table.create ~title:"T" ~columns:[ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Text_table.add_row: arity mismatch")
+    (fun () -> Text_table.add_row t [ "1"; "2" ])
+
+let test_cell_formats () =
+  check Alcotest.string "int commas" "1,234,567" (Text_table.cell_i 1234567);
+  check Alcotest.string "small float" "1.500" (Text_table.cell_f 1.5);
+  check Alcotest.string "nan" "-" (Text_table.cell_f nan)
+
+(* --- Time_unit --- *)
+
+let test_time_conversions () =
+  check Alcotest.int "2.5us" 2500 (Time_unit.us 2.5);
+  check Alcotest.int "1ms" 1_000_000 (Time_unit.ms 1.0);
+  check (Alcotest.float 1e-9) "roundtrip" 2.5 (Time_unit.to_us (Time_unit.us 2.5));
+  check Alcotest.int "cycles at 2.1GHz" 2100 (Time_unit.ns_to_cycles 1000);
+  check Alcotest.int "ns from cycles" 1000 (Time_unit.cycles_to_ns 2100)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy_independent;
+    Alcotest.test_case "prng split" `Quick test_prng_split_differs;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int rejects <=0" `Quick test_prng_int_rejects_nonpositive;
+    Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+    Alcotest.test_case "prng exponential mean" `Quick test_prng_exponential_mean;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng bernoulli" `Quick test_prng_bernoulli;
+    Alcotest.test_case "prng choose_weighted" `Quick test_prng_choose_weighted;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "prng gaussian moments" `Quick test_prng_gaussian_moments;
+    test_heap_sorts;
+    Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap min_key" `Quick test_heap_min_key;
+    Alcotest.test_case "heap pop empty" `Quick test_heap_pop_empty;
+    test_heap_interleaved;
+    Alcotest.test_case "fvec basic" `Quick test_fvec_basic;
+    Alcotest.test_case "fvec bounds" `Quick test_fvec_bounds;
+    Alcotest.test_case "fvec sorted" `Quick test_fvec_sorted;
+    Alcotest.test_case "ivec basic" `Quick test_ivec_basic;
+    test_fenwick_vs_naive;
+    Alcotest.test_case "fenwick range" `Quick test_fenwick_range;
+    test_deque_model;
+    Alcotest.test_case "deque wraparound" `Quick test_deque_wraparound;
+    Alcotest.test_case "deque get" `Quick test_deque_get;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity;
+    Alcotest.test_case "cell formats" `Quick test_cell_formats;
+    Alcotest.test_case "time conversions" `Quick test_time_conversions;
+  ]
+
+(* --- Ascii_chart --- *)
+
+module Ascii_chart = Tq_util.Ascii_chart
+
+let test_chart_renders_series () =
+  let chart =
+    Ascii_chart.render ~title:"T" ~width:20 ~height:8
+      [
+        { Ascii_chart.label = "up"; points = [ (0.0, 1.0); (1.0, 2.0); (2.0, 3.0) ] };
+        { Ascii_chart.label = "down"; points = [ (0.0, 3.0); (1.0, 2.5); (2.0, 1.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length chart > 0);
+  Alcotest.(check bool) "has title" true
+    (String.length chart > 5 && String.sub chart 0 4 = ".. T");
+  Alcotest.(check bool) "has legend" true
+    (let has_sub needle =
+       let n = String.length chart and m = String.length needle in
+       let rec go i = i + m <= n && (String.sub chart i m = needle || go (i + 1)) in
+       go 0
+     in
+     has_sub "* up" && has_sub "o down")
+
+let test_chart_empty_when_insufficient () =
+  check Alcotest.string "empty series" ""
+    (Ascii_chart.render ~title:"T" [ { Ascii_chart.label = "x"; points = [] } ]);
+  check Alcotest.string "single point" ""
+    (Ascii_chart.render ~title:"T" [ { Ascii_chart.label = "x"; points = [ (1.0, 1.0) ] } ])
+
+let test_chart_log_drops_nonpositive () =
+  let chart =
+    Ascii_chart.render ~title:"T" ~log_y:true
+      [ { Ascii_chart.label = "x"; points = [ (0.0, 0.0); (1.0, 10.0); (2.0, 100.0) ] } ]
+  in
+  Alcotest.(check bool) "still renders from positive points" true (String.length chart > 0)
+
+let test_chart_plot_table () =
+  let t = Text_table.create ~title:"curve" ~columns:[ "load"; "sys-a"; "sys-b" ] in
+  Text_table.add_row t [ "30%"; "1.5"; "2.5" ];
+  Text_table.add_row t [ "60%"; "3.0"; "-" ];
+  Text_table.add_row t [ "90%"; "9.0"; "4.5" ];
+  let chart = Ascii_chart.plot_table t in
+  Alcotest.(check bool) "renders" true (String.length chart > 0)
+
+let test_chart_plot_table_non_numeric () =
+  let t = Text_table.create ~title:"names" ~columns:[ "who"; "what" ] in
+  Text_table.add_row t [ "alice"; "bob" ];
+  Text_table.add_row t [ "carol"; "dan" ];
+  check Alcotest.string "unplottable table is empty" "" (Ascii_chart.plot_table t)
+
+let chart_suite =
+  [
+    Alcotest.test_case "chart renders" `Quick test_chart_renders_series;
+    Alcotest.test_case "chart empty cases" `Quick test_chart_empty_when_insufficient;
+    Alcotest.test_case "chart log drops" `Quick test_chart_log_drops_nonpositive;
+    Alcotest.test_case "chart from table" `Quick test_chart_plot_table;
+    Alcotest.test_case "chart non-numeric" `Quick test_chart_plot_table_non_numeric;
+  ]
+
+let suite = suite @ chart_suite
