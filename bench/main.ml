@@ -103,6 +103,56 @@ let test_deque =
          Tq_util.Ring_deque.push_back dq 1;
          ignore (Tq_util.Ring_deque.pop_front dq)))
 
+(* Trace-overhead microbenchmarks: the record path behind the
+   [Trace.enabled] guard, with tracing on and off.  The disabled side is
+   the one every hot path pays by default, so it must show ~0 allocated
+   words per run (the event constructor sits inside the guard and is
+   never evaluated). *)
+let make_trace_test ~name tr =
+  let lane = Tq_obs.Event.Worker 3 in
+  let ts = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr ts;
+         if Tq_obs.Trace.enabled tr then
+           Tq_obs.Trace.record tr ~ts_ns:!ts ~lane
+             (Tq_obs.Event.Quantum_end { job_id = 1; ran_ns = 2_000; finished = false })))
+
+let test_trace_enabled =
+  make_trace_test ~name:"obs trace record (enabled)" (Tq_obs.Trace.create ~capacity:4096 ())
+
+let test_trace_disabled =
+  make_trace_test ~name:"obs trace record (disabled)" Tq_obs.Trace.null
+
+let run_trace_overhead () =
+  hr ();
+  print_endline "Trace record-path overhead (tracing on vs off)";
+  hr ();
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let estimate instance =
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun _ ols_result acc ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ v ] -> Some v
+            | _ -> acc)
+          analyzed None
+      in
+      let name = Test.Elt.name (List.hd (Test.elements test)) in
+      let pp = function Some v -> Printf.sprintf "%10.2f" v | None -> "       n/a" in
+      Printf.printf "%-34s %s ns/run  %s minor words/run\n" name
+        (pp (estimate Instance.monotonic_clock))
+        (pp (estimate Instance.minor_allocated)))
+    [ test_trace_enabled; test_trace_disabled ];
+  print_newline ()
+
 let run_microbenchmarks () =
   hr ();
   print_endline "Micro-benchmarks of library primitives (ns per run, OLS fit)";
@@ -141,6 +191,7 @@ let run_microbenchmarks () =
 let () =
   run_experiments ();
   run_microbenchmarks ();
+  run_trace_overhead ();
   hr ();
   print_endline "Done. See EXPERIMENTS.md for paper-vs-measured commentary.";
   hr ()

@@ -5,6 +5,7 @@
      run <id>...               regenerate specific figures/tables
      all                       regenerate everything
      sweep                     custom latency-vs-load sweep
+     trace <system> <workload> record one run and export an inspectable schedule
      probe-place <program>     show TQ probe placement on a benchmark program *)
 
 open Cmdliner
@@ -45,38 +46,47 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
 
-(* --- sweep --- *)
+(* --- shared system/workload resolution --- *)
 
 let workload_names =
   List.map (fun (w : Tq_workload.Service_dist.t) -> w.name) Tq_workload.Table1.all
 
-let sweep system_name workload_name quantum_us loads duration_ms =
-  let workload =
-    match Tq_workload.Table1.find workload_name with
-    | Some w -> w
-    | None ->
-        Printf.eprintf "unknown workload %s (try: %s)\n" workload_name
-          (String.concat ", " workload_names);
-        exit 1
-  in
+let system_names =
+  [ "tq"; "tq-las"; "tq-fcfs"; "tq-rand"; "tq-power-two"; "shinjuku"; "concord";
+    "caladan"; "caladan-iokernel" ]
+
+let find_workload name =
+  match Tq_workload.Table1.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown workload %s (try: %s)\n" name
+        (String.concat ", " workload_names);
+      exit 1
+
+let find_system name ~quantum_ns =
+  match name with
+  | "tq" -> Tq_sched.Presets.tq ~quantum_ns ()
+  | "tq-las" -> Tq_sched.Presets.tq_las ()
+  | "tq-fcfs" -> Tq_sched.Presets.tq_fcfs ()
+  | "tq-rand" -> Tq_sched.Presets.tq_rand ~quantum_ns ()
+  | "tq-power-two" -> Tq_sched.Presets.tq_power_two ~quantum_ns ()
+  | "shinjuku" -> Tq_sched.Presets.shinjuku ~quantum_ns ()
+  | "concord" -> Tq_sched.Presets.concord ~quantum_ns ()
+  | "caladan" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Directpath ()
+  | "caladan-iokernel" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Iokernel ()
+  | other ->
+      Printf.eprintf "unknown system %s (try: %s)\n" other (String.concat ", " system_names);
+      exit 1
+
+(* --- sweep --- *)
+
+let sweep system_name workload_name quantum_us loads duration_ms seed trace_out =
+  let workload = find_workload workload_name in
   let quantum_ns = Tq_util.Time_unit.us quantum_us in
-  let system =
-    match system_name with
-    | "tq" -> Tq_sched.Presets.tq ~quantum_ns ()
-    | "tq-las" -> Tq_sched.Presets.tq_las ()
-    | "tq-fcfs" -> Tq_sched.Presets.tq_fcfs ()
-    | "tq-rand" -> Tq_sched.Presets.tq_rand ~quantum_ns ()
-    | "tq-power-two" -> Tq_sched.Presets.tq_power_two ~quantum_ns ()
-    | "shinjuku" -> Tq_sched.Presets.shinjuku ~quantum_ns ()
-    | "concord" -> Tq_sched.Presets.concord ~quantum_ns ()
-    | "caladan" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Directpath ()
-    | "caladan-iokernel" -> Tq_sched.Presets.caladan ~mode:Tq_sched.Caladan.Iokernel ()
-    | other ->
-        Printf.eprintf "unknown system %s\n" other;
-        exit 1
-  in
+  let system = find_system system_name ~quantum_ns in
   let capacity = Tq_workload.Arrivals.capacity_rps ~cores:16 workload in
   let duration_ns = Tq_util.Time_unit.ms duration_ms in
+  let seed = Int64.of_int seed in
   let t =
     Tq_util.Text_table.create
       ~title:
@@ -90,12 +100,26 @@ let sweep system_name workload_name quantum_us loads duration_ms =
               [ name ^ " p50(us)"; name ^ " p99.9(us)" ])
             (List.init (Tq_workload.Service_dist.class_count workload) Fun.id))
   in
-  List.iter
-    (fun load ->
+  let last = List.length loads - 1 in
+  List.iteri
+    (fun i load ->
       let rate = load *. capacity in
-      let r =
-        Tq_sched.Experiment.run ~system ~workload ~rate_rps:rate ~duration_ns ()
+      (* With --trace, record the highest-index load point (the most
+         interesting schedule) and export it. *)
+      let obs =
+        match trace_out with Some _ when i = last -> Some (Tq_obs.Obs.create ()) | _ -> None
       in
+      let r =
+        Tq_sched.Experiment.run ~seed ?obs ~system ~workload ~rate_rps:rate ~duration_ns ()
+      in
+      (match (obs, trace_out) with
+      | Some obs, Some path ->
+          Tq_obs.Chrome_trace.write_file obs.Tq_obs.Obs.trace path;
+          Printf.printf "wrote %s (%d events, %d overwritten) for load %.0f%%\n" path
+            (Tq_obs.Trace.length obs.Tq_obs.Obs.trace)
+            (Tq_obs.Trace.dropped obs.Tq_obs.Obs.trace)
+            (100.0 *. load)
+      | _ -> ());
       let cells =
         List.concat_map
           (fun i ->
@@ -114,12 +138,14 @@ let sweep system_name workload_name quantum_us loads duration_ms =
     loads;
   Tq_util.Text_table.print t
 
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed, for reproducible runs")
+
 let sweep_cmd =
   let doc = "Run a custom latency-vs-load sweep for one system and workload." in
   let system =
     Arg.(value & opt string "tq"
-         & info [ "system" ] ~docv:"SYSTEM"
-             ~doc:"tq | tq-las | tq-fcfs | tq-rand | tq-power-two | shinjuku | concord | caladan | caladan-iokernel")
+         & info [ "system" ] ~docv:"SYSTEM" ~doc:(String.concat " | " system_names))
   in
   let workload =
     Arg.(value & opt string "extreme-bimodal"
@@ -133,8 +159,97 @@ let sweep_cmd =
   let duration =
     Arg.(value & opt float 50.0 & info [ "duration-ms" ] ~doc:"simulated duration per point")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"record the last load point and write a Chrome trace-event JSON")
+  in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ system $ workload $ quantum $ loads $ duration)
+    Term.(const sweep $ system $ workload $ quantum $ loads $ duration $ seed_arg $ trace_out)
+
+(* --- trace --- *)
+
+let trace_run system_name workload_name quantum_us load duration_ms seed out csv_out
+    dump_events =
+  let workload = find_workload workload_name in
+  let quantum_ns = Tq_util.Time_unit.us quantum_us in
+  let system = find_system system_name ~quantum_ns in
+  let capacity = Tq_workload.Arrivals.capacity_rps ~cores:16 workload in
+  let rate = load *. capacity in
+  let duration_ns = Tq_util.Time_unit.ms duration_ms in
+  let obs = Tq_obs.Obs.create () in
+  let r =
+    Tq_sched.Experiment.run ~seed:(Int64.of_int seed) ~obs ~system ~workload
+      ~rate_rps:rate ~duration_ns ()
+  in
+  Printf.printf "%s on %s: load %.0f%% (%.2f Mrps), %.1f ms simulated, %d requests, %d sim events\n"
+    system_name workload_name (100.0 *. load) (rate /. 1e6) duration_ms r.offered r.events;
+  Tq_obs.Chrome_trace.write_file obs.Tq_obs.Obs.trace out;
+  Printf.printf "wrote %s: %d trace events in buffer (%d recorded, %d overwritten)\n" out
+    (Tq_obs.Trace.length obs.Tq_obs.Obs.trace)
+    (Tq_obs.Trace.total obs.Tq_obs.Obs.trace)
+    (Tq_obs.Trace.dropped obs.Tq_obs.Obs.trace);
+  print_endline "open it in https://ui.perfetto.dev (one lane per dispatcher/worker core)";
+  print_newline ();
+  print_endline "counters:";
+  print_string (Tq_obs.Counters.dump obs.Tq_obs.Obs.counters);
+  print_newline ();
+  (match r.timeseries with
+  | Some ts ->
+      print_string
+        (Tq_obs.Timeseries.render
+           ~title:(Printf.sprintf "%s on %s: sampled occupancy" system_name workload_name)
+           ts);
+      (match csv_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Tq_obs.Timeseries.to_csv ts);
+          close_out oc;
+          Printf.printf "wrote %s (%d samples)\n" path (Tq_obs.Timeseries.length ts)
+      | None -> ())
+  | None -> ());
+  if dump_events > 0 then begin
+    print_newline ();
+    print_string (Tq_obs.Text_dump.dump ~limit:dump_events obs.Tq_obs.Obs.trace)
+  end
+
+let trace_cmd =
+  let doc =
+    "Record one run under the event tracer and export an inspectable schedule: a \
+     Chrome trace-event JSON (Perfetto), the counter registry, and sampled \
+     occupancy time series."
+  in
+  let system =
+    Arg.(value & pos 0 string "tq" & info [] ~docv:"SYSTEM" ~doc:(String.concat " | " system_names))
+  in
+  let workload =
+    Arg.(value & pos 1 string "extreme-bimodal"
+         & info [] ~docv:"WORKLOAD" ~doc:"Table 1 workload name")
+  in
+  let quantum = Arg.(value & opt float 2.0 & info [ "quantum-us" ] ~doc:"quantum size in us") in
+  let load =
+    Arg.(value & opt float 0.7 & info [ "load" ] ~doc:"load fraction of 16-core capacity")
+  in
+  let duration =
+    Arg.(value & opt float 2.0
+         & info [ "duration-ms" ]
+             ~doc:"simulated duration (keep small: tracing records every event)")
+  in
+  let out =
+    Arg.(value & opt string "tq_trace.json"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Chrome trace-event JSON output path")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"also write the occupancy time series as CSV")
+  in
+  let dump_events =
+    Arg.(value & opt int 0
+         & info [ "events" ] ~docv:"N" ~doc:"also print the last N events as text")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace_run $ system $ workload $ quantum $ load $ duration $ seed_arg $ out
+          $ csv_out $ dump_events)
 
 (* --- probe-place --- *)
 
@@ -178,4 +293,6 @@ let probe_place_cmd =
 let () =
   let doc = "Tiny Quanta reproduction: experiments and tools" in
   let info = Cmd.info "tq_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; probe_place_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; trace_cmd; probe_place_cmd ]))

@@ -47,6 +47,7 @@ module Tpcc = Tq_tpcc
 module Runtime = Tq_runtime
 module Net = Tq_net
 module Queueing = Tq_queueing
+module Obs = Tq_obs
 
 (** [version] of this reproduction. *)
 let version = "1.0.0"

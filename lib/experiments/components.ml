@@ -55,7 +55,7 @@ let shinjuku_max_cores ~quantum_ns ~max_cores =
     let sim = Sim.create () in
     let config = Centralized.shinjuku_config ~quantum_ns ~cores in
     let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
-    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics () in
     for i = 1 to 3 * cores do
       Centralized.submit t
         {

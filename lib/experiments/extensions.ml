@@ -191,7 +191,7 @@ let ext_overload () =
       let rng = Prng.create ~seed:42L in
       let metrics = Tq_workload.Metrics.create ~workload ~warmup_ns:(duration / 10) in
       let config = { Two_level.default_config with cores = 16 } in
-      let system = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics in
+      let system = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics () in
       let nic =
         Tq_net.Nic.create sim ~rx_depth:512
           ~occupancy:(fun () -> Two_level.dispatcher_queue_length system)

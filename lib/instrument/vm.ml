@@ -33,6 +33,10 @@ type state = {
   config : config;
   rng : Prng.t;
   program : Cfg.program;
+  c_probes : Tq_obs.Counters.counter option;
+      (** live observability hooks, [None] when no registry was passed *)
+  c_yields : Tq_obs.Counters.counter option;
+  d_overshoot : Tq_obs.Counters.dist option;
   mutable cycles : int;
   mutable work_cycles : int;
   mutable probe_cycles : int;
@@ -93,17 +97,29 @@ let do_yield st =
   let interval = st.cycles - st.last_yield in
   st.intervals <- interval :: st.intervals;
   st.yields <- st.yields + 1;
+  (match st.c_yields with Some c -> Tq_obs.Counters.incr c | None -> ());
+  (* Overshoot: how far past the target quantum the probe fired — the
+     probe-timing accuracy Table 3 scores as MAE. *)
+  (match st.d_overshoot with
+  | Some d ->
+      let q = current_quantum st in
+      if q <> max_int && interval > q then Tq_obs.Counters.observe d (interval - q)
+  | None -> ());
   st.cycles <- st.cycles + Cost.yield;
   st.last_yield <- st.cycles
 
-let clock_probe_check st =
+let note_probe st =
   st.probe_executions <- st.probe_executions + 1;
+  match st.c_probes with Some c -> Tq_obs.Counters.incr c | None -> ()
+
+let clock_probe_check st =
+  note_probe st;
   st.probe_cycles <- st.probe_cycles + Cost.clock_probe;
   st.cycles <- st.cycles + Cost.clock_probe;
   if st.cycles - st.last_yield >= current_quantum st then do_yield st
 
 let counter_probe st add =
-  st.probe_executions <- st.probe_executions + 1;
+  note_probe st;
   st.probe_cycles <- st.probe_cycles + Cost.counter_probe;
   st.cycles <- st.cycles + Cost.counter_probe;
   st.ci_counter <- st.ci_counter + add;
@@ -141,7 +157,7 @@ let loop_probe st frame ~latch ~period ~counter_free ~cloned =
     if not counter_free then begin
       st.probe_cycles <- st.probe_cycles + Cost.loop_probe_iter;
       st.cycles <- st.cycles + Cost.loop_probe_iter;
-      st.probe_executions <- st.probe_executions + 1
+      note_probe st
     end;
     let count = 1 + Option.value ~default:0 (Hashtbl.find_opt frame.probe_iter latch) in
     if count >= period then begin
@@ -208,12 +224,17 @@ and exec_func st (func : Cfg.func) =
   in
   run_block func.entry ~from_latch:false
 
-let run config program =
+let run ?counters config program =
   let st =
     {
       config;
       rng = Prng.create ~seed:config.seed;
       program;
+      c_probes =
+        Option.map (fun reg -> Tq_obs.Counters.counter reg "vm.probe_fires") counters;
+      c_yields = Option.map (fun reg -> Tq_obs.Counters.counter reg "vm.yields") counters;
+      d_overshoot =
+        Option.map (fun reg -> Tq_obs.Counters.dist reg "vm.overshoot_cycles") counters;
       cycles = 0;
       work_cycles = 0;
       probe_cycles = 0;

@@ -43,8 +43,11 @@ type result = {
   instructions : int;  (** dynamic instruction count (weights) *)
 }
 
-(** [run config program] executes [program.main] to completion. *)
-val run : config -> Cfg.program -> result
+(** [run config program] executes [program.main] to completion.
+    [counters], when given, receives live metrics: the [vm.probe_fires]
+    and [vm.yields] counters and the [vm.overshoot_cycles] distribution
+    (cycles a yield fired past its target quantum). *)
+val run : ?counters:Tq_obs.Counters.t -> config -> Cfg.program -> result
 
 (** [mean_abs_error_ns ~quantum_cycles ~ghz r] — the paper's MAE of
     yield timings, in nanoseconds; nan when no yields happened. *)

@@ -1,0 +1,62 @@
+(* Chrome trace-event JSON exporter (the Perfetto / chrome://tracing
+   format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+
+   One thread track per lane.  Quanta become "X" complete events —
+   reconstructed from [Quantum_end], whose [ran_ns] gives the start —
+   so Perfetto shows the per-core quantum interleaving directly;
+   everything else becomes a thread-scoped instant.  Timestamps are
+   microseconds (the format's unit) with nanosecond precision. *)
+
+let ts_us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e3)
+
+let json_of_record buf (r : Trace.record) =
+  let tid = Event.lane_tid r.lane in
+  let args =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) (Event.args r.event))
+    ^ "}"
+  in
+  match r.event with
+  | Event.Quantum_start _ -> ()  (* rendered via the matching Quantum_end *)
+  | Event.Quantum_end { job_id; ran_ns; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"job %d\",\"args\":%s},\n"
+           tid
+           (ts_us (r.ts_ns - ran_ns))
+           (ts_us ran_ns) job_id args)
+  | _ ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%S,\"args\":%s},\n"
+           tid (ts_us r.ts_ns) (Event.name r.event) args)
+
+let export trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"tq_sim\"}},\n";
+  (* Name each lane that appears, in tid order, so Perfetto sorts
+     dispatchers above workers. *)
+  let lanes = Hashtbl.create 16 in
+  Trace.iter trace (fun r ->
+      if not (Hashtbl.mem lanes (Event.lane_tid r.lane)) then
+        Hashtbl.add lanes (Event.lane_tid r.lane) r.lane);
+  Hashtbl.fold (fun tid lane acc -> (tid, lane) :: acc) lanes []
+  |> List.sort compare
+  |> List.iter (fun (tid, lane) ->
+         Buffer.add_string buf
+           (Printf.sprintf
+              "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%S}},\n"
+              tid (Event.lane_name lane)));
+  Trace.iter trace (fun r -> json_of_record buf r);
+  (* Drop the trailing ",\n" of the last entry. *)
+  Buffer.truncate buf (Buffer.length buf - 2);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_file trace path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (export trace))

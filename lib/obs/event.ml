@@ -1,0 +1,88 @@
+(* The trace vocabulary: every scheduling decision the paper's
+   evaluation reasons about (Sections 2 and 5), as a typed event.
+
+   A [lane] is the hardware context an event happened on — one Perfetto
+   track per dispatcher core and per worker core.  Events that precede
+   core assignment (client-side arrival) go on [Global]. *)
+
+type lane = Global | Dispatcher of int | Worker of int
+
+type t =
+  | Job_arrival of { job_id : int; class_idx : int; service_ns : int }
+  | Dispatch of { job_id : int; worker : int; policy : string; queue_len : int }
+      (** Dispatcher decision: [worker] chosen under [policy];
+          [queue_len] is the chosen worker's queue depth at decision
+          time (the tie-break input). *)
+  | Ring_hop of { job_id : int; worker : int }
+      (** Message ride on the dispatcher->worker ring. *)
+  | Quantum_start of { job_id : int; quantum_ns : int }
+  | Quantum_end of { job_id : int; ran_ns : int; finished : bool }
+  | Yield of { job_id : int }
+  | Preempt_overshoot of { job_id : int; overshoot_ns : int }
+      (** The quantum ran [overshoot_ns] past its nominal length
+          (probe-timing slack, Section 3.2). *)
+  | Steal of { job_id : int; victim : int }
+  | Completion of { job_id : int; sojourn_ns : int }
+
+let lane_name = function
+  | Global -> "global"
+  | Dispatcher d -> Printf.sprintf "dispatcher %d" d
+  | Worker w -> Printf.sprintf "worker %d" w
+
+(* Stable Chrome-trace thread ids: global, then dispatchers, then
+   workers, so Perfetto sorts lanes in pipeline order. *)
+let lane_tid = function Global -> 0 | Dispatcher d -> 1 + d | Worker w -> 100 + w
+
+let name = function
+  | Job_arrival _ -> "job_arrival"
+  | Dispatch _ -> "dispatch"
+  | Ring_hop _ -> "ring_hop"
+  | Quantum_start _ -> "quantum_start"
+  | Quantum_end _ -> "quantum_end"
+  | Yield _ -> "yield"
+  | Preempt_overshoot _ -> "preempt_overshoot"
+  | Steal _ -> "steal"
+  | Completion _ -> "completion"
+
+let job_id = function
+  | Job_arrival { job_id; _ }
+  | Dispatch { job_id; _ }
+  | Ring_hop { job_id; _ }
+  | Quantum_start { job_id; _ }
+  | Quantum_end { job_id; _ }
+  | Yield { job_id }
+  | Preempt_overshoot { job_id; _ }
+  | Steal { job_id; _ }
+  | Completion { job_id; _ } -> job_id
+
+(* Event payload as ordered key/raw-JSON pairs; shared by the Chrome
+   exporter and the text dump so the two stay consistent. *)
+let args = function
+  | Job_arrival { job_id; class_idx; service_ns } ->
+      [ ("job", string_of_int job_id);
+        ("class", string_of_int class_idx);
+        ("service_ns", string_of_int service_ns) ]
+  | Dispatch { job_id; worker; policy; queue_len } ->
+      [ ("job", string_of_int job_id);
+        ("worker", string_of_int worker);
+        ("policy", Printf.sprintf "%S" policy);
+        ("queue_len", string_of_int queue_len) ]
+  | Ring_hop { job_id; worker } ->
+      [ ("job", string_of_int job_id); ("worker", string_of_int worker) ]
+  | Quantum_start { job_id; quantum_ns } ->
+      [ ("job", string_of_int job_id); ("quantum_ns", string_of_int quantum_ns) ]
+  | Quantum_end { job_id; ran_ns; finished } ->
+      [ ("job", string_of_int job_id);
+        ("ran_ns", string_of_int ran_ns);
+        ("finished", if finished then "true" else "false") ]
+  | Yield { job_id } -> [ ("job", string_of_int job_id) ]
+  | Preempt_overshoot { job_id; overshoot_ns } ->
+      [ ("job", string_of_int job_id); ("overshoot_ns", string_of_int overshoot_ns) ]
+  | Steal { job_id; victim } ->
+      [ ("job", string_of_int job_id); ("victim", string_of_int victim) ]
+  | Completion { job_id; sojourn_ns } ->
+      [ ("job", string_of_int job_id); ("sojourn_ns", string_of_int sojourn_ns) ]
+
+let to_string ev =
+  name ev ^ " "
+  ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) (args ev))

@@ -1,0 +1,25 @@
+(* The observability context threaded through a scheduler run: one
+   event tracer plus one metric registry.  [disabled ()] gives the
+   zero-cost default — a null tracer (one branch per would-be record,
+   no allocation) and a private registry nobody reads; subsystems can
+   therefore register and bump unconditionally.
+
+   The fixed-interval time-series sampler lives alongside, but is owned
+   by the run driver (Tq_sched.Experiment) because only it knows the
+   sampling clock; see [Experiment.run ?obs]. *)
+
+type t = {
+  trace : Trace.t;
+  counters : Counters.t;
+  sample_interval_ns : int;  (** time-series sampling period (virtual time) *)
+}
+
+let create ?(trace_capacity = 65_536) ?(sample_interval_ns = 10_000) () =
+  {
+    trace = Trace.create ~capacity:trace_capacity ();
+    counters = Counters.create ();
+    sample_interval_ns;
+  }
+
+let disabled () =
+  { trace = Trace.null; counters = Counters.create (); sample_interval_ns = 10_000 }

@@ -1,0 +1,24 @@
+(* Human-readable trace dump: one line per surviving record, oldest
+   first, with a header noting ring-buffer overwrites. *)
+
+let pp_record buf (r : Trace.record) =
+  Buffer.add_string buf
+    (Printf.sprintf "%12d ns  %-14s %s\n" r.ts_ns
+       (Event.lane_name r.lane)
+       (Event.to_string r.event))
+
+let dump ?limit trace =
+  let buf = Buffer.create 1024 in
+  let total = Trace.total trace and kept = Trace.length trace in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d events recorded, %d in buffer (%d overwritten)\n" total
+       kept (Trace.dropped trace));
+  let skip =
+    match limit with Some l when l < kept -> kept - l | _ -> 0
+  in
+  if skip > 0 then Buffer.add_string buf (Printf.sprintf "... %d earlier events elided\n" skip);
+  let i = ref 0 in
+  Trace.iter trace (fun r ->
+      if !i >= skip then pp_record buf r;
+      incr i);
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(* Fixed-interval time series: one row of named values per sample tick.
+   The sampler (Tq_sched.Experiment) pushes a full row at each virtual-
+   time interval; export is CSV or an ASCII chart. *)
+
+type t = {
+  names : string array;
+  mutable times : int array;  (** ns timestamps, [0..len) valid *)
+  mutable rows : float array array;
+  mutable len : int;
+}
+
+let create ~series =
+  if series = [] then invalid_arg "Timeseries.create: need at least one series";
+  {
+    names = Array.of_list series;
+    times = Array.make 64 0;
+    rows = Array.make 64 [||];
+    len = 0;
+  }
+
+let names t = Array.to_list t.names
+let length t = t.len
+
+let push t ~t_ns row =
+  if Array.length row <> Array.length t.names then
+    invalid_arg "Timeseries.push: row width mismatch";
+  if t.len = Array.length t.times then begin
+    let cap = 2 * t.len in
+    let times = Array.make cap 0 and rows = Array.make cap [||] in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.rows 0 rows 0 t.len;
+    t.times <- times;
+    t.rows <- rows
+  end;
+  t.times.(t.len) <- t_ns;
+  t.rows.(t.len) <- Array.copy row;
+  t.len <- t.len + 1
+
+let get t i = (t.times.(i), t.rows.(i))
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("t_ns," ^ String.concat "," (Array.to_list t.names) ^ "\n");
+  for i = 0 to t.len - 1 do
+    Buffer.add_string buf (string_of_int t.times.(i));
+    Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%g" v)) t.rows.(i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* One chart, x = virtual time in us, one symbol per series. *)
+let render ?(width = 64) ?(height = 16) ~title t =
+  let series =
+    List.mapi
+      (fun si name ->
+        {
+          Tq_util.Ascii_chart.label = name;
+          points =
+            List.init t.len (fun i ->
+                (float_of_int t.times.(i) /. 1e3, t.rows.(i).(si)));
+        })
+      (Array.to_list t.names)
+  in
+  Tq_util.Ascii_chart.render ~width ~height ~x_label:"t (us)" ~title series

@@ -1,0 +1,66 @@
+(* Bounded ring-buffer event tracer.
+
+   The hot-path contract: call sites guard with [enabled] so that a
+   disabled tracer costs one load + branch and allocates nothing —
+
+     if Trace.enabled tr then
+       Trace.record tr ~ts_ns:(Sim.now sim) ~lane (Event.Yield { job_id })
+
+   The event constructor application sits inside the guard, so the
+   disabled branch never allocates (verified by the Bechamel
+   micro-benchmark in bench/main.ml).  When the buffer is full the
+   oldest records are overwritten; [dropped] counts the overwrites. *)
+
+type record = { seq : int; ts_ns : int; lane : Event.lane; event : Event.t }
+
+type t = {
+  mutable enabled : bool;
+  buf : record option array;
+  capacity : int;
+  mutable next_seq : int;  (** total records ever written *)
+}
+
+(* The shared disabled tracer: zero capacity, never records.  Use it as
+   the default everywhere tracing is optional. *)
+let null = { enabled = false; buf = [||]; capacity = 0; next_seq = 0 }
+
+let create ?(capacity = 65_536) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled = true; buf = Array.make capacity None; capacity; next_seq = 0 }
+
+let enabled t = t.enabled
+
+let set_enabled t on =
+  if t.capacity = 0 && on then invalid_arg "Trace.set_enabled: null tracer"
+  else t.enabled <- on
+
+let record t ~ts_ns ~lane event =
+  if t.enabled then begin
+    t.buf.(t.next_seq mod t.capacity) <-
+      Some { seq = t.next_seq; ts_ns; lane; event };
+    t.next_seq <- t.next_seq + 1
+  end
+
+let total t = t.next_seq
+let length t = min t.next_seq t.capacity
+let dropped t = max 0 (t.next_seq - t.capacity)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next_seq <- 0
+
+(* Oldest-first iteration over whatever survives in the ring. *)
+let iter t f =
+  if t.capacity > 0 then begin
+    let first = max 0 (t.next_seq - t.capacity) in
+    for seq = first to t.next_seq - 1 do
+      match t.buf.(seq mod t.capacity) with
+      | Some r -> f r
+      | None -> ()
+    done
+  end
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc

@@ -1,15 +1,32 @@
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
+
 type t = {
   mutable workers : Task_worker.t array;
+  trace : Trace.t;
+  c_dispatches : Counters.counter;
   mutable next_task_id : int;
   mutable completed : int;
 }
 
-let create ?(workers = 4) ?(quantum_ns = 2_000) ?(wall_clock = false) () =
+let create ?(workers = 4) ?(quantum_ns = 2_000) ?(wall_clock = false)
+    ?(obs = Tq_obs.Obs.disabled ()) () =
   if workers < 1 then invalid_arg "Executor.create: need at least one worker";
-  let t = { workers = [||]; next_task_id = 0; completed = 0 } in
-  let make_worker _ =
+  let t =
+    {
+      workers = [||];
+      trace = obs.Tq_obs.Obs.trace;
+      c_dispatches = Counters.counter obs.Tq_obs.Obs.counters "runtime.dispatches";
+      next_task_id = 0;
+      completed = 0;
+    }
+  in
+  let make_worker wid =
     let clock = if wall_clock then Clock.wall () else Clock.virtual_ () in
-    Task_worker.create ~clock ~quantum_ns ~on_finish:(fun _ -> t.completed <- t.completed + 1) ()
+    Task_worker.create ~obs ~wid ~clock ~quantum_ns
+      ~on_finish:(fun _ -> t.completed <- t.completed + 1)
+      ()
   in
   t.workers <- Array.init workers make_worker;
   t
@@ -28,11 +45,25 @@ let choose_worker t =
            && Task_worker.current_quanta w > Task_worker.current_quanta t.workers.(!best))
       then best := i)
     t.workers;
-  t.workers.(!best)
+  !best
 
 let submit t work =
   t.next_task_id <- t.next_task_id + 1;
-  Task_worker.submit (choose_worker t) { Task_worker.task_id = t.next_task_id; work }
+  let widx = choose_worker t in
+  let worker = t.workers.(widx) in
+  Counters.incr t.c_dispatches;
+  if Trace.enabled t.trace then
+    Trace.record t.trace
+      ~ts_ns:(Clock.now_ns (Task_worker.clock worker))
+      ~lane:Event.Global
+      (Event.Dispatch
+         {
+           job_id = t.next_task_id;
+           worker = widx;
+           policy = "jsq-msq";
+           queue_len = Task_worker.queue_length worker;
+         });
+  Task_worker.submit worker { Task_worker.task_id = t.next_task_id; work }
 
 let run t =
   let any = ref true in

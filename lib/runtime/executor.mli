@@ -9,7 +9,11 @@
 
 type t
 
-val create : ?workers:int -> ?quantum_ns:int -> ?wall_clock:bool -> unit -> t
+(** [obs] threads an event tracer and counter registry through the
+    dispatcher and all workers (wall or virtual clock timestamps,
+    matching [wall_clock]); the default is disabled tracing. *)
+val create :
+  ?workers:int -> ?quantum_ns:int -> ?wall_clock:bool -> ?obs:Tq_obs.Obs.t -> unit -> t
 
 (** [submit t work] dispatches a task to a worker (JSQ+MSQ). *)
 val submit : t -> (unit -> unit) -> unit

@@ -1,25 +1,44 @@
 module Deque = Tq_util.Ring_deque
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
 
 type task = { task_id : int; work : unit -> unit }
 
-type running = { task : task; fiber : unit Fiber.t; mutable quanta : int }
+type running = {
+  task : task;
+  fiber : unit Fiber.t;
+  arrival_ns : int;
+  mutable quanta : int;
+}
 
 type t = {
   ctx : Probe_api.t;
   clock : Clock.t;
   queue : running Deque.t;
   on_finish : task -> unit;
+  trace : Trace.t;
+  lane : Event.lane;
+  c_quanta : Counters.counter;
+  c_yields : Counters.counter;
+  c_completions : Counters.counter;
   mutable assigned : int;
   mutable finished : int;
   mutable current_quanta : int;
 }
 
-let create ~clock ~quantum_ns ~on_finish () =
+let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ~clock ~quantum_ns ~on_finish () =
+  let reg = obs.Tq_obs.Obs.counters in
   {
     ctx = Probe_api.create ~clock ~quantum_ns;
     clock;
     queue = Deque.create ();
     on_finish;
+    trace = obs.Tq_obs.Obs.trace;
+    lane = Event.Worker wid;
+    c_quanta = Counters.counter reg "runtime.quanta";
+    c_yields = Counters.counter reg "runtime.yields";
+    c_completions = Counters.counter reg "runtime.completions";
     assigned = 0;
     finished = 0;
     current_quanta = 0;
@@ -27,7 +46,13 @@ let create ~clock ~quantum_ns ~on_finish () =
 
 let submit t task =
   t.assigned <- t.assigned + 1;
-  Deque.push_back t.queue { task; fiber = Fiber.create task.work; quanta = 0 }
+  Deque.push_back t.queue
+    {
+      task;
+      fiber = Fiber.create task.work;
+      arrival_ns = Clock.now_ns t.clock;
+      quanta = 0;
+    }
 
 let run_slice t =
   match Deque.pop_front t.queue with
@@ -35,14 +60,36 @@ let run_slice t =
   | Some running -> begin
       Probe_api.install t.ctx;
       Probe_api.start_quantum t.ctx;
+      let start_ns = Clock.now_ns t.clock in
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:start_ns ~lane:t.lane
+          (Event.Quantum_start
+             { job_id = running.task.task_id; quantum_ns = Probe_api.quantum_ns t.ctx });
       let status = Fun.protect ~finally:Probe_api.uninstall (fun () -> Fiber.resume running.fiber) in
       running.quanta <- running.quanta + 1;
       t.current_quanta <- t.current_quanta + 1;
+      Counters.incr t.c_quanta;
+      let end_ns = Clock.now_ns t.clock in
+      let finished = match status with Fiber.Done () -> true | Fiber.Yielded -> false in
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:end_ns ~lane:t.lane
+          (Event.Quantum_end
+             { job_id = running.task.task_id; ran_ns = end_ns - start_ns; finished });
       (match status with
-      | Fiber.Yielded -> Deque.push_back t.queue running
+      | Fiber.Yielded ->
+          Counters.incr t.c_yields;
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~ts_ns:end_ns ~lane:t.lane
+              (Event.Yield { job_id = running.task.task_id });
+          Deque.push_back t.queue running
       | Fiber.Done () ->
           t.current_quanta <- t.current_quanta - running.quanta;
           t.finished <- t.finished + 1;
+          Counters.incr t.c_completions;
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~ts_ns:end_ns ~lane:t.lane
+              (Event.Completion
+                 { job_id = running.task.task_id; sojourn_ns = end_ns - running.arrival_ns });
           t.on_finish running.task);
       true
     end

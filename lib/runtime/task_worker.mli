@@ -10,8 +10,17 @@ type task = { task_id : int; work : unit -> unit }
 
 type t
 
+(** [obs] supplies the event tracer (quantum start/end, yields,
+    completions on lane [Worker wid]) and counter registry; the default
+    is disabled tracing. *)
 val create :
-  clock:Clock.t -> quantum_ns:int -> on_finish:(task -> unit) -> unit -> t
+  ?obs:Tq_obs.Obs.t ->
+  ?wid:int ->
+  clock:Clock.t ->
+  quantum_ns:int ->
+  on_finish:(task -> unit) ->
+  unit ->
+  t
 
 (** [submit t task] enqueues a new task (wraps it in a fresh fiber). *)
 val submit : t -> task -> unit

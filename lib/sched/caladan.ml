@@ -3,6 +3,9 @@ module Busy_server = Tq_engine.Busy_server
 module Prng = Tq_util.Prng
 module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
 
 type mode = Iokernel | Directpath
 
@@ -34,6 +37,10 @@ type t = {
   mutable workers : Worker.t array;
   iokernel : Arrivals.request Busy_server.t;
   metrics : Metrics.t;
+  trace : Trace.t;
+  c_arrivals : Counters.counter;
+  c_dispatches : Counters.counter;
+  c_steals : Counters.counter;
   mutable steals : int;
 }
 
@@ -55,6 +62,11 @@ let try_steal t (thief : Worker.t) =
       | None -> ()
       | Some job ->
           t.steals <- t.steals + 1;
+          Counters.incr t.c_steals;
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~ts_ns:(Sim.now t.sim)
+              ~lane:(Event.Worker (Worker.wid thief))
+              (Event.Steal { job_id = job.Job.id; victim = Worker.wid victim });
           Worker.note_assigned thief;
           ignore
             (Sim.schedule_after t.sim ~delay:t.config.steal_ns (fun () ->
@@ -62,12 +74,13 @@ let try_steal t (thief : Worker.t) =
               : Sim.event)
     end
 
-let create sim ~rng ~config ~metrics =
+let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
   if config.cores < 1 then invalid_arg "Caladan.create: need at least one core";
   let on_finish (job : Job.t) =
     Metrics.record metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
       ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns
   in
+  let reg = obs.Tq_obs.Obs.counters in
   let t =
     {
       sim;
@@ -76,6 +89,10 @@ let create sim ~rng ~config ~metrics =
       workers = [||];
       iokernel = Busy_server.create sim ();
       metrics;
+      trace = obs.Tq_obs.Obs.trace;
+      c_arrivals = Counters.counter reg "dispatch.arrivals";
+      c_dispatches = Counters.counter reg "dispatch.decisions";
+      c_steals = Counters.counter reg "sched.steals";
       steals = 0;
     }
   in
@@ -86,6 +103,7 @@ let create sim ~rng ~config ~metrics =
         let rec worker =
           lazy
             (Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:Worker.Fcfs ~overheads
+               ~obs
                ~on_idle:(fun () -> try_steal t (Lazy.force worker))
                ~on_finish ())
         in
@@ -104,6 +122,16 @@ let deliver t (req : Arrivals.request) =
     | None -> Prng.int t.rng t.config.cores
   in
   let worker = t.workers.(widx) in
+  Counters.incr t.c_dispatches;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+      (Event.Dispatch
+         {
+           job_id = req.req_id;
+           worker = widx;
+           policy = (if t.config.rss_flows = None then "rss-random" else "rss-hash");
+           queue_len = Worker.queue_length worker;
+         });
   Worker.note_assigned worker;
   let job = Job.of_request ~probe_overhead_frac:0.0 req in
   (match t.config.mode with
@@ -120,6 +148,15 @@ let deliver t (req : Arrivals.request) =
   end
 
 let submit t req =
+  Counters.incr t.c_arrivals;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+      (Event.Job_arrival
+         {
+           job_id = req.Arrivals.req_id;
+           class_idx = req.Arrivals.class_idx;
+           service_ns = req.Arrivals.service_ns;
+         });
   match t.config.mode with
   | Directpath -> deliver t req
   | Iokernel ->
@@ -127,3 +164,19 @@ let submit t req =
         ~done_:(fun req -> deliver t req)
 
 let steals t = t.steals
+
+let workers t = t.workers
+
+(* Instantaneous occupancy, for the time-series sampler. *)
+let obs_snapshot t =
+  let queued =
+    Array.fold_left
+      (fun acc w -> acc + Worker.queue_length w)
+      (Busy_server.queue_length t.iokernel)
+      t.workers
+  in
+  let in_flight = Array.fold_left (fun acc w -> acc + Worker.unfinished w) 0 t.workers in
+  let busy =
+    Array.fold_left (fun acc w -> acc + if Worker.is_busy w then 1 else 0) 0 t.workers
+  in
+  (queued, in_flight, busy)

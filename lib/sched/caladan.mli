@@ -38,9 +38,17 @@ val create :
   rng:Tq_util.Prng.t ->
   config:config ->
   metrics:Tq_workload.Metrics.t ->
+  ?obs:Tq_obs.Obs.t ->
+  unit ->
   t
 
 val submit : t -> Tq_workload.Arrivals.request -> unit
 
 (** Number of successful steals, for diagnostics. *)
 val steals : t -> int
+
+val workers : t -> Worker.t array
+
+(** [(queued, in_flight, busy_cores)] at this instant (see
+    {!Two_level.obs_snapshot}). *)
+val obs_snapshot : t -> int * int * int

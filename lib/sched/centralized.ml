@@ -3,6 +3,9 @@ module Busy_server = Tq_engine.Busy_server
 module Deque = Tq_util.Ring_deque
 module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
 
 type config = {
   cores : int;
@@ -50,14 +53,21 @@ type t = {
   dispatcher : op Busy_server.t;
   metrics : Metrics.t;
   last_end : int array;  (** per-worker last slice end time *)
+  trace : Trace.t;
+  c_arrivals : Counters.counter;
+  c_assigns : Counters.counter;
+  c_quanta : Counters.counter;
+  c_preemptions : Counters.counter;
+  c_completions : Counters.counter;
   mutable gap_sum : int;
   mutable gap_count : int;
   mutable slice_sum : int;
   mutable slice_count : int;
 }
 
-let create sim ~rng:_ ~config ~metrics =
+let create sim ~rng:_ ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
   if config.cores < 1 then invalid_arg "Centralized.create: need at least one core";
+  let reg = obs.Tq_obs.Obs.counters in
   {
     sim;
     config;
@@ -68,11 +78,30 @@ let create sim ~rng:_ ~config ~metrics =
     dispatcher = Busy_server.create sim ();
     metrics;
     last_end = Array.make config.cores (-1);
+    trace = obs.Tq_obs.Obs.trace;
+    c_arrivals = Counters.counter reg "dispatch.arrivals";
+    c_assigns = Counters.counter reg "dispatch.decisions";
+    c_quanta = Counters.counter reg "worker.quanta";
+    c_preemptions = Counters.counter reg "worker.yields";
+    c_completions = Counters.counter reg "worker.completions";
     gap_sum = 0;
     gap_count = 0;
     slice_sum = 0;
     slice_count = 0;
   }
+
+(* An assignment op left the dispatcher core: the decision is made. *)
+let note_assign t ~(job : Job.t) ~wid =
+  Counters.incr t.c_assigns;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Dispatcher 0)
+      (Event.Dispatch
+         {
+           job_id = job.Job.id;
+           worker = wid;
+           policy = "centralized";
+           queue_len = Deque.length t.queue;
+         })
 
 (* The dispatcher pipelines: it may prepare the *next* assignment for a
    worker while that worker still runs its current slice (one
@@ -108,6 +137,7 @@ let rec kick t =
                 match op with
                 | Assign { job; wid } ->
                     t.inflight.(wid) <- false;
+                    note_assign t ~job ~wid;
                     if t.busy.(wid) then t.pending.(wid) <- Some job
                     else start_slice t ~job ~wid;
                     (* Keep the pipeline primed: prepare the next
@@ -134,14 +164,35 @@ and start_slice t ~job ~wid =
   let overhead = if finishes then 0 else t.config.preempt_ns in
   t.slice_sum <- t.slice_sum + slice;
   t.slice_count <- t.slice_count + 1;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:now ~lane:(Event.Worker wid)
+      (Event.Quantum_start { job_id = job.Job.id; quantum_ns = slice });
   ignore
     (Sim.schedule_after t.sim ~delay:(slice + overhead) (fun () ->
          job.remaining_ns <- job.remaining_ns - slice;
          job.serviced_quanta <- job.serviced_quanta + 1;
-         if finishes then
+         Counters.incr t.c_quanta;
+         let end_ns = Sim.now t.sim in
+         if Trace.enabled t.trace then
+           Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
+             (Event.Quantum_end
+                { job_id = job.Job.id; ran_ns = slice + overhead; finished = finishes });
+         if finishes then begin
+           Counters.incr t.c_completions;
+           if Trace.enabled t.trace then
+             Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
+               (Event.Completion
+                  { job_id = job.Job.id; sojourn_ns = end_ns - job.arrival_ns });
            Metrics.record t.metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
              ~finish_ns:(Sim.now t.sim) ~service_ns:job.service_ns
-         else Deque.push_back t.queue job;
+         end
+         else begin
+           Counters.incr t.c_preemptions;
+           if Trace.enabled t.trace then
+             Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
+               (Event.Yield { job_id = job.Job.id });
+           Deque.push_back t.queue job
+         end;
          t.last_end.(wid) <- Sim.now t.sim;
          t.busy.(wid) <- false;
          (match t.pending.(wid) with
@@ -173,6 +224,7 @@ and start_slice t ~job ~wid =
                        match op with
                        | Assign { job; wid } ->
                            t.inflight.(wid) <- false;
+                           note_assign t ~job ~wid;
                            if t.busy.(wid) then t.pending.(wid) <- Some job
                            else start_slice t ~job ~wid;
                            kick t
@@ -183,6 +235,15 @@ and start_slice t ~job ~wid =
       : Sim.event)
 
 let submit t req =
+  Counters.incr t.c_arrivals;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Dispatcher 0)
+      (Event.Job_arrival
+         {
+           job_id = req.Arrivals.req_id;
+           class_idx = req.Arrivals.class_idx;
+           service_ns = req.Arrivals.service_ns;
+         });
   Busy_server.submit t.dispatcher ~cost:t.config.net_op_ns (Admit req) ~done_:(fun op ->
       match op with
       | Admit req ->
@@ -199,3 +260,12 @@ let mean_effective_quantum_ns t =
   else (float_of_int t.slice_sum /. float_of_int t.slice_count) +. mean_sched_gap_ns t
 
 let dispatcher_busy_ns t = Busy_server.busy_time t.dispatcher
+
+(* Instantaneous occupancy, for the time-series sampler. *)
+let obs_snapshot t =
+  let busy = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 t.busy in
+  let pending =
+    Array.fold_left (fun acc p -> acc + if p = None then 0 else 1) 0 t.pending
+  in
+  let queued = Deque.length t.queue + Busy_server.queue_length t.dispatcher in
+  (queued, queued + pending + busy, busy)

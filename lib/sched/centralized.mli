@@ -40,6 +40,8 @@ val create :
   rng:Tq_util.Prng.t ->
   config:config ->
   metrics:Tq_workload.Metrics.t ->
+  ?obs:Tq_obs.Obs.t ->
+  unit ->
   t
 
 val submit : t -> Tq_workload.Arrivals.request -> unit
@@ -53,3 +55,7 @@ val mean_sched_gap_ns : t -> float
 val mean_effective_quantum_ns : t -> float
 
 val dispatcher_busy_ns : t -> int
+
+(** [(queued, in_flight, busy_cores)] at this instant (see
+    {!Two_level.obs_snapshot}). *)
+val obs_snapshot : t -> int * int * int

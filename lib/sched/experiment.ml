@@ -2,6 +2,7 @@ module Sim = Tq_engine.Sim
 module Prng = Tq_util.Prng
 module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
+module Timeseries = Tq_obs.Timeseries
 
 type system_spec =
   | Two_level of Two_level.config
@@ -14,24 +15,49 @@ type result = {
   duration_ns : int;
   events : int;
   dispatcher_busy_ns : int;
+  timeseries : Timeseries.t option;
+      (** queue depth / in-flight / busy cores sampled every
+          [obs.sample_interval_ns] of virtual time; [None] without [?obs] *)
 }
 
-let run ?(seed = 42L) ~system ~workload ~rate_rps ~duration_ns () =
+let run ?(seed = 42L) ?obs ~system ~workload ~rate_rps ~duration_ns () =
   let sim = Sim.create () in
   let rng = Prng.create ~seed in
   let warmup_ns = duration_ns / 10 in
   let metrics = Metrics.create ~workload ~warmup_ns in
-  let submit, dispatcher_busy =
+  let submit, dispatcher_busy, snapshot =
     match system with
     | Two_level config ->
-        let t = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics in
-        (Two_level.submit t, fun () -> Two_level.dispatcher_busy_ns t)
+        let t = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
+        ( Two_level.submit t,
+          (fun () -> Two_level.dispatcher_busy_ns t),
+          fun () -> Two_level.obs_snapshot t )
     | Centralized config ->
-        let t = Centralized.create sim ~rng:(Prng.split rng) ~config ~metrics in
-        (Centralized.submit t, fun () -> Centralized.dispatcher_busy_ns t)
+        let t = Centralized.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
+        ( Centralized.submit t,
+          (fun () -> Centralized.dispatcher_busy_ns t),
+          fun () -> Centralized.obs_snapshot t )
     | Caladan config ->
-        let t = Caladan.create sim ~rng:(Prng.split rng) ~config ~metrics in
-        (Caladan.submit t, fun () -> 0)
+        let t = Caladan.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
+        (Caladan.submit t, (fun () -> 0), fun () -> Caladan.obs_snapshot t)
+  in
+  (* The time-series sampler: a self-rescheduling event on the sim's
+     virtual clock; it stops at [duration_ns] so the sim still drains. *)
+  let timeseries =
+    match obs with
+    | None -> None
+    | Some (obs : Tq_obs.Obs.t) ->
+        let ts = Timeseries.create ~series:[ "queue_depth"; "in_flight"; "busy_cores" ] in
+        let interval = max 1 obs.sample_interval_ns in
+        let rec tick () =
+          let queued, in_flight, busy = snapshot () in
+          Timeseries.push ts ~t_ns:(Sim.now sim)
+            [| float_of_int queued; float_of_int in_flight; float_of_int busy |];
+          if Sim.now sim + interval <= duration_ns then
+            ignore (Sim.schedule_after sim ~delay:interval tick : Sim.event)
+        in
+        ignore (Sim.schedule_after sim ~delay:interval tick : Sim.event);
+        Some ts
   in
   let issued =
     Arrivals.install sim ~rng:(Prng.split rng) ~workload ~rate_rps ~duration_ns
@@ -44,6 +70,7 @@ let run ?(seed = 42L) ~system ~workload ~rate_rps ~duration_ns () =
     duration_ns;
     events = Sim.events_processed sim;
     dispatcher_busy_ns = dispatcher_busy ();
+    timeseries;
   }
 
 let throughput_rps r =

@@ -15,12 +15,19 @@ type result = {
   duration_ns : int;
   events : int;  (** simulator events processed *)
   dispatcher_busy_ns : int;  (** central-core busy time, 0 for Caladan directpath *)
+  timeseries : Tq_obs.Timeseries.t option;
+      (** queue depth / in-flight jobs / busy cores, sampled every
+          [obs.sample_interval_ns] of virtual time; [None] unless [?obs]
+          was passed to {!run} *)
 }
 
 (** [run ~seed ~system ~workload ~rate_rps ~duration_ns ()] runs one
-    experiment; warm-up is the first 10% of [duration_ns]. *)
+    experiment; warm-up is the first 10% of [duration_ns].  Passing
+    [?obs] threads its tracer and counter registry through the system
+    and installs the fixed-interval time-series sampler. *)
 val run :
   ?seed:int64 ->
+  ?obs:Tq_obs.Obs.t ->
   system:system_spec ->
   workload:Tq_workload.Service_dist.t ->
   rate_rps:float ->

@@ -3,6 +3,9 @@ module Busy_server = Tq_engine.Busy_server
 module Prng = Tq_util.Prng
 module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
 
 type config = {
   cores : int;
@@ -32,9 +35,14 @@ type t = {
   workers : Worker.t array;
   dispatchers : dispatcher array;
   metrics : Metrics.t;
+  trace : Trace.t;
+  policy_name : string;
+  c_arrivals : Counters.counter;
+  c_dispatches : Counters.counter;
+  c_ring_hops : Counters.counter;
 }
 
-let create sim ~rng ~config ~metrics =
+let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
   if config.cores < 1 then invalid_arg "Two_level.create: need at least one core";
   if config.dispatchers < 1 then
     invalid_arg "Two_level.create: need at least one dispatcher";
@@ -46,7 +54,7 @@ let create sim ~rng ~config ~metrics =
   let workers =
     Array.init config.cores (fun wid ->
         Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:config.quantum_policy
-          ~overheads:ov ~on_finish ())
+          ~overheads:ov ~obs ~on_finish ())
   in
   let dispatchers =
     Array.init config.dispatchers (fun _ ->
@@ -55,21 +63,58 @@ let create sim ~rng ~config ~metrics =
           chooser = Dispatch_policy.make_chooser config.dispatch_policy ~rng:(Prng.split rng);
         })
   in
-  { sim; config; workers; dispatchers; metrics }
+  let reg = obs.Tq_obs.Obs.counters in
+  {
+    sim;
+    config;
+    workers;
+    dispatchers;
+    metrics;
+    trace = obs.Tq_obs.Obs.trace;
+    policy_name = Dispatch_policy.to_string config.dispatch_policy;
+    c_arrivals = Counters.counter reg "dispatch.arrivals";
+    c_dispatches = Counters.counter reg "dispatch.decisions";
+    c_ring_hops = Counters.counter reg "dispatch.ring_hops";
+  }
 
 let submit t req =
   let ov = t.config.overheads in
   (* RSS across dispatcher cores; each balances over all workers using
      the shared (worker-maintained) counters. *)
-  let d = t.dispatchers.(req.Arrivals.req_id mod Array.length t.dispatchers) in
+  let d_idx = req.Arrivals.req_id mod Array.length t.dispatchers in
+  let d = t.dispatchers.(d_idx) in
+  let lane = Event.Dispatcher d_idx in
+  Counters.incr t.c_arrivals;
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
+      (Event.Job_arrival
+         {
+           job_id = req.Arrivals.req_id;
+           class_idx = req.Arrivals.class_idx;
+           service_ns = req.Arrivals.service_ns;
+         });
   Busy_server.submit d.server ~cost:ov.dispatch_ns req
     ~done_:(fun (req : Arrivals.request) ->
       let widx = Dispatch_policy.choose d.chooser t.workers in
       let worker = t.workers.(widx) in
+      Counters.incr t.c_dispatches;
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
+          (Event.Dispatch
+             {
+               job_id = req.req_id;
+               worker = widx;
+               policy = t.policy_name;
+               queue_len = Worker.queue_length worker;
+             });
       Worker.note_assigned worker;
       let job = Job.of_request ~probe_overhead_frac:ov.probe_overhead_frac req in
       ignore
         (Sim.schedule_after t.sim ~delay:ov.ring_hop_ns (fun () ->
+             Counters.incr t.c_ring_hops;
+             if Trace.enabled t.trace then
+               Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker widx)
+                 (Event.Ring_hop { job_id = job.Job.id; worker = widx });
              Worker.enqueue worker job)
           : Sim.event))
 
@@ -83,3 +128,14 @@ let max_dispatcher_busy_ns t =
   Array.fold_left (fun acc d -> max acc (Busy_server.busy_time d.server)) 0 t.dispatchers
 
 let workers t = t.workers
+
+(* Instantaneous occupancy, for the time-series sampler: total queued
+   jobs (dispatcher + worker queues), jobs in the system, busy cores. *)
+let obs_snapshot t =
+  let queued =
+    Array.fold_left (fun acc w -> acc + Worker.queue_length w) (dispatcher_queue_length t)
+      t.workers
+  in
+  let in_flight = Array.fold_left (fun acc w -> acc + Worker.unfinished w) 0 t.workers in
+  let busy = Array.fold_left (fun acc w -> acc + if Worker.is_busy w then 1 else 0) 0 t.workers in
+  (queued, in_flight, busy)

@@ -32,6 +32,8 @@ val create :
   rng:Tq_util.Prng.t ->
   config:config ->
   metrics:Tq_workload.Metrics.t ->
+  ?obs:Tq_obs.Obs.t ->
+  unit ->
   t
 
 (** [submit t req] is the NIC-arrival entry point. *)
@@ -48,3 +50,8 @@ val dispatcher_queue_length : t -> int
 val max_dispatcher_busy_ns : t -> int
 
 val workers : t -> Worker.t array
+
+(** [(queued, in_flight, busy_cores)] at this instant, for the
+    time-series sampler: jobs waiting (dispatcher + worker queues), jobs
+    admitted but unfinished, and workers mid-quantum. *)
+val obs_snapshot : t -> int * int * int

@@ -1,6 +1,9 @@
 module Sim = Tq_engine.Sim
 module Deque = Tq_util.Ring_deque
 module Prng = Tq_util.Prng
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
 
 type quantum_policy =
   | Ps of { quantum_ns : int; per_class_quantum : int array option }
@@ -16,6 +19,12 @@ type t = {
   queue : Job.t Deque.t;
   on_finish : Job.t -> unit;
   on_idle : unit -> unit;
+  trace : Trace.t;
+  lane : Event.lane;
+  c_quanta : Counters.counter;
+  c_yields : Counters.counter;
+  c_completions : Counters.counter;
+  d_overshoot : Counters.dist;
   mutable busy : bool;
   mutable assigned : int;
   mutable finished : int;
@@ -23,7 +32,9 @@ type t = {
   mutable busy_ns : int;
 }
 
-let create sim ~wid ~rng ~policy ~overheads ?(on_idle = ignore) ~on_finish () =
+let create sim ~wid ~rng ~policy ~overheads ?(obs = Tq_obs.Obs.disabled ())
+    ?(on_idle = ignore) ~on_finish () =
+  let reg = obs.Tq_obs.Obs.counters in
   {
     sim;
     wid;
@@ -33,6 +44,12 @@ let create sim ~wid ~rng ~policy ~overheads ?(on_idle = ignore) ~on_finish () =
     queue = Deque.create ();
     on_finish;
     on_idle;
+    trace = obs.Tq_obs.Obs.trace;
+    lane = Event.Worker wid;
+    c_quanta = Counters.counter reg "worker.quanta";
+    c_yields = Counters.counter reg "worker.yields";
+    c_completions = Counters.counter reg "worker.completions";
+    d_overshoot = Counters.dist reg "worker.overshoot_ns";
     busy = false;
     assigned = 0;
     finished = 0;
@@ -45,7 +62,8 @@ let wid t = t.wid
 let jitter t =
   if t.ov.quantum_jitter_ns > 0 then Prng.int t.rng (t.ov.quantum_jitter_ns + 1) else 0
 
-let quantum_for t (job : Job.t) =
+(* The nominal (policy) quantum, before probe-timing jitter. *)
+let base_quantum_for t (job : Job.t) =
   match t.policy with
   | Fcfs -> None
   | Ps { quantum_ns; per_class_quantum } ->
@@ -54,13 +72,12 @@ let quantum_for t (job : Job.t) =
         | Some arr when job.class_idx < Array.length arr -> arr.(job.class_idx)
         | _ -> quantum_ns
       in
-      Some (base + jitter t)
+      Some base
   | Las { base_quantum_ns; max_quantum_ns } ->
       (* Doubling quanta with attained service: a fresh job preempts
          quickly; a long-running one earns longer slices. *)
       let attained = Job.attained_ns job in
-      let quantum = max base_quantum_ns (min max_quantum_ns attained) in
-      Some (quantum + jitter t)
+      Some (max base_quantum_ns (min max_quantum_ns attained))
 
 (* LAS serves the job with the least attained service; PS/FCFS serve the
    queue head. *)
@@ -108,27 +125,56 @@ let rec run_next t =
       t.on_idle ()
   | Some job ->
       t.busy <- true;
+      (* Draw jitter separately from the base quantum so the overshoot
+         past the nominal quantum is observable (same single PRNG draw
+         per slice as before). *)
+      let jit = ref 0 in
       let slice, finishes =
-        match quantum_for t job with
+        match base_quantum_for t job with
         | None -> (job.remaining_ns, true)
-        | Some q ->
+        | Some base ->
+            jit := jitter t;
+            let q = base + !jit in
             if job.remaining_ns <= q then (job.remaining_ns, true)
             else (q, false)
       in
       let extra = if finishes then t.ov.finish_ns else t.ov.yield_ns in
       let busy_for = slice + extra in
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:t.lane
+          (Event.Quantum_start { job_id = job.id; quantum_ns = slice });
       ignore
         (Sim.schedule_after t.sim ~delay:busy_for (fun () ->
              t.busy_ns <- t.busy_ns + busy_for;
              job.remaining_ns <- job.remaining_ns - slice;
              job.serviced_quanta <- job.serviced_quanta + 1;
              t.current_quanta <- t.current_quanta + 1;
+             Counters.incr t.c_quanta;
+             let now = Sim.now t.sim in
+             if Trace.enabled t.trace then
+               Trace.record t.trace ~ts_ns:now ~lane:t.lane
+                 (Event.Quantum_end { job_id = job.id; ran_ns = busy_for; finished = finishes });
              if finishes then begin
                t.current_quanta <- t.current_quanta - job.serviced_quanta;
                t.finished <- t.finished + 1;
+               Counters.incr t.c_completions;
+               if Trace.enabled t.trace then
+                 Trace.record t.trace ~ts_ns:now ~lane:t.lane
+                   (Event.Completion { job_id = job.id; sojourn_ns = now - job.arrival_ns });
                t.on_finish job
              end
-             else Deque.push_back t.queue job;
+             else begin
+               Counters.incr t.c_yields;
+               if !jit > 0 then Counters.observe t.d_overshoot !jit;
+               if Trace.enabled t.trace then begin
+                 Trace.record t.trace ~ts_ns:now ~lane:t.lane
+                   (Event.Yield { job_id = job.id });
+                 if !jit > 0 then
+                   Trace.record t.trace ~ts_ns:now ~lane:t.lane
+                     (Event.Preempt_overshoot { job_id = job.id; overshoot_ns = !jit })
+               end;
+               Deque.push_back t.queue job
+             end;
              run_next t)
           : Sim.event)
 

@@ -25,13 +25,16 @@ type quantum_policy =
 type t
 
 (** [on_idle] fires when the core transitions from busy to idle with an
-    empty queue — the work-stealing hook used by the Caladan model. *)
+    empty queue — the work-stealing hook used by the Caladan model.
+    [obs] supplies the event tracer and counter registry; the default is
+    disabled tracing (zero-cost) with a private, unread registry. *)
 val create :
   Tq_engine.Sim.t ->
   wid:int ->
   rng:Tq_util.Prng.t ->
   policy:quantum_policy ->
   overheads:Overheads.t ->
+  ?obs:Tq_obs.Obs.t ->
   ?on_idle:(unit -> unit) ->
   on_finish:(Job.t -> unit) ->
   unit ->

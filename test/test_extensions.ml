@@ -123,7 +123,7 @@ let test_multi_dispatcher_splits_load () =
     let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
     let t =
       Two_level.create sim ~rng:(Prng.create ~seed:3L) ~config:(tq_config ~dispatchers)
-        ~metrics
+        ~metrics ()
     in
     ignore
       (Tq_workload.Arrivals.install sim ~rng:(Prng.create ~seed:5L) ~workload:Table1.exp1
@@ -164,7 +164,7 @@ let test_zero_dispatchers_rejected () =
     (Invalid_argument "Two_level.create: need at least one dispatcher") (fun () ->
       ignore
         (Two_level.create sim ~rng:(Prng.create ~seed:1L) ~config:(tq_config ~dispatchers:0)
-           ~metrics))
+           ~metrics ()))
 
 (* --- prefetcher / sequential chase --- *)
 

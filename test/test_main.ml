@@ -16,4 +16,5 @@ let () =
       ("queueing", Test_queueing.suite);
       ("net", Test_net.suite);
       ("facade", Test_facade.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,176 @@
+(* Tests for tq_obs: the bounded ring-buffer tracer, counter registry,
+   Chrome trace exporter, text dump and time-series store. *)
+
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+module Counters = Tq_obs.Counters
+module Timeseries = Tq_obs.Timeseries
+module Chrome_trace = Tq_obs.Chrome_trace
+module Text_dump = Tq_obs.Text_dump
+
+let check = Alcotest.check
+
+let yield id = Event.Yield { job_id = id }
+
+let job_ids tr =
+  List.map (fun (r : Trace.record) -> Event.job_id r.event) (Trace.to_list tr)
+
+(* --- trace ring buffer --- *)
+
+let test_trace_ordering () =
+  let tr = Trace.create ~capacity:8 () in
+  Alcotest.(check bool) "fresh tracer enabled" true (Trace.enabled tr);
+  for i = 1 to 5 do
+    Trace.record tr ~ts_ns:(i * 10) ~lane:(Event.Worker 0) (yield i)
+  done;
+  check Alcotest.int "length" 5 (Trace.length tr);
+  check Alcotest.int "total" 5 (Trace.total tr);
+  check Alcotest.int "dropped" 0 (Trace.dropped tr);
+  check Alcotest.(list int) "oldest first" [ 1; 2; 3; 4; 5 ] (job_ids tr);
+  let seqs = List.map (fun (r : Trace.record) -> r.Trace.seq) (Trace.to_list tr) in
+  check Alcotest.(list int) "monotone seq" [ 0; 1; 2; 3; 4 ] seqs
+
+let test_trace_wraparound () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record tr ~ts_ns:i ~lane:Event.Global (yield i)
+  done;
+  check Alcotest.int "buffer stays bounded" 4 (Trace.length tr);
+  check Alcotest.int "total counts everything" 10 (Trace.total tr);
+  check Alcotest.int "dropped = overwritten" 6 (Trace.dropped tr);
+  check Alcotest.(list int) "newest survive, oldest first" [ 7; 8; 9; 10 ] (job_ids tr);
+  Trace.clear tr;
+  check Alcotest.int "clear empties" 0 (Trace.length tr);
+  check Alcotest.int "clear resets total" 0 (Trace.total tr)
+
+let test_trace_null_and_disable () =
+  check Alcotest.int "null records nothing" 0
+    (Trace.record Trace.null ~ts_ns:1 ~lane:Event.Global (yield 1);
+     Trace.total Trace.null);
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Alcotest.check_raises "null cannot be enabled"
+    (Invalid_argument "Trace.set_enabled: null tracer") (fun () ->
+      Trace.set_enabled Trace.null true);
+  let tr = Trace.create ~capacity:4 () in
+  Trace.set_enabled tr false;
+  Trace.record tr ~ts_ns:1 ~lane:Event.Global (yield 1);
+  check Alcotest.int "disabled tracer drops" 0 (Trace.total tr);
+  Trace.set_enabled tr true;
+  Trace.record tr ~ts_ns:2 ~lane:Event.Global (yield 2);
+  check Alcotest.int "re-enabled records" 1 (Trace.total tr)
+
+(* --- counter registry --- *)
+
+let test_counters_registry () =
+  let reg = Counters.create () in
+  let c = Counters.counter reg "dispatch.decisions" in
+  Counters.incr c;
+  Counters.incr c;
+  Counters.add c 3;
+  check Alcotest.int "counter accumulates" 5 (Counters.count c);
+  let c' = Counters.counter reg "dispatch.decisions" in
+  Counters.incr c';
+  check Alcotest.int "same name, same cell" 6 (Counters.count c);
+  check Alcotest.int "find_count" 6 (Counters.find_count reg "dispatch.decisions");
+  check Alcotest.int "find_count missing = 0" 0 (Counters.find_count reg "nope");
+  let g = Counters.gauge reg "queue.depth" in
+  Counters.set g 42.0;
+  check (Alcotest.float 1e-9) "gauge holds last" 42.0 (Counters.value g);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       ignore (Counters.gauge reg "dispatch.decisions");
+       false
+     with Invalid_argument _ -> true)
+
+let test_counters_dist () =
+  let reg = Counters.create () in
+  let d = Counters.dist reg "worker.overshoot_ns" in
+  List.iter (Counters.observe d) [ 1; 3; 3; 100 ];
+  check Alcotest.int "n" 4 (Counters.dist_count d);
+  check (Alcotest.float 1e-9) "mean" 26.75 (Counters.dist_mean d);
+  check Alcotest.int "max" 100 (Counters.dist_max d);
+  let dump = Counters.dump reg in
+  Alcotest.(check bool) "dump names the dist" true
+    (String.length dump > 0
+    && String.sub dump 0 (String.length "worker.overshoot_ns") = "worker.overshoot_ns")
+
+(* --- Chrome trace exporter: golden output --- *)
+
+let test_chrome_trace_golden () =
+  let tr = Trace.create ~capacity:16 () in
+  Trace.record tr ~ts_ns:1_000 ~lane:(Event.Dispatcher 0)
+    (Event.Job_arrival { job_id = 7; class_idx = 0; service_ns = 800 });
+  Trace.record tr ~ts_ns:1_200 ~lane:(Event.Dispatcher 0)
+    (Event.Dispatch { job_id = 7; worker = 2; policy = "jsq-msq"; queue_len = 0 });
+  Trace.record tr ~ts_ns:1_500 ~lane:(Event.Worker 2)
+    (Event.Quantum_start { job_id = 7; quantum_ns = 2_000 });
+  Trace.record tr ~ts_ns:2_300 ~lane:(Event.Worker 2)
+    (Event.Quantum_end { job_id = 7; ran_ns = 800; finished = true });
+  Trace.record tr ~ts_ns:2_300 ~lane:(Event.Worker 2)
+    (Event.Completion { job_id = 7; sojourn_ns = 1_300 });
+  let expected =
+    "{\"traceEvents\":[\n\
+     {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"tq_sim\"}},\n\
+     {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"dispatcher 0\"}},\n\
+     {\"ph\":\"M\",\"pid\":0,\"tid\":102,\"name\":\"thread_name\",\"args\":{\"name\":\"worker 2\"}},\n\
+     {\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":1.000,\"s\":\"t\",\"name\":\"job_arrival\",\"args\":{\"job\":7,\"class\":0,\"service_ns\":800}},\n\
+     {\"ph\":\"i\",\"pid\":0,\"tid\":1,\"ts\":1.200,\"s\":\"t\",\"name\":\"dispatch\",\"args\":{\"job\":7,\"worker\":2,\"policy\":\"jsq-msq\",\"queue_len\":0}},\n\
+     {\"ph\":\"X\",\"pid\":0,\"tid\":102,\"ts\":1.500,\"dur\":0.800,\"name\":\"job 7\",\"args\":{\"job\":7,\"ran_ns\":800,\"finished\":true}},\n\
+     {\"ph\":\"i\",\"pid\":0,\"tid\":102,\"ts\":2.300,\"s\":\"t\",\"name\":\"completion\",\"args\":{\"job\":7,\"sojourn_ns\":1300}}\n\
+     ]}\n"
+  in
+  check Alcotest.string "golden chrome json" expected (Chrome_trace.export tr)
+
+let test_text_dump () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record tr ~ts_ns:(i * 100) ~lane:(Event.Worker 1) (yield i)
+  done;
+  let s = Text_dump.dump tr in
+  Alcotest.(check bool) "header mentions totals" true
+    (String.length s > 0
+    && String.sub s 0 (String.length "trace: 6 events") = "trace: 6 events");
+  let limited = Text_dump.dump ~limit:2 tr in
+  let lines = String.split_on_char '\n' (String.trim limited) in
+  (* header + elision marker + 2 event lines *)
+  check Alcotest.int "limit keeps last events" 4 (List.length lines)
+
+(* --- time series --- *)
+
+let test_timeseries_csv () =
+  let ts = Timeseries.create ~series:[ "queue_depth"; "busy" ] in
+  Timeseries.push ts ~t_ns:10_000 [| 3.0; 2.0 |];
+  Timeseries.push ts ~t_ns:20_000 [| 1.0; 4.0 |];
+  check Alcotest.int "length" 2 (Timeseries.length ts);
+  check Alcotest.(list string) "names" [ "queue_depth"; "busy" ] (Timeseries.names ts);
+  let t_ns, row = Timeseries.get ts 1 in
+  check Alcotest.int "get time" 20_000 t_ns;
+  check (Alcotest.float 1e-9) "get value" 4.0 row.(1);
+  check Alcotest.string "csv"
+    "t_ns,queue_depth,busy\n10000,3,2\n20000,1,4\n" (Timeseries.to_csv ts);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Timeseries.push: row width mismatch") (fun () ->
+      Timeseries.push ts ~t_ns:30_000 [| 1.0 |])
+
+let test_timeseries_growth () =
+  let ts = Timeseries.create ~series:[ "v" ] in
+  for i = 1 to 1_000 do
+    Timeseries.push ts ~t_ns:i [| float_of_int i |]
+  done;
+  check Alcotest.int "grows past initial capacity" 1_000 (Timeseries.length ts);
+  let t_ns, row = Timeseries.get ts 999 in
+  check Alcotest.int "last time" 1_000 t_ns;
+  check (Alcotest.float 1e-9) "last value" 1_000.0 row.(0)
+
+let suite =
+  [
+    Alcotest.test_case "trace ordering" `Quick test_trace_ordering;
+    Alcotest.test_case "trace wraparound" `Quick test_trace_wraparound;
+    Alcotest.test_case "null + disable" `Quick test_trace_null_and_disable;
+    Alcotest.test_case "counter registry" `Quick test_counters_registry;
+    Alcotest.test_case "overshoot dist" `Quick test_counters_dist;
+    Alcotest.test_case "chrome trace golden" `Quick test_chrome_trace_golden;
+    Alcotest.test_case "text dump" `Quick test_text_dump;
+    Alcotest.test_case "timeseries csv" `Quick test_timeseries_csv;
+    Alcotest.test_case "timeseries growth" `Quick test_timeseries_growth;
+  ]

@@ -356,7 +356,7 @@ let test_centralized_dispatcher_gap_grows_with_cores () =
     let sim = Sim.create () in
     let config = Centralized.shinjuku_config ~quantum_ns ~cores in
     let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
-    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+    let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics () in
     (* Keep every core busy: 2 jobs per core of 1ms each. *)
     for i = 1 to 2 * cores do
       Centralized.submit t
@@ -377,7 +377,7 @@ let test_centralized_fcfs_mode () =
     { (Centralized.ideal_config ~quantum_ns:0 ~cores:1) with quantum_ns = None }
   in
   let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
-  let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics in
+  let t = Centralized.create sim ~rng:(Prng.create ~seed:1L) ~config ~metrics () in
   Centralized.submit t (request ~req_id:1 ~service_ns:1_000 ~arrival_ns:0 ());
   Centralized.submit t (request ~req_id:2 ~service_ns:1_000 ~arrival_ns:0 ());
   Sim.run sim;
@@ -393,7 +393,7 @@ let test_caladan_work_stealing_balances () =
   let sim = Sim.create () in
   let config = Caladan.default_config ~mode:Caladan.Directpath ~cores:2 in
   let metrics = Metrics.create ~workload:Table1.high_bimodal ~warmup_ns:0 in
-  let t = Caladan.create sim ~rng:(Prng.create ~seed:3L) ~config ~metrics in
+  let t = Caladan.create sim ~rng:(Prng.create ~seed:3L) ~config ~metrics () in
   Caladan.submit t (request ~req_id:1 ~class_idx:1 ~service_ns:100_000 ~arrival_ns:0 ());
   Caladan.submit t (request ~req_id:2 ~class_idx:1 ~service_ns:100_000 ~arrival_ns:0 ());
   Sim.run sim;
@@ -473,7 +473,7 @@ let test_max_rate_under_slo () =
     if rate < 5.0 then
       Metrics.record metrics ~class_idx:0 ~arrival_ns:0 ~finish_ns:10 ~service_ns:10
     else Metrics.record metrics ~class_idx:0 ~arrival_ns:0 ~finish_ns:1000 ~service_ns:10;
-    { Experiment.metrics; offered = 1; duration_ns = 10; events = 0; dispatcher_busy_ns = 0 }
+    { Experiment.metrics; offered = 1; duration_ns = 10; events = 0; dispatcher_busy_ns = 0; timeseries = None }
   in
   let ok (r : Experiment.result) =
     Metrics.sojourn_percentile r.metrics ~class_idx:0 100.0 < 100.0
@@ -488,6 +488,99 @@ let test_presets_shinjuku_quanta () =
   check Alcotest.int "tpcc 10us" 10_000 (Presets.shinjuku_quantum_for "tpcc");
   check Alcotest.int "rocksdb 15us" 15_000
     (Presets.shinjuku_quantum_for "rocksdb-0.5pct-scan")
+
+(* --- multi-dispatcher diagnostics --- *)
+
+let test_multi_dispatcher_busy_accounting () =
+  let sim = Sim.create () in
+  let config =
+    {
+      Two_level.default_config with
+      cores = 4;
+      dispatchers = 2;
+      overheads = { Overheads.zero with dispatch_ns = 100; ring_hop_ns = 10 };
+    }
+  in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  let t = Two_level.create sim ~rng:(Prng.create ~seed:5L) ~config ~metrics () in
+  (* req_id mod dispatchers spreads RSS-style: odd ids to dispatcher 1,
+     even to dispatcher 0, three jobs each. *)
+  for i = 1 to 6 do
+    Two_level.submit t (request ~req_id:i ~service_ns:1_000 ~arrival_ns:0 ())
+  done;
+  Alcotest.(check bool) "work queued at dispatchers" true
+    (Two_level.dispatcher_queue_length t > 0);
+  Sim.run sim;
+  check Alcotest.int "total dispatcher busy = 6 x 100ns" 600
+    (Two_level.dispatcher_busy_ns t);
+  check Alcotest.int "even split: bottleneck = 3 x 100ns" 300
+    (Two_level.max_dispatcher_busy_ns t);
+  check Alcotest.int "queues drained" 0 (Two_level.dispatcher_queue_length t);
+  check Alcotest.int "all jobs completed" 6 (Metrics.total_completed metrics)
+
+let test_single_dispatcher_max_equals_total () =
+  let sim = Sim.create () in
+  let config =
+    {
+      Two_level.default_config with
+      cores = 2;
+      dispatchers = 1;
+      overheads = { Overheads.zero with dispatch_ns = 70 };
+    }
+  in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  let t = Two_level.create sim ~rng:(Prng.create ~seed:5L) ~config ~metrics () in
+  for i = 1 to 5 do
+    Two_level.submit t (request ~req_id:i ~service_ns:500 ~arrival_ns:0 ())
+  done;
+  Sim.run sim;
+  check Alcotest.int "one dispatcher carries everything" 350
+    (Two_level.dispatcher_busy_ns t);
+  check Alcotest.int "max = total with one dispatcher"
+    (Two_level.dispatcher_busy_ns t)
+    (Two_level.max_dispatcher_busy_ns t)
+
+(* --- observability integration --- *)
+
+let test_experiment_obs_integration () =
+  let obs = Tq_obs.Obs.create ~trace_capacity:4_096 ~sample_interval_ns:100_000 () in
+  let r =
+    Experiment.run ~obs ~system:(Presets.tq ()) ~workload:Table1.extreme_bimodal_sim
+      ~rate_rps:2_000_000.0 ~duration_ns:(Time_unit.ms 2.0) ()
+  in
+  let trace = obs.Tq_obs.Obs.trace in
+  Alcotest.(check bool) "events recorded" true (Tq_obs.Trace.total trace > 0);
+  let kinds = Hashtbl.create 8 in
+  Tq_obs.Trace.iter trace (fun rec_ ->
+      Hashtbl.replace kinds (Tq_obs.Event.name rec_.Tq_obs.Trace.event) ());
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5 event types in trace (%d)" (Hashtbl.length kinds))
+    true
+    (Hashtbl.length kinds >= 5);
+  let reg = obs.Tq_obs.Obs.counters in
+  Alcotest.(check bool) "dispatch decisions counted" true
+    (Tq_obs.Counters.find_count reg "dispatch.decisions" > 0);
+  Alcotest.(check bool) "worker quanta counted" true
+    (Tq_obs.Counters.find_count reg "worker.quanta" > 0);
+  Alcotest.(check bool) "completions counted" true
+    (Tq_obs.Counters.find_count reg "worker.completions" > 0);
+  (match r.timeseries with
+  | Some ts ->
+      Alcotest.(check bool) "occupancy sampled" true (Tq_obs.Timeseries.length ts > 0)
+  | None -> Alcotest.fail "obs run must produce a timeseries");
+  (* The exporter output must at least be shaped like a Chrome trace. *)
+  let json = Tq_obs.Chrome_trace.export trace in
+  Alcotest.(check bool) "chrome json shape" true
+    (String.length json > 2
+    && String.sub json 0 15 = "{\"traceEvents\":"
+    && json.[String.length json - 2] = '}')
+
+let test_experiment_without_obs_has_no_timeseries () =
+  let r =
+    run_system ~system:(Presets.tq ()) ~workload:Table1.exp1 ~rate_rps:500_000.0
+      ~duration_ns:(Time_unit.ms 1.0)
+  in
+  Alcotest.(check bool) "no sampler by default" true (r.timeseries = None)
 
 let suite =
   [
@@ -525,6 +618,14 @@ let suite =
     Alcotest.test_case "throughput low load" `Quick test_throughput_at_low_load;
     Alcotest.test_case "max rate under slo" `Quick test_max_rate_under_slo;
     Alcotest.test_case "shinjuku quanta presets" `Quick test_presets_shinjuku_quanta;
+    Alcotest.test_case "multi-dispatcher busy accounting" `Quick
+      test_multi_dispatcher_busy_accounting;
+    Alcotest.test_case "single-dispatcher max busy" `Quick
+      test_single_dispatcher_max_equals_total;
+    Alcotest.test_case "experiment obs integration" `Quick
+      test_experiment_obs_integration;
+    Alcotest.test_case "no obs, no timeseries" `Quick
+      test_experiment_without_obs_has_no_timeseries;
   ]
 
 (* --- determinism and multi-seed --- *)
