@@ -103,6 +103,24 @@ let test_deque =
          Tq_util.Ring_deque.push_back dq 1;
          ignore (Tq_util.Ring_deque.pop_front dq)))
 
+let test_backoff =
+  let config = Tq_workload.Retry.default_config in
+  let retry = ref 0 in
+  Test.make ~name:"retry backoff schedule"
+    (Staged.stage (fun () ->
+         retry := (!retry mod 63) + 1;
+         ignore (Tq_workload.Retry.backoff_ns config ~retry:!retry)))
+
+let test_admission =
+  (* The per-arrival cost of the overload gate on the dispatcher's hot
+     path (the Queue_limit branch is the cheapest non-trivial one). *)
+  let a = Tq_sched.Admission.create (Tq_sched.Admission.Queue_limit { max_in_system = 64 }) in
+  let n = ref 0 in
+  Test.make ~name:"admission admit (queue limit)"
+    (Staged.stage (fun () ->
+         incr n;
+         ignore (Tq_sched.Admission.admit a ~in_system:(!n land 127))))
+
 (* Trace-overhead microbenchmarks: the record path behind the
    [Trace.enabled] guard, with tracing on and off.  The disabled side is
    the one every hot path pays by default, so it must show ~0 allocated
@@ -168,6 +186,8 @@ let run_microbenchmarks () =
       test_skiplist;
       test_cache;
       test_deque;
+      test_backoff;
+      test_admission;
     ]
   in
   let cfg =

@@ -251,6 +251,63 @@ let trace_cmd =
     Term.(const trace_run $ system $ workload $ quantum $ load $ duration $ seed_arg $ out
           $ csv_out $ dump_events)
 
+(* --- faults --- *)
+
+let faults_run system_name workload_name quick json =
+  let workload = find_workload workload_name in
+  let system = find_system system_name ~quantum_ns:(Tq_util.Time_unit.us 2.0) in
+  if json then begin
+    let points = Tq_experiments.Faults.goodput_points ~quick ~system ~workload () in
+    let n = List.length points in
+    print_string "{\n";
+    Printf.printf "  \"experiment\": \"faults\",\n";
+    Printf.printf "  \"system\": %S,\n" system_name;
+    Printf.printf "  \"workload\": %S,\n" workload.Tq_workload.Service_dist.name;
+    Printf.printf "  \"quick\": %b,\n" quick;
+    Printf.printf "  \"points\": [\n";
+    List.iteri
+      (fun i (intensity, (r : Tq_fault.Fault_experiment.result)) ->
+        Printf.printf
+          "    {\"stall_intensity\": %g, \"goodput_ratio\": %.4f, \"goodput_rps\": %.0f, \
+           \"eventual_p99_us\": %.2f, \"retries\": %d, \"lost\": %d, \"stranded\": %d, \
+           \"stalls_injected\": %d}%s\n"
+          intensity
+          (Tq_fault.Fault_experiment.goodput_ratio r)
+          r.goodput_rps
+          (Tq_workload.Metrics.overall_eventual_percentile r.metrics 99.0 /. 1e3)
+          (Tq_workload.Metrics.retries r.metrics)
+          r.lost r.stranded r.stalls_injected
+          (if i = n - 1 then "" else ","))
+      points;
+    print_string "  ]\n}\n"
+  end
+  else
+    List.iter Tq_util.Text_table.print
+      (Tq_experiments.Faults.sweep ~quick ~system ~system_name ~workload ())
+
+let faults_cmd =
+  let doc =
+    "Sweep fault intensity against one system and workload: goodput/tail degradation \
+     under core stalls, recovery from a permanent core failure, and overload \
+     protection by admission control."
+  in
+  let system =
+    Arg.(value & pos 0 string "tq" & info [] ~docv:"SYSTEM" ~doc:(String.concat " | " system_names))
+  in
+  let workload =
+    Arg.(value & pos 1 string "high-bimodal"
+         & info [] ~docv:"WORKLOAD" ~doc:"Table 1 workload name (or table1-a..f alias)")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"short runs, fewer sweep points (CI smoke)")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"print the stall-intensity goodput curve as JSON instead of tables")
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults_run $ system $ workload $ quick $ json)
+
 (* --- probe-place --- *)
 
 let probe_place name bound =
@@ -295,4 +352,5 @@ let () =
   let info = Cmd.info "tq_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; trace_cmd; probe_place_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; sweep_cmd; trace_cmd; faults_cmd; probe_place_cmd ]))

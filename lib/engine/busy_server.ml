@@ -1,10 +1,12 @@
 module Deque = Tq_util.Ring_deque
 
-type 'a pending = { item : 'a; cost : int; done_ : 'a -> unit }
+(* [real] distinguishes served items from [occupy] blackouts, which burn
+   server time but are not work. *)
+type pending = { cost : int; run : unit -> unit; real : bool }
 
 type 'a t = {
   sim : Sim.t;
-  queue : 'a pending Deque.t;
+  queue : pending Deque.t;
   mutable busy : bool;
   mutable busy_time : int;
   mutable served : int;
@@ -21,14 +23,22 @@ let rec start_next t =
       ignore
         (Sim.schedule_after t.sim ~delay:p.cost (fun () ->
              t.busy_time <- t.busy_time + p.cost;
-             t.served <- t.served + 1;
-             p.done_ p.item;
+             if p.real then t.served <- t.served + 1;
+             p.run ();
              start_next t)
           : Sim.event)
 
 let submit t ~cost item ~done_ =
   if cost < 0 then invalid_arg "Busy_server.submit: negative cost";
-  Deque.push_back t.queue { item; cost; done_ };
+  Deque.push_back t.queue { cost; run = (fun () -> done_ item); real = true };
+  if not t.busy then start_next t
+
+let occupy t ~cost =
+  if cost < 0 then invalid_arg "Busy_server.occupy: negative cost";
+  (* Front of the queue: the blackout starts as soon as the op in
+     service (if any) finishes, ahead of all waiting work — an outage
+     does not politely queue behind pending requests. *)
+  Deque.push_front t.queue { cost; run = ignore; real = false };
   if not t.busy then start_next t
 
 let queue_length t = Deque.length t.queue

@@ -16,6 +16,13 @@ val create : Sim.t -> unit -> 'a t
     [done_ item] runs. *)
 val submit : 'a t -> cost:int -> 'a -> done_:('a -> unit) -> unit
 
+(** [occupy t ~cost] blocks the server for [cost] ns without serving
+    anything: a fault-injection hook modeling a transient outage of the
+    serving core.  The blackout starts as soon as the op currently in
+    service (if any) completes — it jumps ahead of queued work — and is
+    counted in [busy_time] but not in [served]. *)
+val occupy : 'a t -> cost:int -> unit
+
 (** [queue_length t] counts items waiting (not the one in service). *)
 val queue_length : 'a t -> int
 

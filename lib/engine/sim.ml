@@ -21,6 +21,44 @@ let schedule_after t ~delay f =
 let cancel ev = if ev.state = `Pending then ev.state <- `Cancelled
 let cancelled ev = ev.state = `Cancelled
 
+(* A repeating event: one live heap entry at a time, re-armed after each
+   firing.  [stop] both flags the handle and cancels the armed entry, so
+   a stopped periodic can never fire again and never keeps the heap
+   non-empty (which would make [run] spin forever). *)
+type periodic = {
+  mutable armed : event option;
+  mutable stopped : bool;
+  mutable fired : int;
+}
+
+let periodic t ?until ~interval f =
+  if interval <= 0 then invalid_arg "Sim.periodic: interval must be positive";
+  let p = { armed = None; stopped = false; fired = 0 } in
+  let rec arm () =
+    let next = t.now + interval in
+    match until with
+    | Some limit when next > limit -> p.armed <- None
+    | _ ->
+        p.armed <-
+          Some
+            (schedule_at t ~time:next (fun () ->
+                 p.armed <- None;
+                 if not p.stopped then begin
+                   p.fired <- p.fired + 1;
+                   f ();
+                   if not p.stopped then arm ()
+                 end))
+  in
+  arm ();
+  p
+
+let stop_periodic p =
+  p.stopped <- true;
+  (match p.armed with Some ev -> cancel ev | None -> ());
+  p.armed <- None
+
+let periodic_fired p = p.fired
+
 let rec step t =
   if Heap.is_empty t.heap then false
   else begin

@@ -33,6 +33,25 @@ val cancel : event -> unit
 (** [cancelled ev] reports whether [cancel] was called. *)
 val cancelled : event -> bool
 
+(** Handle for a repeating event installed with {!periodic}. *)
+type periodic
+
+(** [periodic t ?until ~interval f] runs [f ()] every [interval] ns of
+    virtual time, first at [now t + interval].  With [until], no firing
+    is scheduled past that absolute time — always bound or {!stop_periodic}
+    a periodic, otherwise the event heap never drains and [run] without
+    [until] spins forever.  Replaces the hand-rolled self-rescheduling
+    closures that heartbeat/sampler code used to build on
+    {!schedule_after}. *)
+val periodic : t -> ?until:int -> interval:int -> (unit -> unit) -> periodic
+
+(** [stop_periodic p] cancels the repeating event; it will never fire
+    again.  Idempotent. *)
+val stop_periodic : periodic -> unit
+
+(** [periodic_fired p] counts completed firings (diagnostics/tests). *)
+val periodic_fired : periodic -> int
+
 (** [run ?until t] processes events in timestamp order until the queue is
     empty or the next event is strictly after [until].  Time stops at the
     last executed event (or at [until] if given and later). *)

@@ -1,0 +1,49 @@
+(** Graceful-degradation experiments built on [tq_fault]: goodput and
+    tail-latency curves under injected core stalls, a permanent core
+    failure, and overload, for TQ (with its failure handling) against
+    the centralized and Caladan baselines. *)
+
+(** [goodput_points ~system ~workload ()] runs the stall-intensity sweep
+    and returns [(intensity, result)] per point — the machine-readable
+    degradation curve behind [BENCH_faults.json].  [quick] shrinks the
+    sweep to 0%%/5%%/20%% and shortens each run. *)
+val goodput_points :
+  ?quick:bool ->
+  system:Tq_sched.Experiment.system_spec ->
+  workload:Tq_workload.Service_dist.t ->
+  unit ->
+  (float * Tq_fault.Fault_experiment.result) list
+
+(** Goodput/tail degradation vs stall intensity for one system. *)
+val degradation :
+  ?quick:bool ->
+  system:Tq_sched.Experiment.system_spec ->
+  system_name:string ->
+  workload:Tq_workload.Service_dist.t ->
+  unit ->
+  Tq_util.Text_table.t
+
+(** The same stall plan replayed against TQ, Shinjuku and Caladan. *)
+val compare_systems :
+  ?quick:bool -> workload:Tq_workload.Service_dist.t -> unit -> Tq_util.Text_table.t
+
+(** One of 16 cores fails mid-run; health tracking on vs off. *)
+val kill_recovery :
+  ?quick:bool -> workload:Tq_workload.Service_dist.t -> unit -> Tq_util.Text_table.t
+
+(** Load swept past saturation with and without admission control. *)
+val admission_overload :
+  ?quick:bool -> workload:Tq_workload.Service_dist.t -> unit -> Tq_util.Text_table.t
+
+(** All four tables for one system/workload — the [tq_sim faults]
+    subcommand. *)
+val sweep :
+  ?quick:bool ->
+  system:Tq_sched.Experiment.system_spec ->
+  system_name:string ->
+  workload:Tq_workload.Service_dist.t ->
+  unit ->
+  Tq_util.Text_table.t list
+
+(** Registry entry point: the full sweep on TQ with High Bimodal. *)
+val faults : unit -> Tq_util.Text_table.t list

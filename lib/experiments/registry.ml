@@ -139,6 +139,12 @@ let all =
       summary = "Extension: finite RX ring turns overload into drops (goodput plateau)";
       tables = one Extensions.ext_overload;
     };
+    {
+      id = "faults";
+      plot = false;
+      summary = "Robustness: fault injection, failure handling, and overload protection";
+      tables = Faults.faults;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,194 @@
+(* The fault-run driver: Experiment.run's shape, plus the robustness
+   stack — fault injection, retry with backoff, admission control, and
+   dispatcher health tracking — wired around any of the three systems.
+
+   Goodput is the headline number: eventual completions (first useful
+   completion per request, across retries) within [deadline_ns] of the
+   original arrival, so both losses and deadline-blown stragglers count
+   against a system. *)
+
+module Sim = Tq_engine.Sim
+module Prng = Tq_util.Prng
+module Metrics = Tq_workload.Metrics
+module Arrivals = Tq_workload.Arrivals
+module Retry = Tq_workload.Retry
+module Experiment = Tq_sched.Experiment
+module Two_level = Tq_sched.Two_level
+module Centralized = Tq_sched.Centralized
+module Caladan = Tq_sched.Caladan
+module Worker = Tq_sched.Worker
+module Admission = Tq_sched.Admission
+module Job = Tq_sched.Job
+
+type config = {
+  seed : int64;
+  duration_ns : int;
+  rate_rps : float;
+  faults : Plan.spec list;
+  retry : Retry.config option;  (** [None] = no client timeout/retry *)
+  admission : Admission.policy;  (** TQ only; baselines have no gate *)
+  health_interval_ns : int option;
+      (** TQ only: heartbeat period for dispatcher health tracking;
+          [None] = no failure handling (the ablation) *)
+  missed_heartbeats : int;
+  deadline_ns : int;  (** goodput deadline per request *)
+}
+
+let default_config ~rate_rps ~duration_ns =
+  {
+    seed = 42L;
+    duration_ns;
+    rate_rps;
+    faults = [];
+    retry = Some Retry.default_config;
+    admission = Admission.Accept_all;
+    health_interval_ns = Some 20_000;
+    missed_heartbeats = 2;
+    deadline_ns = 200_000;
+  }
+
+type result = {
+  metrics : Metrics.t;
+  offered : int;
+  duration_ns : int;
+  deadline_ns : int;
+  goodput : int;  (** eventual completions within the deadline *)
+  goodput_rps : float;  (** over the post-warm-up window *)
+  events : int;
+  acct : Two_level.accounting option;  (** TQ only *)
+  lost : int;  (** jobs destroyed by core failures *)
+  stranded : int;  (** jobs still in the system when the sim drained *)
+  stalls_injected : int;
+  stall_ns_injected : int;
+  kills : int;
+  outages : int;
+}
+
+let run ?obs ~system ~workload config =
+  let sim = Sim.create () in
+  let rng = Prng.create ~seed:config.seed in
+  let warmup_ns = config.duration_ns / 10 in
+  let metrics = Metrics.create ~workload ~warmup_ns in
+  (* Completion routing is decided after the retry layer exists; the
+     systems close over this cell. *)
+  let note_complete = ref (fun (_ : Job.t) -> ()) in
+  let on_complete job = !note_complete job in
+  let submit, target, acct, stranded_fn, lost_fn =
+    match (system : Experiment.system_spec) with
+    | Two_level cfg ->
+        let t =
+          Two_level.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
+            ~admission:config.admission ~on_complete ()
+        in
+        (match config.health_interval_ns with
+        | Some interval_ns ->
+            ignore
+              (Two_level.install_health_monitor t ~interval_ns
+                 ~until_ns:config.duration_ns
+                 ~missed_heartbeats:config.missed_heartbeats ()
+                : Sim.periodic)
+        | None -> ());
+        let workers = Two_level.workers t in
+        ( Two_level.submit t,
+          {
+            Injector.cores = cfg.cores;
+            stall = (fun ~wid ~duration_ns -> Worker.inject_stall workers.(wid) ~duration_ns);
+            kill = (fun ~wid -> Worker.kill workers.(wid));
+            dispatcher_outage =
+              (fun ~dispatcher ~duration_ns ->
+                Two_level.inject_dispatcher_outage t ~dispatcher ~duration_ns);
+          },
+          Some (Two_level.accounting t),
+          (fun () -> Two_level.in_system t),
+          fun () -> (Two_level.accounting t).lost )
+    | Centralized cfg ->
+        let t =
+          Centralized.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
+            ~on_complete ()
+        in
+        ( Centralized.submit t,
+          {
+            Injector.cores = cfg.cores;
+            stall = (fun ~wid ~duration_ns -> Centralized.inject_stall t ~wid ~duration_ns);
+            kill = (fun ~wid -> Centralized.kill_worker t ~wid);
+            dispatcher_outage =
+              (fun ~dispatcher:_ ~duration_ns ->
+                Centralized.inject_dispatcher_outage t ~duration_ns);
+          },
+          None,
+          (fun () ->
+            let _, in_flight, _ = Centralized.obs_snapshot t in
+            in_flight),
+          fun () -> Centralized.lost_jobs t )
+    | Caladan cfg ->
+        let t =
+          Caladan.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
+            ~on_complete ()
+        in
+        ( Caladan.submit t,
+          {
+            Injector.cores = cfg.cores;
+            stall = (fun ~wid ~duration_ns -> Caladan.inject_stall t ~wid ~duration_ns);
+            kill = (fun ~wid -> Caladan.kill_worker t ~wid);
+            dispatcher_outage =
+              (fun ~dispatcher:_ ~duration_ns ->
+                Caladan.inject_iokernel_outage t ~duration_ns);
+          },
+          None,
+          (fun () ->
+            let _, in_flight, _ = Caladan.obs_snapshot t in
+            in_flight),
+          fun () -> Caladan.lost_jobs t )
+  in
+  let submit = Injector.wrap_sink ~rng ~metrics ?obs config.faults submit in
+  let sink =
+    match config.retry with
+    | Some retry_config ->
+        let r = Retry.create sim ~config:retry_config ~metrics ~submit ?obs () in
+        note_complete :=
+          (fun job -> Retry.note_completion r ~req_id:job.Job.id ~finish_ns:(Sim.now sim));
+        Retry.sink r
+    | None ->
+        (* No retry layer: every completion is the eventual one and the
+           job still carries its original arrival time. *)
+        note_complete :=
+          (fun job ->
+            Metrics.record_eventual metrics ~class_idx:job.Job.class_idx
+              ~arrival_ns:job.Job.arrival_ns ~finish_ns:(Sim.now sim));
+        submit
+  in
+  let injected =
+    Injector.install sim ~rng:(Prng.split rng) ~target ~until_ns:config.duration_ns
+      config.faults
+  in
+  let issued =
+    Arrivals.install sim ~rng:(Prng.split rng) ~workload ~rate_rps:config.rate_rps
+      ~duration_ns:config.duration_ns ~sink
+  in
+  Sim.run sim;
+  let goodput = Metrics.goodput_within metrics ~deadline_ns:config.deadline_ns in
+  let measured_ns = config.duration_ns - warmup_ns in
+  {
+    metrics;
+    offered = !issued;
+    duration_ns = config.duration_ns;
+    deadline_ns = config.deadline_ns;
+    goodput;
+    goodput_rps = float_of_int goodput /. (float_of_int measured_ns /. 1e9);
+    events = Sim.events_processed sim;
+    acct;
+    lost = lost_fn ();
+    stranded = stranded_fn ();
+    stalls_injected = Injector.stalls_injected injected;
+    stall_ns_injected = Injector.stall_ns_injected injected;
+    kills = Injector.kills injected;
+    outages = Injector.outages injected;
+  }
+
+(* Post-warm-up goodput as a fraction of the post-warm-up offered load
+   (the Y axis of a degradation curve).  The denominator estimates the
+   post-warm-up arrivals as 90% of the total — Poisson variance can push
+   the raw quotient a hair past 1, so clamp. *)
+let goodput_ratio r =
+  let measured = float_of_int r.offered *. 0.9 in
+  if measured <= 0.0 then 0.0 else Float.min 1.0 (float_of_int r.goodput /. measured)

@@ -1,0 +1,52 @@
+(** The fault-run driver: {!Tq_sched.Experiment.run}'s shape plus the
+    robustness stack — fault injection ({!Injector}), client retry with
+    capped backoff ({!Tq_workload.Retry}), admission control
+    ({!Tq_sched.Admission}), and dispatcher health tracking — wired
+    around any of the three systems so degradation curves are
+    comparable. *)
+
+type config = {
+  seed : int64;
+  duration_ns : int;
+  rate_rps : float;
+  faults : Plan.spec list;
+  retry : Tq_workload.Retry.config option;  (** [None] = no client retry *)
+  admission : Tq_sched.Admission.policy;  (** TQ only; baselines have no gate *)
+  health_interval_ns : int option;
+      (** TQ only: heartbeat period for dispatcher health tracking;
+          [None] = no failure handling (the ablation) *)
+  missed_heartbeats : int;
+  deadline_ns : int;  (** goodput deadline per request *)
+}
+
+(** Fault-free defaults: seed 42, retry on, health tracking every 20 us
+    (2 missed heartbeats), accept-all admission, 200 us deadline. *)
+val default_config : rate_rps:float -> duration_ns:int -> config
+
+type result = {
+  metrics : Tq_workload.Metrics.t;
+  offered : int;
+  duration_ns : int;
+  deadline_ns : int;
+  goodput : int;  (** eventual completions within the deadline *)
+  goodput_rps : float;  (** over the post-warm-up window *)
+  events : int;
+  acct : Tq_sched.Two_level.accounting option;  (** TQ only *)
+  lost : int;  (** jobs destroyed by core failures *)
+  stranded : int;  (** jobs still in the system when the sim drained *)
+  stalls_injected : int;
+  stall_ns_injected : int;
+  kills : int;
+  outages : int;
+}
+
+val run :
+  ?obs:Tq_obs.Obs.t ->
+  system:Tq_sched.Experiment.system_spec ->
+  workload:Tq_workload.Service_dist.t ->
+  config ->
+  result
+
+(** Post-warm-up goodput over post-warm-up offered load — the Y axis of
+    a degradation curve. *)
+val goodput_ratio : result -> float

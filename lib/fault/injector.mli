@@ -1,0 +1,55 @@
+(** Turns a declarative {!Plan} into seeded DES events against a
+    running system.
+
+    Injection goes through the narrow {!target} hook record, so TQ and
+    both baselines receive the identical fault timeline: stall
+    generation draws from one split PRNG, tick by tick in worker order,
+    independent of anything the scheduler does. *)
+
+(** How to hurt a particular system. *)
+type target = {
+  cores : int;
+  stall : wid:int -> duration_ns:int -> unit;
+  kill : wid:int -> unit;
+  dispatcher_outage : dispatcher:int -> duration_ns:int -> unit;
+}
+
+(** Injection bookkeeping (counts of injected events). *)
+type t
+
+(** [install sim ~rng ~target ~until_ns specs] schedules every fault in
+    [specs]; periodic stall generation stops at [until_ns] so the sim
+    drains.  [Nic_drop] specs are ignored here — apply {!wrap_sink} to
+    the submission path instead.  Raises [Invalid_argument] on invalid
+    specs or out-of-range worker ids. *)
+val install :
+  Tq_engine.Sim.t ->
+  rng:Tq_util.Prng.t ->
+  target:target ->
+  until_ns:int ->
+  Plan.spec list ->
+  t
+
+(** [wrap_sink ~rng ~metrics specs sink] returns a sink that silently
+    loses each request with the combined [Nic_drop] probability of
+    [specs] (recording it in [metrics]) and forwards the rest to
+    [sink].  Returns [sink] unchanged when the plan has no drops. *)
+val wrap_sink :
+  rng:Tq_util.Prng.t ->
+  metrics:Tq_workload.Metrics.t ->
+  ?obs:Tq_obs.Obs.t ->
+  Plan.spec list ->
+  (Tq_workload.Arrivals.request -> unit) ->
+  Tq_workload.Arrivals.request ->
+  unit
+
+val stalls_injected : t -> int
+
+val stall_ns_injected : t -> int
+
+val kills : t -> int
+
+val outages : t -> int
+
+(** Stop all periodic stall generators early (tests). *)
+val stop : t -> unit

@@ -1,0 +1,36 @@
+(** Declarative fault plans.
+
+    A plan is a list of {!spec}s; {!Injector.install} turns each into
+    deterministic, seeded DES events.  The description is separate from
+    the mechanism so the same plan can be replayed against TQ and both
+    baselines, making degradation curves comparable. *)
+
+type duration =
+  | Fixed_ns of int
+  | Uniform_ns of { lo : int; hi : int }  (** inclusive range *)
+  | Exp_ns of { mean : int }
+
+type scope = All_workers | Workers of int list
+
+type spec =
+  | Stalls of { intensity : float; duration : duration; scope : scope; tick_ns : int }
+      (** Transient core blackouts (GC pauses, SMIs, antagonists): each
+          [tick_ns], each in-scope core starts a stall with probability
+          [intensity * tick_ns / mean_duration], so the long-run
+          expected fraction of time stalled is [intensity]. *)
+  | Kill of { wid : int; at_ns : int }  (** permanent core failure at [at_ns] *)
+  | Dispatcher_outage of { dispatcher : int; at_ns : int; duration_ns : int }
+      (** the dispatcher core goes dark for [duration_ns]; arrivals
+          still queue behind the outage *)
+  | Nic_drop of { prob : float }
+      (** each request is lost on the NIC path with probability [prob] *)
+
+val mean_duration_ns : duration -> float
+
+(** Deterministic given the PRNG state. *)
+val sample_duration : Tq_util.Prng.t -> duration -> int
+
+(** Raises [Invalid_argument] on out-of-range parameters. *)
+val validate : spec -> unit
+
+val to_string : spec -> string

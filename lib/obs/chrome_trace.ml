@@ -26,6 +26,14 @@ let json_of_record buf (r : Trace.record) =
            tid
            (ts_us (r.ts_ns - ran_ns))
            (ts_us ran_ns) job_id args)
+  | Event.Stall_start { duration_ns; _ } ->
+      (* Injected stall as a complete span so the blackout window shows
+         on the core's lane (Stall_end carries no extra information). *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"stall\",\"args\":%s},\n"
+           tid (ts_us r.ts_ns) (ts_us duration_ns) args)
+  | Event.Stall_end _ -> ()
   | _ ->
       Buffer.add_string buf
         (Printf.sprintf

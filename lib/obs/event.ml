@@ -23,6 +23,24 @@ type t =
           (probe-timing slack, Section 3.2). *)
   | Steal of { job_id : int; victim : int }
   | Completion of { job_id : int; sojourn_ns : int }
+  | Stall_start of { worker : int; duration_ns : int }
+      (** Injected core stall (GC pause / SMI / antagonist) begins. *)
+  | Stall_end of { worker : int }
+  | Worker_killed of { worker : int }  (** permanent core failure injected *)
+  | Worker_marked_dead of { worker : int }
+      (** The dispatcher's health tracking excluded this worker. *)
+  | Worker_marked_alive of { worker : int }
+      (** A suspected-dead worker showed progress again and was
+          readmitted to the dispatch set. *)
+  | Redispatch of { job_id : int; from_worker : int; to_worker : int }
+      (** Queued-but-unstarted job rescued from a dead worker. *)
+  | Retry of { job_id : int; attempt : int; backoff_ns : int }
+      (** Client-side timeout fired; attempt [attempt] will be submitted
+          after [backoff_ns]. *)
+  | Drop of { job_id : int; reason : string }
+      (** Request lost: "nic", "admission", "no-worker", or
+          "retries-exhausted". *)
+  | Dispatcher_outage of { dispatcher : int; duration_ns : int }
 
 let lane_name = function
   | Global -> "global"
@@ -43,7 +61,17 @@ let name = function
   | Preempt_overshoot _ -> "preempt_overshoot"
   | Steal _ -> "steal"
   | Completion _ -> "completion"
+  | Stall_start _ -> "stall_start"
+  | Stall_end _ -> "stall_end"
+  | Worker_killed _ -> "worker_killed"
+  | Worker_marked_dead _ -> "worker_marked_dead"
+  | Worker_marked_alive _ -> "worker_marked_alive"
+  | Redispatch _ -> "redispatch"
+  | Retry _ -> "retry"
+  | Drop _ -> "drop"
+  | Dispatcher_outage _ -> "dispatcher_outage"
 
+(* -1 for core-level events that concern no particular job. *)
 let job_id = function
   | Job_arrival { job_id; _ }
   | Dispatch { job_id; _ }
@@ -53,7 +81,12 @@ let job_id = function
   | Yield { job_id }
   | Preempt_overshoot { job_id; _ }
   | Steal { job_id; _ }
-  | Completion { job_id; _ } -> job_id
+  | Completion { job_id; _ }
+  | Redispatch { job_id; _ }
+  | Retry { job_id; _ }
+  | Drop { job_id; _ } -> job_id
+  | Stall_start _ | Stall_end _ | Worker_killed _ | Worker_marked_dead _
+  | Worker_marked_alive _ | Dispatcher_outage _ -> -1
 
 (* Event payload as ordered key/raw-JSON pairs; shared by the Chrome
    exporter and the text dump so the two stay consistent. *)
@@ -82,6 +115,25 @@ let args = function
       [ ("job", string_of_int job_id); ("victim", string_of_int victim) ]
   | Completion { job_id; sojourn_ns } ->
       [ ("job", string_of_int job_id); ("sojourn_ns", string_of_int sojourn_ns) ]
+  | Stall_start { worker; duration_ns } ->
+      [ ("worker", string_of_int worker); ("duration_ns", string_of_int duration_ns) ]
+  | Stall_end { worker } -> [ ("worker", string_of_int worker) ]
+  | Worker_killed { worker } -> [ ("worker", string_of_int worker) ]
+  | Worker_marked_dead { worker } -> [ ("worker", string_of_int worker) ]
+  | Worker_marked_alive { worker } -> [ ("worker", string_of_int worker) ]
+  | Redispatch { job_id; from_worker; to_worker } ->
+      [ ("job", string_of_int job_id);
+        ("from", string_of_int from_worker);
+        ("to", string_of_int to_worker) ]
+  | Retry { job_id; attempt; backoff_ns } ->
+      [ ("job", string_of_int job_id);
+        ("attempt", string_of_int attempt);
+        ("backoff_ns", string_of_int backoff_ns) ]
+  | Drop { job_id; reason } ->
+      [ ("job", string_of_int job_id); ("reason", Printf.sprintf "%S" reason) ]
+  | Dispatcher_outage { dispatcher; duration_ns } ->
+      [ ("dispatcher", string_of_int dispatcher);
+        ("duration_ns", string_of_int duration_ns) ]
 
 let to_string ev =
   name ev ^ " "

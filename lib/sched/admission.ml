@@ -1,0 +1,56 @@
+(* Overload protection at the dispatcher's front door.
+
+   Shedding happens before the dispatch pipeline is paid for, so a
+   rejected request costs (nearly) nothing — the point of admission
+   control is that under overload it is cheaper to say no early than to
+   let every request queue and miss its deadline.  Policies are
+   deliberately cheap enough for a per-request fast path: an integer
+   compare (queue limit) or one EWMA update per completion. *)
+
+type policy =
+  | Accept_all
+  | Queue_limit of { max_in_system : int }
+      (** reject when admitted-but-unfinished requests reach the cap *)
+  | Ewma_sojourn of { threshold_ns : int; alpha : float }
+      (** reject while the exponentially weighted moving average of
+          completion sojourns exceeds [threshold_ns] *)
+
+type t = { policy : policy; mutable ewma_ns : float; mutable rejected : int }
+
+let create policy =
+  (match policy with
+  | Accept_all -> ()
+  | Queue_limit { max_in_system } ->
+      if max_in_system < 1 then invalid_arg "Admission: max_in_system must be >= 1"
+  | Ewma_sojourn { threshold_ns; alpha } ->
+      if threshold_ns <= 0 then invalid_arg "Admission: threshold_ns must be positive";
+      if not (alpha > 0.0 && alpha <= 1.0) then
+        invalid_arg "Admission: alpha must be in (0, 1]");
+  { policy; ewma_ns = 0.0; rejected = 0 }
+
+let admit t ~in_system =
+  let ok =
+    match t.policy with
+    | Accept_all -> true
+    | Queue_limit { max_in_system } -> in_system < max_in_system
+    | Ewma_sojourn { threshold_ns; _ } -> t.ewma_ns <= float_of_int threshold_ns
+  in
+  if not ok then t.rejected <- t.rejected + 1;
+  ok
+
+let note_completion t ~sojourn_ns =
+  match t.policy with
+  | Ewma_sojourn { alpha; _ } ->
+      t.ewma_ns <-
+        if t.ewma_ns = 0.0 then float_of_int sojourn_ns
+        else (alpha *. float_of_int sojourn_ns) +. ((1.0 -. alpha) *. t.ewma_ns)
+  | Accept_all | Queue_limit _ -> ()
+
+let rejected t = t.rejected
+let ewma_sojourn_ns t = t.ewma_ns
+
+let policy_name = function
+  | Accept_all -> "accept-all"
+  | Queue_limit { max_in_system } -> Printf.sprintf "queue-limit(%d)" max_in_system
+  | Ewma_sojourn { threshold_ns; alpha } ->
+      Printf.sprintf "ewma-sojourn(%dns,a=%.2f)" threshold_ns alpha

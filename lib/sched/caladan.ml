@@ -74,11 +74,13 @@ let try_steal t (thief : Worker.t) =
               : Sim.event)
     end
 
-let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
+let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
+    ?(on_complete = fun (_ : Job.t) -> ()) ?(on_lost = fun (_ : Job.t) -> ()) () =
   if config.cores < 1 then invalid_arg "Caladan.create: need at least one core";
   let on_finish (job : Job.t) =
     Metrics.record metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
-      ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns
+      ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns;
+    on_complete job
   in
   let reg = obs.Tq_obs.Obs.counters in
   let t =
@@ -105,7 +107,7 @@ let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
             (Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:Worker.Fcfs ~overheads
                ~obs
                ~on_idle:(fun () -> try_steal t (Lazy.force worker))
-               ~on_finish ())
+               ~on_lost ~on_finish ())
         in
         Lazy.force worker);
   t
@@ -166,6 +168,36 @@ let submit t req =
 let steals t = t.steals
 
 let workers t = t.workers
+
+(* {2 Fault hooks}
+
+   There is no dispatcher to do health tracking: a killed core's queued
+   jobs wait until some other core goes idle and steals them — rescue by
+   work stealing, the only recovery mechanism this architecture has. *)
+
+let inject_stall t ~wid ~duration_ns =
+  Worker.inject_stall t.workers.(wid) ~duration_ns
+
+let kill_worker t ~wid =
+  Worker.kill t.workers.(wid);
+  (* Give an already-idle core a chance to rescue the dead core's queue
+     right away; later rescues ride the normal idle transitions. *)
+  let idle = ref None in
+  Array.iter
+    (fun w -> if (not (Worker.is_busy w)) && Worker.alive w && !idle = None then idle := Some w)
+    t.workers;
+  match !idle with Some thief -> try_steal t thief | None -> ()
+
+let lost_jobs t =
+  Array.fold_left (fun acc w -> acc + Worker.lost_jobs w) 0 t.workers
+
+let inject_iokernel_outage t ~duration_ns =
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Dispatcher 0)
+      (Event.Dispatcher_outage { dispatcher = 0; duration_ns });
+  (* Meaningful in [Iokernel] mode only: directpath has no central
+     forwarding core to blind, so the occupy sits on an unused server. *)
+  Busy_server.occupy t.iokernel ~cost:duration_ns
 
 (* Instantaneous occupancy, for the time-series sampler. *)
 let obs_snapshot t =

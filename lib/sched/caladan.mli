@@ -33,12 +33,16 @@ val default_config : mode:mode -> cores:int -> config
 
 type t
 
+(** [on_complete] fires per finished job and [on_lost] per job destroyed
+    by a core failure — hooks for the retry layer and fault harness. *)
 val create :
   Tq_engine.Sim.t ->
   rng:Tq_util.Prng.t ->
   config:config ->
   metrics:Tq_workload.Metrics.t ->
   ?obs:Tq_obs.Obs.t ->
+  ?on_complete:(Job.t -> unit) ->
+  ?on_lost:(Job.t -> unit) ->
   unit ->
   t
 
@@ -52,3 +56,21 @@ val workers : t -> Worker.t array
 (** [(queued, in_flight, busy_cores)] at this instant (see
     {!Two_level.obs_snapshot}). *)
 val obs_snapshot : t -> int * int * int
+
+(** {2 Fault injection}
+
+    There is no dispatcher health tracking here: a killed core's queued
+    jobs are rescued only when another core goes idle and steals them —
+    work stealing is the only recovery mechanism this architecture
+    has. *)
+
+val inject_stall : t -> wid:int -> duration_ns:int -> unit
+
+val kill_worker : t -> wid:int -> unit
+
+(** Jobs destroyed by kills, summed over cores. *)
+val lost_jobs : t -> int
+
+(** Blind the IOKernel forwarding core for [duration_ns] ([Iokernel]
+    mode; a no-op burn on an unused server under [Directpath]). *)
+val inject_iokernel_outage : t -> duration_ns:int -> unit

@@ -53,6 +53,16 @@ type t = {
   dispatcher : op Busy_server.t;
   metrics : Metrics.t;
   last_end : int array;  (** per-worker last slice end time *)
+  (* Fault state: a stalled worker serves its blackout between slices
+     ([busy] held true so the dispatcher parks assignments in
+     [pending]); a dead worker loses its in-flight slice and has its
+     parked assignment returned to the central queue. *)
+  stall_pending : int array;
+  in_stall : bool array;
+  dead_w : bool array;
+  mutable lost : int;
+  on_complete : Job.t -> unit;
+  on_lost : Job.t -> unit;
   trace : Trace.t;
   c_arrivals : Counters.counter;
   c_assigns : Counters.counter;
@@ -65,7 +75,8 @@ type t = {
   mutable slice_count : int;
 }
 
-let create sim ~rng:_ ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
+let create sim ~rng:_ ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
+    ?(on_complete = fun (_ : Job.t) -> ()) ?(on_lost = fun (_ : Job.t) -> ()) () =
   if config.cores < 1 then invalid_arg "Centralized.create: need at least one core";
   let reg = obs.Tq_obs.Obs.counters in
   {
@@ -78,6 +89,12 @@ let create sim ~rng:_ ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
     dispatcher = Busy_server.create sim ();
     metrics;
     last_end = Array.make config.cores (-1);
+    stall_pending = Array.make config.cores 0;
+    in_stall = Array.make config.cores false;
+    dead_w = Array.make config.cores false;
+    lost = 0;
+    on_complete;
+    on_lost;
     trace = obs.Tq_obs.Obs.trace;
     c_arrivals = Counters.counter reg "dispatch.arrivals";
     c_assigns = Counters.counter reg "dispatch.decisions";
@@ -118,6 +135,7 @@ let rec kick t =
           if
             !found = None && busy <> want_idle && (not t.inflight.(w))
             && t.pending.(w) = None
+            && not t.dead_w.(w)
           then found := Some w)
         t.busy;
       !found
@@ -137,12 +155,21 @@ let rec kick t =
                 match op with
                 | Assign { job; wid } ->
                     t.inflight.(wid) <- false;
-                    note_assign t ~job ~wid;
-                    if t.busy.(wid) then t.pending.(wid) <- Some job
-                    else start_slice t ~job ~wid;
-                    (* Keep the pipeline primed: prepare the next
-                       assignment while slices run. *)
-                    kick t
+                    if t.dead_w.(wid) then begin
+                      (* The core died while the assignment was being
+                         prepared: the job goes back to the head of the
+                         central queue. *)
+                      Deque.push_front t.queue job;
+                      kick t
+                    end
+                    else begin
+                      note_assign t ~job ~wid;
+                      if t.busy.(wid) then t.pending.(wid) <- Some job
+                      else start_slice t ~job ~wid;
+                      (* Keep the pipeline primed: prepare the next
+                         assignment while slices run. *)
+                      kick t
+                    end
                 | Admit _ -> assert false);
             kick t)
   end
@@ -169,70 +196,123 @@ and start_slice t ~job ~wid =
       (Event.Quantum_start { job_id = job.Job.id; quantum_ns = slice });
   ignore
     (Sim.schedule_after t.sim ~delay:(slice + overhead) (fun () ->
-         job.remaining_ns <- job.remaining_ns - slice;
-         job.serviced_quanta <- job.serviced_quanta + 1;
-         Counters.incr t.c_quanta;
-         let end_ns = Sim.now t.sim in
-         if Trace.enabled t.trace then
-           Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
-             (Event.Quantum_end
-                { job_id = job.Job.id; ran_ns = slice + overhead; finished = finishes });
-         if finishes then begin
-           Counters.incr t.c_completions;
-           if Trace.enabled t.trace then
-             Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
-               (Event.Completion
-                  { job_id = job.Job.id; sojourn_ns = end_ns - job.arrival_ns });
-           Metrics.record t.metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
-             ~finish_ns:(Sim.now t.sim) ~service_ns:job.service_ns
+         if t.dead_w.(wid) then begin
+           (* The core died mid-slice: the job's state is gone. *)
+           t.lost <- t.lost + 1;
+           t.busy.(wid) <- false;
+           t.on_lost job;
+           rescue_pending t ~wid
          end
          else begin
-           Counters.incr t.c_preemptions;
+           job.remaining_ns <- job.remaining_ns - slice;
+           job.serviced_quanta <- job.serviced_quanta + 1;
+           Counters.incr t.c_quanta;
+           let end_ns = Sim.now t.sim in
            if Trace.enabled t.trace then
              Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
-               (Event.Yield { job_id = job.Job.id });
-           Deque.push_back t.queue job
-         end;
-         t.last_end.(wid) <- Sim.now t.sim;
-         t.busy.(wid) <- false;
-         (match t.pending.(wid) with
-         | Some next ->
-             t.pending.(wid) <- None;
-             start_slice t ~job:next ~wid
-         | None -> ());
-         kick t;
-         (* Work conservation: an idle worker with nothing to do poaches
-            an assignment parked at a busy worker (the dispatcher pays
-            another op to re-steer it). *)
-         if (not t.busy.(wid)) && not t.inflight.(wid) then begin
-           let victim = ref None in
-           Array.iteri
-             (fun w pending -> if !victim = None && pending <> None && w <> wid then victim := Some w)
-             t.pending;
-           match !victim with
-           | Some w -> (
-               match t.pending.(w) with
-               | Some job ->
-                   t.pending.(w) <- None;
-                   t.inflight.(wid) <- true;
-                   let cost =
-                     t.config.sched_op_ns
-                     + (t.config.sched_scan_per_core_ns * t.config.cores)
-                   in
-                   Busy_server.submit t.dispatcher ~cost (Assign { job; wid })
-                     ~done_:(fun op ->
-                       match op with
-                       | Assign { job; wid } ->
-                           t.inflight.(wid) <- false;
-                           note_assign t ~job ~wid;
-                           if t.busy.(wid) then t.pending.(wid) <- Some job
-                           else start_slice t ~job ~wid;
-                           kick t
-                       | Admit _ -> assert false)
-               | None -> ())
-           | None -> ()
+               (Event.Quantum_end
+                  { job_id = job.Job.id; ran_ns = slice + overhead; finished = finishes });
+           if finishes then begin
+             Counters.incr t.c_completions;
+             if Trace.enabled t.trace then
+               Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
+                 (Event.Completion
+                    { job_id = job.Job.id; sojourn_ns = end_ns - job.arrival_ns });
+             Metrics.record t.metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
+               ~finish_ns:(Sim.now t.sim) ~service_ns:job.service_ns;
+             t.on_complete job
+           end
+           else begin
+             Counters.incr t.c_preemptions;
+             if Trace.enabled t.trace then
+               Trace.record t.trace ~ts_ns:end_ns ~lane:(Event.Worker wid)
+                 (Event.Yield { job_id = job.Job.id });
+             Deque.push_back t.queue job
+           end;
+           t.last_end.(wid) <- Sim.now t.sim;
+           t.busy.(wid) <- false;
+           after_slice t ~wid
          end)
       : Sim.event)
+
+(* A dead core's parked assignment goes back to the central queue — the
+   dispatcher owns all state in this model, so rescue is immediate. *)
+and rescue_pending t ~wid =
+  match t.pending.(wid) with
+  | Some job ->
+      t.pending.(wid) <- None;
+      Deque.push_front t.queue job;
+      kick t
+  | None -> ()
+
+(* What a worker does after a slice (or blackout window) ends: serve any
+   injected stall first — [busy] stays true so assignments park in
+   [pending] — then pick up parked work and re-prime the pipeline. *)
+and after_slice t ~wid =
+  if t.dead_w.(wid) then rescue_pending t ~wid
+  else if t.stall_pending.(wid) > 0 then begin
+    let d = t.stall_pending.(wid) in
+    t.stall_pending.(wid) <- 0;
+    t.busy.(wid) <- true;
+    t.in_stall.(wid) <- true;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker wid)
+        (Event.Stall_start { worker = wid; duration_ns = d });
+    ignore
+      (Sim.schedule_after t.sim ~delay:d (fun () ->
+           t.in_stall.(wid) <- false;
+           t.busy.(wid) <- false;
+           if Trace.enabled t.trace then
+             Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker wid)
+               (Event.Stall_end { worker = wid });
+           after_slice t ~wid)
+        : Sim.event)
+  end
+  else begin
+    (match t.pending.(wid) with
+    | Some next ->
+        t.pending.(wid) <- None;
+        start_slice t ~job:next ~wid
+    | None -> ());
+    kick t;
+    (* Work conservation: an idle worker with nothing to do poaches
+       an assignment parked at a busy worker (the dispatcher pays
+       another op to re-steer it). *)
+    if (not t.busy.(wid)) && not t.inflight.(wid) then begin
+      let victim = ref None in
+      Array.iteri
+        (fun w pending -> if !victim = None && pending <> None && w <> wid then victim := Some w)
+        t.pending;
+      match !victim with
+      | Some w -> (
+          match t.pending.(w) with
+          | Some job ->
+              t.pending.(w) <- None;
+              t.inflight.(wid) <- true;
+              let cost =
+                t.config.sched_op_ns
+                + (t.config.sched_scan_per_core_ns * t.config.cores)
+              in
+              Busy_server.submit t.dispatcher ~cost (Assign { job; wid })
+                ~done_:(fun op ->
+                  match op with
+                  | Assign { job; wid } ->
+                      t.inflight.(wid) <- false;
+                      if t.dead_w.(wid) then begin
+                        Deque.push_front t.queue job;
+                        kick t
+                      end
+                      else begin
+                        note_assign t ~job ~wid;
+                        if t.busy.(wid) then t.pending.(wid) <- Some job
+                        else start_slice t ~job ~wid;
+                        kick t
+                      end
+                  | Admit _ -> assert false)
+          | None -> ())
+      | None -> ()
+    end
+  end
 
 let submit t req =
   Counters.incr t.c_arrivals;
@@ -252,6 +332,42 @@ let submit t req =
           kick t
       | Assign _ -> assert false)
 
+(* {2 Fault hooks} *)
+
+let check_wid t ~fn wid =
+  if wid < 0 || wid >= t.config.cores then
+    invalid_arg (Printf.sprintf "Centralized.%s: bad worker index" fn)
+
+let inject_stall t ~wid ~duration_ns =
+  check_wid t ~fn:"inject_stall" wid;
+  if duration_ns <= 0 then
+    invalid_arg "Centralized.inject_stall: duration must be positive";
+  if not t.dead_w.(wid) then begin
+    t.stall_pending.(wid) <- t.stall_pending.(wid) + duration_ns;
+    if not t.busy.(wid) then after_slice t ~wid
+  end
+
+let kill_worker t ~wid =
+  check_wid t ~fn:"kill_worker" wid;
+  if not t.dead_w.(wid) then begin
+    t.dead_w.(wid) <- true;
+    t.stall_pending.(wid) <- 0;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker wid)
+        (Event.Worker_killed { worker = wid });
+    (* A busy core's in-flight slice (or stall) closure observes the
+       death and rescues; an idle core only needs its mailbox cleared. *)
+    if not t.busy.(wid) then rescue_pending t ~wid
+  end
+
+let lost_jobs t = t.lost
+
+let inject_dispatcher_outage t ~duration_ns =
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Dispatcher 0)
+      (Event.Dispatcher_outage { dispatcher = 0; duration_ns });
+  Busy_server.occupy t.dispatcher ~cost:duration_ns
+
 let mean_sched_gap_ns t =
   if t.gap_count = 0 then nan else float_of_int t.gap_sum /. float_of_int t.gap_count
 
@@ -261,11 +377,14 @@ let mean_effective_quantum_ns t =
 
 let dispatcher_busy_ns t = Busy_server.busy_time t.dispatcher
 
-(* Instantaneous occupancy, for the time-series sampler. *)
+(* Instantaneous occupancy, for the time-series sampler.  A core serving
+   an injected blackout holds [busy] (to park assignments) but executes
+   no job, so it counts as neither busy nor in-flight work. *)
 let obs_snapshot t =
-  let busy = Array.fold_left (fun acc b -> acc + if b then 1 else 0) 0 t.busy in
+  let busy = ref 0 in
+  Array.iteri (fun w b -> if b && not t.in_stall.(w) then incr busy) t.busy;
   let pending =
     Array.fold_left (fun acc p -> acc + if p = None then 0 else 1) 0 t.pending
   in
   let queued = Deque.length t.queue + Busy_server.queue_length t.dispatcher in
-  (queued, queued + pending + busy, busy)
+  (queued, queued + pending + !busy, !busy)

@@ -35,16 +35,41 @@ val shinjuku_config : quantum_ns:int -> cores:int -> config
 
 type t
 
+(** [on_complete] fires per finished job and [on_lost] per job destroyed
+    by a core failure — hooks for the retry layer and fault harness. *)
 val create :
   Tq_engine.Sim.t ->
   rng:Tq_util.Prng.t ->
   config:config ->
   metrics:Tq_workload.Metrics.t ->
   ?obs:Tq_obs.Obs.t ->
+  ?on_complete:(Job.t -> unit) ->
+  ?on_lost:(Job.t -> unit) ->
   unit ->
   t
 
 val submit : t -> Tq_workload.Arrivals.request -> unit
+
+(** {2 Fault injection}
+
+    Same model as {!Worker}: a stall is a transient blackout served
+    between slices (the dispatcher's parked assignment waits it out); a
+    kill is permanent — the in-flight slice's job is lost, the parked
+    assignment returns to the central queue, and the core is never
+    assigned to again (the centralized dispatcher sees core state
+    directly, so there is no separate health-tracking estimate). *)
+
+val inject_stall : t -> wid:int -> duration_ns:int -> unit
+
+val kill_worker : t -> wid:int -> unit
+
+(** Jobs destroyed by kills. *)
+val lost_jobs : t -> int
+
+(** Blind the single dispatcher core for [duration_ns]; every
+    scheduling operation (admission, assignment, preemption) queues
+    behind the blackout — centralization's whole-system failure mode. *)
+val inject_dispatcher_outage : t -> duration_ns:int -> unit
 
 (** Mean time between consecutive quantum starts on a worker minus the
     slice itself — i.e. added scheduling delay; used by the Figure 16

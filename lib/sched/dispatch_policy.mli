@@ -21,5 +21,9 @@ type chooser
 val make_chooser : t -> rng:Tq_util.Prng.t -> chooser
 
 (** [choose chooser workers] picks the worker index for the next job,
-    reading each worker's dispatcher-visible counters. *)
-val choose : chooser -> Worker.t array -> int
+    reading each worker's dispatcher-visible counters.  [alive], when
+    given, restricts the choice to indices it accepts — the dispatcher's
+    health-tracking filter; raises [Invalid_argument] if it accepts
+    none.  Fault-free callers omit it and get the historical PRNG
+    stream unchanged. *)
+val choose : ?alive:(int -> bool) -> chooser -> Worker.t array -> int

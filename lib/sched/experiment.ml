@@ -41,22 +41,20 @@ let run ?(seed = 42L) ?obs ~system ~workload ~rate_rps ~duration_ns () =
         let t = Caladan.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
         (Caladan.submit t, (fun () -> 0), fun () -> Caladan.obs_snapshot t)
   in
-  (* The time-series sampler: a self-rescheduling event on the sim's
-     virtual clock; it stops at [duration_ns] so the sim still drains. *)
+  (* The time-series sampler: a periodic event on the sim's virtual
+     clock, bounded by [duration_ns] so the sim still drains. *)
   let timeseries =
     match obs with
     | None -> None
     | Some (obs : Tq_obs.Obs.t) ->
         let ts = Timeseries.create ~series:[ "queue_depth"; "in_flight"; "busy_cores" ] in
         let interval = max 1 obs.sample_interval_ns in
-        let rec tick () =
-          let queued, in_flight, busy = snapshot () in
-          Timeseries.push ts ~t_ns:(Sim.now sim)
-            [| float_of_int queued; float_of_int in_flight; float_of_int busy |];
-          if Sim.now sim + interval <= duration_ns then
-            ignore (Sim.schedule_after sim ~delay:interval tick : Sim.event)
-        in
-        ignore (Sim.schedule_after sim ~delay:interval tick : Sim.event);
+        ignore
+          (Sim.periodic sim ~until:duration_ns ~interval (fun () ->
+               let queued, in_flight, busy = snapshot () in
+               Timeseries.push ts ~t_ns:(Sim.now sim)
+                 [| float_of_int queued; float_of_int in_flight; float_of_int busy |])
+            : Sim.periodic);
         Some ts
   in
   let issued =

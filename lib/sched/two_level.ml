@@ -29,6 +29,27 @@ type dispatcher = {
   chooser : Dispatch_policy.chooser;
 }
 
+(* Request conservation under faults.  The invariant, checked by the
+   fault regression tests:
+
+     accepted = in_dispatch + on_worker + completed + lost
+                + dropped_no_worker
+
+   where on_worker is the derived sum of [Worker.unfinished] (which
+   already includes jobs riding the ring, because assignment is counted
+   at decision time).  [on_ring] is informational. *)
+type accounting = {
+  mutable submitted : int;
+  mutable accepted : int;
+  mutable rejected : int;  (** shed by admission control *)
+  mutable in_dispatch : int;  (** inside a dispatcher (queued or in service) *)
+  mutable on_ring : int;  (** riding a dispatcher->worker ring hop *)
+  mutable completed : int;
+  mutable lost : int;  (** destroyed by a core failure mid-slice *)
+  mutable dropped_no_worker : int;  (** no live core to dispatch to *)
+  mutable redispatches : int;  (** rescues off cores believed dead *)
+}
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -40,21 +61,57 @@ type t = {
   c_arrivals : Counters.counter;
   c_dispatches : Counters.counter;
   c_ring_hops : Counters.counter;
+  c_redispatches : Counters.counter;
+  acct : accounting;
+  admission : Admission.t;
+  on_reject : Arrivals.request -> unit;
+  (* The dispatcher's health estimate per worker — [marked_alive.(i)]
+     false means core i is excluded from dispatch.  Distinct from the
+     ground truth [Worker.alive]: a stalled core can be believed dead
+     (and later revived), a just-killed core can still be believed
+     alive until heartbeats catch up. *)
+  marked_alive : bool array;
+  mutable dead_count : int;
 }
 
-let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
+let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
+    ?(admission = Admission.Accept_all) ?(on_complete = fun (_ : Job.t) -> ())
+    ?(on_reject = fun (_ : Arrivals.request) -> ())
+    ?(on_lost = fun (_ : Job.t) -> ()) () =
   if config.cores < 1 then invalid_arg "Two_level.create: need at least one core";
   if config.dispatchers < 1 then
     invalid_arg "Two_level.create: need at least one dispatcher";
   let ov = config.overheads in
+  let acct =
+    {
+      submitted = 0;
+      accepted = 0;
+      rejected = 0;
+      in_dispatch = 0;
+      on_ring = 0;
+      completed = 0;
+      lost = 0;
+      dropped_no_worker = 0;
+      redispatches = 0;
+    }
+  in
+  let admission = Admission.create admission in
   let on_finish (job : Job.t) =
+    let now = Sim.now sim in
     Metrics.record metrics ~class_idx:job.class_idx ~arrival_ns:job.arrival_ns
-      ~finish_ns:(Sim.now sim) ~service_ns:job.service_ns
+      ~finish_ns:now ~service_ns:job.service_ns;
+    acct.completed <- acct.completed + 1;
+    Admission.note_completion admission ~sojourn_ns:(now - job.arrival_ns);
+    on_complete job
+  in
+  let on_lost (job : Job.t) =
+    acct.lost <- acct.lost + 1;
+    on_lost job
   in
   let workers =
     Array.init config.cores (fun wid ->
         Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:config.quantum_policy
-          ~overheads:ov ~obs ~on_finish ())
+          ~overheads:ov ~obs ~on_lost ~on_finish ())
   in
   let dispatchers =
     Array.init config.dispatchers (fun _ ->
@@ -75,10 +132,67 @@ let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ()) () =
     c_arrivals = Counters.counter reg "dispatch.arrivals";
     c_dispatches = Counters.counter reg "dispatch.decisions";
     c_ring_hops = Counters.counter reg "dispatch.ring_hops";
+    c_redispatches = Counters.counter reg "dispatch.redispatches";
+    acct;
+    admission;
+    on_reject;
+    marked_alive = Array.make config.cores true;
+    dead_count = 0;
   }
+
+let in_system t =
+  t.acct.accepted - t.acct.completed - t.acct.lost - t.acct.dropped_no_worker
+
+(* Pick a worker the dispatcher believes alive.  Fault-free runs (no
+   core ever marked dead) take the unfiltered path, consuming the PRNG
+   stream exactly as before faults existed. *)
+let pick_worker t (d : dispatcher) =
+  if t.dead_count = 0 then Some (Dispatch_policy.choose d.chooser t.workers)
+  else if t.dead_count >= Array.length t.workers then None
+  else
+    Some
+      (Dispatch_policy.choose ~alive:(fun i -> t.marked_alive.(i)) d.chooser t.workers)
+
+let rec send_over_ring t job widx =
+  let ov = t.config.overheads in
+  t.acct.on_ring <- t.acct.on_ring + 1;
+  ignore
+    (Sim.schedule_after t.sim ~delay:ov.ring_hop_ns (fun () ->
+         t.acct.on_ring <- t.acct.on_ring - 1;
+         Counters.incr t.c_ring_hops;
+         if Trace.enabled t.trace then
+           Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker widx)
+             (Event.Ring_hop { job_id = job.Job.id; worker = widx });
+         if t.marked_alive.(widx) then Worker.enqueue t.workers.(widx) job
+         else begin
+           (* The core was marked dead while this job was on the ring;
+              its queue was already drained, so take the job back and
+              rescue it ourselves. *)
+           Worker.note_unassigned t.workers.(widx);
+           redispatch t ~from:widx job
+         end)
+      : Sim.event)
+
+and redispatch t ~from job =
+  let d = t.dispatchers.(job.Job.id mod Array.length t.dispatchers) in
+  match pick_worker t d with
+  | None ->
+      t.acct.dropped_no_worker <- t.acct.dropped_no_worker + 1;
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+          (Event.Drop { job_id = job.Job.id; reason = "no-worker" })
+  | Some widx ->
+      t.acct.redispatches <- t.acct.redispatches + 1;
+      Counters.incr t.c_redispatches;
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+          (Event.Redispatch { job_id = job.Job.id; from_worker = from; to_worker = widx });
+      Worker.note_assigned t.workers.(widx);
+      send_over_ring t job widx
 
 let submit t req =
   let ov = t.config.overheads in
+  t.acct.submitted <- t.acct.submitted + 1;
   (* RSS across dispatcher cores; each balances over all workers using
      the shared (worker-maintained) counters. *)
   let d_idx = req.Arrivals.req_id mod Array.length t.dispatchers in
@@ -93,30 +207,100 @@ let submit t req =
            class_idx = req.Arrivals.class_idx;
            service_ns = req.Arrivals.service_ns;
          });
-  Busy_server.submit d.server ~cost:ov.dispatch_ns req
-    ~done_:(fun (req : Arrivals.request) ->
-      let widx = Dispatch_policy.choose d.chooser t.workers in
-      let worker = t.workers.(widx) in
-      Counters.incr t.c_dispatches;
-      if Trace.enabled t.trace then
-        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
-          (Event.Dispatch
-             {
-               job_id = req.req_id;
-               worker = widx;
-               policy = t.policy_name;
-               queue_len = Worker.queue_length worker;
-             });
-      Worker.note_assigned worker;
-      let job = Job.of_request ~probe_overhead_frac:ov.probe_overhead_frac req in
-      ignore
-        (Sim.schedule_after t.sim ~delay:ov.ring_hop_ns (fun () ->
-             Counters.incr t.c_ring_hops;
-             if Trace.enabled t.trace then
-               Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker widx)
-                 (Event.Ring_hop { job_id = job.Job.id; worker = widx });
-             Worker.enqueue worker job)
-          : Sim.event))
+  if not (Admission.admit t.admission ~in_system:(in_system t)) then begin
+    (* Shed before any dispatch cost is paid — overload protection is
+       only protection if saying no is cheap. *)
+    t.acct.rejected <- t.acct.rejected + 1;
+    Metrics.record_rejection t.metrics;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
+        (Event.Drop { job_id = req.Arrivals.req_id; reason = "admission" });
+    t.on_reject req
+  end
+  else begin
+    t.acct.accepted <- t.acct.accepted + 1;
+    t.acct.in_dispatch <- t.acct.in_dispatch + 1;
+    Busy_server.submit d.server ~cost:ov.dispatch_ns req
+      ~done_:(fun (req : Arrivals.request) ->
+        t.acct.in_dispatch <- t.acct.in_dispatch - 1;
+        match pick_worker t d with
+        | None ->
+            t.acct.dropped_no_worker <- t.acct.dropped_no_worker + 1;
+            if Trace.enabled t.trace then
+              Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
+                (Event.Drop { job_id = req.req_id; reason = "no-worker" })
+        | Some widx ->
+            let worker = t.workers.(widx) in
+            Counters.incr t.c_dispatches;
+            if Trace.enabled t.trace then
+              Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane
+                (Event.Dispatch
+                   {
+                     job_id = req.req_id;
+                     worker = widx;
+                     policy = t.policy_name;
+                     queue_len = Worker.queue_length worker;
+                   });
+            Worker.note_assigned worker;
+            let job = Job.of_request ~probe_overhead_frac:ov.probe_overhead_frac req in
+            send_over_ring t job widx)
+  end
+
+(* {2 Health tracking} *)
+
+let mark_worker_dead t ~wid =
+  if t.marked_alive.(wid) then begin
+    t.marked_alive.(wid) <- false;
+    t.dead_count <- t.dead_count + 1;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker wid)
+        (Event.Worker_marked_dead { worker = wid });
+    (* Rescue queued-but-unstarted jobs; anything mid-slice stays with
+       the core (a merely-stalled core will still finish it). *)
+    List.iter (fun job -> redispatch t ~from:wid job) (Worker.drain t.workers.(wid))
+  end
+
+let mark_worker_alive t ~wid =
+  if not t.marked_alive.(wid) then begin
+    t.marked_alive.(wid) <- true;
+    t.dead_count <- t.dead_count - 1;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker wid)
+        (Event.Worker_marked_alive { worker = wid })
+  end
+
+let worker_marked_alive t ~wid = t.marked_alive.(wid)
+
+let install_health_monitor t ~interval_ns ~until_ns ?(missed_heartbeats = 2) () =
+  if interval_ns <= 0 then
+    invalid_arg "Two_level.install_health_monitor: interval must be positive";
+  if missed_heartbeats < 1 then
+    invalid_arg "Two_level.install_health_monitor: missed_heartbeats must be >= 1";
+  let missed = Array.make (Array.length t.workers) 0 in
+  Sim.periodic t.sim ~until:until_ns ~interval:interval_ns (fun () ->
+      Array.iteri
+        (fun i w ->
+          if Worker.responsive w then begin
+            missed.(i) <- 0;
+            (* Suspicion was wrong (a stall, not a death): readmit. *)
+            if not t.marked_alive.(i) then mark_worker_alive t ~wid:i
+          end
+          else begin
+            missed.(i) <- missed.(i) + 1;
+            if missed.(i) >= missed_heartbeats && t.marked_alive.(i) then
+              mark_worker_dead t ~wid:i
+          end)
+        t.workers)
+
+(* {2 Fault hooks} *)
+
+let inject_dispatcher_outage t ~dispatcher ~duration_ns =
+  if dispatcher < 0 || dispatcher >= Array.length t.dispatchers then
+    invalid_arg "Two_level.inject_dispatcher_outage: bad dispatcher index";
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Dispatcher dispatcher)
+      (Event.Dispatcher_outage { dispatcher; duration_ns });
+  Busy_server.occupy t.dispatchers.(dispatcher).server ~cost:duration_ns
 
 let dispatcher_busy_ns t =
   Array.fold_left (fun acc d -> acc + Busy_server.busy_time d.server) 0 t.dispatchers
@@ -128,9 +312,14 @@ let max_dispatcher_busy_ns t =
   Array.fold_left (fun acc d -> max acc (Busy_server.busy_time d.server)) 0 t.dispatchers
 
 let workers t = t.workers
+let accounting t = t.acct
+let alive_worker_count t = Array.length t.workers - t.dead_count
 
 (* Instantaneous occupancy, for the time-series sampler: total queued
-   jobs (dispatcher + worker queues), jobs in the system, busy cores. *)
+   jobs (dispatcher + worker queues), jobs in the system, busy cores.
+   Dead workers' queues are included — a queued job on a core believed
+   dead is still in the system until drained (redispatch) or lost, so
+   the snapshot and the [accounting] record never disagree about it. *)
 let obs_snapshot t =
   let queued =
     Array.fold_left (fun acc w -> acc + Worker.queue_length w) (dispatcher_queue_length t)

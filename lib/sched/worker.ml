@@ -19,6 +19,7 @@ type t = {
   queue : Job.t Deque.t;
   on_finish : Job.t -> unit;
   on_idle : unit -> unit;
+  on_lost : Job.t -> unit;
   trace : Trace.t;
   lane : Event.lane;
   c_quanta : Counters.counter;
@@ -30,10 +31,22 @@ type t = {
   mutable finished : int;
   mutable current_quanta : int;
   mutable busy_ns : int;
+  (* Fault-injection state (tq_fault).  A stall models a core blackout
+     (GC pause, SMI, antagonist): it is served between quanta, so it
+     delays but never corrupts the running slice.  A killed core loses
+     its in-flight slice; queued jobs stay put for [drain] (dispatcher
+     rescue) or [steal] (Caladan). *)
+  mutable dead : bool;
+  mutable in_service : bool;  (** a job slice (not a stall) is executing *)
+  mutable in_stall : bool;  (** a blackout window is being served *)
+  mutable stall_pending_ns : int;
+  mutable stalled_ns : int;
+  mutable lost : int;
+  mutable quanta_total : int;  (** monotone progress counter, never reset *)
 }
 
 let create sim ~wid ~rng ~policy ~overheads ?(obs = Tq_obs.Obs.disabled ())
-    ?(on_idle = ignore) ~on_finish () =
+    ?(on_idle = ignore) ?(on_lost = ignore) ~on_finish () =
   let reg = obs.Tq_obs.Obs.counters in
   {
     sim;
@@ -44,6 +57,7 @@ let create sim ~wid ~rng ~policy ~overheads ?(obs = Tq_obs.Obs.disabled ())
     queue = Deque.create ();
     on_finish;
     on_idle;
+    on_lost;
     trace = obs.Tq_obs.Obs.trace;
     lane = Event.Worker wid;
     c_quanta = Counters.counter reg "worker.quanta";
@@ -55,6 +69,13 @@ let create sim ~wid ~rng ~policy ~overheads ?(obs = Tq_obs.Obs.disabled ())
     finished = 0;
     current_quanta = 0;
     busy_ns = 0;
+    dead = false;
+    in_service = false;
+    in_stall = false;
+    stall_pending_ns = 0;
+    stalled_ns = 0;
+    lost = 0;
+    quanta_total = 0;
   }
 
 let wid t = t.wid
@@ -119,12 +140,38 @@ let pop_next t =
       end
 
 let rec run_next t =
-  match pop_next t with
-  | None ->
-      t.busy <- false;
-      t.on_idle ()
-  | Some job ->
-      t.busy <- true;
+  if t.dead then t.busy <- false  (* queue kept for [drain] / [steal] *)
+  else if t.stall_pending_ns > 0 then begin
+    (* Serve the accumulated blackout before touching the run queue.
+       The slice in flight when the stall was injected has already run
+       to its quantum boundary — the model charges stalls between
+       quanta, a deliberate simplification (a real GC pause would also
+       stretch the current slice). *)
+    let d = t.stall_pending_ns in
+    t.stall_pending_ns <- 0;
+    t.busy <- true;
+    t.in_stall <- true;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:t.lane
+        (Event.Stall_start { worker = t.wid; duration_ns = d });
+    ignore
+      (Sim.schedule_after t.sim ~delay:d (fun () ->
+           t.in_stall <- false;
+           t.stalled_ns <- t.stalled_ns + d;
+           if Trace.enabled t.trace then
+             Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:t.lane
+               (Event.Stall_end { worker = t.wid });
+           run_next t)
+        : Sim.event)
+  end
+  else
+    match pop_next t with
+    | None ->
+        t.busy <- false;
+        t.on_idle ()
+    | Some job ->
+        t.busy <- true;
+        t.in_service <- true;
       (* Draw jitter separately from the base quantum so the overshoot
          past the nominal quantum is observable (same single PRNG draw
          per slice as before). *)
@@ -145,10 +192,21 @@ let rec run_next t =
           (Event.Quantum_start { job_id = job.id; quantum_ns = slice });
       ignore
         (Sim.schedule_after t.sim ~delay:busy_for (fun () ->
+             t.in_service <- false;
+             if t.dead then begin
+               (* The core died mid-slice: the job's state is gone. *)
+               t.busy <- false;
+               t.current_quanta <- t.current_quanta - job.serviced_quanta;
+               t.assigned <- t.assigned - 1;
+               t.lost <- t.lost + 1;
+               t.on_lost job
+             end
+             else begin
              t.busy_ns <- t.busy_ns + busy_for;
              job.remaining_ns <- job.remaining_ns - slice;
              job.serviced_quanta <- job.serviced_quanta + 1;
              t.current_quanta <- t.current_quanta + 1;
+             t.quanta_total <- t.quanta_total + 1;
              Counters.incr t.c_quanta;
              let now = Sim.now t.sim in
              if Trace.enabled t.trace then
@@ -175,12 +233,56 @@ let rec run_next t =
                end;
                Deque.push_back t.queue job
              end;
-             run_next t)
+             run_next t
+             end)
           : Sim.event)
 
 let enqueue t job =
   Deque.push_back t.queue job;
   if not t.busy then run_next t
+
+let inject_stall t ~duration_ns =
+  if duration_ns <= 0 then invalid_arg "Worker.inject_stall: duration must be positive";
+  if not t.dead then begin
+    t.stall_pending_ns <- t.stall_pending_ns + duration_ns;
+    if not t.busy then run_next t
+  end
+
+let kill t =
+  if not t.dead then begin
+    t.dead <- true;
+    t.stall_pending_ns <- 0;
+    if Trace.enabled t.trace then
+      Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:t.lane
+        (Event.Worker_killed { worker = t.wid });
+    (* If a slice is in flight, its closure sees [dead] and loses the
+       job; if the core is mid-stall or idle, nothing more runs. *)
+    if not t.busy then run_next t
+  end
+
+let drain t =
+  let rec loop acc =
+    match Deque.pop_front t.queue with
+    | Some job ->
+        t.assigned <- t.assigned - 1;
+        loop (job :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let alive t = not t.dead
+let in_service t = t.in_service
+
+(* Whether the core would answer a dispatcher heartbeat right now.
+   Forced multitasking guarantees the worker loop regains control every
+   quantum, so a healthy core always replies promptly; only a blackout
+   (stall) or death makes it miss pings.  A long legitimate slice does
+   NOT make the core unresponsive. *)
+let responsive t = not t.dead && not t.in_stall
+let progress t = t.quanta_total
+let loaded t = t.assigned - t.finished > 0
+let stalled_ns t = t.stalled_ns
+let lost_jobs t = t.lost
 
 let unfinished t = t.assigned - t.finished
 let current_quanta t = t.current_quanta
@@ -188,6 +290,7 @@ let finished_jobs t = t.finished
 let busy_ns t = t.busy_ns
 let queue_length t = Deque.length t.queue
 let note_assigned t = t.assigned <- t.assigned + 1
+let note_unassigned t = t.assigned <- t.assigned - 1
 let is_busy t = t.busy
 
 let steal t =

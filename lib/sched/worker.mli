@@ -26,8 +26,10 @@ type t
 
 (** [on_idle] fires when the core transitions from busy to idle with an
     empty queue — the work-stealing hook used by the Caladan model.
-    [obs] supplies the event tracer and counter registry; the default is
-    disabled tracing (zero-cost) with a private, unread registry. *)
+    [on_lost] fires for each job destroyed by a core failure (the
+    in-flight slice of a killed core).  [obs] supplies the event tracer
+    and counter registry; the default is disabled tracing (zero-cost)
+    with a private, unread registry. *)
 val create :
   Tq_engine.Sim.t ->
   wid:int ->
@@ -36,6 +38,7 @@ val create :
   overheads:Overheads.t ->
   ?obs:Tq_obs.Obs.t ->
   ?on_idle:(unit -> unit) ->
+  ?on_lost:(Job.t -> unit) ->
   on_finish:(Job.t -> unit) ->
   unit ->
   t
@@ -65,6 +68,60 @@ val queue_length : t -> int
     ring) count as load. *)
 val note_assigned : t -> unit
 
+(** Undo one [note_assigned]: the dispatcher redirects a job that was
+    bound for this core but never reached its queue (ring-arrival race
+    with a mark-dead). *)
+val note_unassigned : t -> unit
+
 (** [steal t] removes the most recently queued job, if any (used only by
     the Caladan work-stealing model which shares this worker type). *)
 val steal : t -> Job.t option
+
+(** {2 Fault injection}
+
+    Hooks used by [tq_fault].  A {e stall} is a transient core blackout
+    (GC pause, SMI, antagonist thread): pending stall time is served
+    between quanta, delaying — never corrupting — queued work.  A
+    {e kill} is permanent: the in-flight slice's job is lost (reported
+    via [on_lost]); queued jobs stay in place for {!drain} (dispatcher
+    rescue) or {!steal}. *)
+
+(** Add [duration_ns] of blackout to this core.  Ignored on a dead
+    core; raises [Invalid_argument] if the duration is not positive. *)
+val inject_stall : t -> duration_ns:int -> unit
+
+(** Permanently fail the core.  Idempotent. *)
+val kill : t -> unit
+
+(** Remove and return all queued-but-unstarted jobs (oldest first),
+    releasing their assignment count.  The dispatcher uses this to
+    re-dispatch work away from a core it believes dead. *)
+val drain : t -> Job.t list
+
+(** [not killed] — the ground truth the dispatcher's health tracking
+    tries to estimate. *)
+val alive : t -> bool
+
+(** A job slice (not a stall) is executing right now.  Health tracking
+    uses this to avoid declaring a core dead mid-way through one long
+    legitimate slice. *)
+val in_service : t -> bool
+
+(** Whether the core would answer a dispatcher heartbeat right now:
+    [false] while dead or serving a blackout.  Forced multitasking means
+    a healthy core replies between quanta even under a long job, so a
+    long slice never looks unresponsive. *)
+val responsive : t -> bool
+
+(** Monotone count of slices completed over the core's lifetime; a
+    loaded core whose [progress] does not advance is stalled or dead. *)
+val progress : t -> int
+
+(** The core has admitted-but-unfinished jobs. *)
+val loaded : t -> bool
+
+(** Total blackout time served so far. *)
+val stalled_ns : t -> int
+
+(** Jobs destroyed by a kill on this core. *)
+val lost_jobs : t -> int

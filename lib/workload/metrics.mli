@@ -31,3 +31,55 @@ val overall_slowdown_percentile : t -> float -> float
 val mean_sojourn : t -> class_idx:int -> float
 val class_count : t -> int
 val class_name : t -> int -> string
+
+(** {2 Retry-aware accounting}
+
+    Used by the fault-injection stack ({!Retry}, [tq_fault]).  The plain
+    {!record} samples are per-*attempt* as the server sees them; the
+    [eventual] samples are per-*request*, from the original arrival to
+    the first useful completion across retries.  Drop/rejection counters
+    are raw (not warm-up filtered) — they account events, not latency
+    samples. *)
+
+(** [record_eventual t ~class_idx ~arrival_ns ~finish_ns] records the
+    end-to-end request latency; [arrival_ns] is the original (first
+    attempt) arrival. *)
+val record_eventual : t -> class_idx:int -> arrival_ns:int -> finish_ns:int -> unit
+
+(** One per submission attempt (first tries and retries alike). *)
+val record_attempt : t -> unit
+
+(** One per re-submission caused by a client-side timeout. *)
+val record_retry : t -> unit
+
+(** Request abandoned after exhausting its attempt budget. *)
+val record_timeout_drop : t -> unit
+
+(** Request lost on the NIC path (fault injection). *)
+val record_nic_drop : t -> unit
+
+(** Request shed by the admission controller. *)
+val record_rejection : t -> unit
+
+(** Completion that arrived after the request was already completed by
+    an earlier attempt, or after the client abandoned it. *)
+val record_duplicate : t -> unit
+
+val attempts : t -> int
+val retries : t -> int
+val timeout_drops : t -> int
+val nic_drops : t -> int
+val rejections : t -> int
+val duplicates : t -> int
+
+(** Requests with a recorded (post-warm-up) eventual completion. *)
+val eventual_completed : t -> int
+
+val eventual_percentile : t -> class_idx:int -> float -> float
+val overall_eventual_percentile : t -> float -> float
+
+(** [goodput_within t ~deadline_ns] counts post-warm-up requests whose
+    eventual sojourn was at most [deadline_ns] — completions past the
+    deadline are wasted work, which is what makes overload collapse
+    visible even in an open-loop simulation. *)
+val goodput_within : t -> deadline_ns:int -> int

@@ -1,0 +1,146 @@
+(* Client-side per-request timeout + retry with capped exponential
+   backoff (the RackSched-style robustness layer).
+
+   Sits between the arrival generator and the scheduler: use [sink] as
+   the Arrivals sink, and have the experiment driver call
+   [note_completion] whenever the scheduler finishes a job.  An attempt
+   that does not complete within [timeout_ns] is retried after
+   min(backoff_base_ns * 2^(retry-1), backoff_cap_ns), up to
+   [max_attempts] total submissions; after that the request is
+   abandoned (a timeout drop).
+
+   The original attempt is NOT cancelled on retry — it cannot be, the
+   packet is already in the server — so a request can complete twice;
+   the first useful completion wins and later ones are counted as
+   duplicates.  All accounting flows into the retry-aware counters of
+   {!Metrics}. *)
+
+module Sim = Tq_engine.Sim
+module Trace = Tq_obs.Trace
+module Event = Tq_obs.Event
+
+type config = {
+  timeout_ns : int;  (** per-attempt client timeout *)
+  max_attempts : int;  (** total submissions allowed, >= 1 *)
+  backoff_base_ns : int;  (** backoff before the first retry *)
+  backoff_cap_ns : int;  (** exponential backoff ceiling *)
+}
+
+let default_config =
+  {
+    timeout_ns = 200_000;
+    max_attempts = 3;
+    backoff_base_ns = 10_000;
+    backoff_cap_ns = 160_000;
+  }
+
+let validate_config c =
+  if c.timeout_ns <= 0 then invalid_arg "Retry: timeout_ns must be positive";
+  if c.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if c.backoff_base_ns < 0 then invalid_arg "Retry: negative backoff_base_ns";
+  if c.backoff_cap_ns < c.backoff_base_ns then
+    invalid_arg "Retry: backoff_cap_ns below backoff_base_ns"
+
+(* Backoff before retry number [retry] (1 = first retry): doubling from
+   the base, clamped to the cap.  Shift-count is bounded so the doubling
+   cannot overflow for any retry number. *)
+let backoff_ns config ~retry =
+  if retry < 1 then invalid_arg "Retry.backoff_ns: retry must be >= 1";
+  if config.backoff_base_ns = 0 then 0
+  else begin
+    let doublings = min (retry - 1) 40 in
+    let b = config.backoff_base_ns lsl doublings in
+    (* lsl can wrap for pathological bases; treat any wrap as capped. *)
+    if b <= 0 || b > config.backoff_cap_ns then config.backoff_cap_ns else b
+  end
+
+type outcome = Pending | Completed | Abandoned
+
+type entry = {
+  req : Arrivals.request;  (** original request (original arrival time) *)
+  mutable attempt : int;  (** submissions so far *)
+  mutable outcome : outcome;
+  mutable timeout_ev : Sim.event option;
+}
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  submit : Arrivals.request -> unit;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  tbl : (int, entry) Hashtbl.t;
+  mutable in_flight : int;  (** requests neither completed nor abandoned *)
+}
+
+let create sim ~config ~metrics ~submit ?(obs = Tq_obs.Obs.disabled ()) () =
+  validate_config config;
+  {
+    sim;
+    config;
+    submit;
+    metrics;
+    trace = obs.Tq_obs.Obs.trace;
+    tbl = Hashtbl.create 4096;
+    in_flight = 0;
+  }
+
+let rec launch t e =
+  e.attempt <- e.attempt + 1;
+  Metrics.record_attempt t.metrics;
+  let now = Sim.now t.sim in
+  t.submit { e.req with arrival_ns = now };
+  e.timeout_ev <-
+    Some
+      (Sim.schedule_after t.sim ~delay:t.config.timeout_ns (fun () -> on_timeout t e))
+
+and on_timeout t e =
+  if e.outcome = Pending then begin
+    e.timeout_ev <- None;
+    if e.attempt >= t.config.max_attempts then begin
+      e.outcome <- Abandoned;
+      t.in_flight <- t.in_flight - 1;
+      Metrics.record_timeout_drop t.metrics;
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+          (Event.Drop { job_id = e.req.req_id; reason = "retries-exhausted" })
+    end
+    else begin
+      let backoff = backoff_ns t.config ~retry:e.attempt in
+      Metrics.record_retry t.metrics;
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
+          (Event.Retry
+             { job_id = e.req.req_id; attempt = e.attempt + 1; backoff_ns = backoff });
+      ignore
+        (Sim.schedule_after t.sim ~delay:backoff (fun () ->
+             (* A stray completion may land during the backoff window. *)
+             if e.outcome = Pending then launch t e)
+          : Sim.event)
+    end
+  end
+
+let sink t (req : Arrivals.request) =
+  let e = { req; attempt = 0; outcome = Pending; timeout_ev = None } in
+  Hashtbl.replace t.tbl req.req_id e;
+  t.in_flight <- t.in_flight + 1;
+  launch t e
+
+let note_completion t ~req_id ~finish_ns =
+  match Hashtbl.find_opt t.tbl req_id with
+  | None -> ()  (* submitted around the retry layer; nothing to track *)
+  | Some e -> (
+      match e.outcome with
+      | Completed | Abandoned -> Metrics.record_duplicate t.metrics
+      | Pending ->
+          e.outcome <- Completed;
+          t.in_flight <- t.in_flight - 1;
+          (match e.timeout_ev with Some ev -> Sim.cancel ev | None -> ());
+          e.timeout_ev <- None;
+          Metrics.record_eventual t.metrics ~class_idx:e.req.class_idx
+            ~arrival_ns:e.req.arrival_ns ~finish_ns)
+
+let in_flight t = t.in_flight
+
+let attempts_of t ~req_id =
+  match Hashtbl.find_opt t.tbl req_id with Some e -> e.attempt | None -> 0

@@ -1,0 +1,55 @@
+(** Client-side per-request timeout + retry with capped exponential
+    backoff.
+
+    Wraps a scheduler's submission path: feed arrivals through {!sink}
+    and report completions through {!note_completion}.  An attempt that
+    has not completed after [timeout_ns] is re-submitted after
+    [min (backoff_base_ns * 2^(retry-1)) backoff_cap_ns], up to
+    [max_attempts] total submissions, after which the request is
+    abandoned and counted as a timeout drop.  The in-server attempt is
+    never recalled, so late completions can arrive and are counted as
+    duplicates.  Accounting goes to the retry-aware counters of
+    {!Metrics}. *)
+
+type config = {
+  timeout_ns : int;  (** per-attempt client timeout, > 0 *)
+  max_attempts : int;  (** total submissions allowed, >= 1 *)
+  backoff_base_ns : int;  (** backoff before the first retry, >= 0 *)
+  backoff_cap_ns : int;  (** exponential backoff ceiling, >= base *)
+}
+
+val default_config : config
+
+(** Pure backoff schedule: delay before retry number [retry] (1 = first
+    retry).  Raises [Invalid_argument] if [retry < 1].  Always in
+    [0, backoff_cap_ns]; overflow-safe for any retry count. *)
+val backoff_ns : config -> retry:int -> int
+
+type t
+
+(** [create sim ~config ~metrics ~submit ?obs ()] builds the retry
+    layer in front of [submit] (the scheduler's intake).  Raises
+    [Invalid_argument] on a malformed [config]. *)
+val create :
+  Tq_engine.Sim.t ->
+  config:config ->
+  metrics:Metrics.t ->
+  submit:(Arrivals.request -> unit) ->
+  ?obs:Tq_obs.Obs.t ->
+  unit ->
+  t
+
+(** Arrival intake: tracks the request and submits its first attempt. *)
+val sink : t -> Arrivals.request -> unit
+
+(** Report that the scheduler finished the job for [req_id] at
+    [finish_ns].  First useful completion records the eventual
+    (original-arrival to finish) latency and cancels the pending
+    timeout; later ones count as duplicates.  Unknown ids are ignored. *)
+val note_completion : t -> req_id:int -> finish_ns:int -> unit
+
+(** Requests neither completed nor abandoned yet. *)
+val in_flight : t -> int
+
+(** Submissions made so far for [req_id] (0 if unknown). *)
+val attempts_of : t -> req_id:int -> int

@@ -54,5 +54,22 @@ let rocksdb_scan_50 =
 let all =
   [ extreme_bimodal; high_bimodal; tpcc; exp1; rocksdb_scan_0_5; rocksdb_scan_50 ]
 
+(* Figure/table positions in the paper, as shorthand for the workloads:
+   table1-a..f in the order of [all]. *)
+let aliases =
+  [
+    ("table1-a", extreme_bimodal);
+    ("table1-b", high_bimodal);
+    ("table1-c", tpcc);
+    ("table1-d", exp1);
+    ("table1-e", rocksdb_scan_0_5);
+    ("table1-f", rocksdb_scan_50);
+  ]
+
 let find name =
-  List.find_opt (fun (w : Service_dist.t) -> w.name = name) (extreme_bimodal_sim :: all)
+  match List.assoc_opt name aliases with
+  | Some w -> Some w
+  | None ->
+      List.find_opt
+        (fun (w : Service_dist.t) -> w.name = name)
+        (extreme_bimodal_sim :: all)

@@ -27,5 +27,7 @@ val rocksdb_scan_50 : Service_dist.t
 (** All Table 1 workloads, in paper order. *)
 val all : Service_dist.t list
 
-(** [find name] looks a workload up by its [Service_dist.name]. *)
+(** [find name] looks a workload up by its [Service_dist.name], or by
+    its Table 1 position alias ("table1-a" .. "table1-f", in the order
+    of [all]). *)
 val find : string -> Service_dist.t option

@@ -147,9 +147,50 @@ let test_event_storm_deterministic () =
   let a = run () and b = run () in
   check Alcotest.(pair int int) "deterministic" a b
 
+let test_periodic_bounded () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let p = Sim.periodic sim ~until:100 ~interval:25 (fun () -> fired := Sim.now sim :: !fired) in
+  Sim.run sim;
+  check Alcotest.(list int) "fires every interval up to until" [ 25; 50; 75; 100 ]
+    (List.rev !fired);
+  check Alcotest.int "fired count" 4 (Sim.periodic_fired p)
+
+let test_periodic_stop () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let p = Sim.periodic sim ~interval:10 (fun () -> incr fired) in
+  ignore
+    (Sim.schedule_at sim ~time:35 (fun () ->
+         Sim.stop_periodic p;
+         (* Idempotent. *)
+         Sim.stop_periodic p));
+  Sim.run sim;
+  check Alcotest.int "stopped after 3 firings" 3 !fired;
+  check Alcotest.int "fired count matches" 3 (Sim.periodic_fired p)
+
+let test_busy_server_occupy () =
+  let sim = Sim.create () in
+  let srv = Busy_server.create sim () in
+  let done_at = ref [] in
+  let submit v = Busy_server.submit srv ~cost:10 v ~done_:(fun v -> done_at := (v, Sim.now sim) :: !done_at) in
+  submit "a";
+  (* Blackout jumps ahead of the queued "b": real work resumes only
+     after the outage window. *)
+  submit "b";
+  Busy_server.occupy srv ~cost:100;
+  Sim.run sim;
+  check
+    Alcotest.(list (pair string int))
+    "occupy delays queued work" [ ("a", 10); ("b", 120) ] (List.rev !done_at);
+  check Alcotest.int "occupy is not a served item" 2 (Busy_server.served srv)
+
 let suite =
   [
     Alcotest.test_case "event order" `Quick test_event_order;
+    Alcotest.test_case "periodic bounded" `Quick test_periodic_bounded;
+    Alcotest.test_case "periodic stop" `Quick test_periodic_stop;
+    Alcotest.test_case "busy server occupy" `Quick test_busy_server_occupy;
     Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
     Alcotest.test_case "schedule from handler" `Quick test_schedule_from_handler;
     Alcotest.test_case "schedule past rejected" `Quick test_schedule_past_rejected;

@@ -17,4 +17,5 @@ let () =
       ("net", Test_net.suite);
       ("facade", Test_facade.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]
