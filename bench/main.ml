@@ -2,26 +2,93 @@
    paper's evaluation (Sections 2 and 5), then micro-benchmarks this
    library's own primitives with Bechamel.
 
-     dune exec bench/main.exe
+     dune exec bench/main.exe -- [--jobs N] [--no-cache] [--parallel-bench [FILE]]
+
+   The sweep grid fans out over OCaml 5 domains (--jobs or TQ_JOBS,
+   default: recommended domain count) and completed points are served
+   from _tq_cache/ unless --no-cache.  --parallel-bench times the
+   standard sweep at jobs=1 vs jobs=max and writes BENCH_parallel.json
+   instead of running the full harness.
 
    Simulated durations scale with TQ_BENCH_SCALE (default 1.0).
    EXPERIMENTS.md records paper-vs-measured for each experiment. *)
 
 let hr () = print_endline (String.make 78 '=')
 
-let run_experiments () =
+let run_experiments ~jobs ~use_cache () =
   hr ();
   Printf.printf
-    "Tiny Quanta reproduction — every paper table/figure (TQ_BENCH_SCALE=%.2f)\n"
-    Tq_experiments.Harness.scale;
+    "Tiny Quanta reproduction — every paper table/figure (TQ_BENCH_SCALE=%.2f, jobs=%d)\n"
+    Tq_experiments.Harness.scale jobs;
   hr ();
   print_newline ();
-  List.iter
-    (fun (e : Tq_experiments.Registry.experiment) ->
-      let started = Unix.gettimeofday () in
-      Tq_experiments.Registry.run_and_print e;
-      Printf.printf "[%s done in %.1fs]\n\n%!" e.id (Unix.gettimeofday () -. started))
-    Tq_experiments.Registry.all
+  let cache =
+    if use_cache then Tq_par.Result_cache.create () else Tq_par.Result_cache.disabled ()
+  in
+  let stats = Tq_par.Sweep.run_and_print ~jobs ~cache Tq_experiments.Registry.all in
+  Printf.printf "[%s]\n\n%!" (Tq_par.Sweep.summary stats)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep benchmark: jobs=1 vs jobs=max over the full grid     *)
+(* ------------------------------------------------------------------ *)
+
+let run_parallel_bench ~out () =
+  let experiments = Tq_experiments.Registry.all in
+  let time_run ~jobs =
+    (* Cache disabled: both runs must recompute every point.  Compact
+       first so the second run does not pay for the first one's heap. *)
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let _, stats =
+      Tq_par.Sweep.run ~jobs ~cache:(Tq_par.Result_cache.disabled ()) experiments
+    in
+    (Unix.gettimeofday () -. t0, stats)
+  in
+  let jobs_max = Tq_par.Domain_pool.default_jobs () in
+  Printf.eprintf "parallel bench: %d grid points, jobs=1 then jobs=%d (TQ_BENCH_SCALE=%g)\n%!"
+    Tq_experiments.Registry.point_count jobs_max Tq_experiments.Harness.scale;
+  let wall1, stats1 = time_run ~jobs:1 in
+  Printf.eprintf "jobs=1: %.1fs\n%!" wall1;
+  (* On a single-core host jobs=max *is* jobs=1; a second timed run of
+     the identical configuration would only sample noise, so reuse the
+     measurement and report the trivial 1.0x. *)
+  let wallN, statsN =
+    if jobs_max <= 1 then (wall1, stats1)
+    else begin
+      let wallN, statsN = time_run ~jobs:jobs_max in
+      Printf.eprintf "jobs=%d: %.1fs\n%!" jobs_max wallN;
+      (wallN, statsN)
+    end
+  in
+  let speedup = if wallN > 0.0 then wall1 /. wallN else 0.0 in
+  let util =
+    Array.to_list statsN.pool.per_domain_busy_ns
+    |> List.map (fun busy ->
+           Printf.sprintf "%.3f"
+             (if statsN.pool.wall_ns = 0 then 0.0
+              else float_of_int busy /. float_of_int statsN.pool.wall_ns))
+    |> String.concat ", "
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"parallel standard sweep (every registry point)\",\n\
+    \  \"tq_bench_scale\": %g,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"grid_points\": %d,\n\
+    \  \"jobs_1_wall_s\": %.2f,\n\
+    \  \"jobs_max\": %d,\n\
+    \  \"jobs_max_wall_s\": %.2f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"steals\": %d,\n\
+    \  \"per_domain_utilization\": [%s]\n\
+     }\n"
+    Tq_experiments.Harness.scale
+    (Domain.recommended_domain_count ())
+    Tq_experiments.Registry.point_count wall1 jobs_max wallN speedup
+    statsN.pool.steals util;
+  close_out oc;
+  Printf.printf "wrote %s (speedup %.2fx at jobs=%d)\n" out speedup jobs_max
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the library's own primitives           *)
@@ -209,9 +276,37 @@ let run_microbenchmarks () =
   print_newline ()
 
 let () =
-  run_experiments ();
-  run_microbenchmarks ();
-  run_trace_overhead ();
-  hr ();
-  print_endline "Done. See EXPERIMENTS.md for paper-vs-measured commentary.";
-  hr ()
+  let jobs = ref 0 in
+  let use_cache = ref true in
+  let parallel_bench = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 1 -> jobs := v
+        | _ -> prerr_endline "bench: --jobs expects a positive integer"; exit 2);
+        parse rest
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        parse rest
+    | "--parallel-bench" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        parallel_bench := Some path;
+        parse rest
+    | "--parallel-bench" :: rest ->
+        parallel_bench := Some "BENCH_parallel.json";
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = if !jobs = 0 then Tq_par.Domain_pool.default_jobs () else !jobs in
+  match !parallel_bench with
+  | Some out -> run_parallel_bench ~out ()
+  | None ->
+      run_experiments ~jobs ~use_cache:!use_cache ();
+      run_microbenchmarks ();
+      run_trace_overhead ();
+      hr ();
+      print_endline "Done. See EXPERIMENTS.md for paper-vs-measured commentary.";
+      hr ()

@@ -20,31 +20,51 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
-let run_ids ids =
+(* --jobs 0 means auto: TQ_JOBS or the recommended domain count. *)
+let resolve_jobs jobs = if jobs = 0 then Tq_par.Domain_pool.default_jobs () else max 1 jobs
+
+let jobs_arg =
+  Arg.(value & opt int 0
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"worker domains for the sweep (0 = auto: \\$(b,TQ_JOBS) or the \
+                 recommended domain count)")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"recompute every point, bypassing the $(b,_tq_cache/) result cache")
+
+let run_ids jobs no_cache ids =
   let missing = List.filter (fun id -> Tq_experiments.Registry.find id = None) ids in
   if missing <> [] then begin
     Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " missing);
     exit 1
   end;
-  List.iter
-    (fun id ->
-      match Tq_experiments.Registry.find id with
-      | Some e -> Tq_experiments.Registry.run_and_print e
-      | None -> assert false)
-    ids
+  let experiments = List.filter_map Tq_experiments.Registry.find ids in
+  let cache =
+    if no_cache then Tq_par.Result_cache.disabled () else Tq_par.Result_cache.create ()
+  in
+  let stats =
+    Tq_par.Sweep.run_and_print ~jobs:(resolve_jobs jobs) ~cache experiments
+  in
+  Printf.eprintf "[%s]\n" (Tq_par.Sweep.summary stats)
 
 let run_cmd =
-  let doc = "Regenerate the named figures/tables (see $(b,list))." in
+  let doc =
+    "Regenerate the named figures/tables (see $(b,list)).  Points are fanned out \
+     over domains and served from $(b,_tq_cache/) when their inputs are unchanged."
+  in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ jobs_arg $ no_cache_arg $ ids)
 
 let all_cmd =
   let doc = "Regenerate every figure and table (set TQ_BENCH_SCALE to trade time for precision)." in
-  let run () =
-    run_ids (List.map (fun (e : Tq_experiments.Registry.experiment) -> e.id)
-               Tq_experiments.Registry.all)
+  let run jobs no_cache =
+    run_ids jobs no_cache
+      (List.map (fun (e : Tq_experiments.Registry.experiment) -> e.id)
+         Tq_experiments.Registry.all)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ no_cache_arg)
 
 (* --- shared system/workload resolution --- *)
 
@@ -80,7 +100,7 @@ let find_system name ~quantum_ns =
 
 (* --- sweep --- *)
 
-let sweep system_name workload_name quantum_us loads duration_ms seed trace_out =
+let sweep system_name workload_name quantum_us loads duration_ms seed trace_out jobs =
   let workload = find_workload workload_name in
   let quantum_ns = Tq_util.Time_unit.us quantum_us in
   let system = find_system system_name ~quantum_ns in
@@ -101,17 +121,31 @@ let sweep system_name workload_name quantum_us loads duration_ms seed trace_out 
             (List.init (Tq_workload.Service_dist.class_count workload) Fun.id))
   in
   let last = List.length loads - 1 in
-  List.iteri
-    (fun i load ->
+  (* Each load point runs on its own Seed_stream generator keyed by
+     (sweep key, point index, seed): results do not depend on --jobs or
+     on completion order.  With --trace, the highest-index load point
+     (the most interesting schedule) records events for export. *)
+  let sweep_key = Printf.sprintf "sweep:%s:%s:%g" system_name workload_name quantum_us in
+  let results, _ =
+    Tq_par.Sweep.grid ~jobs:(resolve_jobs jobs) ~experiment:sweep_key ~seed
+      ~f:(fun ~rng ~index load ->
+        let rate = load *. capacity in
+        let obs =
+          match trace_out with
+          | Some _ when index = last -> Some (Tq_obs.Obs.create ())
+          | _ -> None
+        in
+        let point_seed = Tq_util.Prng.bits64 rng in
+        let r =
+          Tq_sched.Experiment.run ~seed:point_seed ?obs ~system ~workload
+            ~rate_rps:rate ~duration_ns ()
+        in
+        (load, r, obs))
+      (Array.of_list loads)
+  in
+  Array.iter
+    (fun (load, (r : Tq_sched.Experiment.result), obs) ->
       let rate = load *. capacity in
-      (* With --trace, record the highest-index load point (the most
-         interesting schedule) and export it. *)
-      let obs =
-        match trace_out with Some _ when i = last -> Some (Tq_obs.Obs.create ()) | _ -> None
-      in
-      let r =
-        Tq_sched.Experiment.run ~seed ?obs ~system ~workload ~rate_rps:rate ~duration_ns ()
-      in
       (match (obs, trace_out) with
       | Some obs, Some path ->
           Tq_obs.Chrome_trace.write_file obs.Tq_obs.Obs.trace path;
@@ -135,7 +169,7 @@ let sweep system_name workload_name quantum_us loads duration_ms seed trace_out 
         (Printf.sprintf "%.0f%%" (100.0 *. load)
         :: Printf.sprintf "%.2f" (rate /. 1e6)
         :: cells))
-    loads;
+    results;
   Tq_util.Text_table.print t
 
 let seed_arg =
@@ -165,7 +199,8 @@ let sweep_cmd =
              ~doc:"record the last load point and write a Chrome trace-event JSON")
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const sweep $ system $ workload $ quantum $ loads $ duration $ seed_arg $ trace_out)
+    Term.(const sweep $ system $ workload $ quantum $ loads $ duration $ seed_arg $ trace_out
+          $ jobs_arg)
 
 (* --- trace --- *)
 

@@ -11,6 +11,12 @@ val fig13 : unit -> Tq_util.Text_table.t
 (** Figure 14: TLS vs CT at 2 us quanta. *)
 val fig14 : unit -> Tq_util.Text_table.t
 
-(** Figure 15: reuse-distance profiles of KV GET and SCAN, including the
-    fraction of accesses above 8 KB (the paper reports 3.7% / 4.5%). *)
+(** Figure 15, GET panel: reuse-distance profile of KV GET, including
+    the fraction of accesses above 8 KB (the paper reports 3.7%). *)
+val fig15_get : unit -> Tq_util.Text_table.t
+
+(** Figure 15, SCAN panel (the paper reports 4.5% above 8 KB). *)
+val fig15_scan : unit -> Tq_util.Text_table.t
+
+(** Figure 15: both reuse-distance profiles. *)
 val fig15 : unit -> Tq_util.Text_table.t list

@@ -55,7 +55,7 @@ let three_systems ~workload ~duration ~tail_class =
           ~class_idx:tail_class );
   ]
 
-let fig5_6 () =
+let quantum_sweep_table ~title ~class_idx =
   let workload = Table1.extreme_bimodal in
   let duration = Harness.duration_ms 40.0 in
   let quanta_us = [ 0.5; 1.0; 2.0; 5.0; 10.0 ] in
@@ -67,41 +67,46 @@ let fig5_6 () =
             run_system (Presets.tq ~quantum_ns:(Time_unit.us q) ()) ~workload ~duration ~rate ))
       quanta_us
   in
-  let make ~title ~class_idx =
-    latency_table ~title ~workload ~systems ~class_idxs:[ class_idx ]
-      ~fracs:default_fracs
-  in
-  [
-    make ~title:"Figure 5: TQ quantum sweep, Extreme Bimodal, short jobs (p99.9 e2e us)"
-      ~class_idx:0;
-    make ~title:"Figure 6: TQ quantum sweep, Extreme Bimodal, long jobs (p99.9 e2e us)"
-      ~class_idx:1;
-  ]
+  latency_table ~title ~workload ~systems ~class_idxs:[ class_idx ] ~fracs:default_fracs
 
-let fig7 () =
+let fig5 () =
+  quantum_sweep_table
+    ~title:"Figure 5: TQ quantum sweep, Extreme Bimodal, short jobs (p99.9 e2e us)"
+    ~class_idx:0
+
+let fig6 () =
+  quantum_sweep_table
+    ~title:"Figure 6: TQ quantum sweep, Extreme Bimodal, long jobs (p99.9 e2e us)"
+    ~class_idx:1
+
+let fig5_6 () = [ fig5 (); fig6 () ]
+
+let fig7_one workload label =
   let duration = Harness.duration_ms 40.0 in
-  let make workload label =
-    latency_table
-      ~title:(Printf.sprintf "Figure 7 (%s): TQ vs Shinjuku vs Caladan (p99.9 e2e us)" label)
-      ~workload
-      ~systems:(three_systems ~workload ~duration ~tail_class:0)
-      ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
-  in
-  [
-    make Table1.extreme_bimodal "Extreme Bimodal";
-    make Table1.high_bimodal "High Bimodal";
-  ]
+  latency_table
+    ~title:(Printf.sprintf "Figure 7 (%s): TQ vs Shinjuku vs Caladan (p99.9 e2e us)" label)
+    ~workload
+    ~systems:(three_systems ~workload ~duration ~tail_class:0)
+    ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
 
-let fig8 () =
+let fig7_extreme () = fig7_one Table1.extreme_bimodal "Extreme Bimodal"
+let fig7_high () = fig7_one Table1.high_bimodal "High Bimodal"
+let fig7 () = [ fig7_extreme (); fig7_high () ]
+
+let fig8_systems () =
   let workload = Table1.tpcc in
   let duration = Harness.duration_ms 40.0 in
-  let systems = three_systems ~workload ~duration ~tail_class:0 in
-  let latency =
-    latency_table
-      ~title:"Figure 8a: TPC-C, shortest (Payment) and longest (StockLevel) classes (p99.9 e2e us)"
-      ~workload ~systems ~class_idxs:[ 0; 4 ] ~fracs:default_fracs
-  in
-  (* Overall slowdown panel, as in the paper. *)
+  (workload, three_systems ~workload ~duration ~tail_class:0)
+
+let fig8_latency () =
+  let workload, systems = fig8_systems () in
+  latency_table
+    ~title:"Figure 8a: TPC-C, shortest (Payment) and longest (StockLevel) classes (p99.9 e2e us)"
+    ~workload ~systems ~class_idxs:[ 0; 4 ] ~fracs:default_fracs
+
+(* Overall slowdown panel, as in the paper. *)
+let fig8_slowdown () =
+  let workload, systems = fig8_systems () in
   let slow =
     Text_table.create ~title:"Figure 8b: TPC-C overall p99.9 slowdown"
       ~columns:("rate(Mrps)" :: List.map fst systems)
@@ -118,7 +123,9 @@ let fig8 () =
       in
       Text_table.add_row slow (Harness.mrps rate :: cells))
     default_fracs;
-  [ latency; slow ]
+  slow
+
+let fig8 () = [ fig8_latency (); fig8_slowdown () ]
 
 let fig9 () =
   let workload = Table1.exp1 in
@@ -132,16 +139,14 @@ let fig9 () =
       ~class_idxs:[ 0 ] ~fracs;
   ]
 
-let fig10 () =
+let fig10_one workload label =
   let duration = Harness.duration_ms 40.0 in
-  let make workload label =
-    latency_table
-      ~title:(Printf.sprintf "Figure 10 (%s): GET/SCAN (p99.9 e2e us)" label)
-      ~workload
-      ~systems:(three_systems ~workload ~duration ~tail_class:0)
-      ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
-  in
-  [
-    make Table1.rocksdb_scan_0_5 "RocksDB 0.5% SCAN";
-    make Table1.rocksdb_scan_50 "RocksDB 50% SCAN";
-  ]
+  latency_table
+    ~title:(Printf.sprintf "Figure 10 (%s): GET/SCAN (p99.9 e2e us)" label)
+    ~workload
+    ~systems:(three_systems ~workload ~duration ~tail_class:0)
+    ~class_idxs:[ 0; 1 ] ~fracs:default_fracs
+
+let fig10_scan05 () = fig10_one Table1.rocksdb_scan_0_5 "RocksDB 0.5% SCAN"
+let fig10_scan50 () = fig10_one Table1.rocksdb_scan_50 "RocksDB 50% SCAN"
+let fig10 () = [ fig10_scan05 (); fig10_scan50 () ]

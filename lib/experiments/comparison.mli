@@ -2,21 +2,50 @@
 
     End-to-end p99.9 latency (sojourn + client RTT) versus offered load,
     for TQ, the Shinjuku model (per-workload optimal quantum) and the
-    better Caladan mode — on every Table 1 workload. *)
+    better Caladan mode — on every Table 1 workload.
 
-(** Figures 5 and 6: TQ quantum-size sweep on Extreme Bimodal, short and
-    long job classes. *)
+    Each figure is also exposed one table at a time: the per-table
+    functions are independent (no shared state between them), so the
+    parallel sweep orchestrator ([tq_par]) can run them as separate grid
+    points; the [unit -> t list] forms are their sequential
+    compositions. *)
+
+(** Figure 5: TQ quantum-size sweep on Extreme Bimodal, short jobs. *)
+val fig5 : unit -> Tq_util.Text_table.t
+
+(** Figure 6: the same sweep, long jobs. *)
+val fig6 : unit -> Tq_util.Text_table.t
+
+(** Figures 5 and 6 together. *)
 val fig5_6 : unit -> Tq_util.Text_table.t list
 
-(** Figure 7: Extreme and High Bimodal, three systems, both classes. *)
+(** Figure 7, Extreme Bimodal panel: three systems, both classes. *)
+val fig7_extreme : unit -> Tq_util.Text_table.t
+
+(** Figure 7, High Bimodal panel. *)
+val fig7_high : unit -> Tq_util.Text_table.t
+
+(** Figure 7: both panels. *)
 val fig7 : unit -> Tq_util.Text_table.t list
 
-(** Figure 8: TPC-C — overall p99.9 slowdown and per-extreme-class
-    latency. *)
+(** Figure 8a: TPC-C, shortest (Payment) and longest (StockLevel)
+    classes. *)
+val fig8_latency : unit -> Tq_util.Text_table.t
+
+(** Figure 8b: TPC-C overall p99.9 slowdown. *)
+val fig8_slowdown : unit -> Tq_util.Text_table.t
+
+(** Figure 8: both panels. *)
 val fig8 : unit -> Tq_util.Text_table.t list
 
 (** Figure 9: Exp(1). *)
 val fig9 : unit -> Tq_util.Text_table.t list
 
-(** Figure 10: RocksDB with 0.5% and 50% SCAN. *)
+(** Figure 10, RocksDB 0.5% SCAN panel. *)
+val fig10_scan05 : unit -> Tq_util.Text_table.t
+
+(** Figure 10, RocksDB 50% SCAN panel. *)
+val fig10_scan50 : unit -> Tq_util.Text_table.t
+
+(** Figure 10: both panels. *)
 val fig10 : unit -> Tq_util.Text_table.t list

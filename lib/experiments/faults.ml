@@ -259,7 +259,16 @@ let sweep ?(quick = false) ~system ~system_name ~workload () =
     admission_overload ~quick ~workload ();
   ]
 
-(* Registry entry point: a representative workload and the TQ system. *)
+(* Registry entry points: a representative workload and the TQ system,
+   one table per function so the parallel sweep can shard them. *)
+let registry_workload = Tq_workload.Table1.high_bimodal
+
+let faults_degradation () =
+  degradation ~system:(Presets.tq ()) ~system_name:"tq" ~workload:registry_workload ()
+
+let faults_compare () = compare_systems ~workload:registry_workload ()
+let faults_kill () = kill_recovery ~workload:registry_workload ()
+let faults_admission () = admission_overload ~workload:registry_workload ()
+
 let faults () =
-  sweep ~system:(Presets.tq ()) ~system_name:"tq" ~workload:Tq_workload.Table1.high_bimodal
-    ()
+  [ faults_degradation (); faults_compare (); faults_kill (); faults_admission () ]

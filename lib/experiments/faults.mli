@@ -45,5 +45,21 @@ val sweep :
   unit ->
   Tq_util.Text_table.t list
 
-(** Registry entry point: the full sweep on TQ with High Bimodal. *)
+(** Registry entry points: the four tables of the full sweep on TQ with
+    High Bimodal, individually runnable so they can be parallel grid
+    points. *)
+
+(** {!degradation} on the registry's TQ + High Bimodal setup. *)
+val faults_degradation : unit -> Tq_util.Text_table.t
+
+(** {!compare_systems} on High Bimodal. *)
+val faults_compare : unit -> Tq_util.Text_table.t
+
+(** {!kill_recovery} on High Bimodal. *)
+val faults_kill : unit -> Tq_util.Text_table.t
+
+(** {!admission_overload} on High Bimodal. *)
+val faults_admission : unit -> Tq_util.Text_table.t
+
+(** All four tables, sequentially: the registry's "faults" entry. *)
 val faults : unit -> Tq_util.Text_table.t list

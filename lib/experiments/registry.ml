@@ -1,11 +1,16 @@
+type point = { label : string; table : unit -> Tq_util.Text_table.t }
+
 type experiment = {
   id : string;
   summary : string;
   plot : bool;
-  tables : unit -> Tq_util.Text_table.t list;
+  points : point list;
 }
 
-let one f () = [ f () ]
+(* A single-table experiment: one point labelled by the experiment id. *)
+let one ~id f = [ { label = id; table = f } ]
+
+let pt label table = { label; table }
 
 let all =
   [
@@ -13,143 +18,165 @@ let all =
       id = "fig1";
       plot = true;
       summary = "Slowdown vs load for quantum sizes (ideal centralized PS)";
-      tables = one Motivation.fig1;
+      points = one ~id:"fig1" Motivation.fig1;
     };
     {
       id = "fig2";
       plot = true;
       summary = "Max rate under slowdown-10 SLO vs quantum, per preemption overhead";
-      tables = one Motivation.fig2;
+      points = one ~id:"fig2" Motivation.fig2;
     };
     {
       id = "fig4";
       plot = true;
       summary = "Centralized vs two-level scheduling, long-job tail slowdown";
-      tables = one Motivation.fig4;
+      points = one ~id:"fig4" Motivation.fig4;
     };
     {
       id = "fig5_6";
       plot = true;
       summary = "TQ quantum-size sweep on Extreme Bimodal";
-      tables = Comparison.fig5_6;
+      points = [ pt "fig5-short" Comparison.fig5; pt "fig6-long" Comparison.fig6 ];
     };
     {
       id = "fig7";
       plot = true;
       summary = "TQ vs Shinjuku vs Caladan: Extreme and High Bimodal";
-      tables = Comparison.fig7;
+      points =
+        [
+          pt "extreme-bimodal" Comparison.fig7_extreme;
+          pt "high-bimodal" Comparison.fig7_high;
+        ];
     };
-    { id = "fig8";
-      plot = true; summary = "TQ vs Shinjuku vs Caladan: TPC-C"; tables = Comparison.fig8 };
-    { id = "fig9";
-      plot = true; summary = "TQ vs Shinjuku vs Caladan: Exp(1)"; tables = Comparison.fig9 };
+    {
+      id = "fig8";
+      plot = true;
+      summary = "TQ vs Shinjuku vs Caladan: TPC-C";
+      points =
+        [ pt "latency" Comparison.fig8_latency; pt "slowdown" Comparison.fig8_slowdown ];
+    };
+    {
+      id = "fig9";
+      plot = true;
+      summary = "TQ vs Shinjuku vs Caladan: Exp(1)";
+      points = [ pt "fig9" (fun () -> List.hd (Comparison.fig9 ())) ];
+    };
     {
       id = "fig10";
       plot = true;
       summary = "TQ vs Shinjuku vs Caladan: RocksDB 0.5% and 50% SCAN";
-      tables = Comparison.fig10;
+      points =
+        [ pt "scan-0.5" Comparison.fig10_scan05; pt "scan-50" Comparison.fig10_scan50 ];
     };
     {
       id = "fig11";
       plot = true;
       summary = "Forced-multitasking ablation (TQ-IC / SLOW-YIELD / TIMING)";
-      tables = one Breakdown.fig11;
+      points = one ~id:"fig11" Breakdown.fig11;
     };
     {
       id = "fig12";
       plot = true;
       summary = "Scheduling ablation (TQ-RAND / POWER-TWO / FCFS)";
-      tables = one Breakdown.fig12;
+      points = one ~id:"fig12" Breakdown.fig12;
     };
     {
       id = "table2";
       plot = false;
       summary = "Analytical reuse distances under CT vs TLS";
-      tables = one Cache_study.table2;
+      points = one ~id:"table2" Cache_study.table2;
     };
     {
       id = "fig13";
       plot = true;
       summary = "Cache: TLS access latency vs array size per quantum";
-      tables = one Cache_study.fig13;
+      points = one ~id:"fig13" Cache_study.fig13;
     };
     {
       id = "fig14";
       plot = true;
       summary = "Cache: TLS vs CT access latency";
-      tables = one Cache_study.fig14;
+      points = one ~id:"fig14" Cache_study.fig14;
     };
     {
       id = "fig15";
       plot = false;
       summary = "Reuse-distance profiles of KV GET/SCAN";
-      tables = Cache_study.fig15;
+      points = [ pt "get" Cache_study.fig15_get; pt "scan" Cache_study.fig15_scan ];
     };
     {
       id = "table3";
       plot = false;
       summary = "Compiler pass: probing overhead and MAE, CI vs CI-Cycles vs TQ";
-      tables = one Components.table3;
+      points = one ~id:"table3" Components.table3;
     };
     {
       id = "fig16";
       plot = true;
       summary = "Dispatcher scalability: max cores per target quantum";
-      tables = one Components.fig16;
+      points = one ~id:"fig16" Components.fig16;
     };
     {
       id = "dispatcher";
       plot = false;
       summary = "Dispatcher throughput (Section 6)";
-      tables = one Components.dispatcher_throughput;
+      points = one ~id:"dispatcher" Components.dispatcher_throughput;
     };
     {
       id = "ext_las";
       plot = true;
       summary = "Extension: least-attained-service quantum scheduling vs PS";
-      tables = one Extensions.ext_las;
+      points = one ~id:"ext_las" Extensions.ext_las;
     };
     {
       id = "ext_dispatchers";
       plot = true;
       summary = "Extension: scaling to multiple dispatcher cores (Section 6)";
-      tables = one Extensions.ext_dispatchers;
+      points = one ~id:"ext_dispatchers" Extensions.ext_dispatchers;
     };
     {
       id = "ext_concord";
       plot = true;
       summary = "Extension: Concord (cache-line preemption, centralized) comparison";
-      tables = one Extensions.ext_concord;
+      points = one ~id:"ext_concord" Extensions.ext_concord;
     };
     {
       id = "ext_prefetch";
       plot = true;
       summary = "Extension: sequential+prefetch conceals preemption cache effects";
-      tables = one Extensions.ext_prefetch;
+      points = one ~id:"ext_prefetch" Extensions.ext_prefetch;
     };
     {
       id = "ext_rss";
       plot = true;
       summary = "Extension: RSS flow-count sensitivity of the Caladan model";
-      tables = one Extensions.ext_rss;
+      points = one ~id:"ext_rss" Extensions.ext_rss;
     };
     {
       id = "ext_overload";
       plot = false;
       summary = "Extension: finite RX ring turns overload into drops (goodput plateau)";
-      tables = one Extensions.ext_overload;
+      points = one ~id:"ext_overload" Extensions.ext_overload;
     };
     {
       id = "faults";
       plot = false;
       summary = "Robustness: fault injection, failure handling, and overload protection";
-      tables = Faults.faults;
+      points =
+        [
+          pt "degradation" Faults.faults_degradation;
+          pt "compare-systems" Faults.faults_compare;
+          pt "kill-recovery" Faults.faults_kill;
+          pt "admission-overload" Faults.faults_admission;
+        ];
     };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
+let point_count = List.fold_left (fun acc e -> acc + List.length e.points) 0 all
+let tables e = List.map (fun p -> p.table ()) e.points
 
-let run_and_print e =
+let print_tables e tables =
   Printf.printf "### %s — %s\n\n%!" e.id e.summary;
   List.iter
     (fun table ->
@@ -159,4 +186,6 @@ let run_and_print e =
         | "" -> ()
         | chart -> print_endline chart
       end)
-    (e.tables ())
+    tables
+
+let run_and_print e = print_tables e (tables e)

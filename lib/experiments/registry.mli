@@ -1,11 +1,22 @@
 (** Every reproduced experiment, addressable by id for the CLI and the
-    benchmark harness. *)
+    benchmark harness.
+
+    An experiment decomposes into {e points}: independent single-table
+    computations that share no mutable state, so the parallel
+    orchestrator ([tq_par]) can fan them out over domains and reassemble
+    the tables in declaration order. *)
+
+(** One grid point: [table ()] computes a single table, closed over its
+    own PRNG state (every point seeds its own generators — see the audit
+    notes in DESIGN.md "tq_par"). *)
+type point = { label : string;  (** unique within the experiment; cache-key component *)
+               table : unit -> Tq_util.Text_table.t }
 
 type experiment = {
   id : string;  (** e.g. "fig7", "table3" *)
   summary : string;
   plot : bool;  (** render each table also as an ASCII chart *)
-  tables : unit -> Tq_util.Text_table.t list;
+  points : point list;  (** in paper order; one per output table *)
 }
 
 (** In paper order. *)
@@ -13,5 +24,17 @@ val all : experiment list
 
 val find : string -> experiment option
 
-(** [run_and_print e] renders every table of [e] to stdout. *)
+(** Total number of points across {!all} — the standard sweep's grid
+    size. *)
+val point_count : int
+
+(** [tables e] computes every point sequentially, in order. *)
+val tables : experiment -> Tq_util.Text_table.t list
+
+(** [print_tables e ts] renders precomputed tables under the
+    experiment's header (with ASCII charts when [e.plot]) — the output
+    path of the parallel sweep, byte-identical to {!run_and_print}. *)
+val print_tables : experiment -> Tq_util.Text_table.t list -> unit
+
+(** [run_and_print e] computes and renders every table of [e]. *)
 val run_and_print : experiment -> unit

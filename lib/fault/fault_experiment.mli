@@ -5,6 +5,7 @@
     around any of the three systems so degradation curves are
     comparable. *)
 
+(** Everything one fault run needs beyond the system and workload. *)
 type config = {
   seed : int64;
   duration_ns : int;
@@ -23,6 +24,8 @@ type config = {
     (2 missed heartbeats), accept-all admission, 200 us deadline. *)
 val default_config : rate_rps:float -> duration_ns:int -> config
 
+(** Outcome of one fault run: throughput accounting plus injection
+    tallies. *)
 type result = {
   metrics : Tq_workload.Metrics.t;
   offered : int;
@@ -40,6 +43,10 @@ type result = {
   outages : int;
 }
 
+(** [run ?obs ~system ~workload config] executes one seeded fault run:
+    installs the plan's injectors, drives the open-loop arrival stream
+    (with client retry when configured), drains, and tallies goodput
+    against the deadline. *)
 val run :
   ?obs:Tq_obs.Obs.t ->
   system:Tq_sched.Experiment.system_spec ->

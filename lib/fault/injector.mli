@@ -43,12 +43,17 @@ val wrap_sink :
   Tq_workload.Arrivals.request ->
   unit
 
+(** [stalls_injected t] — transient stalls started so far. *)
 val stalls_injected : t -> int
 
+(** [stall_ns_injected t] — total injected blackout time in
+    nanoseconds. *)
 val stall_ns_injected : t -> int
 
+(** [kills t] — permanent core failures delivered. *)
 val kills : t -> int
 
+(** [outages t] — dispatcher outages delivered. *)
 val outages : t -> int
 
 (** Stop all periodic stall generators early (tests). *)

@@ -5,13 +5,16 @@
     the mechanism so the same plan can be replayed against TQ and both
     baselines, making degradation curves comparable. *)
 
+(** How long one injected stall lasts. *)
 type duration =
-  | Fixed_ns of int
+  | Fixed_ns of int  (** always exactly this long *)
   | Uniform_ns of { lo : int; hi : int }  (** inclusive range *)
-  | Exp_ns of { mean : int }
+  | Exp_ns of { mean : int }  (** exponential with the given mean *)
 
+(** Which worker cores a spec applies to. *)
 type scope = All_workers | Workers of int list
 
+(** One fault source; a plan is a list of these. *)
 type spec =
   | Stalls of { intensity : float; duration : duration; scope : scope; tick_ns : int }
       (** Transient core blackouts (GC pauses, SMIs, antagonists): each
@@ -25,12 +28,17 @@ type spec =
   | Nic_drop of { prob : float }
       (** each request is lost on the NIC path with probability [prob] *)
 
+(** [mean_duration_ns d] — the expected stall length in nanoseconds. *)
 val mean_duration_ns : duration -> float
 
-(** Deterministic given the PRNG state. *)
+(** [sample_duration rng d] draws one stall length; deterministic given
+    the PRNG state. *)
 val sample_duration : Tq_util.Prng.t -> duration -> int
 
-(** Raises [Invalid_argument] on out-of-range parameters. *)
+(** [validate spec] raises [Invalid_argument] on out-of-range
+    parameters (negative durations, probabilities outside [0,1], …). *)
 val validate : spec -> unit
 
+(** [to_string spec] — a one-line human-readable description, used in
+    table headers. *)
 val to_string : spec -> string

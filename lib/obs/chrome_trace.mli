@@ -1,0 +1,17 @@
+(** Chrome trace-event JSON exporter (the Perfetto / [chrome://tracing]
+    format).
+
+    One thread track per {!Event.lane}.  Quanta become ["X"] complete
+    events — reconstructed from [Quantum_end], whose [ran_ns] gives the
+    start — so Perfetto shows the per-core quantum interleaving
+    directly; injected stalls also render as spans, and everything else
+    becomes a thread-scoped instant.  Timestamps are microseconds (the
+    format's unit) with nanosecond precision. *)
+
+(** [export trace] — the whole surviving ring as one JSON document
+    (open it at {{:https://ui.perfetto.dev} ui.perfetto.dev}). *)
+val export : Trace.t -> string
+
+(** [write_file trace path] writes {!export} output to [path], closing
+    the file even on error. *)
+val write_file : Trace.t -> string -> unit

@@ -1,0 +1,78 @@
+(** The trace vocabulary: every scheduling decision the paper's
+    evaluation reasons about (Sections 2 and 5), as a typed event.
+
+    Events carry their full payload as constructor arguments, so a
+    recorded trace can be post-processed without re-running the
+    simulation; the exporters ({!Chrome_trace}, {!Text_dump}) share the
+    {!args} rendering so their output stays consistent. *)
+
+(** The hardware context an event happened on — one Perfetto track per
+    dispatcher core and per worker core.  Events that precede core
+    assignment (client-side arrival) go on [Global]. *)
+type lane = Global | Dispatcher of int | Worker of int
+
+type t =
+  | Job_arrival of { job_id : int; class_idx : int; service_ns : int }
+      (** A request entered the system with its (blind) service demand. *)
+  | Dispatch of { job_id : int; worker : int; policy : string; queue_len : int }
+      (** Dispatcher decision: [worker] chosen under [policy];
+          [queue_len] is the chosen worker's queue depth at decision
+          time (the tie-break input). *)
+  | Ring_hop of { job_id : int; worker : int }
+      (** Message ride on the dispatcher->worker ring. *)
+  | Quantum_start of { job_id : int; quantum_ns : int }
+      (** A worker began running the job for one quantum. *)
+  | Quantum_end of { job_id : int; ran_ns : int; finished : bool }
+      (** The quantum ended after [ran_ns]; [finished] if the job
+          completed rather than being preempted. *)
+  | Yield of { job_id : int }  (** Voluntary yield before quantum expiry. *)
+  | Preempt_overshoot of { job_id : int; overshoot_ns : int }
+      (** The quantum ran [overshoot_ns] past its nominal length
+          (probe-timing slack, Section 3.2). *)
+  | Steal of { job_id : int; victim : int }
+      (** Work stealing: the job was taken from [victim]'s queue. *)
+  | Completion of { job_id : int; sojourn_ns : int }
+      (** The job left the system after [sojourn_ns] in it. *)
+  | Stall_start of { worker : int; duration_ns : int }
+      (** Injected core stall (GC pause / SMI / antagonist) begins. *)
+  | Stall_end of { worker : int }  (** The injected stall ended. *)
+  | Worker_killed of { worker : int }  (** Permanent core failure injected. *)
+  | Worker_marked_dead of { worker : int }
+      (** The dispatcher's health tracking excluded this worker. *)
+  | Worker_marked_alive of { worker : int }
+      (** A suspected-dead worker showed progress again and was
+          readmitted to the dispatch set. *)
+  | Redispatch of { job_id : int; from_worker : int; to_worker : int }
+      (** Queued-but-unstarted job rescued from a dead worker. *)
+  | Retry of { job_id : int; attempt : int; backoff_ns : int }
+      (** Client-side timeout fired; attempt [attempt] will be submitted
+          after [backoff_ns]. *)
+  | Drop of { job_id : int; reason : string }
+      (** Request lost: ["nic"], ["admission"], ["no-worker"], or
+          ["retries-exhausted"]. *)
+  | Dispatcher_outage of { dispatcher : int; duration_ns : int }
+      (** The dispatcher core itself went dark for [duration_ns]. *)
+
+(** [lane_name lane] — human-readable track label, e.g. ["worker 3"]. *)
+val lane_name : lane -> string
+
+(** [lane_tid lane] — stable Chrome-trace thread id: global, then
+    dispatchers, then workers, so Perfetto sorts lanes in pipeline
+    order. *)
+val lane_tid : lane -> int
+
+(** [name ev] — the event's constructor as a lowercase tag, e.g.
+    ["quantum_end"]. *)
+val name : t -> string
+
+(** [job_id ev] — the job an event concerns, or [-1] for core-level
+    events (stalls, kills, outages) that concern no particular job. *)
+val job_id : t -> int
+
+(** [args ev] — the payload as ordered key/raw-JSON pairs; shared by the
+    Chrome exporter and the text dump so the two stay consistent. *)
+val args : t -> (string * string) list
+
+(** [to_string ev] — [name] followed by space-separated [key=value]
+    pairs. *)
+val to_string : t -> string

@@ -1,0 +1,26 @@
+(** The observability context threaded through a scheduler run: one
+    event tracer plus one metric registry.
+
+    {!disabled} gives the zero-cost default — a null tracer (one branch
+    per would-be record, no allocation) and a private registry nobody
+    reads — so subsystems can register and bump unconditionally.
+
+    The fixed-interval time-series sampler lives alongside, but is owned
+    by the run driver ([Tq_sched.Experiment]) because only it knows the
+    sampling clock; see [Experiment.run ?obs]. *)
+
+type t = {
+  trace : Trace.t;
+  counters : Counters.t;
+  sample_interval_ns : int;  (** time-series sampling period (virtual time) *)
+}
+
+(** [create ?trace_capacity ?sample_interval_ns ()] — a live context: an
+    enabled tracer holding the last [trace_capacity] (default 65536)
+    events and a fresh counter registry, sampling every
+    [sample_interval_ns] (default 10000) of virtual time. *)
+val create : ?trace_capacity:int -> ?sample_interval_ns:int -> unit -> t
+
+(** [disabled ()] — the no-cost context: null tracer, throwaway
+    registry.  What every subsystem's [?obs] argument defaults to. *)
+val disabled : unit -> t

@@ -1,0 +1,7 @@
+(** Human-readable trace dump: one line per surviving record, oldest
+    first, with a header noting ring-buffer overwrites. *)
+
+(** [dump ?limit trace] renders the trace as text, keeping only the last
+    [limit] records when given (a note reports how many earlier events
+    were elided). *)
+val dump : ?limit:int -> Trace.t -> string

@@ -1,0 +1,32 @@
+(** Fixed-interval time series: one row of named values per sample tick.
+
+    The sampler ([Tq_sched.Experiment]) pushes a full row at each
+    virtual-time interval; export is CSV or an ASCII chart. *)
+
+type t
+
+(** [create ~series] — an empty series with one named column per entry.
+    Raises [Invalid_argument] on an empty list. *)
+val create : series:string list -> t
+
+(** [names t] — the column names, in declaration order. *)
+val names : t -> string list
+
+(** [length t] — number of samples pushed so far. *)
+val length : t -> int
+
+(** [push t ~t_ns row] appends one sample row.  Raises
+    [Invalid_argument] if [row] width differs from the declared series
+    count. *)
+val push : t -> t_ns:int -> float array -> unit
+
+(** [get t i] — the [i]-th sample as [(timestamp_ns, row)]. *)
+val get : t -> int -> int * float array
+
+(** [to_csv t] — the series as CSV with a [t_ns] column followed by one
+    column per declared name. *)
+val to_csv : t -> string
+
+(** [render ?width ?height ~title t] — one ASCII chart, x = virtual time
+    in microseconds, one symbol per series. *)
+val render : ?width:int -> ?height:int -> title:string -> t -> string

@@ -1,0 +1,139 @@
+(* Content-addressed result cache for sweep grid points.
+
+   One file per grid point under [dir], named by the hex key digest.
+   The payload is a line-oriented text serialization of the table with
+   an MD5 integrity header:
+
+     tqcache1 <md5-of-body>
+     <title>
+     <tab-joined header>
+     <tab-joined row>*
+
+   Loads re-digest the body and re-check row arity, so a truncated or
+   bit-flipped entry reads as a miss (recompute) rather than a crash or
+   a wrong table.  Stores go through a temp file + rename: concurrent
+   domains computing the same point race benignly to an identical file.
+   Hit/miss counts are atomics because lookups run on worker domains. *)
+
+type t = {
+  dir : string option;  (* None = caching disabled *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let default_dir = "_tq_cache"
+let magic = "tqcache1"
+
+let create ?(dir = default_dir) () =
+  { dir = Some dir; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let disabled () = { dir = None; hits = Atomic.make 0; misses = Atomic.make 0 }
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+let key ~experiment ~point ~params ~seed =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [ "tq_par-key-v1"; experiment; point; params; Int64.to_string seed ]))
+
+let path t key = match t.dir with None -> None | Some d -> Some (Filename.concat d key)
+
+(* Cells never contain tabs or newlines in practice (numbers and short
+   labels); a table that does is simply not cacheable. *)
+let serializable table =
+  let clean s = not (String.exists (fun c -> c = '\t' || c = '\n') s) in
+  let module T = Tq_util.Text_table in
+  clean (T.title table)
+  && List.for_all clean (T.header table)
+  && List.for_all (List.for_all clean) (T.data_rows table)
+
+let body_of_table table =
+  let module T = Tq_util.Text_table in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (T.title table);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.concat "\t" (T.header table));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "\t" row);
+      Buffer.add_char buf '\n')
+    (T.data_rows table);
+  Buffer.contents buf
+
+let table_of_body body =
+  let module T = Tq_util.Text_table in
+  match String.split_on_char '\n' body with
+  | title :: header :: rows ->
+      let columns = String.split_on_char '\t' header in
+      let arity = List.length columns in
+      let rows = List.filter (fun r -> r <> "") rows in
+      let parsed = List.map (String.split_on_char '\t') rows in
+      if List.for_all (fun r -> List.length r = arity) parsed then begin
+        let table = T.create ~title ~columns in
+        List.iter (T.add_row table) parsed;
+        Some table
+      end
+      else None
+  | _ -> None
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          Some (really_input_string ic len))
+
+let find t key =
+  match path t key with
+  | None -> None
+  | Some file ->
+      let loaded =
+        match read_file file with
+        | None | Some "" -> None
+        | Some content -> (
+            match String.index_opt content '\n' with
+            | None -> None
+            | Some i ->
+                let header = String.sub content 0 i in
+                let body =
+                  String.sub content (i + 1) (String.length content - i - 1)
+                in
+                (match String.split_on_char ' ' header with
+                | [ m; digest ]
+                  when m = magic && digest = Digest.to_hex (Digest.string body) ->
+                    table_of_body body
+                | _ -> None))
+      in
+      (match loaded with
+      | Some _ -> Atomic.incr t.hits
+      | None -> Atomic.incr t.misses);
+      loaded
+
+let store t key table =
+  match path t key with
+  | None -> ()
+  | Some file when serializable table -> (
+      let dir = Option.get t.dir in
+      (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let body = body_of_table table in
+      let payload =
+        magic ^ " " ^ Digest.to_hex (Digest.string body) ^ "\n" ^ body
+      in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" file (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      match open_out_bin tmp with
+      | exception Sys_error _ -> ()
+      | oc ->
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc payload);
+          (try Sys.rename tmp file with Sys_error _ -> ()))
+  | Some _ -> ()

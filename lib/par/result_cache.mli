@@ -1,0 +1,52 @@
+(** Content-addressed cache of computed sweep tables.
+
+    A grid point's result is stored under a digest of everything that
+    determines it — experiment id, point label, a parameter fingerprint
+    (cost model, [TQ_BENCH_SCALE], serialization version) and the root
+    seed — so re-running a sweep only recomputes points whose inputs
+    changed.  Entries live as one self-checking text file per point
+    under the cache directory ([_tq_cache/] by default); deleting that
+    directory is always safe and merely forces recomputation.
+    DESIGN.md ("tq_par") lists the exact key contents. *)
+
+type t
+
+(** The default cache directory, ["_tq_cache"], relative to the working
+    directory of the run. *)
+val default_dir : string
+
+(** [create ?dir ()] opens (lazily — the directory is created on first
+    store) a cache rooted at [dir], defaulting to {!default_dir}. *)
+val create : ?dir:string -> unit -> t
+
+(** [disabled ()] is a cache that never hits, never writes and counts
+    nothing — {!find} is a free [None], so callers need no special
+    case and a [--no-cache] run reports zero cache traffic. *)
+val disabled : unit -> t
+
+(** [key ~experiment ~point ~params ~seed] digests the full grid-point
+    identity into a stable hex name.  Any change to any component —
+    including a single cost-model field inside [params] — yields a
+    different key, which is how invalidation works: stale entries are
+    simply never addressed again. *)
+val key : experiment:string -> point:string -> params:string -> seed:int64 -> string
+
+(** [find t key] returns the cached table, or [None] when the entry is
+    absent, truncated or corrupted (integrity is re-checked on every
+    load; a bad entry is a miss, never an error).  Updates the hit/miss
+    counters; safe to call from any domain. *)
+val find : t -> string -> Tq_util.Text_table.t option
+
+(** [store t key table] persists the table under [key], atomically
+    (temp file + rename), creating the cache directory if needed.
+    Tables whose cells contain tabs or newlines are silently not cached;
+    I/O errors are swallowed — the cache is an accelerator, never a
+    correctness dependency. *)
+val store : t -> string -> Tq_util.Text_table.t -> unit
+
+(** [hits t] — number of successful {!find} lookups so far. *)
+val hits : t -> int
+
+(** [misses t] — number of {!find} lookups that fell through to
+    recomputation. *)
+val misses : t -> int

@@ -1,0 +1,35 @@
+(* Per-point PRNG keying for parallel sweeps.
+
+   A grid point's stream depends only on (experiment id, point index,
+   root seed) — never on which domain ran it or in what order — so a
+   sweep's results are byte-identical at any [--jobs].  Derivation is
+   FNV-1a over the experiment id folded through two rounds of the
+   splitmix64 finalizer with the index and seed mixed in; splitmix64's
+   avalanche keeps neighbouring indices statistically independent (the
+   same construction Prng.create uses to expand its seed). *)
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+(* splitmix64 finalizer: full-avalanche 64-bit mix. *)
+let mix64 z =
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := (!h ^% Int64.of_int (Char.code c)) *% 0x100000001B3L)
+    s;
+  !h
+
+let derive ~experiment ~point ~seed =
+  if point < 0 then invalid_arg "Seed_stream.derive: negative point index";
+  let h = fnv1a64 experiment in
+  let h = mix64 (h +% (0x9E3779B97F4A7C15L *% Int64.of_int point)) in
+  mix64 (h ^% seed)
+
+let prng ~experiment ~point ~seed =
+  Tq_util.Prng.create ~seed:(derive ~experiment ~point ~seed)

@@ -1,0 +1,19 @@
+(** Splittable PRNG streams for parallel sweep grids.
+
+    Every point of a sweep grid draws from its own stream, keyed by
+    [(experiment id, point index, root seed)].  Because the key never
+    mentions the executing domain or the completion order, a sweep
+    produces byte-identical results at any [--jobs] value — the
+    determinism argument is spelled out in DESIGN.md ("tq_par"). *)
+
+(** [derive ~experiment ~point ~seed] maps the grid-point key to a
+    64-bit sub-seed.  The mapping is a fixed pure function (FNV-1a over
+    [experiment], splitmix64-mixed with [point] and [seed]): the same
+    key always yields the same sub-seed, across runs, processes and
+    hosts.  Raises [Invalid_argument] if [point] is negative. *)
+val derive : experiment:string -> point:int -> seed:int64 -> int64
+
+(** [prng ~experiment ~point ~seed] is
+    [Tq_util.Prng.create ~seed:(derive ~experiment ~point ~seed)] — the
+    ready-to-use generator for one grid point. *)
+val prng : experiment:string -> point:int -> seed:int64 -> Tq_util.Prng.t

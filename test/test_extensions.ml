@@ -291,7 +291,7 @@ let test_registry_cheap_experiments_render () =
             (fun table ->
               let s = Tq_util.Text_table.render table in
               Alcotest.(check bool) (id ^ " non-empty") true (String.length s > 50))
-            (e.tables ()))
+            (Tq_experiments.Registry.tables e))
     [ "table2"; "dispatcher"; "fig16" ]
 
 let suite =

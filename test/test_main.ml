@@ -18,4 +18,5 @@ let () =
       ("facade", Test_facade.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("par", Test_par.suite);
     ]

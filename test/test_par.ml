@@ -1,0 +1,274 @@
+(* tq_par: the multicore sweep orchestrator.
+
+   The contract under test is determinism — jobs must never change
+   results, only wall-clock — plus the result cache's integrity story:
+   stable keys, invalidation on any input change, and corrupted entries
+   falling back to recompute. *)
+
+module Domain_pool = Tq_par.Domain_pool
+module Seed_stream = Tq_par.Seed_stream
+module Result_cache = Tq_par.Result_cache
+module Sweep = Tq_par.Sweep
+module Text_table = Tq_util.Text_table
+
+let check = Alcotest.check
+
+(* --- Seed_stream --- *)
+
+let test_seed_stream_deterministic () =
+  let a = Seed_stream.derive ~experiment:"fig7" ~point:3 ~seed:42L in
+  let b = Seed_stream.derive ~experiment:"fig7" ~point:3 ~seed:42L in
+  check Alcotest.int64 "same key, same stream" a b;
+  (* The documented keying must stay stable across releases: cached
+     results and committed tables depend on it. *)
+  check Alcotest.bool "derive is pure across calls" true
+    (Seed_stream.derive ~experiment:"x" ~point:0 ~seed:0L
+    = Seed_stream.derive ~experiment:"x" ~point:0 ~seed:0L)
+
+let test_seed_stream_keying () =
+  let base = Seed_stream.derive ~experiment:"fig7" ~point:0 ~seed:42L in
+  check Alcotest.bool "point changes stream" true
+    (base <> Seed_stream.derive ~experiment:"fig7" ~point:1 ~seed:42L);
+  check Alcotest.bool "experiment changes stream" true
+    (base <> Seed_stream.derive ~experiment:"fig8" ~point:0 ~seed:42L);
+  check Alcotest.bool "seed changes stream" true
+    (base <> Seed_stream.derive ~experiment:"fig7" ~point:0 ~seed:43L);
+  Alcotest.check_raises "negative point rejected"
+    (Invalid_argument "Seed_stream.derive: negative point index") (fun () ->
+      ignore (Seed_stream.derive ~experiment:"x" ~point:(-1) ~seed:0L))
+
+let test_seed_stream_spread () =
+  (* Neighbouring points must not produce correlated generators: check
+     the low bits of the first draw spread over 64 points. *)
+  let draws =
+    List.init 64 (fun i ->
+        let rng = Seed_stream.prng ~experiment:"spread" ~point:i ~seed:7L in
+        Tq_util.Prng.int rng 1024)
+  in
+  let distinct = List.length (List.sort_uniq compare draws) in
+  check Alcotest.bool "first draws mostly distinct" true (distinct > 56)
+
+(* --- Domain_pool --- *)
+
+let test_pool_preserves_order () =
+  (* Uneven task costs force out-of-order completion; results must
+     still come back in task order. *)
+  let tasks =
+    Array.init 40 (fun i () ->
+        let spin = if i mod 7 = 0 then 20_000 else 200 in
+        let acc = ref 0 in
+        for k = 1 to spin do
+          acc := (!acc + k) mod 1_000_003
+        done;
+        ignore !acc;
+        i)
+  in
+  let results, stats = Domain_pool.run ~jobs:4 tasks in
+  check (Alcotest.list Alcotest.int) "task order preserved"
+    (List.init 40 Fun.id) (Array.to_list results);
+  check Alcotest.int "every task ran exactly once" 40
+    (Array.fold_left ( + ) 0 stats.per_domain_tasks);
+  check Alcotest.int "jobs clamped as requested" 4 stats.jobs
+
+let test_pool_jobs1_inline () =
+  let ran_on = ref [] in
+  let tasks = Array.init 5 (fun i () -> ran_on := i :: !ran_on; i * i) in
+  let results, stats = Domain_pool.run ~jobs:1 tasks in
+  check (Alcotest.list Alcotest.int) "results" [ 0; 1; 4; 9; 16 ]
+    (Array.to_list results);
+  (* jobs=1 runs inline in submission order. *)
+  check (Alcotest.list Alcotest.int) "sequential order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !ran_on);
+  check Alcotest.int "one domain" 1 stats.jobs
+
+let test_pool_clamps_to_task_count () =
+  let results, stats = Domain_pool.run ~jobs:16 (Array.init 3 (fun i () -> i)) in
+  check Alcotest.int "jobs clamped to tasks" 3 stats.jobs;
+  check (Alcotest.list Alcotest.int) "results" [ 0; 1; 2 ] (Array.to_list results)
+
+exception Boom
+
+let test_pool_propagates_exception () =
+  let tasks = Array.init 8 (fun i () -> if i = 5 then raise Boom else i) in
+  Alcotest.check_raises "task exception re-raised" Boom (fun () ->
+      ignore (Domain_pool.run ~jobs:3 tasks))
+
+(* --- Result_cache --- *)
+
+let mk_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tq_cache_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let sample_table () =
+  let t = Text_table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Text_table.add_row t [ "1"; "2.5" ];
+  Text_table.add_row t [ "30%"; "nan" ];
+  t
+
+let test_cache_key_stability () =
+  let key () =
+    Result_cache.key ~experiment:"fig7" ~point:"extreme-bimodal"
+      ~params:"fp-v1 scale=1" ~seed:42L
+  in
+  check Alcotest.string "digest is stable across calls" (key ()) (key ());
+  (* Pin the digest: if the key derivation ever changes, this must be a
+     conscious decision (it silently invalidates every user's cache). *)
+  check Alcotest.string "digest pinned"
+    (Digest.to_hex
+       (Digest.string
+          "tq_par-key-v1\nfig7\nextreme-bimodal\nfp-v1 scale=1\n42"))
+    (key ())
+
+let test_cache_key_invalidation () =
+  let base =
+    Result_cache.key ~experiment:"fig7" ~point:"p" ~params:"dispatch_ns=70" ~seed:42L
+  in
+  check Alcotest.bool "cost-model parameter change invalidates" true
+    (base
+    <> Result_cache.key ~experiment:"fig7" ~point:"p" ~params:"dispatch_ns=71"
+         ~seed:42L);
+  check Alcotest.bool "seed change invalidates" true
+    (base
+    <> Result_cache.key ~experiment:"fig7" ~point:"p" ~params:"dispatch_ns=70"
+         ~seed:43L);
+  check Alcotest.bool "point change invalidates" true
+    (base
+    <> Result_cache.key ~experiment:"fig7" ~point:"q" ~params:"dispatch_ns=70"
+         ~seed:42L)
+
+let test_cache_fingerprint_tracks_cost_model () =
+  let base = Sweep.fingerprint () in
+  check Alcotest.string "fingerprint stable" base (Sweep.fingerprint ());
+  let perturbed =
+    { Tq_sched.Overheads.tq_default with dispatch_ns = 71 }
+  in
+  check Alcotest.bool "fingerprint changes with a cost-model field" true
+    (base <> Sweep.fingerprint ~overheads:perturbed ())
+
+let test_cache_roundtrip () =
+  let cache = Result_cache.create ~dir:(mk_dir ()) () in
+  let key = Result_cache.key ~experiment:"e" ~point:"p" ~params:"x" ~seed:1L in
+  check Alcotest.bool "empty cache misses" true (Result_cache.find cache key = None);
+  Result_cache.store cache key (sample_table ());
+  (match Result_cache.find cache key with
+  | None -> Alcotest.fail "expected a hit after store"
+  | Some t ->
+      check Alcotest.string "roundtrip preserves render"
+        (Text_table.render (sample_table ()))
+        (Text_table.render t));
+  check Alcotest.int "one hit" 1 (Result_cache.hits cache);
+  check Alcotest.int "one miss" 1 (Result_cache.misses cache)
+
+let test_cache_corruption_falls_back () =
+  let dir = mk_dir () in
+  let cache = Result_cache.create ~dir () in
+  let key = Result_cache.key ~experiment:"e" ~point:"p" ~params:"x" ~seed:1L in
+  Result_cache.store cache key (sample_table ());
+  let file = Filename.concat dir key in
+  (* Truncate mid-payload: the integrity digest no longer matches. *)
+  let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 file in
+  output_string oc "tqcache1 deadbeef\npartial";
+  close_out oc;
+  check Alcotest.bool "corrupted entry is a miss, not a crash" true
+    (Result_cache.find cache key = None);
+  (* Same for raw garbage and for an empty file. *)
+  let oc = open_out file in
+  output_string oc "not a cache entry at all";
+  close_out oc;
+  check Alcotest.bool "garbage is a miss" true (Result_cache.find cache key = None);
+  let oc = open_out file in
+  close_out oc;
+  check Alcotest.bool "empty file is a miss" true (Result_cache.find cache key = None)
+
+let test_cache_disabled () =
+  let cache = Result_cache.disabled () in
+  let key = Result_cache.key ~experiment:"e" ~point:"p" ~params:"x" ~seed:1L in
+  Result_cache.store cache key (sample_table ());
+  check Alcotest.bool "disabled cache never hits" true
+    (Result_cache.find cache key = None)
+
+(* --- Sweep over the registry --- *)
+
+let cheap_ids = [ "table2"; "fig15"; "dispatcher" ]
+
+let cheap_experiments () = List.filter_map Tq_experiments.Registry.find cheap_ids
+
+let render_all outcomes =
+  outcomes
+  |> List.concat_map (fun (o : Sweep.outcome) -> List.map Text_table.render o.tables)
+  |> String.concat "\n"
+
+let test_sweep_jobs_invariance () =
+  (* The acceptance bar for the whole orchestration layer: jobs=1 and
+     jobs=4 must produce byte-identical tables. *)
+  let seq, _ = Sweep.run ~jobs:1 (cheap_experiments ()) in
+  let par, stats = Sweep.run ~jobs:4 (cheap_experiments ()) in
+  check Alcotest.string "jobs=1 and jobs=4 byte-identical" (render_all seq)
+    (render_all par);
+  check Alcotest.int "tables grouped per experiment" (List.length seq)
+    (List.length par);
+  check Alcotest.int "all points executed" 4
+    (Array.fold_left ( + ) 0 stats.pool.per_domain_tasks)
+
+let test_sweep_cache_serves_second_run () =
+  let cache = Result_cache.create ~dir:(mk_dir ()) () in
+  let cold, cold_stats = Sweep.run ~jobs:2 ~cache (cheap_experiments ()) in
+  check Alcotest.int "cold run misses every point" 4 cold_stats.cache_misses;
+  let warm, warm_stats = Sweep.run ~jobs:2 ~cache (cheap_experiments ()) in
+  check Alcotest.int "warm run hits every point" 4
+    (warm_stats.cache_hits - cold_stats.cache_hits);
+  check Alcotest.string "cached tables byte-identical" (render_all cold)
+    (render_all warm)
+
+let test_sweep_publishes_obs_counters () =
+  let obs = Tq_obs.Obs.create () in
+  let cache = Result_cache.create ~dir:(mk_dir ()) () in
+  let _, _ = Sweep.run ~jobs:2 ~cache ~obs (cheap_experiments ()) in
+  let c = obs.Tq_obs.Obs.counters in
+  check Alcotest.int "misses counted through obs" 4
+    (Tq_obs.Counters.find_count c "par.cache.misses");
+  check Alcotest.bool "per-domain task counters present" true
+    (Tq_obs.Counters.find_count c "par.domain0.tasks"
+     + Tq_obs.Counters.find_count c "par.domain1.tasks"
+    = 4)
+
+let test_registry_points_unique () =
+  List.iter
+    (fun (e : Tq_experiments.Registry.experiment) ->
+      let labels = List.map (fun (p : Tq_experiments.Registry.point) -> p.label) e.points in
+      check Alcotest.int
+        (e.id ^ " point labels unique (cache keys collide otherwise)")
+        (List.length labels)
+        (List.length (List.sort_uniq compare labels)))
+    Tq_experiments.Registry.all;
+  check Alcotest.bool "grid has every point" true
+    (Tq_experiments.Registry.point_count >= 24)
+
+let suite =
+  [
+    Alcotest.test_case "seed_stream deterministic" `Quick test_seed_stream_deterministic;
+    Alcotest.test_case "seed_stream keying" `Quick test_seed_stream_keying;
+    Alcotest.test_case "seed_stream spread" `Quick test_seed_stream_spread;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_preserves_order;
+    Alcotest.test_case "pool jobs=1 inline" `Quick test_pool_jobs1_inline;
+    Alcotest.test_case "pool clamps jobs" `Quick test_pool_clamps_to_task_count;
+    Alcotest.test_case "pool propagates exceptions" `Quick test_pool_propagates_exception;
+    Alcotest.test_case "cache key stability" `Quick test_cache_key_stability;
+    Alcotest.test_case "cache key invalidation" `Quick test_cache_key_invalidation;
+    Alcotest.test_case "fingerprint tracks cost model" `Quick
+      test_cache_fingerprint_tracks_cost_model;
+    Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache corruption falls back" `Quick test_cache_corruption_falls_back;
+    Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+    Alcotest.test_case "sweep jobs invariance" `Slow test_sweep_jobs_invariance;
+    Alcotest.test_case "sweep cache second run" `Slow test_sweep_cache_serves_second_run;
+    Alcotest.test_case "sweep publishes obs counters" `Slow test_sweep_publishes_obs_counters;
+    Alcotest.test_case "registry points unique" `Quick test_registry_points_unique;
+  ]
