@@ -178,6 +178,23 @@ let test_backoff =
          retry := (!retry mod 63) + 1;
          ignore (Tq_workload.Retry.backoff_ns config ~retry:!retry)))
 
+let test_serve_codec =
+  (* One full wire round trip of the serving layer — encode, stream
+     reassembly, decode — i.e. the per-request protocol tax tq_serve's
+     dispatcher pays on top of scheduling. *)
+  let b = Buffer.create 64 in
+  let rb = Tq_serve.Protocol.Reassembly.create () in
+  let req = Tq_serve.Protocol.Echo { spin_ns = 1_000; payload = "0123456789abcdef" } in
+  Test.make ~name:"serve codec encode+reassemble+decode"
+    (Staged.stage (fun () ->
+         Buffer.clear b;
+         Tq_serve.Protocol.encode_request b ~req_id:7 req;
+         let frame = Buffer.to_bytes b in
+         Tq_serve.Protocol.Reassembly.add rb frame (Bytes.length frame);
+         match Tq_serve.Protocol.Reassembly.next rb with
+         | Ok (Some payload) -> ignore (Tq_serve.Protocol.decode_request payload)
+         | _ -> assert false))
+
 let test_admission =
   (* The per-arrival cost of the overload gate on the dispatcher's hot
      path (the Queue_limit branch is the cheapest non-trivial one). *)
@@ -254,6 +271,7 @@ let run_microbenchmarks () =
       test_cache;
       test_deque;
       test_backoff;
+      test_serve_codec;
       test_admission;
     ]
   in

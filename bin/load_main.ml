@@ -1,0 +1,88 @@
+(* tq_load: open-loop Poisson load generator for tq_serve.
+
+   Offers a fixed request rate regardless of how fast the server
+   answers, then reports achieved throughput and the per-class latency
+   ladder.  `--json FILE` writes the BENCH_serve.json report. *)
+
+open Cmdliner
+
+let run host port rate connections warmup measure grace seed mix_spec spin_us json_out
+    quiet =
+  let mix =
+    match mix_spec with
+    | None -> Tq_serve.Load_gen.default_mix
+    | Some s -> (
+        match Scanf.sscanf_opt s "%f,%f,%f" (fun a b c -> (a, b, c)) with
+        | Some (echo, kv, tpcc) ->
+            { Tq_serve.Load_gen.default_mix with echo; kv; tpcc }
+        | None ->
+            Printf.eprintf "bad --mix %S (expected ECHO,KV,TPCC weights)\n" s;
+            exit 1)
+  in
+  let mix = { mix with echo_spin_ns = Tq_util.Time_unit.us spin_us } in
+  let config =
+    {
+      Tq_serve.Load_gen.host;
+      port;
+      connections;
+      rate_rps = rate;
+      warmup_s = warmup;
+      measure_s = measure;
+      grace_s = grace;
+      seed = Int64.of_int seed;
+      mix;
+    }
+  in
+  let r = Tq_serve.Load_gen.run config in
+  if not quiet then begin
+    Printf.printf
+      "tq_load: offered %.0f rps for %gs -> achieved %.0f rps (%d ok, %d shed, %d \
+       errors, %d outstanding)\n"
+      rate measure r.throughput_rps r.ok r.shed r.errors r.outstanding;
+    print_string (Tq_obs.Latency.dump r.latency)
+  end;
+  (match json_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Tq_serve.Load_gen.to_json config r);
+      close_out oc;
+      if not quiet then Printf.printf "tq_load: wrote %s\n" path
+  | None -> ());
+  if r.received = 0 then begin
+    Printf.eprintf "tq_load: no responses received\n";
+    exit 1
+  end
+
+let () =
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"server address") in
+  let port = Arg.(value & opt int 7770 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"server port") in
+  let rate =
+    Arg.(value & opt float 50_000.0
+         & info [ "r"; "rate" ] ~docv:"RPS" ~doc:"offered request rate (Poisson)")
+  in
+  let connections =
+    Arg.(value & opt int 8 & info [ "c"; "connections" ] ~docv:"N" ~doc:"pipelined connections")
+  in
+  let warmup = Arg.(value & opt float 0.5 & info [ "warmup-s" ] ~doc:"warmup window (not recorded)") in
+  let measure = Arg.(value & opt float 2.0 & info [ "d"; "duration-s" ] ~doc:"measurement window") in
+  let grace = Arg.(value & opt float 2.0 & info [ "grace-s" ] ~doc:"post-window drain wait") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  let mix =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"E,K,T" ~doc:"echo,kv,tpcc weights (default 0.70,0.25,0.05)")
+  in
+  let spin =
+    Arg.(value & opt float 1.0 & info [ "spin-us" ] ~doc:"server-side spin per echo request")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write the benchmark report to FILE")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the human-readable report") in
+  let doc = "Open-loop Poisson load generator for tq_serve." in
+  let cmd =
+    Cmd.v (Cmd.info "tq_load" ~version:"1.1.0" ~doc)
+      Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
+            $ seed $ mix $ spin $ json $ quiet)
+  in
+  exit (Cmd.eval cmd)

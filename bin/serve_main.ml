@@ -1,0 +1,118 @@
+(* tq_serve: the live multicore RPC server.
+
+   Binds a TCP port, spawns worker domains, and runs the two-level
+   dispatch loop until SIGINT/SIGTERM (or --duration-s) triggers a
+   graceful drain.  Point tq_load at it. *)
+
+open Cmdliner
+
+let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out =
+  let admission =
+    match admission with
+    | "accept-all" -> Tq_sched.Admission.Accept_all
+    | s -> (
+        match Scanf.sscanf_opt s "queue-limit:%d" (fun n -> n) with
+        | Some n -> Tq_sched.Admission.Queue_limit { max_in_system = n }
+        | None -> (
+            match Scanf.sscanf_opt s "ewma:%d" (fun n -> n) with
+            | Some threshold_us ->
+                Tq_sched.Admission.Ewma_sojourn
+                  { threshold_ns = threshold_us * 1000; alpha = 0.05 }
+            | None ->
+                Printf.eprintf
+                  "unknown admission policy %s (try: accept-all, queue-limit:N, ewma:USEC)\n"
+                  s;
+                exit 1))
+  in
+  let config =
+    {
+      Tq_serve.Server.default_config with
+      host;
+      port;
+      workers = cores;
+      quantum_ns = Tq_util.Time_unit.us quantum_us;
+      ring_capacity = ring;
+      rx_depth;
+      admission;
+      kv_keys;
+    }
+  in
+  let server = Tq_serve.Server.create config in
+  let stop _ = Tq_serve.Server.stop server in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  (match duration_s with
+  | Some s ->
+      ignore (Sys.signal Sys.sigalrm (Sys.Signal_handle stop));
+      ignore (Unix.alarm (max 1 (int_of_float (Float.ceil s))))
+  | None -> ());
+  Printf.printf "tq_serve: listening on %s:%d (%d worker cores, %gus quanta)\n%!" host
+    (Tq_serve.Server.port server)
+    cores quantum_us;
+  Tq_serve.Server.serve server;
+  let s = Tq_serve.Server.stats server in
+  let summary =
+    Printf.sprintf
+      "{\"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \
+       \"shed\": %d, \"protocol_errors\": %d, \"orphaned\": %d}"
+      s.connections s.parsed s.dispatched s.completed s.shed s.protocol_errors
+      s.orphaned
+  in
+  Printf.printf "tq_serve: drained. %s\n%!" summary;
+  (match stats_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (summary ^ "\n");
+      close_out oc
+  | None -> ());
+  (* the drain invariant: everything admitted was answered *)
+  if s.dispatched <> s.completed then begin
+    Printf.eprintf "tq_serve: LOST %d in-flight requests\n" (s.dispatched - s.completed);
+    exit 1
+  end
+
+let () =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"bind address")
+  in
+  let port =
+    Arg.(value & opt int 7770 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral)")
+  in
+  let cores =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"worker domains (level 2 cores)")
+  in
+  let quantum =
+    Arg.(value & opt float 100.0 & info [ "quantum-us" ] ~doc:"forced-multitasking quantum")
+  in
+  let ring =
+    Arg.(value & opt int 256 & info [ "ring" ] ~docv:"N" ~doc:"dispatcher->worker ring capacity")
+  in
+  let rx_depth =
+    Arg.(value & opt int 1024
+         & info [ "rx-depth" ] ~docv:"N"
+             ~doc:"shed when pool-wide in-flight requests reach N (RX-ring admission)")
+  in
+  let admission =
+    Arg.(value & opt string "accept-all"
+         & info [ "admission" ] ~docv:"POLICY"
+             ~doc:"extra admission gate: accept-all | queue-limit:N | ewma:USEC")
+  in
+  let kv_keys =
+    Arg.(value & opt int 1024 & info [ "kv-keys" ] ~docv:"N" ~doc:"prepopulated keys per worker store")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration-s" ] ~docv:"SEC" ~doc:"drain and exit after SEC seconds (default: run until SIGINT/SIGTERM)")
+  in
+  let stats_out =
+    Arg.(value & opt (some string) None
+         & info [ "stats-out" ] ~docv:"FILE" ~doc:"also write the final accounting JSON to FILE")
+  in
+  let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
+  let cmd =
+    Cmd.v (Cmd.info "tq_serve" ~version:"1.1.0" ~doc)
+      Term.(const serve $ host $ port $ cores $ quantum $ ring $ rx_depth $ admission
+            $ kv_keys $ duration $ stats_out)
+  in
+  exit (Cmd.eval cmd)

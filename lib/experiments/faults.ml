@@ -17,11 +17,7 @@ module Two_level = Tq_sched.Two_level
 module Plan = Tq_fault.Plan
 module Fault_experiment = Tq_fault.Fault_experiment
 
-let cores_of (system : Experiment.system_spec) =
-  match system with
-  | Two_level cfg -> cfg.cores
-  | Centralized cfg -> cfg.cores
-  | Caladan cfg -> cfg.cores
+let cores_of = Tq_sched.System_intf.spec_cores
 
 (* Client timeout scaled to the slowest job class so a healthy long job
    is never spuriously retried; the goodput deadline sits well past one

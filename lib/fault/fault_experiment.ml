@@ -12,11 +12,8 @@ module Prng = Tq_util.Prng
 module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
 module Retry = Tq_workload.Retry
-module Experiment = Tq_sched.Experiment
 module Two_level = Tq_sched.Two_level
-module Centralized = Tq_sched.Centralized
-module Caladan = Tq_sched.Caladan
-module Worker = Tq_sched.Worker
+module System_intf = Tq_sched.System_intf
 module Admission = Tq_sched.Admission
 module Job = Tq_sched.Job
 
@@ -73,73 +70,32 @@ let run ?obs ~system ~workload config =
      systems close over this cell. *)
   let note_complete = ref (fun (_ : Job.t) -> ()) in
   let on_complete job = !note_complete job in
-  let submit, target, acct, stranded_fn, lost_fn =
-    match (system : Experiment.system_spec) with
-    | Two_level cfg ->
-        let t =
-          Two_level.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
-            ~admission:config.admission ~on_complete ()
-        in
-        (match config.health_interval_ns with
-        | Some interval_ns ->
-            ignore
-              (Two_level.install_health_monitor t ~interval_ns
-                 ~until_ns:config.duration_ns
-                 ~missed_heartbeats:config.missed_heartbeats ()
-                : Sim.periodic)
-        | None -> ());
-        let workers = Two_level.workers t in
-        ( Two_level.submit t,
-          {
-            Injector.cores = cfg.cores;
-            stall = (fun ~wid ~duration_ns -> Worker.inject_stall workers.(wid) ~duration_ns);
-            kill = (fun ~wid -> Worker.kill workers.(wid));
-            dispatcher_outage =
-              (fun ~dispatcher ~duration_ns ->
-                Two_level.inject_dispatcher_outage t ~dispatcher ~duration_ns);
-          },
-          Some (Two_level.accounting t),
-          (fun () -> Two_level.in_system t),
-          fun () -> (Two_level.accounting t).lost )
-    | Centralized cfg ->
-        let t =
-          Centralized.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
-            ~on_complete ()
-        in
-        ( Centralized.submit t,
-          {
-            Injector.cores = cfg.cores;
-            stall = (fun ~wid ~duration_ns -> Centralized.inject_stall t ~wid ~duration_ns);
-            kill = (fun ~wid -> Centralized.kill_worker t ~wid);
-            dispatcher_outage =
-              (fun ~dispatcher:_ ~duration_ns ->
-                Centralized.inject_dispatcher_outage t ~duration_ns);
-          },
-          None,
-          (fun () ->
-            let _, in_flight, _ = Centralized.obs_snapshot t in
-            in_flight),
-          fun () -> Centralized.lost_jobs t )
-    | Caladan cfg ->
-        let t =
-          Caladan.create sim ~rng:(Prng.split rng) ~config:cfg ~metrics ?obs
-            ~on_complete ()
-        in
-        ( Caladan.submit t,
-          {
-            Injector.cores = cfg.cores;
-            stall = (fun ~wid ~duration_ns -> Caladan.inject_stall t ~wid ~duration_ns);
-            kill = (fun ~wid -> Caladan.kill_worker t ~wid);
-            dispatcher_outage =
-              (fun ~dispatcher:_ ~duration_ns ->
-                Caladan.inject_iokernel_outage t ~duration_ns);
-          },
-          None,
-          (fun () ->
-            let _, in_flight, _ = Caladan.obs_snapshot t in
-            in_flight),
-          fun () -> Caladan.lost_jobs t )
+  (* One path over the packed instance: System_intf carries the
+     per-system differences (admission is TQ-only, the health monitor is
+     a no-op elsewhere, fault hooks address worker ground truth). *)
+  let inst =
+    System_intf.instantiate system sim ~rng:(Prng.split rng) ~metrics ?obs
+      ~admission:config.admission ~on_complete ()
   in
+  (match config.health_interval_ns with
+  | Some interval_ns ->
+      System_intf.install_health_monitor inst ~interval_ns ~until_ns:config.duration_ns
+        ~missed_heartbeats:config.missed_heartbeats
+  | None -> ());
+  let submit = System_intf.submit inst in
+  let target =
+    {
+      Injector.cores = System_intf.spec_cores system;
+      stall = (fun ~wid ~duration_ns -> System_intf.inject_stall inst ~wid ~duration_ns);
+      kill = (fun ~wid -> System_intf.kill_worker inst ~wid);
+      dispatcher_outage =
+        (fun ~dispatcher ~duration_ns ->
+          System_intf.inject_dispatcher_outage inst ~dispatcher ~duration_ns);
+    }
+  in
+  let acct = System_intf.accounting inst in
+  let stranded_fn () = System_intf.in_system inst in
+  let lost_fn () = System_intf.lost_jobs inst in
   let submit = Injector.wrap_sink ~rng ~metrics ?obs config.faults submit in
   let sink =
     match config.retry with

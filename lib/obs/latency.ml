@@ -1,0 +1,67 @@
+module Histogram = Tq_stats.Histogram
+
+type recorder = { hist : Histogram.t; max_value : int }
+type t = { table : (string, recorder) Hashtbl.t; max_value : int }
+
+let create ?(max_ns = 100_000_000_000) () =
+  if max_ns <= 0 then invalid_arg "Latency.create: max_ns must be positive";
+  { table = Hashtbl.create 16; max_value = max_ns }
+
+let recorder t name =
+  match Hashtbl.find_opt t.table name with
+  | Some r -> r
+  | None ->
+      let r = { hist = Histogram.create ~max_value:t.max_value (); max_value = t.max_value } in
+      Hashtbl.add t.table name r;
+      r
+
+let record r ns = Histogram.record r.hist (max 0 (min ns r.max_value))
+let count r = Histogram.count r.hist
+let percentile r p = if count r = 0 then 0 else Histogram.percentile r.hist p
+let mean r = Histogram.mean r.hist
+let max_ns r = Histogram.max_recorded r.hist
+let clear r = Histogram.clear r.hist
+let clear_all t = Hashtbl.iter (fun _ r -> clear r) t.table
+
+let to_alist t =
+  Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let us ns = float_of_int ns /. 1e3
+
+let dump t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, r) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "%-12s %8d samples  mean %8.2fus  p50 %8.2fus  p90 %8.2fus  p99 %8.2fus  \
+            p99.9 %8.2fus\n"
+           name (count r)
+           (if count r = 0 then 0.0 else mean r /. 1e3)
+           (us (percentile r 50.0))
+           (us (percentile r 90.0))
+           (us (percentile r 99.0))
+           (us (percentile r 99.9))))
+    (to_alist t);
+  Buffer.contents b
+
+let json_fields r =
+  Printf.sprintf
+    "\"count\": %d, \"mean_us\": %.3f, \"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": \
+     %.3f, \"p999_us\": %.3f, \"max_us\": %.3f"
+    (count r)
+    (if count r = 0 then 0.0 else mean r /. 1e3)
+    (us (percentile r 50.0))
+    (us (percentile r 90.0))
+    (us (percentile r 99.0))
+    (us (percentile r 99.9))
+    (us (max_ns r))
+
+let to_json t =
+  let entries =
+    List.map
+      (fun (name, r) -> Printf.sprintf "    %S: {%s}" name (json_fields r))
+      (to_alist t)
+  in
+  "{\n" ^ String.concat ",\n" entries ^ "\n  }"

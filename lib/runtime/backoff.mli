@@ -1,0 +1,29 @@
+(** Spin-then-park waiting for cross-domain handoff points.
+
+    A domain that busy-waits with [Domain.cpu_relax] alone owns its
+    kernel timeslice even when it has nothing to do.  On a machine with
+    fewer cores than domains that is catastrophic: the spinner burns the
+    milliseconds the {e other} domain needed to produce the very work it
+    is waiting for, so throughput collapses to one ring's worth of jobs
+    per context-switch round.
+
+    This backoff spins for a bounded number of misses (covering the
+    microsecond-scale gaps that matter when domains really do have their
+    own cores, as in the paper's setting) and then parks in a short
+    [Unix.sleepf], handing the core to whoever has work.  Under
+    saturation the wait succeeds long before the spin limit and the park
+    never happens. *)
+
+type t
+
+(** [create ?spin_limit ?park_s ()] — spin [spin_limit] times
+    (default 200) before each park of [park_s] seconds (default 50 us). *)
+val create : ?spin_limit:int -> ?park_s:float -> unit -> t
+
+(** Forget accumulated misses — call after the awaited condition was
+    observed, so the next wait starts in the cheap spinning regime. *)
+val reset : t -> unit
+
+(** One failed attempt: [cpu_relax] while under the spin limit, a
+    parking sleep past it.  [reset] on success. *)
+val once : t -> unit

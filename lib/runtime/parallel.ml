@@ -7,6 +7,13 @@ type worker_handle = {
   yields : int Atomic.t;
 }
 
+type t = {
+  handles : worker_handle array;
+  domains : unit Domain.t array;
+  stop : bool Atomic.t;
+  mutable live : bool;  (** false after shutdown; guarded by the producer thread *)
+}
+
 let worker_loop handle ~quantum_ns ~stop =
   let clock = Clock.wall () in
   let worker =
@@ -26,21 +33,28 @@ let worker_loop handle ~quantum_ns ~stop =
     in
     go ()
   in
+  (* Persistent service loop: exits only when the stop flag is up AND
+     both the ring and the local run queue are empty — admitted work is
+     never abandoned (the zero-loss drain guarantee). *)
+  let backoff = Backoff.create () in
   let rec loop () =
     drain_ring ();
     let ran = Task_worker.run_slice worker in
-    if ran then loop ()
+    Atomic.set handle.yields (Task_worker.total_yields worker);
+    if ran then begin
+      Backoff.reset backoff;
+      loop ()
+    end
     else if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
     else begin
-      Domain.cpu_relax ();
+      Backoff.once backoff;
       loop ()
     end
   in
-  loop ();
-  Atomic.set handle.yields (Task_worker.total_yields worker)
+  loop ()
 
-let run ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) jobs =
-  if workers < 1 then invalid_arg "Parallel.run: need at least one worker";
+let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) () =
+  if workers < 1 then invalid_arg "Parallel.create: need at least one worker";
   let stop = Atomic.make false in
   let handles =
     Array.init workers (fun _ ->
@@ -56,22 +70,65 @@ let run ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) jobs =
       (fun handle -> Domain.spawn (fun () -> worker_loop handle ~quantum_ns ~stop))
       handles
   in
-  (* Dispatcher: JSQ over atomic unfinished counts. *)
-  let unfinished h = Atomic.get h.assigned - Atomic.get h.finished in
+  { handles; domains; stop; live = true }
+
+let workers t = Array.length t.handles
+let unfinished h = Atomic.get h.assigned - Atomic.get h.finished
+
+let pick t =
+  let best = ref 0 in
+  Array.iteri
+    (fun i h -> if unfinished h < unfinished t.handles.(!best) then best := i)
+    t.handles;
+  !best
+
+let submit_to t ~worker job =
+  if not t.live then invalid_arg "Parallel.submit_to: pool is shut down";
+  if worker < 0 || worker >= Array.length t.handles then
+    invalid_arg "Parallel.submit_to: no such worker";
+  let handle = t.handles.(worker) in
+  if Spsc_ring.try_push handle.ring job then begin
+    Atomic.incr handle.assigned;
+    true
+  end
+  else false
+
+let submit t job = submit_to t ~worker:(pick t) job
+let in_flight t = Array.fold_left (fun acc h -> acc + unfinished h) 0 t.handles
+let worker_in_flight t ~worker = unfinished t.handles.(worker)
+let ring_depth t ~worker = Spsc_ring.length t.handles.(worker).ring
+
+let stats t =
+  {
+    completed = Array.fold_left (fun acc h -> acc + Atomic.get h.finished) 0 t.handles;
+    yields = Array.fold_left (fun acc h -> acc + Atomic.get h.yields) 0 t.handles;
+    per_worker_finished = Array.map (fun h -> Atomic.get h.finished) t.handles;
+  }
+
+let drain t =
+  let backoff = Backoff.create () in
+  while in_flight t > 0 do
+    Backoff.once backoff
+  done
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    Atomic.set t.stop true;
+    Array.iter Domain.join t.domains
+  end;
+  stats t
+
+(* The historical batch entry point, kept as a wrapper so existing
+   callers compile unchanged (see the .mli deprecation note). *)
+let run ?workers ?quantum_ns ?ring_capacity jobs =
+  let t = create ?workers ?quantum_ns ?ring_capacity () in
+  let backoff = Backoff.create () in
   Array.iter
     (fun job ->
-      let best = ref 0 in
-      Array.iteri (fun i h -> if unfinished h < unfinished handles.(!best) then best := i) handles;
-      let handle = handles.(!best) in
-      while not (Spsc_ring.try_push handle.ring job) do
-        Domain.cpu_relax ()
+      while not (submit t job) do
+        Backoff.once backoff
       done;
-      Atomic.incr handle.assigned)
+      Backoff.reset backoff)
     jobs;
-  Atomic.set stop true;
-  Array.iter Domain.join domains;
-  {
-    completed = Array.fold_left (fun acc h -> acc + Atomic.get h.finished) 0 handles;
-    yields = Array.fold_left (fun acc h -> acc + Atomic.get h.yields) 0 handles;
-    per_worker_finished = Array.map (fun h -> Atomic.get h.finished) handles;
-  }
+  shutdown t

@@ -1,9 +1,16 @@
-(** Multi-domain TQ executor: real parallelism.
+(** Multi-domain TQ executor: real parallelism as a persistent service.
 
-    One dispatcher (the calling domain) load-balances jobs over worker
-    domains through SPSC rings, using JSQ on the workers' atomic
-    assigned/finished counters; each worker domain runs the forced-
-    multitasking scheduler loop over its own fibers with a wall clock.
+    One dispatcher (the thread that created the handle) load-balances
+    jobs over worker domains through SPSC rings, using JSQ on the
+    workers' atomic assigned/finished counters; each worker domain runs
+    the forced-multitasking scheduler loop over its own fibers with a
+    wall clock.
+
+    The handle is persistent: workers are spawned by {!create} and keep
+    polling their rings until {!shutdown}, so a server can submit
+    requests for its whole lifetime instead of draining one fixed batch.
+    Exactly one thread may call {!submit}/{!submit_to} (the rings are
+    single-producer); any thread may read the counters.
 
     Fidelity caveats (DESIGN.md): wall-clock quanta include OCaml GC
     pauses, and the per-domain minor heaps make this a demonstration of
@@ -15,9 +22,65 @@ type stats = {
   per_worker_finished : int array;
 }
 
+(** A running pool of worker domains. *)
+type t
+
+(** [create ~workers ~quantum_ns ~ring_capacity ()] spawns the worker
+    domains (default 4) and returns immediately.  Each worker multitasks
+    its admitted jobs with forced yields every [quantum_ns] (default
+    100 us) of wall-clock time; [ring_capacity] (default 256) bounds
+    each dispatcher->worker ring — a full ring is the backpressure
+    signal {!submit} reports. *)
+val create : ?workers:int -> ?quantum_ns:int -> ?ring_capacity:int -> unit -> t
+
+(** Number of worker domains. *)
+val workers : t -> int
+
+(** [pick t] — the least-loaded worker right now (JSQ over
+    assigned-minus-finished). *)
+val pick : t -> int
+
+(** [submit_to t ~worker job] — push [job] onto [worker]'s ring; [false]
+    when the ring is full (shed or retry — nothing was enqueued).
+    Raises [Invalid_argument] after {!shutdown} or for an out-of-range
+    worker. *)
+val submit_to : t -> worker:int -> (unit -> unit) -> bool
+
+(** [submit t job] = [submit_to t ~worker:(pick t) job]. *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Jobs admitted but not yet finished, pool-wide (queued on rings,
+    queued on workers, or mid-quantum). *)
+val in_flight : t -> int
+
+(** Per-worker admitted-but-unfinished count — what {!pick} minimizes
+    and ring-depth admission control reads. *)
+val worker_in_flight : t -> worker:int -> int
+
+(** Occupancy of [worker]'s dispatch ring alone (excludes jobs already
+    drained onto the worker's run queue). *)
+val ring_depth : t -> worker:int -> int
+
+(** Live snapshot of the pool's counters (safe from any thread). *)
+val stats : t -> stats
+
+(** [drain t] blocks until {!in_flight} reaches zero.  Only meaningful
+    once the producer has stopped submitting; jobs already admitted all
+    finish — the zero-loss half of graceful shutdown. *)
+val drain : t -> unit
+
+(** [shutdown t] drains, stops the workers, joins their domains and
+    returns the final counters.  Idempotent; the handle rejects
+    submissions afterwards. *)
+val shutdown : t -> stats
+
 (** [run ~workers ~quantum_ns jobs] dispatches every job, waits for
     completion and tears the domains down.  Jobs must be thread-safe.
-    [ring_capacity] bounds each dispatcher->worker ring (dispatch spins
-    when full). *)
+
+    Deprecated: this batch entry point survives as a thin wrapper over
+    the persistent handle ({!create} / {!submit} / {!shutdown}); new
+    code — anything that serves traffic rather than draining a fixed
+    array — should hold a handle and use {!create}, {!drain} and
+    {!shutdown} directly. *)
 val run :
   ?workers:int -> ?quantum_ns:int -> ?ring_capacity:int -> (unit -> unit) array -> stats

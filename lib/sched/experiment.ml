@@ -4,7 +4,7 @@ module Metrics = Tq_workload.Metrics
 module Arrivals = Tq_workload.Arrivals
 module Timeseries = Tq_obs.Timeseries
 
-type system_spec =
+type system_spec = System_intf.spec =
   | Two_level of Two_level.config
   | Centralized of Centralized.config
   | Caladan of Caladan.config
@@ -25,22 +25,10 @@ let run ?(seed = 42L) ?obs ~system ~workload ~rate_rps ~duration_ns () =
   let rng = Prng.create ~seed in
   let warmup_ns = duration_ns / 10 in
   let metrics = Metrics.create ~workload ~warmup_ns in
-  let submit, dispatcher_busy, snapshot =
-    match system with
-    | Two_level config ->
-        let t = Two_level.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
-        ( Two_level.submit t,
-          (fun () -> Two_level.dispatcher_busy_ns t),
-          fun () -> Two_level.obs_snapshot t )
-    | Centralized config ->
-        let t = Centralized.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
-        ( Centralized.submit t,
-          (fun () -> Centralized.dispatcher_busy_ns t),
-          fun () -> Centralized.obs_snapshot t )
-    | Caladan config ->
-        let t = Caladan.create sim ~rng:(Prng.split rng) ~config ~metrics ?obs () in
-        (Caladan.submit t, (fun () -> 0), fun () -> Caladan.obs_snapshot t)
-  in
+  let inst = System_intf.instantiate system sim ~rng:(Prng.split rng) ~metrics ?obs () in
+  let submit = System_intf.submit inst in
+  let dispatcher_busy () = System_intf.dispatcher_busy_ns inst in
+  let snapshot () = System_intf.obs_snapshot inst in
   (* The time-series sampler: a periodic event on the sim's virtual
      clock, bounded by [duration_ns] so the sim still drains. *)
   let timeseries =

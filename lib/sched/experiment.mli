@@ -4,7 +4,11 @@
     virtual duration, drains, and returns the metrics — the inner loop of
     every figure in the evaluation. *)
 
-type system_spec =
+(** Re-export of {!System_intf.spec}: the per-system configuration.
+    Drivers that need submission, accounting or fault hooks resolve a
+    spec to a packed first-class module with
+    {!System_intf.instantiate}. *)
+type system_spec = System_intf.spec =
   | Two_level of Two_level.config
   | Centralized of Centralized.config
   | Caladan of Caladan.config

@@ -1,0 +1,75 @@
+module Probe_api = Tq_runtime.Probe_api
+module Transactions = Tq_tpcc.Transactions
+
+type t = {
+  kv : Tq_kv.Store.t;
+  db : Tq_tpcc.Schema.t;
+  rng : Tq_util.Prng.t;
+}
+
+let kv_key i = Printf.sprintf "key%06d" i
+
+let create ?(kv_keys = 1024) ~seed () =
+  let kv = Tq_kv.Store.create () in
+  for i = 0 to kv_keys - 1 do
+    Tq_kv.Store.put kv (kv_key i) (Printf.sprintf "value%06d" i)
+  done;
+  {
+    kv;
+    db = Tq_tpcc.Schema.create ~seed ();
+    rng = Tq_util.Prng.create ~seed;
+  }
+
+let now_wall_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* The synthetic spin kernel: busy work probed every iteration, like a
+   loop instrumented by the TQ pass.  Yields whenever the quantum
+   expires; time spent yielded does not count as spin progress (the
+   deadline is re-read from the wall clock). *)
+let spin ~spin_ns =
+  let deadline = now_wall_ns () + spin_ns in
+  let x = ref 1 in
+  while now_wall_ns () < deadline do
+    (* a handful of ALU ops per probe so the probe itself is not the
+       whole loop body *)
+    for _ = 1 to 32 do
+      x := (!x * 48271) land 0x3FFFFFFF
+    done;
+    Probe_api.probe ()
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let outcome_body : Transactions.outcome -> string = function
+  | Ordered { o_id; total } -> Printf.sprintf "ordered:%d:%d" o_id total
+  | Paid { amount } -> Printf.sprintf "paid:%d" amount
+  | Status { last_order; undelivered_lines } ->
+      Printf.sprintf "status:%d:%d"
+        (match last_order with Some o -> o | None -> -1)
+        undelivered_lines
+  | Delivered { orders } -> Printf.sprintf "delivered:%d" orders
+  | Stock_low { count } -> Printf.sprintf "stock_low:%d" count
+
+let execute t ~now_ns ~req_id (req : Protocol.request) =
+  match
+    match req with
+    | Echo { spin_ns; payload } ->
+        if spin_ns > 0 then spin ~spin_ns;
+        payload
+    | Kv_get { key } -> (
+        let r =
+          match Tq_kv.Store.get t.kv key with Some v -> "+" ^ v | None -> "-"
+        in
+        Probe_api.probe ();
+        r)
+    | Kv_set { key; value } ->
+        Tq_kv.Store.put t.kv key value;
+        Probe_api.probe ();
+        "+"
+    | Tpcc { kind } ->
+        let outcome = Transactions.run t.db t.rng kind ~now_ns in
+        Probe_api.probe ();
+        outcome_body outcome
+  with
+  | body -> { Protocol.req_id; status = Protocol.Ok; body }
+  | exception exn ->
+      { Protocol.req_id; status = Protocol.Error (Printexc.to_string exn); body = "" }

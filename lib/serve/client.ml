@@ -1,0 +1,47 @@
+type t = {
+  fd : Unix.file_descr;
+  rb : Protocol.Reassembly.t;
+  chunk : bytes;
+  mutable next_id : int;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; rb = Protocol.Reassembly.create (); chunk = Bytes.create 65536; next_id = 0 }
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let send t ~req_id req =
+  let b = Buffer.create 64 in
+  Protocol.encode_request b ~req_id req;
+  write_all t.fd (Buffer.contents b)
+
+let rec recv t =
+  match Protocol.Reassembly.next t.rb with
+  | Error msg -> failwith ("Client.recv: " ^ msg)
+  | Ok (Some payload) -> (
+      match Protocol.decode_response payload with
+      | Ok resp -> resp
+      | Error msg -> failwith ("Client.recv: " ^ msg))
+  | Ok None -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 -> raise End_of_file
+      | n ->
+          Protocol.Reassembly.add t.rb t.chunk n;
+          recv t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv t)
+
+let call t req =
+  let req_id = t.next_id in
+  t.next_id <- req_id + 1;
+  send t ~req_id req;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

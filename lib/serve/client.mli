@@ -1,0 +1,28 @@
+(** A minimal blocking client for {!Server}: one TCP connection,
+    synchronous or pipelined calls.
+
+    Used by the loopback tests and as the building block the open-loop
+    {!Load_gen} does {e not} use (the generator needs non-blocking
+    sockets); anything that just wants to talk to a running [tq_serve]
+    — demos, smoke checks, debugging — starts here. *)
+
+type t
+
+(** [connect ~host ~port ()] — blocking TCP connect with Nagle
+    disabled.  Default host is loopback. *)
+val connect : ?host:string -> port:int -> unit -> t
+
+(** [send t ~req_id req] writes one request frame (blocking until the
+    kernel accepts it); pair with {!recv} to pipeline. *)
+val send : t -> req_id:int -> Protocol.request -> unit
+
+(** [recv t] blocks for the next response frame.  Raises [End_of_file]
+    if the server closes, [Failure] on a protocol error. *)
+val recv : t -> Protocol.response
+
+(** [call t req] — one synchronous round trip ([send] then [recv];
+    responses on an otherwise-idle connection come back in order). *)
+val call : t -> Protocol.request -> Protocol.response
+
+(** Close the connection (idempotent). *)
+val close : t -> unit

@@ -1,0 +1,255 @@
+module Prng = Tq_util.Prng
+module Latency = Tq_obs.Latency
+module Transactions = Tq_tpcc.Transactions
+
+type mix = {
+  echo : float;
+  kv : float;
+  tpcc : float;
+  echo_spin_ns : int;
+  kv_set_fraction : float;
+  kv_keys : int;
+}
+
+let default_mix =
+  {
+    echo = 0.70;
+    kv = 0.25;
+    tpcc = 0.05;
+    echo_spin_ns = 1_000;
+    kv_set_fraction = 0.3;
+    kv_keys = 1024;
+  }
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  rate_rps : float;
+  warmup_s : float;
+  measure_s : float;
+  grace_s : float;
+  seed : int64;
+  mix : mix;
+}
+
+let default_config ~rate_rps ~port =
+  {
+    host = "127.0.0.1";
+    port;
+    connections = 8;
+    rate_rps;
+    warmup_s = 0.5;
+    measure_s = 2.0;
+    grace_s = 2.0;
+    seed = 42L;
+    mix = default_mix;
+  }
+
+type result = {
+  sent : int;
+  received : int;
+  ok : int;
+  shed : int;
+  errors : int;
+  measured_sent : int;
+  measured_ok : int;
+  throughput_rps : float;
+  latency : Latency.t;
+  outstanding : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  rb : Protocol.Reassembly.t;
+  out : Buffer.t;
+  mutable out_off : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let sample_request rng mix =
+  let total = mix.echo +. mix.kv +. mix.tpcc in
+  if total <= 0.0 then invalid_arg "Load_gen: request mix has zero total weight";
+  let r = Prng.float rng total in
+  if r < mix.echo then Protocol.Echo { spin_ns = mix.echo_spin_ns; payload = "" }
+  else if r < mix.echo +. mix.kv then begin
+    let key = App.kv_key (Prng.int rng (max 1 mix.kv_keys)) in
+    if Prng.bernoulli rng ~p:mix.kv_set_fraction then
+      Protocol.Kv_set { key; value = "v" }
+    else Protocol.Kv_get { key }
+  end
+  else Protocol.Tpcc { kind = Transactions.sample_kind rng }
+
+let connect config =
+  Array.init config.connections (fun _ ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Unix.set_nonblock fd;
+      { fd; rb = Protocol.Reassembly.create (); out = Buffer.create 4096; out_off = 0 })
+
+let flush_conn c =
+  let total = Buffer.length c.out in
+  let len = total - c.out_off in
+  if len > 0 then begin
+    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len with
+    | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off = total then begin
+          Buffer.clear c.out;
+          c.out_off <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        raise End_of_file
+  end
+
+let run config =
+  if config.rate_rps <= 0.0 then invalid_arg "Load_gen: rate_rps must be positive";
+  if config.connections < 1 then invalid_arg "Load_gen: need at least one connection";
+  let rng = Prng.create ~seed:config.seed in
+  let conns = connect config in
+  let chunk = Bytes.create 65536 in
+  let latency = Latency.create () in
+  let all = Latency.recorder latency "all" in
+  let per_class =
+    Array.init Protocol.class_count (fun i ->
+        Latency.recorder latency (Protocol.class_name i))
+  in
+  (* req_id -> (send time, class, sent inside the measurement window) *)
+  let pending : (int, int * int * bool) Hashtbl.t = Hashtbl.create 4096 in
+  let sent = ref 0
+  and received = ref 0
+  and ok = ref 0
+  and shed = ref 0
+  and errors = ref 0
+  and measured_sent = ref 0
+  and measured_ok = ref 0 in
+  let t0 = now_ns () in
+  let warmup_end = t0 + int_of_float (config.warmup_s *. 1e9) in
+  let measure_end = warmup_end + int_of_float (config.measure_s *. 1e9) in
+  let interarrival = 1e9 /. config.rate_rps in
+  let next_send = ref (float_of_int t0) in
+  let next_id = ref 0 in
+  let progress = ref false in
+  let receive_conn c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> raise End_of_file
+    | n -> (
+        progress := true;
+        Protocol.Reassembly.add c.rb chunk n;
+        let rec parse () =
+          match Protocol.Reassembly.next c.rb with
+          | Error msg -> failwith ("Load_gen: " ^ msg)
+          | Ok None -> ()
+          | Ok (Some payload) -> (
+              match Protocol.decode_response payload with
+              | Error msg -> failwith ("Load_gen: " ^ msg)
+              | Ok resp ->
+                  incr received;
+                  (match Hashtbl.find_opt pending resp.Protocol.req_id with
+                  | None -> ()
+                  | Some (t_send, class_idx, measured) ->
+                      Hashtbl.remove pending resp.Protocol.req_id;
+                      (match resp.Protocol.status with
+                      | Protocol.Ok ->
+                          incr ok;
+                          if measured then begin
+                            incr measured_ok;
+                            let lat = now_ns () - t_send in
+                            Latency.record all lat;
+                            Latency.record per_class.(class_idx) lat
+                          end
+                      | Protocol.Shed -> incr shed
+                      | Protocol.Error _ -> incr errors));
+                  parse ())
+        in
+        parse ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise End_of_file
+  in
+  let sending = ref true in
+  let grace_deadline = ref max_int in
+  let backoff = Tq_runtime.Backoff.create () in
+  (try
+     while !sending || (Hashtbl.length pending > 0 && now_ns () < !grace_deadline) do
+       let now = now_ns () in
+       if !sending then
+         if now >= measure_end then begin
+           sending := false;
+           grace_deadline := now + int_of_float (config.grace_s *. 1e9)
+         end
+         else
+           (* fire every arrival the schedule owes us — open loop, the
+              generator never waits for the server *)
+           while !sending && !next_send <= float_of_int now do
+             let req = sample_request rng config.mix in
+             let req_id = !next_id in
+             incr next_id;
+             (* encode only — one batched write per poll round (below)
+                instead of a syscall per request *)
+             let c = conns.(req_id mod Array.length conns) in
+             Protocol.encode_request c.out ~req_id req;
+             let measured = now >= warmup_end && now < measure_end in
+             Hashtbl.replace pending req_id
+               (now, Protocol.class_of_request req, measured);
+             incr sent;
+             if measured then incr measured_sent;
+             progress := true;
+             next_send := !next_send +. Prng.exponential rng ~mean:interarrival
+           done;
+       Array.iter flush_conn conns;
+       Array.iter receive_conn conns;
+       (* On a core shared with the server, an empty poll round must
+          yield rather than spin (catch-up sending keeps the offered
+          rate honest across the nap). *)
+       if !progress then begin
+         progress := false;
+         Tq_runtime.Backoff.reset backoff
+       end
+       else Tq_runtime.Backoff.once backoff
+     done
+   with End_of_file -> ());
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  {
+    sent = !sent;
+    received = !received;
+    ok = !ok;
+    shed = !shed;
+    errors = !errors;
+    measured_sent = !measured_sent;
+    measured_ok = !measured_ok;
+    throughput_rps = float_of_int !measured_ok /. config.measure_s;
+    latency;
+    outstanding = Hashtbl.length pending;
+  }
+
+let to_json config r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"tq_serve loopback\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"connections\": %d,\n  \"offered_rps\": %.0f,\n"
+       config.connections config.rate_rps);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"warmup_s\": %g,\n  \"measure_s\": %g,\n  \"mix\": {\"echo\": %g, \"kv\": \
+        %g, \"tpcc\": %g, \"echo_spin_ns\": %d},\n"
+       config.warmup_s config.measure_s config.mix.echo config.mix.kv config.mix.tpcc
+       config.mix.echo_spin_ns);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"sent\": %d,\n  \"received\": %d,\n  \"ok\": %d,\n  \"shed\": %d,\n  \
+        \"errors\": %d,\n  \"outstanding\": %d,\n"
+       r.sent r.received r.ok r.shed r.errors r.outstanding);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"measured_sent\": %d,\n  \"measured_ok\": %d,\n  \"throughput_rps\": \
+        %.0f,\n"
+       r.measured_sent r.measured_ok r.throughput_rps);
+  Buffer.add_string b
+    (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json r.latency));
+  Buffer.contents b

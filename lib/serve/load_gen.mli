@@ -1,0 +1,68 @@
+(** Open-loop load generator for {!Server} (the [tq_load] engine).
+
+    Arrivals are a Poisson process at [rate_rps], spread round-robin
+    over [connections] pipelined connections — open loop, as in the
+    paper's evaluation (and LibPreemptible's harness): a slow server
+    does {e not} slow the generator down, it just grows the generator's
+    outbound queues, so tail latencies reflect queueing honestly.
+
+    The run has a warmup window (responses ignored for recording),
+    then a measurement window (per-class wall-clock latencies into a
+    {!Tq_obs.Latency} registry), then a grace period draining
+    still-outstanding responses.  Latency is measured send-to-response
+    per request id; requests are matched by the ids the server
+    echoes. *)
+
+(** Request mix, sampled per arrival. *)
+type mix = {
+  echo : float;  (** weight of spin-echo requests *)
+  kv : float;  (** weight of KV requests *)
+  tpcc : float;  (** weight of TPC-C transactions *)
+  echo_spin_ns : int;  (** server-side spin per echo request *)
+  kv_set_fraction : float;  (** SETs among KV requests (rest are GETs) *)
+  kv_keys : int;  (** keyspace size; must not exceed the server's *)
+}
+
+(** 70% echo (1 us spin), 25% KV (30% sets), 5% TPC-C, 1024 keys. *)
+val default_mix : mix
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  rate_rps : float;
+  warmup_s : float;
+  measure_s : float;
+  grace_s : float;  (** post-window wait for outstanding responses *)
+  seed : int64;
+  mix : mix;
+}
+
+(** Loopback, 8 connections, 0.5 s warmup, 2 s measurement, 2 s grace,
+    [default_mix]; [rate_rps] has no default — choose the offered
+    load. *)
+val default_config : rate_rps:float -> port:int -> config
+
+type result = {
+  sent : int;  (** requests sent over the whole run *)
+  received : int;  (** responses of any status *)
+  ok : int;
+  shed : int;  (** admission rejections *)
+  errors : int;  (** handler failures *)
+  measured_sent : int;  (** sent inside the measurement window *)
+  measured_ok : int;  (** their [Ok] responses *)
+  throughput_rps : float;  (** [measured_ok] over the window *)
+  latency : Tq_obs.Latency.t;
+      (** per-class (["echo"], ["kv_get"], ...) plus ["all"]; [Ok]
+          responses to measured sends only *)
+  outstanding : int;  (** unanswered when the grace period ended *)
+}
+
+(** [run config] executes one load-generation session (blocking; wall
+    clock). *)
+val run : config -> result
+
+(** [to_json config result] — the committed benchmark report
+    ([BENCH_serve.json] schema): offered vs achieved rate, loss/shed
+    accounting and the per-class latency ladder. *)
+val to_json : config -> result -> string

@@ -1,0 +1,183 @@
+(* Length-prefixed binary framing.  All integers big-endian.  Frame
+   payload layouts:
+
+     request:  req_id:u64  tag:u8  body
+       tag 0 Echo:    spin_ns:u32  payload...
+       tag 1 Kv_get:  key...
+       tag 2 Kv_set:  klen:u16  key  value...
+       tag 3 Tpcc:    kind:u8
+     response: req_id:u64  status:u8  body
+       status 0 Ok, 1 Shed, 2 Error (body = message) *)
+
+type request =
+  | Echo of { spin_ns : int; payload : string }
+  | Kv_get of { key : string }
+  | Kv_set of { key : string; value : string }
+  | Tpcc of { kind : Tq_tpcc.Transactions.kind }
+
+type status = Ok | Shed | Error of string
+type response = { req_id : int; status : status; body : string }
+
+let max_frame_bytes = 1 lsl 20
+let class_count = 4
+
+let class_of_request = function
+  | Echo _ -> 0
+  | Kv_get _ -> 1
+  | Kv_set _ -> 2
+  | Tpcc _ -> 3
+
+let class_name = function
+  | 0 -> "echo"
+  | 1 -> "kv_get"
+  | 2 -> "kv_set"
+  | 3 -> "tpcc"
+  | i -> invalid_arg (Printf.sprintf "Protocol.class_name: %d" i)
+
+let steering_key = function
+  | Kv_get { key } | Kv_set { key; _ } -> Some key
+  | Echo _ | Tpcc _ -> None
+
+let kind_tag : Tq_tpcc.Transactions.kind -> int = function
+  | Payment -> 0
+  | Order_status -> 1
+  | New_order -> 2
+  | Delivery -> 3
+  | Stock_level -> 4
+
+let kind_of_tag : int -> Tq_tpcc.Transactions.kind option = function
+  | 0 -> Some Payment
+  | 1 -> Some Order_status
+  | 2 -> Some New_order
+  | 3 -> Some Delivery
+  | 4 -> Some Stock_level
+  | _ -> None
+
+(* Appends [payload builder] output prefixed with its length. *)
+let with_frame b build =
+  let body = Buffer.create 64 in
+  build body;
+  let len = Buffer.length body in
+  if len > max_frame_bytes then invalid_arg "Protocol: frame exceeds max_frame_bytes";
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_buffer b body
+
+let encode_request b ~req_id r =
+  with_frame b (fun body ->
+      Buffer.add_int64_be body (Int64.of_int req_id);
+      match r with
+      | Echo { spin_ns; payload } ->
+          Buffer.add_uint8 body 0;
+          Buffer.add_int32_be body (Int32.of_int spin_ns);
+          Buffer.add_string body payload
+      | Kv_get { key } ->
+          Buffer.add_uint8 body 1;
+          Buffer.add_string body key
+      | Kv_set { key; value } ->
+          Buffer.add_uint8 body 2;
+          Buffer.add_uint16_be body (String.length key);
+          Buffer.add_string body key;
+          Buffer.add_string body value
+      | Tpcc { kind } ->
+          Buffer.add_uint8 body 3;
+          Buffer.add_uint8 body (kind_tag kind))
+
+let status_tag = function Ok -> 0 | Shed -> 1 | Error _ -> 2
+
+let encode_response b r =
+  with_frame b (fun body ->
+      Buffer.add_int64_be body (Int64.of_int r.req_id);
+      Buffer.add_uint8 body (status_tag r.status);
+      match r.status with
+      | Error msg -> Buffer.add_string body msg
+      | Ok | Shed -> Buffer.add_string body r.body)
+
+let response_frame r =
+  let b = Buffer.create (String.length r.body + 16) in
+  encode_response b r;
+  Buffer.to_bytes b
+
+let ( let* ) = Result.bind
+
+let need payload n =
+  if Bytes.length payload >= n then Result.Ok () else Result.Error "truncated frame"
+
+let decode_request payload =
+  let* () = need payload 9 in
+  let req_id = Int64.to_int (Bytes.get_int64_be payload 0) in
+  let tag = Bytes.get_uint8 payload 8 in
+  let rest off = Bytes.sub_string payload off (Bytes.length payload - off) in
+  match tag with
+  | 0 ->
+      let* () = need payload 13 in
+      let spin_ns = Int32.to_int (Bytes.get_int32_be payload 9) in
+      if spin_ns < 0 then Result.Error "negative spin"
+      else Result.Ok (req_id, Echo { spin_ns; payload = rest 13 })
+  | 1 -> Result.Ok (req_id, Kv_get { key = rest 9 })
+  | 2 ->
+      let* () = need payload 11 in
+      let klen = Bytes.get_uint16_be payload 9 in
+      let* () = need payload (11 + klen) in
+      let key = Bytes.sub_string payload 11 klen in
+      Result.Ok (req_id, Kv_set { key; value = rest (11 + klen) })
+  | 3 -> (
+      let* () = need payload 10 in
+      match kind_of_tag (Bytes.get_uint8 payload 9) with
+      | Some kind -> Result.Ok (req_id, Tpcc { kind })
+      | None -> Result.Error "unknown tpcc kind")
+  | t -> Result.Error (Printf.sprintf "unknown request tag %d" t)
+
+let decode_response payload =
+  let* () = need payload 9 in
+  let req_id = Int64.to_int (Bytes.get_int64_be payload 0) in
+  let body = Bytes.sub_string payload 9 (Bytes.length payload - 9) in
+  match Bytes.get_uint8 payload 8 with
+  | 0 -> Result.Ok { req_id; status = Ok; body }
+  | 1 -> Result.Ok { req_id; status = Shed; body }
+  | 2 -> Result.Ok { req_id; status = Error body; body = "" }
+  | t -> Result.Error (Printf.sprintf "unknown status tag %d" t)
+
+module Reassembly = struct
+  (* A flat byte buffer with consume-from-front: [head] is the parse
+     cursor, [len] the fill level; compaction slides the live region
+     back to offset 0 when the dead prefix dominates. *)
+  type t = { mutable buf : bytes; mutable head : int; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; head = 0; len = 0 }
+  let pending_bytes t = t.len - t.head
+
+  let compact t =
+    if t.head > 0 && (t.head = t.len || t.head > Bytes.length t.buf / 2) then begin
+      Bytes.blit t.buf t.head t.buf 0 (t.len - t.head);
+      t.len <- t.len - t.head;
+      t.head <- 0
+    end
+
+  let add t chunk n =
+    compact t;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit chunk 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let next t =
+    if pending_bytes t < 4 then Result.Ok None
+    else
+      let flen = Int32.to_int (Bytes.get_int32_be t.buf t.head) in
+      if flen < 0 || flen > max_frame_bytes then
+        Result.Error (Printf.sprintf "bad frame length %d" flen)
+      else if pending_bytes t < 4 + flen then Result.Ok None
+      else begin
+        let payload = Bytes.sub t.buf (t.head + 4) flen in
+        t.head <- t.head + 4 + flen;
+        compact t;
+        Result.Ok (Some payload)
+      end
+end

@@ -1,0 +1,94 @@
+(** Wire protocol of the live RPC server: length-prefixed binary frames
+    over a byte stream.
+
+    Every message is a 4-byte big-endian payload length followed by the
+    payload.  Requests carry a client-chosen 64-bit id that the server
+    echoes back, so clients can pipeline arbitrarily deep on one
+    connection; responses to one connection's requests arrive in
+    completion order, not submission order (workers multitask).
+
+    The request classes mirror the paper's evaluation applications: a
+    spin-loop echo (the synthetic microbenchmark), key-value GET/SET
+    (the memcached/RocksDB stand-in, {!Tq_kv}), and TPC-C transactions
+    ({!Tq_tpcc}). *)
+
+(** One RPC request. *)
+type request =
+  | Echo of { spin_ns : int; payload : string }
+      (** spin for [spin_ns] of wall-clock work under forced
+          multitasking, then echo [payload] *)
+  | Kv_get of { key : string }
+  | Kv_set of { key : string; value : string }
+  | Tpcc of { kind : Tq_tpcc.Transactions.kind }
+
+(** Server verdict carried by every response. *)
+type status =
+  | Ok
+  | Shed  (** rejected by admission control before any work *)
+  | Error of string  (** handler raised; the body holds the message *)
+
+(** One RPC response: the echoed request id, a verdict and a
+    class-specific body. *)
+type response = { req_id : int; status : status; body : string }
+
+(** Largest accepted frame payload; a peer announcing more is a protocol
+    error and its connection is closed. *)
+val max_frame_bytes : int
+
+(** {2 Request classes} *)
+
+(** Number of request classes (for per-class metric arrays). *)
+val class_count : int
+
+(** [class_of_request r] — stable index in [0, class_count). *)
+val class_of_request : request -> int
+
+(** [class_name i] — ["echo"], ["kv_get"], ["kv_set"] or ["tpcc"]. *)
+val class_name : int -> string
+
+(** [steering_key r] — [Some key] for requests that must stick to one
+    worker (KV operations: per-key get-after-set consistency needs all
+    operations on a key to land on the same core's store); [None] for
+    requests the dispatcher may JSQ-balance freely. *)
+val steering_key : request -> string option
+
+(** {2 Encoding} *)
+
+(** [encode_request b ~req_id r] appends one complete request frame. *)
+val encode_request : Buffer.t -> req_id:int -> request -> unit
+
+(** [encode_response b r] appends one complete response frame. *)
+val encode_response : Buffer.t -> response -> unit
+
+(** [response_frame r] — one freshly allocated complete response frame
+    (what workers push onto reply rings). *)
+val response_frame : response -> bytes
+
+(** [decode_request payload] — parse one frame payload (without the
+    length prefix). *)
+val decode_request : bytes -> (int * request, string) result
+
+(** [decode_response payload] — parse one frame payload. *)
+val decode_response : bytes -> (response, string) result
+
+(** {2 Stream reassembly}
+
+    A growable byte accumulator that splits a TCP byte stream back into
+    frame payloads; each side keeps one per connection. *)
+module Reassembly : sig
+  type t
+
+  (** An empty accumulator. *)
+  val create : unit -> t
+
+  (** [add t chunk n] appends the first [n] bytes of [chunk]. *)
+  val add : t -> bytes -> int -> unit
+
+  (** [next t] pops the next complete frame payload, if one is buffered.
+      [Error _] on an oversized or corrupt length prefix (close the
+      connection). *)
+  val next : t -> (bytes option, string) result
+
+  (** Bytes buffered but not yet returned as frames. *)
+  val pending_bytes : t -> int
+end

@@ -1,0 +1,361 @@
+(* The dispatcher core: owns all sockets, steers parsed requests into
+   the persistent worker pool, and writes completed responses back.
+   Workers never touch a socket; the dispatcher never runs request
+   work — the paper's two-level split mapped onto Unix. *)
+
+module Parallel = Tq_runtime.Parallel
+module Spsc_ring = Tq_runtime.Spsc_ring
+module Admission = Tq_sched.Admission
+module Counters = Tq_obs.Counters
+module Obs = Tq_obs.Obs
+module Reassembly = Protocol.Reassembly
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  quantum_ns : int;
+  ring_capacity : int;
+  rx_depth : int;
+  admission : Admission.policy;
+  kv_keys : int;
+  seed : int64;
+  drain_timeout_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    quantum_ns = 100_000;
+    ring_capacity = 256;
+    rx_depth = 1024;
+    admission = Admission.Accept_all;
+    kv_keys = 1024;
+    seed = 42L;
+    drain_timeout_s = 5.0;
+  }
+
+type stats = {
+  connections : int;
+  parsed : int;
+  dispatched : int;
+  completed : int;
+  shed : int;
+  protocol_errors : int;
+  orphaned : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  rb : Reassembly.t;
+  wb : Buffer.t;
+  mutable wb_off : int;
+  mutable alive : bool;
+}
+
+(* Mutable tallies, only ever written by the dispatcher thread; other
+   threads of the same domain may read them (systhreads interleave under
+   the domain lock, so plain loads are coherent there). *)
+type tallies = {
+  mutable t_connections : int;
+  mutable t_parsed : int;
+  mutable t_dispatched : int;
+  mutable t_completed : int;
+  mutable t_shed : int;
+  mutable t_protocol_errors : int;
+  mutable t_orphaned : int;
+}
+
+type t = {
+  config : config;
+  listener : Unix.file_descr;
+  mutable listener_open : bool;
+  port : int;
+  pool : Parallel.t;
+  apps : App.t array;
+  reply_rings : (int * int * bytes) Spsc_ring.t array;  (** cid, dispatch ns, frame *)
+  adm : Admission.t;
+  conns : (int, conn) Hashtbl.t;
+  stop_flag : bool Atomic.t;
+  tallies : tallies;
+  c_parsed : Counters.counter;
+  c_dispatched : Counters.counter;
+  c_completed : Counters.counter;
+  c_shed : Counters.counter;
+  d_sojourn : Counters.dist;
+  mutable next_cid : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let create ?(obs = Obs.disabled ()) config =
+  if config.workers < 1 then invalid_arg "Server.create: need at least one worker";
+  if config.rx_depth < 1 then invalid_arg "Server.create: rx_depth must be positive";
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen listener 128;
+  Unix.set_nonblock listener;
+  let port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let reg = obs.Obs.counters in
+  {
+    config;
+    listener;
+    listener_open = true;
+    port;
+    pool =
+      Parallel.create ~workers:config.workers ~quantum_ns:config.quantum_ns
+        ~ring_capacity:config.ring_capacity ();
+    apps =
+      Array.init config.workers (fun i ->
+          App.create ~kv_keys:config.kv_keys
+            ~seed:(Int64.add config.seed (Int64.of_int i))
+            ());
+    reply_rings =
+      Array.init config.workers (fun _ ->
+          Spsc_ring.create ~capacity:(max 1024 (4 * config.ring_capacity)));
+    adm = Admission.create config.admission;
+    conns = Hashtbl.create 64;
+    stop_flag = Atomic.make false;
+    tallies =
+      {
+        t_connections = 0;
+        t_parsed = 0;
+        t_dispatched = 0;
+        t_completed = 0;
+        t_shed = 0;
+        t_protocol_errors = 0;
+        t_orphaned = 0;
+      };
+    c_parsed = Counters.counter reg "serve.parsed";
+    c_dispatched = Counters.counter reg "serve.dispatched";
+    c_completed = Counters.counter reg "serve.completed";
+    c_shed = Counters.counter reg "serve.shed";
+    d_sojourn = Counters.dist reg "serve.sojourn_ns";
+    next_cid = 0;
+  }
+
+let port t = t.port
+let stop t = Atomic.set t.stop_flag true
+
+let stats t =
+  let s = t.tallies in
+  {
+    connections = s.t_connections;
+    parsed = s.t_parsed;
+    dispatched = s.t_dispatched;
+    completed = s.t_completed;
+    shed = s.t_shed;
+    protocol_errors = s.t_protocol_errors;
+    orphaned = s.t_orphaned;
+  }
+
+let in_flight t = t.tallies.t_dispatched - t.tallies.t_completed
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    Hashtbl.remove t.conns conn.cid;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let shed_response conn req_id =
+  Protocol.encode_response conn.wb { Protocol.req_id; status = Protocol.Shed; body = "" }
+
+let dispatch t conn req_id req =
+  t.tallies.t_parsed <- t.tallies.t_parsed + 1;
+  Counters.incr t.c_parsed;
+  let pool_load = Parallel.in_flight t.pool in
+  let admitted =
+    pool_load < t.config.rx_depth && Admission.admit t.adm ~in_system:pool_load
+  in
+  if not admitted then begin
+    t.tallies.t_shed <- t.tallies.t_shed + 1;
+    Counters.incr t.c_shed;
+    shed_response conn req_id
+  end
+  else begin
+    let w =
+      match Protocol.steering_key req with
+      | Some key -> Hashtbl.hash key mod Parallel.workers t.pool
+      | None -> Parallel.pick t.pool
+    in
+    let cid = conn.cid in
+    let t0 = now_ns () in
+    let app = t.apps.(w) in
+    let ring = t.reply_rings.(w) in
+    let job () =
+      let resp = App.execute app ~now_ns:(now_ns ()) ~req_id req in
+      let frame = Protocol.response_frame resp in
+      if not (Spsc_ring.try_push ring (cid, t0, frame)) then begin
+        let backoff = Tq_runtime.Backoff.create () in
+        while not (Spsc_ring.try_push ring (cid, t0, frame)) do
+          Tq_runtime.Backoff.once backoff
+        done
+      end
+    in
+    if Parallel.submit_to t.pool ~worker:w job then begin
+      t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
+      Counters.incr t.c_dispatched
+    end
+    else begin
+      (* the chosen core's ring is full: backpressure, shed at the door *)
+      t.tallies.t_shed <- t.tallies.t_shed + 1;
+      Counters.incr t.c_shed;
+      shed_response conn req_id
+    end
+  end
+
+let rec parse_frames t conn =
+  if conn.alive then
+    match Reassembly.next conn.rb with
+    | Error _ ->
+        t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
+        close_conn t conn
+    | Ok None -> ()
+    | Ok (Some payload) -> (
+        match Protocol.decode_request payload with
+        | Error _ ->
+            t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
+            close_conn t conn
+        | Ok (req_id, req) ->
+            dispatch t conn req_id req;
+            parse_frames t conn)
+
+let rec accept_new t progress =
+  match Unix.accept ~cloexec:true t.listener with
+  | fd, _addr ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let cid = t.next_cid in
+      t.next_cid <- cid + 1;
+      Hashtbl.replace t.conns cid
+        { fd; cid; rb = Reassembly.create (); wb = Buffer.create 4096; wb_off = 0; alive = true };
+      t.tallies.t_connections <- t.tallies.t_connections + 1;
+      progress := true;
+      accept_new t progress
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_new t progress
+
+let read_conn t chunk progress conn =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn t conn
+  | n ->
+      progress := true;
+      Reassembly.add conn.rb chunk n;
+      parse_frames t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn t conn
+
+let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let poll_replies t progress =
+  Array.iter
+    (fun ring ->
+      let rec go () =
+        match Spsc_ring.try_pop ring with
+        | None -> ()
+        | Some (cid, t0, frame) ->
+            progress := true;
+            t.tallies.t_completed <- t.tallies.t_completed + 1;
+            Counters.incr t.c_completed;
+            let sojourn = now_ns () - t0 in
+            Admission.note_completion t.adm ~sojourn_ns:sojourn;
+            Counters.observe t.d_sojourn sojourn;
+            (match Hashtbl.find_opt t.conns cid with
+            | Some conn -> Buffer.add_bytes conn.wb frame
+            | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1);
+            go ()
+      in
+      go ())
+    t.reply_rings
+
+let flush_conn t progress conn =
+  let total = Buffer.length conn.wb in
+  let len = total - conn.wb_off in
+  if len > 0 then begin
+    match Unix.write_substring conn.fd (Buffer.contents conn.wb) conn.wb_off len with
+    | n ->
+        if n > 0 then progress := true;
+        conn.wb_off <- conn.wb_off + n;
+        if conn.wb_off = total then begin
+          Buffer.clear conn.wb;
+          conn.wb_off <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn t conn
+  end
+
+let pending_writes t =
+  Hashtbl.fold (fun _ c acc -> acc || Buffer.length c.wb - c.wb_off > 0) t.conns false
+
+let reply_rings_empty t =
+  Array.for_all (fun r -> Spsc_ring.length r = 0) t.reply_rings
+
+(* Block on socket readiness only when the whole pipeline is quiet.
+   With work in flight the dispatcher polls, like the paper's dedicated
+   dispatcher core — but through a spin-then-park backoff, so that on a
+   machine where dispatcher and workers share cores a reply-less poll
+   round hands the core to the workers instead of burning their
+   timeslice (see {!Tq_runtime.Backoff}). *)
+let idle_wait t backoff =
+  if Parallel.in_flight t.pool = 0 && reply_rings_empty t && not (pending_writes t) then begin
+    let fds = List.map (fun c -> c.fd) (conn_list t) in
+    let fds = if t.listener_open then t.listener :: fds else fds in
+    match Unix.select fds [] [] 0.02 with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
+  else Tq_runtime.Backoff.once backoff
+
+let close_listener t =
+  if t.listener_open then begin
+    t.listener_open <- false;
+    try Unix.close t.listener with Unix.Unix_error _ -> ()
+  end
+
+let serve t =
+  let chunk = Bytes.create 65536 in
+  let stopping = ref false in
+  let stop_deadline = ref infinity in
+  let running = ref true in
+  let backoff = Tq_runtime.Backoff.create () in
+  while !running do
+    let progress = ref false in
+    if (not !stopping) && Atomic.get t.stop_flag then begin
+      (* Graceful drain: no new connections, no new frames; everything
+         already dispatched still completes and flushes. *)
+      stopping := true;
+      stop_deadline := Unix.gettimeofday () +. t.config.drain_timeout_s;
+      close_listener t
+    end;
+    if not !stopping then begin
+      accept_new t progress;
+      List.iter (fun c -> read_conn t chunk progress c) (conn_list t)
+    end;
+    poll_replies t progress;
+    List.iter (fun c -> flush_conn t progress c) (conn_list t);
+    if !stopping then begin
+      let drained = in_flight t = 0 in
+      if drained && not (pending_writes t) then running := false
+      else if Unix.gettimeofday () > !stop_deadline then begin
+        (* Unresponsive clients: finishing dispatched work is still
+           unconditional — only their unflushed bytes are abandoned. *)
+        Parallel.drain t.pool;
+        poll_replies t progress;
+        running := false
+      end
+    end;
+    if !progress then Tq_runtime.Backoff.reset backoff
+    else if !running then idle_wait t backoff
+  done;
+  ignore (Parallel.shutdown t.pool : Parallel.stats);
+  List.iter (fun c -> close_conn t c) (conn_list t);
+  close_listener t

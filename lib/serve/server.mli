@@ -1,0 +1,87 @@
+(** The live multicore RPC server: TQ's two-level structure over real
+    sockets.
+
+    Level 1 is the dispatcher — the thread that calls {!serve}.  It
+    owns every socket: it accepts connections, reassembles
+    length-prefixed frames, steers each request (KV by key hash so
+    per-key state stays on one core, everything else JSQ over the
+    workers' in-flight counters), and writes completed responses back.
+    It never executes request work — blind scheduling, per-*request*
+    dispatcher cost.
+
+    Level 2 is a persistent {!Tq_runtime.Parallel} pool: worker domains
+    that force-multitask request fibers with wall-clock quanta and push
+    encoded responses onto per-worker SPSC reply rings the dispatcher
+    polls.
+
+    Overload protection happens at the socket boundary, before any
+    dispatch cost: a NIC-style ring-depth gate (shed when pool-wide
+    in-flight reaches [rx_depth], like {!Tq_net.Nic} dropping on a full
+    RX ring) composed with a pluggable {!Tq_sched.Admission} policy fed
+    with completion sojourns.  Shed requests still get an immediate
+    [Shed] response, so clients can tell rejection from loss.
+
+    {!stop} triggers graceful drain: stop accepting and parsing,
+    finish every dispatched request, flush every reply, then tear the
+    pool down — zero admitted requests are lost (the accounting
+    invariant [parsed = dispatched + shed] and
+    [dispatched = completed] after drain, asserted by the drain test). *)
+
+type config = {
+  host : string;  (** bind address; default loopback *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains *)
+  quantum_ns : int;  (** forced-multitasking quantum (wall clock) *)
+  ring_capacity : int;  (** dispatcher->worker ring depth *)
+  rx_depth : int;
+      (** shed when pool-wide in-flight requests reach this (the
+          RX-ring-depth admission gate) *)
+  admission : Tq_sched.Admission.policy;
+      (** additional policy gate, fed with completion sojourns *)
+  kv_keys : int;  (** prepopulated keys per worker store *)
+  seed : int64;
+  drain_timeout_s : float;
+      (** give up flushing replies to unresponsive clients this long
+          after {!stop} (the drain itself — finishing dispatched work —
+          is unconditional) *)
+}
+
+(** Loopback, 4 workers, 100 us quanta, 256-deep rings, rx_depth 1024,
+    accept-all admission. *)
+val default_config : config
+
+(** Dispatcher-side request accounting (a snapshot; see {!stats}). *)
+type stats = {
+  connections : int;  (** connections accepted over the lifetime *)
+  parsed : int;  (** requests successfully decoded *)
+  dispatched : int;  (** admitted and handed to a worker *)
+  completed : int;  (** responses popped from reply rings *)
+  shed : int;  (** rejected by ring-depth or admission policy *)
+  protocol_errors : int;  (** malformed frames (connection closed) *)
+  orphaned : int;  (** responses whose connection had closed *)
+}
+
+type t
+
+(** [create ?obs config] binds and listens (raising [Unix.Unix_error]
+    on e.g. a busy port) and spawns the worker pool.  [obs] receives
+    [serve.*] counters and the sojourn distribution. *)
+val create : ?obs:Tq_obs.Obs.t -> config -> t
+
+(** The actually bound port — [config.port] unless that was 0. *)
+val port : t -> int
+
+(** [serve t] runs the dispatcher loop in the calling thread until
+    {!stop}, then drains and returns.  Call at most once. *)
+val serve : t -> unit
+
+(** [stop t] requests graceful drain; safe from another thread or a
+    signal handler.  Idempotent. *)
+val stop : t -> unit
+
+(** Live accounting snapshot (safe from other threads of the
+    dispatcher's domain, e.g. the test harness). *)
+val stats : t -> stats
+
+(** Requests admitted but not yet answered ([dispatched - completed]). *)
+val in_flight : t -> int

@@ -19,4 +19,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -6,6 +6,7 @@ module Event = Tq_obs.Event
 module Counters = Tq_obs.Counters
 module Timeseries = Tq_obs.Timeseries
 module Chrome_trace = Tq_obs.Chrome_trace
+module Latency = Tq_obs.Latency
 module Text_dump = Tq_obs.Text_dump
 
 let check = Alcotest.check
@@ -162,6 +163,60 @@ let test_timeseries_growth () =
   check Alcotest.int "last time" 1_000 t_ns;
   check (Alcotest.float 1e-9) "last value" 1_000.0 row.(0)
 
+(* --- Latency: the HDR-style registry behind tq_load --- *)
+
+let test_latency_percentiles () =
+  let reg = Latency.create () in
+  let r = Latency.recorder reg "rpc" in
+  for i = 1 to 10_000 do
+    Latency.record r (i * 1_000)
+  done;
+  check Alcotest.int "count" 10_000 (Latency.count r);
+  let within pct expect got =
+    let err = Float.abs (float_of_int got -. expect) /. expect in
+    if err > 0.05 then
+      Alcotest.failf "%s: expected ~%.0f, got %d (err %.3f)" pct expect got err
+  in
+  within "p50" 5_000_000.0 (Latency.percentile r 50.0);
+  within "p99" 9_900_000.0 (Latency.percentile r 99.0);
+  within "p99.9" 9_990_000.0 (Latency.percentile r 99.9);
+  within "mean" 5_000_500.0 (int_of_float (Latency.mean r));
+  within "max" 10_000_000.0 (Latency.max_ns r)
+
+let test_latency_registry () =
+  let reg = Latency.create () in
+  let a = Latency.recorder reg "alpha" in
+  let b = Latency.recorder reg "beta" in
+  Latency.record a 10;
+  Latency.record b 20;
+  Latency.record b 30;
+  check Alcotest.bool "recorder is cached" true (Latency.recorder reg "alpha" == a);
+  check
+    Alcotest.(list string)
+    "sorted names" [ "alpha"; "beta" ]
+    (List.map fst (Latency.to_alist reg));
+  check Alcotest.int "empty percentile" 0 (Latency.percentile (Latency.recorder reg "nope") 50.0);
+  Latency.clear b;
+  check Alcotest.int "cleared" 0 (Latency.count b);
+  check Alcotest.int "other survives clear" 1 (Latency.count a);
+  Latency.clear_all reg;
+  check Alcotest.int "clear_all" 0 (Latency.count a)
+
+let test_latency_clamps () =
+  let reg = Latency.create ~max_ns:1_000 () in
+  let r = Latency.recorder reg "clamp" in
+  Latency.record r (-5);
+  Latency.record r 1_000_000;
+  check Alcotest.int "count" 2 (Latency.count r);
+  check Alcotest.bool "oversized sample clamps to max" true (Latency.max_ns r <= 1_000);
+  let json = Latency.to_json reg in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "json mentions recorder" true (contains json "\"clamp\"")
+
 let suite =
   [
     Alcotest.test_case "trace ordering" `Quick test_trace_ordering;
@@ -173,4 +228,7 @@ let suite =
     Alcotest.test_case "text dump" `Quick test_text_dump;
     Alcotest.test_case "timeseries csv" `Quick test_timeseries_csv;
     Alcotest.test_case "timeseries growth" `Quick test_timeseries_growth;
+    Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
+    Alcotest.test_case "latency registry" `Quick test_latency_registry;
+    Alcotest.test_case "latency clamps + json" `Quick test_latency_clamps;
   ]

@@ -418,6 +418,75 @@ let test_pool_multi_producer_release () =
   check Alcotest.int "every buffer released" rounds (r1 + r2);
   check Alcotest.int "pool conserved" capacity (Mpsc_pool.free_count pool)
 
+(* --- Parallel: the persistent handle API behind tq_serve --- *)
+
+let test_parallel_handle_lifecycle () =
+  let pool = Parallel.create ~workers:2 ~ring_capacity:8 () in
+  check Alcotest.int "workers" 2 (Parallel.workers pool);
+  let hits = Array.init 2 (fun _ -> Atomic.make 0) in
+  let submitted = ref 0 in
+  let backoff = Backoff.create () in
+  for i = 0 to 99 do
+    let w = i mod 2 in
+    while not (Parallel.submit_to pool ~worker:w (fun () -> Atomic.incr hits.(w))) do
+      Backoff.once backoff
+    done;
+    incr submitted
+  done;
+  Parallel.drain pool;
+  check Alcotest.int "drained" 0 (Parallel.in_flight pool);
+  let stats = Parallel.shutdown pool in
+  check Alcotest.int "completed" 100 stats.Parallel.completed;
+  check Alcotest.int "worker 0 ran its share" 50 (Atomic.get hits.(0));
+  check Alcotest.int "worker 1 ran its share" 50 (Atomic.get hits.(1));
+  check Alcotest.(array int) "per-worker accounting" [| 50; 50 |]
+    stats.Parallel.per_worker_finished
+
+let test_parallel_submit_after_shutdown () =
+  let pool = Parallel.create ~workers:1 () in
+  ignore (Parallel.submit pool (fun () -> ()));
+  let s1 = Parallel.shutdown pool in
+  (* idempotent: a second shutdown just reports the same stats *)
+  let s2 = Parallel.shutdown pool in
+  check Alcotest.int "stable stats" s1.Parallel.completed s2.Parallel.completed;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Parallel.submit_to: pool is shut down") (fun () ->
+      ignore (Parallel.submit pool (fun () -> ())));
+  Alcotest.check_raises "bad worker index rejected before spawn side effects"
+    (Invalid_argument "Parallel.submit_to: pool is shut down") (fun () ->
+      ignore (Parallel.submit_to pool ~worker:7 (fun () -> ())))
+
+let test_parallel_pick_least_loaded () =
+  let pool = Parallel.create ~workers:3 ~ring_capacity:64 () in
+  (* nothing in flight: pick must name a valid worker *)
+  let w = Parallel.pick pool in
+  check Alcotest.bool "valid worker" true (w >= 0 && w < 3);
+  Parallel.drain pool;
+  ignore (Parallel.shutdown pool)
+
+let test_parallel_shutdown_drains_backlog () =
+  (* shutdown alone must already be a zero-loss drain: every accepted
+     job runs even with a deep backlog of slow jobs at shutdown time *)
+  let pool = Parallel.create ~workers:2 ~ring_capacity:128 () in
+  let ran = Atomic.make 0 in
+  let n = 200 in
+  let backoff = Backoff.create () in
+  for _ = 1 to n do
+    while
+      not
+        (Parallel.submit pool (fun () ->
+             for _ = 1 to 50 do
+               Sys.opaque_identity ignore ()
+             done;
+             Atomic.incr ran))
+    do
+      Backoff.once backoff
+    done
+  done;
+  let stats = Parallel.shutdown pool in
+  check Alcotest.int "no job lost" n (Atomic.get ran);
+  check Alcotest.int "stats agree" n stats.Parallel.completed
+
 (* appended to the runtime suite *)
 let pool_suite =
   [
@@ -425,6 +494,10 @@ let pool_suite =
     Alcotest.test_case "pool recycles" `Quick test_pool_release_recycles;
     Alcotest.test_case "pool bad release" `Quick test_pool_rejects_bad_release;
     Alcotest.test_case "pool multi-producer" `Quick test_pool_multi_producer_release;
+    Alcotest.test_case "parallel handle lifecycle" `Quick test_parallel_handle_lifecycle;
+    Alcotest.test_case "parallel shutdown fence" `Quick test_parallel_submit_after_shutdown;
+    Alcotest.test_case "parallel pick" `Quick test_parallel_pick_least_loaded;
+    Alcotest.test_case "parallel zero-loss shutdown" `Quick test_parallel_shutdown_drains_backlog;
   ]
 
 let suite = suite @ pool_suite

@@ -1,0 +1,227 @@
+(* Tests for tq_serve: the wire codec, stream reassembly, and the live
+   loopback server — a mixed-class smoke run and a drain-under-load
+   shutdown, both against a real TCP socket. *)
+
+module Protocol = Tq_serve.Protocol
+module Server = Tq_serve.Server
+module Client = Tq_serve.Client
+module App = Tq_serve.App
+
+let check = Alcotest.check
+
+(* --- codec --- *)
+
+let roundtrip req =
+  let b = Buffer.create 64 in
+  Protocol.encode_request b ~req_id:99 req;
+  let frame = Buffer.to_bytes b in
+  let rb = Protocol.Reassembly.create () in
+  Protocol.Reassembly.add rb frame (Bytes.length frame);
+  match Protocol.Reassembly.next rb with
+  | Ok (Some payload) -> (
+      match Protocol.decode_request payload with
+      | Ok (id, req') ->
+          check Alcotest.int "req_id" 99 id;
+          req'
+      | Error msg -> Alcotest.failf "decode: %s" msg)
+  | Ok None -> Alcotest.fail "frame not reassembled"
+  | Error msg -> Alcotest.failf "reassembly: %s" msg
+
+let test_codec_roundtrip () =
+  let reqs =
+    [
+      Protocol.Echo { spin_ns = 12_345; payload = "hello, \x00 binary" };
+      Protocol.Echo { spin_ns = 0; payload = "" };
+      Protocol.Kv_get { key = App.kv_key 7 };
+      Protocol.Kv_set { key = "k"; value = String.make 1000 'v' };
+      Protocol.Tpcc { kind = Tq_tpcc.Transactions.New_order };
+      Protocol.Tpcc { kind = Tq_tpcc.Transactions.Stock_level };
+    ]
+  in
+  List.iter (fun req -> check Alcotest.bool "request survives" true (roundtrip req = req)) reqs;
+  List.iter
+    (fun resp ->
+      let frame = Protocol.response_frame resp in
+      let rb = Protocol.Reassembly.create () in
+      Protocol.Reassembly.add rb frame (Bytes.length frame);
+      match Protocol.Reassembly.next rb with
+      | Ok (Some payload) ->
+          check Alcotest.bool "response survives" true
+            (Protocol.decode_response payload = Ok resp)
+      | _ -> Alcotest.fail "response frame lost")
+    [
+      { Protocol.req_id = 3; status = Protocol.Ok; body = "out" };
+      { Protocol.req_id = 4; status = Protocol.Shed; body = "" };
+      (* an [Error] response's message rides in the wire body *)
+      { Protocol.req_id = 5; status = Protocol.Error "boom"; body = "" };
+    ]
+
+let test_reassembly_byte_at_a_time () =
+  let b = Buffer.create 256 in
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Protocol.encode_request b ~req_id:i
+      (Protocol.Echo { spin_ns = i; payload = String.make (i * 3) 'x' })
+  done;
+  let stream = Buffer.to_bytes b in
+  let rb = Protocol.Reassembly.create () in
+  let got = ref 0 in
+  let byte = Bytes.create 1 in
+  Bytes.iter
+    (fun c ->
+      Bytes.set byte 0 c;
+      Protocol.Reassembly.add rb byte 1;
+      let rec drain () =
+        match Protocol.Reassembly.next rb with
+        | Ok (Some payload) ->
+            (match Protocol.decode_request payload with
+            | Ok (id, Protocol.Echo { spin_ns; payload }) ->
+                check Alcotest.int "ids in order" !got id;
+                check Alcotest.int "spin" !got spin_ns;
+                check Alcotest.int "payload length" (!got * 3) (String.length payload)
+            | _ -> Alcotest.fail "wrong request");
+            incr got;
+            drain ()
+        | Ok None -> ()
+        | Error msg -> Alcotest.failf "reassembly: %s" msg
+      in
+      drain ())
+    stream;
+  check Alcotest.int "all frames recovered" n !got;
+  check Alcotest.int "nothing left over" 0 (Protocol.Reassembly.pending_bytes rb)
+
+let test_reassembly_rejects_oversized () =
+  let rb = Protocol.Reassembly.create () in
+  let evil = Bytes.create 4 in
+  Bytes.set_int32_be evil 0 (Int32.of_int (Protocol.max_frame_bytes + 1));
+  Protocol.Reassembly.add rb evil 4;
+  match Protocol.Reassembly.next rb with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length prefix must be rejected"
+
+(* --- live loopback server --- *)
+
+let with_server config f =
+  let srv = Server.create config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () -> f srv)
+
+let base_config =
+  {
+    Server.default_config with
+    port = 0 (* ephemeral: tests never collide on a port *);
+    workers = 2;
+    rx_depth = 65536;
+    kv_keys = 64;
+  }
+
+let nth_request i =
+  match i mod 4 with
+  | 0 -> Protocol.Echo { spin_ns = 500; payload = Printf.sprintf "p%d" i }
+  | 1 -> Protocol.Kv_set { key = App.kv_key (i mod 64); value = Printf.sprintf "w%d" i }
+  | 2 -> Protocol.Kv_get { key = App.kv_key (i mod 64) }
+  | _ -> Protocol.Tpcc { kind = Tq_tpcc.Transactions.Payment }
+
+let test_loopback_smoke () =
+  with_server base_config (fun srv ->
+      let n = 3_000 and window = 64 in
+      let client = Client.connect ~port:(Server.port srv) () in
+      let answered = Array.make n false in
+      let t0 = Unix.gettimeofday () in
+      let recv_one () =
+        let resp = Client.recv client in
+        let id = resp.Protocol.req_id in
+        check Alcotest.bool "known id" true (id >= 0 && id < n);
+        check Alcotest.bool "answered once" false answered.(id);
+        answered.(id) <- true;
+        (match resp.Protocol.status with
+        | Protocol.Ok -> ()
+        | Protocol.Shed -> Alcotest.fail "shed under tiny load"
+        | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg);
+        match (nth_request id, resp.Protocol.body) with
+        | Protocol.Echo { payload; _ }, body ->
+            check Alcotest.string "echo echoes" payload body
+        | Protocol.Kv_set _, body -> check Alcotest.string "set acks" "+" body
+        | Protocol.Kv_get _, body ->
+            check Alcotest.bool "get hits a prepopulated/written key" true
+              (String.length body > 0 && body.[0] = '+')
+        | Protocol.Tpcc _, body ->
+            check Alcotest.bool "tpcc reports an outcome" true (String.length body > 0)
+      in
+      let inflight = ref 0 in
+      for i = 0 to n - 1 do
+        Client.send client ~req_id:i (nth_request i);
+        incr inflight;
+        if !inflight >= window then begin
+          recv_one ();
+          decr inflight
+        end
+      done;
+      while !inflight > 0 do
+        recv_one ();
+        decr inflight
+      done;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Client.close client;
+      check Alcotest.bool "every request answered" true (Array.for_all Fun.id answered);
+      (* sanity, not a benchmark: thousands of mixed requests should take
+         seconds at worst even on a single shared core *)
+      check Alcotest.bool "sane latency" true (elapsed /. float_of_int n < 0.01);
+      let s = Server.stats srv in
+      check Alcotest.int "parsed all" n s.Server.parsed;
+      check Alcotest.int "dispatched all" n s.Server.dispatched;
+      check Alcotest.int "completed all" n s.Server.completed;
+      check Alcotest.int "nothing shed" 0 s.Server.shed;
+      check Alcotest.int "no protocol errors" 0 s.Server.protocol_errors;
+      check Alcotest.int "no orphans" 0 s.Server.orphaned)
+
+let test_drain_under_load () =
+  let srv = Server.create { base_config with ring_capacity = 4096 } in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 1_000 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  for i = 0 to n - 1 do
+    Client.send client ~req_id:i (Protocol.Echo { spin_ns = 20_000; payload = "" })
+  done;
+  (* wait for the server to take ownership of every request... *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while (Server.stats srv).Server.parsed < n && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  check Alcotest.int "server accepted everything" n (Server.stats srv).Server.parsed;
+  (* ...then pull the plug mid-flight: a graceful drain must still
+     answer every single one *)
+  Server.stop srv;
+  let ok = ref 0 and shed = ref 0 and got = ref 0 in
+  (try
+     while !got < n do
+       let resp = Client.recv client in
+       (match resp.Protocol.status with
+       | Protocol.Ok -> incr ok
+       | Protocol.Shed -> incr shed
+       | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg);
+       incr got
+     done
+   with End_of_file -> ());
+  Thread.join th;
+  Client.close client;
+  let s = Server.stats srv in
+  check Alcotest.int "every parsed request answered" n !got;
+  check Alcotest.int "dispatched + shed = parsed" s.Server.parsed
+    (s.Server.dispatched + s.Server.shed);
+  check Alcotest.int "zero in-flight lost" s.Server.dispatched s.Server.completed;
+  check Alcotest.int "client saw the completions" s.Server.completed !ok;
+  check Alcotest.int "client saw the sheds" s.Server.shed !shed
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "reassembly byte-at-a-time" `Quick test_reassembly_byte_at_a_time;
+    Alcotest.test_case "reassembly oversized" `Quick test_reassembly_rejects_oversized;
+    Alcotest.test_case "loopback smoke" `Quick test_loopback_smoke;
+    Alcotest.test_case "drain under load" `Quick test_drain_under_load;
+  ]
