@@ -3,12 +3,14 @@
    library's own primitives with Bechamel.
 
      dune exec bench/main.exe -- [--jobs N] [--no-cache] [--parallel-bench [FILE]]
+                                 [--obs-bench [FILE]]
 
    The sweep grid fans out over OCaml 5 domains (--jobs or TQ_JOBS,
    default: recommended domain count) and completed points are served
    from _tq_cache/ unless --no-cache.  --parallel-bench times the
    standard sweep at jobs=1 vs jobs=max and writes BENCH_parallel.json
-   instead of running the full harness.
+   instead of running the full harness; --obs-bench measures the span
+   record path on vs off and writes BENCH_obs_serve.json.
 
    Simulated durations scale with TQ_BENCH_SCALE (default 1.0).
    EXPERIMENTS.md records paper-vs-measured for each experiment. *)
@@ -226,34 +228,83 @@ let test_trace_enabled =
 let test_trace_disabled =
   make_trace_test ~name:"obs trace record (disabled)" Tq_obs.Trace.null
 
-let run_trace_overhead () =
-  hr ();
-  print_endline "Trace record-path overhead (tracing on vs off)";
-  hr ();
+(* ns/run and minor-words/run OLS estimates for one test. *)
+let measure_ns_words test =
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.3) ~stabilize:false ~kde:None ()
   in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let estimate instance =
-        let analyzed = Analyze.all ols instance results in
-        Hashtbl.fold
-          (fun _ ols_result acc ->
-            match Analyze.OLS.estimates ols_result with
-            | Some [ v ] -> Some v
-            | _ -> acc)
-          analyzed None
-      in
-      let name = Test.Elt.name (List.hd (Test.elements test)) in
-      let pp = function Some v -> Printf.sprintf "%10.2f" v | None -> "       n/a" in
-      Printf.printf "%-34s %s ns/run  %s minor words/run\n" name
-        (pp (estimate Instance.monotonic_clock))
-        (pp (estimate Instance.minor_allocated)))
-    [ test_trace_enabled; test_trace_disabled ];
+  let results = Benchmark.all cfg instances test in
+  let estimate instance =
+    let analyzed = Analyze.all ols instance results in
+    Hashtbl.fold
+      (fun _ ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ v ] -> Some v
+        | _ -> acc)
+      analyzed None
+  in
+  (estimate Instance.monotonic_clock, estimate Instance.minor_allocated)
+
+let pp_estimate = function Some v -> Printf.sprintf "%10.2f" v | None -> "       n/a"
+
+let print_ns_words test =
+  let ns, words = measure_ns_words test in
+  let name = Test.Elt.name (List.hd (Test.elements test)) in
+  Printf.printf "%-34s %s ns/run  %s minor words/run\n%!" name (pp_estimate ns)
+    (pp_estimate words);
+  (ns, words)
+
+let run_trace_overhead () =
+  hr ();
+  print_endline "Trace record-path overhead (tracing on vs off)";
+  hr ();
+  List.iter (fun t -> ignore (print_ns_words t)) [ test_trace_enabled; test_trace_disabled ];
   print_newline ()
+
+(* Span record-path overhead: what every request on the serve path pays
+   for cross-domain spans.  Without --obs the server holds [null_sink]s,
+   so the disabled row is the default per-request tax — it must come out
+   at ~0 ns and 0 minor words per run (one capacity branch, all-int
+   arguments, the clock reads guarded off by [Span.enabled] upstream). *)
+let make_span_test ~name sink =
+  let ts = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr ts;
+         Tq_obs.Span.record sink ~req_id:!ts ~phase:Tq_obs.Span.Dispatch ~start_ns:!ts
+           ~dur_ns:10 ~arg:0))
+
+let run_obs_bench ~out () =
+  hr ();
+  print_endline "Span record-path overhead (serve observability on vs off)";
+  hr ();
+  let live_sink =
+    Tq_obs.Span.register
+      (Tq_obs.Span.create ~capacity_per_sink:4096 ())
+      (Tq_obs.Event.Dispatcher 0)
+  in
+  let enabled =
+    print_ns_words (make_span_test ~name:"span record (enabled)" live_sink)
+  in
+  let disabled =
+    print_ns_words (make_span_test ~name:"span record (disabled)" Tq_obs.Span.null_sink)
+  in
+  print_newline ();
+  let num = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"cross-domain span record path (tq_serve observability)\",\n\
+    \  \"enabled_ns_per_run\": %s,\n\
+    \  \"enabled_minor_words_per_run\": %s,\n\
+    \  \"disabled_ns_per_run\": %s,\n\
+    \  \"disabled_minor_words_per_run\": %s\n\
+     }\n"
+    (num (fst enabled)) (num (snd enabled)) (num (fst disabled)) (num (snd disabled));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
 
 let run_microbenchmarks () =
   hr ();
@@ -297,6 +348,7 @@ let () =
   let jobs = ref 0 in
   let use_cache = ref true in
   let parallel_bench = ref None in
+  let obs_bench = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -313,15 +365,22 @@ let () =
     | "--parallel-bench" :: rest ->
         parallel_bench := Some "BENCH_parallel.json";
         parse rest
+    | "--obs-bench" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        obs_bench := Some path;
+        parse rest
+    | "--obs-bench" :: rest ->
+        obs_bench := Some "BENCH_obs_serve.json";
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs = 0 then Tq_par.Domain_pool.default_jobs () else !jobs in
-  match !parallel_bench with
-  | Some out -> run_parallel_bench ~out ()
-  | None ->
+  match (!parallel_bench, !obs_bench) with
+  | Some out, _ -> run_parallel_bench ~out ()
+  | None, Some out -> run_obs_bench ~out ()
+  | None, None ->
       run_experiments ~jobs ~use_cache:!use_cache ();
       run_microbenchmarks ();
       run_trace_overhead ();

@@ -2,12 +2,26 @@
 
    Offers a fixed request rate regardless of how fast the server
    answers, then reports achieved throughput and the per-class latency
-   ladder.  `--json FILE` writes the BENCH_serve.json report. *)
+   ladder.  `--json FILE` writes the BENCH_serve.json report;
+   `--dashboard` renders SLO burn rates live; `--stats-interval SEC`
+   polls the server's Stats RPC; `--trace FILE` fetches the server's
+   span trace (server must run with --obs) for Perfetto. *)
 
 open Cmdliner
 
+let parse_slo s =
+  (* NAME:LATENCY_US:GOODPUT, e.g. p99:500:0.99 *)
+  match
+    Scanf.sscanf_opt s "%[^:]:%f:%f" (fun name lat_us goodput ->
+        { Tq_obs.Slo.name; latency_ns = int_of_float (lat_us *. 1e3); goodput })
+  with
+  | Some o -> o
+  | None ->
+      Printf.eprintf "bad --slo %S (expected NAME:LATENCY_US:GOODPUT)\n" s;
+      exit 1
+
 let run host port rate connections warmup measure grace seed mix_spec spin_us json_out
-    quiet =
+    quiet slo_specs stats_interval dashboard stats_json trace_out =
   let mix =
     match mix_spec with
     | None -> Tq_serve.Load_gen.default_mix
@@ -20,6 +34,13 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
             exit 1)
   in
   let mix = { mix with echo_spin_ns = Tq_util.Time_unit.us spin_us } in
+  let stats_interval =
+    (* --stats-json needs at least one poll even when no interval was
+       asked for; poll once a second then. *)
+    match (stats_interval, stats_json) with
+    | None, Some _ -> Some 1.0
+    | si, _ -> si
+  in
   let config =
     {
       Tq_serve.Load_gen.host;
@@ -31,6 +52,9 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
       grace_s = grace;
       seed = Int64.of_int seed;
       mix;
+      slo = List.map parse_slo slo_specs;
+      stats_interval_s = stats_interval;
+      dashboard;
     }
   in
   let r = Tq_serve.Load_gen.run config in
@@ -39,7 +63,18 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
       "tq_load: offered %.0f rps for %gs -> achieved %.0f rps (%d ok, %d shed, %d \
        errors, %d outstanding)\n"
       rate measure r.throughput_rps r.ok r.shed r.errors r.outstanding;
-    print_string (Tq_obs.Latency.dump r.latency)
+    print_string (Tq_obs.Latency.dump r.latency);
+    List.iter
+      (fun (rep : Tq_obs.Slo.report) ->
+        Printf.printf
+          "slo %-10s target p(lat<=%.0fus) >= %.3f   compliance %.4f   burn %.2fx%s\n"
+          rep.objective.name
+          (float_of_int rep.objective.latency_ns /. 1e3)
+          rep.objective.goodput rep.compliance rep.burn_rate
+          (if rep.window_total > 0 && rep.burn_rate > 1.0 then "  BREACH" else ""))
+      r.slo_reports;
+    if stats_interval <> None then
+      Printf.printf "tq_load: %d stats polls collected\n" (List.length r.stats_polls)
   end;
   (match json_out with
   | Some path ->
@@ -47,6 +82,31 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
       output_string oc (Tq_serve.Load_gen.to_json config r);
       close_out oc;
       if not quiet then Printf.printf "tq_load: wrote %s\n" path
+  | None -> ());
+  (match stats_json with
+  | Some path -> (
+      match List.rev r.stats_polls with
+      | (_, body) :: _ ->
+          let oc = open_out path in
+          output_string oc body;
+          close_out oc;
+          if not quiet then Printf.printf "tq_load: wrote server stats to %s\n" path
+      | [] -> Printf.eprintf "tq_load: no stats polls succeeded, %s not written\n" path)
+  | None -> ());
+  (match trace_out with
+  | Some path -> (
+      try
+        let c = Tq_serve.Client.connect ~host ~port () in
+        let body = Tq_serve.Client.stats ~view:Tq_serve.Protocol.Stats_trace c in
+        Tq_serve.Client.close c;
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        if not quiet then
+          Printf.printf "tq_load: wrote server span trace to %s (%d bytes)\n" path
+            (String.length body)
+      with e ->
+        Printf.eprintf "tq_load: trace fetch failed: %s\n" (Printexc.to_string e))
   | None -> ());
   if r.received = 0 then begin
     Printf.eprintf "tq_load: no responses received\n";
@@ -79,10 +139,39 @@ let () =
          & info [ "json" ] ~docv:"FILE" ~doc:"write the benchmark report to FILE")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the human-readable report") in
+  let slo =
+    Arg.(value & opt_all string []
+         & info [ "slo" ] ~docv:"NAME:LAT_US:GOODPUT"
+             ~doc:"latency SLO to monitor (repeatable), e.g. p99:500:0.99; \
+                   default default:1000:0.99")
+  in
+  let stats_interval =
+    Arg.(value & opt (some float) None
+         & info [ "stats-interval" ] ~docv:"SEC"
+             ~doc:"poll the server's Stats RPC every SEC seconds")
+  in
+  let dashboard =
+    Arg.(value & flag
+         & info [ "dashboard" ]
+             ~doc:"live ANSI dashboard on stderr: SLO burn rate, goodput window, \
+                   achieved throughput")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"write the last polled server stats snapshot to FILE")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"after the run, fetch the server's span trace (Stats RPC) and \
+                   write Chrome/Perfetto JSON to FILE (server needs --obs)")
+  in
   let doc = "Open-loop Poisson load generator for tq_serve." in
   let cmd =
     Cmd.v (Cmd.info "tq_load" ~version:"1.1.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
-            $ seed $ mix $ spin $ json $ quiet)
+            $ seed $ mix $ spin $ json $ quiet $ slo $ stats_interval $ dashboard
+            $ stats_json $ trace)
   in
   exit (Cmd.eval cmd)

@@ -6,7 +6,8 @@
 
 open Cmdliner
 
-let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out =
+let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out
+    obs obs_capacity trace_out =
   let admission =
     match admission with
     | "accept-all" -> Tq_sched.Admission.Accept_all
@@ -37,7 +38,12 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       kv_keys;
     }
   in
-  let server = Tq_serve.Server.create config in
+  let spans =
+    if obs || trace_out <> None then
+      Tq_obs.Span.create ~capacity_per_sink:obs_capacity ()
+    else Tq_obs.Span.null
+  in
+  let server = Tq_serve.Server.create ~spans config in
   let stop _ = Tq_serve.Server.stop server in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
@@ -55,9 +61,9 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
   let summary =
     Printf.sprintf
       "{\"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \
-       \"shed\": %d, \"protocol_errors\": %d, \"orphaned\": %d}"
-      s.connections s.parsed s.dispatched s.completed s.shed s.protocol_errors
-      s.orphaned
+       \"shed\": %d, \"stats_served\": %d, \"protocol_errors\": %d, \"orphaned\": %d}"
+      s.connections s.parsed s.dispatched s.completed s.shed s.stats_served
+      s.protocol_errors s.orphaned
   in
   Printf.printf "tq_serve: drained. %s\n%!" summary;
   (match stats_out with
@@ -65,6 +71,12 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       let oc = open_out path in
       output_string oc (summary ^ "\n");
       close_out oc
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      Tq_obs.Span.write_file spans path;
+      Printf.printf "tq_serve: wrote span trace to %s (%d spans, %d dropped)\n%!" path
+        (Tq_obs.Span.total spans) (Tq_obs.Span.dropped spans)
   | None -> ());
   (* the drain invariant: everything admitted was answered *)
   if s.dispatched <> s.completed then begin
@@ -109,10 +121,27 @@ let () =
     Arg.(value & opt (some string) None
          & info [ "stats-out" ] ~docv:"FILE" ~doc:"also write the final accounting JSON to FILE")
   in
+  let obs =
+    Arg.(value & flag
+         & info [ "obs" ]
+             ~doc:"enable cross-domain request spans (dispatch/quantum/stall \
+                   timelines, served by the Stats RPC trace view)")
+  in
+  let obs_capacity =
+    Arg.(value & opt int 16_384
+         & info [ "obs-capacity" ] ~docv:"N"
+             ~doc:"span-buffer capacity per domain (oldest overwritten)")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"write the merged span trace as Chrome/Perfetto JSON on exit \
+                   (implies --obs)")
+  in
   let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
   let cmd =
     Cmd.v (Cmd.info "tq_serve" ~version:"1.1.0" ~doc)
       Term.(const serve $ host $ port $ cores $ quantum $ ring $ rx_depth $ admission
-            $ kv_keys $ duration $ stats_out)
+            $ kv_keys $ duration $ stats_out $ obs $ obs_capacity $ trace_out)
   in
   exit (Cmd.eval cmd)

@@ -71,6 +71,8 @@ let observe d v =
 let dist_count d = d.n
 let dist_mean d = if d.n = 0 then nan else float_of_int d.sum /. float_of_int d.n
 let dist_max d = d.max_obs
+let dist_sum d = d.sum
+let dist_buckets d = Array.copy d.buckets
 
 (* Lookup by name, for tests and generic dumps. *)
 let find t name = Hashtbl.find_opt t.tbl name
@@ -83,6 +85,34 @@ let find_count t name =
 let to_alist t =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Multi-domain aggregation.  Registries are single-writer (see the
+   .mli ownership rule); a snapshot reads other domains' bare mutable
+   cells without synchronization, which is safe in OCaml 5 — ints are
+   word-sized, no tearing — but only eventually consistent: a merged
+   value can lag the owner by a few bumps. *)
+let merged ts =
+  let out = create () in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun (name, m) ->
+          match m with
+          | Counter c -> add (counter out name) c.count
+          | Gauge g ->
+              let og = gauge out name in
+              og.value <- og.value +. g.value
+          | Dist d ->
+              let od = dist out name in
+              Array.iteri
+                (fun i n -> od.buckets.(i) <- od.buckets.(i) + n)
+                d.buckets;
+              od.n <- od.n + d.n;
+              od.sum <- od.sum + d.sum;
+              od.max_obs <- max od.max_obs d.max_obs)
+        (to_alist src))
+    ts;
+  out
 
 let dump t =
   let buf = Buffer.create 256 in

@@ -4,7 +4,16 @@
     Registration (a hashtable lookup) happens once, at subsystem create
     time; the handle a subsystem holds is a bare mutable record, so a
     hot-path bump is a single store.  Counters are cheap enough to stay
-    always-on; only the event tracer is gated. *)
+    always-on; only the event tracer is gated.
+
+    {b Ownership rule (multi-domain use).}  A registry is single-writer:
+    exactly one domain registers into and bumps a given registry, and it
+    must finish registering every name before other domains start
+    reading.  The multi-domain serve path therefore keeps one registry
+    per domain (dispatcher plus one per worker) and aggregates with
+    {!merged}, which sums without locks.  Cross-domain reads are safe —
+    OCaml ints are word-sized, no tearing — but only eventually
+    consistent: a snapshot may lag each owner by a few bumps. *)
 
 (** A monotonically increasing integer metric. *)
 type counter
@@ -66,6 +75,13 @@ val dist_mean : dist -> float
 (** [dist_max d] — largest observation, 0 when empty. *)
 val dist_max : dist -> int
 
+(** [dist_sum d] — sum of all observations. *)
+val dist_sum : dist -> int
+
+(** [dist_buckets d] — a copy of the bucket counts; bucket [i] covers
+    [[2{^i-1}, 2{^i})].  For exporters ({!Expo}) and tests. *)
+val dist_buckets : dist -> int array
+
 (** [find t name] — lookup by name, for tests and generic dumps. *)
 val find : t -> string -> metric option
 
@@ -76,6 +92,15 @@ val find_count : t -> string -> int
 
 (** [to_alist t] — every registered metric, sorted by name. *)
 val to_alist : t -> (string * metric) list
+
+(** [merged ts] — a fresh registry aggregating every registry in [ts]:
+    counters and distributions sum (bucket-wise, with max-of-max),
+    gauges sum — per-domain queue depths add up to the system total.
+    This is the lock-free snapshot helper for per-domain registries; see
+    the ownership rule above for its consistency guarantee.  Raises
+    [Invalid_argument] when two registries disagree on a name's metric
+    kind. *)
+val merged : t list -> t
 
 (** [dump t] — plain-text rendering of the whole registry, one metric
     per line (distributions list their non-empty buckets). *)

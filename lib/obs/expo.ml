@@ -1,0 +1,115 @@
+(* Prometheus-style text exposition.
+
+   Renders counter registries and latency registries in the text format
+   every metrics scraper understands: `# TYPE` headers, sanitized
+   names, optional labels.  Multiple registries can carry the same
+   metric names under different label sets (the per-domain registries
+   of the serve path render as worker="0", worker="1", ...) — the TYPE
+   header is emitted once per metric name, as the format requires. *)
+
+let sanitize name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+    name
+
+let labels_str = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) labels)
+      ^ "}"
+
+let metric_kind = function
+  | Counters.Counter _ -> "counter"
+  | Counters.Gauge _ -> "gauge"
+  | Counters.Dist _ -> "histogram"
+
+(* Power-of-two dist as a cumulative prometheus histogram: bucket [i]
+   of the dist covers [2^(i-1), 2^i), so its inclusive upper bound is
+   2^i - 1. *)
+let add_dist buf fq lbl d =
+  let buckets = Counters.dist_buckets d in
+  let top = ref (-1) in
+  Array.iteri (fun i n -> if n > 0 then top := i) buckets;
+  let cum = ref 0 in
+  for i = 0 to !top do
+    cum := !cum + buckets.(i);
+    let le = (1 lsl i) - 1 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s_bucket%s %d\n" fq
+         (labels_str (lbl @ [ ("le", string_of_int le) ]))
+         !cum)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket%s %d\n" fq
+       (labels_str (lbl @ [ ("le", "+Inf") ]))
+       (Counters.dist_count d));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum%s %d\n" fq (labels_str lbl) (Counters.dist_sum d));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count%s %d\n" fq (labels_str lbl) (Counters.dist_count d))
+
+let render ?(prefix = "tq") registries =
+  let buf = Buffer.create 1024 in
+  (* Union of metric names across registries, name -> kind (first
+     registry that defines it wins; kind clashes across registries are a
+     registration bug caught by Counters itself on merge). *)
+  let names = Hashtbl.create 32 in
+  let ordered = ref [] in
+  List.iter
+    (fun (_, reg) ->
+      List.iter
+        (fun (name, m) ->
+          if not (Hashtbl.mem names name) then begin
+            Hashtbl.add names name m;
+            ordered := name :: !ordered
+          end)
+        (Counters.to_alist reg))
+    registries;
+  List.iter
+    (fun name ->
+      let kind = metric_kind (Hashtbl.find names name) in
+      let fq =
+        prefix ^ "_" ^ sanitize name
+        ^ if kind = "counter" then "_total" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" fq kind);
+      List.iter
+        (fun (lbl, reg) ->
+          match Counters.find reg name with
+          | None -> ()
+          | Some (Counters.Counter c) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %d\n" fq (labels_str lbl) (Counters.count c))
+          | Some (Counters.Gauge g) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s %g\n" fq (labels_str lbl) (Counters.value g))
+          | Some (Counters.Dist d) -> add_dist buf fq lbl d)
+        registries)
+    (List.sort compare !ordered);
+  Buffer.contents buf
+
+let quantiles = [ (50.0, "0.5"); (90.0, "0.9"); (99.0, "0.99"); (99.9, "0.999") ]
+
+let render_latency ?(prefix = "tq") ~name ?(labels = []) lat =
+  let buf = Buffer.create 512 in
+  let fq = prefix ^ "_" ^ sanitize name in
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" fq);
+  List.iter
+    (fun (rname, r) ->
+      let lbl = labels @ [ ("class", rname) ] in
+      List.iter
+        (fun (p, q) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" fq
+               (labels_str (lbl @ [ ("quantile", q) ]))
+               (Latency.percentile r p)))
+        quantiles;
+      let n = Latency.count r in
+      let sum = if n = 0 then 0.0 else Latency.mean r *. float_of_int n in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %.0f\n" fq (labels_str lbl) sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" fq (labels_str lbl) n))
+    (Latency.to_alist lat);
+  Buffer.contents buf

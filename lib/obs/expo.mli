@@ -1,0 +1,29 @@
+(** Prometheus-style text exposition for {!Counters} and {!Latency}
+    registries.
+
+    The serve path's Stats RPC renders its live metrics through this
+    module so that any scraper (or [tq_load --stats-interval]) can read
+    a running server.  Metric names are sanitized (every character
+    outside [[a-zA-Z0-9_]] becomes ['_']), counters gain the
+    conventional [_total] suffix, power-of-two {!Counters.dist}s render
+    as cumulative histograms, and {!Latency} recorders render as
+    summaries with a [class] label per recorder. *)
+
+(** [sanitize name] — [name] with every character outside
+    [[a-zA-Z0-9_]] replaced by ['_']. *)
+val sanitize : string -> string
+
+(** [render ?prefix registries] — the text exposition of every metric
+    in [registries], each entry a label set and the registry it
+    describes (e.g. [([], dispatcher_reg)] and
+    [([("worker", "0")], w0_reg)]).  The [# TYPE] header is emitted once
+    per metric name even when several registries carry it; names are
+    prefixed with [prefix] (default ["tq"]). *)
+val render : ?prefix:string -> ((string * string) list * Counters.t) list -> string
+
+(** [render_latency ?prefix ~name ?labels lat] — every recorder of
+    [lat] as one Prometheus summary named [prefix ^ "_" ^ name], the
+    recorder name as its [class] label, with the p50/p90/p99/p99.9
+    quantile ladder plus [_sum] and [_count]. *)
+val render_latency :
+  ?prefix:string -> name:string -> ?labels:(string * string) list -> Latency.t -> string

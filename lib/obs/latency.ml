@@ -1,7 +1,15 @@
 module Histogram = Tq_stats.Histogram
 
-type recorder = { hist : Histogram.t; max_value : int }
+type recorder = { hist : Histogram.t; max_value : int; mutable owner : int }
 type t = { table : (string, recorder) Hashtbl.t; max_value : int }
+
+(* The single-threaded constraint used to be documentation only; with
+   the owner check on, every record verifies the calling domain is the
+   recorder's owner (the domain that created or last adopted it).  Off
+   by default: the hot path then pays one ref load and branch. *)
+let owner_check = ref false
+let set_owner_check on = owner_check := on
+let self () = (Domain.self () :> int)
 
 let create ?(max_ns = 100_000_000_000) () =
   if max_ns <= 0 then invalid_arg "Latency.create: max_ns must be positive";
@@ -11,11 +19,23 @@ let recorder t name =
   match Hashtbl.find_opt t.table name with
   | Some r -> r
   | None ->
-      let r = { hist = Histogram.create ~max_value:t.max_value (); max_value = t.max_value } in
+      let r =
+        {
+          hist = Histogram.create ~max_value:t.max_value ();
+          max_value = t.max_value;
+          owner = self ();
+        }
+      in
       Hashtbl.add t.table name r;
       r
 
-let record r ns = Histogram.record r.hist (max 0 (min ns r.max_value))
+let adopt r = r.owner <- self ()
+
+let record r ns =
+  if !owner_check && self () <> r.owner then
+    invalid_arg "Latency.record: recorder used off its owning domain";
+  Histogram.record r.hist (max 0 (min ns r.max_value))
+
 let count r = Histogram.count r.hist
 let percentile r p = if count r = 0 then 0 else Histogram.percentile r.hist p
 let mean r = Histogram.mean r.hist

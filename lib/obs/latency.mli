@@ -9,7 +9,9 @@
     benchmarks commit ([BENCH_serve.json]).
 
     Recorders are single-threaded (one load generator records into one
-    registry); create one registry per recording thread. *)
+    registry); create one registry per recording thread.  The constraint
+    is asserted in debug mode: with {!set_owner_check} on, recording
+    from a domain other than the recorder's owner raises. *)
 
 (** A registry of named latency histograms. *)
 type t
@@ -26,8 +28,20 @@ val create : ?max_ns:int -> unit -> t
 val recorder : t -> string -> recorder
 
 (** [record r ns] adds one latency sample (negative samples clamp
-    to 0). *)
+    to 0).  With the owner check on, raises [Invalid_argument] when
+    called from a domain other than [r]'s owner. *)
 val record : recorder -> int -> unit
+
+(** [set_owner_check on] — globally enable (or disable, the default)
+    the debug-mode single-writer assertion: each recorder remembers the
+    domain that created it and {!record} verifies the caller matches.
+    Off, the hot path pays one ref load and branch. *)
+val set_owner_check : bool -> unit
+
+(** [adopt r] transfers [r]'s ownership to the calling domain — for the
+    legitimate create-then-hand-off pattern (build the registry on the
+    main domain, record on a worker). *)
+val adopt : recorder -> unit
 
 (** Number of samples recorded. *)
 val count : recorder -> int

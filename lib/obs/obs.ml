@@ -23,3 +23,9 @@ let create ?(trace_capacity = 65_536) ?(sample_interval_ns = 10_000) () =
 
 let disabled () =
   { trace = Trace.null; counters = Counters.create (); sample_interval_ns = 10_000 }
+
+(* Counters without tracing: what a worker domain threads through
+   subsystems that take an [?obs] — its per-domain registry stays live
+   while the (single-threaded) tracer stays null. *)
+let of_counters counters =
+  { trace = Trace.null; counters; sample_interval_ns = 10_000 }

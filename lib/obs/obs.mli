@@ -24,3 +24,9 @@ val create : ?trace_capacity:int -> ?sample_interval_ns:int -> unit -> t
 (** [disabled ()] — the no-cost context: null tracer, throwaway
     registry.  What every subsystem's [?obs] argument defaults to. *)
 val disabled : unit -> t
+
+(** [of_counters reg] — a context carrying [reg] with tracing off: what
+    a worker domain threads through [?obs]-taking subsystems so its
+    per-domain registry (see the {!Counters} ownership rule) stays live
+    while the single-threaded tracer stays null. *)
+val of_counters : Counters.t -> t

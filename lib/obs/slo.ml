@@ -1,0 +1,159 @@
+(* Sliding-window SLO evaluation with burn-rate output.
+
+   An objective says "a fraction >= [goodput] of responses must be good",
+   where good = an Ok response within [latency_ns].  The monitor keeps a
+   ring of fixed-width time buckets per objective (good count, total
+   count); observations land in the bucket their timestamp selects,
+   stale buckets are zeroed lazily as the window advances, and a report
+   sums the live buckets.  Burn rate is the SRE convention:
+   error_rate / error_budget, where the budget is 1 - goodput — burn 1.0
+   exactly exhausts the budget over the window, > 1.0 is on fire. *)
+
+type objective = { name : string; latency_ns : int; goodput : float }
+
+let default_objective =
+  { name = "default"; latency_ns = 1_000_000; goodput = 0.99 }
+
+type track = {
+  objective : objective;
+  good : int array;
+  tot : int array;
+  epoch : int array;  (** absolute bucket index each slot currently holds *)
+}
+
+type t = {
+  tracks : track list;
+  bucket_ns : int;
+  buckets : int;
+  mutable last_now_ns : int;
+}
+
+let create ?(window_s = 10.0) ?(buckets = 20) ~now_ns objectives =
+  if window_s <= 0.0 then invalid_arg "Slo.create: window_s must be positive";
+  if buckets < 1 then invalid_arg "Slo.create: need at least one bucket";
+  List.iter
+    (fun o ->
+      if o.goodput <= 0.0 || o.goodput >= 1.0 then
+        invalid_arg "Slo.create: goodput must be in (0, 1)";
+      if o.latency_ns <= 0 then invalid_arg "Slo.create: latency_ns must be positive")
+    objectives;
+  let bucket_ns = max 1 (int_of_float (window_s *. 1e9) / buckets) in
+  {
+    tracks =
+      List.map
+        (fun objective ->
+          {
+            objective;
+            good = Array.make buckets 0;
+            tot = Array.make buckets 0;
+            epoch = Array.make buckets (-1);
+          })
+        objectives;
+    bucket_ns;
+    buckets;
+    last_now_ns = now_ns;
+  }
+
+let slot t track ~now_ns =
+  let abs = now_ns / t.bucket_ns in
+  let i = abs mod t.buckets in
+  if track.epoch.(i) <> abs then begin
+    (* this slot last held an older window segment: recycle it *)
+    track.epoch.(i) <- abs;
+    track.good.(i) <- 0;
+    track.tot.(i) <- 0
+  end;
+  i
+
+let observe t ~now_ns status =
+  t.last_now_ns <- max t.last_now_ns now_ns;
+  List.iter
+    (fun track ->
+      let i = slot t track ~now_ns in
+      track.tot.(i) <- track.tot.(i) + 1;
+      match status with
+      | `Ok latency_ns ->
+          if latency_ns <= track.objective.latency_ns then
+            track.good.(i) <- track.good.(i) + 1
+      | `Shed | `Error -> ())
+    t.tracks
+
+type report = {
+  objective : objective;
+  window_total : int;
+  window_good : int;
+  compliance : float;  (** good / total; 1.0 over an empty window *)
+  burn_rate : float;  (** (1 - compliance) / (1 - goodput) *)
+}
+
+let live t track ~now_ns =
+  (* A slot is live when its epoch lies inside the last [buckets]
+     absolute indices ending at now. *)
+  let abs_now = now_ns / t.bucket_ns in
+  let good = ref 0 and tot = ref 0 in
+  for i = 0 to t.buckets - 1 do
+    let e = track.epoch.(i) in
+    if e >= 0 && e > abs_now - t.buckets && e <= abs_now then begin
+      good := !good + track.good.(i);
+      tot := !tot + track.tot.(i)
+    end
+  done;
+  (!good, !tot)
+
+let report_track t track ~now_ns =
+  let good, tot = live t track ~now_ns in
+  let compliance = if tot = 0 then 1.0 else float_of_int good /. float_of_int tot in
+  {
+    objective = track.objective;
+    window_total = tot;
+    window_good = good;
+    compliance;
+    burn_rate = (1.0 -. compliance) /. (1.0 -. track.objective.goodput);
+  }
+
+let report ?now_ns t =
+  let now_ns = Option.value now_ns ~default:t.last_now_ns in
+  List.map (fun track -> report_track t track ~now_ns) t.tracks
+
+let window_series ?now_ns t objective_name =
+  let now_ns = Option.value now_ns ~default:t.last_now_ns in
+  match
+    List.find_opt (fun (tr : track) -> tr.objective.name = objective_name) t.tracks
+  with
+  | None -> []
+  | Some track ->
+      let abs_now = now_ns / t.bucket_ns in
+      let acc = ref [] in
+      for back = t.buckets - 1 downto 0 do
+        let abs = abs_now - back in
+        if abs >= 0 then begin
+          let i = abs mod t.buckets in
+          let age_s =
+            float_of_int (back * t.bucket_ns) /. 1e9
+          in
+          if track.epoch.(i) = abs && track.tot.(i) > 0 then
+            acc :=
+              ( -.age_s,
+                float_of_int track.good.(i) /. float_of_int track.tot.(i) )
+              :: !acc
+        end
+      done;
+      List.rev !acc
+
+let render ?now_ns t =
+  let reports = report ?now_ns t in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "slo %-10s target p(lat<=%.0fus) >= %.3f   window %6d reqs   \
+            compliance %.4f   burn %5.2fx%s\n"
+           r.objective.name
+           (float_of_int r.objective.latency_ns /. 1e3)
+           r.objective.goodput r.window_total r.compliance r.burn_rate
+           (if r.window_total = 0 then "  (no traffic)"
+            else if r.burn_rate > 1.0 then "  BREACH"
+            else "")))
+    reports;
+  Buffer.contents b

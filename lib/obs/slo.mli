@@ -1,0 +1,60 @@
+(** Sliding-window SLO monitoring with burn-rate output.
+
+    An {!objective} states "a fraction of at least [goodput] of
+    responses must be {e good}", where good means an [Ok] response whose
+    latency is within [latency_ns]; shed and errored responses count
+    against the objective.  The monitor evaluates each objective over a
+    sliding window of fixed-width time buckets and reports compliance
+    plus the SRE burn rate: error_rate / error_budget, where the budget
+    is [1 - goodput] — burn 1.0 exactly exhausts the budget over the
+    window, above 1.0 the SLO is being breached.
+
+    Single-threaded, like {!Latency}: one monitor per observing
+    thread (the load generator owns its own). *)
+
+(** One service-level objective. *)
+type objective = {
+  name : string;
+  latency_ns : int;  (** per-request latency target *)
+  goodput : float;  (** required good fraction, in (0, 1) *)
+}
+
+(** 1 ms at 99% goodput — the [tq_load --dashboard] default. *)
+val default_objective : objective
+
+type t
+
+(** [create ?window_s ?buckets ~now_ns objectives] — a monitor
+    evaluating every objective over a sliding window of [window_s]
+    seconds (default 10) split into [buckets] buckets (default 20);
+    [now_ns] anchors the window clock.  Raises [Invalid_argument] for an
+    empty-window, non-(0,1) goodput or non-positive latency target. *)
+val create : ?window_s:float -> ?buckets:int -> now_ns:int -> objective list -> t
+
+(** [observe t ~now_ns status] records one response: [`Ok latency_ns]
+    (good iff within each objective's target), [`Shed] or [`Error]
+    (always bad). *)
+val observe : t -> now_ns:int -> [ `Ok of int | `Shed | `Error ] -> unit
+
+type report = {
+  objective : objective;
+  window_total : int;  (** responses in the live window *)
+  window_good : int;
+  compliance : float;  (** good / total; 1.0 over an empty window *)
+  burn_rate : float;  (** (1 - compliance) / (1 - goodput) *)
+}
+
+(** [report ?now_ns t] — one report per objective, evaluated at
+    [now_ns] (default: the latest observed timestamp). *)
+val report : ?now_ns:int -> t -> report list
+
+(** [window_series ?now_ns t name] — the named objective's per-bucket
+    good fraction across the live window, as (seconds-before-now ≤ 0,
+    fraction) points for {!Tq_util.Ascii_chart}; empty buckets are
+    skipped, unknown names yield []. *)
+val window_series : ?now_ns:int -> t -> string -> (float * float) list
+
+(** [render ?now_ns t] — one line per objective: target, window volume,
+    compliance, burn rate, and a BREACH marker when burning more than
+    1x budget. *)
+val render : ?now_ns:int -> t -> string

@@ -34,6 +34,13 @@ let fold_array ?probe_every f init arr =
 
 let repeat ?probe_every n f = for_range ?probe_every ~lo:0 ~hi:n (fun _ -> f ())
 
+let with_cadence dist f =
+  match Probe_api.current () with
+  | None -> f ()
+  | Some ctx ->
+      Probe_api.set_cadence ctx (Some dist);
+      Fun.protect ~finally:(fun () -> Probe_api.set_cadence ctx None) f
+
 (* Busy-spin for [ns] of wall time (coarse; used only in wall mode). *)
 let spin_wall ns =
   let start = Unix.gettimeofday () in

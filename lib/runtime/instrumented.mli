@@ -21,6 +21,13 @@ val fold_array : ?probe_every:int -> ('acc -> 'a -> 'acc) -> 'acc -> 'a array ->
 (** [repeat ?probe_every n f] — run [f ()] [n] times. *)
 val repeat : ?probe_every:int -> int -> (unit -> unit) -> unit
 
+(** [with_cadence dist f] — run [f ()] with probe-cadence tracking on
+    the calling domain's installed probe context: every probe inside [f]
+    records its distance (ns) from the previous probe into [dist].  A
+    profiling aid for sizing [probe_every] against the quantum; restores
+    the previous (off) state on exit, no-op without a context. *)
+val with_cadence : Tq_obs.Counters.dist -> (unit -> 'a) -> 'a
+
 (** [work_ns ns] — simulate [ns] of CPU work: advances a virtual clock
     if installed, otherwise spins the wall clock; probes on the way at
     sub-quantum granularity. *)

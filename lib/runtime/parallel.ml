@@ -1,7 +1,11 @@
+module Span = Tq_obs.Span
+module Counters = Tq_obs.Counters
+module Event = Tq_obs.Event
+
 type stats = { completed : int; yields : int; per_worker_finished : int array }
 
 type worker_handle = {
-  ring : (unit -> unit) Spsc_ring.t;
+  ring : Task_worker.task Spsc_ring.t;
   assigned : int Atomic.t;  (** written by dispatcher *)
   finished : int Atomic.t;  (** written by worker *)
   yields : int Atomic.t;
@@ -12,22 +16,59 @@ type t = {
   domains : unit Domain.t array;
   stop : bool Atomic.t;
   mutable live : bool;  (** false after shutdown; guarded by the producer thread *)
+  mutable next_tag : int;  (** producer-side fallback task-id source *)
 }
 
-let worker_loop handle ~quantum_ns ~stop =
+let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
+    ~stall_threshold_ns =
   let clock = Clock.wall () in
+  let obs =
+    match reg with
+    | Some r -> Tq_obs.Obs.of_counters r
+    | None -> Tq_obs.Obs.disabled ()
+  in
+  let sink = Span.register spans (Event.Worker wid) in
+  let spans_on = Span.enabled spans in
+  let creg = obs.Tq_obs.Obs.counters in
+  let c_stalls = Counters.counter creg "runtime.stalls" in
+  let d_stall_gap = Counters.dist creg "runtime.stall_gap_ns" in
+  (* Wall-clock-gap stall detector: consecutive busy slices separated by
+     much more than a quantum mean the domain lost the CPU between them
+     (GC pause, OS preemption).  [last_end] resets on idle polls so time
+     spent legitimately waiting for work never counts. *)
+  let last_end = ref (-1) in
+  let on_quantum ~task_id ~start_ns ~end_ns ~finished =
+    if !last_end >= 0 && start_ns - !last_end > stall_threshold_ns then begin
+      Counters.incr c_stalls;
+      Counters.observe d_stall_gap (start_ns - !last_end);
+      if spans_on then
+        Span.record sink ~req_id:(-1) ~phase:Span.Stall ~start_ns:!last_end
+          ~dur_ns:(start_ns - !last_end) ~arg:wid
+    end;
+    if spans_on then
+      Span.record sink ~req_id:task_id ~phase:Span.Quantum ~start_ns
+        ~dur_ns:(end_ns - start_ns)
+        ~arg:(if finished then 1 else 0);
+    last_end := end_ns
+  in
   let worker =
-    Task_worker.create ~clock ~quantum_ns
+    Task_worker.create ~obs ~wid ~track_probes ~on_quantum ~clock ~quantum_ns
       ~on_finish:(fun _ -> Atomic.incr handle.finished)
       ()
   in
-  let next_id = ref 0 in
   let drain_ring () =
     let rec go () =
       match Spsc_ring.try_pop handle.ring with
-      | Some work ->
-          incr next_id;
-          Task_worker.submit worker { Task_worker.task_id = !next_id; work };
+      | Some task ->
+          if spans_on then begin
+            (* Ring-hop latency is invisible here (no enqueue stamp on
+               the disabled-cost path); mark the pickup as an instant so
+               the trace shows when the request landed on the core. *)
+            let now = Clock.now_ns clock in
+            Span.record sink ~req_id:task.Task_worker.task_id ~phase:Span.Ring_hop
+              ~start_ns:now ~dur_ns:0 ~arg:wid
+          end;
+          Task_worker.submit worker task;
           go ()
       | None -> ()
     in
@@ -45,16 +86,30 @@ let worker_loop handle ~quantum_ns ~stop =
       Backoff.reset backoff;
       loop ()
     end
-    else if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
     else begin
-      Backoff.once backoff;
-      loop ()
+      last_end := -1;
+      if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
+      else begin
+        Backoff.once backoff;
+        loop ()
+      end
     end
   in
   loop ()
 
-let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) () =
+let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
+    ?(spans = Span.null) ?worker_counters ?stall_threshold_ns () =
   if workers < 1 then invalid_arg "Parallel.create: need at least one worker";
+  (match worker_counters with
+  | Some regs when Array.length regs <> workers ->
+      invalid_arg "Parallel.create: worker_counters length must equal workers"
+  | _ -> ());
+  let stall_threshold_ns =
+    match stall_threshold_ns with Some ns -> ns | None -> 10 * quantum_ns
+  in
+  if stall_threshold_ns <= 0 then
+    invalid_arg "Parallel.create: stall threshold must be positive";
+  let track_probes = worker_counters <> None in
   let stop = Atomic.make false in
   let handles =
     Array.init workers (fun _ ->
@@ -66,11 +121,15 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256) () =
         })
   in
   let domains =
-    Array.map
-      (fun handle -> Domain.spawn (fun () -> worker_loop handle ~quantum_ns ~stop))
+    Array.mapi
+      (fun wid handle ->
+        let reg = Option.map (fun regs -> regs.(wid)) worker_counters in
+        Domain.spawn (fun () ->
+            worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
+              ~stall_threshold_ns))
       handles
   in
-  { handles; domains; stop; live = true }
+  { handles; domains; stop; live = true; next_tag = 0 }
 
 let workers t = Array.length t.handles
 let unfinished h = Atomic.get h.assigned - Atomic.get h.finished
@@ -82,18 +141,25 @@ let pick t =
     t.handles;
   !best
 
-let submit_to t ~worker job =
+let submit_to t ?tag ~worker job =
   if not t.live then invalid_arg "Parallel.submit_to: pool is shut down";
   if worker < 0 || worker >= Array.length t.handles then
     invalid_arg "Parallel.submit_to: no such worker";
   let handle = t.handles.(worker) in
-  if Spsc_ring.try_push handle.ring job then begin
+  let task_id =
+    match tag with
+    | Some g -> g
+    | None ->
+        t.next_tag <- t.next_tag + 1;
+        t.next_tag
+  in
+  if Spsc_ring.try_push handle.ring { Task_worker.task_id; work = job } then begin
     Atomic.incr handle.assigned;
     true
   end
   else false
 
-let submit t job = submit_to t ~worker:(pick t) job
+let submit t ?tag job = submit_to t ?tag ~worker:(pick t) job
 let in_flight t = Array.fold_left (fun acc h -> acc + unfinished h) 0 t.handles
 let worker_in_flight t ~worker = unfinished t.handles.(worker)
 let ring_depth t ~worker = Spsc_ring.length t.handles.(worker).ring

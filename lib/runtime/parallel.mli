@@ -30,8 +30,32 @@ type t
     its admitted jobs with forced yields every [quantum_ns] (default
     100 us) of wall-clock time; [ring_capacity] (default 256) bounds
     each dispatcher->worker ring — a full ring is the backpressure
-    signal {!submit} reports. *)
-val create : ?workers:int -> ?quantum_ns:int -> ?ring_capacity:int -> unit -> t
+    signal {!submit} reports.
+
+    Observability hooks (all default off / zero-cost):
+    - [spans] — each worker registers a {!Tq_obs.Span} sink on its lane
+      and records a [Quantum] span per executed slice (the span's
+      [req_id] is the job's submit tag) plus a [Ring_hop] instant when a
+      job lands on the core; disabled collections cost one branch.
+    - [worker_counters] — one {!Tq_obs.Counters} registry per worker
+      (array length must equal [workers]), each owned by its worker
+      domain per the Counters ownership rule; quantum-length, overshoot
+      and probe-cadence distributions land there.  Aggregate with
+      [Counters.merged].
+    - [stall_threshold_ns] (default [10 * quantum_ns]) — a wall-clock
+      gap larger than this between consecutive busy slices on one worker
+      counts as a stall (GC pause / OS preemption): bumped on
+      [runtime.stalls], observed in [runtime.stall_gap_ns], and recorded
+      as a [Stall] span when spans are on.  Idle waiting never counts. *)
+val create :
+  ?workers:int ->
+  ?quantum_ns:int ->
+  ?ring_capacity:int ->
+  ?spans:Tq_obs.Span.t ->
+  ?worker_counters:Tq_obs.Counters.t array ->
+  ?stall_threshold_ns:int ->
+  unit ->
+  t
 
 (** Number of worker domains. *)
 val workers : t -> int
@@ -40,14 +64,17 @@ val workers : t -> int
     assigned-minus-finished). *)
 val pick : t -> int
 
-(** [submit_to t ~worker job] — push [job] onto [worker]'s ring; [false]
-    when the ring is full (shed or retry — nothing was enqueued).
-    Raises [Invalid_argument] after {!shutdown} or for an out-of-range
-    worker. *)
-val submit_to : t -> worker:int -> (unit -> unit) -> bool
+(** [submit_to t ?tag ~worker job] — push [job] onto [worker]'s ring;
+    [false] when the ring is full (shed or retry — nothing was
+    enqueued).  [tag] labels the job in worker-side observability (span
+    [req_id], trace job id); the server passes its request id so worker
+    quanta stitch to dispatcher spans.  Untagged jobs get a pool-unique
+    id.  Raises [Invalid_argument] after {!shutdown} or for an
+    out-of-range worker. *)
+val submit_to : t -> ?tag:int -> worker:int -> (unit -> unit) -> bool
 
-(** [submit t job] = [submit_to t ~worker:(pick t) job]. *)
-val submit : t -> (unit -> unit) -> bool
+(** [submit t ?tag job] = [submit_to t ?tag ~worker:(pick t) job]. *)
+val submit : t -> ?tag:int -> (unit -> unit) -> bool
 
 (** Jobs admitted but not yet finished, pool-wide (queued on rings,
     queued on workers, or mid-quantum). *)

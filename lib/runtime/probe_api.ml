@@ -5,18 +5,36 @@ type t = {
   mutable critical_depth : int;
   mutable probes : int;
   mutable yields : int;
+  mutable last_probe_ns : int;  (* -1 = no probe yet this quantum *)
+  mutable cadence : Tq_obs.Counters.dist option;
 }
 
 let create ~clock ~quantum_ns =
   if quantum_ns <= 0 then invalid_arg "Probe_api.create: quantum must be positive";
-  { clock; quantum_ns; quantum_start = 0; critical_depth = 0; probes = 0; yields = 0 }
+  {
+    clock;
+    quantum_ns;
+    quantum_start = 0;
+    critical_depth = 0;
+    probes = 0;
+    yields = 0;
+    last_probe_ns = -1;
+    cadence = None;
+  }
 
 let key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
 let install t = Domain.DLS.get key := Some t
 let uninstall () = Domain.DLS.get key := None
 let current () = !(Domain.DLS.get key)
-let start_quantum t = t.quantum_start <- Clock.now_ns t.clock
+
+let start_quantum t =
+  t.quantum_start <- Clock.now_ns t.clock;
+  (* Cadence gaps are intra-quantum only: the stretch between quanta is
+     scheduler time, not probe-starved task code. *)
+  t.last_probe_ns <- t.quantum_start
+
+let set_cadence t d = t.cadence <- d
 
 let expired t = Clock.now_ns t.clock - t.quantum_start >= t.quantum_ns
 
@@ -32,6 +50,13 @@ let probe () =
   | None -> ()
   | Some t ->
       t.probes <- t.probes + 1;
+      (match t.cadence with
+      | None -> ()
+      | Some d ->
+          let now = Clock.now_ns t.clock in
+          if t.last_probe_ns >= 0 then
+            Tq_obs.Counters.observe d (now - t.last_probe_ns);
+          t.last_probe_ns <- now);
       if t.critical_depth = 0 && expired t then do_yield t
 
 let critical_begin () =

@@ -28,6 +28,17 @@ val install : t -> unit
 
 val uninstall : unit -> unit
 
+(** [current ()] — the calling domain's installed context, if any. *)
+val current : unit -> t option
+
+(** [set_cadence t d] — when [d] is [Some dist], every probe records the
+    nanoseconds elapsed since the previous probe of the same quantum
+    into [dist] (the probe-cadence distribution: how finely the running
+    code is instrumented, hence the bound on preemption overshoot).
+    [None] (the default) turns tracking off; the probe hot path then
+    pays one extra branch and no clock read. *)
+val set_cadence : t -> Tq_obs.Counters.dist option -> unit
+
 (** Task-side API. *)
 
 (** [probe ()] — yield iff the quantum expired and no critical section

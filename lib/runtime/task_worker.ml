@@ -17,28 +17,39 @@ type t = {
   clock : Clock.t;
   queue : running Deque.t;
   on_finish : task -> unit;
+  on_quantum :
+    (task_id:int -> start_ns:int -> end_ns:int -> finished:bool -> unit) option;
   trace : Trace.t;
   lane : Event.lane;
   c_quanta : Counters.counter;
   c_yields : Counters.counter;
   c_completions : Counters.counter;
+  d_quantum_len : Counters.dist;
+  d_overshoot : Counters.dist;
   mutable assigned : int;
   mutable finished : int;
   mutable current_quanta : int;
 }
 
-let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ~clock ~quantum_ns ~on_finish () =
+let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ?(track_probes = false)
+    ?on_quantum ~clock ~quantum_ns ~on_finish () =
   let reg = obs.Tq_obs.Obs.counters in
+  let ctx = Probe_api.create ~clock ~quantum_ns in
+  if track_probes then
+    Probe_api.set_cadence ctx (Some (Counters.dist reg "runtime.probe_gap_ns"));
   {
-    ctx = Probe_api.create ~clock ~quantum_ns;
+    ctx;
     clock;
     queue = Deque.create ();
     on_finish;
+    on_quantum;
     trace = obs.Tq_obs.Obs.trace;
     lane = Event.Worker wid;
     c_quanta = Counters.counter reg "runtime.quanta";
     c_yields = Counters.counter reg "runtime.yields";
     c_completions = Counters.counter reg "runtime.completions";
+    d_quantum_len = Counters.dist reg "runtime.quantum_len_ns";
+    d_overshoot = Counters.dist reg "runtime.overshoot_ns";
     assigned = 0;
     finished = 0;
     current_quanta = 0;
@@ -71,10 +82,17 @@ let run_slice t =
       Counters.incr t.c_quanta;
       let end_ns = Clock.now_ns t.clock in
       let finished = match status with Fiber.Done () -> true | Fiber.Yielded -> false in
+      let ran_ns = end_ns - start_ns in
+      Counters.observe t.d_quantum_len ran_ns;
+      (* Overshoot only makes sense for forced yields: a task that
+         finished early legitimately ran under the quantum. *)
+      if not finished then
+        Counters.observe t.d_overshoot
+          (max 0 (ran_ns - Probe_api.quantum_ns t.ctx));
       if Trace.enabled t.trace then
         Trace.record t.trace ~ts_ns:end_ns ~lane:t.lane
           (Event.Quantum_end
-             { job_id = running.task.task_id; ran_ns = end_ns - start_ns; finished });
+             { job_id = running.task.task_id; ran_ns; finished });
       (match status with
       | Fiber.Yielded ->
           Counters.incr t.c_yields;
@@ -91,6 +109,9 @@ let run_slice t =
               (Event.Completion
                  { job_id = running.task.task_id; sojourn_ns = end_ns - running.arrival_ns });
           t.on_finish running.task);
+      (match t.on_quantum with
+      | None -> ()
+      | Some f -> f ~task_id:running.task.task_id ~start_ns ~end_ns ~finished);
       true
     end
 

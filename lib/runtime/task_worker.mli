@@ -12,10 +12,20 @@ type t
 
 (** [obs] supplies the event tracer (quantum start/end, yields,
     completions on lane [Worker wid]) and counter registry; the default
-    is disabled tracing. *)
+    is disabled tracing.  Always-on profiling dists land in the
+    registry: [runtime.quantum_len_ns] (wall length of every executed
+    slice) and [runtime.overshoot_ns] (how far a forced yield ran past
+    its quantum — the probe-granularity tax).  [track_probes]
+    additionally registers [runtime.probe_gap_ns] and arms probe-cadence
+    tracking on the worker's context ({!Probe_api.set_cadence}).
+    [on_quantum] is called after every slice with the task id, wall
+    start/end and whether the task completed — the hook the live server
+    uses to emit per-request quantum spans and detect stalls. *)
 val create :
   ?obs:Tq_obs.Obs.t ->
   ?wid:int ->
+  ?track_probes:bool ->
+  ?on_quantum:(task_id:int -> start_ns:int -> end_ns:int -> finished:bool -> unit) ->
   clock:Clock.t ->
   quantum_ns:int ->
   on_finish:(task -> unit) ->

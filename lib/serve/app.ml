@@ -69,6 +69,10 @@ let execute t ~now_ns ~req_id (req : Protocol.request) =
         let outcome = Transactions.run t.db t.rng kind ~now_ns in
         Probe_api.probe ();
         outcome_body outcome
+    | Stats _ ->
+        (* Stats requests are answered at the dispatcher; one reaching a
+           worker app is a server bug, not a client error. *)
+        failwith "Stats request dispatched to a worker"
   with
   | body -> { Protocol.req_id; status = Protocol.Ok; body }
   | exception exn ->

@@ -44,4 +44,13 @@ let call t req =
   send t ~req_id req;
   recv t
 
+let stats ?(view = Protocol.Stats_json) t =
+  match call t (Protocol.Stats { view }) with
+  | { Protocol.status = Protocol.Ok; body; _ } -> body
+  | { Protocol.status = Protocol.Error msg; _ } ->
+      failwith ("Client.stats: server error: " ^ msg)
+  | { Protocol.status = Protocol.Shed; _ } ->
+      (* the server never sheds Stats; a Shed here is a protocol bug *)
+      failwith "Client.stats: unexpected Shed"
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

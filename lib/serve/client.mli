@@ -24,5 +24,10 @@ val recv : t -> Protocol.response
     responses on an otherwise-idle connection come back in order). *)
 val call : t -> Protocol.request -> Protocol.response
 
+(** [stats ?view t] — one Stats round trip, returning the rendered body
+    (default view: the JSON snapshot).  Raises [Failure] if the server
+    answers anything but [Ok]. *)
+val stats : ?view:Protocol.stats_view -> t -> string
+
 (** Close the connection (idempotent). *)
 val close : t -> unit

@@ -1,5 +1,7 @@
 module Prng = Tq_util.Prng
 module Latency = Tq_obs.Latency
+module Slo = Tq_obs.Slo
+module Ascii_chart = Tq_util.Ascii_chart
 module Transactions = Tq_tpcc.Transactions
 
 type mix = {
@@ -31,6 +33,9 @@ type config = {
   grace_s : float;
   seed : int64;
   mix : mix;
+  slo : Slo.objective list;
+  stats_interval_s : float option;
+  dashboard : bool;
 }
 
 let default_config ~rate_rps ~port =
@@ -44,6 +49,9 @@ let default_config ~rate_rps ~port =
     grace_s = 2.0;
     seed = 42L;
     mix = default_mix;
+    slo = [];
+    stats_interval_s = None;
+    dashboard = false;
   }
 
 type result = {
@@ -57,6 +65,8 @@ type result = {
   throughput_rps : float;
   latency : Latency.t;
   outstanding : int;
+  slo_reports : Slo.report list;
+  stats_polls : (float * string) list;
 }
 
 type conn = {
@@ -134,6 +144,73 @@ let run config =
   let next_send = ref (float_of_int t0) in
   let next_id = ref 0 in
   let progress = ref false in
+  (* SLO monitoring is always on (one short list walk per response);
+     with no explicit objectives the default one stands in, so the
+     dashboard and report never come up empty. *)
+  let objectives = if config.slo = [] then [ Slo.default_objective ] else config.slo in
+  let slo_mon = Slo.create ~now_ns:t0 objectives in
+  (* Periodic tick state: stats polling over a dedicated connection
+     (the Stats RPC, so the view is the server's, not ours) and the live
+     dashboard. *)
+  let ticking = config.dashboard || config.stats_interval_s <> None in
+  let tick_ns =
+    int_of_float (Option.value config.stats_interval_s ~default:0.5 *. 1e9)
+  in
+  let next_tick = ref (if ticking then t0 + tick_ns else max_int) in
+  let stats_client =
+    if config.stats_interval_s <> None then
+      try Some (Client.connect ~host:config.host ~port:config.port ()) with _ -> None
+    else None
+  in
+  let stats_polls = ref [] in
+  let thr_series = ref [] in
+  let last_tick_ok = ref 0 in
+  let last_tick_ns = ref t0 in
+  let keep n l = List.filteri (fun i _ -> i < n) l in
+  let render_dashboard ~now ~elapsed =
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "\x1b[2J\x1b[H";
+    Buffer.add_string b
+      (Printf.sprintf "tq_load dashboard   t=%6.1fs   offered %.0f rps\n" elapsed
+         config.rate_rps);
+    Buffer.add_string b
+      (Printf.sprintf "sent %d   ok %d   shed %d   errors %d   outstanding %d\n\n"
+         !sent !ok !shed !errors (Hashtbl.length pending));
+    Buffer.add_string b (Slo.render ~now_ns:now slo_mon);
+    let goodput =
+      Ascii_chart.render ~height:10 ~x_label:"window age (s)" ~y_label:"good frac"
+        ~title:"SLO goodput over the sliding window"
+        (List.map
+           (fun (o : Slo.objective) ->
+             { Ascii_chart.label = o.name; points = Slo.window_series ~now_ns:now slo_mon o.name })
+           objectives)
+    in
+    if goodput <> "" then Buffer.add_string b ("\n" ^ goodput);
+    let thr =
+      Ascii_chart.render ~height:8 ~x_label:"elapsed (s)" ~y_label:"rps"
+        ~title:"achieved throughput"
+        [ { Ascii_chart.label = "ok rps"; points = List.rev !thr_series } ]
+    in
+    if thr <> "" then Buffer.add_string b ("\n" ^ thr);
+    prerr_string (Buffer.contents b);
+    flush stderr
+  in
+  let tick now =
+    next_tick := now + tick_ns;
+    let elapsed = float_of_int (now - t0) /. 1e9 in
+    let dt = float_of_int (now - !last_tick_ns) /. 1e9 in
+    if dt > 0.0 then
+      thr_series :=
+        keep 240 ((elapsed, float_of_int (!ok - !last_tick_ok) /. dt) :: !thr_series);
+    last_tick_ok := !ok;
+    last_tick_ns := now;
+    (match stats_client with
+    | Some c -> (
+        try stats_polls := (elapsed, Client.stats c) :: !stats_polls
+        with _ -> ())
+    | None -> ());
+    if config.dashboard then render_dashboard ~now ~elapsed
+  in
   let receive_conn c =
     match Unix.read c.fd chunk 0 (Bytes.length chunk) with
     | 0 -> raise End_of_file
@@ -153,17 +230,23 @@ let run config =
                   | None -> ()
                   | Some (t_send, class_idx, measured) ->
                       Hashtbl.remove pending resp.Protocol.req_id;
+                      let now = now_ns () in
                       (match resp.Protocol.status with
                       | Protocol.Ok ->
+                          Slo.observe slo_mon ~now_ns:now (`Ok (now - t_send));
                           incr ok;
                           if measured then begin
                             incr measured_ok;
-                            let lat = now_ns () - t_send in
+                            let lat = now - t_send in
                             Latency.record all lat;
                             Latency.record per_class.(class_idx) lat
                           end
-                      | Protocol.Shed -> incr shed
-                      | Protocol.Error _ -> incr errors));
+                      | Protocol.Shed ->
+                          Slo.observe slo_mon ~now_ns:now `Shed;
+                          incr shed
+                      | Protocol.Error _ ->
+                          Slo.observe slo_mon ~now_ns:now `Error;
+                          incr errors));
                   parse ())
         in
         parse ())
@@ -203,6 +286,7 @@ let run config =
            done;
        Array.iter flush_conn conns;
        Array.iter receive_conn conns;
+       if ticking && now >= !next_tick then tick now;
        (* On a core shared with the server, an empty poll round must
           yield rather than spin (catch-up sending keeps the offered
           rate honest across the nap). *)
@@ -214,6 +298,7 @@ let run config =
      done
    with End_of_file -> ());
   Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) conns;
+  (match stats_client with Some c -> Client.close c | None -> ());
   {
     sent = !sent;
     received = !received;
@@ -225,6 +310,8 @@ let run config =
     throughput_rps = float_of_int !measured_ok /. config.measure_s;
     latency;
     outstanding = Hashtbl.length pending;
+    slo_reports = Slo.report slo_mon;
+    stats_polls = List.rev !stats_polls;
   }
 
 let to_json config r =
@@ -250,6 +337,18 @@ let to_json config r =
        "  \"measured_sent\": %d,\n  \"measured_ok\": %d,\n  \"throughput_rps\": \
         %.0f,\n"
        r.measured_sent r.measured_ok r.throughput_rps);
+  Buffer.add_string b "  \"slo\": [";
+  List.iteri
+    (fun i (rep : Slo.report) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\": %S, \"target_latency_ns\": %d, \"target_goodput\": %g, \
+            \"window_total\": %d, \"compliance\": %.6f, \"burn_rate\": %.3f}"
+           rep.objective.name rep.objective.latency_ns rep.objective.goodput
+           rep.window_total rep.compliance rep.burn_rate))
+    r.slo_reports;
+  Buffer.add_string b "],\n";
   Buffer.add_string b
     (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json r.latency));
   Buffer.contents b

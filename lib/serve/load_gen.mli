@@ -36,11 +36,22 @@ type config = {
   grace_s : float;  (** post-window wait for outstanding responses *)
   seed : int64;
   mix : mix;
+  slo : Tq_obs.Slo.objective list;
+      (** latency/goodput objectives evaluated live over a sliding
+          window; empty means monitor {!Tq_obs.Slo.default_objective} *)
+  stats_interval_s : float option;
+      (** [Some s]: poll the server's Stats RPC every [s] seconds over a
+          dedicated connection, collecting the JSON snapshots in
+          [stats_polls] *)
+  dashboard : bool;
+      (** render a live ANSI dashboard to stderr (SLO burn rates, the
+          goodput window and achieved throughput as
+          {!Tq_util.Ascii_chart} curves) *)
 }
 
 (** Loopback, 8 connections, 0.5 s warmup, 2 s measurement, 2 s grace,
-    [default_mix]; [rate_rps] has no default — choose the offered
-    load. *)
+    [default_mix], no stats polling or dashboard; [rate_rps] has no
+    default — choose the offered load. *)
 val default_config : rate_rps:float -> port:int -> config
 
 type result = {
@@ -56,6 +67,12 @@ type result = {
       (** per-class (["echo"], ["kv_get"], ...) plus ["all"]; [Ok]
           responses to measured sends only *)
   outstanding : int;  (** unanswered when the grace period ended *)
+  slo_reports : Tq_obs.Slo.report list;
+      (** final sliding-window verdict per objective (every response
+          observed, warmup included) *)
+  stats_polls : (float * string) list;
+      (** Stats-RPC JSON snapshots, (seconds since start, body), when
+          [stats_interval_s] was set *)
 }
 
 (** [run config] executes one load-generation session (blocking; wall

@@ -6,37 +6,53 @@
        tag 1 Kv_get:  key...
        tag 2 Kv_set:  klen:u16  key  value...
        tag 3 Tpcc:    kind:u8
+       tag 4 Stats:   view:u8 (0 json, 1 prometheus text, 2 chrome trace)
      response: req_id:u64  status:u8  body
        status 0 Ok, 1 Shed, 2 Error (body = message) *)
+
+type stats_view = Stats_json | Stats_text | Stats_trace
 
 type request =
   | Echo of { spin_ns : int; payload : string }
   | Kv_get of { key : string }
   | Kv_set of { key : string; value : string }
   | Tpcc of { kind : Tq_tpcc.Transactions.kind }
+  | Stats of { view : stats_view }
 
 type status = Ok | Shed | Error of string
 type response = { req_id : int; status : status; body : string }
 
-let max_frame_bytes = 1 lsl 20
-let class_count = 4
+(* Sized for Stats_trace bodies: a merged span trace of a few hundred
+   thousand records is several MB of JSON. *)
+let max_frame_bytes = 1 lsl 24
+let class_count = 5
 
 let class_of_request = function
   | Echo _ -> 0
   | Kv_get _ -> 1
   | Kv_set _ -> 2
   | Tpcc _ -> 3
+  | Stats _ -> 4
 
 let class_name = function
   | 0 -> "echo"
   | 1 -> "kv_get"
   | 2 -> "kv_set"
   | 3 -> "tpcc"
+  | 4 -> "stats"
   | i -> invalid_arg (Printf.sprintf "Protocol.class_name: %d" i)
 
 let steering_key = function
   | Kv_get { key } | Kv_set { key; _ } -> Some key
-  | Echo _ | Tpcc _ -> None
+  | Echo _ | Tpcc _ | Stats _ -> None
+
+let view_tag = function Stats_json -> 0 | Stats_text -> 1 | Stats_trace -> 2
+
+let view_of_tag = function
+  | 0 -> Some Stats_json
+  | 1 -> Some Stats_text
+  | 2 -> Some Stats_trace
+  | _ -> None
 
 let kind_tag : Tq_tpcc.Transactions.kind -> int = function
   | Payment -> 0
@@ -80,7 +96,10 @@ let encode_request b ~req_id r =
           Buffer.add_string body value
       | Tpcc { kind } ->
           Buffer.add_uint8 body 3;
-          Buffer.add_uint8 body (kind_tag kind))
+          Buffer.add_uint8 body (kind_tag kind)
+      | Stats { view } ->
+          Buffer.add_uint8 body 4;
+          Buffer.add_uint8 body (view_tag view))
 
 let status_tag = function Ok -> 0 | Shed -> 1 | Error _ -> 2
 
@@ -125,6 +144,11 @@ let decode_request payload =
       match kind_of_tag (Bytes.get_uint8 payload 9) with
       | Some kind -> Result.Ok (req_id, Tpcc { kind })
       | None -> Result.Error "unknown tpcc kind")
+  | 4 -> (
+      let* () = need payload 10 in
+      match view_of_tag (Bytes.get_uint8 payload 9) with
+      | Some view -> Result.Ok (req_id, Stats { view })
+      | None -> Result.Error "unknown stats view")
   | t -> Result.Error (Printf.sprintf "unknown request tag %d" t)
 
 let decode_response payload =

@@ -12,6 +12,13 @@
     (the memcached/RocksDB stand-in, {!Tq_kv}), and TPC-C transactions
     ({!Tq_tpcc}). *)
 
+(** What a {!request.Stats} call asks the server to render: the live
+    metrics snapshot as JSON, the same snapshot as Prometheus text
+    exposition ({!Tq_obs.Expo}), or the merged request-span trace as
+    Chrome trace-event JSON ({!Tq_obs.Span.to_chrome}; empty-ish unless
+    the server runs with spans enabled). *)
+type stats_view = Stats_json | Stats_text | Stats_trace
+
 (** One RPC request. *)
 type request =
   | Echo of { spin_ns : int; payload : string }
@@ -20,6 +27,11 @@ type request =
   | Kv_get of { key : string }
   | Kv_set of { key : string; value : string }
   | Tpcc of { kind : Tq_tpcc.Transactions.kind }
+  | Stats of { view : stats_view }
+      (** introspection: answered synchronously by the dispatcher, never
+          dispatched to a worker, and counted in [stats_served] rather
+          than [parsed] — so the [parsed = dispatched + shed] invariant
+          stays about request work *)
 
 (** Server verdict carried by every response. *)
 type status =
@@ -43,7 +55,8 @@ val class_count : int
 (** [class_of_request r] — stable index in [0, class_count). *)
 val class_of_request : request -> int
 
-(** [class_name i] — ["echo"], ["kv_get"], ["kv_set"] or ["tpcc"]. *)
+(** [class_name i] — ["echo"], ["kv_get"], ["kv_set"], ["tpcc"] or
+    ["stats"]. *)
 val class_name : int -> string
 
 (** [steering_key r] — [Some key] for requests that must stick to one

@@ -8,6 +8,10 @@ module Spsc_ring = Tq_runtime.Spsc_ring
 module Admission = Tq_sched.Admission
 module Counters = Tq_obs.Counters
 module Obs = Tq_obs.Obs
+module Span = Tq_obs.Span
+module Event = Tq_obs.Event
+module Latency = Tq_obs.Latency
+module Expo = Tq_obs.Expo
 module Reassembly = Protocol.Reassembly
 
 type config = {
@@ -43,6 +47,7 @@ type stats = {
   dispatched : int;
   completed : int;
   shed : int;
+  stats_served : int;
   protocol_errors : int;
   orphaned : int;
 }
@@ -65,8 +70,21 @@ type tallies = {
   mutable t_dispatched : int;
   mutable t_completed : int;
   mutable t_shed : int;
+  mutable t_stats_served : int;
   mutable t_protocol_errors : int;
   mutable t_orphaned : int;
+}
+
+(* Reply-ring payload: connection, span/request id, request class,
+   dispatch stamp, worker-side completion stamp (0 when spans are off),
+   encoded response frame. *)
+type reply = {
+  r_cid : int;
+  r_sid : int;
+  r_class : int;
+  r_t0 : int;
+  r_done : int;
+  r_frame : bytes;
 }
 
 type t = {
@@ -76,22 +94,43 @@ type t = {
   port : int;
   pool : Parallel.t;
   apps : App.t array;
-  reply_rings : (int * int * bytes) Spsc_ring.t array;  (** cid, dispatch ns, frame *)
+  reply_rings : reply Spsc_ring.t array;
   adm : Admission.t;
   conns : (int, conn) Hashtbl.t;
   stop_flag : bool Atomic.t;
   tallies : tallies;
+  disp_reg : Counters.t;  (** dispatcher-owned registry ([serve.*]) *)
+  worker_regs : Counters.t array;  (** one per worker domain ([runtime.*]) *)
+  spans : Span.t;
+  disp_sink : Span.sink;
+  spans_on : bool;
+  latency : Latency.t;
+  lat_all : Latency.recorder;
+  lat_class : Latency.recorder array;
   c_parsed : Counters.counter;
   c_dispatched : Counters.counter;
   c_completed : Counters.counter;
   c_shed : Counters.counter;
+  c_stats_served : Counters.counter;
+  c_parsed_by : Counters.counter array;
+  c_dispatched_by : Counters.counter array;
+  c_completed_by : Counters.counter array;
+  c_shed_by : Counters.counter array;
+  g_in_flight : Counters.gauge;
+  g_open_conns : Counters.gauge;
+  g_workers : Counters.gauge;
+  g_ring_occupancy : Counters.gauge;
   d_sojourn : Counters.dist;
   mutable next_cid : int;
+  mutable next_sid : int;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let create ?(obs = Obs.disabled ()) config =
+let per_class f =
+  Array.init Protocol.class_count (fun i -> f (Protocol.class_name i))
+
+let create ?(obs = Obs.disabled ()) ?(spans = Span.null) config =
   if config.workers < 1 then invalid_arg "Server.create: need at least one worker";
   if config.rx_depth < 1 then invalid_arg "Server.create: rx_depth must be positive";
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -105,6 +144,8 @@ let create ?(obs = Obs.disabled ()) config =
     | _ -> assert false
   in
   let reg = obs.Obs.counters in
+  let worker_regs = Array.init config.workers (fun _ -> Counters.create ()) in
+  let latency = Latency.create () in
   {
     config;
     listener;
@@ -112,7 +153,7 @@ let create ?(obs = Obs.disabled ()) config =
     port;
     pool =
       Parallel.create ~workers:config.workers ~quantum_ns:config.quantum_ns
-        ~ring_capacity:config.ring_capacity ();
+        ~ring_capacity:config.ring_capacity ~spans ~worker_counters:worker_regs ();
     apps =
       Array.init config.workers (fun i ->
           App.create ~kv_keys:config.kv_keys
@@ -131,15 +172,34 @@ let create ?(obs = Obs.disabled ()) config =
         t_dispatched = 0;
         t_completed = 0;
         t_shed = 0;
+        t_stats_served = 0;
         t_protocol_errors = 0;
         t_orphaned = 0;
       };
+    disp_reg = reg;
+    worker_regs;
+    spans;
+    disp_sink = Span.register spans (Event.Dispatcher 0);
+    spans_on = Span.enabled spans;
+    latency;
+    lat_all = Latency.recorder latency "all";
+    lat_class = per_class (fun name -> Latency.recorder latency name);
     c_parsed = Counters.counter reg "serve.parsed";
     c_dispatched = Counters.counter reg "serve.dispatched";
     c_completed = Counters.counter reg "serve.completed";
     c_shed = Counters.counter reg "serve.shed";
+    c_stats_served = Counters.counter reg "serve.stats_served";
+    c_parsed_by = per_class (fun n -> Counters.counter reg ("serve.parsed." ^ n));
+    c_dispatched_by = per_class (fun n -> Counters.counter reg ("serve.dispatched." ^ n));
+    c_completed_by = per_class (fun n -> Counters.counter reg ("serve.completed." ^ n));
+    c_shed_by = per_class (fun n -> Counters.counter reg ("serve.shed." ^ n));
+    g_in_flight = Counters.gauge reg "serve.in_flight";
+    g_open_conns = Counters.gauge reg "serve.open_connections";
+    g_workers = Counters.gauge reg "serve.alive_workers";
+    g_ring_occupancy = Counters.gauge reg "serve.ring_occupancy";
     d_sojourn = Counters.dist reg "serve.sojourn_ns";
     next_cid = 0;
+    next_sid = 0;
   }
 
 let port t = t.port
@@ -153,11 +213,91 @@ let stats t =
     dispatched = s.t_dispatched;
     completed = s.t_completed;
     shed = s.t_shed;
+    stats_served = s.t_stats_served;
     protocol_errors = s.t_protocol_errors;
     orphaned = s.t_orphaned;
   }
 
 let in_flight t = t.tallies.t_dispatched - t.tallies.t_completed
+let spans t = t.spans
+let latency t = t.latency
+
+(* {2 Live metrics snapshot} *)
+
+let refresh_gauges t =
+  Counters.set t.g_in_flight (float_of_int (in_flight t));
+  Counters.set t.g_open_conns (float_of_int (Hashtbl.length t.conns));
+  Counters.set t.g_workers (float_of_int (Parallel.workers t.pool));
+  let occ = ref 0 in
+  for w = 0 to Parallel.workers t.pool - 1 do
+    occ := !occ + Parallel.ring_depth t.pool ~worker:w
+  done;
+  Counters.set t.g_ring_occupancy (float_of_int !occ)
+
+(* Everything, one registry: dispatcher serve.* merged with the workers'
+   runtime.* (lock-free eventually-consistent reads; see the Counters
+   ownership rule). *)
+let merged_counters t =
+  refresh_gauges t;
+  Counters.merged (t.disp_reg :: Array.to_list t.worker_regs)
+
+let snapshot_json t =
+  refresh_gauges t;
+  let s = t.tallies in
+  let merged = Counters.merged (Array.to_list t.worker_regs) in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"connections\": %d,\n  \"open_connections\": %d,\n  \"parsed\": %d,\n  \
+        \"dispatched\": %d,\n  \"completed\": %d,\n  \"shed\": %d,\n  \
+        \"stats_served\": %d,\n  \"protocol_errors\": %d,\n  \"orphaned\": %d,\n  \
+        \"in_flight\": %d,\n  \"workers\": %d,\n  \"ring_occupancy\": %d,\n"
+       s.t_connections (Hashtbl.length t.conns) s.t_parsed s.t_dispatched
+       s.t_completed s.t_shed s.t_stats_served s.t_protocol_errors s.t_orphaned
+       (in_flight t) (Parallel.workers t.pool)
+       (int_of_float (Counters.value t.g_ring_occupancy)));
+  Buffer.add_string b "  \"per_class\": {\n";
+  for i = 0 to Protocol.class_count - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "    %S: {\"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \"shed\": \
+          %d}%s\n"
+         (Protocol.class_name i)
+         (Counters.count t.c_parsed_by.(i))
+         (Counters.count t.c_dispatched_by.(i))
+         (Counters.count t.c_completed_by.(i))
+         (Counters.count t.c_shed_by.(i))
+         (if i = Protocol.class_count - 1 then "" else ","))
+  done;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"runtime\": {\"quanta\": %d, \"yields\": %d, \"completions\": %d, \
+        \"stalls\": %d},\n"
+       (Counters.find_count merged "runtime.quanta")
+       (Counters.find_count merged "runtime.yields")
+       (Counters.find_count merged "runtime.completions")
+       (Counters.find_count merged "runtime.stalls"));
+  (if t.spans_on then
+     Buffer.add_string b
+       (Printf.sprintf "  \"spans\": {\"total\": %d, \"dropped\": %d},\n"
+          (Span.total t.spans) (Span.dropped t.spans)));
+  Buffer.add_string b
+    (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json t.latency));
+  Buffer.contents b
+
+let prometheus t =
+  refresh_gauges t;
+  let registries =
+    ([ ("role", "dispatcher") ], t.disp_reg)
+    :: List.mapi
+         (fun i reg -> ([ ("role", "worker"); ("worker", string_of_int i) ], reg))
+         (Array.to_list t.worker_regs)
+  in
+  Expo.render registries ^ Expo.render_latency ~name:"serve_sojourn_ns" t.latency
+
+(* {2 Dispatch} *)
 
 let close_conn t conn =
   if conn.alive then begin
@@ -169,9 +309,30 @@ let close_conn t conn =
 let shed_response conn req_id =
   Protocol.encode_response conn.wb { Protocol.req_id; status = Protocol.Shed; body = "" }
 
+(* Stats requests are introspection, answered synchronously right here:
+   they must work during overload (when admission sheds request work)
+   and must not perturb the accounting they report. *)
+let serve_stats t conn req_id view =
+  t.tallies.t_stats_served <- t.tallies.t_stats_served + 1;
+  Counters.incr t.c_stats_served;
+  let body =
+    match view with
+    | Protocol.Stats_json -> snapshot_json t
+    | Protocol.Stats_text -> prometheus t
+    | Protocol.Stats_trace -> Span.to_chrome t.spans
+  in
+  let resp =
+    if String.length body <= Protocol.max_frame_bytes - 16 then
+      { Protocol.req_id; status = Protocol.Ok; body }
+    else { Protocol.req_id; status = Protocol.Error "stats body too large"; body = "" }
+  in
+  Protocol.encode_response conn.wb resp
+
 let dispatch t conn req_id req =
+  let class_idx = Protocol.class_of_request req in
   t.tallies.t_parsed <- t.tallies.t_parsed + 1;
   Counters.incr t.c_parsed;
+  Counters.incr t.c_parsed_by.(class_idx);
   let pool_load = Parallel.in_flight t.pool in
   let admitted =
     pool_load < t.config.rx_depth && Admission.admit t.adm ~in_system:pool_load
@@ -179,6 +340,10 @@ let dispatch t conn req_id req =
   if not admitted then begin
     t.tallies.t_shed <- t.tallies.t_shed + 1;
     Counters.incr t.c_shed;
+    Counters.incr t.c_shed_by.(class_idx);
+    if t.spans_on then
+      Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:(now_ns ())
+        ~dur_ns:0 ~arg:class_idx;
     shed_response conn req_id
   end
   else begin
@@ -187,28 +352,49 @@ let dispatch t conn req_id req =
       | Some key -> Hashtbl.hash key mod Parallel.workers t.pool
       | None -> Parallel.pick t.pool
     in
+    let sid = t.next_sid in
     let cid = conn.cid in
     let t0 = now_ns () in
     let app = t.apps.(w) in
     let ring = t.reply_rings.(w) in
+    let spans_on = t.spans_on in
     let job () =
       let resp = App.execute app ~now_ns:(now_ns ()) ~req_id req in
       let frame = Protocol.response_frame resp in
-      if not (Spsc_ring.try_push ring (cid, t0, frame)) then begin
+      let reply =
+        {
+          r_cid = cid;
+          r_sid = sid;
+          r_class = class_idx;
+          r_t0 = t0;
+          r_done = (if spans_on then now_ns () else 0);
+          r_frame = frame;
+        }
+      in
+      if not (Spsc_ring.try_push ring reply) then begin
         let backoff = Tq_runtime.Backoff.create () in
-        while not (Spsc_ring.try_push ring (cid, t0, frame)) do
+        while not (Spsc_ring.try_push ring reply) do
           Tq_runtime.Backoff.once backoff
         done
       end
     in
-    if Parallel.submit_to t.pool ~worker:w job then begin
+    if Parallel.submit_to t.pool ~tag:sid ~worker:w job then begin
+      t.next_sid <- sid + 1;
       t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
-      Counters.incr t.c_dispatched
+      Counters.incr t.c_dispatched;
+      Counters.incr t.c_dispatched_by.(class_idx);
+      if t.spans_on then
+        Span.record t.disp_sink ~req_id:sid ~phase:Span.Dispatch ~start_ns:t0
+          ~dur_ns:(now_ns () - t0) ~arg:w
     end
     else begin
       (* the chosen core's ring is full: backpressure, shed at the door *)
       t.tallies.t_shed <- t.tallies.t_shed + 1;
       Counters.incr t.c_shed;
+      Counters.incr t.c_shed_by.(class_idx);
+      if t.spans_on then
+        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:(now_ns ())
+          ~dur_ns:0 ~arg:class_idx;
       shed_response conn req_id
     end
   end
@@ -221,12 +407,18 @@ let rec parse_frames t conn =
         close_conn t conn
     | Ok None -> ()
     | Ok (Some payload) -> (
+        let p0 = if t.spans_on then now_ns () else 0 in
         match Protocol.decode_request payload with
         | Error _ ->
             t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
             close_conn t conn
         | Ok (req_id, req) ->
-            dispatch t conn req_id req;
+            if t.spans_on then
+              Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Parse ~start_ns:p0
+                ~dur_ns:(now_ns () - p0) ~arg:conn.cid;
+            (match req with
+            | Protocol.Stats { view } -> serve_stats t conn req_id view
+            | _ -> dispatch t conn req_id req);
             parse_frames t conn)
 
 let rec accept_new t progress =
@@ -239,6 +431,9 @@ let rec accept_new t progress =
       Hashtbl.replace t.conns cid
         { fd; cid; rb = Reassembly.create (); wb = Buffer.create 4096; wb_off = 0; alive = true };
       t.tallies.t_connections <- t.tallies.t_connections + 1;
+      if t.spans_on then
+        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Accept ~start_ns:(now_ns ())
+          ~dur_ns:0 ~arg:cid;
       progress := true;
       accept_new t progress
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -262,15 +457,26 @@ let poll_replies t progress =
       let rec go () =
         match Spsc_ring.try_pop ring with
         | None -> ()
-        | Some (cid, t0, frame) ->
+        | Some reply ->
             progress := true;
             t.tallies.t_completed <- t.tallies.t_completed + 1;
             Counters.incr t.c_completed;
-            let sojourn = now_ns () - t0 in
+            Counters.incr t.c_completed_by.(reply.r_class);
+            let now = now_ns () in
+            let sojourn = now - reply.r_t0 in
             Admission.note_completion t.adm ~sojourn_ns:sojourn;
             Counters.observe t.d_sojourn sojourn;
-            (match Hashtbl.find_opt t.conns cid with
-            | Some conn -> Buffer.add_bytes conn.wb frame
+            Latency.record t.lat_all sojourn;
+            Latency.record t.lat_class.(reply.r_class) sojourn;
+            if t.spans_on then
+              (* worker push -> dispatcher pop-and-buffer: the reply
+                 ring hop plus write buffering, the request's last leg *)
+              Span.record t.disp_sink ~req_id:reply.r_sid ~phase:Span.Reply_flush
+                ~start_ns:reply.r_done
+                ~dur_ns:(max 0 (now - reply.r_done))
+                ~arg:reply.r_cid;
+            (match Hashtbl.find_opt t.conns reply.r_cid with
+            | Some conn -> Buffer.add_bytes conn.wb reply.r_frame
             | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1);
             go ()
       in

@@ -53,20 +53,34 @@ val default_config : config
 (** Dispatcher-side request accounting (a snapshot; see {!stats}). *)
 type stats = {
   connections : int;  (** connections accepted over the lifetime *)
-  parsed : int;  (** requests successfully decoded *)
+  parsed : int;  (** request-work frames successfully decoded *)
   dispatched : int;  (** admitted and handed to a worker *)
   completed : int;  (** responses popped from reply rings *)
   shed : int;  (** rejected by ring-depth or admission policy *)
+  stats_served : int;
+      (** Stats RPCs answered at the dispatcher (not counted in
+          [parsed], so [parsed = dispatched + shed] stays exact) *)
   protocol_errors : int;  (** malformed frames (connection closed) *)
   orphaned : int;  (** responses whose connection had closed *)
 }
 
 type t
 
-(** [create ?obs config] binds and listens (raising [Unix.Unix_error]
-    on e.g. a busy port) and spawns the worker pool.  [obs] receives
-    [serve.*] counters and the sojourn distribution. *)
-val create : ?obs:Tq_obs.Obs.t -> config -> t
+(** [create ?obs ?spans config] binds and listens (raising
+    [Unix.Unix_error] on e.g. a busy port) and spawns the worker pool.
+
+    [obs] receives the dispatcher-owned [serve.*] counters (aggregate
+    and per-class), snapshot gauges and the sojourn distribution; each
+    worker domain additionally owns a private [runtime.*] registry
+    (quanta, yields, stalls, quantum-length / overshoot / probe-cadence
+    distributions) that snapshots merge in lock-free.
+
+    [spans] (default disabled, zero per-request cost) turns on
+    cross-domain request spans: the dispatcher records
+    accept/parse/dispatch/shed/reply-flush on its own sink, workers
+    record ring-hop/quantum/stall on theirs, all stitched by request id
+    ({!Tq_obs.Span.merge}) into one Perfetto timeline. *)
+val create : ?obs:Tq_obs.Obs.t -> ?spans:Tq_obs.Span.t -> config -> t
 
 (** The actually bound port — [config.port] unless that was 0. *)
 val port : t -> int
@@ -85,3 +99,33 @@ val stats : t -> stats
 
 (** Requests admitted but not yet answered ([dispatched - completed]). *)
 val in_flight : t -> int
+
+(** {2 Live observability}
+
+    What the Stats RPC renders; exposed directly for in-process use
+    (tests, embedding).  [snapshot_json] and [prometheus] refresh the
+    snapshot gauges, so call them from the dispatcher's domain. *)
+
+(** The span collection passed to {!create} ({!Tq_obs.Span.null} when
+    none was). *)
+val spans : t -> Tq_obs.Span.t
+
+(** Completion sojourn latencies (dispatch to reply-ring pop), per
+    request class plus ["all"] — recorded by the dispatcher as it polls
+    replies, HDR percentiles included. *)
+val latency : t -> Tq_obs.Latency.t
+
+(** One registry aggregating the dispatcher's [serve.*] metrics with
+    every worker's [runtime.*] registry (lock-free merge; eventually
+    consistent). *)
+val merged_counters : t -> Tq_obs.Counters.t
+
+(** The live metrics snapshot as a JSON object: accounting, gauges,
+    per-class breakdown, runtime totals and the latency ladder — the
+    [Stats_json] RPC body. *)
+val snapshot_json : t -> string
+
+(** The same snapshot as Prometheus text exposition — the [Stats_text]
+    RPC body.  Dispatcher and worker registries carry [role] / [worker]
+    labels. *)
+val prometheus : t -> string

@@ -8,8 +8,86 @@ module Timeseries = Tq_obs.Timeseries
 module Chrome_trace = Tq_obs.Chrome_trace
 module Latency = Tq_obs.Latency
 module Text_dump = Tq_obs.Text_dump
+module Span = Tq_obs.Span
+module Expo = Tq_obs.Expo
+module Slo = Tq_obs.Slo
 
 let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A strict-enough JSON well-formedness checker for exporter output:
+   consumes one value, returns the index after it, raises Failure on
+   malformed input.  Values: objects, arrays, strings (with escapes),
+   numbers, true/false/null. *)
+let json_parse s =
+  let n = String.length s in
+  let fail i msg = failwith (Printf.sprintf "json at %d: %s" i msg) in
+  let rec skip_ws i = if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t' || s.[i] = '\r') then skip_ws (i + 1) else i in
+  let rec value i =
+    let i = skip_ws i in
+    if i >= n then fail i "eof"
+    else
+      match s.[i] with
+      | '{' -> obj (skip_ws (i + 1)) true
+      | '[' -> arr (skip_ws (i + 1)) true
+      | '"' -> string_ (i + 1)
+      | 't' -> lit i "true"
+      | 'f' -> lit i "false"
+      | 'n' -> lit i "null"
+      | '-' | '0' .. '9' -> number i
+      | c -> fail i (Printf.sprintf "unexpected %c" c)
+  and lit i w =
+    if i + String.length w <= n && String.sub s i (String.length w) = w then
+      i + String.length w
+    else fail i ("expected " ^ w)
+  and number i =
+    let j = ref (if s.[i] = '-' then i + 1 else i) in
+    while !j < n && (match s.[!j] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+      incr j
+    done;
+    if !j = i then fail i "empty number" else !j
+  and string_ i =
+    if i >= n then fail i "unterminated string"
+    else if s.[i] = '"' then i + 1
+    else if s.[i] = '\\' then string_ (i + 2)
+    else string_ (i + 1)
+  and obj i first =
+    if i < n && s.[i] = '}' then i + 1
+    else begin
+      let i = if first then i else skip_ws i in
+      if i >= n || s.[i] <> '"' then fail i "object key";
+      let i = skip_ws (string_ (i + 1)) in
+      if i >= n || s.[i] <> ':' then fail i "colon";
+      let i = skip_ws (value (i + 1)) in
+      if i < n && s.[i] = ',' then obj (skip_ws (i + 1)) false
+      else if i < n && s.[i] = '}' then i + 1
+      else fail i "object sep"
+    end
+  and arr i first =
+    if i < n && s.[i] = ']' then i + 1
+    else begin
+      let i = if first then i else i in
+      let i = skip_ws (value i) in
+      if i < n && s.[i] = ',' then arr (skip_ws (i + 1)) false
+      else if i < n && s.[i] = ']' then i + 1
+      else fail i "array sep"
+    end
+  in
+  let i = skip_ws (value 0) in
+  let i = skip_ws i in
+  if i <> n then failwith (Printf.sprintf "json: %d trailing bytes" (n - i))
+
+let json_well_formed name s =
+  match json_parse s with
+  | () -> ()
+  | exception Failure msg -> Alcotest.failf "%s: %s" name msg
 
 let yield id = Event.Yield { job_id = id }
 
@@ -217,6 +295,332 @@ let test_latency_clamps () =
   in
   check Alcotest.bool "json mentions recorder" true (contains json "\"clamp\"")
 
+(* --- latency: percentile properties + the debug owner check --- *)
+
+let test_latency_percentile_props =
+  qtest "latency percentile monotone and sample-bounded"
+    QCheck.(list_of_size Gen.(int_range 1 120) (int_range 0 2_000_000))
+    (fun samples ->
+      (* the shrinker may drop below the generator's size floor *)
+      QCheck.assume (samples <> []);
+      let reg = Latency.create ~max_ns:4_000_000 () in
+      let r = Latency.recorder reg "prop" in
+      List.iter (Latency.record r) samples;
+      let lo = List.fold_left min max_int samples in
+      let hi = List.fold_left max 0 samples in
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 99.9; 100.0 ] in
+      let vals = List.map (Latency.percentile r) ps in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      (* a percentile is the containing bucket's lower bound, so it may
+         undershoot the smallest sample by one bucket width (1/32
+         relative error); it never exceeds the largest sample *)
+      let lo_bound = lo - (lo / 32) - 1 in
+      monotone vals && List.for_all (fun v -> v >= lo_bound && v <= hi) vals)
+
+let test_latency_owner_check () =
+  let reg = Latency.create () in
+  let r = Latency.recorder reg "owned" in
+  Fun.protect
+    ~finally:(fun () -> Latency.set_owner_check false)
+    (fun () ->
+      Latency.set_owner_check true;
+      Latency.record r 10;
+      let off_domain =
+        Domain.spawn (fun () ->
+            match Latency.record r 20 with
+            | () -> `Recorded
+            | exception Invalid_argument _ -> `Raised)
+      in
+      (match Domain.join off_domain with
+      | `Raised -> ()
+      | `Recorded -> Alcotest.fail "off-domain record must raise under the owner check");
+      let handed_off =
+        Domain.spawn (fun () ->
+            Latency.adopt r;
+            Latency.record r 30;
+            Latency.count r)
+      in
+      check Alcotest.int "adopt legitimises the hand-off" 2 (Domain.join handed_off);
+      (* ownership moved with the adopt: the creating domain is now the
+         foreign one *)
+      (match Latency.record r 40 with
+      | () -> Alcotest.fail "creator must be rejected after the hand-off"
+      | exception Invalid_argument _ -> ());
+      Latency.adopt r;
+      Latency.record r 50;
+      check Alcotest.int "only owner records landed" 3 (Latency.count r))
+
+(* --- multi-domain counter aggregation --- *)
+
+let test_counters_merged () =
+  let a = Counters.create () and b = Counters.create () in
+  Counters.add (Counters.counter a "serve.parsed") 5;
+  Counters.add (Counters.counter b "serve.parsed") 7;
+  Counters.add (Counters.counter b "serve.shed") 2;
+  Counters.set (Counters.gauge a "ring.occupancy") 3.0;
+  Counters.set (Counters.gauge b "ring.occupancy") 4.5;
+  List.iter (Counters.observe (Counters.dist a "quantum_ns")) [ 1; 2; 100 ];
+  List.iter (Counters.observe (Counters.dist b "quantum_ns")) [ 3; 200 ];
+  let m = Counters.merged [ a; b ] in
+  check Alcotest.int "counters sum" 12 (Counters.find_count m "serve.parsed");
+  check Alcotest.int "one-sided counter survives" 2 (Counters.find_count m "serve.shed");
+  (match Counters.find m "ring.occupancy" with
+  | Some (Counters.Gauge g) ->
+      check (Alcotest.float 1e-9) "gauges sum to the system total" 7.5 (Counters.value g)
+  | _ -> Alcotest.fail "merged gauge missing");
+  (match Counters.find m "quantum_ns" with
+  | Some (Counters.Dist d) ->
+      check Alcotest.int "dist counts sum" 5 (Counters.dist_count d);
+      check Alcotest.int "dist sums add" 306 (Counters.dist_sum d);
+      check Alcotest.int "max of max" 200 (Counters.dist_max d)
+  | _ -> Alcotest.fail "merged dist missing");
+  (* the merge is a snapshot, not an alias *)
+  Counters.incr (Counters.counter a "serve.parsed");
+  check Alcotest.int "snapshot is a copy" 12 (Counters.find_count m "serve.parsed");
+  let c = Counters.create () in
+  Counters.set (Counters.gauge c "serve.shed") 1.0;
+  Alcotest.(check bool) "kind clash across registries rejected" true
+    (try
+       ignore (Counters.merged [ b; c ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- cross-domain request spans --- *)
+
+let test_span_record_and_merge () =
+  let spans = Span.create ~capacity_per_sink:4 () in
+  Alcotest.(check bool) "enabled" true (Span.enabled spans);
+  let disp = Span.register spans (Event.Dispatcher 0) in
+  let wrk = Span.register spans (Event.Worker 1) in
+  Span.record disp ~req_id:1 ~phase:Span.Dispatch ~start_ns:100 ~dur_ns:10 ~arg:1;
+  Span.record wrk ~req_id:1 ~phase:Span.Quantum ~start_ns:150 ~dur_ns:40 ~arg:1;
+  Span.record disp ~req_id:2 ~phase:Span.Dispatch ~start_ns:150 ~dur_ns:5 ~arg:0;
+  Span.record disp ~req_id:1 ~phase:Span.Reply_flush ~start_ns:300 ~dur_ns:8 ~arg:3;
+  check Alcotest.int "total" 4 (Span.total spans);
+  check Alcotest.int "nothing dropped" 0 (Span.dropped spans);
+  let merged = Span.merge spans in
+  check Alcotest.int "merge keeps everything" 4 (List.length merged);
+  check
+    Alcotest.(list int)
+    "timeline sorted by start" [ 100; 150; 150; 300 ]
+    (List.map (fun (r : Span.record) -> r.Span.start_ns) merged);
+  (* the tie at 150: stable sort keeps the earlier-registered sink's
+     record (the dispatcher's) ahead of the worker's *)
+  (match merged with
+  | _ :: (second : Span.record) :: _ ->
+      check Alcotest.bool "ties keep registration order" true
+        (second.Span.lane = Event.Dispatcher 0)
+  | _ -> Alcotest.fail "merge lost records");
+  (* one request id stitches across both lanes *)
+  let lanes_of_req1 =
+    List.filter_map
+      (fun (r : Span.record) -> if r.Span.req_id = 1 then Some r.Span.lane else None)
+      merged
+  in
+  Alcotest.(check bool) "req 1 spans both domains" true
+    (List.mem (Event.Dispatcher 0) lanes_of_req1
+    && List.mem (Event.Worker 1) lanes_of_req1)
+
+let test_span_overwrite_and_null () =
+  let spans = Span.create ~capacity_per_sink:2 () in
+  let sink = Span.register spans (Event.Worker 0) in
+  for i = 1 to 5 do
+    Span.record sink ~req_id:i ~phase:Span.Quantum ~start_ns:(i * 10) ~dur_ns:1 ~arg:0
+  done;
+  check Alcotest.int "total counts everything" 5 (Span.total spans);
+  check Alcotest.int "dropped = overwritten" 3 (Span.dropped spans);
+  check
+    Alcotest.(list int)
+    "newest records survive" [ 4; 5 ]
+    (List.map (fun (r : Span.record) -> r.Span.req_id) (Span.merge spans));
+  (* the disabled collection: registration hands out the null sink and
+     recording is a no-op *)
+  Alcotest.(check bool) "null disabled" false (Span.enabled Span.null);
+  let ns = Span.register Span.null (Event.Worker 9) in
+  Span.record ns ~req_id:1 ~phase:Span.Shed ~start_ns:0 ~dur_ns:0 ~arg:0;
+  check Alcotest.int "null stores nothing" 0 (Span.total Span.null);
+  check Alcotest.int "null merges empty" 0 (List.length (Span.merge Span.null))
+
+let test_span_chrome_json () =
+  let spans = Span.create ~capacity_per_sink:8 () in
+  let disp = Span.register spans (Event.Dispatcher 0) in
+  let wrk = Span.register spans (Event.Worker 2) in
+  Span.record disp ~req_id:7 ~phase:Span.Accept ~start_ns:1_000 ~dur_ns:0 ~arg:4;
+  Span.record disp ~req_id:7 ~phase:Span.Dispatch ~start_ns:1_200 ~dur_ns:300 ~arg:2;
+  Span.record wrk ~req_id:7 ~phase:Span.Quantum ~start_ns:1_600 ~dur_ns:900 ~arg:1;
+  let json = Span.to_chrome spans in
+  json_well_formed "span chrome json" json;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace mentions %s" needle)
+        true (contains json needle))
+    [
+      "\"tq_serve\"";
+      "thread_name";
+      "\"dispatcher 0\"";
+      "\"worker 2\"";
+      "\"ph\":\"X\"";
+      "\"ph\":\"i\"";
+      "\"name\":\"quantum\"";
+      "\"req\":7";
+    ]
+
+let test_chrome_export_parses () =
+  (* the golden test pins exact bytes; this one checks the exporter emits
+     structurally valid JSON under wraparound and mixed lanes *)
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 9 do
+    Trace.record tr ~ts_ns:(i * 100)
+      ~lane:(if i mod 2 = 0 then Event.Global else Event.Worker (i mod 3))
+      (yield i)
+  done;
+  json_well_formed "chrome export" (Chrome_trace.export tr)
+
+(* --- prometheus exposition --- *)
+
+let count_occurrences hay needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_expo_render () =
+  let a = Counters.create () and b = Counters.create () in
+  Counters.add (Counters.counter a "serve.parsed") 5;
+  Counters.add (Counters.counter b "serve.parsed") 7;
+  Counters.set (Counters.gauge a "ring.occupancy") 3.5;
+  List.iter (Counters.observe (Counters.dist b "gap ns")) [ 1; 2; 3; 9 ];
+  let text =
+    Expo.render
+      [ ([ ("role", "dispatcher") ], a); ([ ("role", "worker"); ("worker", "0") ], b) ]
+  in
+  check Alcotest.int "TYPE emitted once per shared name" 1
+    (count_occurrences text "# TYPE tq_serve_parsed_total counter");
+  check Alcotest.int "both label sets render" 2
+    (count_occurrences text "tq_serve_parsed_total{");
+  Alcotest.(check bool) "counter samples carry _total and labels" true
+    (contains text "tq_serve_parsed_total{role=\"dispatcher\"} 5\n"
+    && contains text "tq_serve_parsed_total{role=\"worker\",worker=\"0\"} 7\n");
+  Alcotest.(check bool) "gauge renders without suffix" true
+    (contains text "tq_ring_occupancy{role=\"dispatcher\"} 3.5\n");
+  (* dist 1,2,3,9 -> cumulative power-of-two buckets: le=1 holds 1,
+     le=3 holds 1,2,3, the 9 lands in le=15, +Inf sees all four *)
+  Alcotest.(check bool) "histogram buckets are cumulative" true
+    (contains text "# TYPE tq_gap_ns histogram"
+    && contains text "tq_gap_ns_bucket{role=\"worker\",worker=\"0\",le=\"1\"} 1\n"
+    && contains text "tq_gap_ns_bucket{role=\"worker\",worker=\"0\",le=\"3\"} 3\n"
+    && contains text "tq_gap_ns_bucket{role=\"worker\",worker=\"0\",le=\"15\"} 4\n"
+    && contains text "tq_gap_ns_bucket{role=\"worker\",worker=\"0\",le=\"+Inf\"} 4\n"
+    && contains text "tq_gap_ns_sum{role=\"worker\",worker=\"0\"} 15\n"
+    && contains text "tq_gap_ns_count{role=\"worker\",worker=\"0\"} 4\n")
+
+let test_expo_latency () =
+  let lat = Latency.create () in
+  let r = Latency.recorder lat "echo" in
+  for i = 1 to 100 do
+    Latency.record r (i * 1_000)
+  done;
+  let text = Expo.render_latency ~name:"sojourn_ns" ~labels:[ ("role", "server") ] lat in
+  Alcotest.(check bool) "summary TYPE header" true
+    (contains text "# TYPE tq_sojourn_ns summary");
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quantile %s present" q)
+        true
+        (contains text
+           (Printf.sprintf "tq_sojourn_ns{role=\"server\",class=\"echo\",quantile=%S} " q)))
+    [ "0.5"; "0.9"; "0.99"; "0.999" ];
+  Alcotest.(check bool) "count line" true
+    (contains text "tq_sojourn_ns_count{role=\"server\",class=\"echo\"} 100\n")
+
+(* --- SLO monitor --- *)
+
+let sec s = int_of_float (s *. 1e9)
+
+let test_slo_burn_rate () =
+  let obj = { Slo.name = "p99"; latency_ns = 1_000_000; goodput = 0.9 } in
+  let t = Slo.create ~window_s:10.0 ~buckets:10 ~now_ns:0 [ obj ] in
+  (match Slo.report ~now_ns:0 t with
+  | [ rep ] ->
+      check Alcotest.int "empty window" 0 rep.Slo.window_total;
+      check (Alcotest.float 1e-9) "vacuous compliance" 1.0 rep.Slo.compliance;
+      check (Alcotest.float 1e-9) "no burn without traffic" 0.0 rep.Slo.burn_rate
+  | _ -> Alcotest.fail "one objective, one report");
+  (* 80 good, then 10 late + 5 shed + 5 errored: compliance 0.8, and a
+     10% budget burning at (1 - 0.8) / (1 - 0.9) = 2x *)
+  for _ = 1 to 80 do
+    Slo.observe t ~now_ns:(sec 2.0) (`Ok 500_000)
+  done;
+  for _ = 1 to 10 do
+    Slo.observe t ~now_ns:(sec 5.0) (`Ok 2_000_000)
+  done;
+  for _ = 1 to 5 do
+    Slo.observe t ~now_ns:(sec 5.0) `Shed
+  done;
+  for _ = 1 to 5 do
+    Slo.observe t ~now_ns:(sec 5.0) `Error
+  done;
+  (match Slo.report ~now_ns:(sec 9.5) t with
+  | [ rep ] ->
+      check Alcotest.int "window total" 100 rep.Slo.window_total;
+      check Alcotest.int "window good" 80 rep.Slo.window_good;
+      check (Alcotest.float 1e-9) "compliance" 0.8 rep.Slo.compliance;
+      check (Alcotest.float 1e-6) "burn rate" 2.0 rep.Slo.burn_rate
+  | _ -> Alcotest.fail "one objective, one report");
+  (* the per-bucket series: the all-good bucket at -7s, the all-bad one
+     at -4s, oldest first *)
+  (match Slo.window_series ~now_ns:(sec 9.5) t "p99" with
+  | [ (a_age, a_frac); (b_age, b_frac) ] ->
+      Alcotest.(check bool) "ages oldest-first and non-positive" true
+        (a_age < b_age && b_age <= 0.0);
+      check (Alcotest.float 1e-9) "good bucket fraction" 1.0 a_frac;
+      check (Alcotest.float 1e-9) "bad bucket fraction" 0.0 b_frac
+  | s -> Alcotest.failf "expected 2 live buckets, got %d" (List.length s));
+  check Alcotest.(list (pair (float 1e-9) (float 1e-9))) "unknown objective" []
+    (Slo.window_series ~now_ns:(sec 9.5) t "nope");
+  (* slide the window: the good bucket expires first, leaving pure
+     badness (burn 10x, a breach), then everything ages out *)
+  (match Slo.report ~now_ns:(sec 14.0) t with
+  | [ rep ] ->
+      check Alcotest.int "good bucket expired" 20 rep.Slo.window_total;
+      check (Alcotest.float 1e-9) "compliance collapses" 0.0 rep.Slo.compliance;
+      check (Alcotest.float 1e-6) "burning hard" 10.0 rep.Slo.burn_rate
+  | _ -> Alcotest.fail "one objective, one report");
+  Alcotest.(check bool) "render flags the breach" true
+    (contains (Slo.render ~now_ns:(sec 14.0) t) "BREACH");
+  (match Slo.report ~now_ns:(sec 25.0) t with
+  | [ rep ] ->
+      check Alcotest.int "window fully aged out" 0 rep.Slo.window_total;
+      check (Alcotest.float 1e-9) "back to vacuous compliance" 1.0 rep.Slo.compliance
+  | _ -> Alcotest.fail "one objective, one report");
+  Alcotest.(check bool) "render notes the empty window" true
+    (contains (Slo.render ~now_ns:(sec 25.0) t) "(no traffic)")
+
+let test_slo_validation () =
+  let bad goodput latency_ns =
+    try
+      ignore
+        (Slo.create ~now_ns:0 [ { Slo.name = "x"; latency_ns; goodput } ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "goodput 1.0 rejected" true (bad 1.0 1_000);
+  Alcotest.(check bool) "goodput 0.0 rejected" true (bad 0.0 1_000);
+  Alcotest.(check bool) "non-positive latency rejected" true (bad 0.9 0);
+  Alcotest.(check bool) "empty window rejected" true
+    (try
+       ignore (Slo.create ~window_s:0.0 ~now_ns:0 []);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "trace ordering" `Quick test_trace_ordering;
@@ -231,4 +635,15 @@ let suite =
     Alcotest.test_case "latency percentiles" `Quick test_latency_percentiles;
     Alcotest.test_case "latency registry" `Quick test_latency_registry;
     Alcotest.test_case "latency clamps + json" `Quick test_latency_clamps;
+    test_latency_percentile_props;
+    Alcotest.test_case "latency owner check" `Quick test_latency_owner_check;
+    Alcotest.test_case "counters merged" `Quick test_counters_merged;
+    Alcotest.test_case "span record + merge" `Quick test_span_record_and_merge;
+    Alcotest.test_case "span overwrite + null" `Quick test_span_overwrite_and_null;
+    Alcotest.test_case "span chrome json" `Quick test_span_chrome_json;
+    Alcotest.test_case "chrome export parses" `Quick test_chrome_export_parses;
+    Alcotest.test_case "expo render" `Quick test_expo_render;
+    Alcotest.test_case "expo latency summary" `Quick test_expo_latency;
+    Alcotest.test_case "slo burn rate" `Quick test_slo_burn_rate;
+    Alcotest.test_case "slo validation" `Quick test_slo_validation;
   ]

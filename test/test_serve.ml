@@ -151,6 +151,7 @@ let test_loopback_smoke () =
               (String.length body > 0 && body.[0] = '+')
         | Protocol.Tpcc _, body ->
             check Alcotest.bool "tpcc reports an outcome" true (String.length body > 0)
+        | Protocol.Stats _, _ -> Alcotest.fail "smoke mix sends no Stats requests"
       in
       let inflight = ref 0 in
       for i = 0 to n - 1 do
@@ -217,6 +218,157 @@ let test_drain_under_load () =
   check Alcotest.int "client saw the completions" s.Server.completed !ok;
   check Alcotest.int "client saw the sheds" s.Server.shed !shed
 
+(* --- the Stats RPC and live observability --- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let run_batch client n =
+  for i = 0 to n - 1 do
+    Client.send client ~req_id:i (nth_request i)
+  done;
+  for _ = 1 to n do
+    ignore (Client.recv client)
+  done
+
+let test_stats_rpc () =
+  with_server base_config (fun srv ->
+      let n = 200 in
+      let client = Client.connect ~port:(Server.port srv) () in
+      run_batch client n;
+      (* JSON view: accurate accounting, not counted in parsed *)
+      let body = Client.stats client in
+      List.iter
+        (fun needle ->
+          check Alcotest.bool (Printf.sprintf "json has %s" needle) true
+            (contains body needle))
+        [
+          Printf.sprintf "\"parsed\": %d" n;
+          Printf.sprintf "\"dispatched\": %d" n;
+          Printf.sprintf "\"completed\": %d" n;
+          "\"shed\": 0";
+          "\"in_flight\": 0";
+          "\"per_class\"";
+          "\"echo\"";
+          "\"runtime\"";
+          "\"latency\"";
+        ];
+      (* the prometheus view renders the same counters as text *)
+      let text = Client.stats ~view:Protocol.Stats_text client in
+      List.iter
+        (fun needle ->
+          check Alcotest.bool (Printf.sprintf "text has %s" needle) true
+            (contains text needle))
+        [
+          Printf.sprintf "tq_serve_parsed_total{role=\"dispatcher\"} %d\n" n;
+          "# TYPE tq_serve_parsed_total counter";
+          "tq_runtime_quanta_total{role=\"worker\",worker=\"0\"}";
+          "# TYPE tq_serve_sojourn_ns summary";
+          "quantile=\"0.99\"";
+        ];
+      (* stats answers ride outside the work accounting *)
+      let s = Server.stats srv in
+      check Alcotest.int "stats RPCs counted apart" 2 s.Server.stats_served;
+      check Alcotest.int "parsed untouched by stats" n s.Server.parsed;
+      check Alcotest.int "parsed = dispatched + shed" s.Server.parsed
+        (s.Server.dispatched + s.Server.shed);
+      (* in-process accessors agree with the RPC body *)
+      let merged = Tq_serve.Server.merged_counters srv in
+      check Alcotest.int "merged dispatcher counter" n
+        (Tq_obs.Counters.find_count merged "serve.parsed");
+      check Alcotest.bool "workers ran quanta" true
+        (Tq_obs.Counters.find_count merged "runtime.quanta" > 0);
+      check Alcotest.bool "sojourns recorded" true
+        (Tq_obs.Latency.count (Tq_obs.Latency.recorder (Server.latency srv) "all") = n);
+      Client.close client)
+
+let test_shed_visible_in_stats () =
+  (* rx_depth 1: with a pipelined burst nearly everything sheds, and the
+     Stats RPC must show it while keeping the accounting identity *)
+  with_server { base_config with rx_depth = 1 } (fun srv ->
+      let n = 300 in
+      let client = Client.connect ~port:(Server.port srv) () in
+      for i = 0 to n - 1 do
+        Client.send client ~req_id:i (Protocol.Echo { spin_ns = 1_000; payload = "x" })
+      done;
+      let shed = ref 0 and ok = ref 0 in
+      for _ = 1 to n do
+        match (Client.recv client).Protocol.status with
+        | Protocol.Shed -> incr shed
+        | Protocol.Ok -> incr ok
+        | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg
+      done;
+      check Alcotest.bool "the gate shed something" true (!shed > 0);
+      check Alcotest.int "every send answered" n (!shed + !ok);
+      let body = Client.stats client in
+      check Alcotest.bool "shed visible in the snapshot" true
+        (contains body (Printf.sprintf "\"shed\": %d" !shed));
+      let s = Server.stats srv in
+      check Alcotest.int "client and server agree on sheds" !shed s.Server.shed;
+      check Alcotest.int "parsed = dispatched + shed" s.Server.parsed
+        (s.Server.dispatched + s.Server.shed);
+      let merged = Server.merged_counters srv in
+      check Alcotest.int "per-class shed counter" !shed
+        (Tq_obs.Counters.find_count merged "serve.shed.echo");
+      Client.close client)
+
+let test_cross_domain_spans () =
+  let spans = Tq_obs.Span.create ~capacity_per_sink:4096 () in
+  let srv = Server.create ~spans base_config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 100 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  run_batch client n;
+  let trace = Client.stats ~view:Protocol.Stats_trace client in
+  Client.close client;
+  Server.stop srv;
+  Thread.join th;
+  check Alcotest.bool "trace view serves chrome json" true
+    (contains trace "\"traceEvents\"" && contains trace "\"name\":\"quantum\"");
+  let records = Tq_obs.Span.merge spans in
+  check Alcotest.bool "spans recorded" true (List.length records > 0);
+  check Alcotest.int "nothing dropped at this volume" 0 (Tq_obs.Span.dropped spans);
+  (* each phase of the pipeline shows up *)
+  List.iter
+    (fun phase ->
+      check Alcotest.bool
+        (Printf.sprintf "phase %s present" (Tq_obs.Span.phase_name phase))
+        true
+        (List.exists (fun (r : Tq_obs.Span.record) -> r.Tq_obs.Span.phase = phase) records))
+    [
+      Tq_obs.Span.Accept;
+      Tq_obs.Span.Parse;
+      Tq_obs.Span.Dispatch;
+      Tq_obs.Span.Ring_hop;
+      Tq_obs.Span.Quantum;
+      Tq_obs.Span.Reply_flush;
+    ];
+  (* the tentpole property: one request id observed on the dispatcher
+     lane AND a worker lane — the cross-domain stitch *)
+  let dispatcher_ids, worker_ids =
+    List.fold_left
+      (fun (d, w) (r : Tq_obs.Span.record) ->
+        if r.Tq_obs.Span.req_id < 0 then (d, w)
+        else
+          match r.Tq_obs.Span.lane with
+          | Tq_obs.Event.Dispatcher _ -> (r.Tq_obs.Span.req_id :: d, w)
+          | Tq_obs.Event.Worker _ -> (d, r.Tq_obs.Span.req_id :: w)
+          | Tq_obs.Event.Global -> (d, w))
+      ([], []) records
+  in
+  let stitched =
+    List.filter (fun id -> List.mem id worker_ids) dispatcher_ids |> List.sort_uniq compare
+  in
+  check Alcotest.bool "request ids stitch across domains" true
+    (List.length stitched >= n / 2);
+  (* every dispatched request produced exactly one Quantum-per-slice
+     chain ending in a completion: ids on worker lanes are the
+     dispatcher-issued sequence, so they are dense from 0 *)
+  let s = Server.stats srv in
+  check Alcotest.int "server answered the batch" n s.Server.completed
+
 let suite =
   [
     Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
@@ -224,4 +376,7 @@ let suite =
     Alcotest.test_case "reassembly oversized" `Quick test_reassembly_rejects_oversized;
     Alcotest.test_case "loopback smoke" `Quick test_loopback_smoke;
     Alcotest.test_case "drain under load" `Quick test_drain_under_load;
+    Alcotest.test_case "stats rpc" `Quick test_stats_rpc;
+    Alcotest.test_case "shed visible in stats" `Quick test_shed_visible_in_stats;
+    Alcotest.test_case "cross-domain spans" `Quick test_cross_domain_spans;
   ]
