@@ -3,14 +3,17 @@
    library's own primitives with Bechamel.
 
      dune exec bench/main.exe -- [--jobs N] [--no-cache] [--parallel-bench [FILE]]
-                                 [--obs-bench [FILE]]
+                                 [--obs-bench [FILE]] [--profile-bench [FILE]]
 
    The sweep grid fans out over OCaml 5 domains (--jobs or TQ_JOBS,
    default: recommended domain count) and completed points are served
    from _tq_cache/ unless --no-cache.  --parallel-bench times the
    standard sweep at jobs=1 vs jobs=max and writes BENCH_parallel.json
    instead of running the full harness; --obs-bench measures the span
-   record path on vs off and writes BENCH_obs_serve.json.
+   record path on vs off and writes BENCH_obs_serve.json;
+   --profile-bench measures the latency-attribution machinery
+   (decomposition throughput, disabled-hook costs) and writes
+   BENCH_profile.json.
 
    Simulated durations scale with TQ_BENCH_SCALE (default 1.0).
    EXPERIMENTS.md records paper-vs-measured for each experiment. *)
@@ -72,9 +75,9 @@ let run_parallel_bench ~out () =
     |> String.concat ", "
   in
   let oc = open_out out in
+  output_string oc ("{\n" ^ Tq_util.Bench_meta.json_fields ());
   Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"parallel standard sweep (every registry point)\",\n\
+    "\  \"benchmark\": \"parallel standard sweep (every registry point)\",\n\
     \  \"tq_bench_scale\": %g,\n\
     \  \"host_cores\": %d,\n\
     \  \"grid_points\": %d,\n\
@@ -294,15 +297,98 @@ let run_obs_bench ~out () =
   print_newline ();
   let num = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
   let oc = open_out out in
+  output_string oc ("{\n" ^ Tq_util.Bench_meta.json_fields ());
   Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"cross-domain span record path (tq_serve observability)\",\n\
+    "\  \"benchmark\": \"cross-domain span record path (tq_serve observability)\",\n\
     \  \"enabled_ns_per_run\": %s,\n\
     \  \"enabled_minor_words_per_run\": %s,\n\
     \  \"disabled_ns_per_run\": %s,\n\
     \  \"disabled_minor_words_per_run\": %s\n\
      }\n"
     (num (fst enabled)) (num (snd enabled)) (num (fst disabled)) (num (snd disabled));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+(* Profiling-path overhead: what the latency-attribution machinery
+   costs.  Three numbers matter — how fast [Profile.of_records]
+   decomposes a realistic span stream (an offline/stats-RPC cost, so
+   "fast enough" is thousands of requests per ms), and what the two
+   disabled hot-path hooks cost per request when observability is off:
+   the null-sink span record (must stay 0 minor words, one branch) and
+   the gc-clock check at quantum end (a [match] on a [None] the
+   optimizer must not fold away, hence [Sys.opaque_identity]). *)
+
+let synthetic_stream n =
+  let lane_d = Tq_obs.Event.Dispatcher 0 in
+  let lane_w = Tq_obs.Event.Worker 0 in
+  let mk req_id phase lane start_ns dur_ns =
+    { Tq_obs.Span.req_id; phase; lane; start_ns; dur_ns; arg = 0 }
+  in
+  List.concat
+    (List.init n (fun i ->
+         let p0 = 100_000 * i in
+         (* parse 500, dispatch 300, hop, wait 400, two quanta with a
+            250ns preemption gap, reply flush 600 *)
+         [
+           mk i Tq_obs.Span.Parse lane_d p0 500;
+           mk i Tq_obs.Span.Dispatch lane_d (p0 + 500) 300;
+           mk i Tq_obs.Span.Ring_hop lane_w (p0 + 1_000) 0;
+           mk i Tq_obs.Span.Quantum lane_w (p0 + 1_400) 5_000;
+           mk i Tq_obs.Span.Quantum lane_w (p0 + 6_650) 3_000;
+           mk i Tq_obs.Span.Reply_flush lane_d (p0 + 9_650) 600;
+         ]))
+
+let run_profile_bench ~out () =
+  hr ();
+  print_endline "Latency-attribution overhead (decomposition + disabled hot paths)";
+  hr ();
+  let n = 10_000 in
+  let stream = synthetic_stream n in
+  let decompose_test =
+    Test.make ~name:(Printf.sprintf "profile decompose (%d reqs)" n)
+      (Staged.stage (fun () -> ignore (Tq_obs.Profile.of_records stream)))
+  in
+  let decompose = print_ns_words decompose_test in
+  let span_disabled =
+    print_ns_words (make_span_test ~name:"span record (disabled)" Tq_obs.Span.null_sink)
+  in
+  let gc_check_test =
+    let gc_pause_ns : (unit -> int) option = Sys.opaque_identity None in
+    let acc = ref 0 in
+    Test.make ~name:"gc clock check (disabled)"
+      (Staged.stage (fun () ->
+           match gc_pause_ns with None -> incr acc | Some f -> acc := f ()))
+  in
+  let gc_check = print_ns_words gc_check_test in
+  (* Correctness ride-along: the synthetic stream must decompose
+     exactly, or the timing above measured the degraded path. *)
+  let p = Tq_obs.Profile.of_records stream in
+  assert (Tq_obs.Profile.requests p = n);
+  assert (Tq_obs.Profile.invariant_ok p);
+  print_newline ();
+  let num = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
+  let per_req = function
+    | Some v -> Printf.sprintf "%.1f" (v /. float_of_int n)
+    | None -> "null"
+  in
+  let oc = open_out out in
+  output_string oc ("{\n" ^ Tq_util.Bench_meta.json_fields ());
+  Printf.fprintf oc
+    "\  \"benchmark\": \"latency attribution overhead (tq_obs profile)\",\n\
+    \  \"decompose_requests\": %d,\n\
+    \  \"decompose_ns_per_request\": %s,\n\
+    \  \"decompose_exact_fraction\": %.4f,\n\
+    \  \"disabled_span_ns_per_run\": %s,\n\
+    \  \"disabled_span_minor_words_per_run\": %s,\n\
+    \  \"disabled_gc_check_ns_per_run\": %s,\n\
+    \  \"disabled_gc_check_minor_words_per_run\": %s\n\
+     }\n"
+    n (per_req (fst decompose))
+    (Tq_obs.Profile.exact_fraction p)
+    (num (fst span_disabled))
+    (num (snd span_disabled))
+    (num (fst gc_check))
+    (num (snd gc_check));
   close_out oc;
   Printf.printf "wrote %s\n%!" out
 
@@ -349,6 +435,7 @@ let () =
   let use_cache = ref true in
   let parallel_bench = ref None in
   let obs_bench = ref None in
+  let profile_bench = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -371,16 +458,23 @@ let () =
     | "--obs-bench" :: rest ->
         obs_bench := Some "BENCH_obs_serve.json";
         parse rest
+    | "--profile-bench" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        profile_bench := Some path;
+        parse rest
+    | "--profile-bench" :: rest ->
+        profile_bench := Some "BENCH_profile.json";
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs = 0 then Tq_par.Domain_pool.default_jobs () else !jobs in
-  match (!parallel_bench, !obs_bench) with
-  | Some out, _ -> run_parallel_bench ~out ()
-  | None, Some out -> run_obs_bench ~out ()
-  | None, None ->
+  match (!parallel_bench, !obs_bench, !profile_bench) with
+  | Some out, _, _ -> run_parallel_bench ~out ()
+  | None, Some out, _ -> run_obs_bench ~out ()
+  | None, None, Some out -> run_profile_bench ~out ()
+  | None, None, None ->
       run_experiments ~jobs ~use_cache:!use_cache ();
       run_microbenchmarks ();
       run_trace_overhead ();

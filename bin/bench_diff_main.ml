@@ -1,0 +1,122 @@
+(* tq_bench_diff: compare a fresh benchmark report against a committed
+   baseline with per-metric noise tolerances.
+
+   Exit 0 when every compared field is within tolerance and every bound
+   holds, 1 otherwise — the CI gate against silent performance and
+   accounting regressions:
+
+     tq_bench_diff --baseline BENCH_obs_serve.json --fresh fresh.json \
+       --tolerance 0.30 --tolerance '*_p99*=0.95' \
+       --bound 'disabled_minor_words_per_run=0.01' *)
+
+open Cmdliner
+
+let parse_rule what s =
+  (* Either a bare FRAC (sets the default) or PATTERN=FRAC. *)
+  match String.index_opt s '=' with
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> `Default f
+      | None ->
+          Printf.eprintf "bad --%s %S (expected FRAC or PATTERN=FRAC)\n" what s;
+          exit 2)
+  | Some eq -> (
+      let pat = String.sub s 0 eq in
+      let v = String.sub s (eq + 1) (String.length s - eq - 1) in
+      match float_of_string_opt v with
+      | Some f -> `Rule (pat, f)
+      | None ->
+          Printf.eprintf "bad --%s %S (value %S is not a number)\n" what s v;
+          exit 2)
+
+let load what path =
+  match Tq_util.Json.of_file path with
+  | Ok j -> j
+  | Error msg ->
+      Printf.eprintf "tq_bench_diff: cannot read %s %s: %s\n" what path msg;
+      exit 2
+
+let run baseline_path fresh_path tolerances bounds ignores abs_eps verbose quiet =
+  let baseline = load "baseline" baseline_path in
+  let fresh = load "fresh report" fresh_path in
+  let default_rel, rules =
+    List.fold_left
+      (fun (d, rules) spec ->
+        match parse_rule "tolerance" spec with
+        | `Default f -> (f, rules)
+        | `Rule (p, f) -> (d, rules @ [ (p, f) ]))
+      (Tq_util.Bench_diff.default_config.default_rel, [])
+      tolerances
+  in
+  let bounds =
+    List.map
+      (fun spec ->
+        match parse_rule "bound" spec with
+        | `Rule (p, f) -> (p, f)
+        | `Default _ ->
+            Printf.eprintf "bad --bound %S (expected PATTERN=MAX)\n" spec;
+            exit 2)
+      bounds
+  in
+  let config =
+    {
+      Tq_util.Bench_diff.default_rel;
+      rules;
+      bounds;
+      ignore_paths = Tq_util.Bench_diff.default_config.ignore_paths @ ignores;
+      abs_eps;
+    }
+  in
+  let findings = Tq_util.Bench_diff.compare ~config ~baseline ~fresh () in
+  if not quiet then begin
+    Printf.printf "tq_bench_diff: %s vs %s\n" baseline_path fresh_path;
+    print_string (Tq_util.Bench_diff.render ~verbose findings)
+  end;
+  if Tq_util.Bench_diff.passed findings then 0 else 1
+
+let () =
+  let baseline =
+    Arg.(required & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE" ~doc:"committed baseline BENCH_*.json")
+  in
+  let fresh =
+    Arg.(required & opt (some string) None
+         & info [ "fresh" ] ~docv:"FILE" ~doc:"freshly generated report to check")
+  in
+  let tolerance =
+    Arg.(value & opt_all string []
+         & info [ "tolerance" ] ~docv:"FRAC|PATTERN=FRAC"
+             ~doc:"relative tolerance: a bare fraction sets the default (0.25), \
+                   PATTERN=FRAC (repeatable, '*' globs, first match wins) \
+                   overrides per dotted field path, e.g. 'latency.*_p99*=0.95'")
+  in
+  let bound =
+    Arg.(value & opt_all string []
+         & info [ "bound" ] ~docv:"PATTERN=MAX"
+             ~doc:"hard upper bound on a fresh numeric field (repeatable); a \
+                   pattern matching no field is itself a failure, e.g. \
+                   'disabled_minor_words_per_run=0.01'")
+  in
+  let ignore_ =
+    Arg.(value & opt_all string []
+         & info [ "ignore" ] ~docv:"PATTERN"
+             ~doc:"exclude matching field paths from comparison (repeatable); \
+                   generated_at is always excluded")
+  in
+  let abs_eps =
+    Arg.(value & opt float 1e-9
+         & info [ "abs-eps" ] ~docv:"EPS"
+             ~doc:"absolute slack under which any numeric difference passes \
+                   (avoids 0-vs-epsilon false alarms)")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"also print passing comparisons")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"exit code only") in
+  let doc = "Diff two benchmark reports under per-metric noise tolerances." in
+  let cmd =
+    Cmd.v (Cmd.info "tq_bench_diff" ~version:"1.1.0" ~doc)
+      Term.(const run $ baseline $ fresh $ tolerance $ bound $ ignore_ $ abs_eps
+            $ verbose $ quiet)
+  in
+  exit (Cmd.eval' cmd)

@@ -21,7 +21,8 @@ let parse_slo s =
       exit 1
 
 let run host port rate connections warmup measure grace seed mix_spec spin_us json_out
-    quiet slo_specs stats_interval dashboard stats_json trace_out =
+    quiet slo_specs stats_interval dashboard stats_json trace_out breakdown
+    breakdown_json =
   let mix =
     match mix_spec with
     | None -> Tq_serve.Load_gen.default_mix
@@ -108,6 +109,25 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
       with e ->
         Printf.eprintf "tq_load: trace fetch failed: %s\n" (Printexc.to_string e))
   | None -> ());
+  (* Per-stage sojourn decomposition, fetched after the run so the
+     server's span buffers cover the measurement window. *)
+  (if breakdown || breakdown_json <> None then
+     try
+       let c = Tq_serve.Client.connect ~host ~port () in
+       let fetch view = Tq_serve.Client.stats ~view c in
+       if breakdown then
+         print_string (fetch Tq_serve.Protocol.Stats_breakdown_text);
+       (match breakdown_json with
+       | Some path ->
+           let body = fetch Tq_serve.Protocol.Stats_breakdown in
+           let oc = open_out path in
+           output_string oc body;
+           close_out oc;
+           if not quiet then Printf.printf "tq_load: wrote stage breakdown to %s\n" path
+       | None -> ());
+       Tq_serve.Client.close c
+     with e ->
+       Printf.eprintf "tq_load: breakdown fetch failed: %s\n" (Printexc.to_string e));
   if r.received = 0 then begin
     Printf.eprintf "tq_load: no responses received\n";
     exit 1
@@ -167,11 +187,25 @@ let () =
              ~doc:"after the run, fetch the server's span trace (Stats RPC) and \
                    write Chrome/Perfetto JSON to FILE (server needs --obs)")
   in
+  let breakdown =
+    Arg.(value & flag
+         & info [ "breakdown" ]
+             ~doc:"after the run, fetch the server's per-stage sojourn \
+                   decomposition (parse/dispatch/ring-hop/first-run-wait/\
+                   service/preempt/reply-flush) and print the table (server \
+                   needs --obs)")
+  in
+  let breakdown_json =
+    Arg.(value & opt (some string) None
+         & info [ "breakdown-json" ] ~docv:"FILE"
+             ~doc:"write the per-stage decomposition as JSON \
+                   (BENCH_breakdown.json shape) to FILE (server needs --obs)")
+  in
   let doc = "Open-loop Poisson load generator for tq_serve." in
   let cmd =
     Cmd.v (Cmd.info "tq_load" ~version:"1.1.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
             $ seed $ mix $ spin $ json $ quiet $ slo $ stats_interval $ dashboard
-            $ stats_json $ trace)
+            $ stats_json $ trace $ breakdown $ breakdown_json)
   in
   exit (Cmd.eval cmd)

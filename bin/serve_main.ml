@@ -7,7 +7,7 @@
 open Cmdliner
 
 let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out
-    obs obs_capacity trace_out =
+    obs obs_capacity trace_out gc_events =
   let admission =
     match admission with
     | "accept-all" -> Tq_sched.Admission.Accept_all
@@ -43,7 +43,14 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       Tq_obs.Span.create ~capacity_per_sink:obs_capacity ()
     else Tq_obs.Span.null
   in
-  let server = Tq_serve.Server.create ~spans config in
+  (* GC telemetry rides along whenever observability is on (spans get a
+     gc track, stalls get attributed); --no-gc-events opts out. *)
+  let gc =
+    if gc_events && (obs || trace_out <> None) then
+      Some (Tq_obs.Gc_events.start ~spans ())
+    else None
+  in
+  let server = Tq_serve.Server.create ~spans ?gc config in
   let stop _ = Tq_serve.Server.stop server in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
@@ -72,6 +79,9 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       output_string oc (summary ^ "\n");
       close_out oc
   | None -> ());
+  (* Stop the GC consumer before the trace is written so the last
+     pauses make the gc track. *)
+  Option.iter Tq_obs.Gc_events.stop gc;
   (match trace_out with
   | Some path ->
       Tq_obs.Span.write_file spans path;
@@ -138,10 +148,18 @@ let () =
              ~doc:"write the merged span trace as Chrome/Perfetto JSON on exit \
                    (implies --obs)")
   in
+  let gc_events =
+    Arg.(value & opt bool true
+         & info [ "gc-events" ] ~docv:"BOOL"
+             ~doc:"with --obs/--trace-out, consume OCaml Runtime_events: GC pause \
+                   spans on per-domain gc tracks, gc.* counters, and stall \
+                   attribution (runtime.stall_gc vs stall_other); default true")
+  in
   let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
   let cmd =
     Cmd.v (Cmd.info "tq_serve" ~version:"1.1.0" ~doc)
       Term.(const serve $ host $ port $ cores $ quantum $ ring $ rx_depth $ admission
-            $ kv_keys $ duration $ stats_out $ obs $ obs_capacity $ trace_out)
+            $ kv_keys $ duration $ stats_out $ obs $ obs_capacity $ trace_out
+            $ gc_events)
   in
   exit (Cmd.eval cmd)

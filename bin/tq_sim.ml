@@ -295,6 +295,7 @@ let faults_run system_name workload_name quick json =
     let points = Tq_experiments.Faults.goodput_points ~quick ~system ~workload () in
     let n = List.length points in
     print_string "{\n";
+    print_string (Tq_util.Bench_meta.json_fields ());
     Printf.printf "  \"experiment\": \"faults\",\n";
     Printf.printf "  \"system\": %S,\n" system_name;
     Printf.printf "  \"workload\": %S,\n" workload.Tq_workload.Service_dist.name;

@@ -5,7 +5,7 @@
    track per dispatcher core and per worker core.  Events that precede
    core assignment (client-side arrival) go on [Global]. *)
 
-type lane = Global | Dispatcher of int | Worker of int
+type lane = Global | Dispatcher of int | Worker of int | Gc of int
 
 type t =
   | Job_arrival of { job_id : int; class_idx : int; service_ns : int }
@@ -46,10 +46,15 @@ let lane_name = function
   | Global -> "global"
   | Dispatcher d -> Printf.sprintf "dispatcher %d" d
   | Worker w -> Printf.sprintf "worker %d" w
+  | Gc d -> Printf.sprintf "gc domain %d" d
 
 (* Stable Chrome-trace thread ids: global, then dispatchers, then
-   workers, so Perfetto sorts lanes in pipeline order. *)
-let lane_tid = function Global -> 0 | Dispatcher d -> 1 + d | Worker w -> 100 + w
+   workers, then GC lanes, so Perfetto sorts lanes in pipeline order. *)
+let lane_tid = function
+  | Global -> 0
+  | Dispatcher d -> 1 + d
+  | Worker w -> 100 + w
+  | Gc d -> 200 + d
 
 let name = function
   | Job_arrival _ -> "job_arrival"

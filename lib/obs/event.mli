@@ -8,8 +8,10 @@
 
 (** The hardware context an event happened on — one Perfetto track per
     dispatcher core and per worker core.  Events that precede core
-    assignment (client-side arrival) go on [Global]. *)
-type lane = Global | Dispatcher of int | Worker of int
+    assignment (client-side arrival) go on [Global].  [Gc d] is the
+    per-domain garbage-collector track ({!Gc_events} owns it: GC pause
+    spans render alongside, not inside, domain [d]'s worker lane). *)
+type lane = Global | Dispatcher of int | Worker of int | Gc of int
 
 type t =
   | Job_arrival of { job_id : int; class_idx : int; service_ns : int }

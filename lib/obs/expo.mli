@@ -5,25 +5,45 @@
     module so that any scraper (or [tq_load --stats-interval]) can read
     a running server.  Metric names are sanitized (every character
     outside [[a-zA-Z0-9_]] becomes ['_']), counters gain the
-    conventional [_total] suffix, power-of-two {!Counters.dist}s render
-    as cumulative histograms, and {!Latency} recorders render as
-    summaries with a [class] label per recorder. *)
+    conventional [_total] suffix, label values get the format's
+    escaping (backslash, double quote, newline — and nothing else),
+    every family carries [# HELP] and [# TYPE] headers, and histogram
+    families terminate with a [+Inf] bucket plus [_sum] / [_count].
+    {!lint} re-checks all of that on rendered output, promtool-style,
+    so CI can gate the real scrape. *)
 
 (** [sanitize name] — [name] with every character outside
     [[a-zA-Z0-9_]] replaced by ['_']. *)
 val sanitize : string -> string
 
+(** [escape_label v] — [v] with backslash, double quote and newline
+    escaped as the exposition format requires (and no other escaping,
+    unlike OCaml's [%S]). *)
+val escape_label : string -> string
+
 (** [render ?prefix registries] — the text exposition of every metric
     in [registries], each entry a label set and the registry it
     describes (e.g. [([], dispatcher_reg)] and
-    [([("worker", "0")], w0_reg)]).  The [# TYPE] header is emitted once
-    per metric name even when several registries carry it; names are
-    prefixed with [prefix] (default ["tq"]). *)
+    [([("worker", "0")], w0_reg)]).  The [# HELP] / [# TYPE] headers
+    are emitted once per metric name even when several registries carry
+    it; names are prefixed with [prefix] (default ["tq"]);
+    {!Counters.dist}s render as cumulative [+Inf]-terminated
+    histograms. *)
 val render : ?prefix:string -> ((string * string) list * Counters.t) list -> string
 
 (** [render_latency ?prefix ~name ?labels lat] — every recorder of
-    [lat] as one Prometheus summary named [prefix ^ "_" ^ name], the
-    recorder name as its [class] label, with the p50/p90/p99/p99.9
-    quantile ladder plus [_sum] and [_count]. *)
+    [lat] as two families: a real histogram named
+    [prefix ^ "_" ^ name] (log-bucketed, cumulative, [+Inf]-terminated,
+    with [_sum] / [_count] — aggregatable by the scraper) and a
+    pre-computed p50/p90/p99/p99.9 summary under [..._quantiles], each
+    recorder distinguished by its [class] label. *)
 val render_latency :
   ?prefix:string -> name:string -> ?labels:(string * string) list -> Latency.t -> string
+
+(** [lint text] — validate an exposition the way
+    [promtool check metrics] would: every sample needs a declared
+    [# TYPE] (and every TYPE a HELP), counter names end in [_total],
+    metric names are well-formed, histogram series are cumulative, end
+    in a [le="+Inf"] bucket that equals [_count], and carry [_sum].
+    Returns the list of problems — empty means conformant. *)
+val lint : string -> string list

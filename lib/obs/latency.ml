@@ -40,6 +40,7 @@ let count r = Histogram.count r.hist
 let percentile r p = if count r = 0 then 0 else Histogram.percentile r.hist p
 let mean r = Histogram.mean r.hist
 let max_ns r = Histogram.max_recorded r.hist
+let iter_buckets r f = Histogram.iter_buckets r.hist f
 let clear r = Histogram.clear r.hist
 let clear_all t = Hashtbl.iter (fun _ r -> clear r) t.table
 

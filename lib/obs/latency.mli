@@ -56,6 +56,12 @@ val mean : recorder -> float
 (** Largest sample recorded. *)
 val max_ns : recorder -> int
 
+(** [iter_buckets r f] calls [f ~lo ~hi ~count] on each non-empty
+    underlying histogram bucket covering [[lo, hi)], in increasing
+    order — what {!Expo} renders as a cumulative Prometheus
+    histogram. *)
+val iter_buckets : recorder -> (lo:int -> hi:int -> count:int -> unit) -> unit
+
 (** [clear r] forgets every sample (e.g. at the end of a warmup
     window). *)
 val clear : recorder -> unit

@@ -22,6 +22,8 @@ type phase =
   | Reply_flush
   | Stall
   | Shed
+  | Gc_minor
+  | Gc_major
 
 let phase_name = function
   | Accept -> "accept"
@@ -32,6 +34,8 @@ let phase_name = function
   | Reply_flush -> "reply_flush"
   | Stall -> "stall"
   | Shed -> "shed"
+  | Gc_minor -> "gc_minor"
+  | Gc_major -> "gc_major"
 
 type record = {
   req_id : int;

@@ -16,7 +16,9 @@
 (** One step of a request's journey through the server, in pipeline
     order.  [Quantum] and [Stall] are core-level ([Stall] marks a
     wall-clock gap ≫ quantum between consecutive quanta on one domain —
-    a GC pause or an OS preemption made visible). *)
+    a GC pause or an OS preemption made visible).  [Gc_minor] and
+    [Gc_major] are per-domain collector pauses recorded by
+    {!Gc_events} on the [Event.Gc] lanes. *)
 type phase =
   | Accept
   | Parse
@@ -26,6 +28,8 @@ type phase =
   | Reply_flush
   | Stall
   | Shed
+  | Gc_minor
+  | Gc_major
 
 (** Lower-case stable name, used as the Perfetto event name. *)
 val phase_name : phase -> string

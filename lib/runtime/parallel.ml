@@ -20,7 +20,7 @@ type t = {
 }
 
 let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
-    ~stall_threshold_ns =
+    ~stall_threshold_ns ~gc_pause_ns =
   let clock = Clock.wall () in
   let obs =
     match reg with
@@ -31,25 +31,47 @@ let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
   let spans_on = Span.enabled spans in
   let creg = obs.Tq_obs.Obs.counters in
   let c_stalls = Counters.counter creg "runtime.stalls" in
+  let c_stall_gc = Counters.counter creg "runtime.stall_gc" in
+  let c_stall_other = Counters.counter creg "runtime.stall_other" in
+  let c_stall_unknown = Counters.counter creg "runtime.stall_unknown" in
   let d_stall_gap = Counters.dist creg "runtime.stall_gap_ns" in
   (* Wall-clock-gap stall detector: consecutive busy slices separated by
      much more than a quantum mean the domain lost the CPU between them
      (GC pause, OS preemption).  [last_end] resets on idle polls so time
-     spent legitimately waiting for work never counts. *)
+     spent legitimately waiting for work never counts.
+
+     Attribution: [gc_pause_ns] (when wired, from Gc_events) reads this
+     domain's cumulative GC pause clock; if GC pauses grew by at least
+     half the gap since the previous quantum end, the runtime ate the
+     core — otherwise the OS (or an antagonist) did.  The GC clock lags
+     the live domain by the consumer's poll interval, so a pause right
+     at the gap's edge can land in [stall_other]; the counters are a
+     classifier, not an audit. *)
   let last_end = ref (-1) in
+  let gc_at_last_end = ref 0 in
   let on_quantum ~task_id ~start_ns ~end_ns ~finished =
     if !last_end >= 0 && start_ns - !last_end > stall_threshold_ns then begin
+      let gap = start_ns - !last_end in
       Counters.incr c_stalls;
-      Counters.observe d_stall_gap (start_ns - !last_end);
+      Counters.observe d_stall_gap gap;
+      (match gc_pause_ns with
+      | None -> Counters.incr c_stall_unknown
+      | Some f ->
+          let gc_delta = f () - !gc_at_last_end in
+          if 2 * gc_delta >= gap then Counters.incr c_stall_gc
+          else Counters.incr c_stall_other);
       if spans_on then
         Span.record sink ~req_id:(-1) ~phase:Span.Stall ~start_ns:!last_end
-          ~dur_ns:(start_ns - !last_end) ~arg:wid
+          ~dur_ns:gap ~arg:wid
     end;
     if spans_on then
       Span.record sink ~req_id:task_id ~phase:Span.Quantum ~start_ns
         ~dur_ns:(end_ns - start_ns)
         ~arg:(if finished then 1 else 0);
-    last_end := end_ns
+    last_end := end_ns;
+    match gc_pause_ns with
+    | None -> ()
+    | Some f -> gc_at_last_end := f ()
   in
   let worker =
     Task_worker.create ~obs ~wid ~track_probes ~on_quantum ~clock ~quantum_ns
@@ -98,7 +120,7 @@ let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
   loop ()
 
 let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
-    ?(spans = Span.null) ?worker_counters ?stall_threshold_ns () =
+    ?(spans = Span.null) ?worker_counters ?stall_threshold_ns ?gc_pause_ns () =
   if workers < 1 then invalid_arg "Parallel.create: need at least one worker";
   (match worker_counters with
   | Some regs when Array.length regs <> workers ->
@@ -126,7 +148,7 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
         let reg = Option.map (fun regs -> regs.(wid)) worker_counters in
         Domain.spawn (fun () ->
             worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
-              ~stall_threshold_ns))
+              ~stall_threshold_ns ~gc_pause_ns))
       handles
   in
   { handles; domains; stop; live = true; next_tag = 0 }

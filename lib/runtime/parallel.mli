@@ -46,7 +46,14 @@ type t
       gap larger than this between consecutive busy slices on one worker
       counts as a stall (GC pause / OS preemption): bumped on
       [runtime.stalls], observed in [runtime.stall_gap_ns], and recorded
-      as a [Stall] span when spans are on.  Idle waiting never counts. *)
+      as a [Stall] span when spans are on.  Idle waiting never counts.
+    - [gc_pause_ns] — a per-domain cumulative GC pause clock (wire
+      [Tq_obs.Gc_events.self_pause_ns]); each worker calls it from its
+      own domain at quantum boundaries to attribute stalls: a gap at
+      least half explained by GC pause growth bumps [runtime.stall_gc],
+      otherwise [runtime.stall_other].  Without the hook every stall
+      lands in [runtime.stall_unknown] and the quantum path pays one
+      extra branch, nothing else. *)
 val create :
   ?workers:int ->
   ?quantum_ns:int ->
@@ -54,6 +61,7 @@ val create :
   ?spans:Tq_obs.Span.t ->
   ?worker_counters:Tq_obs.Counters.t array ->
   ?stall_threshold_ns:int ->
+  ?gc_pause_ns:(unit -> int) ->
   unit ->
   t
 

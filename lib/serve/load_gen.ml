@@ -317,6 +317,7 @@ let run config =
 let to_json config r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b (Tq_util.Bench_meta.json_fields ());
   Buffer.add_string b "  \"benchmark\": \"tq_serve loopback\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"connections\": %d,\n  \"offered_rps\": %.0f,\n"

@@ -10,7 +10,12 @@
      response: req_id:u64  status:u8  body
        status 0 Ok, 1 Shed, 2 Error (body = message) *)
 
-type stats_view = Stats_json | Stats_text | Stats_trace
+type stats_view =
+  | Stats_json
+  | Stats_text
+  | Stats_trace
+  | Stats_breakdown
+  | Stats_breakdown_text
 
 type request =
   | Echo of { spin_ns : int; payload : string }
@@ -46,12 +51,19 @@ let steering_key = function
   | Kv_get { key } | Kv_set { key; _ } -> Some key
   | Echo _ | Tpcc _ | Stats _ -> None
 
-let view_tag = function Stats_json -> 0 | Stats_text -> 1 | Stats_trace -> 2
+let view_tag = function
+  | Stats_json -> 0
+  | Stats_text -> 1
+  | Stats_trace -> 2
+  | Stats_breakdown -> 3
+  | Stats_breakdown_text -> 4
 
 let view_of_tag = function
   | 0 -> Some Stats_json
   | 1 -> Some Stats_text
   | 2 -> Some Stats_trace
+  | 3 -> Some Stats_breakdown
+  | 4 -> Some Stats_breakdown_text
   | _ -> None
 
 let kind_tag : Tq_tpcc.Transactions.kind -> int = function

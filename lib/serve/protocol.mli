@@ -14,10 +14,18 @@
 
 (** What a {!request.Stats} call asks the server to render: the live
     metrics snapshot as JSON, the same snapshot as Prometheus text
-    exposition ({!Tq_obs.Expo}), or the merged request-span trace as
-    Chrome trace-event JSON ({!Tq_obs.Span.to_chrome}; empty-ish unless
-    the server runs with spans enabled). *)
-type stats_view = Stats_json | Stats_text | Stats_trace
+    exposition ({!Tq_obs.Expo}), the merged request-span trace as
+    Chrome trace-event JSON ({!Tq_obs.Span.to_chrome}), or the
+    per-stage sojourn decomposition ({!Tq_obs.Profile}) as JSON or as
+    the human-readable table.  The trace and breakdown views need the
+    server running with spans enabled ([--obs] / a trace file);
+    otherwise the breakdown views answer with an [Error] status. *)
+type stats_view =
+  | Stats_json
+  | Stats_text
+  | Stats_trace
+  | Stats_breakdown
+  | Stats_breakdown_text
 
 (** One RPC request. *)
 type request =

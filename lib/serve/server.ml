@@ -12,6 +12,8 @@ module Span = Tq_obs.Span
 module Event = Tq_obs.Event
 module Latency = Tq_obs.Latency
 module Expo = Tq_obs.Expo
+module Profile = Tq_obs.Profile
+module Gc_events = Tq_obs.Gc_events
 module Reassembly = Protocol.Reassembly
 
 type config = {
@@ -104,6 +106,7 @@ type t = {
   spans : Span.t;
   disp_sink : Span.sink;
   spans_on : bool;
+  gc : Gc_events.t option;
   latency : Latency.t;
   lat_all : Latency.recorder;
   lat_class : Latency.recorder array;
@@ -130,7 +133,7 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let per_class f =
   Array.init Protocol.class_count (fun i -> f (Protocol.class_name i))
 
-let create ?(obs = Obs.disabled ()) ?(spans = Span.null) config =
+let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
   if config.workers < 1 then invalid_arg "Server.create: need at least one worker";
   if config.rx_depth < 1 then invalid_arg "Server.create: rx_depth must be positive";
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -153,7 +156,9 @@ let create ?(obs = Obs.disabled ()) ?(spans = Span.null) config =
     port;
     pool =
       Parallel.create ~workers:config.workers ~quantum_ns:config.quantum_ns
-        ~ring_capacity:config.ring_capacity ~spans ~worker_counters:worker_regs ();
+        ~ring_capacity:config.ring_capacity ~spans ~worker_counters:worker_regs
+        ?gc_pause_ns:(Option.map (fun g () -> Gc_events.self_pause_ns g) gc)
+        ();
     apps =
       Array.init config.workers (fun i ->
           App.create ~kv_keys:config.kv_keys
@@ -181,6 +186,7 @@ let create ?(obs = Obs.disabled ()) ?(spans = Span.null) config =
     spans;
     disp_sink = Span.register spans (Event.Dispatcher 0);
     spans_on = Span.enabled spans;
+    gc;
     latency;
     lat_all = Latency.recorder latency "all";
     lat_class = per_class (fun name -> Latency.recorder latency name);
@@ -237,9 +243,12 @@ let refresh_gauges t =
 (* Everything, one registry: dispatcher serve.* merged with the workers'
    runtime.* (lock-free eventually-consistent reads; see the Counters
    ownership rule). *)
+let gc_registries t =
+  match t.gc with None -> [] | Some g -> [ Gc_events.counters g ]
+
 let merged_counters t =
   refresh_gauges t;
-  Counters.merged (t.disp_reg :: Array.to_list t.worker_regs)
+  Counters.merged ((t.disp_reg :: Array.to_list t.worker_regs) @ gc_registries t)
 
 let snapshot_json t =
   refresh_gauges t;
@@ -279,6 +288,19 @@ let snapshot_json t =
        (Counters.find_count merged "runtime.yields")
        (Counters.find_count merged "runtime.completions")
        (Counters.find_count merged "runtime.stalls"));
+  (match t.gc with
+  | None -> ()
+  | Some g ->
+      let greg = Gc_events.counters g in
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"gc\": {\"minor_pauses\": %d, \"major_pauses\": %d, \"events_lost\": \
+            %d, \"stall_gc\": %d, \"stall_other\": %d},\n"
+           (Counters.find_count greg "gc.minor_pauses")
+           (Counters.find_count greg "gc.major_pauses")
+           (Counters.find_count greg "gc.events_lost")
+           (Counters.find_count merged "runtime.stall_gc")
+           (Counters.find_count merged "runtime.stall_other")));
   (if t.spans_on then
      Buffer.add_string b
        (Printf.sprintf "  \"spans\": {\"total\": %d, \"dropped\": %d},\n"
@@ -287,6 +309,8 @@ let snapshot_json t =
     (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json t.latency));
   Buffer.contents b
 
+let breakdown t = Profile.of_records (Span.merge t.spans)
+
 let prometheus t =
   refresh_gauges t;
   let registries =
@@ -294,8 +318,21 @@ let prometheus t =
     :: List.mapi
          (fun i reg -> ([ ("role", "worker"); ("worker", string_of_int i) ], reg))
          (Array.to_list t.worker_regs)
+    @ (match t.gc with
+      | None -> []
+      | Some g -> [ ([ ("role", "gc") ], Gc_events.counters g) ])
   in
-  Expo.render registries ^ Expo.render_latency ~name:"serve_sojourn_ns" t.latency
+  Expo.render registries
+  (* per-class HDR latency; named apart from the serve.sojourn_ns
+     power-of-two dist, which already renders as tq_serve_sojourn_ns *)
+  ^ Expo.render_latency ~name:"serve_latency_ns" t.latency
+  ^
+  (* Per-stage series come from decomposing the live span buffers — a
+     merge per scrape, fine at scrape cadence, meaningless without
+     spans. *)
+  if t.spans_on then
+    Expo.render_latency ~name:"serve_stage_ns" (Profile.latency (breakdown t))
+  else ""
 
 (* {2 Dispatch} *)
 
@@ -317,18 +354,37 @@ let serve_stats t conn req_id view =
   Counters.incr t.c_stats_served;
   let body =
     match view with
-    | Protocol.Stats_json -> snapshot_json t
-    | Protocol.Stats_text -> prometheus t
-    | Protocol.Stats_trace -> Span.to_chrome t.spans
+    | Protocol.Stats_json -> Ok (snapshot_json t)
+    | Protocol.Stats_text -> Ok (prometheus t)
+    | Protocol.Stats_trace -> Ok (Span.to_chrome t.spans)
+    | Protocol.Stats_breakdown | Protocol.Stats_breakdown_text ->
+        if not t.spans_on then
+          Error "stage breakdown needs spans: run the server with --obs"
+        else
+          let p = breakdown t in
+          Ok
+            (match view with
+            | Protocol.Stats_breakdown -> Profile.to_json p
+            | _ -> Profile.render p)
   in
   let resp =
-    if String.length body <= Protocol.max_frame_bytes - 16 then
-      { Protocol.req_id; status = Protocol.Ok; body }
-    else { Protocol.req_id; status = Protocol.Error "stats body too large"; body = "" }
+    match body with
+    | Error msg -> { Protocol.req_id; status = Protocol.Error msg; body = "" }
+    | Ok body ->
+        if String.length body <= Protocol.max_frame_bytes - 16 then
+          { Protocol.req_id; status = Protocol.Ok; body }
+        else
+          { Protocol.req_id; status = Protocol.Error "stats body too large"; body = "" }
   in
   Protocol.encode_response conn.wb resp
 
-let dispatch t conn req_id req =
+(* [p0] is the parse-start stamp from [parse_frames] (0 when spans are
+   off): the request's first boundary.  A dispatched request gets a
+   per-request [Parse] span [p0, t0) under its span id so the stage
+   decomposition can telescope from the very first touch; a shed
+   request gets a [Shed] span covering [p0, decision) — the time we
+   spent on a request we then refused. *)
+let dispatch t conn ~p0 req_id req =
   let class_idx = Protocol.class_of_request req in
   t.tallies.t_parsed <- t.tallies.t_parsed + 1;
   Counters.incr t.c_parsed;
@@ -342,8 +398,9 @@ let dispatch t conn req_id req =
     Counters.incr t.c_shed;
     Counters.incr t.c_shed_by.(class_idx);
     if t.spans_on then
-      Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:(now_ns ())
-        ~dur_ns:0 ~arg:class_idx;
+      Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:p0
+        ~dur_ns:(max 0 (now_ns () - p0))
+        ~arg:class_idx;
     shed_response conn req_id
   end
   else begin
@@ -383,9 +440,12 @@ let dispatch t conn req_id req =
       t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
       Counters.incr t.c_dispatched;
       Counters.incr t.c_dispatched_by.(class_idx);
-      if t.spans_on then
+      if t.spans_on then begin
+        Span.record t.disp_sink ~req_id:sid ~phase:Span.Parse ~start_ns:p0
+          ~dur_ns:(max 0 (t0 - p0)) ~arg:conn.cid;
         Span.record t.disp_sink ~req_id:sid ~phase:Span.Dispatch ~start_ns:t0
           ~dur_ns:(now_ns () - t0) ~arg:w
+      end
     end
     else begin
       (* the chosen core's ring is full: backpressure, shed at the door *)
@@ -393,8 +453,9 @@ let dispatch t conn req_id req =
       Counters.incr t.c_shed;
       Counters.incr t.c_shed_by.(class_idx);
       if t.spans_on then
-        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:(now_ns ())
-          ~dur_ns:0 ~arg:class_idx;
+        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:p0
+          ~dur_ns:(max 0 (now_ns () - p0))
+          ~arg:class_idx;
       shed_response conn req_id
     end
   end
@@ -413,12 +474,9 @@ let rec parse_frames t conn =
             t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
             close_conn t conn
         | Ok (req_id, req) ->
-            if t.spans_on then
-              Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Parse ~start_ns:p0
-                ~dur_ns:(now_ns () - p0) ~arg:conn.cid;
             (match req with
             | Protocol.Stats { view } -> serve_stats t conn req_id view
-            | _ -> dispatch t conn req_id req);
+            | _ -> dispatch t conn ~p0 req_id req);
             parse_frames t conn)
 
 let rec accept_new t progress =

@@ -66,7 +66,7 @@ type stats = {
 
 type t
 
-(** [create ?obs ?spans config] binds and listens (raising
+(** [create ?obs ?spans ?gc config] binds and listens (raising
     [Unix.Unix_error] on e.g. a busy port) and spawns the worker pool.
 
     [obs] receives the dispatcher-owned [serve.*] counters (aggregate
@@ -79,8 +79,17 @@ type t
     cross-domain request spans: the dispatcher records
     accept/parse/dispatch/shed/reply-flush on its own sink, workers
     record ring-hop/quantum/stall on theirs, all stitched by request id
-    ({!Tq_obs.Span.merge}) into one Perfetto timeline. *)
-val create : ?obs:Tq_obs.Obs.t -> ?spans:Tq_obs.Span.t -> config -> t
+    ({!Tq_obs.Span.merge}) into one Perfetto timeline.
+
+    [gc] (a running {!Tq_obs.Gc_events} consumer) wires GC telemetry
+    in: workers attribute wall-clock stalls to GC vs OS preemption
+    ([runtime.stall_gc] / [runtime.stall_other] instead of
+    [runtime.stall_unknown]), and the GC registry joins the snapshot,
+    the Prometheus exposition (as [role="gc"]) and {!merged_counters}.
+    Start it with the same span collection to also get GC pause spans
+    in the trace. *)
+val create :
+  ?obs:Tq_obs.Obs.t -> ?spans:Tq_obs.Span.t -> ?gc:Tq_obs.Gc_events.t -> config -> t
 
 (** The actually bound port — [config.port] unless that was 0. *)
 val port : t -> int
@@ -127,5 +136,13 @@ val snapshot_json : t -> string
 
 (** The same snapshot as Prometheus text exposition — the [Stats_text]
     RPC body.  Dispatcher and worker registries carry [role] / [worker]
-    labels. *)
+    labels; with spans enabled the per-stage decomposition renders as
+    the [tq_serve_stage_ns] histogram family. *)
 val prometheus : t -> string
+
+(** [breakdown t] — the per-stage sojourn decomposition of the span
+    buffers as they stand ({!Tq_obs.Profile.of_records} over a live
+    merge): the [Stats_breakdown] RPC body, exposed for in-process
+    assertions.  Meaningful only with spans enabled and exact only
+    after drain. *)
+val breakdown : t -> Tq_obs.Profile.t

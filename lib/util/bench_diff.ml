@@ -1,0 +1,169 @@
+(* Field-by-field comparison of two BENCH_*.json reports.
+
+   The committed baselines are regression anchors, not exact replays:
+   every metric is noisy at some scale, so each numeric field gets a
+   relative tolerance (per-metric rules, first match wins, glob '*'
+   patterns) and the comparison is over the baseline's leaves — a field
+   the baseline has and the fresh run lost is a schema break, a field
+   only the fresh run has is a warning.  Reports whose schema_version
+   differ are refused outright: tolerances are meaningless across
+   layouts. *)
+
+type severity = Fail | Warn | Info
+
+type finding = { severity : severity; path : string; message : string }
+
+type config = {
+  default_rel : float;  (** relative tolerance for unmatched numeric paths *)
+  abs_eps : float;  (** absolute slack under which any numeric diff passes *)
+  rules : (string * float) list;  (** glob pattern -> relative tolerance *)
+  bounds : (string * float) list;  (** glob pattern -> max allowed fresh value *)
+  ignore_paths : string list;  (** glob patterns compared not at all *)
+}
+
+let default_config =
+  {
+    default_rel = 0.25;
+    abs_eps = 1e-9;
+    rules = [];
+    bounds = [];
+    ignore_paths = [];
+  }
+
+(* Glob with '*' as "any run of characters"; everything else literal. *)
+let glob_match pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized on (pi, si) via a simple matrix *)
+  let memo = Array.make_matrix (np + 1) (ns + 1) None in
+  let rec go pi si =
+    match memo.(pi).(si) with
+    | Some r -> r
+    | None ->
+        let r =
+          if pi = np then si = ns
+          else
+            match pattern.[pi] with
+            | '*' -> go (pi + 1) si || (si < ns && go pi (si + 1))
+            | c -> si < ns && s.[si] = c && go (pi + 1) (si + 1)
+        in
+        memo.(pi).(si) <- Some r;
+        r
+  in
+  go 0 0
+
+let first_match rules path =
+  List.find_map
+    (fun (pattern, v) -> if glob_match pattern path then Some v else None)
+    rules
+
+let ignored config path =
+  path = "generated_at"
+  || String.length path > 13
+     && String.sub path (String.length path - 13) 13 = ".generated_at"
+  || List.exists (fun p -> glob_match p path) config.ignore_paths
+
+let schema_version_of json =
+  Option.bind (Json.member "schema_version" json) Json.number_opt
+  |> Option.map int_of_float
+
+(* One report pair.  Returns findings most severe first within each
+   path, in baseline document order. *)
+let compare ?(config = default_config) ~baseline ~fresh () =
+  match (schema_version_of baseline, schema_version_of fresh) with
+  | None, _ ->
+      [ { severity = Fail; path = "schema_version";
+          message = "baseline has no schema_version (regenerate it)" } ]
+  | _, None ->
+      [ { severity = Fail; path = "schema_version";
+          message = "fresh report has no schema_version" } ]
+  | Some b, Some f when b <> f ->
+      [ { severity = Fail; path = "schema_version";
+          message = Printf.sprintf "schema mismatch: baseline v%d, fresh v%d" b f } ]
+  | Some _, Some _ ->
+      let base_leaves = Json.leaves baseline in
+      let fresh_leaves = Json.leaves fresh in
+      let fresh_tbl = Hashtbl.create 64 in
+      List.iter (fun (p, v) -> Hashtbl.replace fresh_tbl p v) fresh_leaves;
+      let findings = ref [] in
+      let emit severity path message = findings := { severity; path; message } :: !findings in
+      List.iter
+        (fun (path, bv) ->
+          if not (ignored config path) then
+            match Hashtbl.find_opt fresh_tbl path with
+            | None -> emit Fail path "present in baseline, missing from fresh report"
+            | Some fv -> (
+                match (bv, fv) with
+                | Json.Number b, Json.Number f ->
+                    let diff = Float.abs (b -. f) in
+                    let rel = diff /. Float.max (Float.abs b) (Float.max (Float.abs f) 1e-12) in
+                    let tol =
+                      Option.value (first_match config.rules path)
+                        ~default:config.default_rel
+                    in
+                    if diff <= config.abs_eps || rel <= tol then
+                      emit Info path
+                        (Printf.sprintf "%g -> %g (%.1f%% <= %.0f%% tolerance)" b f
+                           (100.0 *. rel) (100.0 *. tol))
+                    else
+                      emit Fail path
+                        (Printf.sprintf "%g -> %g (%.1f%% exceeds %.0f%% tolerance)" b
+                           f (100.0 *. rel) (100.0 *. tol))
+                | Json.String b, Json.String f ->
+                    if b = f then emit Info path "matches"
+                    else emit Fail path (Printf.sprintf "%S -> %S" b f)
+                | Json.Bool b, Json.Bool f ->
+                    if b = f then emit Info path "matches"
+                    else emit Fail path (Printf.sprintf "%b -> %b" b f)
+                | Json.Null, Json.Null -> emit Info path "matches"
+                | _ -> emit Fail path "value kind changed"))
+        base_leaves;
+      List.iter
+        (fun (path, _) ->
+          if
+            (not (ignored config path))
+            && not (List.mem_assoc path base_leaves)
+          then emit Warn path "new field not present in baseline")
+        fresh_leaves;
+      (* Upper bounds apply to the fresh report only — hard gates like
+         "disabled-path overhead stays 0". *)
+      List.iter
+        (fun (pattern, max_v) ->
+          let hit = ref false in
+          List.iter
+            (fun (path, v) ->
+              if glob_match pattern path then begin
+                hit := true;
+                match v with
+                | Json.Number f ->
+                    if f <= max_v then
+                      emit Info path (Printf.sprintf "%g within bound %g" f max_v)
+                    else
+                      emit Fail path (Printf.sprintf "%g exceeds bound %g" f max_v)
+                | _ -> emit Fail path "bound on a non-numeric field"
+              end)
+            fresh_leaves;
+          if not !hit then
+            emit Fail pattern "bound pattern matched no field in the fresh report")
+        config.bounds;
+      List.rev !findings
+
+let passed findings = not (List.exists (fun f -> f.severity = Fail) findings)
+
+let severity_name = function Fail -> "FAIL" | Warn -> "warn" | Info -> "ok"
+
+let render ?(verbose = false) findings =
+  let b = Buffer.create 512 in
+  let fails = List.filter (fun f -> f.severity = Fail) findings in
+  let warns = List.filter (fun f -> f.severity = Warn) findings in
+  List.iter
+    (fun f ->
+      if verbose || f.severity <> Info then
+        Buffer.add_string b
+          (Printf.sprintf "%-4s %-40s %s\n" (severity_name f.severity) f.path
+             f.message))
+    findings;
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d compared, %d failed, %d warnings\n"
+       (if fails = [] then "PASS" else "FAIL")
+       (List.length findings) (List.length fails) (List.length warns));
+  Buffer.contents b

@@ -1,0 +1,45 @@
+(** Field-by-field comparison of two BENCH_*.json reports with
+    per-metric noise tolerances — the engine behind [tq_bench_diff].
+
+    The comparison walks the baseline's scalar leaves (dotted paths,
+    see {!Json.leaves}).  Numbers compare under a relative tolerance
+    chosen by the first matching glob rule (['*'] matches any run of
+    characters), strings and booleans must match exactly, fields the
+    fresh report lost are failures, fields it gained are warnings.
+    Reports with different [schema_version]s are refused outright. *)
+
+(** Finding severity: [Fail] gates, [Warn] reports, [Info] records a
+    passing comparison. *)
+type severity = Fail | Warn | Info
+
+(** One comparison outcome for one dotted path. *)
+type finding = { severity : severity; path : string; message : string }
+
+(** Tolerance configuration; see each field's doc. *)
+type config = {
+  default_rel : float;  (** relative tolerance for unmatched numeric paths *)
+  abs_eps : float;  (** absolute slack under which any numeric diff passes *)
+  rules : (string * float) list;  (** glob pattern -> relative tolerance, first match wins *)
+  bounds : (string * float) list;  (** glob pattern -> max allowed fresh value (hard gate) *)
+  ignore_paths : string list;  (** glob patterns excluded from comparison *)
+}
+
+(** 25% default relative tolerance, no rules, no bounds, nothing
+    ignored ([generated_at] is always ignored). *)
+val default_config : config
+
+(** [glob_match pattern s] — ['*']-glob matching, everything else
+    literal.  Exposed for tests and the CLI's rule validation. *)
+val glob_match : string -> string -> bool
+
+(** [compare ?config ~baseline ~fresh ()] — every finding, in baseline
+    document order (bounds checked last). *)
+val compare : ?config:config -> baseline:Json.t -> fresh:Json.t -> unit -> finding list
+
+(** [passed findings] — no [Fail] finding present. *)
+val passed : finding list -> bool
+
+(** [render ?verbose findings] — human-readable report; [verbose]
+    includes passing comparisons (default: failures and warnings
+    only), final line is "PASS: ..." or "FAIL: ...". *)
+val render : ?verbose:bool -> finding list -> string

@@ -1,0 +1,20 @@
+(* Shared provenance header for every emitted BENCH_*.json.
+
+   tq_bench_diff refuses to compare reports whose schema_version
+   differs from its own, so the version must bump whenever a report's
+   field meanings change incompatibly.  generated_at records when the
+   numbers were measured (ISO-8601 UTC) and is ignored by the diff. *)
+
+let schema_version = 2
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let generated_at () = iso8601 (Unix.gettimeofday ())
+
+let json_fields ?(indent = "  ") () =
+  Printf.sprintf "%s\"schema_version\": %d,\n%s\"generated_at\": \"%s\",\n" indent
+    schema_version indent (generated_at ())

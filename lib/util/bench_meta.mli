@@ -1,0 +1,21 @@
+(** Shared provenance header for every emitted BENCH_*.json report.
+
+    Each report opens with a [schema_version] (so {!Bench_diff} can
+    refuse mismatched layouts) and a [generated_at] ISO-8601 UTC
+    timestamp (ignored by the diff). *)
+
+(** The report layout generation every emitter stamps.  Bump on any
+    incompatible change to a report's field meanings. *)
+val schema_version : int
+
+(** [iso8601 t] — Unix time [t] as "YYYY-MM-DDTHH:MM:SSZ" (UTC). *)
+val iso8601 : float -> string
+
+(** [generated_at ()] — the current wall-clock time as ISO-8601 UTC. *)
+val generated_at : unit -> string
+
+(** [json_fields ?indent ()] — the two header lines
+    ["schema_version": N,] and ["generated_at": "...",] each prefixed
+    with [indent] (default two spaces) and newline-terminated, ready to
+    splice right after an emitter's opening brace. *)
+val json_fields : ?indent:string -> unit -> string

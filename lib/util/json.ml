@@ -1,0 +1,239 @@
+(* A minimal JSON reader/writer for the BENCH_*.json reports.
+
+   The repo emits its benchmark reports by hand (Printf into a Buffer)
+   and, until now, never read them back.  tq_bench_diff needs to: it
+   loads a freshly generated report and the committed baseline and
+   compares them field by field.  This is a small recursive-descent
+   parser over the full JSON grammar — numbers parse as floats, which
+   is exactly the precision the diff tolerances work at. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { s : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some x when x = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  if
+    st.pos + String.length word <= String.length st.s
+    && String.sub st.s st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    v
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then error st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    if c = '"' then Buffer.contents b
+    else if c = '\\' then begin
+      (if st.pos >= String.length st.s then error st "unterminated escape";
+       let e = st.s.[st.pos] in
+       st.pos <- st.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'u' ->
+           if st.pos + 4 > String.length st.s then error st "bad \\u escape";
+           let hex = String.sub st.s st.pos 4 in
+           st.pos <- st.pos + 4;
+           let code =
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some c -> c
+             | None -> error st "bad \\u escape"
+           in
+           (* Enough unicode for report files: BMP code points as UTF-8. *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+       | _ -> error st "unknown escape");
+      go ()
+    end
+    else begin
+      Buffer.add_char b c;
+      go ()
+    end
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && num_char st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  match float_of_string_opt (String.sub st.s start (st.pos - start)) with
+  | Some f -> Number f
+  | None -> error st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let key = parse_string st in
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              List.rev ((key, v) :: acc)
+          | _ -> error st "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or ']'"
+        in
+        List (elements [])
+      end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then Result.Error "trailing garbage after JSON value"
+      else Result.Ok v
+  | exception Parse_error msg -> Result.Error msg
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Result.Error msg
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Number f -> number_to_string f
+  | String s -> "\"" ^ escape s ^ "\""
+  | List l -> "[" ^ String.concat ", " (List.map to_string l) ^ "]"
+  | Obj members ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> "\"" ^ escape k ^ "\": " ^ to_string v) members)
+      ^ "}"
+
+let member name = function
+  | Obj members -> List.assoc_opt name members
+  | _ -> None
+
+let number_opt = function Number f -> Some f | _ -> None
+let string_opt = function String s -> Some s | _ -> None
+
+(* Dotted paths into the tree, list indices as path segments:
+   "latency.all.p99_us", "points.2.goodput_ratio". *)
+let rec flatten ?(prefix = "") v acc =
+  let key k = if prefix = "" then k else prefix ^ "." ^ k in
+  match v with
+  | Obj members ->
+      List.fold_left (fun acc (k, v) -> flatten ~prefix:(key k) v acc) acc members
+  | List l ->
+      List.fold_left
+        (fun (acc, i) v -> (flatten ~prefix:(key (string_of_int i)) v acc, i + 1))
+        (acc, 0) l
+      |> fst
+  | leaf -> (prefix, leaf) :: acc
+
+let leaves v = List.rev (flatten v [])

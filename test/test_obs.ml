@@ -528,18 +528,24 @@ let test_expo_latency () =
     Latency.record r (i * 1_000)
   done;
   let text = Expo.render_latency ~name:"sojourn_ns" ~labels:[ ("role", "server") ] lat in
-  Alcotest.(check bool) "summary TYPE header" true
-    (contains text "# TYPE tq_sojourn_ns summary");
+  Alcotest.(check bool) "histogram TYPE header" true
+    (contains text "# TYPE tq_sojourn_ns histogram");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (contains text "tq_sojourn_ns_bucket{role=\"server\",class=\"echo\",le=\"+Inf\"} 100\n");
+  Alcotest.(check bool) "quantiles summary TYPE header" true
+    (contains text "# TYPE tq_sojourn_ns_quantiles summary");
   List.iter
     (fun q ->
       Alcotest.(check bool)
         (Printf.sprintf "quantile %s present" q)
         true
         (contains text
-           (Printf.sprintf "tq_sojourn_ns{role=\"server\",class=\"echo\",quantile=%S} " q)))
+           (Printf.sprintf
+              "tq_sojourn_ns_quantiles{role=\"server\",class=\"echo\",quantile=%S} " q)))
     [ "0.5"; "0.9"; "0.99"; "0.999" ];
   Alcotest.(check bool) "count line" true
-    (contains text "tq_sojourn_ns_count{role=\"server\",class=\"echo\"} 100\n")
+    (contains text "tq_sojourn_ns_count{role=\"server\",class=\"echo\"} 100\n");
+  Alcotest.(check (list string)) "exposition lints clean" [] (Expo.lint text)
 
 (* --- SLO monitor --- *)
 
@@ -647,3 +653,264 @@ let suite =
     Alcotest.test_case "slo burn rate" `Quick test_slo_burn_rate;
     Alcotest.test_case "slo validation" `Quick test_slo_validation;
   ]
+
+(* --- Profile: per-request stage decomposition --- *)
+
+module Profile = Tq_obs.Profile
+module Gc_events = Tq_obs.Gc_events
+
+let sp ?(req = 0) ?(lane = Event.Dispatcher 0) ?(arg = 0) phase start_ns dur_ns =
+  { Span.req_id = req; phase; lane; start_ns; dur_ns; arg }
+
+(* One synthetic request with every boundary placed by explicit deltas,
+   in pipeline order.  Returns the records plus the expected per-stage
+   nanoseconds, so tests can assert the telescoping exactly. *)
+let synthetic_request ~req ~p0 ~parse ~dispatch ~hop ~wait ~d0 ~gap ~d1 ~flush =
+  let t0 = p0 + parse in
+  let t1 = t0 + dispatch in
+  let t2 = t1 + hop in
+  let q0 = t2 + wait in
+  let q1 = q0 + d0 + gap in
+  let last_end = q1 + d1 in
+  let records =
+    [
+      sp ~req Span.Parse p0 parse;
+      sp ~req Span.Dispatch t0 dispatch;
+      sp ~req ~lane:(Event.Worker 0) Span.Ring_hop t2 0;
+      sp ~req ~lane:(Event.Worker 0) Span.Quantum q0 d0;
+      sp ~req ~lane:(Event.Worker 0) Span.Quantum q1 d1;
+      sp ~req Span.Reply_flush last_end flush;
+    ]
+  in
+  let expected =
+    [
+      (Profile.S_parse, parse);
+      (Profile.S_dispatch, dispatch);
+      (Profile.S_ring_hop, hop);
+      (Profile.S_first_run_wait, wait);
+      (Profile.S_service, d0 + d1);
+      (Profile.S_preempt_overhead, gap);
+      (Profile.S_reply_flush, flush);
+    ]
+  in
+  (records, expected, last_end + flush - p0)
+
+let test_profile_exact_decomposition () =
+  let n = 3 in
+  let per_req =
+    List.init n (fun i ->
+        synthetic_request ~req:i ~p0:(1_000_000 * i) ~parse:500 ~dispatch:300
+          ~hop:(100 + i) ~wait:4_000 ~d0:5_000 ~gap:(250 * i) ~d1:3_000 ~flush:600)
+  in
+  let records = List.concat_map (fun (r, _, _) -> r) per_req in
+  let p = Profile.of_records records in
+  check Alcotest.int "all requests decomposed" n (Profile.requests p);
+  check Alcotest.int "all exact" n (Profile.exact p);
+  check (Alcotest.float 1e-12) "zero relative error" 0.0 (Profile.sum_rel_error p);
+  Alcotest.(check bool) "invariant holds" true (Profile.invariant_ok p);
+  check Alcotest.int "no sheds" 0 (Profile.sheds p);
+  check Alcotest.int "nothing unattributed" 0 (Profile.unattributed_count p);
+  check Alcotest.int "nothing in flight" 0 (Profile.incomplete p);
+  (* per-stage sums are the sum of the per-request deltas *)
+  List.iter
+    (fun stage ->
+      let expected =
+        List.fold_left (fun acc (_, exp, _) -> acc + List.assq stage exp) 0 per_req
+      in
+      check Alcotest.int
+        (Printf.sprintf "stage %s sum" (Profile.stage_name stage))
+        expected
+        (Profile.stage_sum_ns p stage);
+      check Alcotest.int
+        (Printf.sprintf "stage %s count" (Profile.stage_name stage))
+        n
+        (Profile.stage_count p stage))
+    Profile.stages;
+  (* stage sums telescope to the sojourn, request by request *)
+  let sojourns = List.fold_left (fun acc (_, _, s) -> acc + s) 0 per_req in
+  let stage_total =
+    List.fold_left (fun acc stage -> acc + Profile.stage_sum_ns p stage) 0 Profile.stages
+  in
+  check Alcotest.int "stages sum to sojourn" sojourns stage_total;
+  (* the JSON and text views carry the invariant *)
+  let json = Profile.to_json p in
+  Alcotest.(check bool) "json has schema_version" true (contains json "\"schema_version\"");
+  Alcotest.(check bool) "json has exact count" true (contains json "\"exact\": 3");
+  Alcotest.(check bool) "render shows the invariant" true
+    (contains (Profile.render p) "sum invariant")
+
+let test_profile_shed_and_accept () =
+  let records, _, _ =
+    synthetic_request ~req:0 ~p0:0 ~parse:500 ~dispatch:300 ~hop:100 ~wait:1_000
+      ~d0:2_000 ~gap:0 ~d1:0 ~flush:400
+  in
+  let records =
+    records
+    @ [
+        sp ~req:(-1) Span.Accept 5_000 0;
+        sp ~req:(-1) Span.Shed 6_000 750;
+        sp ~req:(-1) Span.Shed 7_000 1_250;
+      ]
+  in
+  let p = Profile.of_records records in
+  check Alcotest.int "one request decomposed" 1 (Profile.requests p);
+  check Alcotest.int "accepts counted apart" 1 (Profile.accepts p);
+  check Alcotest.int "sheds land in the shed stage" 2 (Profile.sheds p);
+  Alcotest.(check bool) "invariant untouched by sheds" true (Profile.invariant_ok p)
+
+let test_profile_degrades_without_crashing () =
+  let good, _, _ =
+    synthetic_request ~req:0 ~p0:0 ~parse:500 ~dispatch:300 ~hop:100 ~wait:1_000
+      ~d0:2_000 ~gap:0 ~d1:0 ~flush:400
+  in
+  (* duplicate Parse boundary: a ring overwrite garbled request 1 *)
+  let dup, _, _ =
+    synthetic_request ~req:1 ~p0:100_000 ~parse:500 ~dispatch:300 ~hop:100
+      ~wait:1_000 ~d0:2_000 ~gap:0 ~d1:0 ~flush:400
+  in
+  let dup = sp ~req:1 Span.Parse 100_000 500 :: dup in
+  (* request 2 lost its quanta entirely *)
+  let missing =
+    [
+      sp ~req:2 Span.Parse 200_000 500;
+      sp ~req:2 Span.Dispatch 200_500 300;
+      sp ~req:2 ~lane:(Event.Worker 1) Span.Ring_hop 200_900 0;
+      sp ~req:2 Span.Reply_flush 210_000 400;
+    ]
+  in
+  (* request 3's reply stamp precedes its quantum: negative stage *)
+  let negative =
+    [
+      sp ~req:3 Span.Parse 300_000 0;
+      sp ~req:3 Span.Dispatch 300_500 300;
+      sp ~req:3 ~lane:(Event.Worker 1) Span.Ring_hop 300_900 0;
+      sp ~req:3 ~lane:(Event.Worker 1) Span.Quantum 302_000 5_000;
+      sp ~req:3 Span.Reply_flush 301_000 0;
+    ]
+  in
+  (* request 4 is still in flight: no reply yet *)
+  let in_flight =
+    [ sp ~req:4 Span.Parse 400_000 0; sp ~req:4 Span.Dispatch 400_500 300 ]
+  in
+  let p = Profile.of_records (good @ dup @ missing @ negative @ in_flight) in
+  check Alcotest.int "only the clean request decomposed" 1 (Profile.requests p);
+  check Alcotest.int "three degraded to unattributed" 3 (Profile.unattributed_count p);
+  check Alcotest.int "in-flight counted apart" 1 (Profile.incomplete p);
+  Alcotest.(check bool) "invariant over decomposed requests only" true
+    (Profile.invariant_ok p);
+  (* quanta arriving out of order degrade too (the fold would go negative) *)
+  let reordered =
+    List.map
+      (fun (r : Span.record) ->
+        match r.Span.phase with
+        | Span.Quantum when r.Span.dur_ns = 3_000 -> { r with Span.start_ns = 0 }
+        | _ -> r)
+      (let r, _, _ =
+         synthetic_request ~req:9 ~p0:1_000_000 ~parse:500 ~dispatch:300 ~hop:100
+           ~wait:1_000 ~d0:2_000 ~gap:100 ~d1:3_000 ~flush:400
+       in
+       r)
+  in
+  let p2 = Profile.of_records reordered in
+  check Alcotest.int "reordered quanta do not decompose" 0 (Profile.requests p2);
+  check Alcotest.int "they land in unattributed" 1 (Profile.unattributed_count p2)
+
+(* Property: any cross-request interleaving that preserves each
+   request's own record order decomposes every request exactly.  The
+   riffle below merges the per-request streams, driven by the generated
+   pick list. *)
+let test_profile_interleaving_prop =
+  let gen =
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 12)
+           (* parse, dispatch, hop, wait, d0, gap, d1, flush *)
+           (tup4 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+              (tup4 (int_range 0 1000) (int_range 0 1000) (int_range 0 1000)
+                 (pair (int_range 0 1000) (int_range 0 1000)))))
+        (list_of_size (Gen.int_range 0 200) (int_range 0 1_000_000)))
+  in
+  qtest ~count:100 "profile: order-preserving interleavings stay exact" gen
+    (fun (reqs, picks) ->
+      let streams =
+        List.mapi
+          (fun i (parse, dispatch, hop, (wait, d0, gap, (d1, flush))) ->
+            let records, _, _ =
+              synthetic_request ~req:i ~p0:(10_000_000 * i) ~parse ~dispatch ~hop
+                ~wait ~d0 ~gap ~d1 ~flush
+            in
+            ref records)
+          reqs
+      in
+      let n = List.length streams in
+      let arr = Array.of_list streams in
+      let out = ref [] in
+      let picks = ref (if picks = [] then [ 0 ] else picks) in
+      let next_pick () =
+        match !picks with
+        | [] -> 0
+        | p :: rest ->
+            picks := (if rest = [] then [ p + 1 ] else rest);
+            p
+      in
+      let remaining = ref (List.fold_left (fun a s -> a + List.length !s) 0 streams) in
+      while !remaining > 0 do
+        let start = next_pick () mod n in
+        let rec find i =
+          let idx = (start + i) mod n in
+          match !(arr.(idx)) with
+          | [] -> find (i + 1)
+          | r :: rest ->
+              arr.(idx) := rest;
+              out := r :: !out;
+              decr remaining
+        in
+        find 0
+      done;
+      let p = Profile.of_records (List.rev !out) in
+      Profile.requests p = n && Profile.exact p = n
+      && Profile.unattributed_count p = 0
+      && Profile.invariant_ok p)
+
+(* --- Gc_events: the Runtime_events consumer --- *)
+
+let test_gc_events_smoke () =
+  let spans = Span.create () in
+  let g = Gc_events.start ~spans () in
+  (* churn the minor heap so the consumer has pauses to report *)
+  let junk = ref [] in
+  for i = 1 to 5 do
+    junk := [];
+    for j = 1 to 50_000 do
+      junk := (i * j) :: !junk
+    done;
+    Gc.minor ()
+  done;
+  Sys.opaque_identity !junk |> ignore;
+  Gc_events.stop g;
+  let c = Gc_events.counters g in
+  Alcotest.(check bool) "minor pauses observed" true
+    (Counters.find_count c "gc.minor_pauses" > 0);
+  Alcotest.(check bool) "this domain's pause clock advanced" true
+    (Gc_events.self_pause_ns g > 0);
+  let records = Span.merge spans in
+  Alcotest.(check bool) "gc spans ride the gc lane" true
+    (List.exists
+       (fun (r : Span.record) ->
+         match r.Span.lane with
+         | Event.Gc _ -> r.Span.phase = Span.Gc_minor || r.Span.phase = Span.Gc_major
+         | _ -> false)
+       records);
+  (* stop is idempotent *)
+  Gc_events.stop g
+
+let profile_suite =
+  [
+    Alcotest.test_case "profile exact decomposition" `Quick test_profile_exact_decomposition;
+    Alcotest.test_case "profile shed + accept" `Quick test_profile_shed_and_accept;
+    Alcotest.test_case "profile degrades gracefully" `Quick test_profile_degrades_without_crashing;
+    test_profile_interleaving_prop;
+    Alcotest.test_case "gc events smoke" `Quick test_gc_events_smoke;
+  ]
+
+let suite = suite @ profile_suite

@@ -501,3 +501,75 @@ let pool_suite =
   ]
 
 let suite = suite @ pool_suite
+
+(* --- Stall attribution: the gc_pause_ns hook --- *)
+
+(* A 1ns stall threshold turns every non-zero inter-quantum gap into a
+   "stall", so a single multi-quantum task (tiny quantum, a probe per
+   iteration) manufactures hundreds of them without sleeping.  The gap
+   sizes are scheduling noise; the *attribution* is deterministic given
+   the injected GC clock: a clock that leaps every read makes every gap
+   look GC-caused, a frozen clock makes none of them, and no clock at
+   all leaves them unknown. *)
+let stall_counts gc_pause_ns =
+  let regs = [| Tq_obs.Counters.create () |] in
+  let pool =
+    Parallel.create ~workers:1 ~quantum_ns:100 ~stall_threshold_ns:1
+      ~worker_counters:regs ?gc_pause_ns ()
+  in
+  let backoff = Backoff.create () in
+  while
+    not
+      (Parallel.submit pool (fun () ->
+           for _ = 1 to 400 do
+             for _ = 1 to 200 do
+               Sys.opaque_identity ignore ()
+             done;
+             Probe_api.probe ()
+           done))
+  do
+    Backoff.once backoff
+  done;
+  ignore (Parallel.shutdown pool);
+  let count name = Tq_obs.Counters.find_count regs.(0) name in
+  ( count "runtime.stalls",
+    count "runtime.stall_gc",
+    count "runtime.stall_other",
+    count "runtime.stall_unknown" )
+
+let test_stall_attribution_gc () =
+  (* the fake GC clock leaps 1ms on every read: any gap looks GC-eaten *)
+  let fake = ref 0 in
+  let stalls, gc, other, unknown =
+    stall_counts
+      (Some
+         (fun () ->
+           fake := !fake + 1_000_000;
+           !fake))
+  in
+  check Alcotest.bool "some stalls detected at a 1ns threshold" true (stalls > 0);
+  check Alcotest.int "every stall attributed to gc" stalls gc;
+  check Alcotest.int "none attributed elsewhere" 0 (other + unknown)
+
+let test_stall_attribution_other () =
+  (* a frozen GC clock: the runtime visibly did not eat the core *)
+  let stalls, gc, other, unknown = stall_counts (Some (fun () -> 0)) in
+  check Alcotest.bool "some stalls detected" true (stalls > 0);
+  check Alcotest.int "every stall attributed to other" stalls other;
+  check Alcotest.int "none attributed to gc" 0 (gc + unknown)
+
+let test_stall_attribution_unknown () =
+  (* no hook wired: the classifier must not guess *)
+  let stalls, gc, other, unknown = stall_counts None in
+  check Alcotest.bool "some stalls detected" true (stalls > 0);
+  check Alcotest.int "every stall unknown" stalls unknown;
+  check Alcotest.int "nothing attributed" 0 (gc + other)
+
+let stall_suite =
+  [
+    Alcotest.test_case "stall attribution gc" `Quick test_stall_attribution_gc;
+    Alcotest.test_case "stall attribution other" `Quick test_stall_attribution_other;
+    Alcotest.test_case "stall attribution unknown" `Quick test_stall_attribution_unknown;
+  ]
+
+let suite = suite @ stall_suite

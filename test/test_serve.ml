@@ -265,9 +265,12 @@ let test_stats_rpc () =
           Printf.sprintf "tq_serve_parsed_total{role=\"dispatcher\"} %d\n" n;
           "# TYPE tq_serve_parsed_total counter";
           "tq_runtime_quanta_total{role=\"worker\",worker=\"0\"}";
-          "# TYPE tq_serve_sojourn_ns summary";
+          "# TYPE tq_serve_sojourn_ns histogram";
+          "# TYPE tq_serve_latency_ns histogram";
+          "# TYPE tq_serve_latency_ns_quantiles summary";
           "quantile=\"0.99\"";
         ];
+      check Alcotest.(list string) "exposition lints clean" [] (Tq_obs.Expo.lint text);
       (* stats answers ride outside the work accounting *)
       let s = Server.stats srv in
       check Alcotest.int "stats RPCs counted apart" 2 s.Server.stats_served;
@@ -355,7 +358,7 @@ let test_cross_domain_spans () =
           match r.Tq_obs.Span.lane with
           | Tq_obs.Event.Dispatcher _ -> (r.Tq_obs.Span.req_id :: d, w)
           | Tq_obs.Event.Worker _ -> (d, r.Tq_obs.Span.req_id :: w)
-          | Tq_obs.Event.Global -> (d, w))
+          | Tq_obs.Event.Global | Tq_obs.Event.Gc _ -> (d, w))
       ([], []) records
   in
   let stitched =
@@ -380,3 +383,64 @@ let suite =
     Alcotest.test_case "shed visible in stats" `Quick test_shed_visible_in_stats;
     Alcotest.test_case "cross-domain spans" `Quick test_cross_domain_spans;
   ]
+
+(* --- the breakdown view: stage decomposition over the wire --- *)
+
+let test_breakdown_rpc () =
+  let spans = Tq_obs.Span.create ~capacity_per_sink:8192 () in
+  let srv = Server.create ~spans base_config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 100 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  run_batch client n;
+  (* the JSON view decomposes live traffic and carries the invariant *)
+  let body = Client.stats ~view:Protocol.Stats_breakdown client in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "breakdown json has %s" needle) true
+        (contains body needle))
+    [
+      "\"schema_version\"";
+      "\"requests\"";
+      "\"sum_rel_error\"";
+      "\"stages\"";
+      "\"service\"";
+      "\"reply_flush\"";
+      "\"sojourn\"";
+    ];
+  (* the text view renders the table + invariant footer *)
+  let text = Client.stats ~view:Protocol.Stats_breakdown_text client in
+  check Alcotest.bool "text view shows the table" true
+    (contains text "Stage breakdown" && contains text "sum invariant");
+  Client.close client;
+  Server.stop srv;
+  Thread.join th;
+  (* with the writers quiesced, the in-process accessor must decompose
+     (nearly) everything exactly: all stamps share one wall clock *)
+  let p = Server.breakdown srv in
+  check Alcotest.bool "most requests decomposed" true (Tq_obs.Profile.requests p >= n * 9 / 10);
+  check Alcotest.bool "decompositions are exact" true
+    (Tq_obs.Profile.exact_fraction p >= 0.9);
+  check Alcotest.bool "stage sums track sojourn" true
+    (Tq_obs.Profile.sum_rel_error p < 0.01);
+  check Alcotest.int "nothing dropped at this volume" 0 (Tq_obs.Span.dropped spans)
+
+let test_breakdown_needs_spans () =
+  (* without span collection there is nothing to decompose: the RPC must
+     say so instead of returning an empty report *)
+  with_server base_config (fun srv ->
+      let client = Client.connect ~port:(Server.port srv) () in
+      run_batch client 10;
+      (match Client.stats ~view:Protocol.Stats_breakdown client with
+      | exception Failure msg ->
+          check Alcotest.bool "error names the fix" true (contains msg "--obs")
+      | body -> Alcotest.failf "expected an error response, got: %s" body);
+      Client.close client)
+
+let breakdown_suite =
+  [
+    Alcotest.test_case "breakdown rpc" `Quick test_breakdown_rpc;
+    Alcotest.test_case "breakdown needs spans" `Quick test_breakdown_needs_spans;
+  ]
+
+let suite = suite @ breakdown_suite
