@@ -21,8 +21,8 @@ let parse_slo s =
       exit 1
 
 let run host port rate connections warmup measure grace seed mix_spec spin_us json_out
-    quiet slo_specs stats_interval dashboard stats_json trace_out breakdown
-    breakdown_json =
+    quiet slo_specs slo_strict stats_interval dashboard stats_json trace_out breakdown
+    breakdown_json control =
   let mix =
     match mix_spec with
     | None -> Tq_serve.Load_gen.default_mix
@@ -128,9 +128,36 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
        Tq_serve.Client.close c
      with e ->
        Printf.eprintf "tq_load: breakdown fetch failed: %s\n" (Printexc.to_string e));
+  (* The controller's own view of the run: what the server's feedback
+     loop did while we were loading it (needs tq_serve --adaptive). *)
+  (if control then
+     try
+       let c = Tq_serve.Client.connect ~host ~port () in
+       let body = Tq_serve.Client.stats ~view:Tq_serve.Protocol.Stats_control c in
+       Tq_serve.Client.close c;
+       Printf.printf "tq_load: controller state: %s\n" body
+     with e ->
+       Printf.eprintf "tq_load: control fetch failed: %s\n" (Printexc.to_string e));
   if r.received = 0 then begin
     Printf.eprintf "tq_load: no responses received\n";
     exit 1
+  end;
+  (* --slo-strict turns a monitored breach into a CI-visible failure:
+     any SLO whose window burned through its error budget fails the run. *)
+  if slo_strict then begin
+    let breached =
+      List.filter
+        (fun (rep : Tq_obs.Slo.report) -> rep.window_total > 0 && rep.burn_rate > 1.0)
+        r.slo_reports
+    in
+    if breached <> [] then begin
+      List.iter
+        (fun (rep : Tq_obs.Slo.report) ->
+          Printf.eprintf "tq_load: SLO %s breached (burn %.2fx over %d samples)\n"
+            rep.objective.name rep.burn_rate rep.window_total)
+        breached;
+      exit 3
+    end
   end
 
 let () =
@@ -164,6 +191,13 @@ let () =
          & info [ "slo" ] ~docv:"NAME:LAT_US:GOODPUT"
              ~doc:"latency SLO to monitor (repeatable), e.g. p99:500:0.99; \
                    default default:1000:0.99")
+  in
+  let slo_strict =
+    Arg.(value & flag
+         & info [ "slo-strict" ]
+             ~doc:"exit 3 when any monitored --slo target burns through its \
+                   error budget (burn rate > 1x) over the measurement window; \
+                   turns SLO monitoring into a pass/fail gate for CI")
   in
   let stats_interval =
     Arg.(value & opt (some float) None
@@ -201,11 +235,18 @@ let () =
              ~doc:"write the per-stage decomposition as JSON \
                    (BENCH_breakdown.json shape) to FILE (server needs --obs)")
   in
+  let control =
+    Arg.(value & flag
+         & info [ "control" ]
+             ~doc:"after the run, fetch the server's live controller state \
+                   (Stats RPC control view) and print it (server needs \
+                   --adaptive)")
+  in
   let doc = "Open-loop Poisson load generator for tq_serve." in
   let cmd =
-    Cmd.v (Cmd.info "tq_load" ~version:"1.1.0" ~doc)
+    Cmd.v (Cmd.info "tq_load" ~version:"1.2.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
-            $ seed $ mix $ spin $ json $ quiet $ slo $ stats_interval $ dashboard
-            $ stats_json $ trace $ breakdown $ breakdown_json)
+            $ seed $ mix $ spin $ json $ quiet $ slo $ slo_strict $ stats_interval
+            $ dashboard $ stats_json $ trace $ breakdown $ breakdown_json $ control)
   in
   exit (Cmd.eval cmd)

@@ -7,7 +7,8 @@
 open Cmdliner
 
 let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out
-    obs obs_capacity trace_out gc_events =
+    obs obs_capacity trace_out gc_events adaptive ctl_latency_us ctl_interval_ms
+    heartbeat_ms missed_heartbeats faults =
   let admission =
     match admission with
     | "accept-all" -> Tq_sched.Admission.Accept_all
@@ -25,17 +26,57 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
                   s;
                 exit 1))
   in
+  let quantum_ns = Tq_util.Time_unit.us quantum_us in
+  (* The controller's knob ranges anchor on the operator's static
+     choices: quanta may shrink well below the configured quantum (more
+     interleaving under pressure) but not above 2x it; the shed limit
+     lives under the rx_depth hard gate. *)
+  let controller =
+    if not adaptive then None
+    else
+      Some
+        {
+          (Tq_control.Controller.default_config ~quantum_initial_ns:quantum_ns
+             ~shed_initial:(min rx_depth (32 * cores)))
+          with
+          Tq_control.Controller.interval_ns =
+            int_of_float (ctl_interval_ms *. 1e6);
+          objective =
+            {
+              Tq_obs.Slo.name = "serve";
+              latency_ns = int_of_float (ctl_latency_us *. 1e3);
+              goodput = 0.99;
+            };
+          quantum_min_ns = max 1_000 (quantum_ns / 32);
+          quantum_max_ns = 2 * quantum_ns;
+          shed_min = cores;
+          shed_max = rx_depth;
+        }
+  in
+  let fault_events =
+    match faults with
+    | None -> []
+    | Some spec -> (
+        match Tq_fault.Live.parse spec with
+        | Ok evs -> evs
+        | Error msg ->
+            Printf.eprintf "tq_serve: %s\n" msg;
+            exit 1)
+  in
   let config =
     {
       Tq_serve.Server.default_config with
       host;
       port;
       workers = cores;
-      quantum_ns = Tq_util.Time_unit.us quantum_us;
+      quantum_ns;
       ring_capacity = ring;
       rx_depth;
       admission;
       kv_keys;
+      adaptive = controller;
+      heartbeat_interval_s = heartbeat_ms /. 1e3;
+      missed_heartbeats;
     }
   in
   let spans =
@@ -51,6 +92,29 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
     else None
   in
   let server = Tq_serve.Server.create ~spans ?gc config in
+  (if fault_events <> [] then begin
+     let live = Tq_fault.Live.create fault_events in
+     let actions =
+       {
+         Tq_fault.Live.stall =
+           (fun ~worker ~duration_ns ->
+             Printf.eprintf "tq_serve: FAULT stall w%d %.1fms\n%!" worker
+               (float_of_int duration_ns /. 1e6);
+             Tq_serve.Server.inject_stall server ~worker ~duration_ns);
+         kill =
+           (fun ~worker ->
+             Printf.eprintf "tq_serve: FAULT kill w%d\n%!" worker;
+             Tq_serve.Server.kill_worker server ~worker);
+         pause =
+           (fun ~duration_ns ->
+             Printf.eprintf "tq_serve: FAULT dispatcher pause %.1fms\n%!"
+               (float_of_int duration_ns /. 1e6);
+             Tq_serve.Server.pause_dispatcher server ~duration_ns);
+       }
+     in
+     Tq_serve.Server.on_tick server (fun ~now_ns ->
+         ignore (Tq_fault.Live.poll live ~now_ns actions : int))
+   end);
   let stop _ = Tq_serve.Server.stop server in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle stop));
@@ -68,9 +132,10 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
   let summary =
     Printf.sprintf
       "{\"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \
-       \"shed\": %d, \"stats_served\": %d, \"protocol_errors\": %d, \"orphaned\": %d}"
+       \"shed\": %d, \"stats_served\": %d, \"protocol_errors\": %d, \"orphaned\": %d, \
+       \"duplicates\": %d, \"redispatched\": %d, \"dead_workers\": %d}"
       s.connections s.parsed s.dispatched s.completed s.shed s.stats_served
-      s.protocol_errors s.orphaned
+      s.protocol_errors s.orphaned s.duplicates s.redispatched s.dead_workers
   in
   Printf.printf "tq_serve: drained. %s\n%!" summary;
   (match stats_out with
@@ -155,11 +220,49 @@ let () =
                    spans on per-domain gc tracks, gc.* counters, and stall \
                    attribution (runtime.stall_gc vs stall_other); default true")
   in
+  let adaptive =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:"close the loop: a feedback controller samples burn rate and \
+                   backlog from the dispatcher loop and retunes per-class quanta \
+                   and the admission shed limit live (control.* counters, \
+                   stats-RPC control view)")
+  in
+  let ctl_latency_us =
+    Arg.(value & opt float 1000.0
+         & info [ "ctl-latency-us" ] ~docv:"USEC"
+             ~doc:"with --adaptive: the latency objective the controller holds \
+                   (completions above it burn error budget)")
+  in
+  let ctl_interval_ms =
+    Arg.(value & opt float 10.0
+         & info [ "ctl-interval-ms" ] ~docv:"MS"
+             ~doc:"with --adaptive: controller sampling period")
+  in
+  let heartbeat_ms =
+    Arg.(value & opt float 50.0
+         & info [ "heartbeat-ms" ] ~docv:"MS"
+             ~doc:"worker liveness sampling period (0 disables the monitor)")
+  in
+  let missed_heartbeats =
+    Arg.(value & opt int 4
+         & info [ "missed-heartbeats" ] ~docv:"N"
+             ~doc:"no-progress windows before a worker holding work is declared \
+                   dead and its requests are re-dispatched")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"live fault schedule, times in ms from serve start: \
+                   stall@T:wN:D | kill@T:wN | pause@T:D, comma-separated \
+                   (e.g. 'kill@500:w1,stall@800:w0:50')")
+  in
   let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
   let cmd =
-    Cmd.v (Cmd.info "tq_serve" ~version:"1.1.0" ~doc)
+    Cmd.v (Cmd.info "tq_serve" ~version:"1.2.0" ~doc)
       Term.(const serve $ host $ port $ cores $ quantum $ ring $ rx_depth $ admission
             $ kv_keys $ duration $ stats_out $ obs $ obs_capacity $ trace_out
-            $ gc_events)
+            $ gc_events $ adaptive $ ctl_latency_us $ ctl_interval_ms $ heartbeat_ms
+            $ missed_heartbeats $ faults)
   in
   exit (Cmd.eval cmd)

@@ -305,13 +305,14 @@ let faults_run system_name workload_name quick json =
       (fun i (intensity, (r : Tq_fault.Fault_experiment.result)) ->
         Printf.printf
           "    {\"stall_intensity\": %g, \"goodput_ratio\": %.4f, \"goodput_rps\": %.0f, \
-           \"eventual_p99_us\": %.2f, \"retries\": %d, \"lost\": %d, \"stranded\": %d, \
-           \"stalls_injected\": %d}%s\n"
+           \"eventual_p99_us\": %.2f, \"retries\": %d, \"retries_exhausted\": %d, \
+           \"lost\": %d, \"stranded\": %d, \"stalls_injected\": %d}%s\n"
           intensity
           (Tq_fault.Fault_experiment.goodput_ratio r)
           r.goodput_rps
           (Tq_workload.Metrics.overall_eventual_percentile r.metrics 99.0 /. 1e3)
           (Tq_workload.Metrics.retries r.metrics)
+          (Tq_workload.Metrics.retries_exhausted r.metrics)
           r.lost r.stranded r.stalls_injected
           (if i = n - 1 then "" else ","))
       points;
@@ -343,6 +344,71 @@ let faults_cmd =
              ~doc:"print the stall-intensity goodput curve as JSON instead of tables")
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults_run $ system $ workload $ quick $ json)
+
+(* --- adaptive --- *)
+
+let adaptive_run workload_name quick json =
+  let workload = find_workload workload_name in
+  let outcomes = Tq_experiments.Adaptive.run_all ~quick ~workload () in
+  if json then begin
+    let n = List.length outcomes in
+    print_string "{\n";
+    print_string (Tq_util.Bench_meta.json_fields ());
+    Printf.printf "  \"experiment\": \"adaptive\",\n";
+    Printf.printf "  \"workload\": %S,\n" workload.Tq_workload.Service_dist.name;
+    Printf.printf "  \"quick\": %b,\n" quick;
+    Printf.printf "  \"scenarios\": [\n";
+    List.iteri
+      (fun i (o : Tq_experiments.Adaptive.outcome) ->
+        Printf.printf "    {\"scenario\": %S, \"load\": %g, \"stall_intensity\": %g,\n"
+          o.spec.scenario o.spec.load o.spec.stall_intensity;
+        Printf.printf
+          "     \"adaptive_ratio\": %.4f, \"best_static_ratio\": %.4f, \"margin\": %.4f,\n"
+          o.adaptive_ratio o.best_static_ratio o.margin;
+        Printf.printf "     \"rows\": [\n";
+        let m = List.length o.rows in
+        List.iteri
+          (fun j (row : Tq_experiments.Adaptive.row) ->
+            let r = row.result in
+            Printf.printf
+              "       {\"setting\": %S, \"gated\": %b, \"goodput_ratio\": %.4f, \
+               \"goodput_rps\": %.0f, \"eventual_p99_us\": %.2f, \"shed\": %d, \
+               \"control_ticks\": %d, \"control_decisions\": %d}%s\n"
+              row.label row.gated
+              (Tq_fault.Fault_experiment.goodput_ratio r)
+              r.goodput_rps
+              (Tq_workload.Metrics.overall_eventual_percentile r.metrics 99.0 /. 1e3)
+              (Tq_workload.Metrics.rejections r.metrics)
+              r.control_ticks r.control_decisions
+              (if j = m - 1 then "" else ","))
+          o.rows;
+        Printf.printf "     ]}%s\n" (if i = n - 1 then "" else ","))
+      outcomes;
+    print_string "  ]\n}\n"
+  end
+  else
+    List.iter
+      (fun o -> Tq_util.Text_table.print (Tq_experiments.Adaptive.table o))
+      outcomes
+
+let adaptive_cmd =
+  let doc =
+    "Feedback-controlled quanta and admission (Tq_control) against every static \
+     quantum setting, under heavy core stalls and sustained overload; the adaptive \
+     row must match or beat the best static row on goodput-under-deadline."
+  in
+  let workload =
+    Arg.(value & pos 0 string "high-bimodal"
+         & info [] ~docv:"WORKLOAD" ~doc:"Table 1 workload name (or table1-a..f alias)")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"short runs, smaller static sweep (CI smoke)")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"print the scenario outcomes as JSON instead of tables")
+  in
+  Cmd.v (Cmd.info "adaptive" ~doc) Term.(const adaptive_run $ workload $ quick $ json)
 
 (* --- probe-place --- *)
 
@@ -389,4 +455,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; sweep_cmd; trace_cmd; faults_cmd; probe_place_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            all_cmd;
+            sweep_cmd;
+            trace_cmd;
+            faults_cmd;
+            adaptive_cmd;
+            probe_place_cmd;
+          ]))

@@ -1,0 +1,403 @@
+(* The feedback control law: samples in, knob movements out.  Pure
+   policy — the sim driver and the live server both apply the returned
+   actions through their own actuators, so the law is shared and
+   testable without a scheduler behind it. *)
+
+type class_sample = { completed : int; good : int; shed : int }
+
+type sample = {
+  now_ns : int;
+  queued : int;
+  in_flight : int;
+  busy_cores : int;
+  classes : class_sample array;
+}
+
+type action =
+  | Set_quantum of { class_idx : int option; quantum_ns : int }
+  | Set_shed_limit of { max_in_system : int }
+
+type config = {
+  interval_ns : int;
+  objective : Tq_obs.Slo.objective;
+  quantum_min_ns : int;
+  quantum_max_ns : int;
+  quantum_initial_ns : int;
+  shed_min : int;
+  shed_max : int;
+  shed_initial : int;
+  burn_hi : float;
+  burn_lo : float;
+  hold_ticks : int;
+  min_window : int;
+  decrease : float;
+  increase : float;
+  headroom : float;
+}
+
+let default_config ~quantum_initial_ns ~shed_initial =
+  {
+    interval_ns = 100_000;
+    objective = Tq_obs.Slo.default_objective;
+    quantum_min_ns = 500;
+    quantum_max_ns = 20_000;
+    quantum_initial_ns;
+    shed_min = 8;
+    shed_max = 16_384;
+    shed_initial;
+    burn_hi = 1.0;
+    burn_lo = 0.5;
+    hold_ticks = 2;
+    min_window = 8;
+    decrease = 0.5;
+    increase = 1.3;
+    headroom = 0.8;
+  }
+
+(* Per-class loop state.  [hot]/[cool] count consecutive ticks beyond a
+   watermark; both reset whenever burn re-enters the dead band, which is
+   the hysteresis that stops a borderline class from flapping. *)
+type class_state = {
+  mutable quantum_ns : int;
+  mutable last : class_sample;
+  mutable burn : float;
+  mutable hot : int;
+  mutable cool : int;
+}
+
+type t = {
+  cfg : config;
+  mutable classes : class_state array;
+  mutable shed_limit : int;
+  mutable shed_hot : int;
+  mutable shed_cool : int;
+  mutable global_burn : float;
+  mutable last_now_ns : int option;  (** previous tick's timestamp *)
+  mutable rate_ewma : float;  (** smoothed completion rate, per ns *)
+  mutable ticks : int;
+  mutable decisions : int;
+  (* telemetry *)
+  c_ticks : Tq_obs.Counters.counter;
+  c_decisions : Tq_obs.Counters.counter;
+  c_quantum_down : Tq_obs.Counters.counter;
+  c_quantum_up : Tq_obs.Counters.counter;
+  c_shed_down : Tq_obs.Counters.counter;
+  c_shed_up : Tq_obs.Counters.counter;
+  c_skipped : Tq_obs.Counters.counter;
+  g_burn : Tq_obs.Counters.gauge;
+  g_predicted : Tq_obs.Counters.gauge;
+  g_shed_limit : Tq_obs.Counters.gauge;
+  g_quantum : Tq_obs.Counters.gauge;
+}
+
+let validate (cfg : config) =
+  let fail fmt = Printf.ksprintf invalid_arg ("Controller.create: " ^^ fmt) in
+  if cfg.interval_ns <= 0 then fail "interval must be positive";
+  if cfg.quantum_min_ns <= 0 || cfg.quantum_min_ns > cfg.quantum_max_ns then
+    fail "quantum clamp range [%d, %d] invalid" cfg.quantum_min_ns cfg.quantum_max_ns;
+  if cfg.quantum_initial_ns < cfg.quantum_min_ns
+     || cfg.quantum_initial_ns > cfg.quantum_max_ns
+  then fail "initial quantum %d outside clamp range" cfg.quantum_initial_ns;
+  if cfg.shed_min <= 0 || cfg.shed_min > cfg.shed_max then
+    fail "shed clamp range [%d, %d] invalid" cfg.shed_min cfg.shed_max;
+  if cfg.shed_initial < cfg.shed_min || cfg.shed_initial > cfg.shed_max then
+    fail "initial shed limit %d outside clamp range" cfg.shed_initial;
+  if not (cfg.burn_lo >= 0.0 && cfg.burn_lo < cfg.burn_hi) then
+    fail "watermarks must satisfy 0 <= burn_lo < burn_hi";
+  if cfg.hold_ticks < 1 then fail "hold_ticks must be >= 1";
+  if cfg.min_window < 1 then fail "min_window must be >= 1";
+  if not (cfg.decrease > 0.0 && cfg.decrease < 1.0) then
+    fail "decrease factor must lie in (0, 1)";
+  if cfg.increase <= 1.0 then fail "increase factor must be > 1";
+  if not (cfg.headroom > 0.0 && cfg.headroom <= 1.0) then
+    fail "headroom must lie in (0, 1]"
+
+let create ?(obs = Tq_obs.Obs.disabled ()) cfg =
+  validate cfg;
+  let reg = obs.Tq_obs.Obs.counters in
+  let counter = Tq_obs.Counters.counter reg and gauge = Tq_obs.Counters.gauge reg in
+  let t =
+    {
+      cfg;
+      classes = [||];
+      shed_limit = cfg.shed_initial;
+      shed_hot = 0;
+      shed_cool = 0;
+      global_burn = 0.0;
+      last_now_ns = None;
+      rate_ewma = 0.0;
+      ticks = 0;
+      decisions = 0;
+      c_ticks = counter "control.ticks";
+      c_decisions = counter "control.decisions";
+      c_quantum_down = counter "control.quantum_down";
+      c_quantum_up = counter "control.quantum_up";
+      c_shed_down = counter "control.shed_down";
+      c_shed_up = counter "control.shed_up";
+      c_skipped = counter "control.skipped";
+      g_burn = gauge "control.burn";
+      g_predicted = gauge "control.predicted_sojourn_ns";
+      g_shed_limit = gauge "control.shed_limit";
+      g_quantum = gauge "control.quantum_ns";
+    }
+  in
+  Tq_obs.Counters.set t.g_shed_limit (float_of_int cfg.shed_initial);
+  Tq_obs.Counters.set t.g_quantum (float_of_int cfg.quantum_initial_ns);
+  t
+
+let config t = t.cfg
+
+let initial_actions t =
+  [
+    Set_quantum { class_idx = None; quantum_ns = t.cfg.quantum_initial_ns };
+    Set_shed_limit { max_in_system = t.shed_limit };
+  ]
+
+let fresh_class cfg =
+  {
+    quantum_ns = cfg.quantum_initial_ns;
+    last = { completed = 0; good = 0; shed = 0 };
+    burn = 0.0;
+    hot = 0;
+    cool = 0;
+  }
+
+let ensure_classes t n =
+  let have = Array.length t.classes in
+  if n > have then
+    t.classes <-
+      Array.init n (fun i -> if i < have then t.classes.(i) else fresh_class t.cfg)
+
+(* Late burn over one window: the fraction of completions that missed
+   the latency target, over the error budget.  Sheds are deliberately
+   excluded — the quantum only shapes the latency of what was admitted,
+   and counting sheds here would lock the loop at the floor whenever the
+   gate is doing its job under overload. *)
+let late_burn (cfg : config) ~completed ~good =
+  if completed <= 0 then 0.0
+  else
+    let late_frac = float_of_int (completed - good) /. float_of_int completed in
+    late_frac /. (1.0 -. cfg.objective.Tq_obs.Slo.goodput)
+
+(* One class's quantum loop: persistence-gated multiplicative moves.
+   [system_breaching] is the whole-system burn verdict this tick: when
+   every class is late the problem is backlog, and shrinking a quantum
+   cannot drain a queue — it only adds preemption overhead — so the
+   decrease is suppressed and the admission loop handles it.  The
+   quantum shrinks only on {e differential} lateness: this class burns
+   while the system as a whole is inside budget, the signature of
+   short requests stuck behind long slices (interference, not load). *)
+let step_class t idx (st : class_state) (cur : class_sample) ~system_breaching
+    actions =
+  let cfg = t.cfg in
+  let d_completed = cur.completed - st.last.completed
+  and d_good = cur.good - st.last.good in
+  st.last <- cur;
+  if d_completed < cfg.min_window then (
+    Tq_obs.Counters.incr t.c_skipped;
+    actions)
+  else begin
+    st.burn <- late_burn cfg ~completed:d_completed ~good:d_good;
+    let move target counter =
+      if target = st.quantum_ns then actions
+      else begin
+        st.quantum_ns <- target;
+        t.decisions <- t.decisions + 1;
+        Tq_obs.Counters.incr t.c_decisions;
+        Tq_obs.Counters.incr counter;
+        if idx = 0 then Tq_obs.Counters.set t.g_quantum (float_of_int target);
+        Set_quantum { class_idx = Some idx; quantum_ns = target } :: actions
+      end
+    in
+    if st.burn >= cfg.burn_hi then begin
+      st.cool <- 0;
+      if system_breaching then begin
+        st.hot <- 0;
+        actions
+      end
+      else begin
+        st.hot <- st.hot + 1;
+        if st.hot >= cfg.hold_ticks then begin
+          st.hot <- 0;
+          let target =
+            max cfg.quantum_min_ns
+              (int_of_float (float_of_int st.quantum_ns *. cfg.decrease))
+          in
+          move target t.c_quantum_down
+        end
+        else actions
+      end
+    end
+    else if st.burn <= cfg.burn_lo then begin
+      st.hot <- 0;
+      if system_breaching then begin
+        (* The class looks healthy only because its completions predate
+           the backlog; don't trade preemption granularity away now. *)
+        st.cool <- 0;
+        actions
+      end
+      else begin
+        st.cool <- st.cool + 1;
+        if st.cool >= cfg.hold_ticks then begin
+          st.cool <- 0;
+          let target =
+            min cfg.quantum_max_ns
+              (max (st.quantum_ns + 1)
+                 (int_of_float (float_of_int st.quantum_ns *. cfg.increase)))
+          in
+          move target t.c_quantum_up
+        end
+        else actions
+      end
+    end
+    else begin
+      (* dead band: burn is acceptable, reset persistence counters *)
+      st.hot <- 0;
+      st.cool <- 0;
+      actions
+    end
+  end
+
+(* The admission loop.  Its breach sensor is deliberately {e leading}:
+   besides the (lagging) late-completion burn it watches the predicted
+   sojourn — in-flight depth over smoothed completion rate, Little's
+   law — which flags a growing backlog ~one service time before late
+   completions start arriving.  On sustained breach the in-system cap
+   snaps to the Little's-law target (rate x latency target x headroom,
+   the deepest backlog the measured capacity can drain inside the
+   objective) and never below it: once the cap sits at the target,
+   residual lateness is old backlog draining (or damage the gate
+   cannot fix), and cutting further only trades completions for sheds.
+   On sustained health it probes upward additively, and only while the
+   gate is actually binding (sheds happened this window) — raising a
+   cap the system never reaches would silently disarm it for the next
+   burst.  The asymmetry (snap down, creep up) keeps recovery from
+   overshooting into a fresh breach. *)
+let step_shed t ~window_ok ~in_flight ~d_shed actions =
+  let cfg = t.cfg in
+  if not window_ok || t.rate_ewma <= 0.0 then actions
+  else begin
+    let latency = float_of_int cfg.objective.Tq_obs.Slo.latency_ns in
+    let predicted_ns = float_of_int in_flight /. t.rate_ewma in
+    Tq_obs.Counters.set t.g_predicted predicted_ns;
+    let little =
+      max cfg.shed_min
+        (min cfg.shed_max (int_of_float (t.rate_ewma *. latency *. cfg.headroom)))
+    in
+    let move target counter =
+      if target = t.shed_limit then actions
+      else begin
+        t.shed_limit <- target;
+        t.decisions <- t.decisions + 1;
+        Tq_obs.Counters.incr t.c_decisions;
+        Tq_obs.Counters.incr counter;
+        Tq_obs.Counters.set t.g_shed_limit (float_of_int target);
+        Set_shed_limit { max_in_system = target } :: actions
+      end
+    in
+    let breaching = t.global_burn >= cfg.burn_hi || predicted_ns > latency in
+    let healthy =
+      t.global_burn <= cfg.burn_lo && predicted_ns < cfg.headroom *. latency
+    in
+    if breaching then begin
+      t.shed_cool <- 0;
+      t.shed_hot <- t.shed_hot + 1;
+      if t.shed_hot >= cfg.hold_ticks then begin
+        t.shed_hot <- 0;
+        if little < t.shed_limit then move little t.c_shed_down else actions
+      end
+      else actions
+    end
+    else if healthy then begin
+      t.shed_hot <- 0;
+      t.shed_cool <- t.shed_cool + 1;
+      if t.shed_cool >= cfg.hold_ticks then begin
+        t.shed_cool <- 0;
+        if d_shed > 0 then
+          move (min cfg.shed_max (t.shed_limit + max 1 (t.shed_limit / 8))) t.c_shed_up
+        else actions
+      end
+      else actions
+    end
+    else begin
+      t.shed_hot <- 0;
+      t.shed_cool <- 0;
+      actions
+    end
+  end
+
+let tick t (sample : sample) =
+  t.ticks <- t.ticks + 1;
+  Tq_obs.Counters.incr t.c_ticks;
+  ensure_classes t (Array.length sample.classes);
+  (* Aggregate the window before per-class state consumes [last]. *)
+  let d_completed = ref 0 and d_good = ref 0 and d_shed = ref 0 in
+  Array.iteri
+    (fun i (cur : class_sample) ->
+      let st = t.classes.(i) in
+      d_completed := !d_completed + (cur.completed - st.last.completed);
+      d_good := !d_good + (cur.good - st.last.good);
+      d_shed := !d_shed + (cur.shed - st.last.shed))
+    sample.classes;
+  (* Smoothed service capacity estimate (completions per ns), the input
+     to the Little's-law shed target. *)
+  (match t.last_now_ns with
+  | Some last when sample.now_ns > last ->
+      let rate = float_of_int !d_completed /. float_of_int (sample.now_ns - last) in
+      t.rate_ewma <-
+        (if t.rate_ewma = 0.0 then rate
+         else (0.3 *. rate) +. (0.7 *. t.rate_ewma))
+  | _ -> ());
+  t.last_now_ns <- Some sample.now_ns;
+  let window_ok = !d_completed >= t.cfg.min_window in
+  if window_ok then begin
+    t.global_burn <- late_burn t.cfg ~completed:!d_completed ~good:!d_good;
+    Tq_obs.Counters.set t.g_burn t.global_burn
+  end;
+  let system_breaching = window_ok && t.global_burn >= t.cfg.burn_hi in
+  let actions = ref [] in
+  Array.iteri
+    (fun i cur ->
+      actions := step_class t i t.classes.(i) cur ~system_breaching !actions)
+    sample.classes;
+  actions := step_shed t ~window_ok ~in_flight:sample.in_flight ~d_shed:!d_shed !actions;
+  List.rev !actions
+
+let quantum_ns t ~class_idx =
+  if class_idx >= 0 && class_idx < Array.length t.classes then
+    t.classes.(class_idx).quantum_ns
+  else t.cfg.quantum_initial_ns
+
+let shed_limit t = t.shed_limit
+let ticks t = t.ticks
+let decisions t = t.decisions
+
+let state_json t =
+  let module J = Tq_util.Json in
+  let classes =
+    Array.to_list
+      (Array.mapi
+         (fun i (st : class_state) ->
+           J.Obj
+             [
+               ("class", J.Number (float_of_int i));
+               ("quantum_ns", J.Number (float_of_int st.quantum_ns));
+               ("burn", J.Number st.burn);
+               ("completed", J.Number (float_of_int st.last.completed));
+               ("good", J.Number (float_of_int st.last.good));
+               ("shed", J.Number (float_of_int st.last.shed));
+             ])
+         t.classes)
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("ticks", J.Number (float_of_int t.ticks));
+         ("decisions", J.Number (float_of_int t.decisions));
+         ("shed_limit", J.Number (float_of_int t.shed_limit));
+         ("burn", J.Number t.global_burn);
+         ("objective_latency_ns",
+          J.Number (float_of_int t.cfg.objective.Tq_obs.Slo.latency_ns));
+         ("objective_goodput", J.Number t.cfg.objective.Tq_obs.Slo.goodput);
+         ("classes", J.List classes);
+       ])

@@ -33,7 +33,8 @@ let tuning workload =
   let deadline_ns = 4 * timeout_ns in
   let retry =
     {
-      Retry.timeout_ns;
+      Retry.default_config with
+      timeout_ns;
       max_attempts = 3;
       backoff_base_ns = timeout_ns / 8;
       backoff_cap_ns = timeout_ns;
@@ -66,6 +67,7 @@ let base_config ~workload ~rate_rps ~duration_ns ~faults =
     health_interval_ns = Some 20_000;
     missed_heartbeats = 2;
     deadline_ns;
+    controller = None;
   }
 
 let pct v = Printf.sprintf "%.1f" (100.0 *. v)

@@ -170,6 +170,13 @@ let all =
           pt "admission-overload" Faults.faults_admission;
         ];
     };
+    {
+      id = "adaptive";
+      plot = false;
+      summary = "Robustness: feedback-controlled quanta + admission vs static knobs";
+      points =
+        [ pt "stall" Adaptive.adaptive_stall; pt "overload" Adaptive.adaptive_overload ];
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -29,6 +29,8 @@ type config = {
           [None] = no failure handling (the ablation) *)
   missed_heartbeats : int;
   deadline_ns : int;  (** goodput deadline per request *)
+  controller : Tq_control.Controller.config option;
+      (** feedback control of quantum + admission; [None] = static knobs *)
 }
 
 let default_config ~rate_rps ~duration_ns =
@@ -42,6 +44,7 @@ let default_config ~rate_rps ~duration_ns =
     health_interval_ns = Some 20_000;
     missed_heartbeats = 2;
     deadline_ns = 200_000;
+    controller = None;
   }
 
 type result = {
@@ -59,6 +62,8 @@ type result = {
   stall_ns_injected : int;
   kills : int;
   outages : int;
+  control_ticks : int;  (** controller samples taken (0 without one) *)
+  control_decisions : int;  (** knob movements the controller emitted *)
 }
 
 let run ?obs ~system ~workload config =
@@ -66,17 +71,83 @@ let run ?obs ~system ~workload config =
   let rng = Prng.create ~seed:config.seed in
   let warmup_ns = config.duration_ns / 10 in
   let metrics = Metrics.create ~workload ~warmup_ns in
+  let ctl = Option.map (Tq_control.Controller.create ?obs) config.controller in
+  (* Controller sensing: cumulative per-class completion counts, where
+     "good" means first-completion sojourn within the objective's
+     latency target.  Maintained inline on the completion/reject path so
+     the periodic tick only reads. *)
+  let class_count = Tq_workload.Service_dist.class_count workload in
+  let ctl_completed = Array.make class_count 0
+  and ctl_good = Array.make class_count 0
+  and ctl_shed = Array.make class_count 0 in
+  let ctl_latency_ns =
+    match ctl with
+    | Some c ->
+        (Tq_control.Controller.config c).Tq_control.Controller.objective
+          .Tq_obs.Slo.latency_ns
+    | None -> max_int
+  in
   (* Completion routing is decided after the retry layer exists; the
      systems close over this cell. *)
   let note_complete = ref (fun (_ : Job.t) -> ()) in
-  let on_complete job = !note_complete job in
+  let on_complete job =
+    (if ctl <> None then begin
+       let idx = job.Job.class_idx in
+       ctl_completed.(idx) <- ctl_completed.(idx) + 1;
+       if Sim.now sim - job.Job.arrival_ns <= ctl_latency_ns then
+         ctl_good.(idx) <- ctl_good.(idx) + 1
+     end);
+    !note_complete job
+  in
+  let on_reject (req : Arrivals.request) =
+    if ctl <> None then
+      ctl_shed.(req.class_idx) <- ctl_shed.(req.class_idx) + 1
+  in
   (* One path over the packed instance: System_intf carries the
      per-system differences (admission is TQ-only, the health monitor is
      a no-op elsewhere, fault hooks address worker ground truth). *)
   let inst =
     System_intf.instantiate system sim ~rng:(Prng.split rng) ~metrics ?obs
-      ~admission:config.admission ~on_complete ()
+      ~admission:config.admission ~on_complete ~on_reject ()
   in
+  (* Close the loop: sample the running system at the controller's
+     cadence and apply whatever knob movements it returns. *)
+  (match ctl with
+  | Some c ->
+      let apply = function
+        | Tq_control.Controller.Set_quantum { class_idx; quantum_ns } ->
+            System_intf.set_quantum inst ~class_idx ~quantum_ns
+        | Tq_control.Controller.Set_shed_limit { max_in_system } ->
+            System_intf.set_admission inst (Admission.Queue_limit { max_in_system })
+      in
+      List.iter apply (Tq_control.Controller.initial_actions c);
+      let interval_ns =
+        (Tq_control.Controller.config c).Tq_control.Controller.interval_ns
+      in
+      ignore
+        (Sim.periodic sim ~until:config.duration_ns ~interval:interval_ns (fun () ->
+             let queued, in_flight, busy_cores = System_intf.obs_snapshot inst in
+             let classes =
+               Array.init class_count (fun i ->
+                   {
+                     Tq_control.Controller.completed = ctl_completed.(i);
+                     good = ctl_good.(i);
+                     shed = ctl_shed.(i);
+                   })
+             in
+             let actions =
+               Tq_control.Controller.tick c
+                 {
+                   Tq_control.Controller.now_ns = Sim.now sim;
+                   queued;
+                   in_flight;
+                   busy_cores;
+                   classes;
+                 }
+             in
+             List.iter apply actions)
+          : Sim.periodic)
+  | None -> ());
   (match config.health_interval_ns with
   | Some interval_ns ->
       System_intf.install_health_monitor inst ~interval_ns ~until_ns:config.duration_ns
@@ -139,6 +210,10 @@ let run ?obs ~system ~workload config =
     stall_ns_injected = Injector.stall_ns_injected injected;
     kills = Injector.kills injected;
     outages = Injector.outages injected;
+    control_ticks =
+      (match ctl with Some c -> Tq_control.Controller.ticks c | None -> 0);
+    control_decisions =
+      (match ctl with Some c -> Tq_control.Controller.decisions c | None -> 0);
   }
 
 (* Post-warm-up goodput as a fraction of the post-warm-up offered load

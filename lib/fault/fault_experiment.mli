@@ -18,10 +18,17 @@ type config = {
           [None] = no failure handling (the ablation) *)
   missed_heartbeats : int;
   deadline_ns : int;  (** goodput deadline per request *)
+  controller : Tq_control.Controller.config option;
+      (** feedback control of quantum + admission: sampled at the
+          controller's cadence via a {!Tq_engine.Sim.periodic}, actuated
+          through {!Tq_sched.System_intf.S.set_quantum} /
+          [set_admission]; [None] = static knobs (the historical
+          behavior) *)
 }
 
 (** Fault-free defaults: seed 42, retry on, health tracking every 20 us
-    (2 missed heartbeats), accept-all admission, 200 us deadline. *)
+    (2 missed heartbeats), accept-all admission, 200 us deadline, no
+    controller. *)
 val default_config : rate_rps:float -> duration_ns:int -> config
 
 (** Outcome of one fault run: throughput accounting plus injection
@@ -41,6 +48,8 @@ type result = {
   stall_ns_injected : int;
   kills : int;
   outages : int;
+  control_ticks : int;  (** controller samples taken (0 without one) *)
+  control_decisions : int;  (** knob movements the controller emitted *)
 }
 
 (** [run ?obs ~system ~workload config] executes one seeded fault run:

@@ -1,0 +1,91 @@
+(* A wall-clock fault schedule for the live server: the DES injector's
+   failure modes (Plan.Stalls / Kills / Dispatcher_outage) as concrete
+   timed events, fired against caller-provided hooks from whatever loop
+   owns the clock (the dispatcher's on_tick).  No thread of its own —
+   events fire on the first poll at-or-after their deadline, which on a
+   polling dispatcher means within one loop pass. *)
+
+type event =
+  | Stall of { at_ns : int; worker : int; duration_ns : int }
+  | Kill of { at_ns : int; worker : int }
+  | Pause of { at_ns : int; duration_ns : int }
+
+type actions = {
+  stall : worker:int -> duration_ns:int -> unit;
+  kill : worker:int -> unit;
+  pause : duration_ns:int -> unit;
+}
+
+type t = {
+  mutable queue : event list;  (** sorted by deadline, relative to [epoch_ns] *)
+  mutable epoch_ns : int;  (** set on first poll: events are schedule-relative *)
+  mutable fired : int;
+}
+
+let at_ns = function
+  | Stall { at_ns; _ } | Kill { at_ns; _ } | Pause { at_ns; _ } -> at_ns
+
+let create events =
+  {
+    queue = List.sort (fun a b -> compare (at_ns a) (at_ns b)) events;
+    epoch_ns = -1;
+    fired = 0;
+  }
+
+let pending t = List.length t.queue
+let fired t = t.fired
+
+let poll t ~now_ns actions =
+  if t.epoch_ns < 0 then t.epoch_ns <- now_ns;
+  let rel = now_ns - t.epoch_ns in
+  let rec go n = function
+    | ev :: rest when at_ns ev <= rel ->
+        (match ev with
+        | Stall { worker; duration_ns; _ } -> actions.stall ~worker ~duration_ns
+        | Kill { worker; _ } -> actions.kill ~worker
+        | Pause { duration_ns; _ } -> actions.pause ~duration_ns);
+        go (n + 1) rest
+    | rest ->
+        t.queue <- rest;
+        n
+  in
+  let n = go 0 t.queue in
+  t.fired <- t.fired + n;
+  n
+
+(* Spec grammar (comma-separated, times in milliseconds from start):
+     stall@T:wN:D   stall worker N at T for D
+     kill@T:wN      kill worker N at T
+     pause@T:D      pause the dispatcher at T for D
+   e.g. "stall@200:w0:50,kill@500:w1,pause@800:20". *)
+let parse_one s =
+  let ns_of_ms f = int_of_float (f *. 1e6) in
+  match Scanf.sscanf_opt s "stall@%f:w%d:%f%!" (fun t w d -> (t, w, d)) with
+  | Some (at, worker, dur) ->
+      if worker < 0 then Error (Printf.sprintf "bad worker in %S" s)
+      else Ok (Stall { at_ns = ns_of_ms at; worker; duration_ns = ns_of_ms dur })
+  | None -> (
+      match Scanf.sscanf_opt s "kill@%f:w%d%!" (fun t w -> (t, w)) with
+      | Some (at, worker) ->
+          if worker < 0 then Error (Printf.sprintf "bad worker in %S" s)
+          else Ok (Kill { at_ns = ns_of_ms at; worker })
+      | None -> (
+          match Scanf.sscanf_opt s "pause@%f:%f%!" (fun t d -> (t, d)) with
+          | Some (at, dur) -> Ok (Pause { at_ns = ns_of_ms at; duration_ns = ns_of_ms dur })
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad fault event %S (want stall@MS:wN:MS | kill@MS:wN | pause@MS:MS)"
+                   s)))
+
+let parse spec =
+  let parts =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match parse_one p with Ok e -> go (e :: acc) rest | Error _ as e -> e)
+  in
+  go [] parts

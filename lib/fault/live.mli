@@ -1,0 +1,51 @@
+(** Wall-clock fault schedule for the live serving path.
+
+    The DES {!Injector} proves robustness in simulation; this module
+    carries the same failure modes to a real running server.  Build a
+    schedule from typed {!event}s (or {!parse} a CLI spec), then {!poll}
+    it from the loop that owns the clock — e.g. the dispatcher's
+    [Server.on_tick] hook — with the {!actions} that actually inflict
+    each fault ([Server.inject_stall] / [kill_worker] /
+    [pause_dispatcher]).  Threadless and deterministic: an event fires
+    on the first poll at or after its deadline.
+
+    Event times are relative to the {e first poll}, not to process
+    start, so a schedule aligns with the serving window regardless of
+    startup cost. *)
+
+(** One scheduled fault.  [at_ns] is schedule-relative. *)
+type event =
+  | Stall of { at_ns : int; worker : int; duration_ns : int }
+      (** busy-occupy one worker core: no service, no heartbeat *)
+  | Kill of { at_ns : int; worker : int }
+      (** the worker domain exits permanently, abandoning queued work *)
+  | Pause of { at_ns : int; duration_ns : int }
+      (** the dispatcher loop goes silent for the duration *)
+
+(** How to inflict each fault kind on the target system. *)
+type actions = {
+  stall : worker:int -> duration_ns:int -> unit;
+  kill : worker:int -> unit;
+  pause : duration_ns:int -> unit;
+}
+
+type t
+
+(** [create events] — a schedule; order does not matter. *)
+val create : event list -> t
+
+(** [poll t ~now_ns actions] — fire every event due at [now_ns]
+    (against the first poll's epoch) and return how many fired. *)
+val poll : t -> now_ns:int -> actions -> int
+
+(** Events not yet fired. *)
+val pending : t -> int
+
+(** Events fired so far. *)
+val fired : t -> int
+
+(** [parse spec] — comma-separated events, times in milliseconds from
+    the schedule epoch: [stall@T:wN:D] (stall worker N at T for D),
+    [kill@T:wN], [pause@T:D].  E.g.
+    ["stall@200:w0:50,kill@500:w1,pause@800:20"]. *)
+val parse : string -> (event list, string) result

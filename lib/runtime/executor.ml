@@ -63,7 +63,7 @@ let submit t work =
            policy = "jsq-msq";
            queue_len = Task_worker.queue_length worker;
          });
-  Task_worker.submit worker { Task_worker.task_id = t.next_task_id; work }
+  Task_worker.submit worker { Task_worker.task_id = t.next_task_id; class_idx = 0; work }
 
 let run t =
   let any = ref true in

@@ -9,18 +9,24 @@ type worker_handle = {
   assigned : int Atomic.t;  (** written by dispatcher *)
   finished : int Atomic.t;  (** written by worker *)
   yields : int Atomic.t;
+  beats : int Atomic.t;  (** liveness heartbeat: bumped once per loop pass *)
+  stall_until_ns : int Atomic.t;  (** fault hook: busy-occupy until this stamp *)
+  killed : bool Atomic.t;  (** fault hook: domain exits at next loop pass *)
+  dead : bool Atomic.t;  (** dispatcher verdict: excluded from JSQ/in-flight *)
 }
 
 type t = {
   handles : worker_handle array;
   domains : unit Domain.t array;
   stop : bool Atomic.t;
+  base_quantum : int Atomic.t;  (** live quantum, read by workers per slice *)
+  class_quanta : int Atomic.t array;  (** per-class overrides; <= 0 = inherit *)
   mutable live : bool;  (** false after shutdown; guarded by the producer thread *)
   mutable next_tag : int;  (** producer-side fallback task-id source *)
 }
 
-let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
-    ~stall_threshold_ns ~gc_pause_ns =
+let worker_loop handle ~wid ~quantum_ns ~base_quantum ~class_quanta ~stop ~spans
+    ~reg ~track_probes ~stall_threshold_ns ~gc_pause_ns =
   let clock = Clock.wall () in
   let obs =
     match reg with
@@ -73,8 +79,21 @@ let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
     | None -> ()
     | Some f -> gc_at_last_end := f ()
   in
+  (* Live quantum resolution, one slice at a time: a per-class override
+     when the controller set one, the shared base otherwise.  Two atomic
+     loads per slice — the price of retuning a running pool without
+     stopping it. *)
+  let class_quantum ~class_idx =
+    let q =
+      if class_idx >= 0 && class_idx < Array.length class_quanta then
+        Atomic.get class_quanta.(class_idx)
+      else 0
+    in
+    if q > 0 then q else Atomic.get base_quantum
+  in
   let worker =
-    Task_worker.create ~obs ~wid ~track_probes ~on_quantum ~clock ~quantum_ns
+    Task_worker.create ~obs ~wid ~track_probes ~on_quantum ~class_quantum ~clock
+      ~quantum_ns
       ~on_finish:(fun _ -> Atomic.incr handle.finished)
       ()
   in
@@ -98,29 +117,47 @@ let worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
   in
   (* Persistent service loop: exits only when the stop flag is up AND
      both the ring and the local run queue are empty — admitted work is
-     never abandoned (the zero-loss drain guarantee). *)
+     never abandoned (the zero-loss drain guarantee).  Fault hooks break
+     that ideal on purpose: [killed] makes the domain exit immediately,
+     abandoning whatever it holds (the dispatcher's heartbeat monitor is
+     responsible for noticing and re-dispatching); [stall_until_ns]
+     busy-occupies the core without serving — a CPU antagonist — during
+     which the heartbeat stops, exactly like a real stuck worker. *)
   let backoff = Backoff.create () in
   let rec loop () =
-    drain_ring ();
-    let ran = Task_worker.run_slice worker in
-    Atomic.set handle.yields (Task_worker.total_yields worker);
-    if ran then begin
-      Backoff.reset backoff;
-      loop ()
-    end
+    Atomic.incr handle.beats;
+    if Atomic.get handle.killed then ()
     else begin
-      last_end := -1;
-      if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
-      else begin
-        Backoff.once backoff;
+      let su = Atomic.get handle.stall_until_ns in
+      if su > 0 then begin
+        while Clock.now_ns clock < Atomic.get handle.stall_until_ns do
+          ()
+        done;
+        Atomic.set handle.stall_until_ns 0;
+        last_end := -1
+      end;
+      drain_ring ();
+      let ran = Task_worker.run_slice worker in
+      Atomic.set handle.yields (Task_worker.total_yields worker);
+      if ran then begin
+        Backoff.reset backoff;
         loop ()
+      end
+      else begin
+        last_end := -1;
+        if Atomic.get stop && Spsc_ring.length handle.ring = 0 then ()
+        else begin
+          Backoff.once backoff;
+          loop ()
+        end
       end
     end
   in
   loop ()
 
 let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
-    ?(spans = Span.null) ?worker_counters ?stall_threshold_ns ?gc_pause_ns () =
+    ?(classes = 0) ?(spans = Span.null) ?worker_counters ?stall_threshold_ns
+    ?gc_pause_ns () =
   if workers < 1 then invalid_arg "Parallel.create: need at least one worker";
   (match worker_counters with
   | Some regs when Array.length regs <> workers ->
@@ -133,6 +170,8 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
     invalid_arg "Parallel.create: stall threshold must be positive";
   let track_probes = worker_counters <> None in
   let stop = Atomic.make false in
+  let base_quantum = Atomic.make quantum_ns in
+  let class_quanta = Array.init (max 0 classes) (fun _ -> Atomic.make 0) in
   let handles =
     Array.init workers (fun _ ->
         {
@@ -140,6 +179,10 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
           assigned = Atomic.make 0;
           finished = Atomic.make 0;
           yields = Atomic.make 0;
+          beats = Atomic.make 0;
+          stall_until_ns = Atomic.make 0;
+          killed = Atomic.make false;
+          dead = Atomic.make false;
         })
   in
   let domains =
@@ -147,23 +190,31 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
       (fun wid handle ->
         let reg = Option.map (fun regs -> regs.(wid)) worker_counters in
         Domain.spawn (fun () ->
-            worker_loop handle ~wid ~quantum_ns ~stop ~spans ~reg ~track_probes
-              ~stall_threshold_ns ~gc_pause_ns))
+            worker_loop handle ~wid ~quantum_ns ~base_quantum ~class_quanta ~stop
+              ~spans ~reg ~track_probes ~stall_threshold_ns ~gc_pause_ns))
       handles
   in
-  { handles; domains; stop; live = true; next_tag = 0 }
+  { handles; domains; stop; base_quantum; class_quanta; live = true; next_tag = 0 }
 
 let workers t = Array.length t.handles
 let unfinished h = Atomic.get h.assigned - Atomic.get h.finished
+let worker_alive t ~worker = not (Atomic.get t.handles.(worker).dead)
+let alive_workers t =
+  Array.fold_left (fun acc h -> if Atomic.get h.dead then acc else acc + 1) 0 t.handles
 
+(* JSQ over the living: a worker marked dead keeps whatever counters it
+   froze with, so it must never win the argmin again. *)
 let pick t =
-  let best = ref 0 in
+  let best = ref (-1) in
   Array.iteri
-    (fun i h -> if unfinished h < unfinished t.handles.(!best) then best := i)
+    (fun i h ->
+      if not (Atomic.get h.dead) then
+        if !best < 0 || unfinished h < unfinished t.handles.(!best) then best := i)
     t.handles;
+  if !best < 0 then invalid_arg "Parallel.pick: every worker is dead";
   !best
 
-let submit_to t ?tag ~worker job =
+let submit_to t ?tag ?(class_idx = 0) ~worker job =
   if not t.live then invalid_arg "Parallel.submit_to: pool is shut down";
   if worker < 0 || worker >= Array.length t.handles then
     invalid_arg "Parallel.submit_to: no such worker";
@@ -175,16 +226,57 @@ let submit_to t ?tag ~worker job =
         t.next_tag <- t.next_tag + 1;
         t.next_tag
   in
-  if Spsc_ring.try_push handle.ring { Task_worker.task_id; work = job } then begin
+  if Spsc_ring.try_push handle.ring { Task_worker.task_id; class_idx; work = job }
+  then begin
     Atomic.incr handle.assigned;
     true
   end
   else false
 
-let submit t ?tag job = submit_to t ?tag ~worker:(pick t) job
-let in_flight t = Array.fold_left (fun acc h -> acc + unfinished h) 0 t.handles
+let submit t ?tag ?class_idx job = submit_to t ?tag ?class_idx ~worker:(pick t) job
+
+let in_flight t =
+  Array.fold_left
+    (fun acc h -> if Atomic.get h.dead then acc else acc + unfinished h)
+    0 t.handles
+
 let worker_in_flight t ~worker = unfinished t.handles.(worker)
 let ring_depth t ~worker = Spsc_ring.length t.handles.(worker).ring
+
+(* {2 Live actuation and fault hooks} *)
+
+let set_quantum t ?class_idx ~quantum_ns () =
+  if quantum_ns <= 0 then invalid_arg "Parallel.set_quantum: need a positive quantum";
+  match class_idx with
+  | Some i ->
+      if i >= 0 && i < Array.length t.class_quanta then
+        Atomic.set t.class_quanta.(i) quantum_ns
+  | None ->
+      Atomic.set t.base_quantum quantum_ns;
+      Array.iter (fun a -> Atomic.set a 0) t.class_quanta
+
+let quantum_ns t ?class_idx () =
+  match class_idx with
+  | Some i when i >= 0 && i < Array.length t.class_quanta ->
+      let q = Atomic.get t.class_quanta.(i) in
+      if q > 0 then q else Atomic.get t.base_quantum
+  | _ -> Atomic.get t.base_quantum
+
+let beats t ~worker = Atomic.get t.handles.(worker).beats
+
+let stall_worker t ~worker ~duration_ns ~now_ns =
+  if duration_ns > 0 then
+    Atomic.set t.handles.(worker).stall_until_ns (now_ns + duration_ns)
+
+let kill_worker t ~worker = Atomic.set t.handles.(worker).killed true
+
+let mark_dead t ~worker =
+  let h = t.handles.(worker) in
+  if Atomic.get h.dead then 0
+  else begin
+    Atomic.set h.dead true;
+    unfinished h
+  end
 
 let stats t =
   {

@@ -58,6 +58,7 @@ val create :
   ?workers:int ->
   ?quantum_ns:int ->
   ?ring_capacity:int ->
+  ?classes:int ->
   ?spans:Tq_obs.Span.t ->
   ?worker_counters:Tq_obs.Counters.t array ->
   ?stall_threshold_ns:int ->
@@ -65,24 +66,87 @@ val create :
   unit ->
   t
 
-(** Number of worker domains. *)
+(** Number of worker domains ([classes] in {!create} sizes the
+    per-class quantum override table read by {!set_quantum}). *)
 val workers : t -> int
 
 (** [pick t] — the least-loaded worker right now (JSQ over
-    assigned-minus-finished). *)
+    assigned-minus-finished), skipping workers marked dead by
+    {!mark_dead}.  Raises [Invalid_argument] when every worker is
+    dead. *)
 val pick : t -> int
 
-(** [submit_to t ?tag ~worker job] — push [job] onto [worker]'s ring;
-    [false] when the ring is full (shed or retry — nothing was
-    enqueued).  [tag] labels the job in worker-side observability (span
-    [req_id], trace job id); the server passes its request id so worker
-    quanta stitch to dispatcher spans.  Untagged jobs get a pool-unique
-    id.  Raises [Invalid_argument] after {!shutdown} or for an
-    out-of-range worker. *)
-val submit_to : t -> ?tag:int -> worker:int -> (unit -> unit) -> bool
+(** [submit_to t ?tag ?class_idx ~worker job] — push [job] onto
+    [worker]'s ring; [false] when the ring is full (shed or retry —
+    nothing was enqueued).  [tag] labels the job in worker-side
+    observability (span [req_id], trace job id); the server passes its
+    request id so worker quanta stitch to dispatcher spans.  Untagged
+    jobs get a pool-unique id.  [class_idx] (default 0) selects the
+    job's quantum class for {!set_quantum} overrides.  Raises
+    [Invalid_argument] after {!shutdown} or for an out-of-range
+    worker. *)
+val submit_to : t -> ?tag:int -> ?class_idx:int -> worker:int -> (unit -> unit) -> bool
 
-(** [submit t ?tag job] = [submit_to t ?tag ~worker:(pick t) job]. *)
-val submit : t -> ?tag:int -> (unit -> unit) -> bool
+(** [submit t ?tag ?class_idx job] =
+    [submit_to t ?tag ?class_idx ~worker:(pick t) job]. *)
+val submit : t -> ?tag:int -> ?class_idx:int -> (unit -> unit) -> bool
+
+(** {2 Live actuation}
+
+    The running pool's quantum knobs, writable from the dispatcher
+    while workers serve: each worker re-reads them (two atomic loads)
+    before every slice, so a retune lands within one quantum without
+    pausing anything.  This is the actuation surface the feedback
+    controller drives. *)
+
+(** [set_quantum t ?class_idx ~quantum_ns ()] — with [class_idx], set
+    that class's override (ignored when out of the [classes] range
+    given to {!create}); without, set the shared base quantum and clear
+    every per-class override.  Raises [Invalid_argument] on a
+    non-positive quantum. *)
+val set_quantum : t -> ?class_idx:int -> quantum_ns:int -> unit -> unit
+
+(** The quantum a slice of [class_idx] (default: base) would run with
+    right now. *)
+val quantum_ns : t -> ?class_idx:int -> unit -> int
+
+(** {2 Fault hooks and worker health}
+
+    The live fault plane: the same failure modes the DES injector
+    models ({!Tq_fault.Injector}), inflicted on real domains.  The pool
+    only provides mechanisms — detection and re-dispatch policy live in
+    the dispatcher (see {!Tq_serve.Server}'s heartbeat monitor). *)
+
+(** [beats t ~worker] — the worker's loop-pass heartbeat counter.  A
+    worker that is executing, polling or backing off beats continuously;
+    one that is killed, stalled or wedged stops.  Monotone; sample and
+    difference to detect progress. *)
+val beats : t -> worker:int -> int
+
+(** [stall_worker t ~worker ~duration_ns ~now_ns] — make the worker
+    busy-occupy its core (no service, no heartbeat) until
+    [now_ns + duration_ns] on its wall clock: a CPU antagonist /
+    stuck-worker fault.  The worker resumes by itself. *)
+val stall_worker : t -> worker:int -> duration_ns:int -> now_ns:int -> unit
+
+(** [kill_worker t ~worker] — the worker domain exits at its next loop
+    pass, abandoning its ring and run queue (jobs neither execute nor
+    complete).  Permanent; detection and recovery are the dispatcher's
+    job. *)
+val kill_worker : t -> worker:int -> unit
+
+(** [mark_dead t ~worker] — the dispatcher's verdict after missed
+    heartbeats: exclude the worker from {!pick}, {!in_flight} and
+    {!alive_workers} so scheduling and drain proceed without it.
+    Returns the worker's admitted-but-unfinished count at the verdict
+    (the jobs the caller must re-dispatch); 0 if already dead. *)
+val mark_dead : t -> worker:int -> int
+
+(** [worker_alive t ~worker] — [false] once {!mark_dead} was called. *)
+val worker_alive : t -> worker:int -> bool
+
+(** Workers not marked dead. *)
+val alive_workers : t -> int
 
 (** Jobs admitted but not yet finished, pool-wide (queued on rings,
     queued on workers, or mid-quantum). *)

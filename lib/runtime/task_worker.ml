@@ -3,7 +3,7 @@ module Trace = Tq_obs.Trace
 module Event = Tq_obs.Event
 module Counters = Tq_obs.Counters
 
-type task = { task_id : int; work : unit -> unit }
+type task = { task_id : int; class_idx : int; work : unit -> unit }
 
 type running = {
   task : task;
@@ -19,6 +19,7 @@ type t = {
   on_finish : task -> unit;
   on_quantum :
     (task_id:int -> start_ns:int -> end_ns:int -> finished:bool -> unit) option;
+  class_quantum : (class_idx:int -> int) option;
   trace : Trace.t;
   lane : Event.lane;
   c_quanta : Counters.counter;
@@ -32,7 +33,7 @@ type t = {
 }
 
 let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ?(track_probes = false)
-    ?on_quantum ~clock ~quantum_ns ~on_finish () =
+    ?on_quantum ?class_quantum ~clock ~quantum_ns ~on_finish () =
   let reg = obs.Tq_obs.Obs.counters in
   let ctx = Probe_api.create ~clock ~quantum_ns in
   if track_probes then
@@ -43,6 +44,7 @@ let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ?(track_probes = false)
     queue = Deque.create ();
     on_finish;
     on_quantum;
+    class_quantum;
     trace = obs.Tq_obs.Obs.trace;
     lane = Event.Worker wid;
     c_quanta = Counters.counter reg "runtime.quanta";
@@ -69,6 +71,10 @@ let run_slice t =
   match Deque.pop_front t.queue with
   | None -> false
   | Some running -> begin
+      (match t.class_quantum with
+      | None -> ()
+      | Some f ->
+          Probe_api.set_quantum_ns t.ctx (f ~class_idx:running.task.class_idx));
       Probe_api.install t.ctx;
       Probe_api.start_quantum t.ctx;
       let start_ns = Clock.now_ns t.clock in

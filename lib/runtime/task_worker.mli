@@ -6,7 +6,11 @@
     tasks to the tail — processor sharing.  Maintains the finished-jobs
     and serviced-quanta counters the dispatcher reads. *)
 
-type task = { task_id : int; work : unit -> unit }
+type task = {
+  task_id : int;
+  class_idx : int;  (** request class, for per-class quantum lookup *)
+  work : unit -> unit;
+}
 
 type t
 
@@ -20,12 +24,18 @@ type t
     tracking on the worker's context ({!Probe_api.set_cadence}).
     [on_quantum] is called after every slice with the task id, wall
     start/end and whether the task completed — the hook the live server
-    uses to emit per-request quantum spans and detect stalls. *)
+    uses to emit per-request quantum spans and detect stalls.
+    [class_quantum], when given, is consulted before every slice with
+    the head task's [class_idx] and its result replaces the probe
+    context's quantum for that slice — the live actuation point for
+    feedback-controlled per-class quanta (the closure typically reads
+    an [Atomic] the dispatcher writes). *)
 val create :
   ?obs:Tq_obs.Obs.t ->
   ?wid:int ->
   ?track_probes:bool ->
   ?on_quantum:(task_id:int -> start_ns:int -> end_ns:int -> finished:bool -> unit) ->
+  ?class_quantum:(class_idx:int -> int) ->
   clock:Clock.t ->
   quantum_ns:int ->
   on_finish:(task -> unit) ->

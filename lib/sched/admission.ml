@@ -15,18 +15,30 @@ type policy =
       (** reject while the exponentially weighted moving average of
           completion sojourns exceeds [threshold_ns] *)
 
-type t = { policy : policy; mutable ewma_ns : float; mutable rejected : int }
+type t = { mutable policy : policy; mutable ewma_ns : float; mutable rejected : int }
 
-let create policy =
-  (match policy with
+let validate policy =
+  match policy with
   | Accept_all -> ()
   | Queue_limit { max_in_system } ->
       if max_in_system < 1 then invalid_arg "Admission: max_in_system must be >= 1"
   | Ewma_sojourn { threshold_ns; alpha } ->
       if threshold_ns <= 0 then invalid_arg "Admission: threshold_ns must be positive";
       if not (alpha > 0.0 && alpha <= 1.0) then
-        invalid_arg "Admission: alpha must be in (0, 1]");
+        invalid_arg "Admission: alpha must be in (0, 1]"
+
+let create policy =
+  validate policy;
   { policy; ewma_ns = 0.0; rejected = 0 }
+
+(* Live retune (the feedback controller's actuator): the rejection tally
+   and the sojourn EWMA survive the swap, so tightening and relaxing a
+   threshold mid-run never resets what the gate has learned. *)
+let set_policy t policy =
+  validate policy;
+  t.policy <- policy
+
+let policy t = t.policy
 
 let admit t ~in_system =
   let ok =

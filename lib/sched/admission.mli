@@ -18,6 +18,15 @@ type t
 (** Raises [Invalid_argument] on nonsensical parameters. *)
 val create : policy -> t
 
+(** [set_policy t p] swaps the live policy (the feedback controller's
+    actuator).  The rejection count and the sojourn EWMA are preserved
+    across the swap, so mid-run retuning never resets learned state.
+    Raises [Invalid_argument] on nonsensical parameters. *)
+val set_policy : t -> policy -> unit
+
+(** The policy currently in force. *)
+val policy : t -> policy
+
 (** [admit t ~in_system] decides one request; [in_system] is the
     dispatcher's count of admitted-but-unfinished requests.  Counts the
     rejection internally when the answer is [false]. *)

@@ -45,7 +45,7 @@ type op = Admit of Arrivals.request | Assign of { job : Job.t; wid : int }
 
 type t = {
   sim : Sim.t;
-  config : config;
+  mutable config : config;  (** mutable so the quantum can be retuned live *)
   queue : Job.t Deque.t;  (** central pending/preempted jobs, PS order *)
   busy : bool array;  (** worker executing a slice *)
   inflight : bool array;  (** an Assign op for this worker is at the dispatcher *)
@@ -361,6 +361,14 @@ let kill_worker t ~wid =
   end
 
 let lost_jobs t = t.lost
+
+(* Centralized preemption has one global quantum (the dispatcher decides
+   every slice), so per-class retuning degrades to the global knob. *)
+let set_quantum t ?class_idx:_ ~quantum_ns () =
+  if quantum_ns <= 0 then invalid_arg "Centralized.set_quantum: quantum must be positive";
+  match t.config.quantum_ns with
+  | None -> ()  (* FCFS mode has no quantum to retune *)
+  | Some _ -> t.config <- { t.config with quantum_ns = Some quantum_ns }
 
 let inject_dispatcher_outage t ~duration_ns =
   if Trace.enabled t.trace then

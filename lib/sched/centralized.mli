@@ -50,6 +50,12 @@ val create :
 
 val submit : t -> Tq_workload.Arrivals.request -> unit
 
+(** Retune the preemption quantum live, from the next slice on.
+    Centralized scheduling has one global quantum, so [class_idx] is
+    accepted and ignored; no-op in FCFS mode.  Raises
+    [Invalid_argument] on a non-positive quantum. *)
+val set_quantum : t -> ?class_idx:int -> quantum_ns:int -> unit -> unit
+
 (** {2 Fault injection}
 
     Same model as {!Worker}: a stall is a transient blackout served

@@ -32,6 +32,14 @@ module type S = sig
   val kill_worker : t -> wid:int -> unit
   val inject_dispatcher_outage : t -> dispatcher:int -> duration_ns:int -> unit
 
+  (** Live actuators for feedback control.  Systems without the knob
+      degrade to a no-op (Caladan is FCFS: no quantum; the baselines
+      have no admission gate), preserving the no-per-system-branching
+      driver contract. *)
+
+  val set_quantum : t -> class_idx:int option -> quantum_ns:int -> unit
+  val set_admission : t -> Admission.policy -> unit
+
   val install_health_monitor :
     t -> interval_ns:int -> until_ns:int -> missed_heartbeats:int -> unit
 end
@@ -57,6 +65,8 @@ module Two_level_system : S with type t = Two_level.t = struct
 
   let kill_worker t ~wid = Worker.kill (Two_level.workers t).(wid)
   let inject_dispatcher_outage = Two_level.inject_dispatcher_outage
+  let set_quantum t ~class_idx ~quantum_ns = Two_level.set_quantum t ?class_idx ~quantum_ns ()
+  let set_admission = Two_level.set_admission_policy
 
   let install_health_monitor t ~interval_ns ~until_ns ~missed_heartbeats =
     ignore
@@ -85,6 +95,8 @@ module Centralized_system : S with type t = Centralized.t = struct
     Centralized.inject_dispatcher_outage t ~duration_ns
 
   let install_health_monitor _ ~interval_ns:_ ~until_ns:_ ~missed_heartbeats:_ = ()
+  let set_quantum t ~class_idx ~quantum_ns = Centralized.set_quantum t ?class_idx ~quantum_ns ()
+  let set_admission _ _ = ()
 end
 
 module Caladan_system : S with type t = Caladan.t = struct
@@ -111,6 +123,11 @@ module Caladan_system : S with type t = Caladan.t = struct
     Caladan.inject_iokernel_outage t ~duration_ns
 
   let install_health_monitor _ ~interval_ns:_ ~until_ns:_ ~missed_heartbeats:_ = ()
+
+  (* FCFS run-to-completion: there is no quantum and no admission gate
+     to retune. *)
+  let set_quantum _ ~class_idx:_ ~quantum_ns:_ = ()
+  let set_admission _ _ = ()
 end
 
 let instantiate spec sim ~rng ~metrics ?obs ?admission ?on_complete ?on_reject ?on_lost
@@ -146,3 +163,8 @@ let inject_dispatcher_outage (Instance ((module M), t)) ~dispatcher ~duration_ns
 let install_health_monitor (Instance ((module M), t)) ~interval_ns ~until_ns
     ~missed_heartbeats =
   M.install_health_monitor t ~interval_ns ~until_ns ~missed_heartbeats
+
+let set_quantum (Instance ((module M), t)) ~class_idx ~quantum_ns =
+  M.set_quantum t ~class_idx ~quantum_ns
+
+let set_admission (Instance ((module M), t)) policy = M.set_admission t policy

@@ -80,6 +80,19 @@ module type S = sig
       with a single (or no) central core ignore [dispatcher]. *)
   val inject_dispatcher_outage : t -> dispatcher:int -> duration_ns:int -> unit
 
+  (** {2 Live actuators} — the knobs a feedback controller
+      ({!Tq_control}) turns while the system runs.  Systems without the
+      knob degrade to a no-op: Caladan is FCFS run-to-completion (no
+      quantum), and only TQ has a front-door admission gate. *)
+
+  (** Retune the preemption quantum from the next slice on; [class_idx
+      = None] retunes the base quantum, [Some c] one request class
+      (systems with a single global quantum ignore the class). *)
+  val set_quantum : t -> class_idx:int option -> quantum_ns:int -> unit
+
+  (** Swap the live admission policy (shed threshold / queue limit). *)
+  val set_admission : t -> Admission.policy -> unit
+
   (** Start periodic heartbeat health tracking (TQ only; a no-op for
       systems without a dispatcher health estimate). *)
   val install_health_monitor :
@@ -120,6 +133,8 @@ val lost_jobs : instance -> int
 val inject_stall : instance -> wid:int -> duration_ns:int -> unit
 val kill_worker : instance -> wid:int -> unit
 val inject_dispatcher_outage : instance -> dispatcher:int -> duration_ns:int -> unit
+val set_quantum : instance -> class_idx:int option -> quantum_ns:int -> unit
+val set_admission : instance -> Admission.policy -> unit
 
 val install_health_monitor :
   instance -> interval_ns:int -> until_ns:int -> missed_heartbeats:int -> unit

@@ -246,6 +246,14 @@ let submit t req =
             send_over_ring t job widx)
   end
 
+(* {2 Live retuning (the feedback controller's actuators)} *)
+
+let set_quantum t ?class_idx ~quantum_ns () =
+  Array.iter (fun w -> Worker.set_quantum w ?class_idx ~quantum_ns ()) t.workers
+
+let set_admission_policy t policy = Admission.set_policy t.admission policy
+let admission t = t.admission
+
 (* {2 Health tracking} *)
 
 let mark_worker_dead t ~wid =

@@ -100,6 +100,22 @@ val install_health_monitor :
     served when the outage ends. *)
 val inject_dispatcher_outage : t -> dispatcher:int -> duration_ns:int -> unit
 
+(** {2 Live retuning}
+
+    Actuators for {!Tq_control}-style feedback controllers: both take
+    effect from the next slice / next arrival, never mid-event. *)
+
+(** Retune the PS quantum on every worker core (see
+    {!Worker.set_quantum}). *)
+val set_quantum : t -> ?class_idx:int -> quantum_ns:int -> unit -> unit
+
+(** Swap the live admission policy; rejection count and sojourn EWMA
+    survive (see {!Admission.set_policy}). *)
+val set_admission_policy : t -> Admission.policy -> unit
+
+(** The live admission gate (sensor side: rejected count, EWMA). *)
+val admission : t -> Admission.t
+
 (** The live accounting record (mutated by the system as it runs). *)
 val accounting : t -> accounting
 

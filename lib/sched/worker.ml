@@ -14,7 +14,7 @@ type t = {
   sim : Sim.t;
   wid : int;
   rng : Prng.t;
-  policy : quantum_policy;
+  mutable policy : quantum_policy;
   ov : Overheads.t;
   queue : Job.t Deque.t;
   on_finish : Job.t -> unit;
@@ -79,6 +79,41 @@ let create sim ~wid ~rng ~policy ~overheads ?(obs = Tq_obs.Obs.disabled ())
   }
 
 let wid t = t.wid
+
+(* The controller's actuator.  Takes effect from the next slice: the
+   quantum of the slice currently executing was already committed to the
+   event queue, exactly like a real core that re-reads its quantum
+   register at the next preemption point. *)
+let set_quantum t ?class_idx ~quantum_ns () =
+  if quantum_ns <= 0 then invalid_arg "Worker.set_quantum: quantum must be positive";
+  match t.policy with
+  | Fcfs | Las _ -> ()
+  | Ps { quantum_ns = base; per_class_quantum } -> (
+      match class_idx with
+      | None -> t.policy <- Ps { quantum_ns; per_class_quantum }
+      | Some c ->
+          if c < 0 then invalid_arg "Worker.set_quantum: negative class index";
+          let arr =
+            match per_class_quantum with
+            | Some arr when c < Array.length arr -> arr
+            | Some arr ->
+                let bigger = Array.make (c + 1) base in
+                Array.blit arr 0 bigger 0 (Array.length arr);
+                bigger
+            | None -> Array.make (c + 1) base
+          in
+          arr.(c) <- quantum_ns;
+          t.policy <- Ps { quantum_ns = base; per_class_quantum = Some arr })
+
+let quantum_for_class t ~class_idx =
+  match t.policy with
+  | Fcfs -> None
+  | Las { base_quantum_ns; _ } -> Some base_quantum_ns
+  | Ps { quantum_ns; per_class_quantum } -> (
+      match per_class_quantum with
+      | Some arr when class_idx >= 0 && class_idx < Array.length arr ->
+          Some arr.(class_idx)
+      | _ -> Some quantum_ns)
 
 let jitter t =
   if t.ov.quantum_jitter_ns > 0 then Prng.int t.rng (t.ov.quantum_jitter_ns + 1) else 0

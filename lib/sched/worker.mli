@@ -47,6 +47,17 @@ val is_busy : t -> bool
 
 val wid : t -> int
 
+(** [set_quantum t ?class_idx ~quantum_ns ()] retunes the PS quantum
+    live (the feedback controller's actuator): with [class_idx] only
+    that job class, without it the base quantum for every class with no
+    override.  Takes effect from the next slice.  No-op under FCFS and
+    LAS.  Raises [Invalid_argument] on a non-positive quantum. *)
+val set_quantum : t -> ?class_idx:int -> quantum_ns:int -> unit -> unit
+
+(** The quantum the next slice of a [class_idx] job would get ([None]
+    under FCFS); LAS reports its base quantum. *)
+val quantum_for_class : t -> class_idx:int -> int option
+
 (** [enqueue t job] admits a job to this core (called by the dispatcher
     after the ring hop). *)
 val enqueue : t -> Job.t -> unit

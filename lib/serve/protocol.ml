@@ -6,7 +6,7 @@
        tag 1 Kv_get:  key...
        tag 2 Kv_set:  klen:u16  key  value...
        tag 3 Tpcc:    kind:u8
-       tag 4 Stats:   view:u8 (0 json, 1 prometheus text, 2 chrome trace)
+       tag 4 Stats:   view:u8 (0 json, 1 text, 2 trace, 3/4 breakdown, 5 control)
      response: req_id:u64  status:u8  body
        status 0 Ok, 1 Shed, 2 Error (body = message) *)
 
@@ -16,6 +16,7 @@ type stats_view =
   | Stats_trace
   | Stats_breakdown
   | Stats_breakdown_text
+  | Stats_control
 
 type request =
   | Echo of { spin_ns : int; payload : string }
@@ -57,6 +58,7 @@ let view_tag = function
   | Stats_trace -> 2
   | Stats_breakdown -> 3
   | Stats_breakdown_text -> 4
+  | Stats_control -> 5
 
 let view_of_tag = function
   | 0 -> Some Stats_json
@@ -64,6 +66,7 @@ let view_of_tag = function
   | 2 -> Some Stats_trace
   | 3 -> Some Stats_breakdown
   | 4 -> Some Stats_breakdown_text
+  | 5 -> Some Stats_control
   | _ -> None
 
 let kind_tag : Tq_tpcc.Transactions.kind -> int = function

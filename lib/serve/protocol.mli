@@ -26,6 +26,11 @@ type stats_view =
   | Stats_trace
   | Stats_breakdown
   | Stats_breakdown_text
+  | Stats_control
+      (** the feedback controller's live state (ticks, decisions,
+          current quanta and shed limit, per-class burn) as one JSON
+          object; an [Error] status when the server runs without
+          [--adaptive] *)
 
 (** One RPC request. *)
 type request =

@@ -44,10 +44,24 @@ type config = {
       (** give up flushing replies to unresponsive clients this long
           after {!stop} (the drain itself — finishing dispatched work —
           is unconditional) *)
+  adaptive : Tq_control.Controller.config option;
+      (** run the feedback controller: sampled at its [interval_ns] from
+          the dispatcher loop, sensing completion burn and backlog,
+          actuating per-class pool quanta and the admission shed limit
+          (which replaces [admission] with a live [Queue_limit]).
+          Decisions surface as [control.*] counters and the
+          [Stats_control] RPC view.  [None] = static knobs. *)
+  heartbeat_interval_s : float;
+      (** worker liveness sampling period for the dispatcher's
+          heartbeat monitor; [0] disables the monitor *)
+  missed_heartbeats : int;
+      (** consecutive no-progress windows before a worker holding work
+          is declared dead and its requests are re-dispatched *)
 }
 
 (** Loopback, 4 workers, 100 us quanta, 256-deep rings, rx_depth 1024,
-    accept-all admission. *)
+    accept-all admission, no controller, 50 ms heartbeats with a
+    4-miss death verdict. *)
 val default_config : config
 
 (** Dispatcher-side request accounting (a snapshot; see {!stats}). *)
@@ -62,6 +76,12 @@ type stats = {
           [parsed], so [parsed = dispatched + shed] stays exact) *)
   protocol_errors : int;  (** malformed frames (connection closed) *)
   orphaned : int;  (** responses whose connection had closed *)
+  duplicates : int;
+      (** replies for already-answered requests, dropped (a worker
+          declared dead completed after its work was re-dispatched) *)
+  redispatched : int;
+      (** requests moved off a dead worker onto a living one *)
+  dead_workers : int;  (** workers declared dead by the heartbeat monitor *)
 }
 
 type t
@@ -146,3 +166,40 @@ val prometheus : t -> string
     assertions.  Meaningful only with spans enabled and exact only
     after drain. *)
 val breakdown : t -> Tq_obs.Profile.t
+
+(** {2 Live fault plane}
+
+    The failure modes of {!Tq_fault.Plan}, inflicted on the running
+    server: recovery is proven here, not simulated.  All three are safe
+    from the dispatcher thread (e.g. an {!on_tick} hook); [kill_worker]
+    and [inject_stall] are also safe from any thread (atomic flags the
+    worker reads). *)
+
+(** [inject_stall t ~worker ~duration_ns] — the worker busy-occupies
+    its core for the duration: no service, no heartbeat, then recovers
+    by itself.  A long enough stall triggers the heartbeat monitor's
+    death verdict; the duplicate filter absorbs the resulting races. *)
+val inject_stall : t -> worker:int -> duration_ns:int -> unit
+
+(** [kill_worker t ~worker] — the worker domain exits at its next loop
+    pass, permanently, abandoning queued work.  The heartbeat monitor
+    notices within [missed_heartbeats] windows, declares it dead and
+    re-dispatches its pending requests — no request is lost. *)
+val kill_worker : t -> worker:int -> unit
+
+(** [pause_dispatcher t ~duration_ns] — the dispatch loop does nothing
+    (no accepts, reads, replies or verdicts) until the deadline: a
+    wedged-dispatcher fault.  Workers keep serving their rings. *)
+val pause_dispatcher : t -> duration_ns:int -> unit
+
+(** [on_tick t f] — call [f ~now_ns] once per dispatcher loop pass
+    (before anything else moves); the hook a fault schedule driver
+    ({!Tq_fault.Live}) uses to fire timed events without a thread. *)
+val on_tick : t -> (now_ns:int -> unit) -> unit
+
+(** The controller's live state as one JSON object (the [Stats_control]
+    RPC body); [None] without [adaptive]. *)
+val control_json : t -> string option
+
+(** Workers not declared dead. *)
+val alive_workers : t -> int

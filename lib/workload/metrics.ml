@@ -12,6 +12,9 @@ type t = {
   mutable attempts : int;
   mutable retries : int;
   mutable drops_timeout : int;  (** abandoned after the attempt limit *)
+  mutable retries_exhausted : int;
+      (** of the timeout drops, those denied a retry by the shared
+          retry budget rather than their own attempt limit *)
   mutable drops_nic : int;  (** lost on the NIC path (fault injection) *)
   mutable rejections : int;  (** shed by the admission controller *)
   mutable duplicates : int;  (** completions after the request was done/abandoned *)
@@ -28,6 +31,7 @@ let create ~workload ~warmup_ns =
     attempts = 0;
     retries = 0;
     drops_timeout = 0;
+    retries_exhausted = 0;
     drops_nic = 0;
     rejections = 0;
     duplicates = 0;
@@ -50,12 +54,16 @@ let record_eventual t ~class_idx ~arrival_ns ~finish_ns =
 let record_attempt t = t.attempts <- t.attempts + 1
 let record_retry t = t.retries <- t.retries + 1
 let record_timeout_drop t = t.drops_timeout <- t.drops_timeout + 1
+
+let record_retries_exhausted t =
+  t.retries_exhausted <- t.retries_exhausted + 1
 let record_nic_drop t = t.drops_nic <- t.drops_nic + 1
 let record_rejection t = t.rejections <- t.rejections + 1
 let record_duplicate t = t.duplicates <- t.duplicates + 1
 let attempts t = t.attempts
 let retries t = t.retries
 let timeout_drops t = t.drops_timeout
+let retries_exhausted t = t.retries_exhausted
 let nic_drops t = t.drops_nic
 let rejections t = t.rejections
 let duplicates t = t.duplicates

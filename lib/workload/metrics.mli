@@ -55,6 +55,10 @@ val record_retry : t -> unit
 (** Request abandoned after exhausting its attempt budget. *)
 val record_timeout_drop : t -> unit
 
+(** Request abandoned because the client's shared retry budget ran out
+    (also counted as a timeout drop, so drop totals stay exhaustive). *)
+val record_retries_exhausted : t -> unit
+
 (** Request lost on the NIC path (fault injection). *)
 val record_nic_drop : t -> unit
 
@@ -68,6 +72,9 @@ val record_duplicate : t -> unit
 val attempts : t -> int
 val retries : t -> int
 val timeout_drops : t -> int
+
+(** Subset of {!timeout_drops} denied by the shared retry budget. *)
+val retries_exhausted : t -> int
 val nic_drops : t -> int
 val rejections : t -> int
 val duplicates : t -> int

@@ -18,12 +18,16 @@
 module Sim = Tq_engine.Sim
 module Trace = Tq_obs.Trace
 module Event = Tq_obs.Event
+module Prng = Tq_util.Prng
 
 type config = {
   timeout_ns : int;  (** per-attempt client timeout *)
   max_attempts : int;  (** total submissions allowed, >= 1 *)
   backoff_base_ns : int;  (** backoff before the first retry *)
   backoff_cap_ns : int;  (** exponential backoff ceiling *)
+  jitter : bool;  (** full jitter: retry after uniform [0, backoff] *)
+  retry_budget : int option;
+      (** total retries allowed across every request; [None] = unlimited *)
 }
 
 let default_config =
@@ -32,6 +36,8 @@ let default_config =
     max_attempts = 3;
     backoff_base_ns = 10_000;
     backoff_cap_ns = 160_000;
+    jitter = false;
+    retry_budget = None;
   }
 
 let validate_config c =
@@ -39,7 +45,10 @@ let validate_config c =
   if c.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
   if c.backoff_base_ns < 0 then invalid_arg "Retry: negative backoff_base_ns";
   if c.backoff_cap_ns < c.backoff_base_ns then
-    invalid_arg "Retry: backoff_cap_ns below backoff_base_ns"
+    invalid_arg "Retry: backoff_cap_ns below backoff_base_ns";
+  match c.retry_budget with
+  | Some b when b < 0 -> invalid_arg "Retry: negative retry_budget"
+  | _ -> ()
 
 (* Backoff before retry number [retry] (1 = first retry): doubling from
    the base, clamped to the cap.  Shift-count is bounded so the doubling
@@ -69,11 +78,14 @@ type t = {
   submit : Arrivals.request -> unit;
   metrics : Metrics.t;
   trace : Trace.t;
+  rng : Prng.t;
   tbl : (int, entry) Hashtbl.t;
   mutable in_flight : int;  (** requests neither completed nor abandoned *)
+  mutable retries_spent : int;  (** against [config.retry_budget] *)
 }
 
-let create sim ~config ~metrics ~submit ?(obs = Tq_obs.Obs.disabled ()) () =
+let create sim ~config ~metrics ~submit ?(obs = Tq_obs.Obs.disabled ())
+    ?(rng = Prng.create ~seed:0x5245545259L) () =
   validate_config config;
   {
     sim;
@@ -81,8 +93,10 @@ let create sim ~config ~metrics ~submit ?(obs = Tq_obs.Obs.disabled ()) () =
     submit;
     metrics;
     trace = obs.Tq_obs.Obs.trace;
+    rng;
     tbl = Hashtbl.create 4096;
     in_flight = 0;
+    retries_spent = 0;
   }
 
 let rec launch t e =
@@ -97,16 +111,38 @@ let rec launch t e =
 and on_timeout t e =
   if e.outcome = Pending then begin
     e.timeout_ev <- None;
-    if e.attempt >= t.config.max_attempts then begin
+    let budget_left =
+      match t.config.retry_budget with
+      | None -> true
+      | Some b -> t.retries_spent < b
+    in
+    if e.attempt >= t.config.max_attempts || not budget_left then begin
       e.outcome <- Abandoned;
       t.in_flight <- t.in_flight - 1;
       Metrics.record_timeout_drop t.metrics;
+      if e.attempt < t.config.max_attempts then
+        (* the shared budget, not this request's attempt limit, said no *)
+        Metrics.record_retries_exhausted t.metrics;
       if Trace.enabled t.trace then
         Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
-          (Event.Drop { job_id = e.req.req_id; reason = "retries-exhausted" })
+          (Event.Drop
+             {
+               job_id = e.req.req_id;
+               reason =
+                 (if e.attempt >= t.config.max_attempts then "retries-exhausted"
+                  else "retry-budget-exhausted");
+             })
     end
     else begin
+      t.retries_spent <- t.retries_spent + 1;
       let backoff = backoff_ns t.config ~retry:e.attempt in
+      (* Full jitter (AWS-style): spread synchronized timeouts uniformly
+         over [0, backoff] so retry waves do not re-arrive as a wave. *)
+      let backoff =
+        if t.config.jitter && backoff > 0 then
+          Prng.int_in_range t.rng ~lo:0 ~hi:backoff
+        else backoff
+      in
       Metrics.record_retry t.metrics;
       if Trace.enabled t.trace then
         Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:Event.Global
@@ -141,6 +177,7 @@ let note_completion t ~req_id ~finish_ns =
             ~arrival_ns:e.req.arrival_ns ~finish_ns)
 
 let in_flight t = t.in_flight
+let retries_spent t = t.retries_spent
 
 let attempts_of t ~req_id =
   match Hashtbl.find_opt t.tbl req_id with Some e -> e.attempt | None -> 0

@@ -16,26 +16,40 @@ type config = {
   max_attempts : int;  (** total submissions allowed, >= 1 *)
   backoff_base_ns : int;  (** backoff before the first retry, >= 0 *)
   backoff_cap_ns : int;  (** exponential backoff ceiling, >= base *)
+  jitter : bool;
+      (** full jitter: each retry waits a uniform draw from
+          [0, backoff] instead of the deterministic backoff, so
+          synchronized timeouts do not re-arrive as a wave *)
+  retry_budget : int option;
+      (** total retries allowed across {e all} requests ([None] =
+          unlimited, >= 0 otherwise): once spent, a timed-out request
+          is abandoned even with attempts left, counted as a
+          retries-exhausted timeout drop *)
 }
 
+(** 200 us timeout, 3 attempts, 10 us base / 160 us cap backoff, no
+    jitter, unlimited budget. *)
 val default_config : config
 
 (** Pure backoff schedule: delay before retry number [retry] (1 = first
-    retry).  Raises [Invalid_argument] if [retry < 1].  Always in
-    [0, backoff_cap_ns]; overflow-safe for any retry count. *)
+    retry), before jitter.  Raises [Invalid_argument] if [retry < 1].
+    Always in [0, backoff_cap_ns]; overflow-safe for any retry count. *)
 val backoff_ns : config -> retry:int -> int
 
 type t
 
-(** [create sim ~config ~metrics ~submit ?obs ()] builds the retry
-    layer in front of [submit] (the scheduler's intake).  Raises
-    [Invalid_argument] on a malformed [config]. *)
+(** [create sim ~config ~metrics ~submit ?obs ?rng ()] builds the retry
+    layer in front of [submit] (the scheduler's intake).  [rng] drives
+    the jitter draws (a fixed-seed stream by default, so runs stay
+    reproducible).  Raises [Invalid_argument] on a malformed
+    [config]. *)
 val create :
   Tq_engine.Sim.t ->
   config:config ->
   metrics:Metrics.t ->
   submit:(Arrivals.request -> unit) ->
   ?obs:Tq_obs.Obs.t ->
+  ?rng:Tq_util.Prng.t ->
   unit ->
   t
 
@@ -50,6 +64,9 @@ val note_completion : t -> req_id:int -> finish_ns:int -> unit
 
 (** Requests neither completed nor abandoned yet. *)
 val in_flight : t -> int
+
+(** Retries scheduled so far (what counts against [retry_budget]). *)
+val retries_spent : t -> int
 
 (** Submissions made so far for [req_id] (0 if unknown). *)
 val attempts_of : t -> req_id:int -> int

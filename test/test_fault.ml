@@ -37,8 +37,8 @@ let backoff_config_gen =
     map
       (fun (base, extra, timeout) ->
         {
-          Retry.timeout_ns = timeout;
-          max_attempts = 3;
+          Retry.default_config with
+          timeout_ns = timeout;
           backoff_base_ns = base;
           backoff_cap_ns = base + extra;
         })
@@ -62,20 +62,20 @@ let backoff_doubles =
     QCheck.(pair (int_range 1 1000) (int_range 1 15))
     (fun (base, retry) ->
       let config =
-        { Retry.timeout_ns = 1; max_attempts = 3; backoff_base_ns = base;
+        { Retry.default_config with timeout_ns = 1; backoff_base_ns = base;
           backoff_cap_ns = max_int }
       in
       Retry.backoff_ns config ~retry = base lsl (retry - 1))
 
 let test_backoff_edges () =
   let config =
-    { Retry.timeout_ns = 10; max_attempts = 3; backoff_base_ns = 0; backoff_cap_ns = 0 }
+    { Retry.default_config with timeout_ns = 10; backoff_base_ns = 0; backoff_cap_ns = 0 }
   in
   check Alcotest.int "zero base stays zero" 0 (Retry.backoff_ns config ~retry:50);
   check Alcotest.bool "retry < 1 rejected" true
     (raises_invalid (fun () -> Retry.backoff_ns config ~retry:0));
   let config =
-    { Retry.timeout_ns = 10; max_attempts = 3; backoff_base_ns = max_int / 2;
+    { Retry.default_config with timeout_ns = 10; backoff_base_ns = max_int / 2;
       backoff_cap_ns = max_int }
   in
   (* A shift that would wrap must clamp to the cap, not go negative. *)
@@ -84,7 +84,7 @@ let test_backoff_edges () =
 (* --- Retry layer timeline --- *)
 
 let retry_config =
-  { Retry.timeout_ns = 10_000; max_attempts = 3; backoff_base_ns = 1_000;
+  { Retry.default_config with timeout_ns = 10_000; backoff_base_ns = 1_000;
     backoff_cap_ns = 4_000 }
 
 let test_retry_recovers_dropped_request () =
@@ -145,6 +145,95 @@ let test_retry_abandons_then_counts_duplicate () =
   check Alcotest.int "late completion is a duplicate" 1 (Metrics.duplicates metrics);
   check Alcotest.int "still no eventual completion" 0 (Metrics.eventual_completed metrics)
 
+(* The shared retry budget: once spent, timed-out requests are
+   abandoned with attempts left and counted apart from ordinary
+   attempt-limit drops. *)
+let test_retry_budget_exhausted () =
+  let sim = Sim.create () in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  let config = { retry_config with Retry.retry_budget = Some 3 } in
+  (* The scheduler never answers; without a budget each of the three
+     requests would retry twice (max_attempts 3). *)
+  let r = Retry.create sim ~config ~metrics ~submit:(fun _ -> ()) () in
+  ignore
+    (Sim.schedule_at sim ~time:0 (fun () ->
+         for i = 1 to 3 do
+           Retry.sink r (req ~req_id:i ~service_ns:1_000 ~arrival_ns:0 ())
+         done)
+      : Sim.event);
+  Sim.run sim;
+  check Alcotest.int "budget caps total retries" 3 (Metrics.retries metrics);
+  check Alcotest.int "budget accounting agrees" 3 (Retry.retries_spent r);
+  check Alcotest.int "every request eventually dropped" 3 (Metrics.timeout_drops metrics);
+  check Alcotest.bool "budget-denied drops surfaced" true
+    (Metrics.retries_exhausted metrics > 0);
+  check Alcotest.int "nothing in flight" 0 (Retry.in_flight r);
+  (* Zero budget degenerates to no retries at all. *)
+  let sim = Sim.create () in
+  let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+  let r =
+    Retry.create sim
+      ~config:{ retry_config with Retry.retry_budget = Some 0 }
+      ~metrics ~submit:(fun _ -> ()) ()
+  in
+  ignore
+    (Sim.schedule_at sim ~time:0 (fun () ->
+         Retry.sink r (req ~service_ns:1_000 ~arrival_ns:0 ()))
+      : Sim.event);
+  Sim.run sim;
+  check Alcotest.int "zero budget: no retries" 0 (Metrics.retries metrics);
+  check Alcotest.int "zero budget: dropped at first timeout" 1
+    (Metrics.retries_exhausted metrics);
+  check Alcotest.bool "negative budget rejected" true
+    (raises_invalid (fun () ->
+         Retry.create sim
+           ~config:{ retry_config with Retry.retry_budget = Some (-1) }
+           ~metrics ~submit:(fun _ -> ()) ()))
+
+(* Full jitter keeps the backoff inside [0, deterministic backoff] and
+   stays reproducible under a fixed RNG seed. *)
+let test_retry_full_jitter () =
+  let resubmission_times config ~seed =
+    let sim = Sim.create () in
+    let metrics = Metrics.create ~workload:Table1.exp1 ~warmup_ns:0 in
+    let times = ref [] in
+    let submit (_ : Arrivals.request) = times := Sim.now sim :: !times in
+    let r =
+      Retry.create sim ~config ~metrics ~submit ~rng:(Prng.create ~seed) ()
+    in
+    ignore
+      (Sim.schedule_at sim ~time:0 (fun () ->
+           Retry.sink r (req ~service_ns:1_000 ~arrival_ns:0 ()))
+        : Sim.event);
+    Sim.run sim;
+    List.rev !times
+  in
+  let config =
+    { retry_config with Retry.jitter = true; max_attempts = 8;
+      backoff_base_ns = 4_000; backoff_cap_ns = 4_000 }
+  in
+  let times = resubmission_times config ~seed:7L in
+  check Alcotest.int "all attempts submitted" 8 (List.length times);
+  (* Each retry leaves at the timeout plus a uniform [0, 4000] draw. *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        let gap = b - a in
+        check Alcotest.bool "jittered backoff within [timeout, timeout+cap]" true
+          (gap >= config.Retry.timeout_ns
+          && gap <= config.Retry.timeout_ns + config.Retry.backoff_cap_ns);
+        pairs rest
+    | _ -> ()
+  in
+  pairs times;
+  (* at least one draw actually moved off the deterministic schedule *)
+  check Alcotest.bool "jitter jitters" true
+    (List.exists2
+       (fun a b -> a <> b)
+       times
+       (resubmission_times { config with Retry.jitter = false } ~seed:7L));
+  check Alcotest.bool "fixed seed reproduces" true
+    (times = resubmission_times config ~seed:7L)
+
 (* --- Admission control --- *)
 
 let test_admission_queue_limit () =
@@ -170,6 +259,46 @@ let test_admission_ewma () =
   check Alcotest.bool "bad alpha rejected" true
     (raises_invalid (fun () ->
          Admission.create (Admission.Ewma_sojourn { threshold_ns = 1_000; alpha = 1.5 })))
+
+let test_admission_edges () =
+  (* The boundary is exact: in_system strictly below the cap admits,
+     at the cap sheds — a cap of 1 serializes, it does not starve. *)
+  let a = Admission.create (Admission.Queue_limit { max_in_system = 1 }) in
+  check Alcotest.bool "cap 1 admits an empty system" true (Admission.admit a ~in_system:0);
+  check Alcotest.bool "cap 1 sheds at its own depth" false (Admission.admit a ~in_system:1);
+  (* Zero capacity would shed everything forever; it is rejected up
+     front rather than becoming a silently-dead front door. *)
+  check Alcotest.bool "zero-capacity create rejected" true
+    (raises_invalid (fun () ->
+         Admission.create (Admission.Queue_limit { max_in_system = 0 })));
+  check Alcotest.bool "zero-capacity retune rejected" true
+    (raises_invalid (fun () ->
+         Admission.set_policy a (Admission.Queue_limit { max_in_system = 0 })));
+  check Alcotest.bool "failed retune leaves the old policy in force" true
+    (Admission.policy a = Admission.Queue_limit { max_in_system = 1 })
+
+let test_admission_retune_preserves_state () =
+  (* The controller retunes thresholds mid-run; learned state (the
+     sojourn EWMA, the rejection tally) must survive every swap. *)
+  let a = Admission.create (Admission.Ewma_sojourn { threshold_ns = 1_000; alpha = 0.5 }) in
+  Admission.note_completion a ~sojourn_ns:4_000;
+  check Alcotest.bool "rejects above the threshold" false (Admission.admit a ~in_system:0);
+  let rejected_before = Admission.rejected a in
+  let ewma_before = Admission.ewma_sojourn_ns a in
+  Admission.set_policy a (Admission.Ewma_sojourn { threshold_ns = 8_000; alpha = 0.5 });
+  check (Alcotest.float 0.01) "EWMA preserved across the retune" ewma_before
+    (Admission.ewma_sojourn_ns a);
+  check Alcotest.int "rejection tally preserved" rejected_before (Admission.rejected a);
+  check Alcotest.bool "relaxed threshold admits at once" true
+    (Admission.admit a ~in_system:0);
+  (* Cross-policy swap: the tally keeps accumulating monotonically. *)
+  Admission.set_policy a (Admission.Queue_limit { max_in_system = 2 });
+  check Alcotest.bool "queue limit in force after swap" false
+    (Admission.admit a ~in_system:2);
+  check Alcotest.int "tally spans policies" (rejected_before + 1) (Admission.rejected a);
+  Admission.set_policy a (Admission.Ewma_sojourn { threshold_ns = 1_000; alpha = 0.5 });
+  check Alcotest.bool "EWMA still in effect after returning" false
+    (Admission.admit a ~in_system:0)
 
 (* --- Plan validation --- *)
 
@@ -379,8 +508,9 @@ let test_nic_drops_recovered_by_retry () =
   let with_retry =
     Fault_experiment.run ~system ~workload
       { base with faults;
-        retry = Some { Retry.timeout_ns = 50_000; max_attempts = 4;
-                       backoff_base_ns = 5_000; backoff_cap_ns = 40_000 };
+        retry = Some { Retry.default_config with timeout_ns = 50_000;
+                       max_attempts = 4; backoff_base_ns = 5_000;
+                       backoff_cap_ns = 40_000 };
         deadline_ns = 400_000 }
   in
   let without_retry =
@@ -559,8 +689,13 @@ let suite =
       test_retry_recovers_dropped_request;
     Alcotest.test_case "retry abandons, duplicates counted" `Quick
       test_retry_abandons_then_counts_duplicate;
+    Alcotest.test_case "retry budget exhausted" `Quick test_retry_budget_exhausted;
+    Alcotest.test_case "retry full jitter" `Quick test_retry_full_jitter;
     Alcotest.test_case "admission queue limit" `Quick test_admission_queue_limit;
     Alcotest.test_case "admission ewma sojourn" `Quick test_admission_ewma;
+    Alcotest.test_case "admission boundary and zero capacity" `Quick test_admission_edges;
+    Alcotest.test_case "admission retune preserves state" `Quick
+      test_admission_retune_preserves_state;
     Alcotest.test_case "plan validation" `Quick test_plan_validate;
     Alcotest.test_case "injector deterministic, intensity monotone" `Quick
       test_injector_deterministic_and_monotone;

@@ -18,6 +18,7 @@ let () =
       ("facade", Test_facade.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("control", Test_control.suite);
       ("par", Test_par.suite);
       ("serve", Test_serve.suite);
     ]

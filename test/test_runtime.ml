@@ -205,8 +205,8 @@ let test_worker_ps_rotation () =
       ~on_finish:(fun task -> finished := task.Task_worker.task_id :: !finished)
       ()
   in
-  Task_worker.submit w { Task_worker.task_id = 1; work = (fun () -> Instrumented.work_ns 5_000) };
-  Task_worker.submit w { Task_worker.task_id = 2; work = (fun () -> Instrumented.work_ns 1_000) };
+  Task_worker.submit w { Task_worker.task_id = 1; class_idx = 0; work = (fun () -> Instrumented.work_ns 5_000) };
+  Task_worker.submit w { Task_worker.task_id = 2; class_idx = 0; work = (fun () -> Instrumented.work_ns 1_000) };
   Task_worker.run_until_idle w;
   check Alcotest.(list int) "short task finishes first" [ 2; 1 ] (List.rev !finished);
   check Alcotest.int "all finished" 0 (Task_worker.unfinished w);
@@ -216,7 +216,7 @@ let test_worker_ps_rotation () =
 let test_worker_counters () =
   let clock = Clock.virtual_ () in
   let w = Task_worker.create ~clock ~quantum_ns:1_000 ~on_finish:(fun _ -> ()) () in
-  Task_worker.submit w { Task_worker.task_id = 1; work = (fun () -> Instrumented.work_ns 2_500) };
+  Task_worker.submit w { Task_worker.task_id = 1; class_idx = 0; work = (fun () -> Instrumented.work_ns 2_500) };
   check Alcotest.int "unfinished" 1 (Task_worker.unfinished w);
   ignore (Task_worker.run_slice w);
   Alcotest.(check bool) "accumulates quanta" true (Task_worker.current_quanta w > 0);

@@ -444,3 +444,198 @@ let breakdown_suite =
   ]
 
 let suite = suite @ breakdown_suite
+
+(* --- the adaptive controller and the live fault plane --- *)
+
+let adaptive_config =
+  let ctl =
+    {
+      (Tq_control.Controller.default_config
+         ~quantum_initial_ns:base_config.Server.quantum_ns ~shed_initial:1_024)
+      with
+      Tq_control.Controller.interval_ns = 1_000_000 (* 1 ms: many ticks per test *);
+      objective = { Tq_obs.Slo.name = "test"; latency_ns = 5_000_000; goodput = 0.99 };
+      quantum_min_ns = 1_000;
+      quantum_max_ns = 2 * base_config.Server.quantum_ns;
+    }
+  in
+  {
+    base_config with
+    Server.adaptive = Some ctl;
+    heartbeat_interval_s = 0.01;
+    missed_heartbeats = 3;
+  }
+
+let test_adaptive_controller_live () =
+  with_server adaptive_config (fun srv ->
+      let client = Client.connect ~port:(Server.port srv) () in
+      run_batch client 500;
+      (* several controller intervals pass even on a fast machine *)
+      Unix.sleepf 0.05;
+      run_batch client 100;
+      let body = Client.stats ~view:Protocol.Stats_control client in
+      List.iter
+        (fun needle ->
+          check Alcotest.bool (Printf.sprintf "control view has %s" needle) true
+            (contains body needle))
+        [ "\"ticks\""; "\"decisions\""; "\"shed_limit\""; "\"burn\""; "\"classes\"" ];
+      check Alcotest.bool "controller actually ticked" true
+        (match Server.control_json srv with
+        | Some s -> contains s "\"ticks\"" && not (contains s "\"ticks\": 0,")
+        | None -> false);
+      (* the controller's telemetry rides the merged registry, and the
+         full snapshot embeds the control state *)
+      let merged = Server.merged_counters srv in
+      check Alcotest.bool "control.ticks counter" true
+        (Tq_obs.Counters.find_count merged "control.ticks" > 0);
+      check Alcotest.bool "snapshot embeds control" true
+        (contains (Server.snapshot_json srv) "\"control\"");
+      Client.close client)
+
+let test_control_view_needs_adaptive () =
+  with_server base_config (fun srv ->
+      let client = Client.connect ~port:(Server.port srv) () in
+      (match Client.stats ~view:Protocol.Stats_control client with
+      | exception Failure msg ->
+          check Alcotest.bool "error names the fix" true (contains msg "--adaptive")
+      | body -> Alcotest.failf "expected an error response, got: %s" body);
+      check Alcotest.bool "no in-process control state" true
+        (Server.control_json srv = None);
+      Client.close client)
+
+(* Kill a worker domain mid-load: the heartbeat monitor must notice,
+   re-dispatch its pending requests to the survivor, and the drain
+   invariant (zero admitted requests lost) must hold end to end. *)
+let test_kill_worker_recovery () =
+  let config = { adaptive_config with Server.ring_capacity = 4_096 } in
+  let srv = Server.create config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 600 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  for i = 0 to n - 1 do
+    Client.send client ~req_id:i (Protocol.Echo { spin_ns = 50_000; payload = "" })
+  done;
+  (* wait until the pool owns a good chunk, then pull a domain *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while
+    (Server.stats srv).Server.dispatched < n / 4 && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.0005
+  done;
+  Server.kill_worker srv ~worker:1;
+  let ok = ref 0 and shed = ref 0 in
+  for _ = 1 to n do
+    match (Client.recv client).Protocol.status with
+    | Protocol.Ok -> incr ok
+    | Protocol.Shed -> incr shed
+    | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg
+  done;
+  check Alcotest.int "every request answered" n (!ok + !shed);
+  let s = Server.stats srv in
+  check Alcotest.int "zero loss across the kill" s.Server.dispatched s.Server.completed;
+  check Alcotest.int "death verdict reached" 1 s.Server.dead_workers;
+  check Alcotest.bool "orphans re-dispatched to the survivor" true
+    (s.Server.redispatched > 0);
+  check Alcotest.int "one worker left standing" 1 (Server.alive_workers srv);
+  Server.stop srv;
+  Thread.join th;
+  Client.close client;
+  (* the drain still holds after the thread joined *)
+  let s = Server.stats srv in
+  check Alcotest.int "post-drain conservation" s.Server.dispatched s.Server.completed
+
+(* A stall shorter than the death verdict, plus a dispatcher pause:
+   both must ride through with no dead worker and no lost request. *)
+let test_stall_and_pause_ride_through () =
+  with_server { base_config with Server.heartbeat_interval_s = 0.02;
+                missed_heartbeats = 5 }
+    (fun srv ->
+      let n = 200 in
+      let client = Client.connect ~port:(Server.port srv) () in
+      for i = 0 to n - 1 do
+        Client.send client ~req_id:i (Protocol.Echo { spin_ns = 10_000; payload = "" })
+      done;
+      Server.inject_stall srv ~worker:0 ~duration_ns:30_000_000;
+      Server.pause_dispatcher srv ~duration_ns:20_000_000;
+      let ok = ref 0 and shed = ref 0 in
+      for _ = 1 to n do
+        match (Client.recv client).Protocol.status with
+        | Protocol.Ok -> incr ok
+        | Protocol.Shed -> incr shed
+        | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg
+      done;
+      check Alcotest.int "every request answered" n (!ok + !shed);
+      let s = Server.stats srv in
+      check Alcotest.int "no death verdict on a transient stall" 0 s.Server.dead_workers;
+      check Alcotest.int "zero loss" s.Server.dispatched s.Server.completed;
+      Client.close client)
+
+(* The fault schedule driver against the real server loop: events fire
+   at their offsets through the on_tick hook. *)
+let test_live_fault_schedule () =
+  (* the batch below holds ~20 ms of work, so the kill at 8 ms lands
+     while the victim still owns queued requests *)
+  let events =
+    match Tq_fault.Live.parse "stall@2:w0:5,kill@8:w1" with
+    | Ok evs -> evs
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  let live = Tq_fault.Live.create events in
+  check Alcotest.int "two events pending" 2 (Tq_fault.Live.pending live);
+  let config = { adaptive_config with Server.ring_capacity = 4_096 } in
+  let srv = Server.create config in
+  let actions =
+    {
+      Tq_fault.Live.stall =
+        (fun ~worker ~duration_ns -> Server.inject_stall srv ~worker ~duration_ns);
+      kill = (fun ~worker -> Server.kill_worker srv ~worker);
+      pause = (fun ~duration_ns -> Server.pause_dispatcher srv ~duration_ns);
+    }
+  in
+  Server.on_tick srv (fun ~now_ns -> ignore (Tq_fault.Live.poll live ~now_ns actions : int));
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 800 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  for i = 0 to n - 1 do
+    Client.send client ~req_id:i (Protocol.Echo { spin_ns = 50_000; payload = "" })
+  done;
+  let answered = ref 0 in
+  for _ = 1 to n do
+    match (Client.recv client).Protocol.status with
+    | Protocol.Ok | Protocol.Shed -> incr answered
+    | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg
+  done;
+  check Alcotest.int "every request answered through the schedule" n !answered;
+  check Alcotest.int "both events fired" 2 (Tq_fault.Live.fired live);
+  let s = Server.stats srv in
+  check Alcotest.int "zero loss under the schedule" s.Server.dispatched s.Server.completed;
+  check Alcotest.int "the killed worker was declared dead" 1 s.Server.dead_workers;
+  Server.stop srv;
+  Thread.join th;
+  Client.close client
+
+let test_live_parse_errors () =
+  (match Tq_fault.Live.parse "stall@5:w0:10, pause@8:3 ,kill@9:w2" with
+  | Ok evs -> check Alcotest.int "spec with spaces parses" 3 (List.length evs)
+  | Error msg -> Alcotest.failf "parse: %s" msg);
+  List.iter
+    (fun spec ->
+      match Tq_fault.Live.parse spec with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" spec
+      | Error msg ->
+          check Alcotest.bool "error names the grammar" true (contains msg "stall@"))
+    [ "stall@5"; "kill@5:x1"; "frob@1:w0"; "stall@5:w-1:10" ]
+
+let fault_suite =
+  [
+    Alcotest.test_case "adaptive controller live" `Quick test_adaptive_controller_live;
+    Alcotest.test_case "control view needs --adaptive" `Quick
+      test_control_view_needs_adaptive;
+    Alcotest.test_case "kill worker: zero-loss recovery" `Quick test_kill_worker_recovery;
+    Alcotest.test_case "stall + pause ride through" `Quick
+      test_stall_and_pause_ride_through;
+    Alcotest.test_case "live fault schedule" `Quick test_live_fault_schedule;
+    Alcotest.test_case "live fault spec parse" `Quick test_live_parse_errors;
+  ]
+
+let suite = suite @ fault_suite
