@@ -4,6 +4,7 @@
 
      dune exec bench/main.exe -- [--jobs N] [--no-cache] [--parallel-bench [FILE]]
                                  [--obs-bench [FILE]] [--profile-bench [FILE]]
+                                 [--serve-bench [FILE]]
 
    The sweep grid fans out over OCaml 5 domains (--jobs or TQ_JOBS,
    default: recommended domain count) and completed points are served
@@ -13,7 +14,9 @@
    record path on vs off and writes BENCH_obs_serve.json;
    --profile-bench measures the latency-attribution machinery
    (decomposition throughput, disabled-hook costs) and writes
-   BENCH_profile.json.
+   BENCH_profile.json; --serve-bench runs the in-process multi-lane
+   serve sweep (a real Server + Load_gen per lane count) and writes
+   BENCH_serve.json.
 
    Simulated durations scale with TQ_BENCH_SCALE (default 1.0).
    EXPERIMENTS.md records paper-vs-measured for each experiment. *)
@@ -94,6 +97,118 @@ let run_parallel_bench ~out () =
     statsN.pool.steals util;
   close_out oc;
   Printf.printf "wrote %s (speedup %.2fx at jobs=%d)\n" out speedup jobs_max
+
+(* ------------------------------------------------------------------ *)
+(* Multi-lane serve sweep: the BENCH_serve.json emitter                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One in-process loopback run per dispatcher lane count: a real
+   tq_serve Server (lane 0 on a helper thread, extra lanes on their own
+   domains) under the open-loop Load_gen at a fixed offered rate.  The
+   committed BENCH_serve.json is this sweep; CI regenerates it and
+   additionally gates p99(lanes=1)/p99(lanes=2) > 1 on multi-core
+   runners (on a single core the lanes only add coordination, so the
+   speedup is recorded but not gated). *)
+
+(* 150k offered rps is the calibrated load: enough to saturate one
+   dispatcher lane (the old single-dispatcher baseline peaked near
+   120k), so the lanes=2 row shows what sharding the I/O plane buys. *)
+let serve_bench_rate = 150_000.0
+let serve_bench_workers = 2
+let serve_bench_lane_counts = [ 1; 2 ]
+
+let run_serve_one ~lanes =
+  let config =
+    {
+      Tq_serve.Server.default_config with
+      port = 0;
+      workers = serve_bench_workers;
+      lanes;
+      rx_depth = 2048;
+      kv_keys = 1024;
+    }
+  in
+  let srv = Tq_serve.Server.create config in
+  let th = Thread.create (fun () -> Tq_serve.Server.serve srv) () in
+  let lcfg =
+    {
+      (Tq_serve.Load_gen.default_config ~rate_rps:serve_bench_rate
+         ~port:(Tq_serve.Server.port srv))
+      with
+      server_lanes = lanes;
+    }
+  in
+  let r = Tq_serve.Load_gen.run lcfg in
+  Tq_serve.Server.stop srv;
+  Thread.join th;
+  let stats = Tq_serve.Server.stats srv in
+  (* The accounting identity must hold on every lane count, or the
+     numbers below measured a broken plane. *)
+  if stats.parsed <> stats.dispatched + stats.shed then
+    failwith
+      (Printf.sprintf "serve bench: lanes=%d parsed %d <> dispatched %d + shed %d"
+         lanes stats.parsed stats.dispatched stats.shed);
+  (lcfg, r, stats)
+
+let run_serve_bench ~out () =
+  hr ();
+  Printf.printf "Multi-lane serve sweep (lanes in {%s}, %d workers, %.0f offered rps)\n"
+    (String.concat ", " (List.map string_of_int serve_bench_lane_counts))
+    serve_bench_workers serve_bench_rate;
+  hr ();
+  let results =
+    List.map
+      (fun lanes ->
+        let _, r, stats = run_serve_one ~lanes in
+        let all = Tq_obs.Latency.recorder r.latency "all" in
+        let p q = float_of_int (Tq_obs.Latency.percentile all q) /. 1e3 in
+        let p50 = p 0.50 and p99 = p 0.99 and p999 = p 0.999 in
+        Printf.printf
+          "lanes=%d: %.0f rps, p50 %.0f us, p99 %.0f us, p99.9 %.0f us (%d ok, %d \
+           shed, %d errors)\n\
+           %!"
+          lanes r.throughput_rps p50 p99 p999 r.ok r.shed r.errors;
+        (lanes, r, stats, (p50, p99, p999)))
+      serve_bench_lane_counts
+  in
+  let p99_of n =
+    List.find_map
+      (fun (lanes, _, _, (_, p99, _)) -> if lanes = n then Some p99 else None)
+      results
+  in
+  let speedup =
+    match (p99_of 1, p99_of 2) with
+    | Some base, Some multi when multi > 0.0 -> base /. multi
+    | _ -> 1.0
+  in
+  let oc = open_out out in
+  output_string oc ("{\n" ^ Tq_util.Bench_meta.json_fields ());
+  Printf.fprintf oc
+    "\  \"benchmark\": \"multi-lane serve sweep (tq_serve loopback)\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"connections\": 8,\n\
+    \  \"offered_rps\": %.0f,\n\
+    \  \"warmup_s\": 0.5,\n\
+    \  \"measure_s\": 2,\n\
+    \  \"sweep\": [\n"
+    (Domain.recommended_domain_count ())
+    serve_bench_workers serve_bench_rate;
+  List.iteri
+    (fun i (lanes, (r : Tq_serve.Load_gen.result), (s : Tq_serve.Server.stats),
+            (p50, p99, p999)) ->
+      Printf.fprintf oc
+        "    {\"lanes\": %d, \"throughput_rps\": %.0f, \"ok\": %d, \"shed\": %d, \
+         \"errors\": %d, \"outstanding\": %d,\n\
+        \     \"parsed\": %d, \"dispatched\": %d, \"completed\": %d,\n\
+        \     \"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f}%s\n"
+        lanes r.throughput_rps r.ok r.shed r.errors r.outstanding s.parsed s.dispatched
+        s.completed p50 p99 p999
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n  \"p99_speedup_lanes2\": %.3f\n}\n" speedup;
+  close_out oc;
+  Printf.printf "wrote %s (p99 speedup lanes=1 -> lanes=2: %.3fx)\n%!" out speedup
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the library's own primitives           *)
@@ -436,6 +551,7 @@ let () =
   let parallel_bench = ref None in
   let obs_bench = ref None in
   let profile_bench = ref None in
+  let serve_bench = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -464,17 +580,24 @@ let () =
     | "--profile-bench" :: rest ->
         profile_bench := Some "BENCH_profile.json";
         parse rest
+    | "--serve-bench" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        serve_bench := Some path;
+        parse rest
+    | "--serve-bench" :: rest ->
+        serve_bench := Some "BENCH_serve.json";
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs = 0 then Tq_par.Domain_pool.default_jobs () else !jobs in
-  match (!parallel_bench, !obs_bench, !profile_bench) with
-  | Some out, _, _ -> run_parallel_bench ~out ()
-  | None, Some out, _ -> run_obs_bench ~out ()
-  | None, None, Some out -> run_profile_bench ~out ()
-  | None, None, None ->
+  match (!parallel_bench, !obs_bench, !profile_bench, !serve_bench) with
+  | Some out, _, _, _ -> run_parallel_bench ~out ()
+  | None, Some out, _, _ -> run_obs_bench ~out ()
+  | None, None, Some out, _ -> run_profile_bench ~out ()
+  | None, None, None, Some out -> run_serve_bench ~out ()
+  | None, None, None, None ->
       run_experiments ~jobs ~use_cache:!use_cache ();
       run_microbenchmarks ();
       run_trace_overhead ();

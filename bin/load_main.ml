@@ -2,7 +2,10 @@
 
    Offers a fixed request rate regardless of how fast the server
    answers, then reports achieved throughput and the per-class latency
-   ladder.  `--json FILE` writes the BENCH_serve.json report;
+   ladder.  `--json FILE` writes the single-run benchmark report (the
+   committed BENCH_serve.json lane sweep embeds these, via
+   `bench/main.exe --serve-bench`); `--lanes N` records the server's
+   dispatcher lane count in that report;
    `--dashboard` renders SLO burn rates live; `--stats-interval SEC`
    polls the server's Stats RPC; `--trace FILE` fetches the server's
    span trace (server must run with --obs) for Perfetto. *)
@@ -20,9 +23,9 @@ let parse_slo s =
       Printf.eprintf "bad --slo %S (expected NAME:LATENCY_US:GOODPUT)\n" s;
       exit 1
 
-let run host port rate connections warmup measure grace seed mix_spec spin_us json_out
-    quiet slo_specs slo_strict stats_interval dashboard stats_json trace_out breakdown
-    breakdown_json control =
+let run host port rate connections warmup measure grace seed mix_spec spin_us
+    server_lanes json_out quiet slo_specs slo_strict stats_interval dashboard stats_json
+    trace_out breakdown breakdown_json control =
   let mix =
     match mix_spec with
     | None -> Tq_serve.Load_gen.default_mix
@@ -56,6 +59,7 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us js
       slo = List.map parse_slo slo_specs;
       stats_interval_s = stats_interval;
       dashboard;
+      server_lanes;
     }
   in
   let r = Tq_serve.Load_gen.run config in
@@ -181,6 +185,13 @@ let () =
   let spin =
     Arg.(value & opt float 1.0 & info [ "spin-us" ] ~doc:"server-side spin per echo request")
   in
+  let server_lanes =
+    Arg.(value & opt int 1
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"dispatcher lane count the target tq_serve was started with \
+                   (report metadata only — recorded as server_lanes in --json \
+                   output so benchmark reports are self-describing)")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"write the benchmark report to FILE")
@@ -244,9 +255,10 @@ let () =
   in
   let doc = "Open-loop Poisson load generator for tq_serve." in
   let cmd =
-    Cmd.v (Cmd.info "tq_load" ~version:"1.2.0" ~doc)
+    Cmd.v (Cmd.info "tq_load" ~version:"1.3.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
-            $ seed $ mix $ spin $ json $ quiet $ slo $ slo_strict $ stats_interval
-            $ dashboard $ stats_json $ trace $ breakdown $ breakdown_json $ control)
+            $ seed $ mix $ spin $ server_lanes $ json $ quiet $ slo $ slo_strict
+            $ stats_interval $ dashboard $ stats_json $ trace $ breakdown
+            $ breakdown_json $ control)
   in
   exit (Cmd.eval cmd)

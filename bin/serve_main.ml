@@ -6,9 +6,15 @@
 
 open Cmdliner
 
-let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s stats_out
-    obs obs_capacity trace_out gc_events adaptive ctl_latency_us ctl_interval_ms
-    heartbeat_ms missed_heartbeats faults =
+let serve host port cores lanes quantum_us ring rx_depth admission kv_keys
+    pool_bufs pool_buf_bytes duration_s stats_out obs obs_capacity trace_out
+    gc_events adaptive ctl_latency_us ctl_interval_ms heartbeat_ms
+    missed_heartbeats faults =
+  if lanes < 1 || lanes > cores then begin
+    Printf.eprintf "tq_serve: --lanes must be in [1, --cores] (got %d of %d)\n" lanes
+      cores;
+    exit 1
+  end;
   let admission =
     match admission with
     | "accept-all" -> Tq_sched.Admission.Accept_all
@@ -69,6 +75,7 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       host;
       port;
       workers = cores;
+      lanes;
       quantum_ns;
       ring_capacity = ring;
       rx_depth;
@@ -77,6 +84,8 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       adaptive = controller;
       heartbeat_interval_s = heartbeat_ms /. 1e3;
       missed_heartbeats;
+      pool_bufs;
+      pool_buf_bytes;
     }
   in
   let spans =
@@ -124,9 +133,12 @@ let serve host port cores quantum_us ring rx_depth admission kv_keys duration_s 
       ignore (Sys.signal Sys.sigalrm (Sys.Signal_handle stop));
       ignore (Unix.alarm (max 1 (int_of_float (Float.ceil s))))
   | None -> ());
-  Printf.printf "tq_serve: listening on %s:%d (%d worker cores, %gus quanta)\n%!" host
+  Printf.printf
+    "tq_serve: listening on %s:%d (%d worker cores, %d lane%s, %gus quanta)\n%!" host
     (Tq_serve.Server.port server)
-    cores quantum_us;
+    cores lanes
+    (if lanes = 1 then "" else "s")
+    quantum_us;
   Tq_serve.Server.serve server;
   let s = Tq_serve.Server.stats server in
   let summary =
@@ -168,6 +180,24 @@ let () =
   in
   let cores =
     Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"worker domains (level 2 cores)")
+  in
+  let lanes =
+    Arg.(value & opt int 1
+         & info [ "lanes" ] ~docv:"N"
+             ~doc:"dispatcher lanes (level 1): independent readiness loops sharing \
+                   the listener via accept spreading, each owning a disjoint \
+                   worker slice; must not exceed --cores")
+  in
+  let pool_bufs =
+    Arg.(value & opt int 1024
+         & info [ "pool-bufs" ] ~docv:"N"
+             ~doc:"reply framing buffers kept on the shared zero-copy pool")
+  in
+  let pool_buf_bytes =
+    Arg.(value & opt int 4096
+         & info [ "pool-buf-bytes" ] ~docv:"BYTES"
+             ~doc:"size of each pooled framing buffer (larger responses fall back \
+                   to exact fresh allocations)")
   in
   let quantum =
     Arg.(value & opt float 100.0 & info [ "quantum-us" ] ~doc:"forced-multitasking quantum")
@@ -260,9 +290,9 @@ let () =
   let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
   let cmd =
     Cmd.v (Cmd.info "tq_serve" ~version:"1.2.0" ~doc)
-      Term.(const serve $ host $ port $ cores $ quantum $ ring $ rx_depth $ admission
-            $ kv_keys $ duration $ stats_out $ obs $ obs_capacity $ trace_out
-            $ gc_events $ adaptive $ ctl_latency_us $ ctl_interval_ms $ heartbeat_ms
-            $ missed_heartbeats $ faults)
+      Term.(const serve $ host $ port $ cores $ lanes $ quantum $ ring $ rx_depth
+            $ admission $ kv_keys $ pool_bufs $ pool_buf_bytes $ duration $ stats_out
+            $ obs $ obs_capacity $ trace_out $ gc_events $ adaptive $ ctl_latency_us
+            $ ctl_interval_ms $ heartbeat_ms $ missed_heartbeats $ faults)
   in
   exit (Cmd.eval cmd)

@@ -48,6 +48,29 @@ let to_alist t =
   Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Bucket-level aggregation: replaying each source bucket's lower bound
+   [count] times lands in the same bucket of the destination histogram
+   (identical bucket boundaries), so percentiles of the merge equal the
+   percentiles of the pooled samples up to the histograms' native
+   resolution.  The sources are read without locks — merge per-lane
+   registries after the writers quiesced for an exact cut, or live for
+   an eventually-consistent snapshot. *)
+let merge ts =
+  let max_value =
+    List.fold_left (fun acc t -> max acc t.max_value) 1 ts
+  in
+  let out = create ~max_ns:max_value () in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, r) ->
+          let dst = recorder out name in
+          iter_buckets r (fun ~lo ~hi:_ ~count ->
+              Histogram.record_n dst.hist (max 0 (min lo dst.max_value)) ~count))
+        (to_alist t))
+    ts;
+  out
+
 let us ns = float_of_int ns /. 1e3
 
 let dump t =

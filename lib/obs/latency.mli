@@ -72,6 +72,15 @@ val clear_all : t -> unit
 (** Registered recorders with their names, sorted by name. *)
 val to_alist : t -> (string * recorder) list
 
+(** [merge ts] — a fresh registry pooling every source registry's
+    samples, bucket-wise (same-named recorders combine; results match
+    the pooled percentiles up to the histograms' native resolution).
+    Sources are read without locks: call after the recording domains
+    have quiesced for an exact cut, or live for an eventually-consistent
+    snapshot.  This is how the multi-lane serve plane aggregates its
+    per-lane sojourn ladders for the Stats RPC. *)
+val merge : t list -> t
+
 (** [dump t] — one line per recorder: count, mean and the standard
     percentile ladder (p50 / p90 / p99 / p99.9), in microseconds. *)
 val dump : t -> string

@@ -22,7 +22,7 @@ type t = {
   base_quantum : int Atomic.t;  (** live quantum, read by workers per slice *)
   class_quanta : int Atomic.t array;  (** per-class overrides; <= 0 = inherit *)
   mutable live : bool;  (** false after shutdown; guarded by the producer thread *)
-  mutable next_tag : int;  (** producer-side fallback task-id source *)
+  next_tag : int Atomic.t;  (** fallback task-id source, shared by all producers *)
 }
 
 let worker_loop handle ~wid ~quantum_ns ~base_quantum ~class_quanta ~stop ~spans
@@ -194,7 +194,8 @@ let create ?(workers = 4) ?(quantum_ns = 100_000) ?(ring_capacity = 256)
               ~spans ~reg ~track_probes ~stall_threshold_ns ~gc_pause_ns))
       handles
   in
-  { handles; domains; stop; base_quantum; class_quanta; live = true; next_tag = 0 }
+  { handles; domains; stop; base_quantum; class_quanta; live = true;
+    next_tag = Atomic.make 0 }
 
 let workers t = Array.length t.handles
 let unfinished h = Atomic.get h.assigned - Atomic.get h.finished
@@ -214,6 +215,30 @@ let pick t =
   if !best < 0 then invalid_arg "Parallel.pick: every worker is dead";
   !best
 
+(* The lane-aware variant: JSQ restricted to the caller's worker slice,
+   so a dispatcher lane that owns a subset of the rings (the
+   single-producer-per-ring contract) never steers outside it. *)
+let pick_in t ~workers =
+  let best = ref (-1) in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.handles then
+        invalid_arg "Parallel.pick_in: no such worker";
+      let h = t.handles.(i) in
+      if not (Atomic.get h.dead) then
+        if !best < 0 || unfinished h < unfinished t.handles.(!best) then best := i)
+    workers;
+  if !best < 0 then invalid_arg "Parallel.pick_in: every worker in the slice is dead";
+  !best
+
+let alive_in t ~workers =
+  Array.fold_left
+    (fun acc i ->
+      if i >= 0 && i < Array.length t.handles && not (Atomic.get t.handles.(i).dead)
+      then acc + 1
+      else acc)
+    0 workers
+
 let submit_to t ?tag ?(class_idx = 0) ~worker job =
   if not t.live then invalid_arg "Parallel.submit_to: pool is shut down";
   if worker < 0 || worker >= Array.length t.handles then
@@ -222,9 +247,7 @@ let submit_to t ?tag ?(class_idx = 0) ~worker job =
   let task_id =
     match tag with
     | Some g -> g
-    | None ->
-        t.next_tag <- t.next_tag + 1;
-        t.next_tag
+    | None -> Atomic.fetch_and_add t.next_tag 1 + 1
   in
   if Spsc_ring.try_push handle.ring { Task_worker.task_id; class_idx; work = job }
   then begin

@@ -9,8 +9,12 @@
     The handle is persistent: workers are spawned by {!create} and keep
     polling their rings until {!shutdown}, so a server can submit
     requests for its whole lifetime instead of draining one fixed batch.
-    Exactly one thread may call {!submit}/{!submit_to} (the rings are
-    single-producer); any thread may read the counters.
+    The rings are single-producer {e per worker}: at any moment, at most
+    one thread may {!submit_to} a given worker — either one global
+    dispatcher thread owns every ring (the classic layout), or the
+    worker set is partitioned into disjoint slices with one producer
+    each (the multi-lane serve plane, which steers inside its slice with
+    {!pick_in}).  Any thread may read the counters.
 
     Fidelity caveats (DESIGN.md): wall-clock quanta include OCaml GC
     pauses, and the per-domain minor heaps make this a demonstration of
@@ -75,6 +79,16 @@ val workers : t -> int
     {!mark_dead}.  Raises [Invalid_argument] when every worker is
     dead. *)
 val pick : t -> int
+
+(** [pick_in t ~workers] — JSQ restricted to the worker indices in
+    [workers] (a dispatcher lane's slice), skipping dead workers.
+    Raises [Invalid_argument] when every listed worker is dead or an
+    index is out of range. *)
+val pick_in : t -> workers:int array -> int
+
+(** [alive_in t ~workers] — how many of the listed workers are not
+    marked dead (out-of-range indices count as dead). *)
+val alive_in : t -> workers:int array -> int
 
 (** [submit_to t ?tag ?class_idx ~worker job] — push [job] onto
     [worker]'s ring; [false] when the ring is full (shed or retry —

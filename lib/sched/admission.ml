@@ -15,7 +15,12 @@ type policy =
       (** reject while the exponentially weighted moving average of
           completion sojourns exceeds [threshold_ns] *)
 
-type t = { mutable policy : policy; mutable ewma_ns : float; mutable rejected : int }
+(* [policy] is an [Atomic] so a controller domain can retune the gate
+   while another domain (a dispatcher lane) is consulting it: the swap
+   publishes the new policy value with release semantics, so readers
+   never observe a half-initialized record.  [ewma_ns] and [rejected]
+   stay plain — they are only touched by the lane that owns the gate. *)
+type t = { policy : policy Atomic.t; mutable ewma_ns : float; mutable rejected : int }
 
 let validate policy =
   match policy with
@@ -29,20 +34,20 @@ let validate policy =
 
 let create policy =
   validate policy;
-  { policy; ewma_ns = 0.0; rejected = 0 }
+  { policy = Atomic.make policy; ewma_ns = 0.0; rejected = 0 }
 
 (* Live retune (the feedback controller's actuator): the rejection tally
    and the sojourn EWMA survive the swap, so tightening and relaxing a
    threshold mid-run never resets what the gate has learned. *)
 let set_policy t policy =
   validate policy;
-  t.policy <- policy
+  Atomic.set t.policy policy
 
-let policy t = t.policy
+let policy t = Atomic.get t.policy
 
 let admit t ~in_system =
   let ok =
-    match t.policy with
+    match Atomic.get t.policy with
     | Accept_all -> true
     | Queue_limit { max_in_system } -> in_system < max_in_system
     | Ewma_sojourn { threshold_ns; _ } -> t.ewma_ns <= float_of_int threshold_ns
@@ -51,7 +56,7 @@ let admit t ~in_system =
   ok
 
 let note_completion t ~sojourn_ns =
-  match t.policy with
+  match Atomic.get t.policy with
   | Ewma_sojourn { alpha; _ } ->
       t.ewma_ns <-
         if t.ewma_ns = 0.0 then float_of_int sojourn_ns

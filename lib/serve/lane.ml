@@ -1,0 +1,654 @@
+(* One dispatcher lane of the multi-lane I/O plane.
+
+   A lane is a self-contained copy of the classic dispatcher loop: it
+   polls the shared listener (accept spreading hands it an even share
+   of connections), owns those connections outright, steers their
+   parsed requests into its own slice of the worker pool, polls its
+   slice's reply rings and flushes responses back.  Nothing on the
+   per-request path crosses lanes, so every lane-local structure —
+   connection table, pending table, tallies, counter registry, latency
+   registry, span sink — is single-writer plain mutable state, exactly
+   as in the single-dispatcher design.
+
+   The worker pool is shared but partitioned: lane [l] of [L] owns
+   workers [w] with [w mod L = l], preserving the SPSC contract (one
+   producer per dispatch ring) with zero coordination.  Three things
+   are deliberately global and cross-lane-safe: the pool's atomic
+   counters (JSQ, in-flight backpressure), the quantum cells the
+   feedback controller actuates, and the buffer pool (a lock-free
+   Treiber stack).  Cross-lane *reads* of a lane's tallies (the Stats
+   RPC, [Server.stats]) see word-sized plain loads: never torn, only
+   eventually consistent — and exact once the lane's domain has been
+   joined. *)
+
+module Parallel = Tq_runtime.Parallel
+module Spsc_ring = Tq_runtime.Spsc_ring
+module Admission = Tq_sched.Admission
+module Counters = Tq_obs.Counters
+module Span = Tq_obs.Span
+module Event = Tq_obs.Event
+module Latency = Tq_obs.Latency
+module Reassembly = Protocol.Reassembly
+module Outbuf = Protocol.Outbuf
+
+(* Reply-ring payload: connection, span/request id, request class,
+   dispatch stamp, worker-side completion stamp (0 when spans are off),
+   and the encoded frame as a pooled buffer plus its live length. *)
+type reply = {
+  r_cid : int;
+  r_sid : int;
+  r_class : int;
+  r_t0 : int;
+  r_done : int;
+  r_buf : bytes;  (* pooled: the lane releases it after blitting *)
+  r_len : int;
+}
+
+type shared = {
+  pool : Parallel.t;
+  apps : App.t array;
+  reply_rings : reply Spsc_ring.t array;  (* indexed by worker *)
+  bufs : Pool.t;
+  listener : Listener.t;
+  stop_flag : bool Atomic.t;
+  paused_until_ns : int Atomic.t;
+  spans : Span.t;
+  spans_on : bool;
+  lanes : int;
+  rx_depth : int;
+  drain_timeout_s : float;
+  heartbeat_interval_ns : int;
+  missed_heartbeats : int;
+  ctl_latency_ns : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  rb : Reassembly.t;
+  wb : Outbuf.t;
+  mutable alive : bool;
+}
+
+(* [parsed] is deliberately NOT a stored tally: every parsed
+   request-work frame lands in exactly one of [t_dispatched] /
+   [t_shed], so [counts] derives it from the same two loads it
+   reports — which keeps the [parsed = dispatched + shed] identity
+   exact even for a Stats render racing this lane's dispatch path
+   (three independently-updated cells could be observed mid-bump). *)
+type tallies = {
+  mutable t_connections : int;
+  mutable t_dispatched : int;
+  mutable t_completed : int;
+  mutable t_shed : int;
+  mutable t_stats_served : int;
+  mutable t_protocol_errors : int;
+  mutable t_orphaned : int;
+  mutable t_duplicates : int;
+  mutable t_redispatched : int;
+  mutable t_dead_workers : int;
+}
+
+type counts = {
+  connections : int;
+  parsed : int;
+  dispatched : int;
+  completed : int;
+  shed : int;
+  stats_served : int;
+  protocol_errors : int;
+  orphaned : int;
+  duplicates : int;
+  redispatched : int;
+  dead_workers : int;
+}
+
+(* One admitted-but-unanswered request, keyed by span id: everything
+   needed to re-dispatch to another worker in the slice if its current
+   one is declared dead.  First reply retires the entry; replies that
+   find no entry are duplicates and are dropped with a count. *)
+type pending = {
+  p_cid : int;
+  p_req_id : int;
+  p_req : Protocol.request;
+  p_class : int;
+  p_t0 : int;
+  mutable p_worker : int;
+}
+
+type t = {
+  sh : shared;
+  id : int;
+  slice : int array;  (* global worker indices this lane dispatches to *)
+  conns : (int, conn) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;
+  tallies : tallies;
+  reg : Counters.t;
+  sink : Span.sink;
+  latency : Latency.t;
+  lat_all : Latency.recorder;
+  lat_class : Latency.recorder array;
+  adm : Admission.t;
+  c_parsed : Counters.counter;
+  c_dispatched : Counters.counter;
+  c_completed : Counters.counter;
+  c_shed : Counters.counter;
+  c_stats_served : Counters.counter;
+  c_parsed_by : Counters.counter array;
+  c_dispatched_by : Counters.counter array;
+  c_completed_by : Counters.counter array;
+  c_shed_by : Counters.counter array;
+  d_sojourn : Counters.dist;
+  c_duplicates : Counters.counter;
+  c_redispatched : Counters.counter;
+  c_workers_dead : Counters.counter;
+  ctl_completed : int array;  (* cumulative per-class, controller sensing *)
+  ctl_good : int array;
+  ctl_shed : int array;
+  hb_beats : int array;  (* by slice position *)
+  hb_missed : int array;
+  mutable hb_next_ns : int;
+  mutable render_stats : (Protocol.stats_view -> (string, string) result) option;
+  mutable tick_hook : (now_ns:int -> unit) option;
+  mutable next_cid : int;  (* strided: start [id], step [lanes] *)
+  mutable next_sid : int;
+}
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let per_class f =
+  Array.init Protocol.class_count (fun i -> f (Protocol.class_name i))
+
+let create sh ~id ~reg ~admission =
+  let slice =
+    Array.of_seq
+      (Seq.filter
+         (fun w -> w mod sh.lanes = id)
+         (Seq.init (Parallel.workers sh.pool) Fun.id))
+  in
+  if Array.length slice = 0 then invalid_arg "Lane.create: empty worker slice";
+  let latency = Latency.create () in
+  {
+    sh;
+    id;
+    slice;
+    conns = Hashtbl.create 64;
+    pending = Hashtbl.create 1024;
+    tallies =
+      {
+        t_connections = 0;
+        t_dispatched = 0;
+        t_completed = 0;
+        t_shed = 0;
+        t_stats_served = 0;
+        t_protocol_errors = 0;
+        t_orphaned = 0;
+        t_duplicates = 0;
+        t_redispatched = 0;
+        t_dead_workers = 0;
+      };
+    reg;
+    sink = Span.register sh.spans (Event.Dispatcher id);
+    latency;
+    lat_all = Latency.recorder latency "all";
+    lat_class = per_class (fun name -> Latency.recorder latency name);
+    adm = Admission.create admission;
+    c_parsed = Counters.counter reg "serve.parsed";
+    c_dispatched = Counters.counter reg "serve.dispatched";
+    c_completed = Counters.counter reg "serve.completed";
+    c_shed = Counters.counter reg "serve.shed";
+    c_stats_served = Counters.counter reg "serve.stats_served";
+    c_parsed_by = per_class (fun n -> Counters.counter reg ("serve.parsed." ^ n));
+    c_dispatched_by = per_class (fun n -> Counters.counter reg ("serve.dispatched." ^ n));
+    c_completed_by = per_class (fun n -> Counters.counter reg ("serve.completed." ^ n));
+    c_shed_by = per_class (fun n -> Counters.counter reg ("serve.shed." ^ n));
+    d_sojourn = Counters.dist reg "serve.sojourn_ns";
+    c_duplicates = Counters.counter reg "serve.duplicates";
+    c_redispatched = Counters.counter reg "serve.redispatched";
+    c_workers_dead = Counters.counter reg "serve.workers_dead";
+    ctl_completed = Array.make Protocol.class_count 0;
+    ctl_good = Array.make Protocol.class_count 0;
+    ctl_shed = Array.make Protocol.class_count 0;
+    hb_beats = Array.make (Array.length slice) (-1);
+    hb_missed = Array.make (Array.length slice) 0;
+    hb_next_ns = 0;
+    render_stats = None;
+    tick_hook = None;
+    next_cid = id;
+    next_sid = id;
+  }
+
+let id t = t.id
+let registry t = t.reg
+let latency t = t.latency
+let admission t = t.adm
+let open_conns t = Hashtbl.length t.conns
+let set_stats_renderer t f = t.render_stats <- Some f
+let set_tick t f = t.tick_hook <- Some f
+
+let counts t =
+  let s = t.tallies in
+  let dispatched = s.t_dispatched in
+  let shed = s.t_shed in
+  {
+    connections = s.t_connections;
+    parsed = dispatched + shed;
+    dispatched;
+    completed = s.t_completed;
+    shed;
+    stats_served = s.t_stats_served;
+    protocol_errors = s.t_protocol_errors;
+    orphaned = s.t_orphaned;
+    duplicates = s.t_duplicates;
+    redispatched = s.t_redispatched;
+    dead_workers = s.t_dead_workers;
+  }
+
+let in_flight t = t.tallies.t_dispatched - t.tallies.t_completed
+
+let ctl_counts t ~class_idx =
+  (t.ctl_completed.(class_idx), t.ctl_good.(class_idx), t.ctl_shed.(class_idx))
+
+(* {2 Connection lifecycle} *)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    Hashtbl.remove t.conns conn.cid;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let adopt_fd t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let cid = t.next_cid in
+  t.next_cid <- cid + t.sh.lanes;
+  Hashtbl.replace t.conns cid
+    { fd; cid; rb = Reassembly.create (); wb = Outbuf.create (); alive = true };
+  t.tallies.t_connections <- t.tallies.t_connections + 1;
+  if t.sh.spans_on then
+    Span.record t.sink ~req_id:(-1) ~phase:Span.Accept ~start_ns:(now_ns ())
+      ~dur_ns:0 ~arg:cid
+
+(* Dispatcher-side responses (shed verdicts, stats bodies) go through
+   the same pooled zero-copy path as worker replies. *)
+let add_response t conn resp =
+  let len = Protocol.response_frame_len resp in
+  let buf = Pool.acquire t.sh.bufs ~len in
+  let n = Protocol.encode_response_into buf ~off:0 resp in
+  Outbuf.add_bytes conn.wb buf ~off:0 ~len:n;
+  Pool.release t.sh.bufs buf
+
+let shed_response t conn req_id =
+  add_response t conn { Protocol.req_id; status = Protocol.Shed; body = "" }
+
+(* Stats requests are introspection, answered synchronously on the lane
+   that owns the connection: they must work during overload (when
+   admission sheds request work) and must not perturb the accounting
+   they report.  The rendering itself is a server-level closure — it
+   merges every lane's view. *)
+let serve_stats t conn req_id view =
+  t.tallies.t_stats_served <- t.tallies.t_stats_served + 1;
+  Counters.incr t.c_stats_served;
+  let body =
+    match t.render_stats with
+    | Some render -> render view
+    | None -> Error "stats renderer not wired"
+  in
+  let resp =
+    match body with
+    | Error msg -> { Protocol.req_id; status = Protocol.Error msg; body = "" }
+    | Ok body ->
+        if String.length body <= Protocol.max_frame_bytes - 16 then
+          { Protocol.req_id; status = Protocol.Ok; body }
+        else
+          { Protocol.req_id; status = Protocol.Error "stats body too large"; body = "" }
+  in
+  add_response t conn resp
+
+(* {2 Dispatch} *)
+
+(* The worker-side closure for one request: execute on [worker]'s app,
+   encode into a pooled buffer, push onto [worker]'s reply ring.
+   Factored out of [dispatch] because re-dispatch after a worker death
+   must rebuild it against the replacement worker's app and ring. *)
+let make_job t ~worker ~sid ~cid ~class_idx ~t0 ~req_id req =
+  let app = t.sh.apps.(worker) in
+  let ring = t.sh.reply_rings.(worker) in
+  let bufs = t.sh.bufs in
+  let spans_on = t.sh.spans_on in
+  fun () ->
+    let resp = App.execute app ~now_ns:(now_ns ()) ~req_id req in
+    let len = Protocol.response_frame_len resp in
+    let buf = Pool.acquire bufs ~len in
+    let n = Protocol.encode_response_into buf ~off:0 resp in
+    let reply =
+      {
+        r_cid = cid;
+        r_sid = sid;
+        r_class = class_idx;
+        r_t0 = t0;
+        r_done = (if spans_on then now_ns () else 0);
+        r_buf = buf;
+        r_len = n;
+      }
+    in
+    if not (Spsc_ring.try_push ring reply) then begin
+      let backoff = Tq_runtime.Backoff.create () in
+      while not (Spsc_ring.try_push ring reply) do
+        Tq_runtime.Backoff.once backoff
+      done
+    end
+
+let shed t conn ~p0 ~class_idx req_id =
+  t.tallies.t_shed <- t.tallies.t_shed + 1;
+  Counters.incr t.c_shed;
+  Counters.incr t.c_shed_by.(class_idx);
+  t.ctl_shed.(class_idx) <- t.ctl_shed.(class_idx) + 1;
+  if t.sh.spans_on then
+    Span.record t.sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:p0
+      ~dur_ns:(max 0 (now_ns () - p0))
+      ~arg:class_idx;
+  shed_response t conn req_id
+
+(* [p0] is the parse-start stamp from [parse_frames] (0 when spans are
+   off): the request's first boundary.  A dispatched request gets a
+   per-request [Parse] span [p0, t0) under its span id so the stage
+   decomposition can telescope from the very first touch; a shed
+   request gets a [Shed] span covering [p0, decision). *)
+let dispatch t conn ~p0 req_id req =
+  let class_idx = Protocol.class_of_request req in
+  Counters.incr t.c_parsed;
+  Counters.incr t.c_parsed_by.(class_idx);
+  let pool_load = Parallel.in_flight t.sh.pool in
+  let admitted =
+    Parallel.alive_in t.sh.pool ~workers:t.slice > 0
+    && pool_load < t.sh.rx_depth
+    && Admission.admit t.adm ~in_system:pool_load
+  in
+  if not admitted then shed t conn ~p0 ~class_idx req_id
+  else begin
+    let w =
+      match Protocol.steering_key req with
+      | Some key ->
+          (* Keyed steering inside the slice, unless the home worker
+             died — consistency yields to availability (its store is
+             gone anyway).  Keys are consistent per lane, and a client
+             connection sticks to one lane for its lifetime; see the
+             DESIGN.md caveat on cross-lane key placement. *)
+          let w = t.slice.(Hashtbl.hash key mod Array.length t.slice) in
+          if Parallel.worker_alive t.sh.pool ~worker:w then w
+          else Parallel.pick_in t.sh.pool ~workers:t.slice
+      | None -> Parallel.pick_in t.sh.pool ~workers:t.slice
+    in
+    let sid = t.next_sid in
+    let cid = conn.cid in
+    let t0 = now_ns () in
+    let job = make_job t ~worker:w ~sid ~cid ~class_idx ~t0 ~req_id req in
+    if Parallel.submit_to t.sh.pool ~tag:sid ~class_idx ~worker:w job then begin
+      t.next_sid <- sid + t.sh.lanes;
+      t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
+      Counters.incr t.c_dispatched;
+      Counters.incr t.c_dispatched_by.(class_idx);
+      Hashtbl.replace t.pending sid
+        {
+          p_cid = cid;
+          p_req_id = req_id;
+          p_req = req;
+          p_class = class_idx;
+          p_t0 = t0;
+          p_worker = w;
+        };
+      if t.sh.spans_on then begin
+        Span.record t.sink ~req_id:sid ~phase:Span.Parse ~start_ns:p0
+          ~dur_ns:(max 0 (t0 - p0)) ~arg:conn.cid;
+        Span.record t.sink ~req_id:sid ~phase:Span.Dispatch ~start_ns:t0
+          ~dur_ns:(now_ns () - t0) ~arg:w
+      end
+    end
+    else
+      (* the chosen core's ring is full: backpressure, shed at the door *)
+      shed t conn ~p0 ~class_idx req_id
+  end
+
+let rec parse_frames t conn =
+  if conn.alive then
+    match Reassembly.next conn.rb with
+    | Error _ ->
+        t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
+        close_conn t conn
+    | Ok None -> ()
+    | Ok (Some payload) -> (
+        let p0 = if t.sh.spans_on then now_ns () else 0 in
+        match Protocol.decode_request payload with
+        | Error _ ->
+            t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
+            close_conn t conn
+        | Ok (req_id, req) ->
+            (match req with
+            | Protocol.Stats { view } -> serve_stats t conn req_id view
+            | _ -> dispatch t conn ~p0 req_id req);
+            parse_frames t conn)
+
+let accept_new t progress =
+  match Listener.poll t.sh.listener ~lane:t.id with
+  | [] -> ()
+  | fds ->
+      progress := true;
+      List.iter (adopt_fd t) fds
+
+let read_conn t chunk progress conn =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn t conn
+  | n ->
+      progress := true;
+      Reassembly.add conn.rb chunk n;
+      parse_frames t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn t conn
+
+let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let poll_replies t progress =
+  Array.iter
+    (fun w ->
+      let ring = t.sh.reply_rings.(w) in
+      let rec go () =
+        match Spsc_ring.try_pop ring with
+        | None -> ()
+        | Some reply ->
+            progress := true;
+            (if not (Hashtbl.mem t.pending reply.r_sid) then begin
+               (* Already answered by a re-dispatched copy (the original
+                  worker finished after being declared dead).  Count and
+                  drop — the client saw exactly one response. *)
+               t.tallies.t_duplicates <- t.tallies.t_duplicates + 1;
+               Counters.incr t.c_duplicates
+             end
+             else begin
+               Hashtbl.remove t.pending reply.r_sid;
+               t.tallies.t_completed <- t.tallies.t_completed + 1;
+               Counters.incr t.c_completed;
+               Counters.incr t.c_completed_by.(reply.r_class);
+               let now = now_ns () in
+               let sojourn = now - reply.r_t0 in
+               Admission.note_completion t.adm ~sojourn_ns:sojourn;
+               Counters.observe t.d_sojourn sojourn;
+               Latency.record t.lat_all sojourn;
+               Latency.record t.lat_class.(reply.r_class) sojourn;
+               t.ctl_completed.(reply.r_class) <- t.ctl_completed.(reply.r_class) + 1;
+               if sojourn <= t.sh.ctl_latency_ns then
+                 t.ctl_good.(reply.r_class) <- t.ctl_good.(reply.r_class) + 1;
+               if t.sh.spans_on then
+                 (* worker push -> lane pop-and-buffer: the reply ring
+                    hop plus write buffering, the request's last leg *)
+                 Span.record t.sink ~req_id:reply.r_sid ~phase:Span.Reply_flush
+                   ~start_ns:reply.r_done
+                   ~dur_ns:(max 0 (now - reply.r_done))
+                   ~arg:reply.r_cid;
+               match Hashtbl.find_opt t.conns reply.r_cid with
+               | Some conn -> Outbuf.add_bytes conn.wb reply.r_buf ~off:0 ~len:reply.r_len
+               | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1
+             end);
+            Pool.release t.sh.bufs reply.r_buf;
+            go ()
+      in
+      go ())
+    t.slice
+
+let flush_conn t progress conn =
+  if not (Outbuf.is_empty conn.wb) then begin
+    let buf, off, len = Outbuf.peek conn.wb in
+    match Unix.write conn.fd buf off len with
+    | n ->
+        if n > 0 then progress := true;
+        Outbuf.consume conn.wb n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn t conn
+  end
+
+let pending_writes t =
+  Hashtbl.fold (fun _ c acc -> acc || not (Outbuf.is_empty c.wb)) t.conns false
+
+let reply_rings_empty t =
+  Array.for_all (fun w -> Spsc_ring.length t.sh.reply_rings.(w) = 0) t.slice
+
+let slice_in_flight t =
+  Array.fold_left
+    (fun acc w -> acc + Parallel.worker_in_flight t.sh.pool ~worker:w)
+    0 t.slice
+
+(* Block on socket readiness only when this lane's whole pipeline is
+   quiet.  With work in flight the lane polls, like the paper's
+   dedicated dispatcher core — but through a spin-then-park backoff, so
+   on a machine where lanes and workers share cores a reply-less poll
+   round hands the core to the workers (see {!Tq_runtime.Backoff}).
+   The select timeout also bounds cross-lane accept-handoff latency. *)
+let idle_wait t backoff =
+  if slice_in_flight t = 0 && reply_rings_empty t && not (pending_writes t) then begin
+    let fds = List.map (fun c -> c.fd) (conn_list t) in
+    let fds =
+      if Listener.is_open t.sh.listener then Listener.fd t.sh.listener :: fds
+      else fds
+    in
+    match Unix.select fds [] [] 0.02 with
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ()
+  end
+  else Tq_runtime.Backoff.once backoff
+
+(* {2 Worker health: heartbeats, death verdicts, re-dispatch}
+
+   Per-lane over the lane's own slice: requests stranded on a worker
+   declared dead are re-submitted to living slice workers under their
+   original span id, so the client still gets exactly one response (the
+   duplicate filter in [poll_replies] absorbs any race with a
+   not-quite-dead original).  A full replacement ring leaves the entry
+   in [pending] for the next heartbeat round. *)
+
+let redispatch_orphans t =
+  if t.tallies.t_dead_workers > 0 && Parallel.alive_in t.sh.pool ~workers:t.slice > 0
+  then begin
+    let orphans =
+      Hashtbl.fold
+        (fun sid p acc ->
+          if not (Parallel.worker_alive t.sh.pool ~worker:p.p_worker) then
+            (sid, p) :: acc
+          else acc)
+        t.pending []
+    in
+    List.iter
+      (fun (sid, p) ->
+        let w = Parallel.pick_in t.sh.pool ~workers:t.slice in
+        let job =
+          make_job t ~worker:w ~sid ~cid:p.p_cid ~class_idx:p.p_class ~t0:p.p_t0
+            ~req_id:p.p_req_id p.p_req
+        in
+        if Parallel.submit_to t.sh.pool ~tag:sid ~class_idx:p.p_class ~worker:w job
+        then begin
+          p.p_worker <- w;
+          t.tallies.t_redispatched <- t.tallies.t_redispatched + 1;
+          Counters.incr t.c_redispatched
+        end)
+      orphans
+  end
+
+(* Progress-based liveness: a worker that made no loop pass across a
+   whole heartbeat window while holding work is suspect; after
+   [missed_heartbeats] consecutive suspect windows it is declared dead
+   and its pending requests move.  Idle workers always beat, so quiet
+   periods never accumulate misses. *)
+let heartbeat_check t ~now =
+  if t.sh.heartbeat_interval_ns > 0 && now >= t.hb_next_ns then begin
+    t.hb_next_ns <- now + t.sh.heartbeat_interval_ns;
+    Array.iteri
+      (fun i w ->
+        if Parallel.worker_alive t.sh.pool ~worker:w then begin
+          let b = Parallel.beats t.sh.pool ~worker:w in
+          if b = t.hb_beats.(i) && Parallel.worker_in_flight t.sh.pool ~worker:w > 0
+          then begin
+            t.hb_missed.(i) <- t.hb_missed.(i) + 1;
+            if t.hb_missed.(i) >= t.sh.missed_heartbeats then begin
+              ignore (Parallel.mark_dead t.sh.pool ~worker:w : int);
+              t.tallies.t_dead_workers <- t.tallies.t_dead_workers + 1;
+              Counters.incr t.c_workers_dead
+            end
+          end
+          else t.hb_missed.(i) <- 0;
+          t.hb_beats.(i) <- b
+        end)
+      t.slice;
+    redispatch_orphans t
+  end
+
+(* {2 The lane loop} *)
+
+let run t =
+  (* the latency recorders were created on the thread that built the
+     server; this lane's domain records into them from here on *)
+  Latency.adopt t.lat_all;
+  Array.iter Latency.adopt t.lat_class;
+  let chunk = Bytes.create 65536 in
+  let stopping = ref false in
+  let stop_deadline = ref infinity in
+  let running = ref true in
+  let backoff = Tq_runtime.Backoff.create () in
+  while !running do
+    let progress = ref false in
+    let now = now_ns () in
+    (match t.tick_hook with Some f -> f ~now_ns:now | None -> ());
+    if (not !stopping) && Atomic.get t.sh.stop_flag then begin
+      (* Graceful drain: no new connections, no new frames; everything
+         already dispatched still completes and flushes.  The first
+         lane to notice closes the shared listener (idempotent). *)
+      stopping := true;
+      stop_deadline := Unix.gettimeofday () +. t.sh.drain_timeout_s;
+      Listener.close t.sh.listener
+    end;
+    if now < Atomic.get t.sh.paused_until_ns then ()
+      (* dispatcher outage (fault hook): nothing moves on any lane — no
+         accepts, no replies, no heartbeat verdicts — exactly like a
+         wedged dispatcher thread; workers keep serving their rings *)
+    else begin
+      heartbeat_check t ~now;
+      if not !stopping then begin
+        accept_new t progress;
+        List.iter (fun c -> read_conn t chunk progress c) (conn_list t)
+      end;
+      poll_replies t progress;
+      List.iter (fun c -> flush_conn t progress c) (conn_list t);
+      if !stopping then begin
+        let drained = in_flight t = 0 in
+        if drained && not (pending_writes t) then running := false
+        else if Unix.gettimeofday () > !stop_deadline then begin
+          (* Unresponsive clients: finishing dispatched work is still
+             unconditional — only their unflushed bytes are abandoned. *)
+          Parallel.drain t.sh.pool;
+          poll_replies t progress;
+          running := false
+        end
+      end
+    end;
+    if !progress then Tq_runtime.Backoff.reset backoff
+    else if !running then idle_wait t backoff
+  done;
+  List.iter (fun c -> close_conn t c) (conn_list t)

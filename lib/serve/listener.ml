@@ -1,0 +1,115 @@
+(* A shared nonblocking listening socket with accept spreading.
+
+   Every dispatcher lane polls the one listener; accepted connections
+   are dealt out round-robin by an atomic ticket so load spreads evenly
+   no matter which lane's accept(2) happens to win the race.  A lane
+   that accepts a connection it does not own pushes the fd onto the
+   owner's inbox (Mutex + Queue — handoff is rare and cold compared to
+   the per-request path, so a lock is the right tool); each lane drains
+   its inbox on every poll pass.
+
+   The kernel serializes concurrent accepts on one fd, so losers just
+   see EAGAIN.  Close is idempotent and safe from any lane: a CAS picks
+   the single closer, and lanes treat EBADF from a racing accept or
+   select as shutdown. *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  lanes : int;
+  rr : int Atomic.t;  (* round-robin ticket for ownership assignment *)
+  inboxes : (Mutex.t * Unix.file_descr Queue.t) array;
+  open_ : bool Atomic.t;
+  accepted : int Atomic.t;
+  handed_off : int Atomic.t;
+}
+
+let create ~host ~port ~lanes =
+  if lanes < 1 then invalid_arg "Listener.create: lanes must be >= 1";
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  {
+    fd;
+    port;
+    lanes;
+    rr = Atomic.make 0;
+    inboxes = Array.init lanes (fun _ -> (Mutex.create (), Queue.create ()));
+    open_ = Atomic.make true;
+    accepted = Atomic.make 0;
+    handed_off = Atomic.make 0;
+  }
+
+let port t = t.port
+let fd t = t.fd
+let lanes t = t.lanes
+let accepted t = Atomic.get t.accepted
+let handed_off t = Atomic.get t.handed_off
+
+let push_inbox t ~lane fd =
+  let m, q = t.inboxes.(lane) in
+  Mutex.lock m;
+  Queue.push fd q;
+  Mutex.unlock m
+
+let drain_inbox t ~lane acc =
+  let m, q = t.inboxes.(lane) in
+  Mutex.lock m;
+  let fds = Queue.fold (fun acc fd -> fd :: acc) acc q in
+  Queue.clear q;
+  Mutex.unlock m;
+  fds
+
+(* Accept everything ready, assign each fd an owner by ticket, keep our
+   own and hand off the rest; then collect what other lanes handed us.
+   Returns the fds [lane] now owns (most recent first — callers treat
+   the list as a set). *)
+let poll t ~lane =
+  if lane < 0 || lane >= t.lanes then invalid_arg "Listener.poll: bad lane";
+  let mine = ref [] in
+  let continue = ref (Atomic.get t.open_) in
+  while !continue do
+    match Unix.accept ~cloexec:true t.fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Atomic.incr t.accepted;
+        let owner = Atomic.fetch_and_add t.rr 1 mod t.lanes in
+        if owner = lane then mine := fd :: !mine
+        else begin
+          Atomic.incr t.handed_off;
+          push_inbox t ~lane:owner fd
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _)
+      ->
+        continue := false
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+        (* another lane closed the listener under us: shutdown *)
+        continue := false
+  done;
+  drain_inbox t ~lane !mine
+
+let close t =
+  if Atomic.compare_and_set t.open_ true false then begin
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    (* orphaned handoffs would leak fds; nobody will drain them now *)
+    Array.iter
+      (fun (m, q) ->
+        Mutex.lock m;
+        Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) q;
+        Queue.clear q;
+        Mutex.unlock m)
+      t.inboxes
+  end
+
+let is_open t = Atomic.get t.open_

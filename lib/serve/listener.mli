@@ -1,0 +1,51 @@
+(** A shared nonblocking listening socket with round-robin accept
+    spreading across dispatcher lanes.
+
+    All lanes poll the one listener fd; an atomic ticket assigns each
+    accepted connection an owning lane, so connection load spreads
+    evenly regardless of which lane's accept(2) wins the kernel race.
+    A lane that accepts a connection it does not own hands the fd to
+    the owner through a small mutex-protected inbox; owners collect
+    handoffs on their next poll pass.  Handoff latency is bounded by
+    the lanes' readiness-loop timeout (tens of milliseconds at full
+    idle), which only affects connection setup — never the per-request
+    path. *)
+
+type t
+
+(** [create ~host ~port ~lanes] binds, listens (backlog 128) and sets
+    the socket nonblocking.  [port] 0 asks the kernel for an ephemeral
+    port — read it back with {!port}.  Raises [Invalid_argument] when
+    [lanes < 1]; [Unix.Unix_error] propagates from bind. *)
+val create : host:string -> port:int -> lanes:int -> t
+
+(** The bound port (resolved when created with port 0). *)
+val port : t -> int
+
+(** The listening fd, for inclusion in a lane's readiness select. *)
+val fd : t -> Unix.file_descr
+
+(** Number of lanes connections are spread over. *)
+val lanes : t -> int
+
+(** [poll t ~lane] accepts every ready connection, deals each an owner
+    by round-robin ticket, hands non-[lane] fds to their owners' inboxes
+    and returns the fds [lane] now owns (self-accepted plus handed-off;
+    already nonblocking).  Safe to call concurrently from every lane.
+    Returns whatever the inbox holds even after {!close}. *)
+val poll : t -> lane:int -> Unix.file_descr list
+
+(** [close t] closes the listener and any handed-off-but-undrained fds.
+    Idempotent and safe from any lane; lanes racing in accept or select
+    observe EBADF and treat it as shutdown. *)
+val close : t -> unit
+
+(** [is_open t] — [false] once {!close} ran. *)
+val is_open : t -> bool
+
+(** Total connections accepted since creation. *)
+val accepted : t -> int
+
+(** Accepted connections that crossed lanes through an inbox (the rest
+    were self-owned on accept). *)
+val handed_off : t -> int

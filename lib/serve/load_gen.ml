@@ -36,6 +36,7 @@ type config = {
   slo : Slo.objective list;
   stats_interval_s : float option;
   dashboard : bool;
+  server_lanes : int;
 }
 
 let default_config ~rate_rps ~port =
@@ -52,6 +53,7 @@ let default_config ~rate_rps ~port =
     slo = [];
     stats_interval_s = None;
     dashboard = false;
+    server_lanes = 1;
   }
 
 type result = {
@@ -72,8 +74,8 @@ type result = {
 type conn = {
   fd : Unix.file_descr;
   rb : Protocol.Reassembly.t;
-  out : Buffer.t;
-  mutable out_off : int;
+  out : Protocol.Outbuf.t;
+  scratch : Buffer.t;  (* one request frame at a time, blitted into [out] *)
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
@@ -97,19 +99,18 @@ let connect config =
       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
       Unix.set_nonblock fd;
-      { fd; rb = Protocol.Reassembly.create (); out = Buffer.create 4096; out_off = 0 })
+      {
+        fd;
+        rb = Protocol.Reassembly.create ();
+        out = Protocol.Outbuf.create ();
+        scratch = Buffer.create 256;
+      })
 
 let flush_conn c =
-  let total = Buffer.length c.out in
-  let len = total - c.out_off in
-  if len > 0 then begin
-    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len with
-    | n ->
-        c.out_off <- c.out_off + n;
-        if c.out_off = total then begin
-          Buffer.clear c.out;
-          c.out_off <- 0
-        end
+  if not (Protocol.Outbuf.is_empty c.out) then begin
+    let buf, off, len = Protocol.Outbuf.peek c.out in
+    match Unix.write c.fd buf off len with
+    | n -> Protocol.Outbuf.consume c.out n
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
         ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
@@ -275,7 +276,9 @@ let run config =
              (* encode only — one batched write per poll round (below)
                 instead of a syscall per request *)
              let c = conns.(req_id mod Array.length conns) in
-             Protocol.encode_request c.out ~req_id req;
+             Buffer.clear c.scratch;
+             Protocol.encode_request c.scratch ~req_id req;
+             Protocol.Outbuf.add_buffer c.out c.scratch;
              let measured = now >= warmup_end && now < measure_end in
              Hashtbl.replace pending req_id
                (now, Protocol.class_of_request req, measured);
@@ -319,6 +322,10 @@ let to_json config r =
   Buffer.add_string b "{\n";
   Buffer.add_string b (Tq_util.Bench_meta.json_fields ());
   Buffer.add_string b "  \"benchmark\": \"tq_serve loopback\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"server_lanes\": %d,\n  \"host_cores\": %d,\n"
+       config.server_lanes
+       (Domain.recommended_domain_count ()));
   Buffer.add_string b
     (Printf.sprintf "  \"connections\": %d,\n  \"offered_rps\": %.0f,\n"
        config.connections config.rate_rps);

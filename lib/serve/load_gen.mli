@@ -47,11 +47,16 @@ type config = {
       (** render a live ANSI dashboard to stderr (SLO burn rates, the
           goodput window and achieved throughput as
           {!Tq_util.Ascii_chart} curves) *)
+  server_lanes : int;
+      (** the dispatcher lane count the target server was started with
+          ([tq_serve --lanes]); pure report metadata so emitted
+          BENCH/CI JSON is self-describing — the generator's behavior
+          does not depend on it *)
 }
 
 (** Loopback, 8 connections, 0.5 s warmup, 2 s measurement, 2 s grace,
-    [default_mix], no stats polling or dashboard; [rate_rps] has no
-    default — choose the offered load. *)
+    [default_mix], no stats polling or dashboard, [server_lanes = 1];
+    [rate_rps] has no default — choose the offered load. *)
 val default_config : rate_rps:float -> port:int -> config
 
 type result = {
@@ -79,7 +84,10 @@ type result = {
     clock). *)
 val run : config -> result
 
-(** [to_json config result] — the committed benchmark report
-    ([BENCH_serve.json] schema): offered vs achieved rate, loss/shed
-    accounting and the per-class latency ladder. *)
+(** [to_json config result] — the single-run benchmark report
+    ([tq_load --json], the CI serve-smoke artifact): offered vs
+    achieved rate, loss/shed accounting, lane metadata and the
+    per-class latency ladder.  (The committed [BENCH_serve.json] is
+    the lane-{e sweep} report, emitted by [bench/main.exe
+    --serve-bench], which embeds these runs.) *)
 val to_json : config -> result -> string

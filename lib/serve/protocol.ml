@@ -131,6 +131,84 @@ let response_frame r =
   encode_response b r;
   Buffer.to_bytes b
 
+(* Zero-copy response path: the frame layout is simple enough to size
+   exactly and write in place, so workers can encode straight into a
+   pooled buffer instead of going through [Buffer] (one allocation for
+   the Buffer's backing store plus one copy out per response). *)
+
+let response_body r = match r.status with Error msg -> msg | Ok | Shed -> r.body
+
+let response_frame_len r =
+  (* length prefix + req_id:u64 + status:u8 + body *)
+  4 + 8 + 1 + String.length (response_body r)
+
+let encode_response_into buf ~off r =
+  let body = response_body r in
+  let blen = String.length body in
+  let flen = 9 + blen in
+  if flen > max_frame_bytes then invalid_arg "Protocol: frame exceeds max_frame_bytes";
+  if off < 0 || off + 4 + flen > Bytes.length buf then
+    invalid_arg "Protocol.encode_response_into: buffer too small";
+  Bytes.set_int32_be buf off (Int32.of_int flen);
+  Bytes.set_int64_be buf (off + 4) (Int64.of_int r.req_id);
+  Bytes.set_uint8 buf (off + 12) (status_tag r.status);
+  Bytes.blit_string body 0 buf (off + 13) blen;
+  4 + flen
+
+module Outbuf = struct
+  (* The mirror image of [Reassembly]: a flat byte region with
+     produce-at-back ([len]) and consume-from-front ([head]), so a
+     partial [write] just advances the cursor — no [Buffer.contents]
+     copy per flush and no reshuffling per short write. *)
+  type t = { mutable buf : bytes; mutable head : int; mutable len : int }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Outbuf.create: capacity must be positive";
+    { buf = Bytes.create capacity; head = 0; len = 0 }
+
+  let pending_bytes t = t.len - t.head
+  let is_empty t = t.head = t.len
+
+  let compact t =
+    if t.head > 0 && (t.head = t.len || t.head > Bytes.length t.buf / 2) then begin
+      Bytes.blit t.buf t.head t.buf 0 (t.len - t.head);
+      t.len <- t.len - t.head;
+      t.head <- 0
+    end
+
+  let reserve t n =
+    compact t;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+
+  let add_bytes t src ~off ~len =
+    if len < 0 || off < 0 || off + len > Bytes.length src then
+      invalid_arg "Outbuf.add_bytes: bad slice";
+    reserve t len;
+    Bytes.blit src off t.buf t.len len;
+    t.len <- t.len + len
+
+  let add_buffer t src =
+    let len = Buffer.length src in
+    reserve t len;
+    Buffer.blit src 0 t.buf t.len len;
+    t.len <- t.len + len
+
+  let peek t = (t.buf, t.head, pending_bytes t)
+
+  let consume t n =
+    if n < 0 || n > pending_bytes t then invalid_arg "Outbuf.consume: bad count";
+    t.head <- t.head + n;
+    compact t
+end
+
 let ( let* ) = Result.bind
 
 let need payload n =

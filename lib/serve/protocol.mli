@@ -90,6 +90,19 @@ val encode_response : Buffer.t -> response -> unit
     (what workers push onto reply rings). *)
 val response_frame : response -> bytes
 
+(** [response_frame_len r] — exact size in bytes of [r]'s complete
+    frame (length prefix included); what a worker asks the buffer pool
+    for before {!encode_response_into}. *)
+val response_frame_len : response -> int
+
+(** [encode_response_into buf ~off r] writes [r]'s complete frame into
+    [buf] starting at [off] and returns the number of bytes written
+    (= {!response_frame_len}).  The zero-copy twin of
+    {!response_frame}: encode straight into a pooled buffer, no
+    intermediate [Buffer].  Raises [Invalid_argument] when the frame
+    would not fit or exceed {!max_frame_bytes}. *)
+val encode_response_into : bytes -> off:int -> response -> int
+
 (** [decode_request payload] — parse one frame payload (without the
     length prefix). *)
 val decode_request : bytes -> (int * request, string) result
@@ -117,4 +130,44 @@ module Reassembly : sig
 
   (** Bytes buffered but not yet returned as frames. *)
   val pending_bytes : t -> int
+end
+
+(** {2 Write accumulation}
+
+    The mirror image of {!Reassembly}: a growable byte region with
+    produce-at-back / consume-from-front semantics, one per connection
+    on the server side.  Reply frames are blitted in; a flush peeks at
+    the live region, writes what the socket takes, and consumes exactly
+    that — a partial write costs a cursor bump, not a re-copy, and a
+    full flush never calls [Buffer.contents]. *)
+module Outbuf : sig
+  type t
+
+  (** [create ?capacity ()] — an empty accumulator (default initial
+      capacity 4096 bytes; grows by doubling). *)
+  val create : ?capacity:int -> unit -> t
+
+  (** [add_bytes t src ~off ~len] appends [len] bytes of [src] starting
+      at [off].  Raises [Invalid_argument] on a bad slice. *)
+  val add_bytes : t -> bytes -> off:int -> len:int -> unit
+
+  (** [add_buffer t src] appends the whole contents of the [Buffer]
+      (a direct blit; the buffer is not cleared). *)
+  val add_buffer : t -> Buffer.t -> unit
+
+  (** [peek t] — [(buf, off, len)]: the pending region, valid until the
+      next mutating call.  Pass straight to [Unix.write]. *)
+  val peek : t -> bytes * int * int
+
+  (** [consume t n] drops the first [n] pending bytes (what the socket
+      accepted).  Raises [Invalid_argument] when [n] exceeds the pending
+      count. *)
+  val consume : t -> int -> unit
+
+  (** Bytes appended but not yet consumed. *)
+  val pending_bytes : t -> int
+
+  (** [is_empty t] — no pending bytes (the connection needs no write
+      polling). *)
+  val is_empty : t -> bool
 end

@@ -1,7 +1,17 @@
-(* The dispatcher core: owns all sockets, steers parsed requests into
-   the persistent worker pool, and writes completed responses back.
-   Workers never touch a socket; the dispatcher never runs request
-   work — the paper's two-level split mapped onto Unix. *)
+(* The serving front-end: a multi-lane I/O plane over a shared,
+   partitioned worker pool.
+
+   Each of the [lanes] dispatcher lanes ({!Lane}) owns a shard of the
+   connections (dealt out by the shared {!Listener}'s accept
+   spreading) and a disjoint slice of the workers, and runs the
+   classic accept/read/dispatch/reply/flush loop independently —
+   workers never touch a socket; lanes never run request work.  This
+   module owns what is genuinely global: the pool and apps, the
+   listener, the pooled framing buffers, lane lifecycle (lane 0 runs
+   on the caller of [serve]; lanes 1.. get their own domains), the
+   feedback controller (ticked by lane 0, sensing all lanes), and the
+   merged cross-lane views behind [stats], the Stats RPC and the
+   Prometheus exposition. *)
 
 module Parallel = Tq_runtime.Parallel
 module Spsc_ring = Tq_runtime.Spsc_ring
@@ -9,17 +19,16 @@ module Admission = Tq_sched.Admission
 module Counters = Tq_obs.Counters
 module Obs = Tq_obs.Obs
 module Span = Tq_obs.Span
-module Event = Tq_obs.Event
 module Latency = Tq_obs.Latency
 module Expo = Tq_obs.Expo
 module Profile = Tq_obs.Profile
 module Gc_events = Tq_obs.Gc_events
-module Reassembly = Protocol.Reassembly
 
 type config = {
   host : string;
   port : int;
   workers : int;
+  lanes : int;
   quantum_ns : int;
   ring_capacity : int;
   rx_depth : int;
@@ -30,6 +39,8 @@ type config = {
   adaptive : Tq_control.Controller.config option;
   heartbeat_interval_s : float;
   missed_heartbeats : int;
+  pool_bufs : int;
+  pool_buf_bytes : int;
 }
 
 let default_config =
@@ -37,6 +48,7 @@ let default_config =
     host = "127.0.0.1";
     port = 0;
     workers = 4;
+    lanes = 1;
     quantum_ns = 100_000;
     ring_capacity = 256;
     rx_depth = 1024;
@@ -47,6 +59,8 @@ let default_config =
     adaptive = None;
     heartbeat_interval_s = 0.05;
     missed_heartbeats = 4;
+    pool_bufs = 1024;
+    pool_buf_bytes = 4096;
   }
 
 type stats = {
@@ -63,219 +77,96 @@ type stats = {
   dead_workers : int;
 }
 
-type conn = {
-  fd : Unix.file_descr;
-  cid : int;
-  rb : Reassembly.t;
-  wb : Buffer.t;
-  mutable wb_off : int;
-  mutable alive : bool;
-}
-
-(* Mutable tallies, only ever written by the dispatcher thread; other
-   threads of the same domain may read them (systhreads interleave under
-   the domain lock, so plain loads are coherent there). *)
-type tallies = {
-  mutable t_connections : int;
-  mutable t_parsed : int;
-  mutable t_dispatched : int;
-  mutable t_completed : int;
-  mutable t_shed : int;
-  mutable t_stats_served : int;
-  mutable t_protocol_errors : int;
-  mutable t_orphaned : int;
-  mutable t_duplicates : int;
-  mutable t_redispatched : int;
-  mutable t_dead_workers : int;
-}
-
-(* Reply-ring payload: connection, span/request id, request class,
-   dispatch stamp, worker-side completion stamp (0 when spans are off),
-   encoded response frame. *)
-type reply = {
-  r_cid : int;
-  r_sid : int;
-  r_class : int;
-  r_t0 : int;
-  r_done : int;
-  r_frame : bytes;
-}
-
-(* One admitted-but-unanswered request, keyed by span id in [pending].
-   Carries everything needed to re-dispatch the request to another
-   worker if its current one is declared dead — the request itself (a
-   decoded frame is immutable), its class and timing stamps.  The first
-   reply for a span id retires the entry; replies that find no entry
-   are duplicates (the original worker finished after all, racing its
-   replacement) and are dropped with a count. *)
-type pending = {
-  p_cid : int;
-  p_req_id : int;
-  p_req : Protocol.request;
-  p_class : int;
-  p_t0 : int;
-  mutable p_worker : int;
-}
-
 type t = {
   config : config;
-  listener : Unix.file_descr;
-  mutable listener_open : bool;
-  port : int;
+  listener : Listener.t;
   pool : Parallel.t;
-  apps : App.t array;
-  reply_rings : reply Spsc_ring.t array;
-  adm : Admission.t;
-  conns : (int, conn) Hashtbl.t;
-  stop_flag : bool Atomic.t;
-  tallies : tallies;
-  disp_reg : Counters.t;  (** dispatcher-owned registry ([serve.*]) *)
+  bufs : Pool.t;
+  lanes : Lane.t array;
+  shared : Lane.shared;
   worker_regs : Counters.t array;  (** one per worker domain ([runtime.*]) *)
   spans : Span.t;
-  disp_sink : Span.sink;
   spans_on : bool;
   gc : Gc_events.t option;
-  latency : Latency.t;
-  lat_all : Latency.recorder;
-  lat_class : Latency.recorder array;
-  c_parsed : Counters.counter;
-  c_dispatched : Counters.counter;
-  c_completed : Counters.counter;
-  c_shed : Counters.counter;
-  c_stats_served : Counters.counter;
-  c_parsed_by : Counters.counter array;
-  c_dispatched_by : Counters.counter array;
-  c_completed_by : Counters.counter array;
-  c_shed_by : Counters.counter array;
-  g_in_flight : Counters.gauge;
-  g_open_conns : Counters.gauge;
-  g_workers : Counters.gauge;
-  g_ring_occupancy : Counters.gauge;
-  d_sojourn : Counters.dist;
-  c_duplicates : Counters.counter;
-  c_redispatched : Counters.counter;
-  c_workers_dead : Counters.counter;
-  pending : (int, pending) Hashtbl.t;
   ctl : Tq_control.Controller.t option;
-  ctl_latency_ns : int;  (** the controller objective's "good" cutoff *)
-  ctl_completed : int array;  (** cumulative per-class, controller sensing *)
-  ctl_good : int array;
-  ctl_shed : int array;
   mutable ctl_next_ns : int;
-  hb_beats : int array;  (** last sampled heartbeat per worker *)
-  hb_missed : int array;  (** consecutive no-progress heartbeat windows *)
-  mutable hb_next_ns : int;
-  mutable paused_until_ns : int;  (** fault hook: dispatcher does nothing *)
   mutable tick_hook : (now_ns:int -> unit) option;
-  mutable next_cid : int;
-  mutable next_sid : int;
 }
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let per_class f =
-  Array.init Protocol.class_count (fun i -> f (Protocol.class_name i))
-
 let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
   if config.workers < 1 then invalid_arg "Server.create: need at least one worker";
   if config.rx_depth < 1 then invalid_arg "Server.create: rx_depth must be positive";
-  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listener Unix.SO_REUSEADDR true;
-  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-  Unix.listen listener 128;
-  Unix.set_nonblock listener;
-  let port =
-    match Unix.getsockname listener with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> assert false
-  in
-  let reg = obs.Obs.counters in
+  if config.lanes < 1 then invalid_arg "Server.create: need at least one lane";
+  if config.lanes > config.workers then
+    invalid_arg "Server.create: more lanes than workers (empty worker slices)";
+  let listener = Listener.create ~host:config.host ~port:config.port ~lanes:config.lanes in
   let worker_regs = Array.init config.workers (fun _ -> Counters.create ()) in
-  let latency = Latency.create () in
+  let pool =
+    Parallel.create ~workers:config.workers ~quantum_ns:config.quantum_ns
+      ~ring_capacity:config.ring_capacity ~classes:Protocol.class_count ~spans
+      ~worker_counters:worker_regs
+      ?gc_pause_ns:(Option.map (fun g () -> Gc_events.self_pause_ns g) gc)
+      ()
+  in
   let ctl = Option.map (Tq_control.Controller.create ~obs) config.adaptive in
+  let ctl_latency_ns =
+    match ctl with
+    | Some c ->
+        (Tq_control.Controller.config c).Tq_control.Controller.objective
+          .Tq_obs.Slo.latency_ns
+    | None -> max_int
+  in
+  let shared =
+    {
+      Lane.pool;
+      apps =
+        Array.init config.workers (fun i ->
+            App.create ~kv_keys:config.kv_keys
+              ~seed:(Int64.add config.seed (Int64.of_int i))
+              ());
+      reply_rings =
+        Array.init config.workers (fun _ ->
+            Spsc_ring.create ~capacity:(max 1024 (4 * config.ring_capacity)));
+      bufs =
+        Pool.create ~max_pooled:config.pool_bufs ~buf_bytes:config.pool_buf_bytes ();
+      listener;
+      stop_flag = Atomic.make false;
+      paused_until_ns = Atomic.make 0;
+      spans;
+      spans_on = Span.enabled spans;
+      lanes = config.lanes;
+      rx_depth = config.rx_depth;
+      drain_timeout_s = config.drain_timeout_s;
+      heartbeat_interval_ns = int_of_float (config.heartbeat_interval_s *. 1e9);
+      missed_heartbeats = config.missed_heartbeats;
+      ctl_latency_ns;
+    }
+  in
+  let lanes =
+    (* lane 0 writes the caller's observability registry, keeping the
+       single-dispatcher CLI behaviour; extra lanes get their own *)
+    Array.init config.lanes (fun id ->
+        let reg = if id = 0 then obs.Obs.counters else Counters.create () in
+        Lane.create shared ~id ~reg ~admission:config.admission)
+  in
   let t =
-  {
-    config;
-    listener;
-    listener_open = true;
-    port;
-    pool =
-      Parallel.create ~workers:config.workers ~quantum_ns:config.quantum_ns
-        ~ring_capacity:config.ring_capacity ~classes:Protocol.class_count ~spans
-        ~worker_counters:worker_regs
-        ?gc_pause_ns:(Option.map (fun g () -> Gc_events.self_pause_ns g) gc)
-        ();
-    apps =
-      Array.init config.workers (fun i ->
-          App.create ~kv_keys:config.kv_keys
-            ~seed:(Int64.add config.seed (Int64.of_int i))
-            ());
-    reply_rings =
-      Array.init config.workers (fun _ ->
-          Spsc_ring.create ~capacity:(max 1024 (4 * config.ring_capacity)));
-    adm = Admission.create config.admission;
-    conns = Hashtbl.create 64;
-    stop_flag = Atomic.make false;
-    tallies =
-      {
-        t_connections = 0;
-        t_parsed = 0;
-        t_dispatched = 0;
-        t_completed = 0;
-        t_shed = 0;
-        t_stats_served = 0;
-        t_protocol_errors = 0;
-        t_orphaned = 0;
-        t_duplicates = 0;
-        t_redispatched = 0;
-        t_dead_workers = 0;
-      };
-    disp_reg = reg;
-    worker_regs;
-    spans;
-    disp_sink = Span.register spans (Event.Dispatcher 0);
-    spans_on = Span.enabled spans;
-    gc;
-    latency;
-    lat_all = Latency.recorder latency "all";
-    lat_class = per_class (fun name -> Latency.recorder latency name);
-    c_parsed = Counters.counter reg "serve.parsed";
-    c_dispatched = Counters.counter reg "serve.dispatched";
-    c_completed = Counters.counter reg "serve.completed";
-    c_shed = Counters.counter reg "serve.shed";
-    c_stats_served = Counters.counter reg "serve.stats_served";
-    c_parsed_by = per_class (fun n -> Counters.counter reg ("serve.parsed." ^ n));
-    c_dispatched_by = per_class (fun n -> Counters.counter reg ("serve.dispatched." ^ n));
-    c_completed_by = per_class (fun n -> Counters.counter reg ("serve.completed." ^ n));
-    c_shed_by = per_class (fun n -> Counters.counter reg ("serve.shed." ^ n));
-    g_in_flight = Counters.gauge reg "serve.in_flight";
-    g_open_conns = Counters.gauge reg "serve.open_connections";
-    g_workers = Counters.gauge reg "serve.alive_workers";
-    g_ring_occupancy = Counters.gauge reg "serve.ring_occupancy";
-    d_sojourn = Counters.dist reg "serve.sojourn_ns";
-    c_duplicates = Counters.counter reg "serve.duplicates";
-    c_redispatched = Counters.counter reg "serve.redispatched";
-    c_workers_dead = Counters.counter reg "serve.workers_dead";
-    pending = Hashtbl.create 1024;
-    ctl;
-    ctl_latency_ns =
-      (match ctl with
-      | Some c ->
-          (Tq_control.Controller.config c).Tq_control.Controller.objective
-            .Tq_obs.Slo.latency_ns
-      | None -> max_int);
-    ctl_completed = Array.make Protocol.class_count 0;
-    ctl_good = Array.make Protocol.class_count 0;
-    ctl_shed = Array.make Protocol.class_count 0;
-    ctl_next_ns = 0;
-    hb_beats = Array.make config.workers (-1);
-    hb_missed = Array.make config.workers 0;
-    hb_next_ns = 0;
-    paused_until_ns = 0;
-    tick_hook = None;
-    next_cid = 0;
-    next_sid = 0;
-  }
+    {
+      config;
+      listener;
+      pool;
+      bufs = shared.Lane.bufs;
+      lanes;
+      shared;
+      worker_regs;
+      spans;
+      spans_on = Span.enabled spans;
+      gc;
+      ctl;
+      ctl_next_ns = 0;
+      tick_hook = None;
+    }
   in
   (* Move the knobs to the controller's initial operating point before
      any request is admitted, so the loop starts from a known state. *)
@@ -285,60 +176,101 @@ let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
       List.iter
         (function
           | Tq_control.Controller.Set_quantum { class_idx; quantum_ns } ->
-              Parallel.set_quantum t.pool ?class_idx ~quantum_ns ()
+              Parallel.set_quantum pool ?class_idx ~quantum_ns ()
           | Tq_control.Controller.Set_shed_limit { max_in_system } ->
-              Admission.set_policy t.adm (Admission.Queue_limit { max_in_system }))
+              Array.iter
+                (fun lane ->
+                  Admission.set_policy (Lane.admission lane)
+                    (Admission.Queue_limit { max_in_system }))
+                lanes)
         (Tq_control.Controller.initial_actions c));
   t
 
-let port t = t.port
-let stop t = Atomic.set t.stop_flag true
+let port t = Listener.port t.listener
+let lanes t = t.config.lanes
+let stop t = Atomic.set t.shared.Lane.stop_flag true
 
+(* Cross-lane sums over each lane's plain tallies: never torn
+   (word-sized loads), eventually consistent live, exact once [serve]
+   returned (domain join orders every lane write before the read). *)
 let stats t =
-  let s = t.tallies in
-  {
-    connections = s.t_connections;
-    parsed = s.t_parsed;
-    dispatched = s.t_dispatched;
-    completed = s.t_completed;
-    shed = s.t_shed;
-    stats_served = s.t_stats_served;
-    protocol_errors = s.t_protocol_errors;
-    orphaned = s.t_orphaned;
-    duplicates = s.t_duplicates;
-    redispatched = s.t_redispatched;
-    dead_workers = s.t_dead_workers;
-  }
+  let z =
+    {
+      connections = 0;
+      parsed = 0;
+      dispatched = 0;
+      completed = 0;
+      shed = 0;
+      stats_served = 0;
+      protocol_errors = 0;
+      orphaned = 0;
+      duplicates = 0;
+      redispatched = 0;
+      dead_workers = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc lane ->
+      let c = Lane.counts lane in
+      {
+        connections = acc.connections + c.Lane.connections;
+        parsed = acc.parsed + c.Lane.parsed;
+        dispatched = acc.dispatched + c.Lane.dispatched;
+        completed = acc.completed + c.Lane.completed;
+        shed = acc.shed + c.Lane.shed;
+        stats_served = acc.stats_served + c.Lane.stats_served;
+        protocol_errors = acc.protocol_errors + c.Lane.protocol_errors;
+        orphaned = acc.orphaned + c.Lane.orphaned;
+        duplicates = acc.duplicates + c.Lane.duplicates;
+        redispatched = acc.redispatched + c.Lane.redispatched;
+        dead_workers = acc.dead_workers + c.Lane.dead_workers;
+      })
+    z t.lanes
 
-let in_flight t = t.tallies.t_dispatched - t.tallies.t_completed
+let in_flight t = Array.fold_left (fun acc l -> acc + Lane.in_flight l) 0 t.lanes
+let open_conns t = Array.fold_left (fun acc l -> acc + Lane.open_conns l) 0 t.lanes
 let spans t = t.spans
-let latency t = t.latency
+let latency t = Latency.merge (Array.to_list (Array.map Lane.latency t.lanes))
 
-(* {2 Live metrics snapshot} *)
+(* {2 Merged live views}
 
-let refresh_gauges t =
-  Counters.set t.g_in_flight (float_of_int (in_flight t));
-  Counters.set t.g_open_conns (float_of_int (Hashtbl.length t.conns));
-  Counters.set t.g_workers (float_of_int (Parallel.alive_workers t.pool));
+   Rendering happens on whichever thread asks (an in-process accessor,
+   or the lane serving a Stats RPC), so gauges are computed into the
+   render-local merged registry — never written into a lane's
+   registry, which has exactly one writer: its lane. *)
+
+let ring_occupancy t =
   let occ = ref 0 in
   for w = 0 to Parallel.workers t.pool - 1 do
     occ := !occ + Parallel.ring_depth t.pool ~worker:w
   done;
-  Counters.set t.g_ring_occupancy (float_of_int !occ)
+  !occ
 
-(* Everything, one registry: dispatcher serve.* merged with the workers'
-   runtime.* (lock-free eventually-consistent reads; see the Counters
-   ownership rule). *)
+let set_gauges t reg =
+  let g name v = Counters.set (Counters.gauge reg name) (float_of_int v) in
+  g "serve.in_flight" (in_flight t);
+  g "serve.open_connections" (open_conns t);
+  g "serve.alive_workers" (Parallel.alive_workers t.pool);
+  g "serve.ring_occupancy" (ring_occupancy t);
+  g "serve.lanes" t.config.lanes;
+  g "serve.accept_handoffs" (Listener.handed_off t.listener);
+  Pool.fill_counters t.bufs reg
+
+let lane_regs t = Array.to_list (Array.map Lane.registry t.lanes)
+
 let gc_registries t =
   match t.gc with None -> [] | Some g -> [ Gc_events.counters g ]
 
 let merged_counters t =
-  refresh_gauges t;
-  Counters.merged ((t.disp_reg :: Array.to_list t.worker_regs) @ gc_registries t)
+  let merged =
+    Counters.merged ((lane_regs t @ Array.to_list t.worker_regs) @ gc_registries t)
+  in
+  set_gauges t merged;
+  merged
 
 let snapshot_json t =
-  refresh_gauges t;
-  let s = t.tallies in
+  let s = stats t in
+  let serve = Counters.merged (lane_regs t) in
   let merged = Counters.merged (Array.to_list t.worker_regs) in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
@@ -350,12 +282,36 @@ let snapshot_json t =
         \"duplicates\": %d,\n  \"redispatched\": %d,\n  \"dead_workers\": %d,\n  \
         \"in_flight\": %d,\n  \"workers\": %d,\n  \"alive_workers\": %d,\n  \
         \"ring_occupancy\": %d,\n"
-       s.t_connections (Hashtbl.length t.conns) s.t_parsed s.t_dispatched
-       s.t_completed s.t_shed s.t_stats_served s.t_protocol_errors s.t_orphaned
-       s.t_duplicates s.t_redispatched s.t_dead_workers (in_flight t)
+       s.connections (open_conns t) s.parsed s.dispatched s.completed s.shed
+       s.stats_served s.protocol_errors s.orphaned s.duplicates s.redispatched
+       s.dead_workers (in_flight t)
        (Parallel.workers t.pool)
        (Parallel.alive_workers t.pool)
-       (int_of_float (Counters.value t.g_ring_occupancy)));
+       (ring_occupancy t));
+  (* the I/O plane: lane count, accept spreading and framing-pool health,
+     plus each lane's own share of the work *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"io_plane\": {\"lanes\": %d, \"accepted\": %d, \"handed_off\": %d, \
+        \"pool\": {\"buf_bytes\": %d, \"pooled\": %d, \"hits\": %d, \"misses\": %d, \
+        \"oversize\": %d, \"discarded\": %d}, \"per_lane\": ["
+       t.config.lanes
+       (Listener.accepted t.listener)
+       (Listener.handed_off t.listener)
+       (Pool.buf_bytes t.bufs) (Pool.pooled t.bufs) (Pool.hits t.bufs)
+       (Pool.misses t.bufs) (Pool.oversize t.bufs) (Pool.discarded t.bufs));
+  Array.iteri
+    (fun i lane ->
+      let c = Lane.counts lane in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"lane\": %d, \"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \
+            \"completed\": %d, \"shed\": %d}%s"
+           i c.Lane.connections c.Lane.parsed c.Lane.dispatched c.Lane.completed
+           c.Lane.shed
+           (if i = Array.length t.lanes - 1 then "" else ", ")))
+    t.lanes;
+  Buffer.add_string b "]},\n";
   (match t.ctl with
   | None -> ()
   | Some c ->
@@ -363,15 +319,16 @@ let snapshot_json t =
         (Printf.sprintf "  \"control\": %s,\n" (Tq_control.Controller.state_json c)));
   Buffer.add_string b "  \"per_class\": {\n";
   for i = 0 to Protocol.class_count - 1 do
+    let n = Protocol.class_name i in
     Buffer.add_string b
       (Printf.sprintf
          "    %S: {\"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \"shed\": \
           %d}%s\n"
-         (Protocol.class_name i)
-         (Counters.count t.c_parsed_by.(i))
-         (Counters.count t.c_dispatched_by.(i))
-         (Counters.count t.c_completed_by.(i))
-         (Counters.count t.c_shed_by.(i))
+         n
+         (Counters.find_count serve ("serve.parsed." ^ n))
+         (Counters.find_count serve ("serve.dispatched." ^ n))
+         (Counters.find_count serve ("serve.completed." ^ n))
+         (Counters.find_count serve ("serve.shed." ^ n))
          (if i = Protocol.class_count - 1 then "" else ","))
   done;
   Buffer.add_string b "  },\n";
@@ -401,15 +358,19 @@ let snapshot_json t =
        (Printf.sprintf "  \"spans\": {\"total\": %d, \"dropped\": %d},\n"
           (Span.total t.spans) (Span.dropped t.spans)));
   Buffer.add_string b
-    (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json t.latency));
+    (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json (latency t)));
   Buffer.contents b
 
 let breakdown t = Profile.of_records (Span.merge t.spans)
 
 let prometheus t =
-  refresh_gauges t;
+  (* one merged dispatcher series regardless of lane count — the lane
+     split is an implementation axis; the exposition's shape stays what
+     single-dispatcher dashboards expect *)
+  let disp = Counters.merged (lane_regs t) in
+  set_gauges t disp;
   let registries =
-    ([ ("role", "dispatcher") ], t.disp_reg)
+    ([ ("role", "dispatcher") ], disp)
     :: List.mapi
          (fun i reg -> ([ ("role", "worker"); ("worker", string_of_int i) ], reg))
          (Array.to_list t.worker_regs)
@@ -420,7 +381,7 @@ let prometheus t =
   Expo.render registries
   (* per-class HDR latency; named apart from the serve.sojourn_ns
      power-of-two dist, which already renders as tq_serve_sojourn_ns *)
-  ^ Expo.render_latency ~name:"serve_latency_ns" t.latency
+  ^ Expo.render_latency ~name:"serve_latency_ns" (latency t)
   ^
   (* Per-stage series come from decomposing the live span buffers — a
      merge per scrape, fine at scrape cadence, meaningless without
@@ -429,352 +390,36 @@ let prometheus t =
     Expo.render_latency ~name:"serve_stage_ns" (Profile.latency (breakdown t))
   else ""
 
-(* {2 Dispatch} *)
+(* {2 The Stats RPC renderer}
 
-let close_conn t conn =
-  if conn.alive then begin
-    conn.alive <- false;
-    Hashtbl.remove t.conns conn.cid;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
-  end
+   Wired into every lane; runs on whichever lane's connection carries
+   the request.  All inputs are cross-lane-safe reads. *)
 
-let shed_response conn req_id =
-  Protocol.encode_response conn.wb { Protocol.req_id; status = Protocol.Shed; body = "" }
+let render_stats t view =
+  match view with
+  | Protocol.Stats_json -> Ok (snapshot_json t)
+  | Protocol.Stats_text -> Ok (prometheus t)
+  | Protocol.Stats_trace -> Ok (Span.to_chrome t.spans)
+  | Protocol.Stats_control -> (
+      match t.ctl with
+      | Some c -> Ok (Tq_control.Controller.state_json c)
+      | None -> Error "controller off: run the server with --adaptive")
+  | Protocol.Stats_breakdown | Protocol.Stats_breakdown_text ->
+      if not t.spans_on then
+        Error "stage breakdown needs spans: run the server with --obs"
+      else
+        let p = breakdown t in
+        Ok
+          (match view with
+          | Protocol.Stats_breakdown -> Profile.to_json p
+          | _ -> Profile.render p)
 
-(* Stats requests are introspection, answered synchronously right here:
-   they must work during overload (when admission sheds request work)
-   and must not perturb the accounting they report. *)
-let serve_stats t conn req_id view =
-  t.tallies.t_stats_served <- t.tallies.t_stats_served + 1;
-  Counters.incr t.c_stats_served;
-  let body =
-    match view with
-    | Protocol.Stats_json -> Ok (snapshot_json t)
-    | Protocol.Stats_text -> Ok (prometheus t)
-    | Protocol.Stats_trace -> Ok (Span.to_chrome t.spans)
-    | Protocol.Stats_control -> (
-        match t.ctl with
-        | Some c -> Ok (Tq_control.Controller.state_json c)
-        | None -> Error "controller off: run the server with --adaptive")
-    | Protocol.Stats_breakdown | Protocol.Stats_breakdown_text ->
-        if not t.spans_on then
-          Error "stage breakdown needs spans: run the server with --obs"
-        else
-          let p = breakdown t in
-          Ok
-            (match view with
-            | Protocol.Stats_breakdown -> Profile.to_json p
-            | _ -> Profile.render p)
-  in
-  let resp =
-    match body with
-    | Error msg -> { Protocol.req_id; status = Protocol.Error msg; body = "" }
-    | Ok body ->
-        if String.length body <= Protocol.max_frame_bytes - 16 then
-          { Protocol.req_id; status = Protocol.Ok; body }
-        else
-          { Protocol.req_id; status = Protocol.Error "stats body too large"; body = "" }
-  in
-  Protocol.encode_response conn.wb resp
+(* {2 The feedback control loop}
 
-(* The worker-side closure for one request: execute on [worker]'s app,
-   push the encoded response onto [worker]'s reply ring.  Factored out
-   of [dispatch] because re-dispatch after a worker death must rebuild
-   it against the replacement worker's app and ring. *)
-let make_job t ~worker ~sid ~cid ~class_idx ~t0 ~req_id req =
-  let app = t.apps.(worker) in
-  let ring = t.reply_rings.(worker) in
-  let spans_on = t.spans_on in
-  fun () ->
-    let resp = App.execute app ~now_ns:(now_ns ()) ~req_id req in
-    let frame = Protocol.response_frame resp in
-    let reply =
-      {
-        r_cid = cid;
-        r_sid = sid;
-        r_class = class_idx;
-        r_t0 = t0;
-        r_done = (if spans_on then now_ns () else 0);
-        r_frame = frame;
-      }
-    in
-    if not (Spsc_ring.try_push ring reply) then begin
-      let backoff = Tq_runtime.Backoff.create () in
-      while not (Spsc_ring.try_push ring reply) do
-        Tq_runtime.Backoff.once backoff
-      done
-    end
-
-(* [p0] is the parse-start stamp from [parse_frames] (0 when spans are
-   off): the request's first boundary.  A dispatched request gets a
-   per-request [Parse] span [p0, t0) under its span id so the stage
-   decomposition can telescope from the very first touch; a shed
-   request gets a [Shed] span covering [p0, decision) — the time we
-   spent on a request we then refused. *)
-let dispatch t conn ~p0 req_id req =
-  let class_idx = Protocol.class_of_request req in
-  t.tallies.t_parsed <- t.tallies.t_parsed + 1;
-  Counters.incr t.c_parsed;
-  Counters.incr t.c_parsed_by.(class_idx);
-  let pool_load = Parallel.in_flight t.pool in
-  let admitted =
-    Parallel.alive_workers t.pool > 0
-    && pool_load < t.config.rx_depth
-    && Admission.admit t.adm ~in_system:pool_load
-  in
-  if not admitted then begin
-    t.tallies.t_shed <- t.tallies.t_shed + 1;
-    Counters.incr t.c_shed;
-    Counters.incr t.c_shed_by.(class_idx);
-    t.ctl_shed.(class_idx) <- t.ctl_shed.(class_idx) + 1;
-    if t.spans_on then
-      Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:p0
-        ~dur_ns:(max 0 (now_ns () - p0))
-        ~arg:class_idx;
-    shed_response conn req_id
-  end
-  else begin
-    let w =
-      match Protocol.steering_key req with
-      | Some key ->
-          (* Keyed steering, unless the home worker died — consistency
-             yields to availability (its store is gone anyway). *)
-          let w = Hashtbl.hash key mod Parallel.workers t.pool in
-          if Parallel.worker_alive t.pool ~worker:w then w else Parallel.pick t.pool
-      | None -> Parallel.pick t.pool
-    in
-    let sid = t.next_sid in
-    let cid = conn.cid in
-    let t0 = now_ns () in
-    let job = make_job t ~worker:w ~sid ~cid ~class_idx ~t0 ~req_id req in
-    if Parallel.submit_to t.pool ~tag:sid ~class_idx ~worker:w job then begin
-      t.next_sid <- sid + 1;
-      t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
-      Counters.incr t.c_dispatched;
-      Counters.incr t.c_dispatched_by.(class_idx);
-      Hashtbl.replace t.pending sid
-        { p_cid = cid; p_req_id = req_id; p_req = req; p_class = class_idx; p_t0 = t0; p_worker = w };
-      if t.spans_on then begin
-        Span.record t.disp_sink ~req_id:sid ~phase:Span.Parse ~start_ns:p0
-          ~dur_ns:(max 0 (t0 - p0)) ~arg:conn.cid;
-        Span.record t.disp_sink ~req_id:sid ~phase:Span.Dispatch ~start_ns:t0
-          ~dur_ns:(now_ns () - t0) ~arg:w
-      end
-    end
-    else begin
-      (* the chosen core's ring is full: backpressure, shed at the door *)
-      t.tallies.t_shed <- t.tallies.t_shed + 1;
-      Counters.incr t.c_shed;
-      Counters.incr t.c_shed_by.(class_idx);
-      t.ctl_shed.(class_idx) <- t.ctl_shed.(class_idx) + 1;
-      if t.spans_on then
-        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Shed ~start_ns:p0
-          ~dur_ns:(max 0 (now_ns () - p0))
-          ~arg:class_idx;
-      shed_response conn req_id
-    end
-  end
-
-let rec parse_frames t conn =
-  if conn.alive then
-    match Reassembly.next conn.rb with
-    | Error _ ->
-        t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
-        close_conn t conn
-    | Ok None -> ()
-    | Ok (Some payload) -> (
-        let p0 = if t.spans_on then now_ns () else 0 in
-        match Protocol.decode_request payload with
-        | Error _ ->
-            t.tallies.t_protocol_errors <- t.tallies.t_protocol_errors + 1;
-            close_conn t conn
-        | Ok (req_id, req) ->
-            (match req with
-            | Protocol.Stats { view } -> serve_stats t conn req_id view
-            | _ -> dispatch t conn ~p0 req_id req);
-            parse_frames t conn)
-
-let rec accept_new t progress =
-  match Unix.accept ~cloexec:true t.listener with
-  | fd, _addr ->
-      Unix.set_nonblock fd;
-      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-      let cid = t.next_cid in
-      t.next_cid <- cid + 1;
-      Hashtbl.replace t.conns cid
-        { fd; cid; rb = Reassembly.create (); wb = Buffer.create 4096; wb_off = 0; alive = true };
-      t.tallies.t_connections <- t.tallies.t_connections + 1;
-      if t.spans_on then
-        Span.record t.disp_sink ~req_id:(-1) ~phase:Span.Accept ~start_ns:(now_ns ())
-          ~dur_ns:0 ~arg:cid;
-      progress := true;
-      accept_new t progress
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_new t progress
-
-let read_conn t chunk progress conn =
-  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-  | 0 -> close_conn t conn
-  | n ->
-      progress := true;
-      Reassembly.add conn.rb chunk n;
-      parse_frames t conn
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn t conn
-
-let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
-
-let poll_replies t progress =
-  Array.iter
-    (fun ring ->
-      let rec go () =
-        match Spsc_ring.try_pop ring with
-        | None -> ()
-        | Some reply ->
-            progress := true;
-            if not (Hashtbl.mem t.pending reply.r_sid) then begin
-              (* Already answered by a re-dispatched copy (the original
-                 worker finished after being declared dead).  Count and
-                 drop — the client saw exactly one response. *)
-              t.tallies.t_duplicates <- t.tallies.t_duplicates + 1;
-              Counters.incr t.c_duplicates
-            end
-            else begin
-              Hashtbl.remove t.pending reply.r_sid;
-              t.tallies.t_completed <- t.tallies.t_completed + 1;
-              Counters.incr t.c_completed;
-              Counters.incr t.c_completed_by.(reply.r_class);
-              let now = now_ns () in
-              let sojourn = now - reply.r_t0 in
-              Admission.note_completion t.adm ~sojourn_ns:sojourn;
-              Counters.observe t.d_sojourn sojourn;
-              Latency.record t.lat_all sojourn;
-              Latency.record t.lat_class.(reply.r_class) sojourn;
-              t.ctl_completed.(reply.r_class) <- t.ctl_completed.(reply.r_class) + 1;
-              if sojourn <= t.ctl_latency_ns then
-                t.ctl_good.(reply.r_class) <- t.ctl_good.(reply.r_class) + 1;
-              if t.spans_on then
-                (* worker push -> dispatcher pop-and-buffer: the reply
-                   ring hop plus write buffering, the request's last leg *)
-                Span.record t.disp_sink ~req_id:reply.r_sid ~phase:Span.Reply_flush
-                  ~start_ns:reply.r_done
-                  ~dur_ns:(max 0 (now - reply.r_done))
-                  ~arg:reply.r_cid;
-              match Hashtbl.find_opt t.conns reply.r_cid with
-              | Some conn -> Buffer.add_bytes conn.wb reply.r_frame
-              | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1
-            end;
-            go ()
-      in
-      go ())
-    t.reply_rings
-
-let flush_conn t progress conn =
-  let total = Buffer.length conn.wb in
-  let len = total - conn.wb_off in
-  if len > 0 then begin
-    match Unix.write_substring conn.fd (Buffer.contents conn.wb) conn.wb_off len with
-    | n ->
-        if n > 0 then progress := true;
-        conn.wb_off <- conn.wb_off + n;
-        if conn.wb_off = total then begin
-          Buffer.clear conn.wb;
-          conn.wb_off <- 0
-        end
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_conn t conn
-  end
-
-let pending_writes t =
-  Hashtbl.fold (fun _ c acc -> acc || Buffer.length c.wb - c.wb_off > 0) t.conns false
-
-let reply_rings_empty t =
-  Array.for_all (fun r -> Spsc_ring.length r = 0) t.reply_rings
-
-(* Block on socket readiness only when the whole pipeline is quiet.
-   With work in flight the dispatcher polls, like the paper's dedicated
-   dispatcher core — but through a spin-then-park backoff, so that on a
-   machine where dispatcher and workers share cores a reply-less poll
-   round hands the core to the workers instead of burning their
-   timeslice (see {!Tq_runtime.Backoff}). *)
-let idle_wait t backoff =
-  if Parallel.in_flight t.pool = 0 && reply_rings_empty t && not (pending_writes t) then begin
-    let fds = List.map (fun c -> c.fd) (conn_list t) in
-    let fds = if t.listener_open then t.listener :: fds else fds in
-    match Unix.select fds [] [] 0.02 with
-    | _ -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  end
-  else Tq_runtime.Backoff.once backoff
-
-let close_listener t =
-  if t.listener_open then begin
-    t.listener_open <- false;
-    try Unix.close t.listener with Unix.Unix_error _ -> ()
-  end
-
-(* {2 Worker health: heartbeats, death verdicts, re-dispatch} *)
-
-(* Requests stranded on workers that have been declared dead are
-   re-submitted to living workers under their original span id, so the
-   client still gets exactly one response (the duplicate filter in
-   [poll_replies] absorbs any race with a not-quite-dead original).
-   A full replacement ring leaves the entry in [pending] for the next
-   heartbeat round. *)
-let redispatch_orphans t =
-  if t.tallies.t_dead_workers > 0 && Parallel.alive_workers t.pool > 0 then begin
-    let orphans =
-      Hashtbl.fold
-        (fun sid p acc ->
-          if not (Parallel.worker_alive t.pool ~worker:p.p_worker) then (sid, p) :: acc
-          else acc)
-        t.pending []
-    in
-    List.iter
-      (fun (sid, p) ->
-        let w = Parallel.pick t.pool in
-        let job =
-          make_job t ~worker:w ~sid ~cid:p.p_cid ~class_idx:p.p_class ~t0:p.p_t0
-            ~req_id:p.p_req_id p.p_req
-        in
-        if Parallel.submit_to t.pool ~tag:sid ~class_idx:p.p_class ~worker:w job
-        then begin
-          p.p_worker <- w;
-          t.tallies.t_redispatched <- t.tallies.t_redispatched + 1;
-          Counters.incr t.c_redispatched
-        end)
-      orphans
-  end
-
-(* Progress-based liveness: a worker that made no loop pass across a
-   whole heartbeat window while holding work is suspect; after
-   [missed_heartbeats] consecutive suspect windows it is declared dead
-   and its pending requests move.  Idle workers always beat (the poll
-   loop itself beats), so quiet periods never accumulate misses. *)
-let heartbeat_check t ~now =
-  let interval_ns = int_of_float (t.config.heartbeat_interval_s *. 1e9) in
-  if interval_ns > 0 && now >= t.hb_next_ns then begin
-    t.hb_next_ns <- now + interval_ns;
-    for w = 0 to Parallel.workers t.pool - 1 do
-      if Parallel.worker_alive t.pool ~worker:w then begin
-        let b = Parallel.beats t.pool ~worker:w in
-        if b = t.hb_beats.(w) && Parallel.worker_in_flight t.pool ~worker:w > 0
-        then begin
-          t.hb_missed.(w) <- t.hb_missed.(w) + 1;
-          if t.hb_missed.(w) >= t.config.missed_heartbeats then begin
-            ignore (Parallel.mark_dead t.pool ~worker:w : int);
-            t.tallies.t_dead_workers <- t.tallies.t_dead_workers + 1;
-            Counters.incr t.c_workers_dead
-          end
-        end
-        else t.hb_missed.(w) <- 0;
-        t.hb_beats.(w) <- b
-      end
-    done;
-    redispatch_orphans t
-  end
-
-(* {2 The feedback control loop} *)
+   Ticked by lane 0; senses the whole plane (per-class tallies summed
+   over every lane — racy-but-sound monotone counters) and actuates
+   globally: the quantum cells are shared pool atomics, the shed limit
+   lands on every lane's admission policy cell. *)
 
 let controller_tick t ~now =
   match t.ctl with
@@ -785,23 +430,27 @@ let controller_tick t ~now =
           (Tq_control.Controller.config c).Tq_control.Controller.interval_ns
         in
         t.ctl_next_ns <- now + interval;
-        let queued = ref 0 in
-        for w = 0 to Parallel.workers t.pool - 1 do
-          queued := !queued + Parallel.ring_depth t.pool ~worker:w
-        done;
         let classes =
           Array.init Protocol.class_count (fun i ->
+              let completed = ref 0 and good = ref 0 and shed = ref 0 in
+              Array.iter
+                (fun lane ->
+                  let cc, gg, ss = Lane.ctl_counts lane ~class_idx:i in
+                  completed := !completed + cc;
+                  good := !good + gg;
+                  shed := !shed + ss)
+                t.lanes;
               {
-                Tq_control.Controller.completed = t.ctl_completed.(i);
-                good = t.ctl_good.(i);
-                shed = t.ctl_shed.(i);
+                Tq_control.Controller.completed = !completed;
+                good = !good;
+                shed = !shed;
               })
         in
         let actions =
           Tq_control.Controller.tick c
             {
               Tq_control.Controller.now_ns = now;
-              queued = !queued;
+              queued = ring_occupancy t;
               in_flight = Parallel.in_flight t.pool;
               busy_cores = Parallel.alive_workers t.pool;
               classes;
@@ -812,8 +461,11 @@ let controller_tick t ~now =
             | Tq_control.Controller.Set_quantum { class_idx; quantum_ns } ->
                 Parallel.set_quantum t.pool ?class_idx ~quantum_ns ()
             | Tq_control.Controller.Set_shed_limit { max_in_system } ->
-                Admission.set_policy t.adm
-                  (Admission.Queue_limit { max_in_system }))
+                Array.iter
+                  (fun lane ->
+                    Admission.set_policy (Lane.admission lane)
+                      (Admission.Queue_limit { max_in_system }))
+                  t.lanes)
           actions
       end
 
@@ -823,56 +475,29 @@ let inject_stall t ~worker ~duration_ns =
   Parallel.stall_worker t.pool ~worker ~duration_ns ~now_ns:(now_ns ())
 
 let kill_worker t ~worker = Parallel.kill_worker t.pool ~worker
-let pause_dispatcher t ~duration_ns = t.paused_until_ns <- now_ns () + duration_ns
+
+let pause_dispatcher t ~duration_ns =
+  Atomic.set t.shared.Lane.paused_until_ns (now_ns () + duration_ns)
+
 let on_tick t f = t.tick_hook <- Some f
 let control_json t = Option.map Tq_control.Controller.state_json t.ctl
 let alive_workers t = Parallel.alive_workers t.pool
 
 let serve t =
-  let chunk = Bytes.create 65536 in
-  let stopping = ref false in
-  let stop_deadline = ref infinity in
-  let running = ref true in
-  let backoff = Tq_runtime.Backoff.create () in
-  while !running do
-    let progress = ref false in
-    let now = now_ns () in
-    (match t.tick_hook with Some f -> f ~now_ns:now | None -> ());
-    if (not !stopping) && Atomic.get t.stop_flag then begin
-      (* Graceful drain: no new connections, no new frames; everything
-         already dispatched still completes and flushes. *)
-      stopping := true;
-      stop_deadline := Unix.gettimeofday () +. t.config.drain_timeout_s;
-      close_listener t
-    end;
-    if now < t.paused_until_ns then ()
-      (* dispatcher outage (fault hook): nothing moves — no accepts, no
-         replies, no heartbeat verdicts — exactly like a wedged
-         dispatcher thread; workers keep serving their rings *)
-    else begin
-      heartbeat_check t ~now;
-      controller_tick t ~now;
-      if not !stopping then begin
-        accept_new t progress;
-        List.iter (fun c -> read_conn t chunk progress c) (conn_list t)
-      end;
-      poll_replies t progress;
-      List.iter (fun c -> flush_conn t progress c) (conn_list t);
-      if !stopping then begin
-        let drained = in_flight t = 0 in
-        if drained && not (pending_writes t) then running := false
-        else if Unix.gettimeofday () > !stop_deadline then begin
-          (* Unresponsive clients: finishing dispatched work is still
-             unconditional — only their unflushed bytes are abandoned. *)
-          Parallel.drain t.pool;
-          poll_replies t progress;
-          running := false
-        end
-      end
-    end;
-    if !progress then Tq_runtime.Backoff.reset backoff
-    else if !running then idle_wait t backoff
-  done;
+  let renderer = render_stats t in
+  Array.iter (fun lane -> Lane.set_stats_renderer lane renderer) t.lanes;
+  Lane.set_tick t.lanes.(0) (fun ~now_ns:now ->
+      (match t.tick_hook with Some f -> f ~now_ns:now | None -> ());
+      (* the fault schedule above may have just paused the plane; the
+         controller honours the pause like everything else *)
+      if now >= Atomic.get t.shared.Lane.paused_until_ns then
+        controller_tick t ~now);
+  let extra =
+    Array.init
+      (Array.length t.lanes - 1)
+      (fun i -> Domain.spawn (fun () -> Lane.run t.lanes.(i + 1)))
+  in
+  Lane.run t.lanes.(0);
+  Array.iter Domain.join extra;
   ignore (Parallel.shutdown t.pool : Parallel.stats);
-  List.iter (fun c -> close_conn t c) (conn_list t);
-  close_listener t
+  Listener.close t.listener

@@ -1,13 +1,19 @@
 (** The live multicore RPC server: TQ's two-level structure over real
     sockets.
 
-    Level 1 is the dispatcher — the thread that calls {!serve}.  It
-    owns every socket: it accepts connections, reassembles
-    length-prefixed frames, steers each request (KV by key hash so
-    per-key state stays on one core, everything else JSQ over the
-    workers' in-flight counters), and writes completed responses back.
-    It never executes request work — blind scheduling, per-*request*
-    dispatcher cost.
+    Level 1 is the I/O plane — [lanes] independent dispatcher lanes
+    ({!Lane}).  Each lane owns a shard of the connections (dealt out by
+    the shared {!Listener}'s round-robin accept spreading) and a
+    disjoint slice of the workers (worker [w] belongs to lane
+    [w mod lanes]), and runs the classic dispatcher loop: reassemble
+    length-prefixed frames, steer each request (KV by key hash within
+    the slice so per-key state stays on one core, everything else JSQ
+    over the slice's in-flight counters), and write completed responses
+    back through pooled zero-copy framing ({!Pool},
+    {!Protocol.Outbuf}).  Lanes never execute request work — blind
+    scheduling, per-*request* dispatcher cost; with [lanes = 1] the
+    plane is exactly the single-dispatcher design.  Lane 0 runs on the
+    thread that calls {!serve}; lanes 1.. get their own domains.
 
     Level 2 is a persistent {!Tq_runtime.Parallel} pool: worker domains
     that force-multitask request fibers with wall-clock quanta and push
@@ -31,6 +37,10 @@ type config = {
   host : string;  (** bind address; default loopback *)
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
   workers : int;  (** worker domains *)
+  lanes : int;
+      (** dispatcher lanes; must not exceed [workers] (each lane needs
+          a non-empty worker slice).  1 = the classic single-dispatcher
+          layout, byte-identical on the wire *)
   quantum_ns : int;  (** forced-multitasking quantum (wall clock) *)
   ring_capacity : int;  (** dispatcher->worker ring depth *)
   rx_depth : int;
@@ -56,12 +66,21 @@ type config = {
           heartbeat monitor; [0] disables the monitor *)
   missed_heartbeats : int;
       (** consecutive no-progress windows before a worker holding work
-          is declared dead and its requests are re-dispatched *)
+          is declared dead and its requests are re-dispatched (each
+          lane monitors its own slice) *)
+  pool_bufs : int;
+      (** framing buffers kept on the shared reply-buffer pool's free
+          list ({!Pool}); more buffers, fewer allocation misses under
+          deep pipelining *)
+  pool_buf_bytes : int;
+      (** size of each pooled framing buffer; responses that encode
+          larger fall back to exact fresh allocations *)
 }
 
-(** Loopback, 4 workers, 100 us quanta, 256-deep rings, rx_depth 1024,
-    accept-all admission, no controller, 50 ms heartbeats with a
-    4-miss death verdict. *)
+(** Loopback, 4 workers, 1 lane, 100 us quanta, 256-deep rings,
+    rx_depth 1024, accept-all admission, no controller, 50 ms
+    heartbeats with a 4-miss death verdict, 1024 pooled 4 KiB framing
+    buffers. *)
 val default_config : config
 
 (** Dispatcher-side request accounting (a snapshot; see {!stats}). *)
@@ -114,16 +133,22 @@ val create :
 (** The actually bound port — [config.port] unless that was 0. *)
 val port : t -> int
 
-(** [serve t] runs the dispatcher loop in the calling thread until
-    {!stop}, then drains and returns.  Call at most once. *)
+(** The configured lane count. *)
+val lanes : t -> int
+
+(** [serve t] runs lane 0's dispatcher loop in the calling thread,
+    spawns one domain per extra lane, and returns once every lane has
+    observed {!stop} and drained.  Call at most once. *)
 val serve : t -> unit
 
-(** [stop t] requests graceful drain; safe from another thread or a
-    signal handler.  Idempotent. *)
+(** [stop t] requests graceful drain on every lane; safe from another
+    thread or a signal handler.  Idempotent. *)
 val stop : t -> unit
 
-(** Live accounting snapshot (safe from other threads of the
-    dispatcher's domain, e.g. the test harness). *)
+(** Live accounting snapshot: per-lane tallies summed.  Safe from any
+    thread — cross-lane reads are word-sized plain loads, never torn,
+    eventually consistent while lanes run and exact once {!serve} has
+    returned. *)
 val stats : t -> stats
 
 (** Requests admitted but not yet answered ([dispatched - completed]). *)
@@ -132,32 +157,39 @@ val in_flight : t -> int
 (** {2 Live observability}
 
     What the Stats RPC renders; exposed directly for in-process use
-    (tests, embedding).  [snapshot_json] and [prometheus] refresh the
-    snapshot gauges, so call them from the dispatcher's domain. *)
+    (tests, embedding).  Every view merges all lanes and computes its
+    gauges into render-local registries, so these are safe from any
+    thread — a lane's own registry keeps exactly one writer. *)
 
 (** The span collection passed to {!create} ({!Tq_obs.Span.null} when
     none was). *)
 val spans : t -> Tq_obs.Span.t
 
 (** Completion sojourn latencies (dispatch to reply-ring pop), per
-    request class plus ["all"] — recorded by the dispatcher as it polls
-    replies, HDR percentiles included. *)
+    request class plus ["all"] — each lane records its own registry as
+    it polls replies; this pools them with {!Tq_obs.Latency.merge}
+    (HDR percentiles at native resolution). *)
 val latency : t -> Tq_obs.Latency.t
 
-(** One registry aggregating the dispatcher's [serve.*] metrics with
-    every worker's [runtime.*] registry (lock-free merge; eventually
-    consistent). *)
+(** One registry aggregating every lane's [serve.*] metrics with every
+    worker's [runtime.*] registry (lock-free merge; eventually
+    consistent), plus the render-time gauges and [serve.pool.*]
+    framing-pool health. *)
 val merged_counters : t -> Tq_obs.Counters.t
 
 (** The live metrics snapshot as a JSON object: accounting, gauges,
-    per-class breakdown, runtime totals and the latency ladder — the
-    [Stats_json] RPC body. *)
+    the [io_plane] section (lane count, accept spreading, buffer-pool
+    health, per-lane shares), per-class breakdown, runtime totals and
+    the latency ladder — the [Stats_json] RPC body. *)
 val snapshot_json : t -> string
 
 (** The same snapshot as Prometheus text exposition — the [Stats_text]
-    RPC body.  Dispatcher and worker registries carry [role] / [worker]
-    labels; with spans enabled the per-stage decomposition renders as
-    the [tq_serve_stage_ns] histogram family. *)
+    RPC body.  The lanes render as one merged [role="dispatcher"]
+    series (the lane split is an implementation axis, so the
+    exposition's shape is lane-count independent); workers carry
+    [role] / [worker] labels; with spans enabled the per-stage
+    decomposition renders as the [tq_serve_stage_ns] histogram
+    family. *)
 val prometheus : t -> string
 
 (** [breakdown t] — the per-stage sojourn decomposition of the span
@@ -187,14 +219,15 @@ val inject_stall : t -> worker:int -> duration_ns:int -> unit
     re-dispatches its pending requests — no request is lost. *)
 val kill_worker : t -> worker:int -> unit
 
-(** [pause_dispatcher t ~duration_ns] — the dispatch loop does nothing
-    (no accepts, reads, replies or verdicts) until the deadline: a
-    wedged-dispatcher fault.  Workers keep serving their rings. *)
+(** [pause_dispatcher t ~duration_ns] — every lane does nothing (no
+    accepts, reads, replies or verdicts) until the deadline: a
+    wedged-I/O-plane fault.  Workers keep serving their rings. *)
 val pause_dispatcher : t -> duration_ns:int -> unit
 
-(** [on_tick t f] — call [f ~now_ns] once per dispatcher loop pass
-    (before anything else moves); the hook a fault schedule driver
-    ({!Tq_fault.Live}) uses to fire timed events without a thread. *)
+(** [on_tick t f] — call [f ~now_ns] once per lane-0 loop pass (before
+    anything else moves, pause included); the hook a fault schedule
+    driver ({!Tq_fault.Live}) uses to fire timed events without a
+    thread.  Set before {!serve}. *)
 val on_tick : t -> (now_ns:int -> unit) -> unit
 
 (** The controller's live state as one JSON object (the [Stats_control]

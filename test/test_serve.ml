@@ -639,3 +639,221 @@ let fault_suite =
   ]
 
 let suite = suite @ fault_suite
+
+(* --- the multi-lane I/O plane: pooled framing and lane sharding --- *)
+
+(* encode_response_into must produce byte-for-byte what response_frame
+   produces, even into a buffer full of stale garbage (the pool hands
+   out dirty reused buffers by design), and Outbuf must survive
+   arbitrary partial consumes — together the zero-copy reply path. *)
+let test_zero_copy_framing () =
+  let resps =
+    [
+      { Protocol.req_id = 1; status = Protocol.Ok; body = "" };
+      { Protocol.req_id = 0x1234_5678_9abc; status = Protocol.Ok; body = "payload" };
+      { Protocol.req_id = 2; status = Protocol.Shed; body = "" };
+      { Protocol.req_id = 3; status = Protocol.Error "boom"; body = "ignored" };
+      { Protocol.req_id = 4; status = Protocol.Ok; body = String.make 300 'z' };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let golden = Protocol.response_frame resp in
+      let len = Protocol.response_frame_len resp in
+      check Alcotest.int "frame_len predicts the frame" (Bytes.length golden) len;
+      let dirty = Bytes.make (len + 32) '\xff' in
+      let n = Protocol.encode_response_into dirty ~off:16 resp in
+      check Alcotest.int "encode_into reports the frame length" len n;
+      check Alcotest.bool "encode_into matches response_frame" true
+        (Bytes.sub dirty 16 n = golden))
+    resps;
+  (* Outbuf: interleaved adds and partial consumes preserve the byte
+     stream across compactions and growth. *)
+  let ob = Protocol.Outbuf.create ~capacity:16 () in
+  let fed = Buffer.create 256 and drained = Buffer.create 256 in
+  let rng = Tq_util.Prng.create ~seed:7L in
+  for i = 0 to 99 do
+    let chunk = String.make (Tq_util.Prng.int rng 40) (Char.chr (65 + (i mod 26))) in
+    Buffer.add_string fed chunk;
+    Protocol.Outbuf.add_bytes ob (Bytes.of_string chunk) ~off:0 ~len:(String.length chunk);
+    let pending = Protocol.Outbuf.pending_bytes ob in
+    let take = Tq_util.Prng.int rng (pending + 1) in
+    let buf, off, len = Protocol.Outbuf.peek ob in
+    check Alcotest.int "peek agrees with pending" pending len;
+    Buffer.add_subbytes drained buf off take;
+    Protocol.Outbuf.consume ob take
+  done;
+  let buf, off, len = Protocol.Outbuf.peek ob in
+  Buffer.add_subbytes drained buf off len;
+  Protocol.Outbuf.consume ob len;
+  check Alcotest.bool "outbuf drained empty" true (Protocol.Outbuf.is_empty ob);
+  check Alcotest.string "outbuf preserves the byte stream" (Buffer.contents fed)
+    (Buffer.contents drained)
+
+(* Buffer-pool property: however acquires and releases interleave, a
+   response encoded into a (dirty, reused) pooled buffer decodes back
+   to exactly itself — no cross-request bleed — and the pool really
+   does recycle (hits on same-size traffic, exact fresh allocations on
+   oversize). *)
+let test_pool_reuse_no_bleed =
+  let pool = Tq_serve.Pool.create ~max_pooled:4 ~buf_bytes:64 () in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"pooled framing never bleeds across requests"
+       QCheck.(list_of_size (Gen.int_range 1 40) (pair small_nat (int_bound 120)))
+       (fun reqs ->
+         (* Half the buffers stay "in flight" briefly so reuse really
+            interleaves with live encodes. *)
+         let held = ref [] in
+         List.iteri
+           (fun i (id, body_len) ->
+             let resp =
+               {
+                 Protocol.req_id = id;
+                 status = (if body_len mod 3 = 0 then Protocol.Shed else Protocol.Ok);
+                 body = String.init body_len (fun j -> Char.chr ((id + j) mod 256));
+               }
+             in
+             let resp =
+               if body_len mod 3 = 0 then { resp with body = "" } else resp
+             in
+             let len = Protocol.response_frame_len resp in
+             let buf = Tq_serve.Pool.acquire pool ~len in
+             check Alcotest.bool "buffer fits the frame" true (Bytes.length buf >= len);
+             let n = Protocol.encode_response_into buf ~off:0 resp in
+             check Alcotest.bool "pooled encode matches the golden frame" true
+               (Bytes.sub buf 0 n = Protocol.response_frame resp);
+             if i mod 2 = 0 then held := buf :: !held
+             else Tq_serve.Pool.release pool buf)
+           reqs;
+         List.iter (Tq_serve.Pool.release pool) !held;
+         true))
+
+let test_pool_recycles () =
+  let pool = Tq_serve.Pool.create ~max_pooled:8 ~buf_bytes:64 () in
+  (* warm: one buffer in circulation -> every acquire after the first
+     must be a free-list hit *)
+  for _ = 1 to 50 do
+    let b = Tq_serve.Pool.acquire pool ~len:32 in
+    Tq_serve.Pool.release pool b
+  done;
+  check Alcotest.int "one miss to warm the pool" 1 (Tq_serve.Pool.misses pool);
+  check Alcotest.int "then every acquire hits" 49 (Tq_serve.Pool.hits pool);
+  (* oversize requests bypass the pool with exact allocations *)
+  let big = Tq_serve.Pool.acquire pool ~len:1000 in
+  check Alcotest.int "oversize is exact" 1000 (Bytes.length big);
+  check Alcotest.int "oversize counted" 1 (Tq_serve.Pool.oversize pool);
+  Tq_serve.Pool.release pool big;
+  check Alcotest.int "wrong-size release discarded" 1 (Tq_serve.Pool.discarded pool);
+  (* scrubbed pools hand back zeroed buffers *)
+  let sp = Tq_serve.Pool.create ~scrub:true ~buf_bytes:64 () in
+  let b = Tq_serve.Pool.acquire sp ~len:64 in
+  Bytes.fill b 0 64 'x';
+  Tq_serve.Pool.release sp b;
+  let b' = Tq_serve.Pool.acquire sp ~len:64 in
+  check Alcotest.bool "scrub zeroes reused buffers" true
+    (Bytes.for_all (fun c -> c = '\x00') b')
+
+let test_multi_lane_loopback () =
+  with_server { base_config with Server.lanes = 2 } (fun srv ->
+      check Alcotest.int "server reports its lanes" 2 (Server.lanes srv);
+      let n = 2_000 in
+      let clients = Array.init 4 (fun _ -> Client.connect ~port:(Server.port srv) ()) in
+      let answered = Array.make n false in
+      (* window of 32 per connection, ids striped across clients *)
+      let window = 32 in
+      let inflight = Array.make 4 0 in
+      let recv_one c k =
+        let resp = Client.recv clients.(c) in
+        let id = resp.Protocol.req_id in
+        check Alcotest.bool "id belongs to this connection" true (id mod 4 = c);
+        check Alcotest.bool "answered once" false answered.(id);
+        answered.(id) <- true;
+        (match resp.Protocol.status with
+        | Protocol.Ok -> ()
+        | Protocol.Shed -> Alcotest.fail "shed under tiny load"
+        | Protocol.Error msg -> Alcotest.failf "handler error: %s" msg);
+        inflight.(c) <- inflight.(c) - k
+      in
+      for i = 0 to n - 1 do
+        let c = i mod 4 in
+        Client.send clients.(c) ~req_id:i (nth_request i);
+        inflight.(c) <- inflight.(c) + 1;
+        if inflight.(c) >= window then recv_one c 1
+      done;
+      Array.iteri
+        (fun c _ ->
+          while inflight.(c) > 0 do
+            recv_one c 1
+          done)
+        clients;
+      check Alcotest.bool "every request answered across lanes" true
+        (Array.for_all Fun.id answered);
+      (* exact accounting survives the sharding *)
+      let s = Server.stats srv in
+      check Alcotest.int "parsed all" n s.Server.parsed;
+      check Alcotest.int "completions conserved" n s.Server.completed;
+      check Alcotest.int "parsed = dispatched + shed" s.Server.parsed
+        (s.Server.dispatched + s.Server.shed);
+      check Alcotest.int "no orphans" 0 s.Server.orphaned;
+      check Alcotest.int "connections counted once" 4 s.Server.connections;
+      (* the snapshot's io_plane section: right lane count, accept
+         spreading gave both lanes connections, per-lane identity *)
+      let body = Client.stats clients.(0) in
+      check Alcotest.bool "io_plane present" true (contains body "\"io_plane\"");
+      check Alcotest.bool "snapshot shows 2 lanes" true (contains body "\"lanes\": 2");
+      check Alcotest.bool "lane 0 took connections" false
+        (contains body "{\"lane\": 0, \"connections\": 0,");
+      check Alcotest.bool "lane 1 took connections" false
+        (contains body "{\"lane\": 1, \"connections\": 0,");
+      (* sojourns from both lanes pool into one ladder *)
+      check Alcotest.int "latency merged across lanes" n
+        (Tq_obs.Latency.count (Tq_obs.Latency.recorder (Server.latency srv) "all"));
+      Array.iter Client.close clients)
+
+(* lanes=1 must be byte-identical on the wire to the classic
+   single-dispatcher server: drive a raw socket with a strict
+   request/response window of 1 and compare every response frame
+   against the golden encoding. *)
+let test_lanes1_wire_byte_compat () =
+  with_server base_config (fun srv ->
+      check Alcotest.int "default config is single-lane" 1 (Server.lanes srv);
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port srv));
+      let read_exactly n =
+        let buf = Bytes.create n in
+        let got = ref 0 in
+        while !got < n do
+          match Unix.read fd buf !got (n - !got) with
+          | 0 -> Alcotest.fail "server closed mid-frame"
+          | k -> got := !got + k
+        done;
+        buf
+      in
+      for i = 0 to 199 do
+        let payload = String.make (i mod 97) 'e' in
+        let b = Buffer.create 128 in
+        Protocol.encode_request b ~req_id:i (Protocol.Echo { spin_ns = 0; payload });
+        let frame = Buffer.to_bytes b in
+        let sent = Unix.write fd frame 0 (Bytes.length frame) in
+        check Alcotest.int "request written whole" (Bytes.length frame) sent;
+        let golden =
+          Protocol.response_frame { Protocol.req_id = i; status = Protocol.Ok; body = payload }
+        in
+        let got = read_exactly (Bytes.length golden) in
+        check Alcotest.bool
+          (Printf.sprintf "response %d byte-identical on the wire" i)
+          true (got = golden)
+      done;
+      Unix.close fd)
+
+let lane_suite =
+  [
+    Alcotest.test_case "zero-copy framing" `Quick test_zero_copy_framing;
+    test_pool_reuse_no_bleed;
+    Alcotest.test_case "pool recycles buffers" `Quick test_pool_recycles;
+    Alcotest.test_case "multi-lane loopback" `Quick test_multi_lane_loopback;
+    Alcotest.test_case "lanes=1 wire byte-compat" `Quick test_lanes1_wire_byte_compat;
+  ]
+
+let suite = suite @ lane_suite
