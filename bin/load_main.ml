@@ -24,7 +24,7 @@ let parse_slo s =
       exit 1
 
 let run host port rate connections warmup measure grace seed mix_spec spin_us
-    server_lanes json_out quiet slo_specs slo_strict stats_interval dashboard stats_json
+    heavy_frac heavy_spin_us server_lanes json_out quiet slo_specs slo_strict stats_interval dashboard stats_json
     trace_out breakdown breakdown_json control =
   let mix =
     match mix_spec with
@@ -37,7 +37,14 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us
             Printf.eprintf "bad --mix %S (expected ECHO,KV,TPCC weights)\n" s;
             exit 1)
   in
-  let mix = { mix with echo_spin_ns = Tq_util.Time_unit.us spin_us } in
+  let mix =
+    {
+      mix with
+      Tq_serve.Load_gen.echo_spin_ns = Tq_util.Time_unit.us spin_us;
+      echo_heavy = heavy_frac;
+      echo_heavy_spin_ns = Tq_util.Time_unit.us heavy_spin_us;
+    }
+  in
   let stats_interval =
     (* --stats-json needs at least one poll even when no interval was
        asked for; poll once a second then. *)
@@ -185,6 +192,15 @@ let () =
   let spin =
     Arg.(value & opt float 1.0 & info [ "spin-us" ] ~doc:"server-side spin per echo request")
   in
+  let heavy_frac =
+    Arg.(value & opt float 0.0
+         & info [ "heavy-frac" ]
+             ~doc:"extra mix weight of heavy echo requests (skewed offered load)")
+  in
+  let heavy_spin =
+    Arg.(value & opt float 0.0
+         & info [ "heavy-spin-us" ] ~doc:"server-side spin per heavy echo request")
+  in
   let server_lanes =
     Arg.(value & opt int 1
          & info [ "lanes" ] ~docv:"N"
@@ -257,7 +273,7 @@ let () =
   let cmd =
     Cmd.v (Cmd.info "tq_load" ~version:"1.3.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
-            $ seed $ mix $ spin $ server_lanes $ json $ quiet $ slo $ slo_strict
+            $ seed $ mix $ spin $ heavy_frac $ heavy_spin $ server_lanes $ json $ quiet $ slo $ slo_strict
             $ stats_interval $ dashboard $ stats_json $ trace $ breakdown
             $ breakdown_json $ control)
   in

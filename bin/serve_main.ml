@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let serve host port cores lanes quantum_us ring rx_depth admission kv_keys
+let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
     pool_bufs pool_buf_bytes duration_s stats_out obs obs_capacity trace_out
     gc_events adaptive ctl_latency_us ctl_interval_ms heartbeat_ms
     missed_heartbeats faults =
@@ -80,6 +80,7 @@ let serve host port cores lanes quantum_us ring rx_depth admission kv_keys
       ring_capacity = ring;
       rx_depth;
       admission;
+      steal;
       kv_keys;
       adaptive = controller;
       heartbeat_interval_s = heartbeat_ms /. 1e3;
@@ -215,6 +216,15 @@ let () =
          & info [ "admission" ] ~docv:"POLICY"
              ~doc:"extra admission gate: accept-all | queue-limit:N | ewma:USEC")
   in
+  let steal =
+    let onoff = Arg.enum [ ("on", true); ("off", false) ] in
+    Arg.(value & opt onoff false
+         & info [ "steal" ] ~docv:"on|off"
+             ~doc:"idle-time work stealing inside each lane's worker slice: an \
+                   idle worker takes half of the most-loaded sibling's \
+                   queued-but-unstarted (unkeyed) requests; surfaces as \
+                   runtime.steals/steal_items/steal_failures and Steal spans")
+  in
   let kv_keys =
     Arg.(value & opt int 1024 & info [ "kv-keys" ] ~docv:"N" ~doc:"prepopulated keys per worker store")
   in
@@ -291,7 +301,7 @@ let () =
   let cmd =
     Cmd.v (Cmd.info "tq_serve" ~version:"1.2.0" ~doc)
       Term.(const serve $ host $ port $ cores $ lanes $ quantum $ ring $ rx_depth
-            $ admission $ kv_keys $ pool_bufs $ pool_buf_bytes $ duration $ stats_out
+            $ admission $ steal $ kv_keys $ pool_bufs $ pool_buf_bytes $ duration $ stats_out
             $ obs $ obs_capacity $ trace_out $ gc_events $ adaptive $ ctl_latency_us
             $ ctl_interval_ms $ heartbeat_ms $ missed_heartbeats $ faults)
   in

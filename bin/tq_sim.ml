@@ -72,8 +72,8 @@ let workload_names =
   List.map (fun (w : Tq_workload.Service_dist.t) -> w.name) Tq_workload.Table1.all
 
 let system_names =
-  [ "tq"; "tq-las"; "tq-fcfs"; "tq-rand"; "tq-power-two"; "shinjuku"; "concord";
-    "caladan"; "caladan-iokernel" ]
+  [ "tq"; "tq-steal"; "tq-las"; "tq-fcfs"; "tq-rand"; "tq-power-two"; "shinjuku";
+    "concord"; "caladan"; "caladan-iokernel" ]
 
 let find_workload name =
   match Tq_workload.Table1.find name with
@@ -86,6 +86,7 @@ let find_workload name =
 let find_system name ~quantum_ns =
   match name with
   | "tq" -> Tq_sched.Presets.tq ~quantum_ns ()
+  | "tq-steal" -> Tq_sched.Presets.tq_steal ~quantum_ns ()
   | "tq-las" -> Tq_sched.Presets.tq_las ()
   | "tq-fcfs" -> Tq_sched.Presets.tq_fcfs ()
   | "tq-rand" -> Tq_sched.Presets.tq_rand ~quantum_ns ()

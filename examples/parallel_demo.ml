@@ -27,7 +27,14 @@ let () =
         if i mod 20 = 0 then busy_work ~ms:20.0 else busy_work ~ms:1.0)
   in
   let started = Unix.gettimeofday () in
-  let stats = Tq.Runtime.Parallel.run ~workers ~quantum_ns:1_000_000 jobs in
+  let pool = Tq.Runtime.Parallel.create ~workers ~quantum_ns:1_000_000 () in
+  Array.iter
+    (fun job ->
+      while not (Tq.Runtime.Parallel.submit pool (fun ~wid:_ -> job ())) do
+        Domain.cpu_relax ()
+      done)
+    jobs;
+  let stats = Tq.Runtime.Parallel.shutdown pool in
   let elapsed = Unix.gettimeofday () -. started in
   Printf.printf "ran %d jobs on %d worker domains in %.2fs\n" stats.completed workers elapsed;
   Printf.printf "preemptive yields: %d (long jobs preempted at ~1ms quanta)\n" stats.yields;

@@ -144,6 +144,45 @@ let ext_prefetch () =
   t
 
 
+(* Push-only vs push+steal, crossed with placement quality.  Under
+   JSQ+MSQ the dispatcher already lands work well and stealing should
+   be near-neutral; under random placement queues go lopsided and the
+   idle-core steal-half second chance recovers most of the tail gap —
+   isolating what stealing buys at each placement quality. *)
+let ext_steal () =
+  let workload = Table1.extreme_bimodal in
+  let capacity = Arrivals.capacity_rps ~cores:16 workload in
+  let duration = Harness.duration_ms 20.0 in
+  let config policy = { Two_level.default_config with dispatch_policy = policy } in
+  let systems =
+    [
+      ("JSQ", Experiment.Two_level (config Tq_sched.Dispatch_policy.Jsq_msq));
+      ("JSQ+steal", Experiment.Stealing (config Tq_sched.Dispatch_policy.Jsq_msq));
+      ("RAND", Experiment.Two_level (config Tq_sched.Dispatch_policy.Random));
+      ("RAND+steal", Experiment.Stealing (config Tq_sched.Dispatch_policy.Random));
+    ]
+  in
+  let t =
+    Text_table.create
+      ~title:
+        "Extension: work stealing vs placement quality, Extreme Bimodal (short p99.9 us; - = saturated)"
+      ~columns:("rate(Mrps)" :: List.map fst systems)
+  in
+  List.iter
+    (fun frac ->
+      let rate = frac *. capacity in
+      let cells =
+        List.map
+          (fun (_, system) ->
+            let r = Harness.run ~system ~workload ~rate_rps:rate ~duration_ns:duration in
+            let p = Harness.sojourn_p999_us r ~class_idx:0 in
+            if p > 10_000.0 then "-" else Text_table.cell_f p)
+          systems
+      in
+      Text_table.add_row t (Harness.mrps rate :: cells))
+    [ 0.3; 0.5; 0.7; 0.8; 0.9 ];
+  t
+
 let ext_rss () =
   let workload = Table1.exp1 in
   let capacity = Arrivals.capacity_rps ~cores:16 workload in

@@ -20,6 +20,12 @@ val ext_concord : unit -> Tq_util.Text_table.t
     concealed — random pointer chasing is what exposes them. *)
 val ext_prefetch : unit -> Tq_util.Text_table.t
 
+(** Push-only vs push+steal ({!Tq_sched.System_intf.spec.Stealing})
+    crossed with placement quality (JSQ+MSQ vs random): stealing is
+    near-neutral behind a good placer and recovers most of the tail
+    gap behind a bad one — the idle core's second chance. *)
+val ext_steal : unit -> Tq_util.Text_table.t
+
 (** RSS with few client connections: hash collisions leave Caladan
     cores idle and work stealing must compensate — the idealized
     uniform steering used elsewhere is the many-connections limit. *)

@@ -147,6 +147,12 @@ let all =
       points = one ~id:"ext_prefetch" Extensions.ext_prefetch;
     };
     {
+      id = "ext_steal";
+      plot = true;
+      summary = "Extension: work stealing vs placement quality (push-only vs push+steal)";
+      points = one ~id:"ext_steal" Extensions.ext_steal;
+    };
+    {
       id = "ext_rss";
       plot = true;
       summary = "Extension: RSS flow-count sensitivity of the Caladan model";

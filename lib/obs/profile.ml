@@ -218,7 +218,8 @@ let of_records records =
       | Span.Reply_flush when r.req_id >= 0 ->
           set_boundary (pending r.req_id) `Reply (r.start_ns + r.dur_ns)
       | Span.Parse | Span.Dispatch | Span.Ring_hop | Span.Quantum
-      | Span.Reply_flush | Span.Stall | Span.Gc_minor | Span.Gc_major -> ())
+      | Span.Reply_flush | Span.Stall | Span.Steal | Span.Gc_minor
+      | Span.Gc_major -> ())
     records;
   Hashtbl.iter (fun _ p -> finish_request t p) pendings;
   t

@@ -22,6 +22,7 @@ type phase =
   | Reply_flush
   | Stall
   | Shed
+  | Steal
   | Gc_minor
   | Gc_major
 
@@ -34,6 +35,7 @@ let phase_name = function
   | Reply_flush -> "reply_flush"
   | Stall -> "stall"
   | Shed -> "shed"
+  | Steal -> "steal"
   | Gc_minor -> "gc_minor"
   | Gc_major -> "gc_major"
 

@@ -1,18 +1,23 @@
 (** Multi-domain TQ executor: real parallelism as a persistent service.
 
     One dispatcher (the thread that created the handle) load-balances
-    jobs over worker domains through SPSC rings, using JSQ on the
-    workers' atomic assigned/finished counters; each worker domain runs
-    the forced-multitasking scheduler loop over its own fibers with a
-    wall clock.
+    jobs over worker domains through per-worker {!Work_source}s (inject
+    ring + stealable deque), using JSQ on the workers' atomic
+    assigned/finished counters; each worker domain runs the
+    forced-multitasking scheduler loop over its own fibers with a wall
+    clock.  Each worker drains its inject ring into its own deque and
+    admits one task per loop pass, so queued-but-unstarted work stays
+    visible to siblings; with [steal] on, an idle worker takes half of
+    the most-loaded deque in its lane slice — a second chance under the
+    dispatcher's first-choice placement.
 
     The handle is persistent: workers are spawned by {!create} and keep
-    polling their rings until {!shutdown}, so a server can submit
+    polling their sources until {!shutdown}, so a server can submit
     requests for its whole lifetime instead of draining one fixed batch.
-    The rings are single-producer {e per worker}: at any moment, at most
-    one thread may {!submit_to} a given worker — either one global
-    dispatcher thread owns every ring (the classic layout), or the
-    worker set is partitioned into disjoint slices with one producer
+    The inject rings are single-producer {e per worker}: at any moment,
+    at most one thread may {!submit_to} a given worker — either one
+    global dispatcher thread owns every ring (the classic layout), or
+    the worker set is partitioned into disjoint slices with one producer
     each (the multi-lane serve plane, which steers inside its slice with
     {!pick_in}).  Any thread may read the counters.
 
@@ -33,8 +38,22 @@ type t
     domains (default 4) and returns immediately.  Each worker multitasks
     its admitted jobs with forced yields every [quantum_ns] (default
     100 us) of wall-clock time; [ring_capacity] (default 256) bounds
-    each dispatcher->worker ring — a full ring is the backpressure
-    signal {!submit} reports.
+    each dispatcher->worker inject ring and its stealable deque — a
+    full ring is the backpressure signal {!submit} reports.
+
+    Work stealing (default off): [steal] arms idle-time stealing —
+    a worker whose inject ring, deque and fiber queue are all empty
+    takes half of the most-loaded sibling deque in its steal group
+    before parking.  [lanes] (default 1) shapes the groups: worker [w]
+    may only rob siblings with the same [w mod lanes], matching the
+    multi-lane serve plane's slices so stolen work never crosses a
+    lane.  Only unpinned tasks ({!submit_to}) are ever stolen, and only
+    while queued-but-unstarted; accounting credit moves with the task
+    (thief first), so {!in_flight} and {!drain} stay exact.  Steals
+    land in the thief's counters ([runtime.steals],
+    [runtime.steal_items], [runtime.steal_failures]) and, when spans
+    are on, as a [Steal] span on the thief's lane with the victim's
+    index in [arg].
 
     Observability hooks (all default off / zero-cost):
     - [spans] — each worker registers a {!Tq_obs.Span} sink on its lane
@@ -63,6 +82,8 @@ val create :
   ?quantum_ns:int ->
   ?ring_capacity:int ->
   ?classes:int ->
+  ?lanes:int ->
+  ?steal:bool ->
   ?spans:Tq_obs.Span.t ->
   ?worker_counters:Tq_obs.Counters.t array ->
   ?stall_threshold_ns:int ->
@@ -90,20 +111,29 @@ val pick_in : t -> workers:int array -> int
     marked dead (out-of-range indices count as dead). *)
 val alive_in : t -> workers:int array -> int
 
-(** [submit_to t ?tag ?class_idx ~worker job] — push [job] onto
-    [worker]'s ring; [false] when the ring is full (shed or retry —
-    nothing was enqueued).  [tag] labels the job in worker-side
-    observability (span [req_id], trace job id); the server passes its
-    request id so worker quanta stitch to dispatcher spans.  Untagged
-    jobs get a pool-unique id.  [class_idx] (default 0) selects the
-    job's quantum class for {!set_quantum} overrides.  Raises
-    [Invalid_argument] after {!shutdown} or for an out-of-range
+(** [submit_to t ?tag ?class_idx ?pinned ~worker job] — push [job]
+    onto [worker]'s inject ring; [false] when the ring is full (shed or
+    retry — nothing was enqueued).  The job receives the id of the
+    worker that {e executes} it ([job ~wid]): with stealing off (or
+    [pinned]) that is always [worker], with stealing on an unpinned job
+    may run on another worker in the same lane slice, so per-worker
+    state must be resolved through [wid] rather than captured at
+    submission.  [pinned] (default false) exempts the job from stealing
+    — required when the job touches state only [worker] may own (the
+    server pins key-steered requests).  [tag] labels the job in
+    worker-side observability (span [req_id], trace job id); the server
+    passes its request id so worker quanta stitch to dispatcher spans.
+    Untagged jobs get a pool-unique id.  [class_idx] (default 0)
+    selects the job's quantum class for {!set_quantum} overrides.
+    Raises [Invalid_argument] after {!shutdown} or for an out-of-range
     worker. *)
-val submit_to : t -> ?tag:int -> ?class_idx:int -> worker:int -> (unit -> unit) -> bool
+val submit_to :
+  t -> ?tag:int -> ?class_idx:int -> ?pinned:bool -> worker:int ->
+  (wid:int -> unit) -> bool
 
 (** [submit t ?tag ?class_idx job] =
     [submit_to t ?tag ?class_idx ~worker:(pick t) job]. *)
-val submit : t -> ?tag:int -> ?class_idx:int -> (unit -> unit) -> bool
+val submit : t -> ?tag:int -> ?class_idx:int -> (wid:int -> unit) -> bool
 
 (** {2 Live actuation}
 
@@ -170,8 +200,9 @@ val in_flight : t -> int
     and ring-depth admission control reads. *)
 val worker_in_flight : t -> worker:int -> int
 
-(** Occupancy of [worker]'s dispatch ring alone (excludes jobs already
-    drained onto the worker's run queue). *)
+(** Queued-but-unstarted jobs on [worker]'s source (inject ring plus
+    stealable deque; excludes jobs already admitted to the worker's
+    fiber queue). *)
 val ring_depth : t -> worker:int -> int
 
 (** Live snapshot of the pool's counters (safe from any thread). *)
@@ -184,16 +215,8 @@ val drain : t -> unit
 
 (** [shutdown t] drains, stops the workers, joins their domains and
     returns the final counters.  Idempotent; the handle rejects
-    submissions afterwards. *)
+    submissions afterwards.
+
+    (The historical [run] batch wrapper is gone: hold a handle and use
+    {!create} / {!submit} / {!drain} / {!shutdown} directly.) *)
 val shutdown : t -> stats
-
-(** [run ~workers ~quantum_ns jobs] dispatches every job, waits for
-    completion and tears the domains down.  Jobs must be thread-safe.
-
-    Deprecated: this batch entry point survives as a thin wrapper over
-    the persistent handle ({!create} / {!submit} / {!shutdown}); new
-    code — anything that serves traffic rather than draining a fixed
-    array — should hold a handle and use {!create}, {!drain} and
-    {!shutdown} directly. *)
-val run :
-  ?workers:int -> ?quantum_ns:int -> ?ring_capacity:int -> (unit -> unit) array -> stats

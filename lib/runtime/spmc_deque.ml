@@ -1,0 +1,99 @@
+(* Single ring, two cursors: the owner bumps [tail] alone, every
+   consumer (owner pop and thieves alike) claims indices by CAS on
+   [head].  Each cell is its own Atomic so value publication orders
+   with the cursor updates under the OCaml memory model, exactly as in
+   Spsc_ring — the per-cell [None] check on the producer side is what
+   upgrades the ring from SPSC to SPMC: a slow thief that has claimed
+   an index but not yet cleared its cell blocks the producer from
+   wrapping onto it, instead of being silently overwritten. *)
+type 'a t = {
+  cells : 'a option Atomic.t array;
+  capacity : int;
+  head : int Atomic.t;  (** consumer cursor, CAS-claimed by owner and thieves *)
+  tail : int Atomic.t;  (** producer cursor, written by the owner only *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spmc_deque.create: capacity must be positive";
+  {
+    cells = Array.init capacity (fun _ -> Atomic.make None);
+    capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.capacity then false
+  else
+    let cell = t.cells.(tail mod t.capacity) in
+    match Atomic.get cell with
+    | Some _ -> false (* a slow thief claimed this slot but has not cleared it *)
+    | None ->
+        Atomic.set cell (Some v);
+        Atomic.set t.tail (tail + 1);
+        true
+
+(* A claimed index [i < tail] always holds a published value: the
+   producer wrote the cell before bumping tail past [i], the CAS on
+   head hands [i] to exactly one consumer, and the producer cannot
+   have wrapped onto it (that would need head > i, i.e. this very
+   claim, followed by the clear we have not done yet).  The relax loop
+   is defensive depth only. *)
+let take_cell cell =
+  let rec go () =
+    match Atomic.get cell with
+    | Some v ->
+        Atomic.set cell None;
+        v
+    | None ->
+        Domain.cpu_relax ();
+        go ()
+  in
+  go ()
+
+let rec pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else if Atomic.compare_and_set t.head head (head + 1) then
+    Some (take_cell t.cells.(head mod t.capacity))
+  else pop t (* lost the cursor race to a thief; re-read *)
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let capacity t = t.capacity
+
+let steal_into t ~into =
+  if t == into then 0
+  else
+    let rec attempt () =
+      let head = Atomic.get t.head in
+      let tail = Atomic.get t.tail in
+      let avail = tail - head in
+      if avail <= 0 then 0
+      else begin
+        (* Steal half, rounded up, bounded by the room in [into].  The
+           occupancy of [into] can only shrink under us (its owner is
+           this caller; other thieves only remove), so the bound holds
+           through the copy loop. *)
+        let want = avail - (avail / 2) in
+        let space = into.capacity - length into in
+        let k = min want space in
+        if k <= 0 then 0
+        else if Atomic.compare_and_set t.head head (head + k) then begin
+          for i = head to head + k - 1 do
+            let v = take_cell t.cells.(i mod t.capacity) in
+            (* [push] can transiently refuse while a thief of [into]
+               clears its claimed cell; that thief has already CASed
+               the cursor, so the refusal resolves — spin, never drop. *)
+            while not (push into v) do
+              Domain.cpu_relax ()
+            done
+          done;
+          k
+        end
+        else attempt () (* cursor moved under us; recompute the batch *)
+      end
+    in
+    attempt ()

@@ -1,0 +1,46 @@
+(** Bounded lock-free single-producer multi-consumer steal queue.
+
+    The stealable half of the redesigned queue plane: each worker owns
+    one deque and is its only producer ({!push}) — thieves remove
+    batches with {!steal_into}, the owner removes single items with
+    {!pop}.  FIFO order is preserved for the owner; thieves take from
+    the same end (the oldest items), which keeps the structure a single
+    ring with one CAS-claimed consumer cursor rather than a
+    double-ended Chase–Lev deque — adequate here because everything in
+    the deque is queued-but-unstarted work with no locality to protect.
+
+    Memory-model notes (OCaml 5 atomics are SC): the producer publishes
+    a value into its cell {e before} bumping the tail, so any consumer
+    that claims an index below the tail is guaranteed to read the
+    published value.  The producer refuses to overwrite a cell a slow
+    thief has claimed but not yet cleared (it reads the cell before
+    writing), so wrap-around never races with an in-flight steal. *)
+
+type 'a t
+
+(** [create ~capacity] — capacity must be positive. *)
+val create : capacity:int -> 'a t
+
+(** [push t v] — owner only.  [false] when the deque is full, or
+    transiently when the target cell is still being cleared by a slow
+    thief (retry after backoff; nothing was enqueued). *)
+val push : 'a t -> 'a -> bool
+
+(** [pop t] — owner only.  Takes the oldest item; [None] when empty.
+    Competes with thieves on the consumer cursor via CAS, so the owner
+    can lose a race and observe emptiness even if items existed at the
+    call. *)
+val pop : 'a t -> 'a option
+
+(** [steal_into t ~into] — thief side: claim the oldest
+    ceil(length/2) items of [t] in one CAS and push them onto [into],
+    returning how many moved.  The caller must be [into]'s owner (its
+    single producer); [t] and [into] may belong to different domains.
+    Returns 0 when [t] is empty, when [into] has no room, or when
+    [t == into]. *)
+val steal_into : 'a t -> into:'a t -> int
+
+(** Approximate occupancy (exact only when no thief is mid-claim). *)
+val length : 'a t -> int
+
+val capacity : 'a t -> int

@@ -3,7 +3,12 @@ module Trace = Tq_obs.Trace
 module Event = Tq_obs.Event
 module Counters = Tq_obs.Counters
 
-type task = { task_id : int; class_idx : int; work : unit -> unit }
+type task = {
+  task_id : int;
+  class_idx : int;
+  pinned : bool;
+  work : wid:int -> unit;
+}
 
 type running = {
   task : task;
@@ -15,6 +20,7 @@ type running = {
 type t = {
   ctx : Probe_api.t;
   clock : Clock.t;
+  wid : int;
   queue : running Deque.t;
   on_finish : task -> unit;
   on_quantum :
@@ -41,6 +47,7 @@ let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ?(track_probes = false)
   {
     ctx;
     clock;
+    wid;
     queue = Deque.create ();
     on_finish;
     on_quantum;
@@ -59,10 +66,13 @@ let create ?(obs = Tq_obs.Obs.disabled ()) ?(wid = 0) ?(track_probes = false)
 
 let submit t task =
   t.assigned <- t.assigned + 1;
+  (* The fiber binds the executing worker's id, not the placed-at one:
+     a stolen task resolves per-worker state (app instance, reply ring)
+     against the core that actually runs it. *)
   Deque.push_back t.queue
     {
       task;
-      fiber = Fiber.create task.work;
+      fiber = Fiber.create (fun () -> task.work ~wid:t.wid);
       arrival_ns = Clock.now_ns t.clock;
       quanta = 0;
     }

@@ -9,14 +9,23 @@
 type task = {
   task_id : int;
   class_idx : int;  (** request class, for per-class quantum lookup *)
-  work : unit -> unit;
+  pinned : bool;
+      (** pinned tasks must execute on the worker they were placed on;
+          the queue plane ({!Work_source}) never exposes them to
+          thieves.  The worker itself treats both kinds alike. *)
+  work : wid:int -> unit;
+      (** called with the id of the worker that actually executes it —
+          equal to the placement target unless the task was stolen, so
+          per-worker state (app instance, reply ring) must be resolved
+          through [wid], never captured at placement time *)
 }
 
 type t
 
 (** [obs] supplies the event tracer (quantum start/end, yields,
     completions on lane [Worker wid]) and counter registry; the default
-    is disabled tracing.  Always-on profiling dists land in the
+    is disabled tracing.  [wid] is also what each task's [work ~wid]
+    receives when it runs here.  Always-on profiling dists land in the
     registry: [runtime.quantum_len_ns] (wall length of every executed
     slice) and [runtime.overshoot_ns] (how far a forced yield ran past
     its quantum — the probe-granularity tax).  [track_probes]

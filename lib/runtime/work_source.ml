@@ -1,0 +1,60 @@
+type 'a t = {
+  wid : int;
+  inject : 'a Spsc_ring.t;
+  deque : 'a Spmc_deque.t;
+  mutable group : 'a t array;  (** lane slice; written once before stealing starts *)
+}
+
+let create ~wid ~capacity =
+  {
+    wid;
+    inject = Spsc_ring.create ~capacity;
+    deque = Spmc_deque.create ~capacity;
+    group = [||];
+  }
+
+let set_group t group = t.group <- group
+let wid t = t.wid
+let inject t v = Spsc_ring.try_push t.inject v
+
+let drain t ~is_pinned ~submit =
+  let rec go n =
+    match Spsc_ring.try_pop t.inject with
+    | None -> n
+    | Some v ->
+        (* Pinned work must execute on this worker — it bypasses the
+           deque entirely so no thief can relocate it.  Deque overflow
+           takes the same bypass: better unstealable than lost. *)
+        if is_pinned v then submit v
+        else if not (Spmc_deque.push t.deque v) then submit v;
+        go (n + 1)
+  in
+  go 0
+
+let next t = Spmc_deque.pop t.deque
+
+let try_steal t =
+  (* Most-loaded victim in the group, by deque occupancy at scan time.
+     The scan races with the victims' own progress, so the steal can
+     still come up empty — the caller treats that as a failed attempt. *)
+  let victim = ref None in
+  let best = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.wid <> t.wid then begin
+        let n = Spmc_deque.length s.deque in
+        if n > !best then begin
+          best := n;
+          victim := Some s
+        end
+      end)
+    t.group;
+  match !victim with
+  | None -> None
+  | Some v ->
+      let moved = Spmc_deque.steal_into v.deque ~into:t.deque in
+      if moved > 0 then Some (v.wid, moved) else None
+
+let stealable t = Spmc_deque.length t.deque
+let inject_depth t = Spsc_ring.length t.inject
+let depth t = inject_depth t + stealable t

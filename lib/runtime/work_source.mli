@@ -1,0 +1,59 @@
+(** A worker's queue plane: inject ring + stealable deque + steal group.
+
+    The redesigned source of work each worker domain drains, replacing
+    direct [Spsc_ring] plumbing in {!Parallel}.  Placement is
+    unchanged — a dispatcher still JSQ-pushes into the worker's
+    private inject ring ({!inject}, single producer per ring) — but
+    the worker now moves injected items into its own {!Spmc_deque}
+    ({!drain}) and admits them to execution one at a time ({!next}),
+    so queued-but-unstarted work stays visible to idle siblings, which
+    take half of the most-loaded deque in their group ({!try_steal}).
+
+    Ownership rules: exactly one producer may {!inject}; only the
+    owning worker domain may call {!drain}, {!next} and {!try_steal}
+    (the deque is single-producer and [steal_into] targets the
+    caller's own deque).  The steal group is a lane slice — thieves
+    never cross it, preserving the multi-lane plane's partitioning. *)
+
+type 'a t
+
+(** [create ~wid ~capacity] — a source for worker [wid]; [capacity]
+    bounds both the inject ring and the deque. *)
+val create : wid:int -> capacity:int -> 'a t
+
+(** Wire up the steal group (typically the worker's lane slice,
+    including itself).  Call before the worker loop starts stealing;
+    an unset group means {!try_steal} finds no victims. *)
+val set_group : 'a t -> 'a t array -> unit
+
+val wid : 'a t -> int
+
+(** Producer side: push one item onto the inject ring.  [false] when
+    the ring is full — the dispatcher's backpressure signal. *)
+val inject : 'a t -> 'a -> bool
+
+(** Owner side: move every currently injected item out of the ring —
+    items satisfying [is_pinned] go straight to [submit] (they must
+    never be stolen), the rest into the deque.  When the deque is
+    full, overflow also goes to [submit]: admitted work is never lost,
+    it merely stops being stealable.  Returns how many items moved. *)
+val drain : 'a t -> is_pinned:('a -> bool) -> submit:('a -> unit) -> int
+
+(** Owner side: admit the oldest stealable item, [None] when the
+    deque is empty. *)
+val next : 'a t -> 'a option
+
+(** Owner side: steal half the deque of the most-loaded other member
+    of the group into this source's deque.  [Some (victim_wid, moved)]
+    on success; [None] when no sibling had stealable work (or the
+    race was lost).  Accounting transfer is the caller's job. *)
+val try_steal : 'a t -> (int * int) option
+
+(** Items visible to thieves (deque occupancy). *)
+val stealable : 'a t -> int
+
+(** Injected-but-undrained items (inject-ring occupancy). *)
+val inject_depth : 'a t -> int
+
+(** Total queued-but-unstarted items: [inject_depth + stealable]. *)
+val depth : 'a t -> int

@@ -6,6 +6,7 @@ module Timeseries = Tq_obs.Timeseries
 
 type system_spec = System_intf.spec =
   | Two_level of Two_level.config
+  | Stealing of Two_level.config
   | Centralized of Centralized.config
   | Caladan of Caladan.config
 

@@ -10,6 +10,7 @@
     {!System_intf.instantiate}. *)
 type system_spec = System_intf.spec =
   | Two_level of Two_level.config
+  | Stealing of Two_level.config
   | Centralized of Centralized.config
   | Caladan of Caladan.config
 

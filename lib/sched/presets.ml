@@ -13,6 +13,11 @@ let tq ?cores ?dispatchers ?quantum_ns () =
     (two_level_config ?cores ?dispatchers ?quantum_ns
        ~dispatch_policy:Dispatch_policy.Jsq_msq ~overheads:Overheads.tq_default ())
 
+let tq_steal ?cores ?dispatchers ?quantum_ns () =
+  Experiment.Stealing
+    (two_level_config ?cores ?dispatchers ?quantum_ns
+       ~dispatch_policy:Dispatch_policy.Jsq_msq ~overheads:Overheads.tq_default ())
+
 let tq_ic ?cores ?quantum_ns () =
   (* CI probes inflate the job by ~60% (Section 3.1 RocksDB measurement). *)
   let overheads = { Overheads.tq_default with probe_overhead_frac = 0.60 } in

@@ -7,6 +7,14 @@
 val tq :
   ?cores:int -> ?dispatchers:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
 
+(** TQ-STEAL: the same system with idle-time work stealing armed
+    ({!Two_level.create}[ ~steal:true]) — the dispatcher still pushes
+    by JSQ+MSQ, but an idle core takes half of the most-loaded core's
+    queued jobs.  Sweeping [tq] against [tq_steal] isolates the value
+    of the steal second chance under blind push placement. *)
+val tq_steal :
+  ?cores:int -> ?dispatchers:int -> ?quantum_ns:int -> unit -> Experiment.system_spec
+
 (** Figure 11 ablations. *)
 
 (** TQ-IC: state-of-the-art instruction-counter instrumentation — the

@@ -5,16 +5,18 @@
 
 type spec =
   | Two_level of Two_level.config
+  | Stealing of Two_level.config
   | Centralized of Centralized.config
   | Caladan of Caladan.config
 
 let spec_cores = function
-  | Two_level (cfg : Two_level.config) -> cfg.cores
+  | Two_level (cfg : Two_level.config) | Stealing cfg -> cfg.cores
   | Centralized (cfg : Centralized.config) -> cfg.cores
   | Caladan (cfg : Caladan.config) -> cfg.cores
 
 let spec_name = function
   | Two_level _ -> "two-level"
+  | Stealing _ -> "stealing"
   | Centralized _ -> "centralized"
   | Caladan _ -> "caladan"
 
@@ -72,6 +74,14 @@ module Two_level_system : S with type t = Two_level.t = struct
     ignore
       (Two_level.install_health_monitor t ~interval_ns ~until_ns ~missed_heartbeats ()
         : Tq_engine.Sim.periodic)
+end
+
+(* Push+steal TQ runs on the same concrete type; only the label
+   differs, so sweep output distinguishes the two systems. *)
+module Stealing_system : S with type t = Two_level.t = struct
+  include Two_level_system
+
+  let name = "stealing"
 end
 
 module Centralized_system : S with type t = Centralized.t = struct
@@ -139,6 +149,12 @@ let instantiate spec sim ~rng ~metrics ?obs ?admission ?on_complete ?on_reject ?
           ?on_reject ?on_lost ()
       in
       Instance ((module Two_level_system), t)
+  | Stealing config ->
+      let t =
+        Two_level.create sim ~rng ~config ~metrics ?obs ?admission ~steal:true
+          ?on_complete ?on_reject ?on_lost ()
+      in
+      Instance ((module Stealing_system), t)
   | Centralized config ->
       let t = Centralized.create sim ~rng ~config ~metrics ?obs ?on_complete ?on_lost () in
       Instance ((module Centralized_system), t)

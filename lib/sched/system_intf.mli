@@ -23,14 +23,20 @@
     re-exports it, so existing constructors keep working. *)
 type spec =
   | Two_level of Two_level.config
+  | Stealing of Two_level.config
+      (** TQ with idle-time work stealing armed
+          ({!Two_level.create}[ ~steal:true]): same dispatcher push
+          placement, plus an idle core's steal-half second chance.  A
+          separate spec so sweeps compare push-only vs push+steal as
+          peer systems. *)
   | Centralized of Centralized.config
   | Caladan of Caladan.config
 
 (** Worker-core count of a spec (the fault injector's target space). *)
 val spec_cores : spec -> int
 
-(** Short stable name for labelling output ("two-level", "centralized",
-    "caladan"). *)
+(** Short stable name for labelling output ("two-level", "stealing",
+    "centralized", "caladan"). *)
 val spec_name : spec -> string
 
 (** The operations every instantiated system supports.  [t] is the

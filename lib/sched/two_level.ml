@@ -72,10 +72,69 @@ type t = {
      alive until heartbeats catch up. *)
   marked_alive : bool array;
   mutable dead_count : int;
+  (* Work stealing (the push+steal variant): an idle core takes half of
+     the most-loaded believed-alive core's queued-but-unstarted jobs,
+     paying one ring hop for the transfer.  Off by default so the
+     classic push-only TQ keeps its exact event stream. *)
+  steal : bool;
+  c_steals : Counters.counter;
+  mutable steals : int;
+  mutable steal_items : int;
 }
 
+(* Idle-core steal-half, the second chance under the dispatcher's
+   first-choice placement.  Victim selection is most-loaded among cores
+   the dispatcher believes alive; assignment credit moves at steal time
+   (thief [note_assigned], victim debited inside [Worker.steal]) so the
+   conservation identity holds while the batch rides the transfer
+   hop. *)
+let try_steal t ~thief_wid =
+  let thief = t.workers.(thief_wid) in
+  let best = ref (-1) and best_len = ref 0 in
+  Array.iteri
+    (fun i w ->
+      if i <> thief_wid && t.marked_alive.(i) then begin
+        let len = Worker.queue_length w in
+        if len > !best_len then begin
+          best := i;
+          best_len := len
+        end
+      end)
+    t.workers;
+  if !best >= 0 then begin
+    let victim = t.workers.(!best) in
+    let want = !best_len - (!best_len / 2) in
+    let rec grab k acc =
+      if k = 0 then acc
+      else
+        match Worker.steal victim with
+        | None -> acc
+        | Some job -> grab (k - 1) (job :: acc)
+    in
+    let jobs = grab want [] in
+    if jobs <> [] then begin
+      let n = List.length jobs in
+      t.steals <- t.steals + 1;
+      t.steal_items <- t.steal_items + n;
+      Counters.incr t.c_steals;
+      List.iter
+        (fun (job : Job.t) ->
+          Worker.note_assigned thief;
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~ts_ns:(Sim.now t.sim)
+              ~lane:(Event.Worker thief_wid)
+              (Event.Steal { job_id = job.Job.id; victim = !best }))
+        jobs;
+      ignore
+        (Sim.schedule_after t.sim ~delay:t.config.overheads.ring_hop_ns (fun () ->
+             List.iter (fun job -> Worker.enqueue thief job) jobs)
+          : Sim.event)
+    end
+  end
+
 let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
-    ?(admission = Admission.Accept_all) ?(on_complete = fun (_ : Job.t) -> ())
+    ?(admission = Admission.Accept_all) ?(steal = false)
+    ?(on_complete = fun (_ : Job.t) -> ())
     ?(on_reject = fun (_ : Arrivals.request) -> ())
     ?(on_lost = fun (_ : Job.t) -> ()) () =
   if config.cores < 1 then invalid_arg "Two_level.create: need at least one core";
@@ -108,10 +167,19 @@ let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
     acct.lost <- acct.lost + 1;
     on_lost job
   in
+  (* With stealing on, each core's idle transition fires [try_steal]
+     for itself.  The hook needs [t], which needs the workers — tie the
+     knot through a ref the hook reads lazily (it can only fire once
+     the simulation runs, well after [create] returns). *)
+  let t_ref = ref None in
   let workers =
     Array.init config.cores (fun wid ->
+        let on_idle () =
+          if steal then
+            match !t_ref with Some t -> try_steal t ~thief_wid:wid | None -> ()
+        in
         Worker.create sim ~wid ~rng:(Prng.split rng) ~policy:config.quantum_policy
-          ~overheads:ov ~obs ~on_lost ~on_finish ())
+          ~overheads:ov ~obs ~on_lost ~on_finish ~on_idle ())
   in
   let dispatchers =
     Array.init config.dispatchers (fun _ ->
@@ -121,8 +189,9 @@ let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
         })
   in
   let reg = obs.Tq_obs.Obs.counters in
-  {
-    sim;
+  let t =
+    {
+      sim;
     config;
     workers;
     dispatchers;
@@ -138,7 +207,14 @@ let create sim ~rng ~config ~metrics ?(obs = Tq_obs.Obs.disabled ())
     on_reject;
     marked_alive = Array.make config.cores true;
     dead_count = 0;
-  }
+    steal;
+    c_steals = Counters.counter reg "sched.steals";
+    steals = 0;
+    steal_items = 0;
+    }
+  in
+  t_ref := Some t;
+  t
 
 let in_system t =
   t.acct.accepted - t.acct.completed - t.acct.lost - t.acct.dropped_no_worker
@@ -163,7 +239,26 @@ let rec send_over_ring t job widx =
          if Trace.enabled t.trace then
            Trace.record t.trace ~ts_ns:(Sim.now t.sim) ~lane:(Event.Worker widx)
              (Event.Ring_hop { job_id = job.Job.id; worker = widx });
-         if t.marked_alive.(widx) then Worker.enqueue t.workers.(widx) job
+         if t.marked_alive.(widx) then begin
+           Worker.enqueue t.workers.(widx) job;
+           (* Deliver-time steal trigger: if the placement left a queue
+              behind a busy core while some other core sits idle, let
+              the idle core pull immediately rather than waiting for
+              its next idle transition (which may never fire if it is
+              already parked). *)
+           if t.steal && Worker.queue_length t.workers.(widx) > 0 then begin
+             let thief = ref (-1) in
+             Array.iteri
+               (fun i w ->
+                 if
+                   !thief < 0 && i <> widx && t.marked_alive.(i)
+                   && (not (Worker.is_busy w))
+                   && Worker.queue_length w = 0
+                 then thief := i)
+               t.workers;
+             if !thief >= 0 then try_steal t ~thief_wid:!thief
+           end
+         end
          else begin
            (* The core was marked dead while this job was on the ring;
               its queue was already drained, so take the job back and
@@ -321,6 +416,8 @@ let max_dispatcher_busy_ns t =
 
 let workers t = t.workers
 let accounting t = t.acct
+let steals t = t.steals
+let steal_items t = t.steal_items
 let alive_worker_count t = Array.length t.workers - t.dead_count
 
 (* Instantaneous occupancy, for the time-series sampler: total queued

@@ -50,7 +50,17 @@ type accounting = {
 (** [admission] (default [Accept_all]) gates every submission before
     dispatch cost is paid; [on_complete] fires per finished job,
     [on_reject] per shed request, [on_lost] per job destroyed by a core
-    failure — the hooks the retry layer and fault harness attach to. *)
+    failure — the hooks the retry layer and fault harness attach to.
+
+    [steal] (default [false]) arms idle-time work stealing under the
+    dispatcher's push placement: a core that goes idle (and any core
+    found idle when a ring delivery leaves a queue elsewhere) takes
+    half of the most-loaded believed-alive core's queued-but-unstarted
+    jobs, paying one [ring_hop_ns] transfer delay.  Assignment credit
+    moves at steal time, so the {!accounting} invariant is unaffected.
+    Steals count in [sched.steals] and trace as [Event.Steal].  With
+    stealing off the event stream is byte-identical to the classic
+    push-only TQ. *)
 val create :
   Tq_engine.Sim.t ->
   rng:Tq_util.Prng.t ->
@@ -58,6 +68,7 @@ val create :
   metrics:Tq_workload.Metrics.t ->
   ?obs:Tq_obs.Obs.t ->
   ?admission:Admission.policy ->
+  ?steal:bool ->
   ?on_complete:(Job.t -> unit) ->
   ?on_reject:(Tq_workload.Arrivals.request -> unit) ->
   ?on_lost:(Job.t -> unit) ->
@@ -136,6 +147,12 @@ val dispatcher_queue_length : t -> int
 val max_dispatcher_busy_ns : t -> int
 
 val workers : t -> Worker.t array
+
+(** Steal batches executed, and jobs moved by them, since creation
+    (both 0 unless [create ~steal:true]). *)
+val steals : t -> int
+
+val steal_items : t -> int
 
 (** [(queued, in_flight, busy_cores)] at this instant, for the
     time-series sampler: jobs waiting (dispatcher + worker queues), jobs

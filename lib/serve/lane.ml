@@ -307,16 +307,23 @@ let serve_stats t conn req_id view =
 
 (* {2 Dispatch} *)
 
-(* The worker-side closure for one request: execute on [worker]'s app,
-   encode into a pooled buffer, push onto [worker]'s reply ring.
-   Factored out of [dispatch] because re-dispatch after a worker death
-   must rebuild it against the replacement worker's app and ring. *)
-let make_job t ~worker ~sid ~cid ~class_idx ~t0 ~req_id req =
-  let app = t.sh.apps.(worker) in
-  let ring = t.sh.reply_rings.(worker) in
+(* The worker-side closure for one request: execute on the running
+   worker's app, encode into a pooled buffer, push onto that worker's
+   reply ring.  The app and ring are resolved from the [wid] the pool
+   passes at execution time, never captured at placement: a stolen job
+   runs against the thief's app and pushes the thief's own reply ring,
+   which keeps every reply ring single-producer — and, because steals
+   are bounded to the lane slice, the ring is still one this lane
+   polls.  (Keyed requests are pinned at dispatch and so always run
+   where placed.) *)
+let make_job t ~sid ~cid ~class_idx ~t0 ~req_id req =
+  let apps = t.sh.apps in
+  let rings = t.sh.reply_rings in
   let bufs = t.sh.bufs in
   let spans_on = t.sh.spans_on in
-  fun () ->
+  fun ~wid ->
+    let app = apps.(wid) in
+    let ring = rings.(wid) in
     let resp = App.execute app ~now_ns:(now_ns ()) ~req_id req in
     let len = Protocol.response_frame_len resp in
     let buf = Pool.acquire bufs ~len in
@@ -367,8 +374,9 @@ let dispatch t conn ~p0 req_id req =
   in
   if not admitted then shed t conn ~p0 ~class_idx req_id
   else begin
+    let key = Protocol.steering_key req in
     let w =
-      match Protocol.steering_key req with
+      match key with
       | Some key ->
           (* Keyed steering inside the slice, unless the home worker
              died — consistency yields to availability (its store is
@@ -383,8 +391,13 @@ let dispatch t conn ~p0 req_id req =
     let sid = t.next_sid in
     let cid = conn.cid in
     let t0 = now_ns () in
-    let job = make_job t ~worker:w ~sid ~cid ~class_idx ~t0 ~req_id req in
-    if Parallel.submit_to t.sh.pool ~tag:sid ~class_idx ~worker:w job then begin
+    let job = make_job t ~sid ~cid ~class_idx ~t0 ~req_id req in
+    (* Keyed requests pin: their per-worker KV store lives only on the
+       steered worker, so a thief must never relocate them. *)
+    if
+      Parallel.submit_to t.sh.pool ~tag:sid ~class_idx ~pinned:(key <> None)
+        ~worker:w job
+    then begin
       t.next_sid <- sid + t.sh.lanes;
       t.tallies.t_dispatched <- t.tallies.t_dispatched + 1;
       Counters.incr t.c_dispatched;
@@ -560,10 +573,13 @@ let redispatch_orphans t =
       (fun (sid, p) ->
         let w = Parallel.pick_in t.sh.pool ~workers:t.slice in
         let job =
-          make_job t ~worker:w ~sid ~cid:p.p_cid ~class_idx:p.p_class ~t0:p.p_t0
+          make_job t ~sid ~cid:p.p_cid ~class_idx:p.p_class ~t0:p.p_t0
             ~req_id:p.p_req_id p.p_req
         in
-        if Parallel.submit_to t.sh.pool ~tag:sid ~class_idx:p.p_class ~worker:w job
+        if
+          Parallel.submit_to t.sh.pool ~tag:sid ~class_idx:p.p_class
+            ~pinned:(Protocol.steering_key p.p_req <> None)
+            ~worker:w job
         then begin
           p.p_worker <- w;
           t.tallies.t_redispatched <- t.tallies.t_redispatched + 1;

@@ -8,7 +8,9 @@ type mix = {
   echo : float;
   kv : float;
   tpcc : float;
+  echo_heavy : float;
   echo_spin_ns : int;
+  echo_heavy_spin_ns : int;
   kv_set_fraction : float;
   kv_keys : int;
 }
@@ -18,7 +20,9 @@ let default_mix =
     echo = 0.70;
     kv = 0.25;
     tpcc = 0.05;
+    echo_heavy = 0.0;
     echo_spin_ns = 1_000;
+    echo_heavy_spin_ns = 0;
     kv_set_fraction = 0.3;
     kv_keys = 1024;
   }
@@ -81,11 +85,15 @@ type conn = {
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 let sample_request rng mix =
-  let total = mix.echo +. mix.kv +. mix.tpcc in
+  let total = mix.echo +. mix.echo_heavy +. mix.kv +. mix.tpcc in
   if total <= 0.0 then invalid_arg "Load_gen: request mix has zero total weight";
   let r = Prng.float rng total in
   if r < mix.echo then Protocol.Echo { spin_ns = mix.echo_spin_ns; payload = "" }
-  else if r < mix.echo +. mix.kv then begin
+  else if r < mix.echo +. mix.echo_heavy then
+    (* the heavy tail of a skewed offered load: same unkeyed echo
+       class, much longer spin — what work stealing redistributes *)
+    Protocol.Echo { spin_ns = mix.echo_heavy_spin_ns; payload = "" }
+  else if r < mix.echo +. mix.echo_heavy +. mix.kv then begin
     let key = App.kv_key (Prng.int rng (max 1 mix.kv_keys)) in
     if Prng.bernoulli rng ~p:mix.kv_set_fraction then
       Protocol.Kv_set { key; value = "v" }
@@ -332,9 +340,10 @@ let to_json config r =
   Buffer.add_string b
     (Printf.sprintf
        "  \"warmup_s\": %g,\n  \"measure_s\": %g,\n  \"mix\": {\"echo\": %g, \"kv\": \
-        %g, \"tpcc\": %g, \"echo_spin_ns\": %d},\n"
+        %g, \"tpcc\": %g, \"echo_heavy\": %g, \"echo_spin_ns\": %d, \
+        \"echo_heavy_spin_ns\": %d},\n"
        config.warmup_s config.measure_s config.mix.echo config.mix.kv config.mix.tpcc
-       config.mix.echo_spin_ns);
+       config.mix.echo_heavy config.mix.echo_spin_ns config.mix.echo_heavy_spin_ns);
   Buffer.add_string b
     (Printf.sprintf
        "  \"sent\": %d,\n  \"received\": %d,\n  \"ok\": %d,\n  \"shed\": %d,\n  \

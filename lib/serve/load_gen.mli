@@ -18,12 +18,20 @@ type mix = {
   echo : float;  (** weight of spin-echo requests *)
   kv : float;  (** weight of KV requests *)
   tpcc : float;  (** weight of TPC-C transactions *)
+  echo_heavy : float;
+      (** weight of *heavy* spin-echo requests — same unkeyed echo
+          class, [echo_heavy_spin_ns] of service.  A small weight with
+          a large spin makes the offered load heavy-tailed, the shape
+          that strands backlog behind one worker and that idle-time
+          work stealing ([--steal on]) redistributes *)
   echo_spin_ns : int;  (** server-side spin per echo request *)
+  echo_heavy_spin_ns : int;  (** server-side spin per heavy echo request *)
   kv_set_fraction : float;  (** SETs among KV requests (rest are GETs) *)
   kv_keys : int;  (** keyspace size; must not exceed the server's *)
 }
 
-(** 70% echo (1 us spin), 25% KV (30% sets), 5% TPC-C, 1024 keys. *)
+(** 70% echo (1 us spin), 25% KV (30% sets), 5% TPC-C, 1024 keys, no
+    heavy echoes. *)
 val default_mix : mix
 
 type config = {

@@ -48,6 +48,13 @@ type config = {
           RX-ring-depth admission gate) *)
   admission : Tq_sched.Admission.policy;
       (** additional policy gate, fed with completion sojourns *)
+  steal : bool;
+      (** arm idle-time work stealing in the pool: a worker whose
+          queues are empty takes half of the most-loaded sibling deque
+          in its lane slice.  Key-steered requests stay pinned to
+          their home worker; only unkeyed, not-yet-started work moves.
+          Steals surface as [runtime.steals] / [runtime.steal_items] /
+          [runtime.steal_failures] and as [Steal] spans *)
   kv_keys : int;  (** prepopulated keys per worker store *)
   seed : int64;
   drain_timeout_s : float;
@@ -78,9 +85,9 @@ type config = {
 }
 
 (** Loopback, 4 workers, 1 lane, 100 us quanta, 256-deep rings,
-    rx_depth 1024, accept-all admission, no controller, 50 ms
-    heartbeats with a 4-miss death verdict, 1024 pooled 4 KiB framing
-    buffers. *)
+    rx_depth 1024, accept-all admission, stealing off, no controller,
+    50 ms heartbeats with a 4-miss death verdict, 1024 pooled 4 KiB
+    framing buffers. *)
 val default_config : config
 
 (** Dispatcher-side request accounting (a snapshot; see {!stats}). *)

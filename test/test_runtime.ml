@@ -205,8 +205,12 @@ let test_worker_ps_rotation () =
       ~on_finish:(fun task -> finished := task.Task_worker.task_id :: !finished)
       ()
   in
-  Task_worker.submit w { Task_worker.task_id = 1; class_idx = 0; work = (fun () -> Instrumented.work_ns 5_000) };
-  Task_worker.submit w { Task_worker.task_id = 2; class_idx = 0; work = (fun () -> Instrumented.work_ns 1_000) };
+  Task_worker.submit w
+    { Task_worker.task_id = 1; class_idx = 0; pinned = false;
+      work = (fun ~wid:_ -> Instrumented.work_ns 5_000) };
+  Task_worker.submit w
+    { Task_worker.task_id = 2; class_idx = 0; pinned = false;
+      work = (fun ~wid:_ -> Instrumented.work_ns 1_000) };
   Task_worker.run_until_idle w;
   check Alcotest.(list int) "short task finishes first" [ 2; 1 ] (List.rev !finished);
   check Alcotest.int "all finished" 0 (Task_worker.unfinished w);
@@ -216,7 +220,9 @@ let test_worker_ps_rotation () =
 let test_worker_counters () =
   let clock = Clock.virtual_ () in
   let w = Task_worker.create ~clock ~quantum_ns:1_000 ~on_finish:(fun _ -> ()) () in
-  Task_worker.submit w { Task_worker.task_id = 1; class_idx = 0; work = (fun () -> Instrumented.work_ns 2_500) };
+  Task_worker.submit w
+    { Task_worker.task_id = 1; class_idx = 0; pinned = false;
+      work = (fun ~wid:_ -> Instrumented.work_ns 2_500) };
   check Alcotest.int "unfinished" 1 (Task_worker.unfinished w);
   ignore (Task_worker.run_slice w);
   Alcotest.(check bool) "accumulates quanta" true (Task_worker.current_quanta w > 0);
@@ -312,10 +318,22 @@ let test_ring_cross_domain () =
 
 (* --- Parallel executor --- *)
 
+(* Submit a fixed batch and shut down; the pre-redesign [Parallel.run]
+   convenience collapsed to exactly this create/submit/shutdown shape. *)
+let run_batch ~workers ~quantum_ns jobs =
+  let pool = Parallel.create ~workers ~quantum_ns () in
+  Array.iter
+    (fun job ->
+      while not (Parallel.submit pool (fun ~wid:_ -> job ())) do
+        Domain.cpu_relax ()
+      done)
+    jobs;
+  Parallel.shutdown pool
+
 let test_parallel_completes () =
   let counter = Atomic.make 0 in
   let jobs = Array.init 40 (fun _ -> fun () -> Atomic.incr counter) in
-  let stats = Parallel.run ~workers:2 ~quantum_ns:1_000_000 jobs in
+  let stats = run_batch ~workers:2 ~quantum_ns:1_000_000 jobs in
   check Alcotest.int "completed" 40 stats.Parallel.completed;
   check Alcotest.int "all side effects" 40 (Atomic.get counter);
   check Alcotest.int "per-worker adds up" 40
@@ -323,7 +341,7 @@ let test_parallel_completes () =
 
 let test_parallel_balances () =
   let jobs = Array.init 64 (fun _ -> fun () -> ignore (Sys.opaque_identity (ref 0))) in
-  let stats = Parallel.run ~workers:4 ~quantum_ns:1_000_000 jobs in
+  let stats = run_batch ~workers:4 ~quantum_ns:1_000_000 jobs in
   Array.iter
     (fun c -> Alcotest.(check bool) "every worker got work" true (c > 0))
     stats.Parallel.per_worker_finished
@@ -428,7 +446,7 @@ let test_parallel_handle_lifecycle () =
   let backoff = Backoff.create () in
   for i = 0 to 99 do
     let w = i mod 2 in
-    while not (Parallel.submit_to pool ~worker:w (fun () -> Atomic.incr hits.(w))) do
+    while not (Parallel.submit_to pool ~worker:w (fun ~wid:_ -> Atomic.incr hits.(w))) do
       Backoff.once backoff
     done;
     incr submitted
@@ -444,17 +462,17 @@ let test_parallel_handle_lifecycle () =
 
 let test_parallel_submit_after_shutdown () =
   let pool = Parallel.create ~workers:1 () in
-  ignore (Parallel.submit pool (fun () -> ()));
+  ignore (Parallel.submit pool (fun ~wid:_ -> ()));
   let s1 = Parallel.shutdown pool in
   (* idempotent: a second shutdown just reports the same stats *)
   let s2 = Parallel.shutdown pool in
   check Alcotest.int "stable stats" s1.Parallel.completed s2.Parallel.completed;
   Alcotest.check_raises "submit after shutdown"
     (Invalid_argument "Parallel.submit_to: pool is shut down") (fun () ->
-      ignore (Parallel.submit pool (fun () -> ())));
+      ignore (Parallel.submit pool (fun ~wid:_ -> ())));
   Alcotest.check_raises "bad worker index rejected before spawn side effects"
     (Invalid_argument "Parallel.submit_to: pool is shut down") (fun () ->
-      ignore (Parallel.submit_to pool ~worker:7 (fun () -> ())))
+      ignore (Parallel.submit_to pool ~worker:7 (fun ~wid:_ -> ())))
 
 let test_parallel_pick_least_loaded () =
   let pool = Parallel.create ~workers:3 ~ring_capacity:64 () in
@@ -474,7 +492,7 @@ let test_parallel_shutdown_drains_backlog () =
   for _ = 1 to n do
     while
       not
-        (Parallel.submit pool (fun () ->
+        (Parallel.submit pool (fun ~wid:_ ->
              for _ = 1 to 50 do
                Sys.opaque_identity ignore ()
              done;
@@ -520,7 +538,7 @@ let stall_counts gc_pause_ns =
   let backoff = Backoff.create () in
   while
     not
-      (Parallel.submit pool (fun () ->
+      (Parallel.submit pool (fun ~wid:_ ->
            for _ = 1 to 400 do
              for _ = 1 to 200 do
                Sys.opaque_identity ignore ()
@@ -572,4 +590,150 @@ let stall_suite =
     Alcotest.test_case "stall attribution unknown" `Quick test_stall_attribution_unknown;
   ]
 
-let suite = suite @ stall_suite
+(* --- SPMC steal deque --- *)
+
+let drain_deque d =
+  let sum = ref 0 and count = ref 0 in
+  let rec go () =
+    match Spmc_deque.pop d with
+    | Some v ->
+        sum := !sum + v;
+        incr count;
+        go ()
+    | None -> ()
+  in
+  go ();
+  (!sum, !count)
+
+let test_deque_owner_fifo () =
+  let d = Spmc_deque.create ~capacity:4 in
+  Alcotest.(check bool) "push 1" true (Spmc_deque.push d 1);
+  Alcotest.(check bool) "push 2" true (Spmc_deque.push d 2);
+  check Alcotest.int "length" 2 (Spmc_deque.length d);
+  check Alcotest.(option int) "pop oldest first" (Some 1) (Spmc_deque.pop d);
+  check Alcotest.(option int) "then next" (Some 2) (Spmc_deque.pop d);
+  check Alcotest.(option int) "empty" None (Spmc_deque.pop d);
+  (* wraparound keeps order *)
+  for round = 1 to 10 do
+    Alcotest.(check bool) "push" true (Spmc_deque.push d round);
+    check Alcotest.(option int) "pop" (Some round) (Spmc_deque.pop d)
+  done
+
+let test_deque_capacity_one () =
+  let d = Spmc_deque.create ~capacity:1 in
+  check Alcotest.int "capacity" 1 (Spmc_deque.capacity d);
+  Alcotest.(check bool) "push" true (Spmc_deque.push d 7);
+  Alcotest.(check bool) "full" false (Spmc_deque.push d 8);
+  let into = Spmc_deque.create ~capacity:1 in
+  check Alcotest.int "steal takes the lone item" 1 (Spmc_deque.steal_into d ~into);
+  check Alcotest.(option int) "victim empty" None (Spmc_deque.pop d);
+  check Alcotest.(option int) "thief has it" (Some 7) (Spmc_deque.pop into)
+
+let test_deque_steal_half_bounds () =
+  let d = Spmc_deque.create ~capacity:16 in
+  for i = 1 to 10 do
+    Alcotest.(check bool) "fill" true (Spmc_deque.push d i)
+  done;
+  let into = Spmc_deque.create ~capacity:16 in
+  check Alcotest.int "no self steal" 0 (Spmc_deque.steal_into d ~into:d);
+  check Alcotest.int "steals ceil(half)" 5 (Spmc_deque.steal_into d ~into);
+  check Alcotest.int "victim keeps the rest" 5 (Spmc_deque.length d);
+  check Alcotest.int "thief holds the batch" 5 (Spmc_deque.length into);
+  let s1, c1 = drain_deque d and s2, c2 = drain_deque into in
+  check Alcotest.int "no loss, no duplication" (10 * 11 / 2) (s1 + s2);
+  check Alcotest.int "count conserved" 10 (c1 + c2);
+  (* an almost-full destination bounds the batch by its room *)
+  let d = Spmc_deque.create ~capacity:16 in
+  for i = 1 to 8 do
+    ignore (Spmc_deque.push d i : bool)
+  done;
+  let tight = Spmc_deque.create ~capacity:4 in
+  for i = 100 to 102 do
+    ignore (Spmc_deque.push tight i : bool)
+  done;
+  check Alcotest.int "bounded by room in into" 1 (Spmc_deque.steal_into d ~into:tight);
+  check Alcotest.int "victim debited exactly that" 7 (Spmc_deque.length d);
+  (* empty victim: nothing to take *)
+  let empty = Spmc_deque.create ~capacity:8 in
+  let into = Spmc_deque.create ~capacity:8 in
+  check Alcotest.int "empty victim" 0 (Spmc_deque.steal_into empty ~into)
+
+(* Linearizability-style stress on real domains: one owner pushing and
+   popping, concurrent thieves stealing halves into private deques.
+   Every pushed value must be popped exactly once somewhere — checked
+   by conserving both the count and the sum (a lost value breaks the
+   sum, a duplicated one breaks it the other way). *)
+let deque_stress ~capacity ~n ~thieves =
+  let src = Spmc_deque.create ~capacity in
+  let stop = Atomic.make false in
+  let thief_doms =
+    List.init thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let mine = Spmc_deque.create ~capacity in
+            let sum = ref 0 and count = ref 0 in
+            let drain () =
+              let s, c = drain_deque mine in
+              sum := !sum + s;
+              count := !count + c
+            in
+            while not (Atomic.get stop) do
+              ignore (Spmc_deque.steal_into src ~into:mine : int);
+              drain ();
+              Domain.cpu_relax ()
+            done;
+            (* final sweep: the owner has drained [src], but claims we
+               made just before [stop] may still sit in [mine] *)
+            ignore (Spmc_deque.steal_into src ~into:mine : int);
+            drain ();
+            (!sum, !count)))
+  in
+  let owner_sum = ref 0 and owner_count = ref 0 in
+  let owner_pop () =
+    match Spmc_deque.pop src with
+    | Some v ->
+        owner_sum := !owner_sum + v;
+        incr owner_count
+    | None -> Domain.cpu_relax ()
+  in
+  for i = 1 to n do
+    while not (Spmc_deque.push src i) do
+      owner_pop ()
+    done;
+    if i land 7 = 0 then owner_pop ()
+  done;
+  let rec drain_src () =
+    match Spmc_deque.pop src with
+    | Some v ->
+        owner_sum := !owner_sum + v;
+        incr owner_count;
+        drain_src ()
+    | None -> ()
+  in
+  drain_src ();
+  Atomic.set stop true;
+  let thief_results = List.map Domain.join thief_doms in
+  let total_sum =
+    List.fold_left (fun acc (s, _) -> acc + s) !owner_sum thief_results
+  in
+  let total_count =
+    List.fold_left (fun acc (_, c) -> acc + c) !owner_count thief_results
+  in
+  total_count = n && total_sum = n * (n + 1) / 2
+
+let deque_stress_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:10
+       ~name:"spmc deque conserves every value under concurrent theft"
+       QCheck.(
+         triple (int_range 2 64) (int_range 100 20_000) (int_range 1 3))
+       (fun (capacity, n, thieves) -> deque_stress ~capacity ~n ~thieves))
+
+let deque_suite =
+  [
+    Alcotest.test_case "deque owner fifo" `Quick test_deque_owner_fifo;
+    Alcotest.test_case "deque capacity one" `Quick test_deque_capacity_one;
+    Alcotest.test_case "deque steal half" `Quick test_deque_steal_half_bounds;
+    deque_stress_prop;
+  ]
+
+let suite = suite @ stall_suite @ deque_suite
