@@ -4,7 +4,8 @@
 
      dune exec bench/main.exe -- [--jobs N] [--no-cache] [--parallel-bench [FILE]]
                                  [--obs-bench [FILE]] [--profile-bench [FILE]]
-                                 [--serve-bench [FILE]]
+                                 [--serve-bench [FILE]] [--steal-bench [FILE]]
+                                 [--tail-bench [FILE]]
 
    The sweep grid fans out over OCaml 5 domains (--jobs or TQ_JOBS,
    default: recommended domain count) and completed points are served
@@ -625,6 +626,162 @@ let run_profile_bench ~out () =
   close_out oc;
   Printf.printf "wrote %s\n%!" out
 
+(* Tail-forensics overhead: the BENCH_tail.json emitter.
+
+   The reservoir sits on the dispatcher's reply pop — the per-request
+   hot path — so two micro numbers are gated: the disabled offer (a
+   null sink must cost one branch, 0 minor words, same discipline as
+   the disabled span record) and the enabled common case (a fast
+   request rejected against a full reservoir's floor: one compare, no
+   allocation).  Then the macro A/B: the full serve loop at the
+   BENCH_serve calibrated load with forensics off vs on (tail + spans,
+   the real "tail forensics on" configuration), emitting both p99s and
+   the relative penalty — the always-on claim is that the penalty
+   stays under 5%. *)
+
+(* The A/B runs below the 2-worker saturation cliff: at the smoke rate
+   (150k rps) p99 is queueing-dominated and swings by whole
+   milliseconds run to run, drowning any reservoir signal.  70k rps
+   keeps the workers busy but the tail stable enough to gate at 5%. *)
+let tail_bench_rate = 70_000.0
+
+let make_tail_test ~name sink =
+  let seq = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr seq;
+         (* sojourn 1 ns: far below any filled reservoir's floor, so the
+            enabled sink exercises the reject path *)
+         Tq_obs.Tail.offer sink ~now_ns:1 ~seq:!seq ~class_idx:0 ~worker:0
+           ~sojourn_ns:1 ~t0_ns:0 ~quantum_ns:100_000 ~cap:(-1) ~inject_depth:0
+           ~deque_depth:0))
+
+let run_tail_one ~tail_on =
+  let config =
+    {
+      Tq_serve.Server.default_config with
+      port = 0;
+      workers = serve_bench_workers;
+      lanes = 1;
+      rx_depth = 2048;
+      kv_keys = 1024;
+    }
+  in
+  (* Spans stay on in BOTH rows (the serve smoke always runs --obs, and
+     dossier attribution rides on them): the A/B isolates the tail
+     reservoir's own marginal cost, not the span sinks'.  The sinks are
+     sized to hold the whole run so every retained outlier is still
+     attributable at the end-of-run dossier fetch — a ring that has
+     overwritten an outlier's spans degrades it to unattributed. *)
+  let spans = Tq_obs.Span.create ~capacity_per_sink:(1 lsl 19) () in
+  let tail = if tail_on then Tq_obs.Tail.create ~k:16 () else Tq_obs.Tail.null in
+  let srv = Tq_serve.Server.create ~spans ~tail config in
+  let th = Thread.create (fun () -> Tq_serve.Server.serve srv) () in
+  let lcfg =
+    Tq_serve.Load_gen.default_config ~rate_rps:tail_bench_rate
+      ~port:(Tq_serve.Server.port srv)
+  in
+  let r = Tq_serve.Load_gen.run lcfg in
+  let dossiers =
+    if tail_on then Tq_serve.Server.outlier_dossiers srv ~limit:0 else []
+  in
+  Tq_serve.Server.stop srv;
+  Thread.join th;
+  let stats = Tq_serve.Server.stats srv in
+  if stats.parsed <> stats.dispatched + stats.shed then
+    failwith
+      (Printf.sprintf "tail bench: tail=%b parsed %d <> dispatched %d + shed %d"
+         tail_on stats.parsed stats.dispatched stats.shed);
+  let all = Tq_obs.Latency.recorder r.latency "all" in
+  let p99 = float_of_int (Tq_obs.Latency.percentile all 0.99) /. 1e3 in
+  (r, p99, dossiers)
+
+let run_tail_bench ~out () =
+  hr ();
+  print_endline "Tail-forensics offer-path overhead (reservoir admit gate)";
+  hr ();
+  let live = Tq_obs.Tail.create ~k:16 () in
+  let live_sink = Tq_obs.Tail.register live ~lane:0 in
+  (* Fill the reservoir with slow entries so the benched offers below
+     (sojourn 1 ns) all take the common-case reject branch. *)
+  for i = 1 to 16 do
+    Tq_obs.Tail.offer live_sink ~now_ns:1 ~seq:(-i) ~class_idx:0 ~worker:0
+      ~sojourn_ns:1_000_000 ~t0_ns:0 ~quantum_ns:100_000 ~cap:(-1)
+      ~inject_depth:0 ~deque_depth:0
+  done;
+  let reject =
+    print_ns_words (make_tail_test ~name:"tail offer (enabled, reject)" live_sink)
+  in
+  let disabled =
+    print_ns_words (make_tail_test ~name:"tail offer (disabled)" Tq_obs.Tail.null_sink)
+  in
+  print_newline ();
+  hr ();
+  Printf.printf
+    "Tail-forensics serve A/B (%d workers, %.0f offered rps, spans on in both \
+     rows, reservoir off vs k=16)\n"
+    serve_bench_workers tail_bench_rate;
+  hr ();
+  (* p99 of a single loopback run is noisy; take the median of three
+     runs per row so the committed penalty reflects the reservoir, not
+     one run's scheduling luck. *)
+  let median3 f =
+    let runs = List.init 3 (fun _ -> f ()) in
+    let sorted = List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) runs in
+    List.nth sorted 1
+  in
+  let _, p99_off, _ = median3 (fun () -> run_tail_one ~tail_on:false) in
+  Printf.printf "reservoir off: p99 %.0f us\n%!" p99_off;
+  let _, p99_on, dossiers = median3 (fun () -> run_tail_one ~tail_on:true) in
+  Printf.printf "reservoir on:  p99 %.0f us (%d dossiers retained)\n%!" p99_on
+    (List.length dossiers);
+  (* Correctness ride-along: every attributed dossier's stages must
+     telescope to its sojourn exactly, or the A/B above measured a
+     broken attribution path. *)
+  let attributed =
+    List.filter (fun d -> d.Tq_obs.Tail.d_attributed) dossiers
+  in
+  List.iter
+    (fun d ->
+      let sum = List.fold_left (fun acc (_, v) -> acc + v) 0 d.Tq_obs.Tail.d_stages in
+      if sum <> d.Tq_obs.Tail.d_sojourn_ns then
+        failwith
+          (Printf.sprintf "tail bench: dossier %d stage sum %d <> sojourn %d"
+             d.Tq_obs.Tail.d_entry.Tq_obs.Tail.e_seq sum d.Tq_obs.Tail.d_sojourn_ns))
+    attributed;
+  assert (dossiers <> []);
+  if attributed = [] then
+    failwith "tail bench: no retained dossier could be attributed to stages";
+  let penalty = if p99_off > 0.0 then (p99_on -. p99_off) /. p99_off else 0.0 in
+  let num = function Some v -> Printf.sprintf "%.3f" v | None -> "null" in
+  let oc = open_out out in
+  output_string oc ("{\n" ^ Tq_util.Bench_meta.json_fields ());
+  Printf.fprintf oc
+    "\  \"benchmark\": \"tail forensics overhead (tq_serve loopback)\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"workers\": %d,\n\
+    \  \"offered_rps\": %.0f,\n\
+    \  \"reservoir_k\": 16,\n\
+    \  \"disabled_offer_ns_per_run\": %s,\n\
+    \  \"disabled_offer_minor_words_per_run\": %s,\n\
+    \  \"reject_offer_ns_per_run\": %s,\n\
+    \  \"reject_offer_minor_words_per_run\": %s,\n\
+    \  \"p99_off_us\": %.1f,\n\
+    \  \"p99_on_us\": %.1f,\n\
+    \  \"p99_penalty_frac\": %.4f,\n\
+    \  \"retained\": %d,\n\
+    \  \"attributed_fraction\": %.4f\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    serve_bench_workers tail_bench_rate
+    (num (fst disabled)) (num (snd disabled))
+    (num (fst reject)) (num (snd reject))
+    p99_off p99_on penalty (List.length dossiers)
+    (if dossiers = [] then 0.0
+     else float_of_int (List.length attributed) /. float_of_int (List.length dossiers));
+  close_out oc;
+  Printf.printf "wrote %s (p99 penalty %.1f%%)\n%!" out (100.0 *. penalty)
+
 let run_microbenchmarks () =
   hr ();
   print_endline "Micro-benchmarks of library primitives (ns per run, OLS fit)";
@@ -671,6 +828,7 @@ let () =
   let profile_bench = ref None in
   let serve_bench = ref None in
   let steal_bench = ref None in
+  let tail_bench = ref None in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -711,19 +869,29 @@ let () =
     | "--steal-bench" :: rest ->
         steal_bench := Some "BENCH_steal.json";
         parse rest
+    | "--tail-bench" :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+        tail_bench := Some path;
+        parse rest
+    | "--tail-bench" :: rest ->
+        tail_bench := Some "BENCH_tail.json";
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   let jobs = if !jobs = 0 then Tq_par.Domain_pool.default_jobs () else !jobs in
-  match (!parallel_bench, !obs_bench, !profile_bench, !serve_bench, !steal_bench) with
-  | Some out, _, _, _, _ -> run_parallel_bench ~out ()
-  | None, Some out, _, _, _ -> run_obs_bench ~out ()
-  | None, None, Some out, _, _ -> run_profile_bench ~out ()
-  | None, None, None, Some out, _ -> run_serve_bench ~out ()
-  | None, None, None, None, Some out -> run_steal_bench ~out ()
-  | None, None, None, None, None ->
+  match
+    ( !parallel_bench, !obs_bench, !profile_bench, !serve_bench, !steal_bench,
+      !tail_bench )
+  with
+  | Some out, _, _, _, _, _ -> run_parallel_bench ~out ()
+  | None, Some out, _, _, _, _ -> run_obs_bench ~out ()
+  | None, None, Some out, _, _, _ -> run_profile_bench ~out ()
+  | None, None, None, Some out, _, _ -> run_serve_bench ~out ()
+  | None, None, None, None, Some out, _ -> run_steal_bench ~out ()
+  | None, None, None, None, None, Some out -> run_tail_bench ~out ()
+  | None, None, None, None, None, None ->
       run_experiments ~jobs ~use_cache:!use_cache ();
       run_microbenchmarks ();
       run_trace_overhead ();

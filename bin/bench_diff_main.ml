@@ -114,8 +114,20 @@ let () =
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"exit code only") in
   let doc = "Diff two benchmark reports under per-metric noise tolerances." in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:"every compared field is within tolerance and every bound holds"
+    :: Cmd.Exit.info 1
+         ~doc:"regression gate tripped: a field out of tolerance, a bound \
+               breached, a baseline field missing from the fresh report, or \
+               a schema_version mismatch"
+    :: Cmd.Exit.info 2
+         ~doc:"input error: unreadable or malformed report, or a bad \
+               $(b,--tolerance)/$(b,--bound) specification"
+    :: Cmd.Exit.defaults
+  in
   let cmd =
-    Cmd.v (Cmd.info "tq_bench_diff" ~version:"1.1.0" ~doc)
+    Cmd.v (Cmd.info "tq_bench_diff" ~version:"1.2.0" ~doc ~exits)
       Term.(const run $ baseline $ fresh $ tolerance $ bound $ ignore_ $ abs_eps
             $ verbose $ quiet)
   in

@@ -1,0 +1,53 @@
+(* tq_expo_lint: promtool-style checker for Prometheus text exposition.
+
+   Reads the exposition from FILE (or stdin with no argument / "-"),
+   runs the same structural checks the exposition renderer's tests use
+   (Tq_obs.Expo.lint: counter naming, declared families, cumulative
+   +Inf-terminated histograms), and exits non-zero on any problem —
+   the CI scrape job pipes `curl /metrics` through this. *)
+
+open Cmdliner
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let lint file quiet =
+  let body =
+    match file with
+    | None | Some "-" -> read_all stdin
+    | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+  in
+  if String.trim body = "" then begin
+    Printf.eprintf "tq_expo_lint: empty exposition\n";
+    exit 1
+  end;
+  match Tq_obs.Expo.lint body with
+  | [] ->
+      if not quiet then
+        Printf.printf "tq_expo_lint: OK (%d lines)\n"
+          (List.length (String.split_on_char '\n' body));
+      exit 0
+  | problems ->
+      List.iter (fun p -> Printf.eprintf "tq_expo_lint: %s\n" p) problems;
+      exit 1
+
+let () =
+  let file =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"exposition file; omit or use - for stdin")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"no output on success") in
+  let doc = "Lint Prometheus text exposition (counter naming, families, histograms)." in
+  let cmd =
+    Cmd.v (Cmd.info "tq_expo_lint" ~version:"1.0.0" ~doc)
+      Term.(const lint $ file $ quiet)
+  in
+  exit (Cmd.eval cmd)

@@ -25,7 +25,7 @@ let parse_slo s =
 
 let run host port rate connections warmup measure grace seed mix_spec spin_us
     heavy_frac heavy_spin_us server_lanes json_out quiet slo_specs slo_strict stats_interval dashboard stats_json
-    trace_out breakdown breakdown_json control =
+    trace_out breakdown breakdown_json control outliers_n =
   let mix =
     match mix_spec with
     | None -> Tq_serve.Load_gen.default_mix
@@ -88,10 +88,30 @@ let run host port rate connections warmup measure grace seed mix_spec spin_us
     if stats_interval <> None then
       Printf.printf "tq_load: %d stats polls collected\n" (List.length r.stats_polls)
   end;
+  (* Tail forensics: fetch after the run so the reservoirs cover the
+     measurement window.  The text view prints, the JSON view embeds in
+     the --json report (server needs --tail-k). *)
+  let outlier_json =
+    match outliers_n with
+    | None -> None
+    | Some n -> (
+        try
+          let c = Tq_serve.Client.connect ~host ~port () in
+          let fetch view = Tq_serve.Client.stats ~view c in
+          print_string
+            (fetch (Tq_serve.Protocol.Stats_outliers_text { limit = n }));
+          let body = fetch (Tq_serve.Protocol.Stats_outliers { limit = n }) in
+          Tq_serve.Client.close c;
+          Some body
+        with e ->
+          Printf.eprintf "tq_load: outliers fetch failed: %s\n"
+            (Printexc.to_string e);
+          None)
+  in
   (match json_out with
   | Some path ->
       let oc = open_out path in
-      output_string oc (Tq_serve.Load_gen.to_json config r);
+      output_string oc (Tq_serve.Load_gen.to_json ?outliers:outlier_json config r);
       close_out oc;
       if not quiet then Printf.printf "tq_load: wrote %s\n" path
   | None -> ());
@@ -269,12 +289,20 @@ let () =
                    (Stats RPC control view) and print it (server needs \
                    --adaptive)")
   in
+  let outliers =
+    Arg.(value & opt (some int) None
+         & info [ "outliers" ] ~docv:"N"
+             ~doc:"after the run, fetch the server's N slowest retained \
+                   requests as forensic dossiers (0 = all retained): print \
+                   the table and embed the JSON in the --json report (server \
+                   needs --tail-k)")
+  in
   let doc = "Open-loop Poisson load generator for tq_serve." in
   let cmd =
     Cmd.v (Cmd.info "tq_load" ~version:"1.3.0" ~doc)
       Term.(const run $ host $ port $ rate $ connections $ warmup $ measure $ grace
             $ seed $ mix $ spin $ heavy_frac $ heavy_spin $ server_lanes $ json $ quiet $ slo $ slo_strict
             $ stats_interval $ dashboard $ stats_json $ trace $ breakdown
-            $ breakdown_json $ control)
+            $ breakdown_json $ control $ outliers)
   in
   exit (Cmd.eval cmd)

@@ -9,7 +9,8 @@ open Cmdliner
 let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
     pool_bufs pool_buf_bytes duration_s stats_out obs obs_capacity trace_out
     gc_events adaptive ctl_latency_us ctl_interval_ms heartbeat_ms
-    missed_heartbeats faults =
+    missed_heartbeats faults tail_k tail_threshold_us tail_window_ms
+    tail_trace_out metrics_port =
   if lanes < 1 || lanes > cores then begin
     Printf.eprintf "tq_serve: --lanes must be in [1, --cores] (got %d of %d)\n" lanes
       cores;
@@ -89,10 +90,22 @@ let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
       pool_buf_bytes;
     }
   in
+  let tail_on = tail_k > 0 || tail_trace_out <> None in
   let spans =
-    if obs || trace_out <> None then
+    (* Tail dossiers attribute stages from the span buffers, so tail
+       sampling pulls spans in with it. *)
+    if obs || trace_out <> None || tail_on then
       Tq_obs.Span.create ~capacity_per_sink:obs_capacity ()
     else Tq_obs.Span.null
+  in
+  let tail =
+    if tail_on then
+      Tq_obs.Tail.create
+        ~k:(if tail_k > 0 then tail_k else 16)
+        ~threshold_ns:(int_of_float (tail_threshold_us *. 1e3))
+        ~window_ns:(int_of_float (tail_window_ms *. 1e6))
+        ()
+    else Tq_obs.Tail.null
   in
   (* GC telemetry rides along whenever observability is on (spans get a
      gc track, stalls get attributed); --no-gc-events opts out. *)
@@ -101,7 +114,26 @@ let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
       Some (Tq_obs.Gc_events.start ~spans ())
     else None
   in
-  let server = Tq_serve.Server.create ~spans ?gc config in
+  let server = Tq_serve.Server.create ~spans ~tail ?gc config in
+  let metrics_plane =
+    match metrics_port with
+    | None -> None
+    | Some mp ->
+        let h =
+          Tq_serve.Http_expo.start ~host ~port:mp
+            ~metrics:(fun () -> Tq_serve.Server.prometheus server)
+            ~outliers:(fun () ->
+              if tail_on then Tq_serve.Server.outliers_json server ~limit:0
+              else "{\"error\": \"tail forensics off: run with --tail-k\"}\n")
+            ~healthz:(fun () -> true)
+            ()
+        in
+        Printf.printf
+          "tq_serve: metrics on http://%s:%d/metrics (/outliers, /healthz)\n%!"
+          host
+          (Tq_serve.Http_expo.port h);
+        Some h
+  in
   (if fault_events <> [] then begin
      let live = Tq_fault.Live.create fault_events in
      let actions =
@@ -145,10 +177,12 @@ let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
   let summary =
     Printf.sprintf
       "{\"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \"completed\": %d, \
-       \"shed\": %d, \"stats_served\": %d, \"protocol_errors\": %d, \"orphaned\": %d, \
+       \"shed\": %d, \"lost\": %d, \"dropped\": %d, \"stats_served\": %d, \
+       \"protocol_errors\": %d, \"orphaned\": %d, \
        \"duplicates\": %d, \"redispatched\": %d, \"dead_workers\": %d}"
-      s.connections s.parsed s.dispatched s.completed s.shed s.stats_served
-      s.protocol_errors s.orphaned s.duplicates s.redispatched s.dead_workers
+      s.connections s.parsed s.dispatched s.completed s.shed s.lost s.dropped
+      s.stats_served s.protocol_errors s.orphaned s.duplicates s.redispatched
+      s.dead_workers
   in
   Printf.printf "tq_serve: drained. %s\n%!" summary;
   (match stats_out with
@@ -157,6 +191,7 @@ let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
       output_string oc (summary ^ "\n");
       close_out oc
   | None -> ());
+  Option.iter Tq_serve.Http_expo.stop metrics_plane;
   (* Stop the GC consumer before the trace is written so the last
      pauses make the gc track. *)
   Option.iter Tq_obs.Gc_events.stop gc;
@@ -165,6 +200,17 @@ let serve host port cores lanes quantum_us ring rx_depth admission steal kv_keys
       Tq_obs.Span.write_file spans path;
       Printf.printf "tq_serve: wrote span trace to %s (%d spans, %d dropped)\n%!" path
         (Tq_obs.Span.total spans) (Tq_obs.Span.dropped spans)
+  | None -> ());
+  (match tail_trace_out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Tq_serve.Server.tail_trace server);
+      close_out oc;
+      Printf.printf
+        "tq_serve: wrote outlier-only trace to %s (%d retained of %d offered)\n%!"
+        path
+        (Tq_obs.Tail.retained tail)
+        (Tq_obs.Tail.offered tail)
   | None -> ());
   (* the drain invariant: everything admitted was answered *)
   if s.dispatched <> s.completed then begin
@@ -297,12 +343,48 @@ let () =
                    stall@T:wN:D | kill@T:wN | pause@T:D, comma-separated \
                    (e.g. 'kill@500:w1,stall@800:w0:50')")
   in
+  let tail_k =
+    Arg.(value & opt int 0
+         & info [ "tail-k" ] ~docv:"K"
+             ~doc:"always-on tail forensics: retain the K slowest requests per \
+                   lane per window as queryable dossiers (stats-RPC outliers \
+                   view, /outliers); 0 disables (zero per-request cost). \
+                   Implies spans for per-stage attribution")
+  in
+  let tail_threshold_us =
+    Arg.(value & opt float 0.0
+         & info [ "tail-threshold-us" ] ~docv:"USEC"
+             ~doc:"with --tail-k: additionally retain every request whose \
+                   sojourn breaches USEC, even outside the top K (0 = off)")
+  in
+  let tail_window_ms =
+    Arg.(value & opt float 1000.0
+         & info [ "tail-window-ms" ] ~docv:"MS"
+             ~doc:"with --tail-k: the sliding-window length; the reservoir keeps \
+                   the current and previous window so a fresh window never \
+                   forgets the recent tail")
+  in
+  let tail_trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "tail-trace-out" ] ~docv:"FILE"
+             ~doc:"write a Chrome/Perfetto trace of only the retained outlier \
+                   requests on exit (implies --tail-k 16 if not set)")
+  in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"serve a plain-HTTP metrics plane on PORT (0 = ephemeral): \
+                   GET /metrics (Prometheus text exposition), /outliers \
+                   (tail dossiers JSON), /healthz")
+  in
   let doc = "Live multicore RPC server over the Tiny Quanta fiber runtime." in
   let cmd =
     Cmd.v (Cmd.info "tq_serve" ~version:"1.2.0" ~doc)
       Term.(const serve $ host $ port $ cores $ lanes $ quantum $ ring $ rx_depth
             $ admission $ steal $ kv_keys $ pool_bufs $ pool_buf_bytes $ duration $ stats_out
             $ obs $ obs_capacity $ trace_out $ gc_events $ adaptive $ ctl_latency_us
-            $ ctl_interval_ms $ heartbeat_ms $ missed_heartbeats $ faults)
+            $ ctl_interval_ms $ heartbeat_ms $ missed_heartbeats $ faults
+            $ tail_k $ tail_threshold_us $ tail_window_ms $ tail_trace_out
+            $ metrics_port)
   in
   exit (Cmd.eval cmd)

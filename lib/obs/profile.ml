@@ -135,15 +135,14 @@ let unattributed t p =
   if p.parse_start >= 0 && p.reply_end >= 0 then
     Latency.record t.unattributed_rec (p.reply_end - p.parse_start)
 
-(* Telescope one completed request.  Any missing boundary or negative
-   stage degrades the whole request to unattributed: a partial
+(* Telescope one completed request into the seven stage values.  Any
+   missing boundary or negative stage yields [None] — a partial
    decomposition would silently break the sum invariant. *)
-let finish_request t p =
-  if p.reply_end < 0 then t.incomplete <- t.incomplete + 1
-  else if
-    p.duplicate || p.parse_start < 0 || p.dispatch_start < 0 || p.dispatch_end < 0
-    || p.hop < 0 || p.quanta = []
-  then unattributed t p
+let telescope p =
+  if
+    p.duplicate || p.reply_end < 0 || p.parse_start < 0 || p.dispatch_start < 0
+    || p.dispatch_end < 0 || p.hop < 0 || p.quanta = []
+  then None
   else begin
     let quanta = List.rev p.quanta in
     let q0_start, _ = List.hd quanta in
@@ -164,18 +163,23 @@ let finish_request t p =
         (S_reply_flush, p.reply_end - last_end);
       ]
     in
-    if List.exists (fun (_, v) -> v < 0) vals then unattributed t p
-    else begin
-      let sojourn = p.reply_end - p.parse_start in
-      let stage_sum = List.fold_left (fun acc (_, v) -> acc + v) 0 vals in
-      List.iter (fun (s, v) -> record_stage t s v) vals;
-      Latency.record t.sojourn sojourn;
-      t.requests <- t.requests + 1;
-      t.sojourn_sum <- t.sojourn_sum + sojourn;
-      t.stage_sum_total <- t.stage_sum_total + stage_sum;
-      if stage_sum = sojourn then t.exact <- t.exact + 1
-    end
+    if List.exists (fun (_, v) -> v < 0) vals then None else Some vals
   end
+
+let finish_request t p =
+  if p.reply_end < 0 then t.incomplete <- t.incomplete + 1
+  else
+    match telescope p with
+    | None -> unattributed t p
+    | Some vals ->
+        let sojourn = p.reply_end - p.parse_start in
+        let stage_sum = List.fold_left (fun acc (_, v) -> acc + v) 0 vals in
+        List.iter (fun (s, v) -> record_stage t s v) vals;
+        Latency.record t.sojourn sojourn;
+        t.requests <- t.requests + 1;
+        t.sojourn_sum <- t.sojourn_sum + sojourn;
+        t.stage_sum_total <- t.stage_sum_total + stage_sum;
+        if stage_sum = sojourn then t.exact <- t.exact + 1
 
 let set_boundary p field v =
   (* A boundary seen twice means ring overwrite garbled this request. *)
@@ -186,8 +190,7 @@ let set_boundary p field v =
   | `Hop -> if p.hop >= 0 then p.duplicate <- true else p.hop <- v
   | `Reply -> if p.reply_end >= 0 then p.duplicate <- true else p.reply_end <- v
 
-let of_records records =
-  let t = create () in
+let collect_pendings ~on_accept ~on_shed records =
   let pendings : (int, pending) Hashtbl.t = Hashtbl.create 1024 in
   let pending req_id =
     match Hashtbl.find_opt pendings req_id with
@@ -200,10 +203,8 @@ let of_records records =
   List.iter
     (fun (r : Span.record) ->
       match r.phase with
-      | Span.Accept -> t.accepts <- t.accepts + 1
-      | Span.Shed ->
-          t.sheds <- t.sheds + 1;
-          Latency.record t.shed_rec r.dur_ns
+      | Span.Accept -> on_accept ()
+      | Span.Shed -> on_shed r.dur_ns
       | Span.Parse when r.req_id >= 0 ->
           set_boundary (pending r.req_id) `Parse r.start_ns
       | Span.Dispatch when r.req_id >= 0 ->
@@ -221,8 +222,28 @@ let of_records records =
       | Span.Reply_flush | Span.Stall | Span.Steal | Span.Gc_minor
       | Span.Gc_major -> ())
     records;
+  pendings
+
+let of_records records =
+  let t = create () in
+  let pendings =
+    collect_pendings records
+      ~on_accept:(fun () -> t.accepts <- t.accepts + 1)
+      ~on_shed:(fun dur ->
+        t.sheds <- t.sheds + 1;
+        Latency.record t.shed_rec dur)
+  in
   Hashtbl.iter (fun _ p -> finish_request t p) pendings;
   t
+
+let request_stages records =
+  let pendings =
+    collect_pendings records ~on_accept:ignore ~on_shed:(fun _ -> ())
+  in
+  Hashtbl.fold
+    (fun req_id p acc ->
+      match telescope p with Some vals -> (req_id, vals) :: acc | None -> acc)
+    pendings []
 
 let latency t = t.latency
 let requests t = t.requests

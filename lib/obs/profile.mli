@@ -48,6 +48,14 @@ type t
     raises on malformed streams. *)
 val of_records : Span.record list -> t
 
+(** [request_stages records] — per-request exact decompositions: for
+    every request in the stream whose boundaries telescope cleanly, its
+    id and the seven stage values in pipeline order (summing to the
+    request's sojourn exactly).  Requests that would land in the
+    unattributed bucket are omitted.  What {!Tail} uses to attach an
+    exact stage breakdown to each retained slow request. *)
+val request_stages : Span.record list -> (int * (stage * int) list) list
+
 (** [latency t] — the per-stage recorders keyed by {!stage_name} plus
     ["sojourn"], ["shed"] and ["unattributed"]; feed to
     {!Expo.render_latency} for the per-stage Prometheus series. *)

@@ -118,10 +118,10 @@ let sink_records sink =
 let total t =
   List.fold_left (fun acc s -> acc + Atomic.get s.next) 0 (Atomic.get t.sinks)
 
+let sink_dropped sink = max 0 (Atomic.get sink.next - sink.s_capacity)
+
 let dropped t =
-  List.fold_left
-    (fun acc s -> acc + max 0 (Atomic.get s.next - s.s_capacity))
-    0 (Atomic.get t.sinks)
+  List.fold_left (fun acc s -> acc + sink_dropped s) 0 (Atomic.get t.sinks)
 
 (* Stitch the per-domain buffers into one timeline: stable sort by span
    start, so records within one sink keep their relative order whenever
@@ -149,8 +149,7 @@ let json_of_record buf r =
          "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%S,\"args\":%s},\n"
          tid (ts_us r.start_ns) (phase_name r.phase) args)
 
-let to_chrome t =
-  let records = merge t in
+let records_to_chrome records =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[\n";
   Buffer.add_string buf
@@ -173,6 +172,8 @@ let to_chrome t =
   Buffer.truncate buf (Buffer.length buf - 2);
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
+
+let to_chrome t = records_to_chrome (merge t)
 
 let write_file t path =
   let oc = open_out path in

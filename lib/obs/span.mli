@@ -91,6 +91,10 @@ val total : t -> int
 (** [dropped t] — records lost to ring overwrites across all sinks. *)
 val dropped : t -> int
 
+(** [sink_dropped sink] — records lost to ring overwrites in this one
+    sink; what the per-lane [obs.span_dropped] counter exposes. *)
+val sink_dropped : sink -> int
+
 (** [merge t] — every surviving record, stitched into one timeline:
     stable-sorted by [start_ns], ties keeping per-sink recording order.
     Call after the writers have quiesced (server drained) for an exact
@@ -102,6 +106,11 @@ val merge : t -> record list
     {!Event.lane_name}); spans with [dur_ns > 0] are complete ["X"]
     events, instants are ["i"]. *)
 val to_chrome : t -> string
+
+(** [records_to_chrome records] — the same Chrome trace-event JSON for
+    an arbitrary (already merged/filtered) record list; what the
+    outlier-only export ({!Tail.to_chrome}) builds on. *)
+val records_to_chrome : record list -> string
 
 (** [write_file t path] writes {!to_chrome} output to [path]. *)
 val write_file : t -> string -> unit

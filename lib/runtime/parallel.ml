@@ -317,6 +317,8 @@ let in_flight t =
 
 let worker_in_flight t ~worker = unfinished t.handles.(worker)
 let ring_depth t ~worker = Work_source.depth t.handles.(worker).source
+let inject_depth t ~worker = Work_source.inject_depth t.handles.(worker).source
+let deque_depth t ~worker = Work_source.stealable t.handles.(worker).source
 
 (* {2 Live actuation and fault hooks} *)
 

@@ -205,6 +205,16 @@ val worker_in_flight : t -> worker:int -> int
     fiber queue). *)
 val ring_depth : t -> worker:int -> int
 
+(** The inject-ring component of {!ring_depth} alone — jobs pushed by
+    the dispatcher that the worker has not yet drained.  Sampled into
+    tail dossiers as the queue state a slow request saw at dispatch. *)
+val inject_depth : t -> worker:int -> int
+
+(** The stealable-deque component of {!ring_depth} alone — drained
+    jobs visible to sibling thieves.  Sampled into tail dossiers
+    alongside {!inject_depth}. *)
+val deque_depth : t -> worker:int -> int
+
 (** Live snapshot of the pool's counters (safe from any thread). *)
 val stats : t -> stats
 

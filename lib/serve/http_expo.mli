@@ -1,0 +1,44 @@
+(** A minimal HTTP/1.1 exposition sidecar for the live server: the
+    plain-text plane scrapers and humans expect next to the binary RPC
+    plane.
+
+    Serves exactly three GET endpoints, each rendered by a callback the
+    caller supplies (so the listener knows nothing about the server):
+
+    - [/metrics] — Prometheus text exposition
+      ([text/plain; version=0.0.4]), wired to {!Server.prometheus};
+    - [/outliers] — the tail-forensics dossiers as JSON, wired to
+      {!Server.outliers_json};
+    - [/healthz] — liveness: [200 ok] while the health callback answers
+      [true], [503 draining] after.
+
+    One accept thread plus one short-lived thread per connection;
+    every response carries [Connection: close].  This is a
+    control-plane sidecar with scrape-rate traffic — it never touches
+    the RPC data path, its threads never block a lane or a worker. *)
+
+type t
+
+(** [start ?host ~port ~metrics ~outliers ~healthz ()] binds (default
+    loopback; [port = 0] picks an ephemeral port, see {!port}), starts
+    the accept thread and returns immediately.  The callbacks run on
+    per-connection threads and must therefore be thread-safe — the
+    {!Server} render views are.  Raises [Unix.Unix_error] on e.g. a
+    busy port. *)
+val start :
+  ?host:string ->
+  port:int ->
+  metrics:(unit -> string) ->
+  outliers:(unit -> string) ->
+  healthz:(unit -> bool) ->
+  unit ->
+  t
+
+(** The actually bound port — the [port] given to {!start} unless that
+    was 0. *)
+val port : t -> int
+
+(** [stop t] closes the listening socket and joins the accept thread;
+    idempotent.  In-flight per-connection threads finish their single
+    response on their own. *)
+val stop : t -> unit

@@ -26,6 +26,7 @@ module Spsc_ring = Tq_runtime.Spsc_ring
 module Admission = Tq_sched.Admission
 module Counters = Tq_obs.Counters
 module Span = Tq_obs.Span
+module Tail = Tq_obs.Tail
 module Event = Tq_obs.Event
 module Latency = Tq_obs.Latency
 module Reassembly = Protocol.Reassembly
@@ -54,6 +55,8 @@ type shared = {
   paused_until_ns : int Atomic.t;
   spans : Span.t;
   spans_on : bool;
+  tail : Tail.t;
+  tail_on : bool;
   lanes : int;
   rx_depth : int;
   drain_timeout_s : float;
@@ -75,12 +78,22 @@ type conn = {
    [t_shed], so [counts] derives it from the same two loads it
    reports — which keeps the [parsed = dispatched + shed] identity
    exact even for a Stats render racing this lane's dispatch path
-   (three independently-updated cells could be observed mid-bump). *)
+   (three independently-updated cells could be observed mid-bump).
+   The same discipline covers the acceptance ledger: [accepted] is
+   [dispatched] by definition (admission happens before the tally) and
+   [in_flight] is derived in [Server.set_gauges] from the same loads,
+   so [accepted = completed + lost + dropped + in_flight] is exact in
+   every render.  [t_lost] is stamped once at lane exit (requests still
+   pending after the drain deadline — dead-worker leftovers);
+   [t_dropped] is the structural reserve for a future queue-drop path,
+   0 today. *)
 type tallies = {
   mutable t_connections : int;
   mutable t_dispatched : int;
   mutable t_completed : int;
   mutable t_shed : int;
+  mutable t_lost : int;
+  mutable t_dropped : int;
   mutable t_stats_served : int;
   mutable t_protocol_errors : int;
   mutable t_orphaned : int;
@@ -95,6 +108,8 @@ type counts = {
   dispatched : int;
   completed : int;
   shed : int;
+  lost : int;
+  dropped : int;
   stats_served : int;
   protocol_errors : int;
   orphaned : int;
@@ -114,6 +129,12 @@ type pending = {
   p_class : int;
   p_t0 : int;
   mutable p_worker : int;
+  (* controller / queue state sampled at dispatch, for tail dossiers
+     (all zero / -1 when tail sampling is off) *)
+  p_quantum_ns : int;
+  p_cap : int;
+  p_inject : int;
+  p_deque : int;
 }
 
 type t = {
@@ -125,16 +146,15 @@ type t = {
   tallies : tallies;
   reg : Counters.t;
   sink : Span.sink;
+  tail_sink : Tail.sink;
   latency : Latency.t;
   lat_all : Latency.recorder;
   lat_class : Latency.recorder array;
   adm : Admission.t;
-  c_parsed : Counters.counter;
   c_dispatched : Counters.counter;
   c_completed : Counters.counter;
   c_shed : Counters.counter;
   c_stats_served : Counters.counter;
-  c_parsed_by : Counters.counter array;
   c_dispatched_by : Counters.counter array;
   c_completed_by : Counters.counter array;
   c_shed_by : Counters.counter array;
@@ -180,6 +200,8 @@ let create sh ~id ~reg ~admission =
         t_dispatched = 0;
         t_completed = 0;
         t_shed = 0;
+        t_lost = 0;
+        t_dropped = 0;
         t_stats_served = 0;
         t_protocol_errors = 0;
         t_orphaned = 0;
@@ -189,16 +211,15 @@ let create sh ~id ~reg ~admission =
       };
     reg;
     sink = Span.register sh.spans (Event.Dispatcher id);
+    tail_sink = Tail.register sh.tail ~lane:id;
     latency;
     lat_all = Latency.recorder latency "all";
     lat_class = per_class (fun name -> Latency.recorder latency name);
     adm = Admission.create admission;
-    c_parsed = Counters.counter reg "serve.parsed";
     c_dispatched = Counters.counter reg "serve.dispatched";
     c_completed = Counters.counter reg "serve.completed";
     c_shed = Counters.counter reg "serve.shed";
     c_stats_served = Counters.counter reg "serve.stats_served";
-    c_parsed_by = per_class (fun n -> Counters.counter reg ("serve.parsed." ^ n));
     c_dispatched_by = per_class (fun n -> Counters.counter reg ("serve.dispatched." ^ n));
     c_completed_by = per_class (fun n -> Counters.counter reg ("serve.completed." ^ n));
     c_shed_by = per_class (fun n -> Counters.counter reg ("serve.shed." ^ n));
@@ -236,6 +257,8 @@ let counts t =
     dispatched;
     completed = s.t_completed;
     shed;
+    lost = s.t_lost;
+    dropped = s.t_dropped;
     stats_served = s.t_stats_served;
     protocol_errors = s.t_protocol_errors;
     orphaned = s.t_orphaned;
@@ -245,6 +268,7 @@ let counts t =
   }
 
 let in_flight t = t.tallies.t_dispatched - t.tallies.t_completed
+let span_dropped t = Span.sink_dropped t.sink
 
 let ctl_counts t ~class_idx =
   (t.ctl_completed.(class_idx), t.ctl_good.(class_idx), t.ctl_shed.(class_idx))
@@ -364,8 +388,6 @@ let shed t conn ~p0 ~class_idx req_id =
    request gets a [Shed] span covering [p0, decision). *)
 let dispatch t conn ~p0 req_id req =
   let class_idx = Protocol.class_of_request req in
-  Counters.incr t.c_parsed;
-  Counters.incr t.c_parsed_by.(class_idx);
   let pool_load = Parallel.in_flight t.sh.pool in
   let admitted =
     Parallel.alive_in t.sh.pool ~workers:t.slice > 0
@@ -390,6 +412,21 @@ let dispatch t conn ~p0 req_id req =
     in
     let sid = t.next_sid in
     let cid = conn.cid in
+    (* Tail forensics samples the controller and queue state the
+       request saw at dispatch — quantum in force for its class, the
+       admission cap, and the chosen worker's inject/deque depths —
+       so a slow request's dossier can say what the plane looked like
+       when it was placed.  Guarded: the disabled path reads no state. *)
+    let q_ns, cap, inj, deq =
+      if t.sh.tail_on then
+        ( Parallel.quantum_ns t.sh.pool ~class_idx (),
+          (match Admission.policy t.adm with
+          | Admission.Queue_limit { max_in_system } -> max_in_system
+          | Admission.Accept_all | Admission.Ewma_sojourn _ -> -1),
+          Parallel.inject_depth t.sh.pool ~worker:w,
+          Parallel.deque_depth t.sh.pool ~worker:w )
+      else (0, -1, 0, 0)
+    in
     let t0 = now_ns () in
     let job = make_job t ~sid ~cid ~class_idx ~t0 ~req_id req in
     (* Keyed requests pin: their per-worker KV store lives only on the
@@ -410,6 +447,10 @@ let dispatch t conn ~p0 req_id req =
           p_class = class_idx;
           p_t0 = t0;
           p_worker = w;
+          p_quantum_ns = q_ns;
+          p_cap = cap;
+          p_inject = inj;
+          p_deque = deq;
         };
       if t.sh.spans_on then begin
         Span.record t.sink ~req_id:sid ~phase:Span.Parse ~start_ns:p0
@@ -470,38 +511,47 @@ let poll_replies t progress =
         | None -> ()
         | Some reply ->
             progress := true;
-            (if not (Hashtbl.mem t.pending reply.r_sid) then begin
-               (* Already answered by a re-dispatched copy (the original
-                  worker finished after being declared dead).  Count and
-                  drop — the client saw exactly one response. *)
-               t.tallies.t_duplicates <- t.tallies.t_duplicates + 1;
-               Counters.incr t.c_duplicates
-             end
-             else begin
-               Hashtbl.remove t.pending reply.r_sid;
-               t.tallies.t_completed <- t.tallies.t_completed + 1;
-               Counters.incr t.c_completed;
-               Counters.incr t.c_completed_by.(reply.r_class);
-               let now = now_ns () in
-               let sojourn = now - reply.r_t0 in
-               Admission.note_completion t.adm ~sojourn_ns:sojourn;
-               Counters.observe t.d_sojourn sojourn;
-               Latency.record t.lat_all sojourn;
-               Latency.record t.lat_class.(reply.r_class) sojourn;
-               t.ctl_completed.(reply.r_class) <- t.ctl_completed.(reply.r_class) + 1;
-               if sojourn <= t.sh.ctl_latency_ns then
-                 t.ctl_good.(reply.r_class) <- t.ctl_good.(reply.r_class) + 1;
-               if t.sh.spans_on then
-                 (* worker push -> lane pop-and-buffer: the reply ring
-                    hop plus write buffering, the request's last leg *)
-                 Span.record t.sink ~req_id:reply.r_sid ~phase:Span.Reply_flush
-                   ~start_ns:reply.r_done
-                   ~dur_ns:(max 0 (now - reply.r_done))
-                   ~arg:reply.r_cid;
-               match Hashtbl.find_opt t.conns reply.r_cid with
-               | Some conn -> Outbuf.add_bytes conn.wb reply.r_buf ~off:0 ~len:reply.r_len
-               | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1
-             end);
+            (match Hashtbl.find_opt t.pending reply.r_sid with
+            | None ->
+                (* Already answered by a re-dispatched copy (the original
+                   worker finished after being declared dead).  Count and
+                   drop — the client saw exactly one response. *)
+                t.tallies.t_duplicates <- t.tallies.t_duplicates + 1;
+                Counters.incr t.c_duplicates
+            | Some p -> (
+                Hashtbl.remove t.pending reply.r_sid;
+                t.tallies.t_completed <- t.tallies.t_completed + 1;
+                Counters.incr t.c_completed;
+                Counters.incr t.c_completed_by.(reply.r_class);
+                let now = now_ns () in
+                let sojourn = now - reply.r_t0 in
+                Admission.note_completion t.adm ~sojourn_ns:sojourn;
+                Counters.observe t.d_sojourn sojourn;
+                Latency.record t.lat_all sojourn;
+                Latency.record t.lat_class.(reply.r_class) sojourn;
+                t.ctl_completed.(reply.r_class) <- t.ctl_completed.(reply.r_class) + 1;
+                if sojourn <= t.sh.ctl_latency_ns then
+                  t.ctl_good.(reply.r_class) <- t.ctl_good.(reply.r_class) + 1;
+                if t.sh.spans_on then
+                  (* worker push -> lane pop-and-buffer: the reply ring
+                     hop plus write buffering, the request's last leg *)
+                  Span.record t.sink ~req_id:reply.r_sid ~phase:Span.Reply_flush
+                    ~start_ns:reply.r_done
+                    ~dur_ns:(max 0 (now - reply.r_done))
+                    ~arg:reply.r_cid;
+                if t.sh.tail_on then
+                  (* [w] is the ring owner, i.e. the worker that
+                     actually executed the request (a stolen job pushes
+                     the thief's ring) — the dossier names the real
+                     executor, not the placement choice *)
+                  Tail.offer t.tail_sink ~now_ns:now ~seq:reply.r_sid
+                    ~class_idx:reply.r_class ~worker:w ~sojourn_ns:sojourn
+                    ~t0_ns:reply.r_t0 ~quantum_ns:p.p_quantum_ns ~cap:p.p_cap
+                    ~inject_depth:p.p_inject ~deque_depth:p.p_deque;
+                match Hashtbl.find_opt t.conns reply.r_cid with
+                | Some conn ->
+                    Outbuf.add_bytes conn.wb reply.r_buf ~off:0 ~len:reply.r_len
+                | None -> t.tallies.t_orphaned <- t.tallies.t_orphaned + 1));
             Pool.release t.sh.bufs reply.r_buf;
             go ()
       in
@@ -667,4 +717,9 @@ let run t =
     if !progress then Tq_runtime.Backoff.reset backoff
     else if !running then idle_wait t backoff
   done;
+  (* Anything still pending after the drain gave up is lost for good
+     (dead-worker leftovers whose re-dispatch never landed): stamp it
+     so the acceptance ledger closes — accepted = completed + lost +
+     dropped + in_flight, with in_flight 0 once every lane exits. *)
+  t.tallies.t_lost <- Hashtbl.length t.pending;
   List.iter (fun c -> close_conn t c) (conn_list t)

@@ -36,6 +36,8 @@ type shared = {
   paused_until_ns : int Atomic.t;  (** all lanes idle until this stamp *)
   spans : Tq_obs.Span.t;
   spans_on : bool;
+  tail : Tq_obs.Tail.t;  (** tail-forensics reservoirs, one sink per lane *)
+  tail_on : bool;
   lanes : int;
   rx_depth : int;
   drain_timeout_s : float;
@@ -51,13 +53,20 @@ type t
     match [Server.stats].  [parsed] is derived as
     [dispatched + shed] from the same two loads the record reports, so
     the accounting identity holds {e exactly} in every snapshot — even
-    one rendered by another lane racing this lane's dispatch path. *)
+    one rendered by another lane racing this lane's dispatch path.
+    [lost] counts requests still pending when the lane exited (their
+    worker died and re-dispatch never landed); [dropped] is the
+    structural reserve for a future queue-drop path, 0 today — both
+    feed the [accepted = completed + lost + dropped + in_flight]
+    ledger the server derives. *)
 type counts = {
   connections : int;
   parsed : int;
   dispatched : int;
   completed : int;
   shed : int;
+  lost : int;
+  dropped : int;
   stats_served : int;
   protocol_errors : int;
   orphaned : int;
@@ -97,6 +106,11 @@ val counts : t -> counts
 
 (** Requests dispatched but not yet completed by this lane. *)
 val in_flight : t -> int
+
+(** Span records this lane's sink lost to ring overwrites — the
+    [obs.span_dropped] per-lane gauge; 0 means every span of every
+    request is still in the buffer. *)
+val span_dropped : t -> int
 
 (** [ctl_counts t ~class_idx] — cumulative [(completed, good, shed)]
     for one request class: the controller's per-lane sensing input,

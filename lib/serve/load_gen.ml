@@ -325,7 +325,7 @@ let run config =
     stats_polls = List.rev !stats_polls;
   }
 
-let to_json config r =
+let to_json ?outliers config r =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Tq_util.Bench_meta.json_fields ());
@@ -366,6 +366,14 @@ let to_json config r =
            rep.window_total rep.compliance rep.burn_rate))
     r.slo_reports;
   Buffer.add_string b "],\n";
+  (match outliers with
+  | None -> ()
+  | Some json ->
+      (* Splice the server's Stats_outliers body in verbatim: it is
+         already one complete JSON object. *)
+      Buffer.add_string b "  \"outliers\": ";
+      Buffer.add_string b (String.trim json);
+      Buffer.add_string b ",\n");
   Buffer.add_string b
     (Printf.sprintf "  \"latency\": %s\n}\n" (Latency.to_json r.latency));
   Buffer.contents b

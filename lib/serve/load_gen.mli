@@ -92,10 +92,13 @@ type result = {
     clock). *)
 val run : config -> result
 
-(** [to_json config result] — the single-run benchmark report
+(** [to_json ?outliers config result] — the single-run benchmark report
     ([tq_load --json], the CI serve-smoke artifact): offered vs
     achieved rate, loss/shed accounting, lane metadata and the
-    per-class latency ladder.  (The committed [BENCH_serve.json] is
-    the lane-{e sweep} report, emitted by [bench/main.exe
-    --serve-bench], which embeds these runs.) *)
-val to_json : config -> result -> string
+    per-class latency ladder.  [outliers], when given, is spliced in
+    verbatim as the ["outliers"] field — pass the server's
+    [Stats_outliers] body ([tq_load --outliers N]) to embed the
+    slow-request dossiers in the report.  (The committed
+    [BENCH_serve.json] is the lane-{e sweep} report, emitted by
+    [bench/main.exe --serve-bench], which embeds these runs.) *)
+val to_json : ?outliers:string -> config -> result -> string

@@ -6,7 +6,8 @@
        tag 1 Kv_get:  key...
        tag 2 Kv_set:  klen:u16  key  value...
        tag 3 Tpcc:    kind:u8
-       tag 4 Stats:   view:u8 (0 json, 1 text, 2 trace, 3/4 breakdown, 5 control)
+       tag 4 Stats:   view:u8 (0 json, 1 text, 2 trace, 3/4 breakdown,
+                               5 control, 6/7 outliers)
      response: req_id:u64  status:u8  body
        status 0 Ok, 1 Shed, 2 Error (body = message) *)
 
@@ -17,6 +18,8 @@ type stats_view =
   | Stats_breakdown
   | Stats_breakdown_text
   | Stats_control
+  | Stats_outliers of { limit : int }
+  | Stats_outliers_text of { limit : int }
 
 type request =
   | Echo of { spin_ns : int; payload : string }
@@ -59,6 +62,8 @@ let view_tag = function
   | Stats_breakdown -> 3
   | Stats_breakdown_text -> 4
   | Stats_control -> 5
+  | Stats_outliers _ -> 6
+  | Stats_outliers_text _ -> 7
 
 let view_of_tag = function
   | 0 -> Some Stats_json
@@ -67,6 +72,8 @@ let view_of_tag = function
   | 3 -> Some Stats_breakdown
   | 4 -> Some Stats_breakdown_text
   | 5 -> Some Stats_control
+  | 6 -> Some (Stats_outliers { limit = 0 })
+  | 7 -> Some (Stats_outliers_text { limit = 0 })
   | _ -> None
 
 let kind_tag : Tq_tpcc.Transactions.kind -> int = function
@@ -112,9 +119,15 @@ let encode_request b ~req_id r =
       | Tpcc { kind } ->
           Buffer.add_uint8 body 3;
           Buffer.add_uint8 body (kind_tag kind)
-      | Stats { view } ->
+      | Stats { view } -> (
           Buffer.add_uint8 body 4;
-          Buffer.add_uint8 body (view_tag view))
+          Buffer.add_uint8 body (view_tag view);
+          (* outlier views carry a top-N limit (0 = all retained) *)
+          match view with
+          | Stats_outliers { limit } | Stats_outliers_text { limit } ->
+              Buffer.add_uint16_be body limit
+          | Stats_json | Stats_text | Stats_trace | Stats_breakdown
+          | Stats_breakdown_text | Stats_control -> ()))
 
 let status_tag = function Ok -> 0 | Shed -> 1 | Error _ -> 2
 
@@ -240,7 +253,18 @@ let decode_request payload =
   | 4 -> (
       let* () = need payload 10 in
       match view_of_tag (Bytes.get_uint8 payload 9) with
-      | Some view -> Result.Ok (req_id, Stats { view })
+      | Some view ->
+          let view =
+            (* the optional u16 limit after the view tag, 0 when absent *)
+            if Bytes.length payload < 12 then view
+            else
+              let limit = Bytes.get_uint16_be payload 10 in
+              match view with
+              | Stats_outliers _ -> Stats_outliers { limit }
+              | Stats_outliers_text _ -> Stats_outliers_text { limit }
+              | v -> v
+          in
+          Result.Ok (req_id, Stats { view })
       | None -> Result.Error "unknown stats view")
   | t -> Result.Error (Printf.sprintf "unknown request tag %d" t)
 

@@ -31,6 +31,13 @@ type stats_view =
           current quanta and shed limit, per-class burn) as one JSON
           object; an [Error] status when the server runs without
           [--adaptive] *)
+  | Stats_outliers of { limit : int }
+      (** the tail-forensics dossiers ({!Tq_obs.Tail}): the [limit]
+          slowest retained requests ([limit = 0] for all) with exact
+          per-stage attribution, as one JSON object; an [Error] status
+          when the server runs without tail sampling *)
+  | Stats_outliers_text of { limit : int }
+      (** the same dossiers as a human-readable table *)
 
 (** One RPC request. *)
 type request =

@@ -19,6 +19,7 @@ module Admission = Tq_sched.Admission
 module Counters = Tq_obs.Counters
 module Obs = Tq_obs.Obs
 module Span = Tq_obs.Span
+module Tail = Tq_obs.Tail
 module Latency = Tq_obs.Latency
 module Expo = Tq_obs.Expo
 module Profile = Tq_obs.Profile
@@ -71,6 +72,8 @@ type stats = {
   dispatched : int;
   completed : int;
   shed : int;
+  lost : int;
+  dropped : int;
   stats_served : int;
   protocol_errors : int;
   orphaned : int;
@@ -89,6 +92,8 @@ type t = {
   worker_regs : Counters.t array;  (** one per worker domain ([runtime.*]) *)
   spans : Span.t;
   spans_on : bool;
+  tail : Tail.t;
+  tail_on : bool;
   gc : Gc_events.t option;
   ctl : Tq_control.Controller.t option;
   mutable ctl_next_ns : int;
@@ -97,7 +102,8 @@ type t = {
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
+let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?(tail = Tail.null) ?gc
+    config =
   if config.workers < 1 then invalid_arg "Server.create: need at least one worker";
   if config.rx_depth < 1 then invalid_arg "Server.create: rx_depth must be positive";
   if config.lanes < 1 then invalid_arg "Server.create: need at least one lane";
@@ -142,6 +148,8 @@ let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
       paused_until_ns = Atomic.make 0;
       spans;
       spans_on = Span.enabled spans;
+      tail;
+      tail_on = Tail.enabled tail;
       lanes = config.lanes;
       rx_depth = config.rx_depth;
       drain_timeout_s = config.drain_timeout_s;
@@ -168,6 +176,8 @@ let create ?(obs = Obs.disabled ()) ?(spans = Span.null) ?gc config =
       worker_regs;
       spans;
       spans_on = Span.enabled spans;
+      tail;
+      tail_on = Tail.enabled tail;
       gc;
       ctl;
       ctl_next_ns = 0;
@@ -207,6 +217,8 @@ let stats t =
       dispatched = 0;
       completed = 0;
       shed = 0;
+      lost = 0;
+      dropped = 0;
       stats_served = 0;
       protocol_errors = 0;
       orphaned = 0;
@@ -224,6 +236,8 @@ let stats t =
         dispatched = acc.dispatched + c.Lane.dispatched;
         completed = acc.completed + c.Lane.completed;
         shed = acc.shed + c.Lane.shed;
+        lost = acc.lost + c.Lane.lost;
+        dropped = acc.dropped + c.Lane.dropped;
         stats_served = acc.stats_served + c.Lane.stats_served;
         protocol_errors = acc.protocol_errors + c.Lane.protocol_errors;
         orphaned = acc.orphaned + c.Lane.orphaned;
@@ -252,15 +266,43 @@ let ring_occupancy t =
   done;
   !occ
 
+let span_dropped t =
+  Array.fold_left (fun acc l -> acc + Lane.span_dropped l) 0 t.lanes
+
 let set_gauges t reg =
   let g name v = Counters.set (Counters.gauge reg name) (float_of_int v) in
-  g "serve.in_flight" (in_flight t);
+  (* The acceptance ledger, derived from ONE tallies snapshot so the
+     [accepted = completed + lost + dropped + in_flight] identity holds
+     exactly in every render (four independently read cells could be
+     observed mid-bump). *)
+  let s = stats t in
+  g "serve.accepted" s.dispatched;
+  g "serve.lost" s.lost;
+  g "serve.dropped" s.dropped;
+  g "serve.in_flight" (s.dispatched - s.completed - s.lost - s.dropped);
   g "serve.open_connections" (open_conns t);
   g "serve.alive_workers" (Parallel.alive_workers t.pool);
   g "serve.ring_occupancy" (ring_occupancy t);
   g "serve.lanes" t.config.lanes;
   g "serve.accept_handoffs" (Listener.handed_off t.listener);
+  g "obs.span_dropped" (span_dropped t);
   Pool.fill_counters t.bufs reg
+
+(* [serve.parsed] is not a stored tally anywhere (see {!Lane.counts}):
+   re-derive it in each render-local merged registry from the same
+   merged snapshot's dispatched + shed, per class and in total, so the
+   identity is exact within any rendered text. *)
+let derive_parsed reg =
+  let derive name d s =
+    Counters.add (Counters.counter reg name)
+      (Counters.find_count reg d + Counters.find_count reg s)
+  in
+  derive "serve.parsed" "serve.dispatched" "serve.shed";
+  for i = 0 to Protocol.class_count - 1 do
+    let n = Protocol.class_name i in
+    derive ("serve.parsed." ^ n) ("serve.dispatched." ^ n) ("serve.shed." ^ n)
+  done;
+  reg
 
 let lane_regs t = Array.to_list (Array.map Lane.registry t.lanes)
 
@@ -269,14 +311,15 @@ let gc_registries t =
 
 let merged_counters t =
   let merged =
-    Counters.merged ((lane_regs t @ Array.to_list t.worker_regs) @ gc_registries t)
+    derive_parsed
+      (Counters.merged ((lane_regs t @ Array.to_list t.worker_regs) @ gc_registries t))
   in
   set_gauges t merged;
   merged
 
 let snapshot_json t =
   let s = stats t in
-  let serve = Counters.merged (lane_regs t) in
+  let serve = derive_parsed (Counters.merged (lane_regs t)) in
   let merged = Counters.merged (Array.to_list t.worker_regs) in
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
@@ -284,13 +327,15 @@ let snapshot_json t =
     (Printf.sprintf
        "  \"connections\": %d,\n  \"open_connections\": %d,\n  \"parsed\": %d,\n  \
         \"dispatched\": %d,\n  \"completed\": %d,\n  \"shed\": %d,\n  \
+        \"lost\": %d,\n  \"dropped\": %d,\n  \
         \"stats_served\": %d,\n  \"protocol_errors\": %d,\n  \"orphaned\": %d,\n  \
         \"duplicates\": %d,\n  \"redispatched\": %d,\n  \"dead_workers\": %d,\n  \
         \"in_flight\": %d,\n  \"workers\": %d,\n  \"alive_workers\": %d,\n  \
         \"ring_occupancy\": %d,\n"
-       s.connections (open_conns t) s.parsed s.dispatched s.completed s.shed
-       s.stats_served s.protocol_errors s.orphaned s.duplicates s.redispatched
-       s.dead_workers (in_flight t)
+       s.connections (open_conns t) s.parsed s.dispatched s.completed s.shed s.lost
+       s.dropped s.stats_served s.protocol_errors s.orphaned s.duplicates
+       s.redispatched s.dead_workers
+       (s.dispatched - s.completed - s.lost - s.dropped)
        (Parallel.workers t.pool)
        (Parallel.alive_workers t.pool)
        (ring_occupancy t));
@@ -312,9 +357,9 @@ let snapshot_json t =
       Buffer.add_string b
         (Printf.sprintf
            "{\"lane\": %d, \"connections\": %d, \"parsed\": %d, \"dispatched\": %d, \
-            \"completed\": %d, \"shed\": %d}%s"
+            \"completed\": %d, \"shed\": %d, \"span_dropped\": %d}%s"
            i c.Lane.connections c.Lane.parsed c.Lane.dispatched c.Lane.completed
-           c.Lane.shed
+           c.Lane.shed (Lane.span_dropped lane)
            (if i = Array.length t.lanes - 1 then "" else ", ")))
     t.lanes;
   Buffer.add_string b "]},\n";
@@ -373,17 +418,47 @@ let snapshot_json t =
 
 let breakdown t = Profile.of_records (Span.merge t.spans)
 
+(* {2 Tail forensics views} *)
+
+let tail t = t.tail
+
+let outlier_dossiers t ~limit =
+  let limit = if limit <= 0 then Tail.retained t.tail else limit in
+  Tail.dossiers t.tail ~records:(Span.merge t.spans) ~limit
+
+let outliers_json t ~limit =
+  Tail.dossiers_json ~class_name:Protocol.class_name t.tail
+    (outlier_dossiers t ~limit)
+
+let outliers_text t ~limit =
+  Tail.render ~class_name:Protocol.class_name (outlier_dossiers t ~limit)
+
+let tail_trace t = Tail.to_chrome t.tail (Span.merge t.spans)
+
 let prometheus t =
   (* one merged dispatcher series regardless of lane count — the lane
      split is an implementation axis; the exposition's shape stays what
      single-dispatcher dashboards expect *)
-  let disp = Counters.merged (lane_regs t) in
+  let disp = derive_parsed (Counters.merged (lane_regs t)) in
   set_gauges t disp;
+  (* span-sink overflow per lane: a tiny labelled registry per lane so
+     a scrape can pinpoint WHICH lane's buffer wrapped, not just that
+     one did (the merged [obs.span_dropped] gauge above is the total) *)
+  let lane_drop_regs =
+    List.mapi
+      (fun i lane ->
+        let reg = Counters.create () in
+        Counters.set
+          (Counters.gauge reg "obs.span_dropped")
+          (float_of_int (Lane.span_dropped lane));
+        ([ ("role", "lane"); ("lane", string_of_int i) ], reg))
+      (Array.to_list t.lanes)
+  in
   let registries =
-    ([ ("role", "dispatcher") ], disp)
-    :: List.mapi
-         (fun i reg -> ([ ("role", "worker"); ("worker", string_of_int i) ], reg))
-         (Array.to_list t.worker_regs)
+    (([ ("role", "dispatcher") ], disp) :: lane_drop_regs)
+    @ List.mapi
+        (fun i reg -> ([ ("role", "worker"); ("worker", string_of_int i) ], reg))
+        (Array.to_list t.worker_regs)
     @ (match t.gc with
       | None -> []
       | Some g -> [ ([ ("role", "gc") ], Gc_events.counters g) ])
@@ -423,6 +498,14 @@ let render_stats t view =
           (match view with
           | Protocol.Stats_breakdown -> Profile.to_json p
           | _ -> Profile.render p)
+  | Protocol.Stats_outliers { limit } ->
+      if not t.tail_on then
+        Error "tail forensics off: run the server with --tail-k > 0"
+      else Ok (outliers_json t ~limit)
+  | Protocol.Stats_outliers_text { limit } ->
+      if not t.tail_on then
+        Error "tail forensics off: run the server with --tail-k > 0"
+      else Ok (outliers_text t ~limit)
 
 (* {2 The feedback control loop}
 

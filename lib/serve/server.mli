@@ -97,6 +97,14 @@ type stats = {
   dispatched : int;  (** admitted and handed to a worker *)
   completed : int;  (** responses popped from reply rings *)
   shed : int;  (** rejected by ring-depth or admission policy *)
+  lost : int;
+      (** admitted requests still pending when their lane exited (their
+          worker died and re-dispatch never landed); 0 after a clean
+          drain *)
+  dropped : int;
+      (** structural reserve for a future queue-drop path, 0 today;
+          together with [lost] it closes the acceptance ledger
+          [accepted = completed + lost + dropped + in_flight] *)
   stats_served : int;
       (** Stats RPCs answered at the dispatcher (not counted in
           [parsed], so [parsed = dispatched + shed] stays exact) *)
@@ -112,7 +120,7 @@ type stats = {
 
 type t
 
-(** [create ?obs ?spans ?gc config] binds and listens (raising
+(** [create ?obs ?spans ?tail ?gc config] binds and listens (raising
     [Unix.Unix_error] on e.g. a busy port) and spawns the worker pool.
 
     [obs] receives the dispatcher-owned [serve.*] counters (aggregate
@@ -127,6 +135,13 @@ type t
     record ring-hop/quantum/stall on theirs, all stitched by request id
     ({!Tq_obs.Span.merge}) into one Perfetto timeline.
 
+    [tail] (default {!Tq_obs.Tail.null}, zero per-request cost) turns
+    on always-on tail forensics: each lane registers one bounded
+    reservoir sink that retains the K slowest completions per sliding
+    window plus every threshold breach, with controller state and queue
+    depths sampled at dispatch time.  Pair it with [spans] to get exact
+    per-stage attribution in the dossiers ({!outliers_json}).
+
     [gc] (a running {!Tq_obs.Gc_events} consumer) wires GC telemetry
     in: workers attribute wall-clock stalls to GC vs OS preemption
     ([runtime.stall_gc] / [runtime.stall_other] instead of
@@ -135,7 +150,12 @@ type t
     Start it with the same span collection to also get GC pause spans
     in the trace. *)
 val create :
-  ?obs:Tq_obs.Obs.t -> ?spans:Tq_obs.Span.t -> ?gc:Tq_obs.Gc_events.t -> config -> t
+  ?obs:Tq_obs.Obs.t ->
+  ?spans:Tq_obs.Span.t ->
+  ?tail:Tq_obs.Tail.t ->
+  ?gc:Tq_obs.Gc_events.t ->
+  config ->
+  t
 
 (** The actually bound port — [config.port] unless that was 0. *)
 val port : t -> int
@@ -172,6 +192,15 @@ val in_flight : t -> int
     none was). *)
 val spans : t -> Tq_obs.Span.t
 
+(** The tail-forensics collection passed to {!create}
+    ({!Tq_obs.Tail.null} when none was). *)
+val tail : t -> Tq_obs.Tail.t
+
+(** Span records lost to sink-ring overwrites, summed over every lane —
+    the [obs.span_dropped] total; 0 means the trace and the stage
+    attribution are complete. *)
+val span_dropped : t -> int
+
 (** Completion sojourn latencies (dispatch to reply-ring pop), per
     request class plus ["all"] — each lane records its own registry as
     it polls replies; this pools them with {!Tq_obs.Latency.merge}
@@ -205,6 +234,25 @@ val prometheus : t -> string
     assertions.  Meaningful only with spans enabled and exact only
     after drain. *)
 val breakdown : t -> Tq_obs.Profile.t
+
+(** [outlier_dossiers t ~limit] — the [limit] slowest retained requests
+    ([limit <= 0] for all), enriched against the live span merge: exact
+    per-stage attribution, quantum/steal/stall counts and overlapping
+    GC pauses ({!Tq_obs.Tail.dossiers}). *)
+val outlier_dossiers : t -> limit:int -> Tq_obs.Tail.dossier list
+
+(** [outliers_json t ~limit] — the dossiers plus reservoir header as
+    one JSON object: the [Stats_outliers] RPC body. *)
+val outliers_json : t -> limit:int -> string
+
+(** [outliers_text t ~limit] — the dossiers as a human-readable table:
+    the [Stats_outliers_text] RPC body. *)
+val outliers_text : t -> limit:int -> string
+
+(** [tail_trace t] — Chrome trace-event JSON restricted to the retained
+    outliers (their spans plus overlapping steal/stall/GC records): the
+    outlier-only Perfetto timeline ([tq_serve --tail-trace-out]). *)
+val tail_trace : t -> string
 
 (** {2 Live fault plane}
 

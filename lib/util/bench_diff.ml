@@ -86,6 +86,27 @@ let compare ?(config = default_config) ~baseline ~fresh () =
       List.iter (fun (p, v) -> Hashtbl.replace fresh_tbl p v) fresh_leaves;
       let findings = ref [] in
       let emit severity path message = findings := { severity; path; message } :: !findings in
+      (* generated_at never gates, but its delta is the first thing a
+         human wants in a mismatch report: a stale baseline explains a
+         drift that a code change does not. *)
+      let gen_at json =
+        Option.bind (Json.member "generated_at" json) Json.string_opt
+      in
+      (match (gen_at baseline, gen_at fresh) with
+      | Some b, Some f -> (
+          match (Bench_meta.parse_iso8601 b, Bench_meta.parse_iso8601 f) with
+          | Some tb, Some tf ->
+              let delta = tf -. tb in
+              emit Info "generated_at"
+                (if Float.abs delta < 1.0 then "reports generated together"
+                 else
+                   Printf.sprintf "baseline is %s %s than the fresh report"
+                     (Bench_meta.humanize_duration delta)
+                     (if delta >= 0.0 then "newer" else "older"))
+          | _ ->
+              emit Info "generated_at"
+                (Printf.sprintf "unparsable stamp (baseline %S, fresh %S)" b f))
+      | _ -> ());
       List.iter
         (fun (path, bv) ->
           if not (ignored config path) then
@@ -157,7 +178,12 @@ let render ?(verbose = false) findings =
   let warns = List.filter (fun f -> f.severity = Warn) findings in
   List.iter
     (fun f ->
-      if verbose || f.severity <> Info then
+      (* The generated_at age line always prints in a mismatch report:
+         baseline staleness is the first alternative hypothesis. *)
+      if
+        verbose || f.severity <> Info
+        || (f.path = "generated_at" && fails <> [])
+      then
         Buffer.add_string b
           (Printf.sprintf "%-4s %-40s %s\n" (severity_name f.severity) f.path
              f.message))

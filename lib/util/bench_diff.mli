@@ -33,13 +33,18 @@ val default_config : config
 val glob_match : string -> string -> bool
 
 (** [compare ?config ~baseline ~fresh ()] — every finding, in baseline
-    document order (bounds checked last). *)
+    document order (bounds checked last).  The first finding is an
+    [Info] on [generated_at] rendering the age gap between the two
+    reports as a human-readable duration ({!Bench_meta.parse_iso8601}
+    / {!Bench_meta.humanize_duration}) — it never gates, but a stale
+    baseline is the first alternative hypothesis for a drift. *)
 val compare : ?config:config -> baseline:Json.t -> fresh:Json.t -> unit -> finding list
 
 (** [passed findings] — no [Fail] finding present. *)
 val passed : finding list -> bool
 
 (** [render ?verbose findings] — human-readable report; [verbose]
-    includes passing comparisons (default: failures and warnings
-    only), final line is "PASS: ..." or "FAIL: ...". *)
+    includes passing comparisons (default: failures and warnings only,
+    plus — in a failing report — the [generated_at] age line), final
+    line is "PASS: ..." or "FAIL: ...". *)
 val render : ?verbose:bool -> finding list -> string

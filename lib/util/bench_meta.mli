@@ -14,6 +14,18 @@ val iso8601 : float -> string
 (** [generated_at ()] — the current wall-clock time as ISO-8601 UTC. *)
 val generated_at : unit -> string
 
+(** [parse_iso8601 s] — the inverse of {!iso8601}: Unix seconds from
+    "YYYY-MM-DDTHH:MM:SSZ" (proleptic Gregorian, pure integer date
+    math — no [timegm] portability trap).  [None] on anything that is
+    not exactly that shape. *)
+val parse_iso8601 : string -> float option
+
+(** [humanize_duration secs] — a duration (sign ignored) at two-unit
+    precision: ["850ms"], ["42s"], ["5m 07s"], ["3h 20m"], ["12d 4h"].
+    How {!Bench_diff} renders the age gap between two reports'
+    [generated_at] stamps. *)
+val humanize_duration : float -> string
+
 (** [json_fields ?indent ()] — the two header lines
     ["schema_version": N,] and ["generated_at": "...",] each prefixed
     with [indent] (default two spaces) and newline-terminated, ready to

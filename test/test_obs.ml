@@ -914,3 +914,208 @@ let profile_suite =
   ]
 
 let suite = suite @ profile_suite
+
+(* ------------------------------------------------------------------ *)
+(* Tail: the always-on slow-request reservoir                          *)
+(* ------------------------------------------------------------------ *)
+
+module Tail = Tq_obs.Tail
+
+let offer ?(now = 1) ?(worker = 0) ?(t0 = 0) ?(quantum = 100_000) ?(cap = -1)
+    ?(inj = 0) ?(deq = 0) sink ~seq ~sojourn =
+  Tail.offer sink ~now_ns:now ~seq ~class_idx:0 ~worker ~sojourn_ns:sojourn
+    ~t0_ns:t0 ~quantum_ns:quantum ~cap ~inject_depth:inj ~deque_depth:deq
+
+let test_tail_disabled_is_inert () =
+  Alcotest.(check bool) "null collection disabled" false (Tail.enabled Tail.null);
+  let sink = Tail.register Tail.null ~lane:0 in
+  for i = 1 to 100 do
+    offer sink ~seq:i ~sojourn:(i * 1_000)
+  done;
+  check Alcotest.int "nothing offered" 0 (Tail.offered Tail.null);
+  check Alcotest.int "nothing retained" 0 (Tail.retained Tail.null);
+  Alcotest.(check bool) "no dossiers" true
+    (Tail.dossiers Tail.null ~records:[] ~limit:10 = [])
+
+let test_tail_admit_evict_floor () =
+  let t = Tail.create ~k:4 () in
+  let sink = Tail.register t ~lane:0 in
+  List.iteri (fun i s -> offer sink ~seq:i ~sojourn:s) [ 10; 20; 30; 40 ];
+  check Alcotest.int "reservoir filled" 4 (Tail.retained t);
+  (* the common case: a fast request bounces off the floor *)
+  offer sink ~seq:100 ~sojourn:5;
+  check Alcotest.int "fast request rejected" 4 (Tail.retained t);
+  check Alcotest.int "admitted only the four" 4 (Tail.admitted t);
+  (* a slower one evicts the current minimum *)
+  offer sink ~seq:101 ~sojourn:50;
+  let tops = List.map (fun e -> e.Tail.e_sojourn_ns) (Tail.entries t) in
+  Alcotest.(check (list int)) "slowest-first, min evicted" [ 50; 40; 30; 20 ] tops;
+  check Alcotest.int "offered counts everything" 6 (Tail.offered t);
+  (* top ~limit truncates from the slow end *)
+  let top2 = List.map (fun e -> e.Tail.e_seq) (Tail.top t ~limit:2) in
+  Alcotest.(check (list int)) "top 2 by sojourn" [ 101; 3 ] top2
+
+let test_tail_window_roll () =
+  let t = Tail.create ~k:2 ~window_ns:100 () in
+  let sink = Tail.register t ~lane:0 in
+  offer sink ~now:10 ~seq:1 ~sojourn:500;
+  (* next window: the old top-K survives as the previous window *)
+  offer sink ~now:200 ~seq:2 ~sojourn:300;
+  let seqs = List.map (fun e -> e.Tail.e_seq) (Tail.entries t) in
+  Alcotest.(check (list int)) "both windows retained" [ 1; 2 ] seqs;
+  (* a second roll forgets the first window entirely *)
+  offer sink ~now:400 ~seq:3 ~sojourn:100;
+  let seqs = List.sort compare (List.map (fun e -> e.Tail.e_seq) (Tail.entries t)) in
+  Alcotest.(check (list int)) "window 1 aged out" [ 2; 3 ] seqs
+
+let test_tail_breach_ring () =
+  let t = Tail.create ~k:2 ~threshold_ns:1_000 () in
+  let sink = Tail.register t ~lane:0 in
+  (* fill the top-K with slow requests so the floor is high *)
+  offer sink ~seq:1 ~sojourn:5_000;
+  offer sink ~seq:2 ~sojourn:6_000;
+  (* below the floor but over the threshold: retained via the breach ring *)
+  offer sink ~seq:3 ~sojourn:1_500;
+  let breached =
+    List.filter (fun e -> e.Tail.e_breach) (Tail.entries t)
+    |> List.map (fun e -> e.Tail.e_seq)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "all three breach the threshold" [ 1; 2; 3 ] breached;
+  check Alcotest.int "breach kept despite losing the floor race" 3 (Tail.retained t);
+  (* under the threshold and under the floor: gone *)
+  offer sink ~seq:4 ~sojourn:500;
+  check Alcotest.int "fast request still rejected" 3 (Tail.retained t)
+
+let test_tail_dossier_exactness () =
+  let records, expected, sojourn =
+    synthetic_request ~req:7 ~p0:1_000 ~parse:500 ~dispatch:300 ~hop:100
+      ~wait:4_000 ~d0:5_000 ~gap:250 ~d1:3_000 ~flush:600
+  in
+  (* core-level context riding the same worker: one steal, one stall
+     inside the request's residency, one GC pause, plus decoys that do
+     not overlap and must not be counted *)
+  let t_end = 1_000 + sojourn in
+  let records =
+    records
+    @ [
+        sp ~req:(-1) ~lane:(Event.Worker 0) Span.Steal 2_000 100;
+        sp ~req:(-1) ~lane:(Event.Worker 0) Span.Stall 3_000 200;
+        sp ~req:(-1) ~lane:(Event.Gc 0) Span.Gc_minor 4_000 300;
+        sp ~req:(-1) ~lane:(Event.Worker 1) Span.Steal 2_000 100;
+        (* other worker *)
+        sp ~req:(-1) ~lane:(Event.Worker 0) Span.Steal (t_end + 10_000) 100;
+        (* after the request left *)
+      ]
+  in
+  let t = Tail.create ~k:4 () in
+  let sink = Tail.register t ~lane:0 in
+  offer sink ~now:t_end ~t0:1_000 ~seq:7 ~sojourn ~inj:3 ~deq:2;
+  (match Tail.dossiers t ~records ~limit:10 with
+  | [ d ] ->
+      Alcotest.(check bool) "attributed" true d.Tail.d_attributed;
+      check Alcotest.int "stages telescope to the sojourn" sojourn
+        (List.fold_left (fun acc (_, v) -> acc + v) 0 d.Tail.d_stages);
+      check Alcotest.int "exact sojourn" sojourn d.Tail.d_sojourn_ns;
+      List.iter
+        (fun (stage, v) ->
+          check Alcotest.int (Profile.stage_name stage) v
+            (List.assq stage d.Tail.d_stages))
+        expected;
+      check Alcotest.int "two quanta" 2 d.Tail.d_quanta;
+      check Alcotest.int "one overlapping steal" 1 d.Tail.d_steals;
+      check Alcotest.int "one overlapping stall" 1 d.Tail.d_stalls;
+      check Alcotest.int "one overlapping gc pause" 1 d.Tail.d_gc_pauses;
+      check Alcotest.int "gc pause time" 300 d.Tail.d_gc_pause_ns;
+      check Alcotest.int "inject depth sampled" 3
+        d.Tail.d_entry.Tail.e_inject_depth;
+      (* the JSON view is well-formed and carries the stage map *)
+      let json = Tail.dossiers_json t [ d ] in
+      json_well_formed "dossiers json" json;
+      Alcotest.(check bool) "json has stages" true (contains json "\"stages_ns\"");
+      Alcotest.(check bool) "json marks attribution" true
+        (contains json "\"attributed\": true");
+      (* the table renders the stage columns *)
+      let txt = Tail.render ~class_name:(fun _ -> "echo") [ d ] in
+      Alcotest.(check bool) "render mentions the class" true (contains txt "echo")
+  | ds -> Alcotest.failf "expected one dossier, got %d" (List.length ds));
+  (* without spans the dossier degrades to the admit-time sojourn *)
+  match Tail.dossiers t ~records:[] ~limit:10 with
+  | [ d ] ->
+      Alcotest.(check bool) "unattributed without spans" false d.Tail.d_attributed;
+      check Alcotest.int "falls back to admit sojourn" sojourn d.Tail.d_sojourn_ns
+  | ds -> Alcotest.failf "expected one dossier, got %d" (List.length ds)
+
+let test_tail_outlier_trace_filter () =
+  let keep, _, s_keep =
+    synthetic_request ~req:1 ~p0:0 ~parse:500 ~dispatch:300 ~hop:100 ~wait:1_000
+      ~d0:2_000 ~gap:0 ~d1:0 ~flush:400
+  in
+  let drop, _, _ =
+    synthetic_request ~req:2 ~p0:1_000_000 ~parse:500 ~dispatch:300 ~hop:100
+      ~wait:1_000 ~d0:2_000 ~gap:0 ~d1:0 ~flush:400
+  in
+  let gc_in = sp ~req:(-1) ~lane:(Event.Gc 0) Span.Gc_minor 1_000 50 in
+  let gc_out = sp ~req:(-1) ~lane:(Event.Gc 0) Span.Gc_minor 5_000_000 50 in
+  let records = keep @ drop @ [ gc_in; gc_out ] in
+  let t = Tail.create ~k:1 () in
+  let sink = Tail.register t ~lane:0 in
+  (* only request 1 is retained *)
+  offer sink ~now:s_keep ~t0:0 ~seq:1 ~sojourn:s_keep;
+  let kept = Tail.filter_records t records in
+  Alcotest.(check bool) "retained request's spans kept" true
+    (List.exists (fun (r : Span.record) -> r.Span.req_id = 1) kept);
+  Alcotest.(check bool) "other request's spans dropped" false
+    (List.exists (fun (r : Span.record) -> r.Span.req_id = 2) kept);
+  Alcotest.(check bool) "overlapping gc pause kept" true
+    (List.exists
+       (fun (r : Span.record) ->
+         r.Span.phase = Span.Gc_minor && r.Span.start_ns = 1_000)
+       kept);
+  Alcotest.(check bool) "distant gc pause dropped" false
+    (List.exists (fun (r : Span.record) -> r.Span.start_ns = 5_000_000) kept);
+  json_well_formed "outlier chrome json" (Tail.to_chrome t records)
+
+(* Satellite: Counters.merged under real cross-domain concurrency.
+   Each domain owns one registry (the single-writer rule) and bumps its
+   counter a known number of times; merges taken mid-run never exceed
+   the final total (no double counting), and the post-join merge
+   conserves the sum exactly. *)
+let test_counters_merged_domains_prop =
+  qtest ~count:10 "counters merged conserves concurrent increments"
+    QCheck.(pair (int_range 1 4) (int_range 1_000 20_000))
+    (fun (domains, per_domain) ->
+      let regs = List.init domains (fun _ -> Counters.create ()) in
+      let doms =
+        List.map
+          (fun reg ->
+            Domain.spawn (fun () ->
+                let c = Counters.counter reg "merge.prop_total" in
+                for _ = 1 to per_domain do
+                  Counters.incr c
+                done))
+          regs
+      in
+      let total = domains * per_domain in
+      (* racing merges: a snapshot may lag but never overshoots *)
+      let mid_ok = ref true in
+      for _ = 1 to 50 do
+        let m = Counters.find_count (Counters.merged regs) "merge.prop_total" in
+        if m < 0 || m > total then mid_ok := false
+      done;
+      List.iter Domain.join doms;
+      !mid_ok
+      && Counters.find_count (Counters.merged regs) "merge.prop_total" = total)
+
+let tail_suite =
+  [
+    Alcotest.test_case "tail disabled is inert" `Quick test_tail_disabled_is_inert;
+    Alcotest.test_case "tail admit/evict/floor" `Quick test_tail_admit_evict_floor;
+    Alcotest.test_case "tail window roll" `Quick test_tail_window_roll;
+    Alcotest.test_case "tail breach ring" `Quick test_tail_breach_ring;
+    Alcotest.test_case "tail dossier exactness" `Quick test_tail_dossier_exactness;
+    Alcotest.test_case "tail outlier trace filter" `Quick test_tail_outlier_trace_filter;
+    test_counters_merged_domains_prop;
+  ]
+
+let suite = suite @ tail_suite

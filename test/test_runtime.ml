@@ -736,4 +736,86 @@ let deque_suite =
     deque_stress_prop;
   ]
 
-let suite = suite @ stall_suite @ deque_suite
+(* --- Work_source steal groups are lane slices --- *)
+
+(* Mirrors Parallel's group construction: worker [w] may only steal
+   from siblings with the same [w mod lanes].  A thief facing an empty
+   slice must come up dry even when other lanes are loaded — crossing
+   lanes would undo the serve plane's partitioning. *)
+let test_work_source_lane_slice () =
+  let lanes = 2 and workers = 6 in
+  let sources =
+    Array.init workers (fun wid -> Work_source.create ~wid ~capacity:64)
+  in
+  let group_of wid =
+    Array.to_list sources
+    |> List.filteri (fun w _ -> w mod lanes = wid mod lanes)
+    |> Array.of_list
+  in
+  Array.iteri (fun wid s -> Work_source.set_group s (group_of wid)) sources;
+  let load wid n =
+    for i = 1 to n do
+      Alcotest.(check bool) "inject" true (Work_source.inject sources.(wid) i)
+    done;
+    ignore
+      (Work_source.drain sources.(wid)
+         ~is_pinned:(fun _ -> false)
+         ~submit:(fun _ -> Alcotest.fail "no pinned/overflow expected")
+        : int)
+  in
+  (* The other lane's deques are the most loaded overall; in-slice
+     victim selection must ignore them. *)
+  load 1 16;
+  load 3 12;
+  load 2 4;
+  load 4 8;
+  (match Work_source.try_steal sources.(0) with
+  | Some (victim, moved) ->
+      check Alcotest.int "most-loaded in-slice victim" 4 victim;
+      check Alcotest.int "took half the victim's deque" 4 moved
+  | None -> Alcotest.fail "in-slice work available, steal came up empty");
+  (* Drain lane 0's remaining stealable work; with its slice empty the
+     thief finds nothing, however loaded the other lane is. *)
+  Array.iter
+    (fun s ->
+      if Work_source.wid s mod lanes = 0 then
+        while Work_source.next s <> None do
+          ()
+        done)
+    sources;
+  check Alcotest.int "other lane untouched" 16
+    (Work_source.stealable sources.(1));
+  (match Work_source.try_steal sources.(0) with
+  | None -> ()
+  | Some (victim, moved) ->
+      Alcotest.failf "stole %d from worker %d outside the lane slice" moved
+        victim);
+  (* Every victim observed over repeated rounds shares the thief's
+     slice: [w mod lanes] is invariant between thief and victim. *)
+  load 2 32;
+  load 4 32;
+  load 1 32;
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Work_source.try_steal sources.(0) with
+    | Some (victim, _) ->
+        incr rounds;
+        check Alcotest.int "victim shares the thief's slice" 0 (victim mod lanes);
+        (* consume the haul so the next round re-picks a victim *)
+        while Work_source.next sources.(0) <> None do
+          ()
+        done
+    | None -> continue := false
+  done;
+  Alcotest.(check bool) "steals happened" true (!rounds > 0);
+  check Alcotest.int "other lane still untouched" 48
+    (Work_source.stealable sources.(1))
+
+let work_source_suite =
+  [
+    Alcotest.test_case "work source lane slice boundary" `Quick
+      test_work_source_lane_slice;
+  ]
+
+let suite = suite @ stall_suite @ deque_suite @ work_source_suite

@@ -857,3 +857,241 @@ let lane_suite =
   ]
 
 let suite = suite @ lane_suite
+
+(* --- tail forensics: the outliers views and the HTTP metrics plane --- *)
+
+let test_outlier_codec_roundtrip () =
+  (* tags 6/7 carry a limit payload past the view tag; 0 = all *)
+  List.iter
+    (fun view ->
+      check Alcotest.bool "outlier stats view survives" true
+        (roundtrip (Protocol.Stats { view }) = Protocol.Stats { view }))
+    [
+      Protocol.Stats_outliers { limit = 0 };
+      Protocol.Stats_outliers { limit = 7 };
+      Protocol.Stats_outliers { limit = 65_535 };
+      Protocol.Stats_outliers_text { limit = 0 };
+      Protocol.Stats_outliers_text { limit = 10 };
+    ]
+
+let tail_config = { base_config with lanes = 2; steal = true }
+
+let test_outliers_rpc () =
+  let spans = Tq_obs.Span.create ~capacity_per_sink:16_384 () in
+  let tail = Tq_obs.Tail.create ~k:8 () in
+  let srv = Server.create ~spans ~tail tail_config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let n = 200 in
+  let client = Client.connect ~port:(Server.port srv) () in
+  run_batch client n;
+  (* live over the wire: JSON and table views *)
+  let body = Client.stats ~view:(Protocol.Stats_outliers { limit = 5 }) client in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "outliers json has %s" needle) true
+        (contains body needle))
+    [ "\"dossiers\""; "\"offered\""; "\"retained\""; "\"stages_ns\""; "\"seq\"" ];
+  let text = Client.stats ~view:(Protocol.Stats_outliers_text { limit = 5 }) client in
+  check Alcotest.bool "table view renders" true
+    (contains text "Slow-request dossiers" && contains text "sojourn");
+  Client.close client;
+  Server.stop srv;
+  Thread.join th;
+  (* quiesced: the in-process dossiers must attribute exactly *)
+  let ds = Server.outlier_dossiers srv ~limit:0 in
+  check Alcotest.bool "dossiers retained" true (ds <> []);
+  check Alcotest.bool "limit truncates" true
+    (List.length (Server.outlier_dossiers srv ~limit:3) <= 3);
+  List.iter
+    (fun d ->
+      check Alcotest.bool "attributed after drain" true d.Tq_obs.Tail.d_attributed;
+      let sum =
+        List.fold_left (fun acc (_, v) -> acc + v) 0 d.Tq_obs.Tail.d_stages
+      in
+      check Alcotest.int "stages telescope to the sojourn exactly" sum
+        d.Tq_obs.Tail.d_sojourn_ns;
+      let e = d.Tq_obs.Tail.d_entry in
+      check Alcotest.bool "lane in range" true
+        (e.Tq_obs.Tail.e_lane >= 0 && e.Tq_obs.Tail.e_lane < 2);
+      check Alcotest.bool "worker in range" true
+        (e.Tq_obs.Tail.e_worker >= 0 && e.Tq_obs.Tail.e_worker < 2);
+      check Alcotest.bool "controller quantum sampled" true
+        (e.Tq_obs.Tail.e_quantum_ns > 0))
+    ds;
+  (* the acceptance ledger closes after drain *)
+  let s = Server.stats srv in
+  check Alcotest.int "accepted = completed after drain"
+    s.Server.dispatched
+    (s.Server.completed + s.Server.lost + s.Server.dropped);
+  check Alcotest.int "no spans dropped at this volume" 0 (Server.span_dropped srv);
+  (* the outlier-only trace is well-formed and much smaller than the
+     full request stream: only retained requests' spans survive *)
+  let trace = Server.tail_trace srv in
+  check Alcotest.bool "outlier trace is chrome json" true
+    (contains trace "\"traceEvents\"")
+
+let test_outliers_need_tail () =
+  with_server base_config (fun srv ->
+      let client = Client.connect ~port:(Server.port srv) () in
+      run_batch client 10;
+      (match Client.stats ~view:(Protocol.Stats_outliers { limit = 5 }) client with
+      | exception Failure msg ->
+          check Alcotest.bool "error names the fix" true (contains msg "--tail-k")
+      | body -> Alcotest.failf "expected an error response, got: %s" body);
+      Client.close client)
+
+(* A one-shot HTTP/1.1 GET against the metrics plane, raw sockets: the
+   test must not trust the listener's own client code (there is none). *)
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  (try
+     let rec loop () =
+       let n = Unix.read fd chunk 0 4096 in
+       if n > 0 then begin
+         Buffer.add_subbytes buf chunk 0 n;
+         loop ()
+       end
+     in
+     loop ()
+   with End_of_file | Unix.Unix_error _ -> ());
+  Unix.close fd;
+  let s = Buffer.contents buf in
+  let rec find_sep i =
+    if i + 4 > String.length s then None
+    else if String.sub s i 4 = "\r\n\r\n" then Some i
+    else find_sep (i + 1)
+  in
+  match find_sep 0 with
+  | None -> Alcotest.failf "no header/body separator in response to %s" path
+  | Some i ->
+      let head = String.sub s 0 i in
+      let body = String.sub s (i + 4) (String.length s - i - 4) in
+      let status =
+        match String.index_opt head '\r' with
+        | Some eol -> String.sub head 0 eol
+        | None -> head
+      in
+      (status, head, body)
+
+(* Pull one metric sample's value out of Prometheus exposition text. *)
+let metric_value body line_prefix =
+  let lines = String.split_on_char '\n' body in
+  List.find_map
+    (fun l ->
+      if
+        String.length l > String.length line_prefix
+        && String.sub l 0 (String.length line_prefix) = line_prefix
+      then
+        String.rindex_opt l ' '
+        |> Option.map (fun sp ->
+               float_of_string
+                 (String.sub l (sp + 1) (String.length l - sp - 1)))
+      else None)
+    lines
+
+let test_http_metrics_plane () =
+  let spans = Tq_obs.Span.create ~capacity_per_sink:16_384 () in
+  let tail = Tq_obs.Tail.create ~k:8 () in
+  let srv = Server.create ~spans ~tail tail_config in
+  let th = Thread.create (fun () -> Server.serve srv) () in
+  let stopped = ref false in
+  let http =
+    Tq_serve.Http_expo.start ~port:0
+      ~metrics:(fun () -> Server.prometheus srv)
+      ~outliers:(fun () -> Server.outliers_json srv ~limit:0)
+      ~healthz:(fun () -> not !stopped)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Tq_serve.Http_expo.stop http;
+      Server.stop srv;
+      Thread.join th)
+    (fun () ->
+      let hport = Tq_serve.Http_expo.port http in
+      let n = 200 in
+      let client = Client.connect ~port:(Server.port srv) () in
+      run_batch client n;
+      (* /metrics: content type, lint-clean, and byte-consistent with
+         the Stats RPC Prometheus view on the accounting identities *)
+      let status, head, metrics = http_get ~port:hport "/metrics" in
+      check Alcotest.bool "200 on /metrics" true (contains status "200");
+      check Alcotest.bool "prometheus content type" true
+        (contains head "text/plain; version=0.0.4");
+      Alcotest.(check (list string)) "exposition passes lint" []
+        (Tq_obs.Expo.lint metrics);
+      let v name =
+        match metric_value metrics name with
+        | Some v -> v
+        | None -> Alcotest.failf "metric %s missing from /metrics" name
+      in
+      let parsed = v "tq_serve_parsed_total{role=\"dispatcher\"}" in
+      let dispatched = v "tq_serve_dispatched_total{role=\"dispatcher\"}" in
+      let shed = v "tq_serve_shed_total{role=\"dispatcher\"}" in
+      check (Alcotest.float 0.0) "parsed = dispatched + shed" parsed
+        (dispatched +. shed);
+      let g name =
+        match metric_value metrics name with
+        | Some v -> v
+        | None -> Alcotest.failf "gauge %s missing from /metrics" name
+      in
+      let accepted = g "tq_serve_accepted{role=\"dispatcher\"}" in
+      let completed = v "tq_serve_completed_total{role=\"dispatcher\"}" in
+      let lost = g "tq_serve_lost{role=\"dispatcher\"}" in
+      let dropped = g "tq_serve_dropped{role=\"dispatcher\"}" in
+      let in_flight = g "tq_serve_in_flight{role=\"dispatcher\"}" in
+      check (Alcotest.float 0.0) "accepted = completed + lost + dropped + in_flight"
+        accepted
+        (completed +. lost +. dropped +. in_flight);
+      (* the RPC Prometheus view agrees on the same identity lines *)
+      let rpc = Client.stats ~view:Protocol.Stats_text client in
+      List.iter
+        (fun name ->
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "%s consistent across planes" name)
+            (Option.get (metric_value metrics name))
+            (match metric_value rpc name with
+            | Some v -> v
+            | None -> Alcotest.failf "metric %s missing from RPC view" name))
+        [
+          "tq_serve_parsed_total{role=\"dispatcher\"}";
+          "tq_serve_dispatched_total{role=\"dispatcher\"}";
+          "tq_serve_shed_total{role=\"dispatcher\"}";
+        ];
+      (* per-lane span-drop gauges ride the exposition *)
+      check Alcotest.bool "span_dropped exposed per lane" true
+        (contains metrics "tq_obs_span_dropped{role=\"lane\"");
+      (* /outliers serves the dossier JSON *)
+      let status, head, outliers = http_get ~port:hport "/outliers" in
+      check Alcotest.bool "200 on /outliers" true (contains status "200");
+      check Alcotest.bool "json content type" true (contains head "application/json");
+      check Alcotest.bool "dossiers served over http" true
+        (contains outliers "\"dossiers\"");
+      (* /healthz flips with the callback *)
+      let status, _, body = http_get ~port:hport "/healthz" in
+      check Alcotest.bool "healthy while serving" true
+        (contains status "200" && contains body "ok");
+      stopped := true;
+      let status, _, _ = http_get ~port:hport "/healthz" in
+      check Alcotest.bool "503 when draining" true (contains status "503");
+      (* unknown path: 404, connection still answered cleanly *)
+      let status, _, _ = http_get ~port:hport "/nope" in
+      check Alcotest.bool "404 elsewhere" true (contains status "404");
+      Client.close client);
+  (* stop is idempotent *)
+  Tq_serve.Http_expo.stop http
+
+let tail_suite =
+  [
+    Alcotest.test_case "outlier codec roundtrip" `Quick test_outlier_codec_roundtrip;
+    Alcotest.test_case "outliers rpc" `Quick test_outliers_rpc;
+    Alcotest.test_case "outliers need tail sampling" `Quick test_outliers_need_tail;
+    Alcotest.test_case "http metrics plane" `Quick test_http_metrics_plane;
+  ]
+
+let suite = suite @ tail_suite
